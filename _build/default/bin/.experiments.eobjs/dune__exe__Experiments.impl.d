@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Dift_experiments Fmt List Term

@@ -1,0 +1,360 @@
+(* diftc — run the bundled workloads under the DIFT tools.
+
+   Examples:
+     diftc list
+     diftc run crc --size 50
+     diftc trace matmul --size 8 --capacity 65536
+     diftc taint qsort --size 20
+     diftc slice sieve --size 100
+     diftc attack stack-smash
+     diftc lineage moving-avg --size 24 --robdd *)
+
+open Cmdliner
+
+open Dift_vm
+open Dift_core
+open Dift_workloads
+
+let find_workload name =
+  match List.find_opt (fun w -> w.Workload.name = name) Spec_like.all with
+  | Some w -> Ok w
+  | None ->
+      Error
+        (Fmt.str "unknown workload %s (available: %s)" name
+           (String.concat ", "
+              (List.map (fun w -> w.Workload.name) Spec_like.all)))
+
+let size_arg =
+  Arg.(value & opt int 20 & info [ "size" ] ~doc:"Workload size parameter.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Input/scheduler seed.")
+
+let name_arg kind =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:kind)
+
+(* -- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "kernels:@.";
+    List.iter (fun w -> Fmt.pr "  %a@." Workload.pp w) Spec_like.all;
+    Fmt.pr "attack cases:@.";
+    List.iter
+      (fun (c : Vulnerable.case) ->
+        Fmt.pr "  %s: %s@." c.Vulnerable.name c.Vulnerable.description)
+      Vulnerable.all;
+    Fmt.pr "lineage pipelines:@.";
+    List.iter
+      (fun (p : Scientific.pipeline) ->
+        Fmt.pr "  %s: %s@." p.Scientific.name p.Scientific.description)
+      Scientific.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List bundled workloads.")
+    Term.(const run $ const ())
+
+(* -- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run name size seed =
+    match find_workload name with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok w ->
+        let input = w.Workload.input ~size ~seed in
+        let config = { Machine.default_config with seed } in
+        let m = Machine.create ~config w.Workload.program ~input in
+        let outcome = Machine.run m in
+        Fmt.pr "outcome: %a@." Event.pp_outcome outcome;
+        Fmt.pr "output:  %a@."
+          Fmt.(list ~sep:sp int)
+          (Machine.output_values m);
+        Fmt.pr "steps:   %d, cycles: %d@." (Machine.steps m)
+          (Machine.cycles m);
+        0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a kernel natively.")
+    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg)
+
+(* -- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int (16 * 1024 * 1024)
+      & info [ "capacity" ] ~doc:"Trace buffer capacity in bytes.")
+  in
+  let run name size seed capacity =
+    match find_workload name with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok w ->
+        let input = w.Workload.input ~size ~seed in
+        let m = Machine.create w.Workload.program ~input in
+        let opts = { Ontrac.default_opts with capacity } in
+        let tracer = Ontrac.create ~opts w.Workload.program in
+        Ontrac.attach tracer m;
+        ignore (Machine.run m);
+        Fmt.pr "%a@." Ontrac.pp_stats (Ontrac.stats tracer);
+        Fmt.pr "%a@." Trace_buffer.pp (Ontrac.buffer tracer);
+        Fmt.pr "bytes/instr: %.3f@." (Ontrac.bytes_per_instr tracer);
+        Fmt.pr "window: %d instructions@." (Ontrac.window_length tracer);
+        0
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Run a kernel under ONTRAC.")
+    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ capacity_arg)
+
+(* -- taint ------------------------------------------------------------------- *)
+
+module Bool_engine = Engine.Make (Taint.Bool)
+
+let taint_cmd =
+  let run name size seed =
+    match find_workload name with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok w ->
+        let input = w.Workload.input ~size ~seed in
+        let m = Machine.create w.Workload.program ~input in
+        let eng = Bool_engine.create w.Workload.program in
+        Bool_engine.on_sink eng (fun sink taint e ->
+            if taint && sink = Engine.Sink_output then
+              Fmt.pr "tainted output %d at step %d@." e.Event.value
+                e.Event.step);
+        Bool_engine.attach eng m;
+        ignore (Machine.run m);
+        let locs, words = Bool_engine.shadow_footprint eng in
+        let s = Bool_engine.stats eng in
+        Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
+          s.Engine.events s.Engine.sources s.Engine.sink_hits;
+        Fmt.pr "shadow: %d locations, %d words@." locs words;
+        0
+  in
+  Cmd.v (Cmd.info "taint" ~doc:"Run a kernel under boolean taint DIFT.")
+    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg)
+
+(* -- slice ------------------------------------------------------------------- *)
+
+let slice_cmd =
+  let run name size seed =
+    match find_workload name with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok w ->
+        let input = w.Workload.input ~size ~seed in
+        let m = Machine.create w.Workload.program ~input in
+        let tracer = Ontrac.create w.Workload.program in
+        Ontrac.attach tracer m;
+        ignore (Machine.run m);
+        let g, ws = Ontrac.final_graph tracer in
+        (match Slicing.last_output g with
+        | None ->
+            Fmt.pr "no output to slice from@.";
+            1
+        | Some out ->
+            let s = Slicing.backward ~window_start:ws g ~criterion:[ out ] in
+            Fmt.pr "%a@." Slicing.pp s;
+            Fmt.pr "sites:@.";
+            List.iter
+              (fun (f, pc) -> Fmt.pr "  %s:%d@." f pc)
+              (Slicing.sites s);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "slice" ~doc:"Backward dynamic slice from the last output.")
+    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg)
+
+(* -- attack ------------------------------------------------------------------- *)
+
+let attack_cmd =
+  let run name =
+    match
+      List.find_opt
+        (fun (c : Vulnerable.case) -> c.Vulnerable.name = name)
+        Vulnerable.all
+    with
+    | None ->
+        Fmt.epr "unknown attack case %s@." name;
+        1
+    | Some c ->
+        let row = Dift_attack.Detector.evaluate c in
+        Fmt.pr "%a@." Dift_attack.Detector.pp_eval row;
+        0
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Evaluate the detector on a vulnerable case.")
+    Term.(const run $ name_arg "CASE")
+
+(* -- lineage ----------------------------------------------------------------- *)
+
+let lineage_cmd =
+  let robdd_arg =
+    Arg.(value & flag & info [ "robdd" ] ~doc:"Use the roBDD representation.")
+  in
+  let run name size seed robdd =
+    match
+      List.find_opt
+        (fun (p : Scientific.pipeline) -> p.Scientific.name = name)
+        Scientific.all
+    with
+    | None ->
+        Fmt.epr "unknown pipeline %s@." name;
+        1
+    | Some pl ->
+        let r =
+          if robdd then Dift_lineage.Tracer.run_robdd pl ~size ~seed
+          else Dift_lineage.Tracer.run_naive pl ~size ~seed
+        in
+        List.iter
+          (fun (v, lineage) ->
+            Fmt.pr "output %d <- inputs {%a}@." v
+              Fmt.(list ~sep:comma int)
+              lineage)
+          r.Dift_lineage.Tracer.outputs;
+        Fmt.pr "slowdown: %.1fx, memory overhead: %.0f%%@."
+          (Dift_lineage.Tracer.slowdown r)
+          (100. *. Dift_lineage.Tracer.memory_overhead r);
+        0
+  in
+  Cmd.v (Cmd.info "lineage" ~doc:"Trace lineage through a pipeline.")
+    Term.(const run $ name_arg "PIPELINE" $ size_arg $ seed_arg $ robdd_arg)
+
+(* -- profile ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run name size seed =
+    match find_workload name with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok w ->
+        let input = w.Workload.input ~size ~seed in
+        let m = Machine.create w.Workload.program ~input in
+        let prof = Adaptive.create w.Workload.program in
+        Adaptive.attach prof m;
+        ignore (Machine.run m);
+        let suggestions = Adaptive.suggestions prof in
+        Fmt.pr "%d events profiled, %d suggestion(s):@."
+          (Adaptive.events prof)
+          (List.length suggestions);
+        List.iter
+          (fun sg -> Fmt.pr "  %a@." Adaptive.pp_suggestion sg)
+          suggestions;
+        0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a kernel for adaptive-optimization opportunities.")
+    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg)
+
+(* -- reduce ------------------------------------------------------------------- *)
+
+let reduce_cmd =
+  let requests_arg =
+    Arg.(value & opt int 120 & info [ "requests" ] ~doc:"Request count.")
+  in
+  let run requests seed =
+    let p = Dift_workloads.Server_sim.program () in
+    let batch =
+      Dift_workloads.Server_sim.generate ~requests ~seed ~faulty:true ()
+    in
+    let config = { Machine.default_config with seed } in
+    let report =
+      Dift_replay.Rerun.run ~config
+        ~checkpoint_every:(max 2_000 (requests * 15))
+        p ~input:batch.Dift_workloads.Server_sim.input
+    in
+    Fmt.pr "%a@." Dift_replay.Rerun.pp_report report;
+    0
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Run the execution-reduction pipeline on the failing server.")
+    Term.(const run $ requests_arg $ seed_arg)
+
+(* -- avoid -------------------------------------------------------------------- *)
+
+let avoid_cmd =
+  let run name =
+    let open Dift_avoidance in
+    let report =
+      match name with
+      | "heap-overflow" ->
+          let c = Dift_workloads.Vulnerable.heap_overflow in
+          let config = { Machine.default_config with check_bounds = true } in
+          Some
+            (Framework.avoid ~config c.Dift_workloads.Vulnerable.program
+               ~input:c.Dift_workloads.Vulnerable.attack_input)
+      | "malformed-request" ->
+          let p = Dift_workloads.Server_sim.program () in
+          let batch =
+            Dift_workloads.Server_sim.generate ~requests:60 ~seed:11
+              ~faulty:true ()
+          in
+          Some
+            (Framework.avoid p
+               ~input:batch.Dift_workloads.Server_sim.input
+               ~request_input_index:(fun r -> 1 + (3 * r)))
+      | _ -> None
+    in
+    match report with
+    | None ->
+        Fmt.epr
+          "unknown scenario %s (try heap-overflow, malformed-request)@."
+          name;
+        1
+    | Some r ->
+        (match r.Framework.original_fault with
+        | Some f -> Fmt.pr "fault: %a@." Event.pp_fault f
+        | None -> Fmt.pr "no fault@.");
+        List.iter
+          (fun (a : Framework.attempt) ->
+            Fmt.pr "tried: %s -> %s@."
+              (Env_patch.to_string a.Framework.patch)
+              (if a.Framework.avoided then "avoided" else "still fails"))
+          r.Framework.attempts;
+        (match r.Framework.patch_file with
+        | Some line -> Fmt.pr "patch file: %s@." line
+        | None -> ());
+        Fmt.pr "future runs pass: %b@." r.Framework.rerun_ok;
+        0
+  in
+  Cmd.v
+    (Cmd.info "avoid"
+       ~doc:"Capture an environment fault and search for a patch.")
+    Term.(const run $ name_arg "SCENARIO")
+
+(* -- dump --------------------------------------------------------------------- *)
+
+let dump_cmd =
+  let run name =
+    match find_workload name with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok w ->
+        Fmt.pr "%a@." Dift_isa.Program.pp w.Workload.program;
+        List.iter
+          (fun f ->
+            let cfg = Dift_isa.Cfg.build f in
+            Fmt.pr "%a@." Dift_isa.Cfg.pp cfg)
+          (Dift_isa.Program.functions w.Workload.program);
+        0
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Disassemble a kernel and print its CFGs.")
+    Term.(const run $ name_arg "KERNEL")
+
+let main =
+  let doc = "dynamic information flow tracking playground" in
+  Cmd.group (Cmd.info "diftc" ~doc)
+    [ list_cmd; run_cmd; trace_cmd; taint_cmd; slice_cmd; attack_cmd;
+      lineage_cmd; profile_cmd; reduce_cmd; avoid_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,61 @@
+(* Regenerate the paper's experiment tables.
+
+   `experiments` runs everything at full scale; `experiments e4 e7`
+   runs a subset; `--quick` uses the reduced sizes the test suite
+   uses. *)
+
+open Cmdliner
+
+let ids_arg =
+  let doc =
+    "Experiments to run (e1..e10).  Runs all of them when omitted."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc = "Run at reduced scale (faster, noisier)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let list_arg =
+  let doc = "List the available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let run ids quick list_only =
+  let scale =
+    if quick then Dift_experiments.All.Quick else Dift_experiments.All.Full
+  in
+  if list_only then begin
+    List.iter
+      (fun (e : Dift_experiments.All.experiment) ->
+        Fmt.pr "%-4s %s@." e.Dift_experiments.All.id
+          e.Dift_experiments.All.description)
+      Dift_experiments.All.experiments;
+    0
+  end
+  else begin
+    let ids =
+      match ids with
+      | [] ->
+          List.map
+            (fun (e : Dift_experiments.All.experiment) ->
+              e.Dift_experiments.All.id)
+            Dift_experiments.All.experiments
+      | ids -> ids
+    in
+    try
+      List.iter
+        (fun id ->
+          Dift_experiments.All.run_and_print ~scale Fmt.stdout id)
+        ids;
+      0
+    with Invalid_argument msg ->
+      Fmt.epr "error: %s@." msg;
+      1
+  end
+
+let cmd =
+  let doc = "regenerate the DIFT paper's experiment tables" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const run $ ids_arg $ quick_arg $ list_arg)
+
+let () = exit (Cmd.eval' cmd)

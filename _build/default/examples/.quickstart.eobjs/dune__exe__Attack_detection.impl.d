@@ -1,0 +1,1 @@
+examples/attack_detection.ml: Detector Dift_attack Dift_core Dift_vm Dift_workloads Event Fmt List Machine Vulnerable

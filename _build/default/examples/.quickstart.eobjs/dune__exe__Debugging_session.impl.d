@@ -1,0 +1,1 @@
+examples/debugging_session.ml: Buggy Dift_faultloc Dift_workloads Fmt List Omission Pred_switch Slice_loc Value_replace

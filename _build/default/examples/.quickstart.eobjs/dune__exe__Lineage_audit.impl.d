@@ -1,0 +1,1 @@
+examples/lineage_audit.ml: Array Dift_lineage Dift_workloads Fmt List Scientific Tracer

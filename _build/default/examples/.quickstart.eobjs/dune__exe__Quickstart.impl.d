@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Dift_core Dift_isa Dift_vm Engine Event Fmt List Machine Ontrac Operand Program Reg Slicing Taint

@@ -1,0 +1,1 @@
+examples/race_hunt.ml: Dift_faultloc Dift_vm Dift_workloads Fmt List Machine Race_detect Splash_like

@@ -1,0 +1,1 @@
+examples/server_reduction.ml: Dift_replay Dift_workloads Fmt Rerun Server_sim

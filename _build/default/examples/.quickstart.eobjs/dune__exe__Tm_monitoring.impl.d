@@ -1,0 +1,1 @@
+examples/tm_monitoring.ml: Dift_tm Dift_workloads Fmt List Splash_like Stm_exec

@@ -1,0 +1,74 @@
+(* A debugging session with the fault-location suite: take a program
+   with an execution-omission bug, watch the plain slice miss it, and
+   let predicate switching + implicit dependences find it.
+
+     dune exec examples/debugging_session.exe *)
+
+open Dift_workloads
+open Dift_faultloc
+
+let () =
+  let case = Buggy.omission_guard in
+  Fmt.pr "bug:    %s — %s@." case.Buggy.name case.Buggy.description;
+  let fname, fpc = case.Buggy.faulty_site in
+  Fmt.pr "truth:  the injected fault is at %s:%d@.@." fname fpc;
+
+  (* 1. Plain dynamic slicing from the failure. *)
+  let slice =
+    Slice_loc.run case.Buggy.program ~input:case.Buggy.failing_input
+      ~faulty_site:case.Buggy.faulty_site
+  in
+  Fmt.pr "slicing: %d sites in the backward slice; faulty site included: %b@."
+    slice.Slice_loc.slice_sites slice.Slice_loc.faulty_site_in_slice;
+  if not slice.Slice_loc.faulty_site_in_slice then
+    Fmt.pr
+      "         (an omission error: the failure never *used* a value the \
+       faulty statement produced)@.";
+
+  (* 2. Predicate switching: find a branch instance whose inversion
+     makes the failing run pass. *)
+  let ps =
+    Pred_switch.search case.Buggy.program ~input:case.Buggy.failing_input
+  in
+  (match ps.Pred_switch.critical with
+  | Some crit ->
+      let cf, cpc = crit.Pred_switch.site in
+      Fmt.pr
+        "@.predicate switching: flipping step %d (%s:%d) makes the run \
+         pass, found after %d re-executions@."
+        crit.Pred_switch.step cf cpc crit.Pred_switch.attempts
+  | None -> Fmt.pr "@.predicate switching: no critical predicate found@.");
+
+  (* 3. Implicit dependences: verify the omission and augment the
+     slice so it captures the fault. *)
+  let om =
+    Omission.run case.Buggy.program ~input:case.Buggy.failing_input
+      ~faulty_site:case.Buggy.faulty_site
+  in
+  (match om.Omission.verified_predicate with
+  | Some (step, (vf, vpc)) ->
+      Fmt.pr
+        "@.implicit dependence verified through the predicate at %s:%d \
+         (dynamic step %d), %d verification run(s)@."
+        vf vpc step om.Omission.verifications
+  | None -> Fmt.pr "@.no implicit dependence verified@.");
+  Fmt.pr
+    "augmented slice: %d sites; faulty site captured: %b (plain slice had \
+     it: %b)@."
+    om.Omission.augmented_slice_sites om.Omission.augmented_slice_has_fault
+    om.Omission.plain_slice_has_fault;
+
+  (* 4. Value replacement, for a dependence-free second opinion. *)
+  let vr =
+    Value_replace.run case.Buggy.program ~input:case.Buggy.failing_input
+      ~faulty_site:case.Buggy.faulty_site
+  in
+  Fmt.pr "@.value replacement: %d interesting site(s) in %d attempts@."
+    (List.length vr.Value_replace.ranking)
+    vr.Value_replace.attempts;
+  List.iteri
+    (fun i (r : Value_replace.ranked) ->
+      let f, pc = r.Value_replace.site in
+      Fmt.pr "  #%d %s:%d (value -> %d makes the run pass)@." (i + 1) f pc
+        r.Value_replace.replacement)
+    vr.Value_replace.ranking

@@ -1,0 +1,41 @@
+(* Data-validation by lineage tracing: run a scientific pipeline and
+   report, for each output record, exactly which input records it was
+   computed from — then flag outputs whose lineage contains a
+   known-bad input (the paper's wet-bench false-positive scenario).
+
+     dune exec examples/lineage_audit.exe *)
+
+open Dift_workloads
+open Dift_lineage
+
+let () =
+  let pl = Scientific.moving_avg in
+  let size = 12 and seed = 7 in
+  Fmt.pr "pipeline: %s — %s@.@." pl.Scientific.name
+    pl.Scientific.description;
+  let r = Tracer.run_robdd pl ~size ~seed in
+  let input = pl.Scientific.input ~size ~seed in
+
+  (* Suppose post-hoc QA finds that the instrument glitched while
+     producing input record 5: every output derived from it is
+     suspect. *)
+  let bad_input = 5 in
+  Fmt.pr "input: %a@." Fmt.(list ~sep:sp int) (Array.to_list input);
+  Fmt.pr "known-bad input record: #%d (value %d)@.@." bad_input
+    input.(bad_input);
+  List.iteri
+    (fun i (value, lineage) ->
+      let suspect = List.mem bad_input lineage in
+      Fmt.pr "output[%d] = %-4d lineage {%a}%s@." i value
+        Fmt.(list ~sep:comma int)
+        lineage
+        (if suspect then "  <- SUSPECT: derived from the bad record"
+         else ""))
+    r.Tracer.outputs;
+  Fmt.pr "@.tracing cost: %.1fx slowdown, %d words of lineage metadata@."
+    (Tracer.slowdown r) r.Tracer.shadow_words_peak;
+
+  (* Cross-check the two representations agree. *)
+  let naive = Tracer.run_naive pl ~size ~seed in
+  Fmt.pr "naive sets agree with roBDD: %b@."
+    (naive.Tracer.outputs = r.Tracer.outputs)

@@ -1,0 +1,1 @@
+lib/attack/detector.ml: Dift_core Dift_isa Dift_vm Dift_workloads Engine Event Fmt List Machine Policy Taint

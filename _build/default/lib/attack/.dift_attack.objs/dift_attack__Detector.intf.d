@@ -1,0 +1,1 @@
+lib/attack/detector.mli: Dift_core Dift_isa Dift_vm Dift_workloads Event Fmt Machine Policy Program Taint

@@ -1,0 +1,57 @@
+(** Software-attack detection with PC taint (paper §3.3).
+
+    The detector runs the program under the PC-taint DIFT engine.
+    When input-derived data reaches an indirect-call target, the
+    attack is detected, the machine is stopped before the hijacked
+    control flow can act, and the taint tag itself names the most
+    recent instruction that wrote the corrupted location — the
+    candidate root cause of the vulnerability. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+type detection = {
+  at_step : int;
+  at_site : string * int;  (** where the attack was caught *)
+  root_cause : Taint.site option;
+      (** from the PC taint: the unchecked write enabling the
+          exploit *)
+}
+
+type result = {
+  outcome : Event.outcome;
+  detection : detection option;
+  output : int list;
+  hijack_succeeded : bool;
+      (** did control ever reach attacker code? *)
+}
+
+(** The output word [evil] emits, marking a successful hijack. *)
+val evil_marker : int
+
+(** Run under protection.  The default policy is value (data-only)
+    taint at control-transfer sinks: it flags code pointers whose
+    value came from the input and stays silent on benign table
+    dispatch; pass {!Policy.security} to also catch index-driven
+    hijacks (at a false-positive cost). *)
+val protect :
+  ?policy:Policy.t ->
+  ?config:Machine.config ->
+  Program.t ->
+  input:int array ->
+  result
+
+(** Evaluation row for one vulnerable case: benign input must pass
+    silently; the attack must be detected before the hijack, with the
+    root cause named correctly. *)
+type eval_row = {
+  name : string;
+  benign_clean : bool;
+  attack_detected : bool;
+  hijack_prevented : bool;
+  root_cause_correct : bool;
+}
+
+val evaluate : Dift_workloads.Vulnerable.case -> eval_row
+val pp_eval : eval_row Fmt.t

@@ -1,0 +1,1 @@
+lib/avoidance/env_patch.ml: Dift_vm Fmt List Machine String

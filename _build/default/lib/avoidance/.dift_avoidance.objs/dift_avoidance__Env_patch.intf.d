@@ -1,0 +1,1 @@
+lib/avoidance/env_patch.mli: Dift_vm Machine

@@ -1,0 +1,1 @@
+lib/avoidance/framework.ml: Dift_replay Dift_vm Env_patch Event List Machine Option Reduction Request_log

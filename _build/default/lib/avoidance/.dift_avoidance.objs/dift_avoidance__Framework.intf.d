@@ -1,0 +1,1 @@
+lib/avoidance/framework.mli: Dift_isa Dift_vm Env_patch Event Machine Program

@@ -1,0 +1,75 @@
+(** Environment patches (paper §3.2).
+
+    An environment fault is avoided by modifying the execution
+    environment, not the program: different scheduling decisions for an
+    atomicity violation, padded allocations for a heap buffer overflow,
+    or a neutralised input for a malformed user request.  The chosen
+    fix is recorded as an environment patch; all future executions
+    consult the patch (its application is piggybacked on the logging
+    that is running anyway, so the steady-state overhead stays at
+    checkpointing/logging level). *)
+
+open Dift_vm
+
+type t =
+  | Reschedule of { seed : int; quantum_min : int; quantum_max : int }
+      (** alter scheduling decisions (atomicity violations) *)
+  | Pad_heap of int  (** pad every allocation by n words *)
+  | Neutralize_input of (int * int) list
+      (** overwrite input words (malformed request) *)
+
+let to_string = function
+  | Reschedule { seed; quantum_min; quantum_max } ->
+      Fmt.str "reschedule seed=%d quantum=%d..%d" seed quantum_min
+        quantum_max
+  | Pad_heap n -> Fmt.str "pad-heap %d" n
+  | Neutralize_input ovs ->
+      Fmt.str "neutralize-input %a"
+        Fmt.(list ~sep:comma (pair ~sep:(any ":") int int))
+        ovs
+
+(** Serialise a patch to the one-line "environment patch file" format. *)
+let serialize = function
+  | Reschedule { seed; quantum_min; quantum_max } ->
+      Fmt.str "reschedule %d %d %d" seed quantum_min quantum_max
+  | Pad_heap n -> Fmt.str "pad-heap %d" n
+  | Neutralize_input ovs ->
+      "neutralize-input "
+      ^ String.concat " "
+          (List.map (fun (i, v) -> Fmt.str "%d=%d" i v) ovs)
+
+let parse line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "reschedule"; s; qmin; qmax ] -> (
+      try
+        Some
+          (Reschedule
+             {
+               seed = int_of_string s;
+               quantum_min = int_of_string qmin;
+               quantum_max = int_of_string qmax;
+             })
+      with Failure _ -> None)
+  | [ "pad-heap"; n ] -> (
+      try Some (Pad_heap (int_of_string n)) with Failure _ -> None)
+  | "neutralize-input" :: rest -> (
+      try
+        Some
+          (Neutralize_input
+             (List.map
+                (fun kv ->
+                  match String.split_on_char '=' kv with
+                  | [ i; v ] -> (int_of_string i, int_of_string v)
+                  | _ -> failwith "bad pair")
+                rest))
+      with Failure _ -> None)
+  | _ -> None
+
+(** Apply a patch to a machine configuration. *)
+let apply patch (config : Machine.config) =
+  match patch with
+  | Reschedule { seed; quantum_min; quantum_max } ->
+      { config with seed; quantum_min; quantum_max; schedule = None }
+  | Pad_heap n -> { config with heap_padding = config.heap_padding + n }
+  | Neutralize_input ovs ->
+      { config with input_override = config.input_override @ ovs }

@@ -1,0 +1,29 @@
+(** Environment patches (paper §3.2).
+
+    An environment fault is avoided by modifying the execution
+    environment, not the program: different scheduling decisions for
+    an atomicity violation or deadlock, padded allocations for a heap
+    buffer overflow, or a neutralised input for a malformed user
+    request.  The chosen fix is recorded as an environment patch; all
+    future executions consult the patch. *)
+
+open Dift_vm
+
+type t =
+  | Reschedule of { seed : int; quantum_min : int; quantum_max : int }
+      (** alter scheduling decisions (atomicity violations,
+          deadlocks) *)
+  | Pad_heap of int  (** pad every allocation by n words *)
+  | Neutralize_input of (int * int) list
+      (** overwrite input words (malformed request) *)
+
+val to_string : t -> string
+
+(** Serialise to the one-line "environment patch file" format. *)
+val serialize : t -> string
+
+(** Parse a patch file line; [None] on malformed input. *)
+val parse : string -> t option
+
+(** Apply a patch to a machine configuration. *)
+val apply : t -> Machine.config -> Machine.config

@@ -1,0 +1,150 @@
+(** The fault capture / recovery / prevention framework (paper §3.2).
+
+    Under normal operation the program runs with lightweight logging.
+    When an execution faults, the framework searches candidate
+    environment modifications, replaying the execution under each until
+    the fault disappears; the first successful modification becomes the
+    environment patch for all future runs.  Candidates are ordered by
+    the fault's likely class: scheduling changes for concurrency
+    faults, heap padding for memory faults, and input neutralisation
+    for malformed requests (with the execution-reduction analysis
+    pointing at the requests worth neutralising). *)
+
+open Dift_vm
+open Dift_replay
+
+type attempt = { patch : Env_patch.t; avoided : bool }
+
+type report = {
+  original_fault : Event.fault option;
+  attempts : attempt list;
+  fix : Env_patch.t option;
+  rerun_ok : bool;  (** a fresh run with the patch applied passes *)
+  patch_file : string option;  (** serialized patch, as persisted *)
+}
+
+let passes = function
+  | Event.Halted -> true
+  | Event.Faulted _ | Event.Deadlocked | Event.Out_of_steps
+  | Event.Stopped _ ->
+      false
+
+(* Default candidate generators per fault class. *)
+let scheduling_candidates (config : Machine.config) =
+  [
+    (* serialise aggressively: long quanta make interleavings coarse *)
+    Env_patch.Reschedule
+      {
+        seed = config.seed;
+        quantum_min = 10_000;
+        quantum_max = 20_000;
+      };
+    Env_patch.Reschedule
+      {
+        seed = config.seed + 1;
+        quantum_min = config.quantum_min;
+        quantum_max = config.quantum_max;
+      };
+    Env_patch.Reschedule
+      {
+        seed = config.seed + 2;
+        quantum_min = config.quantum_min;
+        quantum_max = config.quantum_max;
+      };
+  ]
+
+let heap_candidates = [ Env_patch.Pad_heap 4; Env_patch.Pad_heap 16 ]
+
+(* For request-structured programs: neutralise the requests the
+   reduction analysis finds relevant to the failure, oldest first —
+   the corruption's origin is upstream, and neutralising the victim
+   request would only mask the failure.  [request_input_index] maps a
+   request id to the input word holding its opcode. *)
+let input_candidates log ~request_input_index =
+  match Reduction.analyse log with
+  | None -> []
+  | Some plan ->
+      List.map
+        (fun (r : Request_log.request) ->
+          Env_patch.Neutralize_input
+            [ (request_input_index r.Request_log.req_id, 0) ])
+        plan.Reduction.relevant
+
+let default_candidates ?log ?request_input_index config fault =
+  let from_inputs =
+    match log, request_input_index with
+    | Some log, Some f -> input_candidates log ~request_input_index:f
+    | _ -> []
+  in
+  match (fault : Event.fault option) with
+  | Some { kind = Event.Out_of_bounds _; _ }
+  | Some { kind = Event.Invalid_free _; _ } ->
+      heap_candidates @ from_inputs @ scheduling_candidates config
+  | Some { kind = Event.Check_failed; _ } ->
+      (* could be concurrency or input-driven: try both *)
+      scheduling_candidates config @ from_inputs @ heap_candidates
+  | Some { kind = Event.Div_by_zero; _ }
+  | Some { kind = Event.Invalid_icall _; _ } ->
+      from_inputs @ heap_candidates @ scheduling_candidates config
+  | None -> scheduling_candidates config @ heap_candidates @ from_inputs
+
+(** Run the program; on failure, search the candidate patches (each
+    candidate costs one replayed execution) and validate the chosen
+    patch on a fresh run. *)
+let avoid ?(config = Machine.default_config) ?candidates ?request_input_index
+    program ~input =
+  (* the logged production run *)
+  let m = Machine.create ~config program ~input in
+  let log = Request_log.create () in
+  Request_log.attach log m;
+  let outcome = Machine.run m in
+  let deadlocked = outcome = Event.Deadlocked in
+  if passes outcome then
+    {
+      original_fault = None;
+      attempts = [];
+      fix = None;
+      rerun_ok = true;
+      patch_file = None;
+    }
+  else begin
+    let fault = Request_log.fault log in
+    let cands =
+      match candidates with
+      | Some cs -> cs
+      | None ->
+          if deadlocked then
+            (* a deadlock is a scheduling phenomenon: rescheduling
+               candidates only *)
+            scheduling_candidates config
+          else default_candidates ~log ?request_input_index config fault
+    in
+    let attempts = ref [] in
+    let fix = ref None in
+    List.iter
+      (fun patch ->
+        if !fix = None then begin
+          let config' = Env_patch.apply patch config in
+          let m' = Machine.create ~config:config' program ~input in
+          let ok = passes (Machine.run m') in
+          attempts := { patch; avoided = ok } :: !attempts;
+          if ok then fix := Some patch
+        end)
+      cands;
+    let rerun_ok =
+      match !fix with
+      | None -> false
+      | Some patch ->
+          (* the "future execution": fresh run consulting the patch *)
+          let config' = Env_patch.apply patch config in
+          let m' = Machine.create ~config:config' program ~input in
+          passes (Machine.run m')
+    in
+    {
+      original_fault = fault;
+      attempts = List.rev !attempts;
+      fix = !fix;
+      rerun_ok;
+      patch_file = Option.map Env_patch.serialize !fix;
+    }
+  end

@@ -1,0 +1,36 @@
+(** The fault capture / recovery / prevention framework (paper §3.2).
+
+    Under normal operation the program runs with lightweight logging.
+    When an execution fails, the framework searches candidate
+    environment modifications, replaying the execution under each
+    until the failure disappears; the first successful modification
+    becomes the environment patch for all future runs.  Candidates are
+    ordered by the fault's likely class, and for request-structured
+    programs the execution-reduction analysis points at the requests
+    worth neutralising. *)
+
+open Dift_isa
+open Dift_vm
+
+type attempt = { patch : Env_patch.t; avoided : bool }
+
+type report = {
+  original_fault : Event.fault option;
+  attempts : attempt list;
+  fix : Env_patch.t option;
+  rerun_ok : bool;  (** a fresh run with the patch applied passes *)
+  patch_file : string option;  (** serialized patch, as persisted *)
+}
+
+(** Run the program; on failure (fault or deadlock), search the
+    candidate patches (each candidate costs one replayed execution)
+    and validate the chosen patch on a fresh run.
+    [request_input_index] maps a request id to the input word holding
+    its opcode, enabling input-neutralisation candidates. *)
+val avoid :
+  ?config:Machine.config ->
+  ?candidates:Env_patch.t list ->
+  ?request_input_index:(int -> int) ->
+  Program.t ->
+  input:int array ->
+  report

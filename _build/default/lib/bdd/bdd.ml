@@ -1,0 +1,275 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    Used to represent lineage sets compactly (paper §3.4, after Zhang
+    et al., VLDB'07): a set of input indices is the characteristic
+    function of the binary encoding of the indices.  Because lineage
+    sets overlap heavily and cluster on neighbouring indices, the
+    shared sub-DAGs make the roBDD representation dramatically smaller
+    than explicit sets.
+
+    Nodes are hash-consed in a global table, so structural equality is
+    pointer equality and the memory cost of a family of sets is the
+    number of *unique* nodes, which is exactly what the lineage memory
+    accounting measures. *)
+
+type t =
+  | Zero
+  | One
+  | Node of { id : int; var : int; lo : t; hi : t }
+
+let id = function Zero -> 0 | One -> 1 | Node { id; _ } -> id
+
+(* Hash-consing table: (var, lo_id, hi_id) -> node. *)
+module Key = struct
+  type t = int * int * int
+
+  let equal (a, b, c) (x, y, z) = a = x && b = y && c = z
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type manager = {
+  unique : t Tbl.t;
+  mutable next_id : int;
+  (* memoisation caches for the binary operations *)
+  and_cache : (int * int, t) Hashtbl.t;
+  or_cache : (int * int, t) Hashtbl.t;
+  diff_cache : (int * int, t) Hashtbl.t;
+  mutable op_nodes_visited : int;
+      (** cumulative unique nodes visited by operations — the cost
+          measure the cycle model charges for *)
+}
+
+let manager () =
+  {
+    unique = Tbl.create 4096;
+    next_id = 2;
+    and_cache = Hashtbl.create 4096;
+    or_cache = Hashtbl.create 4096;
+    diff_cache = Hashtbl.create 4096;
+    op_nodes_visited = 0;
+  }
+
+(** Unique (hash-consed) node constructor with the reduction rule. *)
+let mk man v lo hi =
+  if lo == hi then lo
+  else begin
+    let key = (v, id lo, id hi) in
+    match Tbl.find_opt man.unique key with
+    | Some n -> n
+    | None ->
+        let n = Node { id = man.next_id; var = v; lo; hi } in
+        man.next_id <- man.next_id + 1;
+        Tbl.replace man.unique key n;
+        n
+  end
+
+let zero = Zero
+let one = One
+
+(** Number of live unique nodes ever created (size of the unique
+    table). *)
+let unique_nodes man = Tbl.length man.unique
+
+let op_nodes_visited man = man.op_nodes_visited
+let reset_op_counter man = man.op_nodes_visited <- 0
+
+(* -- set encoding --------------------------------------------------------- *)
+
+(** Number of bits used to encode element indices (8K distinct
+    elements).  Shallow encodings matter: every set pays the full path
+    depth, so excess bits linearly inflate the node count and wash out
+    the sharing the representation exists for. *)
+let bits = 13
+
+(** The BDD containing exactly the element [x] (variables test bits
+    from most significant, so neighbouring indices share long
+    prefixes — the clustering the paper exploits). *)
+let singleton man x =
+  if x < 0 || x >= 1 lsl bits then invalid_arg "Bdd.singleton: out of range";
+  let rec build v =
+    if v = bits then One
+    else
+      let bit = (x lsr (bits - 1 - v)) land 1 in
+      let sub = build (v + 1) in
+      if bit = 1 then mk man v Zero sub else mk man v sub Zero
+  in
+  build 0
+
+let rec union man a b =
+  man.op_nodes_visited <- man.op_nodes_visited + 1;
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, x | x, Zero -> x
+  | Node na, Node nb ->
+      if a == b then a
+      else begin
+        let key = (min na.id nb.id, max na.id nb.id) in
+        match Hashtbl.find_opt man.or_cache key with
+        | Some r -> r
+        | None ->
+            let v = min na.var nb.var in
+            let alo, ahi = if na.var = v then na.lo, na.hi else a, a in
+            let blo, bhi = if nb.var = v then nb.lo, nb.hi else b, b in
+            let r = mk man v (union man alo blo) (union man ahi bhi) in
+            Hashtbl.replace man.or_cache key r;
+            r
+      end
+
+let rec inter man a b =
+  man.op_nodes_visited <- man.op_nodes_visited + 1;
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, x | x, One -> x
+  | Node na, Node nb ->
+      if a == b then a
+      else begin
+        let key = (min na.id nb.id, max na.id nb.id) in
+        match Hashtbl.find_opt man.and_cache key with
+        | Some r -> r
+        | None ->
+            let v = min na.var nb.var in
+            let alo, ahi = if na.var = v then na.lo, na.hi else a, a in
+            let blo, bhi = if nb.var = v then nb.lo, nb.hi else b, b in
+            let r = mk man v (inter man alo blo) (inter man ahi bhi) in
+            Hashtbl.replace man.and_cache key r;
+            r
+      end
+
+let rec diff man a b =
+  man.op_nodes_visited <- man.op_nodes_visited + 1;
+  match a, b with
+  | Zero, _ -> Zero
+  | x, Zero -> x
+  | _, One -> Zero
+  | One, Node nb ->
+      (* complements of partial cubes appear only transiently; expand
+         One as a full node over b's variable *)
+      mk man nb.var (diff man One nb.lo) (diff man One nb.hi)
+  | Node na, Node nb ->
+      if a == b then Zero
+      else begin
+        let key = (na.id, nb.id) in
+        match Hashtbl.find_opt man.diff_cache key with
+        | Some r -> r
+        | None ->
+            let v = min na.var nb.var in
+            let alo, ahi = if na.var = v then na.lo, na.hi else a, a in
+            let blo, bhi = if nb.var = v then nb.lo, nb.hi else b, b in
+            let r = mk man v (diff man alo blo) (diff man ahi bhi) in
+            Hashtbl.replace man.diff_cache key r;
+            r
+      end
+
+(** Structural equality is physical equality thanks to hash-consing. *)
+let equal (a : t) (b : t) = a == b
+
+let is_empty t = t == Zero
+
+(** Membership test: walk the path of [x]'s bits. *)
+let mem x t =
+  let rec go v t =
+    match t with
+    | Zero -> false
+    | One -> true
+    | Node n ->
+        if n.var > v then go (v + 1) t
+        else
+          let bit = (x lsr (bits - 1 - v)) land 1 in
+          go (v + 1) (if bit = 1 then n.hi else n.lo)
+  in
+  if x < 0 || x >= 1 lsl bits then false else go 0 t
+
+(** Cardinality of the encoded set. *)
+let cardinal t =
+  let memo = Hashtbl.create 64 in
+  let rec count v t =
+    match t with
+    | Zero -> 0
+    | One -> 1 lsl (bits - v)
+    | Node n -> (
+        let key = (v, n.id) in
+        match Hashtbl.find_opt memo key with
+        | Some c -> c
+        | None ->
+            let c =
+              if n.var > v then 2 * count (v + 1) t
+              else count (v + 1) n.lo + count (v + 1) n.hi
+            in
+            Hashtbl.replace memo key c;
+            c)
+  in
+  count 0 t
+
+(** Enumerate the elements (ascending). *)
+let elements t =
+  let acc = ref [] in
+  let rec go v prefix t =
+    match t with
+    | Zero -> ()
+    | One ->
+        if v = bits then acc := prefix :: !acc
+        else begin
+          (* all completions — should not occur for set encodings
+             built from singletons, but handle it totally *)
+          go (v + 1) (prefix lsl 1) t;
+          go (v + 1) ((prefix lsl 1) lor 1) t
+        end
+    | Node n ->
+        if n.var > v then begin
+          go (v + 1) (prefix * 2) t;
+          go (v + 1) ((prefix * 2) + 1) t
+        end
+        else begin
+          go (v + 1) (prefix * 2) n.lo;
+          go (v + 1) ((prefix * 2) + 1) n.hi
+        end
+  in
+  (* prefix accumulates bits most-significant first; at One with v =
+     bits the prefix is the element *)
+  go 0 0 t;
+  List.sort compare !acc
+
+(** Number of unique nodes reachable from [t] — the memory footprint
+    of this particular set (shared nodes counted once here; across a
+    family use {!unique_nodes} on the manager). *)
+let node_count t =
+  let seen = Hashtbl.create 64 in
+  let rec go t =
+    match t with
+    | Zero | One -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.replace seen n.id ();
+          go n.lo;
+          go n.hi
+        end
+  in
+  go t;
+  Hashtbl.length seen
+
+(** Unique nodes reachable from any set in the family — the live
+    memory footprint of a collection of lineage sets, counting shared
+    structure once.  (The manager's unique table also retains dead
+    intermediates, so {!unique_nodes} overstates live memory.) *)
+let family_node_count ts =
+  let seen = Hashtbl.create 256 in
+  let rec go t =
+    match t with
+    | Zero | One -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.replace seen n.id ();
+          go n.lo;
+          go n.hi
+        end
+  in
+  List.iter go ts;
+  Hashtbl.length seen
+
+let of_list man xs =
+  List.fold_left (fun acc x -> union man acc (singleton man x)) Zero xs
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (elements t)

@@ -1,0 +1,65 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    Used to represent lineage sets compactly (paper §3.4, after Zhang
+    et al., VLDB'07): a set of input indices is the characteristic
+    function of the binary encoding of the indices.  Because lineage
+    sets overlap heavily and cluster on neighbouring indices, the
+    shared sub-DAGs make the roBDD representation dramatically smaller
+    than explicit sets.
+
+    Nodes are hash-consed per {!manager}, so structural equality is
+    pointer equality and the memory cost of a family of sets is the
+    number of unique nodes. *)
+
+type t
+
+type manager
+
+val manager : unit -> manager
+
+val zero : t
+val one : t
+
+(** Number of unique nodes ever created in the manager's table
+    (including dead intermediates; see {!family_node_count} for live
+    accounting). *)
+val unique_nodes : manager -> int
+
+(** Cumulative unique nodes visited by set operations — the cost
+    measure the cycle model charges for. *)
+val op_nodes_visited : manager -> int
+
+val reset_op_counter : manager -> unit
+
+(** Number of bits in the element encoding (elements range over
+    [0, 2^bits)). *)
+val bits : int
+
+(** The set containing exactly one element.
+    @raise Invalid_argument out of range. *)
+val singleton : manager -> int -> t
+
+val union : manager -> t -> t -> t
+val inter : manager -> t -> t -> t
+val diff : manager -> t -> t -> t
+
+(** Structural equality is physical equality thanks to hash-consing. *)
+val equal : t -> t -> bool
+
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val cardinal : t -> int
+
+(** Elements in ascending order. *)
+val elements : t -> int list
+
+(** Unique nodes reachable from this set. *)
+val node_count : t -> int
+
+(** Unique nodes reachable from any set in the family — the live
+    memory footprint of a collection of lineage sets, counting shared
+    structure once. *)
+val family_node_count : t list -> int
+
+val of_list : manager -> int list -> t
+val pp : t Fmt.t

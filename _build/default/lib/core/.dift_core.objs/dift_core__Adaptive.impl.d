@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Cfg Dift_isa Dift_vm Event Fmt Func Hashtbl Instr List Machine Program Static_info Tool

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Dift_isa Dift_vm Fmt Machine

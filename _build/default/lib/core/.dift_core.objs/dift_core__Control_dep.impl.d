@@ -1,0 +1,1 @@
+lib/core/control_dep.ml: Dift_isa Dift_vm Event Func Hashtbl Instr List Static_info

@@ -1,0 +1,1 @@
+lib/core/control_dep.mli: Dift_vm Static_info

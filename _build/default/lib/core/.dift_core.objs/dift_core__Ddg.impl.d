@@ -1,0 +1,1 @@
+lib/core/ddg.ml: Dep Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/ddg.mli: Dep Fmt Hashtbl

@@ -1,0 +1,1 @@
+lib/core/ddg_io.ml: Array Buffer Ddg Dep Encoding Hashtbl List String

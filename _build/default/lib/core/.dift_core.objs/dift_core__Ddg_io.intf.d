@@ -1,0 +1,1 @@
+lib/core/ddg_io.mli: Ddg

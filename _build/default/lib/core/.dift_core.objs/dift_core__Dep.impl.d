@@ -1,0 +1,1 @@
+lib/core/dep.ml: Fmt

@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Buffer Char Dep List String

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Cost Dift_isa Dift_vm Event Fmt Func Hashtbl Instr List Loc Machine Operand Policy Shadow Static_info Taint Tool

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Dift_isa Dift_vm Event Fmt Loc Machine Policy Program Shadow Taint

@@ -1,0 +1,1 @@
+lib/core/offline.ml: Control_dep Cost Ddg Dep Dift_isa Dift_vm Encoding Event Func Instr List Loc Machine Static_info Tool

@@ -1,0 +1,1 @@
+lib/core/offline.mli: Ddg Dift_isa Dift_vm Machine Program

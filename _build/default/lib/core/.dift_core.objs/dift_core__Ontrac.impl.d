@@ -1,0 +1,1 @@
+lib/core/ontrac.ml: Control_dep Cost Ddg Dep Dift_isa Dift_vm Encoding Event Fmt Func Hashtbl Instr List Loc Machine Option Reg Static_info Tool Trace_buffer

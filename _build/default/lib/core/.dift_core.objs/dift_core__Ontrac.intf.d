@@ -1,0 +1,1 @@
+lib/core/ontrac.mli: Ddg Dift_isa Dift_vm Event Fmt Machine Program Trace_buffer

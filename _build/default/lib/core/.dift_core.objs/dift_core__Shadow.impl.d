@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Dift_vm Loc Taint

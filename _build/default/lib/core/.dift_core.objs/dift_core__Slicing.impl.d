@@ -1,0 +1,1 @@
+lib/core/slicing.ml: Ddg Dep Fmt Hashtbl Int List Option Set Stack

@@ -1,0 +1,1 @@
+lib/core/slicing.mli: Ddg Dep Fmt

@@ -1,0 +1,1 @@
+lib/core/static_info.ml: Cfg Dift_isa Func Hashtbl Instr Postdom Program Reg

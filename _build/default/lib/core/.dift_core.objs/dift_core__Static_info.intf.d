@@ -1,0 +1,1 @@
+lib/core/static_info.mli: Cfg Dift_isa Postdom Program Reg

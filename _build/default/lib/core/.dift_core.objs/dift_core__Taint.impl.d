@@ -1,0 +1,1 @@
+lib/core/taint.ml: Bool Fmt Int Set

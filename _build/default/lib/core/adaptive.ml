@@ -1,0 +1,213 @@
+(** Adaptive-optimization profiling (paper §4, work in progress: "we
+    also plan to explore its use in performing adaptive
+    optimizations").
+
+    The same event stream that feeds dependence tracking is enough to
+    drive an adaptive optimizer.  This tool aggregates, online:
+
+    - block and edge heat, from which it forms {e trace candidates}
+      (superblocks: greedy hottest-successor chains from hot heads,
+      the layout/inlining unit of a trace-based JIT);
+    - {e branch bias} (strongly one-sided branches are if-conversion
+      and trace-layout candidates);
+    - {e invariant loads} (a load site that always produced the same
+      value from the same address can be specialised to a constant
+      guarded by a cheap check);
+    - {e monomorphic indirect calls} (a single observed target allows
+      devirtualisation with a guard).
+
+    The result is a ranked list of optimization suggestions — the
+    artefact an adaptive runtime would act on. *)
+
+open Dift_isa
+open Dift_vm
+
+type suggestion =
+  | Form_trace of { fname : string; blocks : int list; heat : int }
+      (** lay out / specialise this hot block chain as a unit *)
+  | If_convert of { fname : string; pc : int; bias : float; executions : int }
+      (** branch is ≥ [bias]-biased; predicate or reorder it *)
+  | Cache_load of { fname : string; pc : int; value : int; executions : int }
+      (** load site always yielded [value]; specialise with a guard *)
+  | Devirtualize of { fname : string; pc : int; target : string;
+                      executions : int }
+      (** indirect call always reached [target] *)
+
+type t = {
+  static : Static_info.t;
+  block_heat : (string * int, int) Hashtbl.t;
+  edge_heat : (string * int * int, int) Hashtbl.t;
+  prev_block : (int, string * int) Hashtbl.t;  (** per tid *)
+  branch_taken : (string * int, int * int) Hashtbl.t;
+      (** site -> (taken, not taken) *)
+  load_values : (string * int, [ `One of int * int | `Many of int ])
+      Hashtbl.t
+      (** site -> unique value so far (with count), or poly with count *)
+  ;
+  icall_targets : (string * int, [ `One of string * int | `Many of int ])
+      Hashtbl.t;
+  mutable events : int;
+}
+
+let create program =
+  {
+    static = Static_info.create program;
+    block_heat = Hashtbl.create 256;
+    edge_heat = Hashtbl.create 256;
+    prev_block = Hashtbl.create 8;
+    branch_taken = Hashtbl.create 64;
+    load_values = Hashtbl.create 256;
+    icall_targets = Hashtbl.create 16;
+    events = 0;
+  }
+
+let bump tbl key =
+  Hashtbl.replace tbl key
+    (1 + match Hashtbl.find_opt tbl key with Some c -> c | None -> 0)
+
+let on_exec t (e : Event.exec) =
+  t.events <- t.events + 1;
+  let fname = e.Event.func.Func.name in
+  let block = Static_info.block_of t.static fname e.Event.pc in
+  let first, _ = Static_info.cfg t.static fname |> fun cfg ->
+    Cfg.block_range cfg block
+  in
+  if e.Event.pc = first then begin
+    bump t.block_heat (fname, block);
+    (match Hashtbl.find_opt t.prev_block e.Event.tid with
+    | Some (pf, pb) when pf = fname && pb <> block ->
+        bump t.edge_heat (fname, pb, block)
+    | Some _ | None -> ());
+    Hashtbl.replace t.prev_block e.Event.tid (fname, block)
+  end;
+  match e.Event.instr with
+  | Instr.Br (_, taken_target, _) ->
+      let site = (fname, e.Event.pc) in
+      let tk, nt =
+        match Hashtbl.find_opt t.branch_taken site with
+        | Some c -> c
+        | None -> (0, 0)
+      in
+      let went_taken = e.Event.next_pc = taken_target in
+      Hashtbl.replace t.branch_taken site
+        (if went_taken then (tk + 1, nt) else (tk, nt + 1))
+  | Instr.Load _ ->
+      let site = (fname, e.Event.pc) in
+      Hashtbl.replace t.load_values site
+        (match Hashtbl.find_opt t.load_values site with
+        | None -> `One (e.Event.value, 1)
+        | Some (`One (v, c)) when v = e.Event.value -> `One (v, c + 1)
+        | Some (`One (_, c)) -> `Many (c + 1)
+        | Some (`Many c) -> `Many (c + 1))
+  | Instr.Icall (_, _) ->
+      let site = (fname, e.Event.pc) in
+      let target =
+        match
+          Program.func_of_id (Static_info.program t.static) e.Event.value
+        with
+        | Some f -> f.Func.name
+        | None -> "<invalid>"
+      in
+      Hashtbl.replace t.icall_targets site
+        (match Hashtbl.find_opt t.icall_targets site with
+        | None -> `One (target, 1)
+        | Some (`One (tg, c)) when tg = target -> `One (tg, c + 1)
+        | Some (`One (_, c)) -> `Many (c + 1)
+        | Some (`Many c) -> `Many (c + 1))
+  | _ -> ()
+
+let attach t machine =
+  (* a profiler is cheap sampling infrastructure, not full DBI *)
+  Machine.attach machine
+    (Tool.make ~dispatch_cost:1 ~on_exec:(on_exec t) "adaptive-profile")
+
+(* Greedy superblock formation: starting from each hot head, follow the
+   hottest outgoing edge while it stays hot and unvisited. *)
+let trace_candidates t ~hot_threshold =
+  let used = Hashtbl.create 64 in
+  let heads =
+    Hashtbl.fold
+      (fun (fname, block) heat acc ->
+        if heat >= hot_threshold then ((fname, block), heat) :: acc else acc)
+      t.block_heat []
+    |> List.sort (fun (_, h1) (_, h2) -> compare h2 h1)
+  in
+  List.filter_map
+    (fun ((fname, head), heat) ->
+      if Hashtbl.mem used (fname, head) then None
+      else begin
+        let rec grow acc block =
+          Hashtbl.replace used (fname, block) ();
+          let best =
+            Hashtbl.fold
+              (fun (f, from_b, to_b) h acc ->
+                if f = fname && from_b = block
+                   && (not (Hashtbl.mem used (fname, to_b)))
+                   && h >= hot_threshold
+                then
+                  match acc with
+                  | Some (_, bh) when bh >= h -> acc
+                  | _ -> Some (to_b, h)
+                else acc)
+              t.edge_heat None
+          in
+          match best with
+          | Some (next, _) -> grow (next :: acc) next
+          | None -> List.rev acc
+        in
+        let blocks = grow [ head ] head in
+        if List.length blocks >= 2 then
+          Some (Form_trace { fname; blocks; heat })
+        else None
+      end)
+    heads
+
+let suggestions ?(hot_threshold = 64) ?(bias_threshold = 0.95)
+    ?(min_executions = 32) t =
+  let traces = trace_candidates t ~hot_threshold in
+  let branches =
+    Hashtbl.fold
+      (fun (fname, pc) (tk, nt) acc ->
+        let total = tk + nt in
+        let bias = float_of_int (max tk nt) /. float_of_int (max 1 total) in
+        if total >= min_executions && bias >= bias_threshold then
+          If_convert { fname; pc; bias; executions = total } :: acc
+        else acc)
+      t.branch_taken []
+  in
+  let loads =
+    Hashtbl.fold
+      (fun (fname, pc) v acc ->
+        match v with
+        | `One (value, c) when c >= min_executions ->
+            Cache_load { fname; pc; value; executions = c } :: acc
+        | `One _ | `Many _ -> acc)
+      t.load_values []
+  in
+  let icalls =
+    Hashtbl.fold
+      (fun (fname, pc) v acc ->
+        match v with
+        | `One (target, c) when c >= min_executions ->
+            Devirtualize { fname; pc; target; executions = c } :: acc
+        | `One _ | `Many _ -> acc)
+      t.icall_targets []
+  in
+  traces @ branches @ loads @ icalls
+
+let events t = t.events
+
+let pp_suggestion ppf = function
+  | Form_trace { fname; blocks; heat } ->
+      Fmt.pf ppf "form trace in %s over blocks %a (heat %d)" fname
+        Fmt.(list ~sep:(any "->") int)
+        blocks heat
+  | If_convert { fname; pc; bias; executions } ->
+      Fmt.pf ppf "if-convert %s:%d (%.0f%% biased over %d runs)" fname pc
+        (100. *. bias) executions
+  | Cache_load { fname; pc; value; executions } ->
+      Fmt.pf ppf "cache load %s:%d (always %d over %d runs)" fname pc value
+        executions
+  | Devirtualize { fname; pc; target; executions } ->
+      Fmt.pf ppf "devirtualize %s:%d -> %s (%d runs)" fname pc target
+        executions

@@ -1,0 +1,39 @@
+(** Adaptive-optimization profiling (paper §4, work in progress: "we
+    also plan to explore its use in performing adaptive
+    optimizations").
+
+    Aggregates block/edge heat, branch bias, invariant loads and
+    indirect-call monomorphism from the event stream, and produces a
+    list of optimization suggestions — the artefact an adaptive
+    runtime would act on. *)
+
+open Dift_vm
+
+type suggestion =
+  | Form_trace of { fname : string; blocks : int list; heat : int }
+      (** lay out / specialise this hot block chain as a unit *)
+  | If_convert of { fname : string; pc : int; bias : float;
+                    executions : int }
+      (** branch is ≥ [bias]-biased; predicate or reorder it *)
+  | Cache_load of { fname : string; pc : int; value : int;
+                    executions : int }
+      (** load site always yielded [value]; specialise with a guard *)
+  | Devirtualize of { fname : string; pc : int; target : string;
+                      executions : int }
+      (** indirect call always reached [target] *)
+
+type t
+
+val create : Dift_isa.Program.t -> t
+val attach : t -> Machine.t -> unit
+
+(** Ranked suggestions; thresholds filter noise from cold code. *)
+val suggestions :
+  ?hot_threshold:int ->
+  ?bias_threshold:float ->
+  ?min_executions:int ->
+  t ->
+  suggestion list
+
+val events : t -> int
+val pp_suggestion : suggestion Fmt.t

@@ -1,0 +1,22 @@
+(** Online detection of dynamic control dependence (after Xin & Zhang,
+    ISSTA'07).
+
+    Each thread carries a stack of call frames; each frame carries a
+    stack of open control regions.  Executing a branch opens a region
+    that closes when control reaches the branch's immediate
+    postdominator (or when the same static branch executes again — a
+    loop back edge).  The dynamic control parent of an executed
+    instruction is the branch of the innermost open region, or the
+    call/spawn event that created the frame. *)
+
+type t
+
+val create : Static_info.t -> t
+
+(** Process one event (must be called for every event, in order) and
+    return the step number of the event's dynamic control parent, if
+    any. *)
+val process : t -> Dift_vm.Event.exec -> int option
+
+(** Depth of open control regions for a thread (diagnostics/tests). *)
+val open_regions : t -> int -> int

@@ -1,0 +1,111 @@
+(** The dynamic dependence graph.
+
+    Nodes are dynamic instruction instances, identified by their global
+    step number; edges point from a use to its definitions (and, for
+    WAR/WAW, from a write to the accesses it follows).  The graph
+    supports pruning of nodes older than a window start, which is how
+    the ONTRAC circular buffer's eviction is reflected. *)
+
+type node = {
+  step : int;
+  tid : int;
+  fname : string;
+  pc : int;
+  input_index : int;  (** input word consumed here, or [-1] *)
+  is_output : bool;  (** a [Sys Write] instance *)
+  mutable preds : (Dep.kind * int) list;
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  mutable min_step : int;
+  mutable max_step : int;
+  mutable edge_count : int;
+}
+
+let create () =
+  { nodes = Hashtbl.create 4096; min_step = max_int; max_step = -1;
+    edge_count = 0 }
+
+let add_node t ~step ~tid ~fname ~pc ~input_index ~is_output =
+  if not (Hashtbl.mem t.nodes step) then begin
+    Hashtbl.replace t.nodes step
+      { step; tid; fname; pc; input_index; is_output; preds = [] };
+    if step < t.min_step then t.min_step <- step;
+    if step > t.max_step then t.max_step <- step
+  end
+
+let node t step = Hashtbl.find_opt t.nodes step
+let mem t step = Hashtbl.mem t.nodes step
+
+(** Add a dependence edge; both endpoints must already be nodes
+    (missing endpoints are ignored, matching buffer-eviction
+    semantics). *)
+let add_dep t (d : Dep.t) =
+  match Hashtbl.find_opt t.nodes d.Dep.use_step with
+  | None -> ()
+  | Some n ->
+      if Hashtbl.mem t.nodes d.Dep.def_step then begin
+        n.preds <- (d.Dep.kind, d.Dep.def_step) :: n.preds;
+        t.edge_count <- t.edge_count + 1
+      end
+
+let preds t step =
+  match Hashtbl.find_opt t.nodes step with
+  | Some n -> n.preds
+  | None -> []
+
+let num_nodes t = Hashtbl.length t.nodes
+let num_edges t = t.edge_count
+let max_step t = t.max_step
+
+let iter_nodes f t = Hashtbl.iter (fun _ n -> f n) t.nodes
+
+(** Drop every node (and its out-edges) with step below
+    [window_start]; edges *into* dropped nodes from retained nodes are
+    kept dangling and skipped during traversal. *)
+let prune t ~window_start =
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun step _ -> if step < window_start then doomed := step :: !doomed)
+    t.nodes;
+  List.iter
+    (fun s ->
+      (match Hashtbl.find_opt t.nodes s with
+      | Some n -> t.edge_count <- t.edge_count - List.length n.preds
+      | None -> ());
+      Hashtbl.remove t.nodes s)
+    !doomed;
+  if window_start > t.min_step then t.min_step <- window_start
+
+(** Successor adjacency (use -> def inverted), built on demand for
+    forward traversals. *)
+let successors t =
+  let succ = Hashtbl.create (Hashtbl.length t.nodes) in
+  Hashtbl.iter
+    (fun use n ->
+      List.iter
+        (fun (k, def) ->
+          let cur =
+            match Hashtbl.find_opt succ def with Some l -> l | None -> []
+          in
+          Hashtbl.replace succ def ((k, use) :: cur))
+        n.preds)
+    t.nodes;
+  succ
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>ddg: %d nodes, %d edges@," (num_nodes t) (num_edges t);
+  let steps =
+    Hashtbl.fold (fun s _ acc -> s :: acc) t.nodes [] |> List.sort compare
+  in
+  List.iter
+    (fun s ->
+      match node t s with
+      | None -> ()
+      | Some n ->
+          Fmt.pf ppf "  #%d %s:%d <- %a@," n.step n.fname n.pc
+            Fmt.(list ~sep:sp (pair ~sep:(any ":") Dep.pp_kind int))
+            n.preds)
+    steps;
+  Fmt.pf ppf "@]"

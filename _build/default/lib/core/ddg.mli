@@ -1,0 +1,52 @@
+(** The dynamic dependence graph.
+
+    Nodes are dynamic instruction instances, identified by their
+    global step number; edges point from a use to its definitions.
+    The graph supports pruning of nodes older than a window start,
+    which is how the ONTRAC circular buffer's eviction is reflected. *)
+
+type node = {
+  step : int;
+  tid : int;
+  fname : string;
+  pc : int;
+  input_index : int;  (** input word consumed here, or [-1] *)
+  is_output : bool;  (** a [Sys Write] instance *)
+  mutable preds : (Dep.kind * int) list;
+}
+
+type t
+
+val create : unit -> t
+
+val add_node :
+  t ->
+  step:int ->
+  tid:int ->
+  fname:string ->
+  pc:int ->
+  input_index:int ->
+  is_output:bool ->
+  unit
+
+val node : t -> int -> node option
+val mem : t -> int -> bool
+
+(** Add a dependence edge; edges whose endpoints are not (or no
+    longer) nodes are ignored, matching buffer-eviction semantics. *)
+val add_dep : t -> Dep.t -> unit
+
+val preds : t -> int -> (Dep.kind * int) list
+val num_nodes : t -> int
+val num_edges : t -> int
+val max_step : t -> int
+val iter_nodes : (node -> unit) -> t -> unit
+
+(** Drop every node with step below [window_start]. *)
+val prune : t -> window_start:int -> unit
+
+(** Successor adjacency (use -> def inverted), built on demand for
+    forward traversals. *)
+val successors : t -> (int, (Dep.kind * int) list) Hashtbl.t
+
+val pp : t Fmt.t

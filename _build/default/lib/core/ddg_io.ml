@@ -1,0 +1,163 @@
+(** Compact serialisation of dynamic dependence graphs.
+
+    The offline pipeline's product (and ONTRAC's buffer contents) is a
+    whole-execution-trace-style artefact (refs [18, 19]): the graph
+    compacted into a byte stream that can be stored, shipped to
+    another machine, and sliced there.  Nodes are delta-encoded with
+    an interned function-name table; edges reuse the dependence-record
+    encoding. *)
+
+let magic = "DDG1"
+
+(* -- encoding helpers ---------------------------------------------------- *)
+
+let put_string buf s =
+  Encoding.put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string s pos =
+  let len, pos = Encoding.get_varint s pos in
+  (String.sub s pos len, pos + len)
+
+(** Serialise a graph to bytes. *)
+let serialize (g : Ddg.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  (* function-name table *)
+  let fnames = Hashtbl.create 16 in
+  let rev_names = ref [] in
+  Ddg.iter_nodes
+    (fun n ->
+      if not (Hashtbl.mem fnames n.Ddg.fname) then begin
+        Hashtbl.replace fnames n.Ddg.fname (Hashtbl.length fnames);
+        rev_names := n.Ddg.fname :: !rev_names
+      end)
+    g;
+  let names = List.rev !rev_names in
+  Encoding.put_varint buf (List.length names);
+  List.iter (put_string buf) names;
+  (* nodes, in step order, delta-encoded *)
+  let nodes = ref [] in
+  Ddg.iter_nodes (fun n -> nodes := n :: !nodes) g;
+  let nodes =
+    List.sort (fun (a : Ddg.node) b -> compare a.Ddg.step b.Ddg.step) !nodes
+  in
+  Encoding.put_varint buf (List.length nodes);
+  (* Straight-line execution produces long chains of nodes whose step
+     and pc both advance by one within the same thread and function;
+     they are emitted as runs — the repetition WET-style compaction
+     exploits.  Format: tag 0 = explicit node, tag 1 = run of k
+     continuations of the previous node. *)
+  let prev : Ddg.node option ref = ref None in
+  let run = ref 0 in
+  let prev_step = ref 0 in
+  let flush_run () =
+    if !run > 0 then begin
+      Encoding.put_varint buf 1;
+      Encoding.put_varint buf !run;
+      run := 0
+    end
+  in
+  let continues (p : Ddg.node) (n : Ddg.node) =
+    n.Ddg.step = p.Ddg.step + 1
+    && n.Ddg.pc = p.Ddg.pc + 1
+    && n.Ddg.tid = p.Ddg.tid
+    && String.equal n.Ddg.fname p.Ddg.fname
+    && n.Ddg.input_index = -1
+    && not n.Ddg.is_output
+  in
+  List.iter
+    (fun (n : Ddg.node) ->
+      (match !prev with
+      | Some p when continues p n -> incr run
+      | _ ->
+          flush_run ();
+          Encoding.put_varint buf 0;
+          Encoding.put_varint buf (n.Ddg.step - !prev_step);
+          Encoding.put_varint buf n.Ddg.tid;
+          Encoding.put_varint buf (Hashtbl.find fnames n.Ddg.fname);
+          Encoding.put_varint buf n.Ddg.pc;
+          Encoding.put_varint buf (n.Ddg.input_index + 1);
+          Encoding.put_varint buf (if n.Ddg.is_output then 1 else 0));
+      (* the decoder's reference step is always the last node decoded *)
+      prev_step := n.Ddg.step;
+      prev := Some n)
+    nodes;
+  flush_run ();
+  (* edges, in use-step order, via the dependence-record encoding *)
+  let w = Encoding.writer () in
+  List.iter
+    (fun (n : Ddg.node) ->
+      List.iter
+        (fun (kind, def_step) ->
+          Encoding.write w { Dep.kind; def_step; use_step = n.Ddg.step })
+        (List.rev n.Ddg.preds))
+    nodes;
+  let edges = Encoding.contents w in
+  Encoding.put_varint buf (String.length edges);
+  Buffer.add_string buf edges;
+  Buffer.contents buf
+
+exception Corrupt of string
+
+(** Rebuild a graph from bytes.
+    @raise Corrupt on malformed input. *)
+let deserialize s =
+  if String.length s < 4 || String.sub s 0 4 <> magic then
+    raise (Corrupt "bad magic");
+  let pos = 4 in
+  let n_names, pos = Encoding.get_varint s pos in
+  let names = Array.make (max 1 n_names) "" in
+  let pos = ref pos in
+  for i = 0 to n_names - 1 do
+    let name, p = get_string s !pos in
+    names.(i) <- name;
+    pos := p
+  done;
+  let g = Ddg.create () in
+  let n_nodes, p = Encoding.get_varint s !pos in
+  pos := p;
+  let prev_step = ref 0 in
+  let last = ref None in
+  let decoded = ref 0 in
+  while !decoded < n_nodes do
+    let tag, p = Encoding.get_varint s !pos in
+    match tag with
+    | 0 ->
+        let dstep, p = Encoding.get_varint s p in
+        let step = !prev_step + dstep in
+        prev_step := step;
+        let tid, p = Encoding.get_varint s p in
+        let fidx, p = Encoding.get_varint s p in
+        let pc, p = Encoding.get_varint s p in
+        let input1, p = Encoding.get_varint s p in
+        let out, p = Encoding.get_varint s p in
+        pos := p;
+        if fidx >= n_names then raise (Corrupt "bad function index");
+        Ddg.add_node g ~step ~tid ~fname:names.(fidx) ~pc
+          ~input_index:(input1 - 1) ~is_output:(out = 1);
+        last := Some (step, tid, names.(fidx), pc);
+        incr decoded
+    | 1 ->
+        let k, p = Encoding.get_varint s p in
+        pos := p;
+        (match !last with
+        | None -> raise (Corrupt "run without a preceding node")
+        | Some (step, tid, fname, pc) ->
+            for i = 1 to k do
+              Ddg.add_node g ~step:(step + i) ~tid ~fname ~pc:(pc + i)
+                ~input_index:(-1) ~is_output:false
+            done;
+            last := Some (step + k, tid, fname, pc + k);
+            prev_step := step + k);
+        decoded := !decoded + k
+    | _ -> raise (Corrupt "bad node tag")
+  done;
+  let edge_len, p = Encoding.get_varint s !pos in
+  if p + edge_len > String.length s then raise (Corrupt "truncated edges");
+  let edges = Encoding.decode (String.sub s p edge_len) in
+  List.iter (Ddg.add_dep g) edges;
+  g
+
+(** Serialised size in bytes. *)
+let size g = String.length (serialize g)

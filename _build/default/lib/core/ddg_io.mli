@@ -1,0 +1,16 @@
+(** Compact serialisation of dynamic dependence graphs.
+
+    The offline pipeline's product (and ONTRAC's buffer contents) is a
+    whole-execution-trace-style artefact (refs [18, 19]): the graph
+    compacted into a byte stream that can be stored, shipped, and
+    sliced elsewhere. *)
+
+val serialize : Ddg.t -> string
+
+exception Corrupt of string
+
+(** @raise Corrupt on malformed input. *)
+val deserialize : string -> Ddg.t
+
+(** Serialised size in bytes. *)
+val size : Ddg.t -> int

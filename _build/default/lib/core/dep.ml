@@ -1,0 +1,46 @@
+(** Dependence kinds tracked by the framework.
+
+    [Data] and [Control] are the classic dynamic-slicing dependences.
+    [War]/[Waw] extend slicing to multithreaded programs so that data
+    races become visible to it (paper §3.1).  [Summary] edges replace
+    chains through code excluded by selective tracing, preserving
+    transitive flows (paper §2.1, targeted optimization 1). *)
+
+type kind =
+  | Data  (** read-after-write: use depends on the defining write *)
+  | Control  (** instruction depends on the controlling branch *)
+  | War  (** write-after-read (anti) *)
+  | Waw  (** write-after-write (output) *)
+  | Summary
+      (** transitive dependence through untraced (out-of-scope) code *)
+
+let kind_to_int = function
+  | Data -> 0
+  | Control -> 1
+  | War -> 2
+  | Waw -> 3
+  | Summary -> 4
+
+let kind_of_int = function
+  | 0 -> Data
+  | 1 -> Control
+  | 2 -> War
+  | 3 -> Waw
+  | 4 -> Summary
+  | n -> invalid_arg (Fmt.str "Dep.kind_of_int: %d" n)
+
+let kind_to_string = function
+  | Data -> "data"
+  | Control -> "control"
+  | War -> "war"
+  | Waw -> "waw"
+  | Summary -> "summary"
+
+let pp_kind ppf k = Fmt.string ppf (kind_to_string k)
+
+(** A dynamic dependence: instruction instance [use_step] depends on
+    instance [def_step]. *)
+type t = { kind : kind; def_step : int; use_step : int }
+
+let pp ppf d =
+  Fmt.pf ppf "%d -[%s]-> %d" d.use_step (kind_to_string d.kind) d.def_step

@@ -1,0 +1,29 @@
+(** Dependence kinds tracked by the framework.
+
+    [Data] and [Control] are the classic dynamic-slicing dependences.
+    [War]/[Waw] extend slicing to multithreaded programs so that data
+    races become visible to it (paper §3.1).  [Summary] edges replace
+    chains through code excluded by selective tracing, preserving
+    transitive flows (paper §2.1). *)
+
+type kind =
+  | Data  (** read-after-write: use depends on the defining write *)
+  | Control  (** instruction depends on the controlling branch *)
+  | War  (** write-after-read (anti) *)
+  | Waw  (** write-after-write (output) *)
+  | Summary
+      (** transitive dependence through untraced (out-of-scope) code *)
+
+val kind_to_int : kind -> int
+
+(** @raise Invalid_argument outside [0..4]. *)
+val kind_of_int : int -> kind
+
+val kind_to_string : kind -> string
+val pp_kind : kind Fmt.t
+
+(** A dynamic dependence: instruction instance [use_step] depends on
+    instance [def_step]. *)
+type t = { kind : kind; def_step : int; use_step : int }
+
+val pp : t Fmt.t

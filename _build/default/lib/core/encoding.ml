@@ -1,0 +1,76 @@
+(** Compact byte encoding of dependence records.
+
+    ONTRAC's space figures (paper §2.1: 0.8 bytes per executed
+    instruction with optimizations, vs. 16 without) are byte counts of
+    stored trace; this module defines the actual encoding so the counts
+    are real rather than assumed.
+
+    A stream of records is delta-encoded: each record stores the
+    dependence kind (one byte), the use-step delta from the previous
+    record's use step (varint), and the def-step distance from the use
+    step (varint).  Steps are monotone per stream, so deltas are small
+    for dense traces. *)
+
+(* LEB128-style varint length for a non-negative integer. *)
+let varint_len n =
+  if n < 0 then invalid_arg "Encoding.varint_len: negative";
+  let rec go n acc = if n < 128 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Encoding.put_varint: negative";
+  let rec go n =
+    if n < 128 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (128 lor (n land 127)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let get_varint s pos =
+  let rec go pos shift acc =
+    let byte = Char.code s.[pos] in
+    let acc = acc lor ((byte land 127) lsl shift) in
+    if byte < 128 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+(** Size in bytes of one record appended after a record whose use step
+    was [prev_use]. *)
+let record_size ~prev_use (d : Dep.t) =
+  1 (* kind *)
+  + varint_len (d.Dep.use_step - prev_use)
+  + varint_len (max 0 (d.Dep.use_step - d.Dep.def_step))
+
+(** A writer that appends records to a byte buffer. *)
+type writer = { buf : Buffer.t; mutable prev_use : int }
+
+let writer () = { buf = Buffer.create 4096; prev_use = 0 }
+
+let write w (d : Dep.t) =
+  Buffer.add_char w.buf (Char.chr (Dep.kind_to_int d.Dep.kind));
+  put_varint w.buf (d.Dep.use_step - w.prev_use);
+  put_varint w.buf (max 0 (d.Dep.use_step - d.Dep.def_step));
+  w.prev_use <- d.Dep.use_step
+
+let bytes_written w = Buffer.length w.buf
+
+let contents w = Buffer.contents w.buf
+
+(** Decode a full stream back into records (for round-trip checks and
+    the offline postprocessing path). *)
+let decode s =
+  let n = String.length s in
+  let rec go pos prev_use acc =
+    if pos >= n then List.rev acc
+    else begin
+      let kind = Dep.kind_of_int (Char.code s.[pos]) in
+      let use_delta, pos = get_varint s (pos + 1) in
+      let def_dist, pos = get_varint s pos in
+      let use_step = prev_use + use_delta in
+      let d = { Dep.kind; use_step; def_step = use_step - def_dist } in
+      go pos use_step (d :: acc)
+    end
+  in
+  go 0 0 []

@@ -1,0 +1,27 @@
+(** Compact byte encoding of dependence records.
+
+    ONTRAC's space figures (paper §2.1: 0.8 bytes per executed
+    instruction with optimizations, vs. 16 without) are byte counts of
+    stored trace; this module defines the actual encoding so the
+    counts are real rather than assumed.  A stream is delta-encoded:
+    kind byte + varint use-step delta + varint def distance.  Use
+    steps must be appended in non-decreasing order. *)
+
+val varint_len : int -> int
+val put_varint : Buffer.t -> int -> unit
+val get_varint : string -> int -> int * int
+
+(** Size in bytes of one record appended after a record whose use step
+    was [prev_use]. *)
+val record_size : prev_use:int -> Dep.t -> int
+
+type writer = { buf : Buffer.t; mutable prev_use : int }
+
+val writer : unit -> writer
+val write : writer -> Dep.t -> unit
+val bytes_written : writer -> int
+val contents : writer -> string
+
+(** Decode a full stream back into records (round-trip checks and the
+    offline postprocessing path). *)
+val decode : string -> Dep.t list

@@ -1,0 +1,282 @@
+(** The generic DIFT engine.
+
+    Instantiated with a {!Taint.DOMAIN}, the engine is a VM tool that
+    maintains shadow state for every location, injects taint at input
+    reads, propagates it per the configured {!Policy}, and reports
+    flows into sinks (indirect-call targets, outputs, assertions,
+    pointers, branches) to a client-provided handler.
+
+    This is the single propagation core all four of the paper's
+    application areas instantiate: boolean taint for detection, PC
+    taint for bug location, input sets for lineage. *)
+
+open Dift_isa
+open Dift_vm
+
+type sink =
+  | Sink_icall  (** indirect-call target *)
+  | Sink_output  (** [Sys Write] operand *)
+  | Sink_check  (** [Sys Check] operand *)
+  | Sink_store_address  (** pointer used by a store *)
+  | Sink_load_address  (** pointer used by a load *)
+  | Sink_branch  (** branch condition *)
+
+let sink_to_string = function
+  | Sink_icall -> "icall-target"
+  | Sink_output -> "output"
+  | Sink_check -> "check"
+  | Sink_store_address -> "store-address"
+  | Sink_load_address -> "load-address"
+  | Sink_branch -> "branch"
+
+let pp_sink ppf s = Fmt.string ppf (sink_to_string s)
+
+type stats = {
+  mutable events : int;
+  mutable sources : int;
+  mutable sink_hits : int;  (** sinks reached by non-bottom taint *)
+}
+
+module Make (D : Taint.DOMAIN) = struct
+  module Sh = Shadow.Make (D)
+
+  type control_frame = {
+    mutable regions : (int * D.t) list;  (** (close_at_pc, taint) *)
+    base : D.t;  (** control taint inherited through the call *)
+  }
+
+  type thread_control = { mutable cframes : control_frame list }
+
+  type t = {
+    policy : Policy.t;
+    static : Static_info.t;
+    shadow : Sh.t;
+    stats : stats;
+    mutable sink_handler : (sink -> D.t -> Event.exec -> unit) option;
+    control : (int, thread_control) Hashtbl.t;
+    pending_spawn_taint : (int, D.t) Hashtbl.t;  (** tid -> control taint *)
+    mutable charge : int -> unit;
+  }
+
+  let create ?(policy = Policy.default) program =
+    {
+      policy;
+      static = Static_info.create program;
+      shadow = Sh.create ();
+      stats = { events = 0; sources = 0; sink_hits = 0 };
+      sink_handler = None;
+      control = Hashtbl.create 8;
+      pending_spawn_taint = Hashtbl.create 8;
+      charge = ignore;
+    }
+
+  let on_sink t f = t.sink_handler <- Some f
+
+  (** Redirect overhead charging (e.g. to a helper-core clock, or to
+      nothing when timing is modelled externally). *)
+  let set_charge t f = t.charge <- f
+
+  let stats t = t.stats
+  let taint_of t loc = Sh.get t.shadow loc
+  let shadow t = t.shadow
+
+  (** Tainted locations and total shadow words (memory accounting). *)
+  let shadow_footprint t =
+    (Sh.tainted_locations t.shadow, Sh.footprint_words t.shadow)
+
+  let joined t locs =
+    List.fold_left (fun acc l -> D.join acc (Sh.get t.shadow l)) D.bottom locs
+
+  let hit_sink t sink taint e =
+    if not (D.is_bottom taint) then t.stats.sink_hits <- t.stats.sink_hits + 1;
+    match t.sink_handler with
+    | Some f -> f sink taint e
+    | None -> ()
+
+  (* -- control-taint bookkeeping (only when policy.propagate_control) - *)
+
+  let thread_control t tid =
+    match Hashtbl.find_opt t.control tid with
+    | Some tc -> tc
+    | None ->
+        let base =
+          match Hashtbl.find_opt t.pending_spawn_taint tid with
+          | Some d ->
+              Hashtbl.remove t.pending_spawn_taint tid;
+              d
+          | None -> D.bottom
+        in
+        let tc = { cframes = [ { regions = []; base } ] } in
+        Hashtbl.replace t.control tid tc;
+        tc
+
+  let current_cframe tc =
+    match tc.cframes with
+    | f :: _ -> f
+    | [] ->
+        let f = { regions = []; base = D.bottom } in
+        tc.cframes <- [ f ];
+        f
+
+  let control_taint_of_frame f =
+    List.fold_left (fun acc (_, d) -> D.join acc d) f.base f.regions
+
+  (* Update control regions for this event and return the active
+     control taint. *)
+  let control_taint t (e : Event.exec) =
+    if not t.policy.Policy.propagate_control then D.bottom
+    else begin
+      let tc = thread_control t e.Event.tid in
+      let f = current_cframe tc in
+      f.regions <- List.filter (fun (close, _) -> close <> e.Event.pc) f.regions;
+      let active = control_taint_of_frame f in
+      (match e.Event.instr with
+      | Instr.Br (_, _, _) ->
+          let cond_taint = joined t e.Event.reads in
+          if not (D.is_bottom cond_taint) then begin
+            let close =
+              Static_info.ipdom t.static e.Event.func.Func.name e.Event.pc
+            in
+            f.regions <- (close, cond_taint) :: f.regions
+          end
+      | Instr.Call _ | Instr.Icall _ ->
+          tc.cframes <- { regions = []; base = active } :: tc.cframes
+      | Instr.Ret _ -> (
+          match tc.cframes with
+          | _ :: (_ :: _ as rest) -> tc.cframes <- rest
+          | [ _ ] | [] -> ())
+      | Instr.Sys (Instr.Spawn _) ->
+          if not (D.is_bottom active) then
+            Hashtbl.replace t.pending_spawn_taint e.Event.value active
+      | _ -> ());
+      active
+    end
+
+  (* -- the per-event transfer function --------------------------------- *)
+
+  (* Splits a load/store event's reads into (value sources, address
+     sources) according to the instruction shape; for all other
+     instructions every read is a value source. *)
+  let split_sources (e : Event.exec) =
+    match e.Event.instr with
+    | Instr.Load (_, _, _) ->
+        let mems, regs = List.partition Loc.is_mem e.Event.reads in
+        (mems, regs)
+    | Instr.Store (src, _, _) -> (
+        match src, e.Event.reads with
+        | Operand.Reg _, s :: rest -> ([ s ], rest)
+        | (Operand.Imm _ | Operand.Reg _), rest -> ([], rest))
+    | _ -> (e.Event.reads, [])
+
+  let site_of (e : Event.exec) = (e.Event.func.Func.name, e.Event.pc)
+
+  let process t (e : Event.exec) =
+    t.stats.events <- t.stats.events + 1;
+    t.charge Cost.inline_taint_propagate;
+    let ctl = control_taint t e in
+    let fname, pc = site_of e in
+    match e.Event.instr with
+    | Instr.Sys (Instr.Read _) ->
+        let taint =
+          if e.Event.input_index >= 0 then begin
+            t.stats.sources <- t.stats.sources + 1;
+            D.source ~input_index:e.Event.input_index ~step:e.Event.step
+          end
+          else D.bottom
+        in
+        let taint = D.join taint ctl in
+        List.iter (fun l -> Sh.set t.shadow l taint) e.Event.writes
+    | Instr.Call _ | Instr.Icall _ | Instr.Sys (Instr.Spawn _) ->
+        (* Pairwise argument copy; for Icall the trailing reads are the
+           target operand's registers. *)
+        (match e.Event.instr with
+        | Instr.Icall (fop, _) ->
+            let nargs = List.length e.Event.writes in
+            let target_locs =
+              match fop with
+              | Operand.Reg _ ->
+                  List.filteri (fun i _ -> i >= nargs) e.Event.reads
+              | Operand.Imm _ -> []
+            in
+            hit_sink t Sink_icall (joined t target_locs) e
+        | _ -> ());
+        (match e.Event.instr with
+        | Instr.Sys (Instr.Spawn _) -> (
+            (* writes = [tid destination; callee r0]; the tid itself is
+               environment data and stays clean, the argument carries
+               its taint when the policy says so. *)
+            let arg_taint =
+              if t.policy.Policy.taint_spawn_arg then
+                D.join (joined t e.Event.reads) ctl
+              else D.bottom
+            in
+            match e.Event.writes with
+            | [ tid_dst; callee_arg ] ->
+                Sh.set t.shadow tid_dst D.bottom;
+                Sh.set t.shadow callee_arg arg_taint
+            | _ -> ())
+        | _ ->
+            (* Argument copies are pure moves: tags propagate
+               unchanged (no [at_write]), so PC taint keeps naming the
+               instruction that produced the value. *)
+            let nargs = List.length e.Event.writes in
+            let arg_reads =
+              List.filteri (fun i _ -> i < nargs) e.Event.reads
+            in
+            List.iter2
+              (fun w r -> Sh.set t.shadow w (D.join (Sh.get t.shadow r) ctl))
+              e.Event.writes arg_reads)
+    | Instr.Br (_, _, _) ->
+        hit_sink t Sink_branch (joined t e.Event.reads) e
+    | Instr.Sys (Instr.Write _) ->
+        hit_sink t Sink_output (joined t e.Event.reads) e
+    | Instr.Sys (Instr.Check _) ->
+        hit_sink t Sink_check (joined t e.Event.reads) e
+    | _ ->
+        let value_srcs, addr_srcs = split_sources e in
+        (match e.Event.instr with
+        | Instr.Load _ ->
+            hit_sink t Sink_load_address (joined t addr_srcs) e
+        | Instr.Store _ ->
+            hit_sink t Sink_store_address (joined t addr_srcs) e
+        | _ -> ());
+        if e.Event.writes <> [] then begin
+          let taint = joined t value_srcs in
+          let taint =
+            match e.Event.instr with
+            | Instr.Load _ when t.policy.Policy.propagate_load_address ->
+                D.join taint (joined t addr_srcs)
+            | Instr.Store _ when t.policy.Policy.propagate_store_address ->
+                D.join taint (joined t addr_srcs)
+            | _ -> taint
+          in
+          let taint = D.join taint ctl in
+          (* Pure copies (loads, register moves, returned values)
+             propagate tags unchanged; value-producing instructions and
+             stores stamp the tag with their own site — "the most
+             recent instruction that wrote to the location" (paper
+             §3.3), which is what makes the tag at an attack sink name
+             the unchecked store rather than an innocent load. *)
+          let is_copy =
+            match e.Event.instr with
+            | Instr.Load _ | Instr.Mov _ | Instr.Ret _ -> true
+            | _ -> false
+          in
+          let taint =
+            if is_copy then taint
+            else D.at_write ~step:e.Event.step ~fname ~pc taint
+          in
+          List.iter (fun l -> Sh.set t.shadow l taint) e.Event.writes
+        end
+
+  (** Attach the engine to a machine; overhead is charged to the
+      machine's cycle counter unless [charge] overrides it (the
+      multicore helper model redirects it to the helper core). *)
+  let attach ?charge t machine =
+    (t.charge <-
+       match charge with
+       | Some f -> f
+       | None -> fun c -> Machine.charge machine c);
+    Machine.attach machine
+      (Tool.make ~on_exec:(process t) (Fmt.str "dift-%s" D.name))
+end

@@ -1,0 +1,62 @@
+(** The generic DIFT engine.
+
+    Instantiated with a {!Taint.DOMAIN}, the engine is a VM tool that
+    maintains shadow state for every location, injects taint at input
+    reads, propagates it per the configured {!Policy}, and reports
+    flows into sinks to a client-provided handler.
+
+    This is the single propagation core all four of the paper's
+    application areas instantiate: boolean taint for detection, PC
+    taint for bug location, input sets for lineage. *)
+
+open Dift_isa
+open Dift_vm
+
+type sink =
+  | Sink_icall  (** indirect-call target *)
+  | Sink_output  (** [Sys Write] operand *)
+  | Sink_check  (** [Sys Check] operand *)
+  | Sink_store_address  (** pointer used by a store *)
+  | Sink_load_address  (** pointer used by a load *)
+  | Sink_branch  (** branch condition *)
+
+val sink_to_string : sink -> string
+val pp_sink : sink Fmt.t
+
+type stats = {
+  mutable events : int;
+  mutable sources : int;
+  mutable sink_hits : int;  (** sinks reached by non-bottom taint *)
+}
+
+module Make (D : Taint.DOMAIN) : sig
+  module Sh : module type of Shadow.Make (D)
+
+  type t
+
+  val create : ?policy:Policy.t -> Program.t -> t
+
+  (** Register the sink handler (called for every sink event, tainted
+      or not; check [D.is_bottom]). *)
+  val on_sink : t -> (sink -> D.t -> Event.exec -> unit) -> unit
+
+  (** Redirect overhead charging (e.g. to a helper-core clock, or to
+      nothing when timing is modelled externally). *)
+  val set_charge : t -> (int -> unit) -> unit
+
+  val stats : t -> stats
+  val taint_of : t -> Loc.t -> D.t
+  val shadow : t -> Sh.t
+
+  (** Tainted locations and total shadow words (memory accounting). *)
+  val shadow_footprint : t -> int * int
+
+  (** The per-event transfer function (exposed for harnesses that
+      drive the engine themselves; {!attach} wires it up as a VM
+      tool). *)
+  val process : t -> Event.exec -> unit
+
+  (** Attach to a machine; overhead is charged to the machine's cycle
+      counter unless [charge] overrides it. *)
+  val attach : ?charge:(int -> unit) -> t -> Machine.t -> unit
+end

@@ -1,0 +1,104 @@
+(** The two-phase baseline (paper §2.1, prior work [18, 19]).
+
+    Phase 1 runs the instrumented program and writes a raw address +
+    control-flow trace: a fixed 16 bytes per executed instruction (the
+    paper's measured rate for the unoptimized trace).  Phase 2
+    postprocesses the collected trace offline into the compacted
+    dynamic dependence graph.  Both phases are charged to the cycle
+    model, which is what produces the ~540x total slowdown the paper
+    contrasts with ONTRAC's ~19x. *)
+
+open Dift_isa
+open Dift_vm
+
+(** Raw trace bytes charged per executed instruction (address word +
+    instruction/control word). *)
+let bytes_per_instr = 16
+
+type stats = {
+  mutable instructions : int;
+  mutable trace_bytes : int;
+  mutable deps : int;
+  mutable postprocess_cycles : int;
+}
+
+type t = {
+  cd : Control_dep.t;
+  ddg : Ddg.t;
+  stats : stats;
+  last_writer : int Loc.Tbl.t;
+  (* The raw dependence stream is serialised through the byte encoding
+     during the run, exactly like a trace written to storage, and
+     decoded again by [postprocess] — the two phases really do
+     communicate only through bytes. *)
+  writer : Encoding.writer;
+  mutable machine : Machine.t option;
+}
+
+let create program =
+  let static = Static_info.create program in
+  {
+    cd = Control_dep.create static;
+    ddg = Ddg.create ();
+    stats =
+      { instructions = 0; trace_bytes = 0; deps = 0; postprocess_cycles = 0 };
+    last_writer = Loc.Tbl.create 4096;
+    writer = Encoding.writer ();
+    machine = None;
+  }
+
+let stats t = t.stats
+
+let charge t n =
+  match t.machine with Some m -> Machine.charge m n | None -> ()
+
+let process t (e : Event.exec) =
+  t.stats.instructions <- t.stats.instructions + 1;
+  t.stats.trace_bytes <- t.stats.trace_bytes + bytes_per_instr;
+  charge t (bytes_per_instr * Cost.trace_byte);
+  let parent = Control_dep.process t.cd e in
+  Ddg.add_node t.ddg ~step:e.Event.step ~tid:e.Event.tid
+    ~fname:e.Event.func.Func.name ~pc:e.Event.pc
+    ~input_index:e.Event.input_index
+    ~is_output:
+      (match e.Event.instr with
+      | Instr.Sys (Instr.Write _) -> true
+      | _ -> false);
+  List.iter
+    (fun loc ->
+      match Loc.Tbl.find_opt t.last_writer loc with
+      | None -> ()
+      | Some def_step ->
+          t.stats.deps <- t.stats.deps + 1;
+          Encoding.write t.writer
+            { Dep.kind = Dep.Data; def_step; use_step = e.Event.step })
+    e.Event.reads;
+  (match parent with
+  | Some p ->
+      t.stats.deps <- t.stats.deps + 1;
+      Encoding.write t.writer
+        { Dep.kind = Dep.Control; def_step = p; use_step = e.Event.step }
+  | None -> ());
+  List.iter
+    (fun loc -> Loc.Tbl.replace t.last_writer loc e.Event.step)
+    e.Event.writes
+
+let attach t machine =
+  t.machine <- Some machine;
+  Machine.attach machine (Tool.make ~on_exec:(process t) "offline-trace")
+
+(** Phase 2: build the compacted dependence graph from the raw trace.
+    Returns the graph; the modelled postprocessing cost (also recorded
+    in the stats) is the dominant term of the two-phase slowdown. *)
+let postprocess t =
+  let cost = ref 0 in
+  (* Every raw trace record is touched once to reconstruct dependences
+     and once more to compact them. *)
+  cost := t.stats.instructions * Cost.offline_postprocess_record;
+  List.iter (fun d -> Ddg.add_dep t.ddg d)
+    (Encoding.decode (Encoding.contents t.writer));
+  cost := !cost + (t.stats.deps * Cost.offline_postprocess_record);
+  t.stats.postprocess_cycles <- !cost;
+  t.ddg
+
+let graph t = t.ddg

@@ -1,0 +1,33 @@
+(** The two-phase baseline (paper §2.1, prior work [18, 19]).
+
+    Phase 1 runs the instrumented program and writes a raw address +
+    control-flow trace at a fixed {!bytes_per_instr}.  Phase 2
+    ({!postprocess}) turns the collected trace into the compacted
+    dynamic dependence graph.  Both phases are charged to the cycle
+    model, producing the ~540x total slowdown the paper contrasts with
+    ONTRAC's ~19x. *)
+
+open Dift_isa
+open Dift_vm
+
+(** Raw trace bytes charged per executed instruction. *)
+val bytes_per_instr : int
+
+type stats = {
+  mutable instructions : int;
+  mutable trace_bytes : int;
+  mutable deps : int;
+  mutable postprocess_cycles : int;
+}
+
+type t
+
+val create : Program.t -> t
+val stats : t -> stats
+val attach : t -> Machine.t -> unit
+
+(** Phase 2: build the compacted dependence graph from the raw trace;
+    records the modelled postprocessing cost in the stats. *)
+val postprocess : t -> Ddg.t
+
+val graph : t -> Ddg.t

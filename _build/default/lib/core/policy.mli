@@ -1,0 +1,34 @@
+(** Propagation policy: which information flows the DIFT engine
+    tracks.
+
+    Different applications want different flows — attack detection
+    tracks data flow plus pointer (address) flow, lineage usually
+    tracks pure data flow, and implicit-flow studies enable control
+    propagation. *)
+
+type t = {
+  propagate_load_address : bool;
+      (** the taint of a pointer flows into the value loaded through
+          it *)
+  propagate_store_address : bool;
+      (** the taint of a pointer flows into the value stored through
+          it *)
+  propagate_control : bool;
+      (** values defined inside a control region pick up the taint of
+          the region's branch condition (implicit flow) *)
+  taint_spawn_arg : bool;
+      (** the argument passed to [Spawn] carries its taint into the
+          new thread (default true) *)
+}
+
+(** Pure explicit data flow. *)
+val data_only : t
+
+(** Data flow plus pointer flow — the standard security policy. *)
+val security : t
+
+(** Everything, including implicit (control) flows. *)
+val full : t
+
+(** [data_only]. *)
+val default : t

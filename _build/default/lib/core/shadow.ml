@@ -1,0 +1,31 @@
+(** Shadow state: a taint value for every storage location.
+
+    Bottom values are not stored, so the table's size is the number of
+    currently tainted locations — which is also what the memory
+    overhead measurements count. *)
+
+open Dift_vm
+
+module Make (D : Taint.DOMAIN) = struct
+  type t = { tbl : D.t Loc.Tbl.t }
+
+  let create () = { tbl = Loc.Tbl.create 1024 }
+
+  let get t loc =
+    match Loc.Tbl.find_opt t.tbl loc with Some v -> v | None -> D.bottom
+
+  let set t loc v =
+    if D.is_bottom v then Loc.Tbl.remove t.tbl loc
+    else Loc.Tbl.replace t.tbl loc v
+
+  let clear t loc = Loc.Tbl.remove t.tbl loc
+
+  (** Number of tainted locations. *)
+  let tainted_locations t = Loc.Tbl.length t.tbl
+
+  (** Total shadow footprint in words, per the domain's accounting. *)
+  let footprint_words t =
+    Loc.Tbl.fold (fun _ v acc -> acc + D.words v) t.tbl 0
+
+  let fold f t acc = Loc.Tbl.fold f t.tbl acc
+end

@@ -1,0 +1,29 @@
+(** Shadow state: a taint value for every storage location.
+
+    Bottom values are not stored, so the table's size is the number of
+    currently tainted locations — which is also what the memory
+    overhead measurements count. *)
+
+open Dift_vm
+
+module Make (D : Taint.DOMAIN) : sig
+  type t
+
+  val create : unit -> t
+
+  (** Untracked locations read as [D.bottom]. *)
+  val get : t -> Loc.t -> D.t
+
+  (** Storing [D.bottom] clears the entry. *)
+  val set : t -> Loc.t -> D.t -> unit
+
+  val clear : t -> Loc.t -> unit
+
+  (** Number of tainted locations. *)
+  val tainted_locations : t -> int
+
+  (** Total shadow footprint in words, per the domain's accounting. *)
+  val footprint_words : t -> int
+
+  val fold : (Loc.t -> D.t -> 'a -> 'a) -> t -> 'a -> 'a
+end

@@ -1,0 +1,57 @@
+(** Dynamic slicing over a dependence graph.
+
+    A backward slice from a criterion (one or more dynamic instruction
+    instances) is the transitive closure over dependence edges; a
+    forward slice follows the edges in the other direction.  Slices
+    are reported both as dynamic steps and as static statements
+    (function, pc) — fault-location metrics are statement-level. *)
+
+type t
+
+val empty : t
+val size : t -> int
+val num_sites : t -> int
+val mem_step : t -> int -> bool
+val mem_site : t -> string * int -> bool
+val steps : t -> int list
+val sites : t -> (string * int) list
+
+(** The kinds a default traversal follows: data, control, summary. *)
+val default_kinds : Dep.kind list
+
+(** All kinds, including WAR/WAW — the multithreaded extension (paper
+    §3.1) that makes data races visible to slicing. *)
+val multithreaded_kinds : Dep.kind list
+
+(** Backward dynamic slice.  Steps below [window_start] (evicted from
+    the trace buffer) are unreachable — the slice silently stops
+    there, modelling ONTRAC's bounded execution history. *)
+val backward :
+  ?kinds:Dep.kind list -> ?window_start:int -> Ddg.t -> criterion:int list ->
+  t
+
+(** Forward dynamic slice: everything that transitively depends on the
+    criterion steps. *)
+val forward :
+  ?kinds:Dep.kind list -> ?window_start:int -> Ddg.t -> criterion:int list ->
+  t
+
+(** Intersection of two slices. *)
+val inter : t -> t -> t
+
+(** A failure-inducing chop (Gupta et al., ASE'05): the intersection
+    of the forward slice of [source] and the backward slice of
+    [sink]. *)
+val chop :
+  ?kinds:Dep.kind list ->
+  ?window_start:int ->
+  Ddg.t ->
+  source:int list ->
+  sink:int list ->
+  t
+
+(** The last output event in the graph, a common slicing criterion
+    ("why is this output wrong?"). *)
+val last_output : Ddg.t -> int option
+
+val pp : t Fmt.t

@@ -1,0 +1,113 @@
+(** Taint domains.
+
+    The paper instantiates its DIFT framework with several metadata
+    domains: boolean taint for attack detection, program-counter taint
+    for attack root-cause location (§3.3), and input-id sets for data
+    lineage (§3.4).  Each is a join-semilattice with a distinguished
+    bottom ("untainted") element, a source injection and a write
+    transfer function. *)
+
+module type DOMAIN = sig
+  type t
+
+  val name : string
+
+  (** The untainted element. *)
+  val bottom : t
+
+  val is_bottom : t -> bool
+  val equal : t -> t -> bool
+
+  (** Least upper bound; combining the taints of an instruction's
+      operands. *)
+  val join : t -> t -> t
+
+  (** Taint injected when input word [input_index] is read at dynamic
+      step [step]. *)
+  val source : input_index:int -> step:int -> t
+
+  (** Transfer applied when a value with taint [t] is written by the
+      instruction at [(fname, pc)], dynamic step [step].  Most domains
+      return [t] unchanged; the PC domain replaces any non-bottom
+      taint with the identity of the writing instruction. *)
+  val at_write : step:int -> fname:string -> pc:int -> t -> t
+
+  (** Approximate shadow footprint of one value, in machine words —
+      used for the memory-overhead experiments. *)
+  val words : t -> int
+
+  val pp : t Fmt.t
+end
+
+(** Boolean taint: tainted / untainted. *)
+module Bool : DOMAIN with type t = bool = struct
+  type t = bool
+
+  let name = "bool"
+  let bottom = false
+  let is_bottom t = not t
+  let equal = Bool.equal
+  let join = ( || )
+  let source ~input_index:_ ~step:_ = true
+  let at_write ~step:_ ~fname:_ ~pc:_ t = t
+  let words _ = 1
+  let pp ppf t = Fmt.string ppf (if t then "tainted" else "clean")
+end
+
+(** The identity of a static instruction site and its dynamic instance,
+    carried by PC taint. *)
+type site = { fname : string; pc : int; step : int }
+
+(** PC taint (paper §3.3): a tainted value carries the site of the most
+    recent instruction that wrote it; bottom means untainted.  When an
+    attack is detected, the sink's taint directly names the candidate
+    root-cause statement. *)
+module Pc : DOMAIN with type t = site option = struct
+  type t = site option
+
+  let name = "pc"
+  let bottom = None
+  let is_bottom t = t = None
+
+  let equal a b =
+    match a, b with
+    | None, None -> true
+    | Some x, Some y -> x.fname = y.fname && x.pc = y.pc && x.step = y.step
+    | None, Some _ | Some _, None -> false
+
+  (* Joining two tainted operands keeps the more recent writer — the
+     "most recent instruction that wrote to the location" rule. *)
+  let join a b =
+    match a, b with
+    | None, t | t, None -> t
+    | Some x, Some y -> if x.step >= y.step then a else b
+
+  let source ~input_index:_ ~step = Some { fname = "<input>"; pc = -1; step }
+
+  let at_write ~step ~fname ~pc t =
+    match t with None -> None | Some _ -> Some { fname; pc; step }
+
+  let words _ = 1
+
+  let pp ppf = function
+    | None -> Fmt.string ppf "clean"
+    | Some s -> Fmt.pf ppf "%s:%d@@%d" s.fname s.pc s.step
+end
+
+module Int_set = Set.Make (Int)
+
+(** Input-set taint (naive lineage, §3.4): the set of input indices the
+    value transitively depends on. *)
+module Input_set : DOMAIN with type t = Int_set.t = struct
+  type t = Int_set.t
+
+  let name = "input-set"
+  let bottom = Int_set.empty
+  let is_bottom = Int_set.is_empty
+  let equal = Int_set.equal
+  let join = Int_set.union
+  let source ~input_index ~step:_ = Int_set.singleton input_index
+  let at_write ~step:_ ~fname:_ ~pc:_ t = t
+  let words t = max 1 (Int_set.cardinal t)
+  let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (Int_set.elements t)
+end

@@ -1,0 +1,60 @@
+(** Taint domains.
+
+    The paper instantiates its DIFT framework with several metadata
+    domains: boolean taint for attack detection, program-counter taint
+    for attack root-cause location (§3.3), and input-id sets for data
+    lineage (§3.4).  Each is a join-semilattice with a distinguished
+    bottom ("untainted") element, a source injection and a write
+    transfer function. *)
+
+module type DOMAIN = sig
+  type t
+
+  val name : string
+
+  (** The untainted element. *)
+  val bottom : t
+
+  val is_bottom : t -> bool
+  val equal : t -> t -> bool
+
+  (** Least upper bound; combining the taints of an instruction's
+      operands. *)
+  val join : t -> t -> t
+
+  (** Taint injected when input word [input_index] is read at dynamic
+      step [step]. *)
+  val source : input_index:int -> step:int -> t
+
+  (** Transfer applied when a value with taint [t] is written by the
+      instruction at [(fname, pc)], dynamic step [step].  Most domains
+      return [t] unchanged; the PC domain replaces any non-bottom
+      taint with the identity of the writing instruction.  The engine
+      skips this transfer for pure copies (loads, moves, returns). *)
+  val at_write : step:int -> fname:string -> pc:int -> t -> t
+
+  (** Approximate shadow footprint of one value, in machine words —
+      used for the memory-overhead experiments. *)
+  val words : t -> int
+
+  val pp : t Fmt.t
+end
+
+(** Boolean taint: tainted / untainted. *)
+module Bool : DOMAIN with type t = bool
+
+(** The identity of a static instruction site and its dynamic
+    instance, carried by PC taint. *)
+type site = { fname : string; pc : int; step : int }
+
+(** PC taint (paper §3.3): a tainted value carries the site of the
+    most recent instruction that wrote it; [None] means untainted.
+    When an attack is detected, the sink's taint directly names the
+    candidate root-cause statement. *)
+module Pc : DOMAIN with type t = site option
+
+module Int_set : Set.S with type elt = int
+
+(** Input-set taint (naive lineage, §3.4): the set of input indices
+    the value transitively depends on. *)
+module Input_set : DOMAIN with type t = Int_set.t

@@ -1,0 +1,63 @@
+(** The fixed-size circular dependence buffer (paper §2.1).
+
+    ONTRAC deliberately stores dependences in a bounded in-memory
+    buffer instead of writing them out: the buffer holds the most
+    recent window of execution history, and a fault can be located by
+    slicing only if it is exercised within that window.  This module
+    tracks the byte budget, evicts the oldest records when it is
+    exceeded, and reports the resulting window. *)
+
+type t = {
+  capacity : int;  (** bytes *)
+  records : (int * int) Queue.t;  (** (use_step, encoded_bytes) *)
+  mutable stored_bytes : int;
+  mutable total_bytes : int;  (** all bytes ever appended *)
+  mutable total_records : int;
+  mutable evicted_records : int;
+  mutable window_start : int;
+      (** smallest step whose records are guaranteed retained *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Trace_buffer.create: capacity";
+  {
+    capacity;
+    records = Queue.create ();
+    stored_bytes = 0;
+    total_bytes = 0;
+    total_records = 0;
+    evicted_records = 0;
+    window_start = 0;
+  }
+
+let evict_one t =
+  match Queue.take_opt t.records with
+  | None -> ()
+  | Some (step, bytes) ->
+      t.stored_bytes <- t.stored_bytes - bytes;
+      t.evicted_records <- t.evicted_records + 1;
+      (* Everything at or before the evicted record's step may be
+         incomplete now. *)
+      if step >= t.window_start then t.window_start <- step + 1
+
+let add t ~use_step ~bytes =
+  Queue.add (use_step, bytes) t.records;
+  t.stored_bytes <- t.stored_bytes + bytes;
+  t.total_bytes <- t.total_bytes + bytes;
+  t.total_records <- t.total_records + 1;
+  while t.stored_bytes > t.capacity do
+    evict_one t
+  done
+
+let window_start t = t.window_start
+let stored_bytes t = t.stored_bytes
+let total_bytes t = t.total_bytes
+let total_records t = t.total_records
+let evicted_records t = t.evicted_records
+let stored_records t = Queue.length t.records
+
+let pp ppf t =
+  Fmt.pf ppf
+    "buffer: %d/%d bytes, %d records stored, %d evicted, window from #%d"
+    t.stored_bytes t.capacity (Queue.length t.records) t.evicted_records
+    t.window_start

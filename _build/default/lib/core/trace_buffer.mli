@@ -1,0 +1,27 @@
+(** The fixed-size circular dependence buffer (paper §2.1).
+
+    ONTRAC deliberately stores dependences in a bounded in-memory
+    buffer instead of writing them out: the buffer holds the most
+    recent window of execution history, and a fault can be located by
+    slicing only if it is exercised within that window. *)
+
+type t
+
+(** @raise Invalid_argument on a non-positive capacity (bytes). *)
+val create : capacity:int -> t
+
+(** Append a record; evicts the oldest records while over capacity. *)
+val add : t -> use_step:int -> bytes:int -> unit
+
+(** Smallest step whose records are guaranteed retained. *)
+val window_start : t -> int
+
+val stored_bytes : t -> int
+
+(** All bytes ever appended (the trace *rate* measure). *)
+val total_bytes : t -> int
+
+val total_records : t -> int
+val evicted_records : t -> int
+val stored_records : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/experiments/e10_race_detection.ml: Dift_faultloc Dift_vm Dift_workloads List Machine Race_detect Splash_like Table

@@ -1,0 +1,1 @@
+lib/experiments/e1_ontrac_vs_offline.ml: Ddg Ddg_io Dift_core Dift_vm Dift_workloads Fmt List Machine Offline Ontrac Server_sim Spec_like Splash_like Table Workload

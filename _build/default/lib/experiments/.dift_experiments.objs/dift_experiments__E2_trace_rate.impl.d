@@ -1,0 +1,1 @@
+lib/experiments/e2_trace_rate.ml: Dift_core Dift_vm Dift_workloads Fmt List Machine Offline Ontrac Spec_like Table Trace_buffer Workload

@@ -1,0 +1,1 @@
+lib/experiments/e3_multicore.ml: Dift_core Dift_multicore Dift_vm Dift_workloads Engine Fmt Helper List Machine Spec_like Table Taint Workload

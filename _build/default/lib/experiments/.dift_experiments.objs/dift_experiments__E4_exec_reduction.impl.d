@@ -1,0 +1,1 @@
+lib/experiments/e4_exec_reduction.ml: Dift_replay Dift_vm Dift_workloads Fmt List Machine Rerun Server_sim Table

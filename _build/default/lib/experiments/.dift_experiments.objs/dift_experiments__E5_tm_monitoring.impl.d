@@ -1,0 +1,1 @@
+lib/experiments/e5_tm_monitoring.ml: Dift_isa Dift_tm Dift_workloads List Program Splash_like Stm_exec Table

@@ -1,0 +1,1 @@
+lib/experiments/e6_attack_detection.ml: Detector Dift_attack Dift_workloads Fmt List Table Vulnerable

@@ -1,0 +1,1 @@
+lib/experiments/e7_lineage.ml: Dift_lineage Dift_vm Dift_workloads Fmt List Scientific Table Tracer

@@ -1,0 +1,1 @@
+lib/experiments/e8_fault_location.ml: Buggy Chop Dift_faultloc Dift_workloads Fmt List Omission Pred_switch Slice_loc Table Value_replace

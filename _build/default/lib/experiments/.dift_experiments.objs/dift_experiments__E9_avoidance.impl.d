@@ -1,0 +1,1 @@
+lib/experiments/e9_avoidance.ml: Dift_avoidance Dift_vm Dift_workloads Env_patch Event Fmt Framework List Machine Option Server_sim Splash_like Table Vulnerable

@@ -1,0 +1,120 @@
+(** Registry of every experiment, with a uniform run-and-print entry
+    point.  [scale] trades fidelity for time: [`Quick] for tests and
+    micro-benchmarks, [`Full] for the EXPERIMENTS.md numbers. *)
+
+type scale = Quick | Full
+
+type experiment = {
+  id : string;
+  description : string;
+  run : scale -> Table.t list;
+}
+
+let experiments =
+  [
+    {
+      id = "e1";
+      description = "ONTRAC online tracing vs offline two-phase baseline";
+      run =
+        (fun scale ->
+          let size = match scale with Quick -> 16 | Full -> 48 in
+          [
+            E1_ontrac_vs_offline.table (E1_ontrac_vs_offline.run ~size ());
+            E1_ontrac_vs_offline.parallel_table
+              (E1_ontrac_vs_offline.parallel ~size ());
+          ]);
+    };
+    {
+      id = "e2";
+      description = "trace bytes/instruction, optimization ablation, window";
+      run =
+        (fun scale ->
+          let size = match scale with Quick -> 16 | Full -> 48 in
+          [
+            E2_trace_rate.table (E2_trace_rate.run ~size ());
+            E2_trace_rate.selective_table (E2_trace_rate.selective ~size ());
+            E2_trace_rate.sweep_table
+              (E2_trace_rate.capacity_sweep ~size ());
+            E2_trace_rate.o2_threshold_table
+              (E2_trace_rate.o2_threshold_sweep
+                 ~size:(max 8 (size / 2)) ());
+          ]);
+    };
+    {
+      id = "e3";
+      description = "helper-thread DIFT on multicores (sw vs hw channel)";
+      run =
+        (fun scale ->
+          let size = match scale with Quick -> 12 | Full -> 40 in
+          [
+            E3_multicore.table (E3_multicore.run ~size ());
+            E3_multicore.queue_table (E3_multicore.queue_sweep ~size ());
+          ]);
+    };
+    {
+      id = "e4";
+      description = "execution reduction on the failing server (MySQL-like)";
+      run =
+        (fun scale ->
+          let requests = match scale with Quick -> 80 | Full -> 600 in
+          [
+            E4_exec_reduction.table (E4_exec_reduction.run ~requests ());
+            E4_exec_reduction.worker_table
+              (E4_exec_reduction.worker_sweep
+                 ~requests:(max 40 (requests / 4)) ());
+          ]);
+    };
+    {
+      id = "e5";
+      description = "sync-aware conflict resolution for TM monitoring";
+      run =
+        (fun scale ->
+          let size = match scale with Quick -> 6 | Full -> 12 in
+          [ E5_tm_monitoring.table (E5_tm_monitoring.run ~size ()) ]);
+    };
+    {
+      id = "e6";
+      description = "PC-taint attack detection and root-cause location";
+      run = (fun _ -> [ E6_attack_detection.table (E6_attack_detection.run ()) ]);
+    };
+    {
+      id = "e7";
+      description = "lineage tracing: naive sets vs roBDD";
+      run =
+        (fun scale ->
+          let size = match scale with Quick -> 150 | Full -> 700 in
+          [ E7_lineage.table (E7_lineage.run ~size ()) ]);
+    };
+    {
+      id = "e8";
+      description = "fault-location technique suite on the bug corpus";
+      run = (fun _ -> [ E8_fault_location.table (E8_fault_location.run ()) ]);
+    };
+    {
+      id = "e9";
+      description = "environment-fault avoidance";
+      run =
+        (fun scale ->
+          let requests = match scale with Quick -> 40 | Full -> 120 in
+          [ E9_avoidance.table (E9_avoidance.run ~requests ()) ]);
+    };
+    {
+      id = "e10";
+      description = "sync-aware data race detection";
+      run =
+        (fun scale ->
+          let size = match scale with Quick -> 24 | Full -> 60 in
+          [ E10_race_detection.table (E10_race_detection.run ~size ()) ]);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) experiments
+
+let run_and_print ?(scale = Full) ppf id =
+  match find id with
+  | None -> invalid_arg (Fmt.str "unknown experiment %s" id)
+  | Some e ->
+      List.iter (fun t -> Fmt.pf ppf "%a@." Table.pp t) (e.run scale)
+
+let run_all ?(scale = Full) ppf =
+  List.iter (fun e -> run_and_print ~scale ppf e.id) experiments

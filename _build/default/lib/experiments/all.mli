@@ -1,0 +1,20 @@
+(** Registry of every experiment, with a uniform run-and-print entry
+    point. *)
+
+type scale =
+  | Quick  (** reduced sizes, for tests and micro-benchmarks *)
+  | Full  (** the EXPERIMENTS.md numbers *)
+
+type experiment = {
+  id : string;  (** "e1" .. "e10" *)
+  description : string;
+  run : scale -> Table.t list;
+}
+
+val experiments : experiment list
+val find : string -> experiment option
+
+(** @raise Invalid_argument on unknown ids. *)
+val run_and_print : ?scale:scale -> Format.formatter -> string -> unit
+
+val run_all : ?scale:scale -> Format.formatter -> unit

@@ -1,0 +1,159 @@
+(** E1 — ONTRAC online tracing vs the two-phase offline baseline
+    (paper §2.1: "computing the dependence trace online causes the
+    program to slowdown by a factor of 19 on an average, as opposed to
+    540 times slowdown caused by extensive post-processing"). *)
+
+open Dift_vm
+open Dift_core
+open Dift_workloads
+
+type row = {
+  kernel : string;
+  native_cycles : int;
+  ontrac_slowdown : float;
+  offline_run_slowdown : float;  (** phase 1 only *)
+  offline_total_slowdown : float;  (** phases 1 + 2 *)
+  compact_graph_bpi : float;
+      (** bytes/instr of the postprocessed compacted graph (the
+          product that makes slicing "hundreds of millions of
+          instructions in seconds" feasible, ref [18]) *)
+}
+
+type result = { rows : row list; mean_ontrac : float; mean_offline : float }
+
+let measure_kernel (w : Workload.t) ~size ~seed =
+  let input = w.Workload.input ~size ~seed in
+  let m0 = Machine.create w.Workload.program ~input in
+  ignore (Machine.run m0);
+  let native = Machine.cycles m0 in
+  (* online *)
+  let m1 = Machine.create w.Workload.program ~input in
+  let tracer = Ontrac.create w.Workload.program in
+  Ontrac.attach tracer m1;
+  ignore (Machine.run m1);
+  let online = Machine.cycles m1 in
+  (* offline two-phase *)
+  let m2 = Machine.create w.Workload.program ~input in
+  let off = Offline.create w.Workload.program in
+  Offline.attach off m2;
+  ignore (Machine.run m2);
+  let compacted = Offline.postprocess off in
+  let phase1 = Machine.cycles m2 in
+  let total = phase1 + (Offline.stats off).Offline.postprocess_cycles in
+  {
+    kernel = w.Workload.name;
+    native_cycles = native;
+    ontrac_slowdown = float_of_int online /. float_of_int native;
+    offline_run_slowdown = float_of_int phase1 /. float_of_int native;
+    offline_total_slowdown = float_of_int total /. float_of_int native;
+    compact_graph_bpi =
+      float_of_int (Ddg_io.size compacted)
+      /. float_of_int (max 1 (Offline.stats off).Offline.instructions);
+  }
+
+let run ?(size = 40) ?(seed = 1) () =
+  let rows =
+    List.map (fun w -> measure_kernel w ~size ~seed) Spec_like.all
+  in
+  {
+    rows;
+    mean_ontrac =
+      Table.geomean (List.map (fun r -> r.ontrac_slowdown) rows);
+    mean_offline =
+      Table.geomean (List.map (fun r -> r.offline_total_slowdown) rows);
+  }
+
+let table r =
+  Table.make ~title:"E1: online (ONTRAC) vs offline two-phase tracing"
+    ~paper_claim:"online ~19x slowdown vs ~540x for trace + postprocess"
+    ~header:
+      [ "kernel"; "native cycles"; "ontrac x"; "offline run x";
+        "offline total x"; "compact graph B/instr" ]
+    ~notes:
+      [
+        Fmt.str "geomean: ontrac %.1fx, offline total %.1fx (ratio %.0fx)"
+          r.mean_ontrac r.mean_offline
+          (r.mean_offline /. r.mean_ontrac);
+      ]
+    (List.map
+       (fun row ->
+         [
+           row.kernel;
+           Table.i row.native_cycles;
+           Table.f1 row.ontrac_slowdown;
+           Table.f1 row.offline_run_slowdown;
+           Table.f1 row.offline_total_slowdown;
+           Table.f2 row.compact_graph_bpi;
+         ])
+       r.rows)
+
+(* -- tracing parallel applications --------------------------------------------- *)
+
+type parallel_row = {
+  p_name : string;
+  p_threads : int;
+  p_slowdown : float;
+  p_deps : int;
+  p_cross_thread_deps : int;
+      (** dependences whose definition and use are on different
+          threads — what makes multithreaded tracing hard and what
+          replay-based approaches must preserve *)
+}
+
+let parallel_workloads ~size =
+  [
+    ("stencil", 3, Splash_like.stencil ~threads:2 (),
+     Splash_like.stencil_input ~size ~seed:1);
+    ("bank", 3, Splash_like.bank ~threads:2 (),
+     Splash_like.bank_input ~size ~seed:0);
+    ("server", 3, Server_sim.program (),
+     (Server_sim.generate ~requests:(size * 2) ~seed:7 ()).Server_sim.input);
+  ]
+
+let measure_parallel (name, threads, program, input) =
+  let m0 = Machine.create program ~input in
+  ignore (Machine.run m0);
+  let base = Machine.cycles m0 in
+  let m = Machine.create program ~input in
+  let tracer = Ontrac.create program in
+  Ontrac.attach tracer m;
+  ignore (Machine.run m);
+  let g, _ = Ontrac.final_graph tracer in
+  let cross = ref 0 and total = ref 0 in
+  Ddg.iter_nodes
+    (fun n ->
+      List.iter
+        (fun (_, def) ->
+          incr total;
+          match Ddg.node g def with
+          | Some d when d.Ddg.tid <> n.Ddg.tid -> incr cross
+          | Some _ | None -> ())
+        n.Ddg.preds)
+    g;
+  {
+    p_name = name;
+    p_threads = threads;
+    p_slowdown = float_of_int (Machine.cycles m) /. float_of_int base;
+    p_deps = !total;
+    p_cross_thread_deps = !cross;
+  }
+
+let parallel ?(size = 20) () =
+  List.map measure_parallel (parallel_workloads ~size)
+
+let parallel_table rows =
+  Table.make ~title:"E1b: ONTRAC on multithreaded programs"
+    ~paper_claim:
+      "online tracing extends to parallel applications; cross-thread        dependences are captured (paper sections 2.2 and 4)"
+    ~header:
+      [ "workload"; "threads"; "ontrac x"; "deps"; "cross-thread deps" ]
+    (List.map
+       (fun r ->
+         [
+           r.p_name;
+           Table.i r.p_threads;
+           Table.f1 r.p_slowdown;
+           Table.i r.p_deps;
+           Table.i r.p_cross_thread_deps;
+         ])
+       rows)

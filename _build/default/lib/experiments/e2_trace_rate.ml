@@ -1,0 +1,233 @@
+(** E2 — trace storage rate and buffer window (paper §2.1: "store
+    tracing information at the average rate of 0.8 bytes per executed
+    instruction as opposed to 16 bytes per instruction without
+    [optimizations].  This enables us to store the dependence trace
+    history for a window of 20 million executed instructions in a 16MB
+    buffer").  Includes the per-optimization ablation. *)
+
+open Dift_vm
+open Dift_core
+open Dift_workloads
+
+type row = {
+  kernel : string;
+  instructions : int;
+  raw_bpi : float;  (** the offline baseline's fixed 16 B/instr *)
+  unopt_bpi : float;  (** online, no optimizations *)
+  o1_bpi : float;
+  o12_bpi : float;
+  o123_bpi : float;
+  window_in_16mb : int;  (** instructions a 16MB buffer can hold *)
+}
+
+type result = {
+  rows : row list;
+  mean_opt_bpi : float;
+  mean_window : float;
+}
+
+let bpi_with opts (w : Workload.t) ~size ~seed =
+  let input = w.Workload.input ~size ~seed in
+  let m = Machine.create w.Workload.program ~input in
+  let tracer = Ontrac.create ~opts w.Workload.program in
+  Ontrac.attach tracer m;
+  ignore (Machine.run m);
+  (Ontrac.bytes_per_instr tracer, (Ontrac.stats tracer).Ontrac.instructions)
+
+let measure_kernel (w : Workload.t) ~size ~seed =
+  let base = Ontrac.no_opts in
+  let unopt_bpi, instructions = bpi_with base w ~size ~seed in
+  let o1_bpi, _ = bpi_with { base with o1_intra_block = true } w ~size ~seed in
+  let o12_bpi, _ =
+    bpi_with { base with o1_intra_block = true; o2_traces = true } w ~size
+      ~seed
+  in
+  let o123_bpi, _ = bpi_with Ontrac.default_opts w ~size ~seed in
+  {
+    kernel = w.Workload.name;
+    instructions;
+    raw_bpi = float_of_int Offline.bytes_per_instr;
+    unopt_bpi;
+    o1_bpi;
+    o12_bpi;
+    o123_bpi;
+    window_in_16mb =
+      int_of_float (16. *. 1024. *. 1024. /. max 0.001 o123_bpi);
+  }
+
+let run ?(size = 40) ?(seed = 2) () =
+  let rows =
+    List.map (fun w -> measure_kernel w ~size ~seed) Spec_like.all
+  in
+  {
+    rows;
+    mean_opt_bpi = Table.geomean (List.map (fun r -> r.o123_bpi) rows);
+    mean_window =
+      Table.geomean
+        (List.map (fun r -> float_of_int r.window_in_16mb) rows);
+  }
+
+let table r =
+  Table.make ~title:"E2: stored trace bytes per instruction (ablation)"
+    ~paper_claim:
+      "0.8 B/instr optimized vs 16 B/instr raw; 20M-instr window in 16MB"
+    ~header:
+      [ "kernel"; "instrs"; "raw"; "online"; "+O1"; "+O1O2"; "+O1O2O3";
+        "16MB window" ]
+    ~notes:
+      [
+        Fmt.str "geomean optimized rate: %.2f B/instr" r.mean_opt_bpi;
+        Fmt.str "geomean 16MB window: %.1fM instructions"
+          (r.mean_window /. 1e6);
+      ]
+    (List.map
+       (fun row ->
+         [
+           row.kernel;
+           Table.i row.instructions;
+           Table.f1 row.raw_bpi;
+           Table.f2 row.unopt_bpi;
+           Table.f2 row.o1_bpi;
+           Table.f2 row.o12_bpi;
+           Table.f2 row.o123_bpi;
+           Fmt.str "%.1fM" (float_of_int row.window_in_16mb /. 1e6);
+         ])
+       r.rows)
+
+(* -- selective tracing (O4a / O4b) ---------------------------------------- *)
+
+type selective_row = {
+  s_kernel : string;
+  full_recorded : int;
+  input_gated_recorded : int;
+}
+
+let selective ?(size = 40) ?(seed = 2) () =
+  List.filter_map
+    (fun (w : Workload.t) ->
+      let input = w.Workload.input ~size ~seed in
+      let run opts =
+        let m = Machine.create w.Workload.program ~input in
+        let tracer = Ontrac.create ~opts w.Workload.program in
+        Ontrac.attach tracer m;
+        ignore (Machine.run m);
+        (Ontrac.stats tracer).Ontrac.deps_recorded
+      in
+      let full = run Ontrac.default_opts in
+      let gated =
+        run { Ontrac.default_opts with input_slice_only = true }
+      in
+      Some { s_kernel = w.Workload.name; full_recorded = full;
+             input_gated_recorded = gated })
+    [ Spec_like.sieve; Spec_like.crc; Spec_like.matmul; Spec_like.qsort ]
+
+let selective_table rows =
+  Table.make ~title:"E2b: input-forward-slice gating (O4b)"
+    ~paper_claim:
+      "tracing only dependences affected by the input shrinks the trace"
+    ~header:[ "kernel"; "deps recorded"; "input-gated"; "kept" ]
+    (List.map
+       (fun r ->
+         [
+           r.s_kernel;
+           Table.i r.full_recorded;
+           Table.i r.input_gated_recorded;
+           Table.pct
+             (float_of_int r.input_gated_recorded
+             /. float_of_int (max 1 r.full_recorded));
+         ])
+       rows)
+
+(* -- buffer-capacity sweep: execution-history window vs buffer size -------- *)
+
+type sweep_row = {
+  capacity : int;  (** bytes *)
+  window_instr : int;  (** retained execution window *)
+  evicted : int;
+}
+
+(* Run one long kernel under each capacity and report the retained
+   window — the series behind "a 16MB buffer holds a 20M-instruction
+   window". *)
+let capacity_sweep ?(size = 40) ?(seed = 2) () =
+  let w = Spec_like.matmul in
+  let input = w.Workload.input ~size ~seed in
+  List.map
+    (fun capacity ->
+      let m = Machine.create w.Workload.program ~input in
+      let tracer =
+        Ontrac.create ~opts:{ Ontrac.default_opts with capacity }
+          w.Workload.program
+      in
+      Ontrac.attach tracer m;
+      ignore (Machine.run m);
+      {
+        capacity;
+        window_instr = Ontrac.window_length tracer;
+        evicted = Trace_buffer.evicted_records (Ontrac.buffer tracer);
+      })
+    [ 4 * 1024; 16 * 1024; 64 * 1024; 256 * 1024; 1024 * 1024 ]
+
+let sweep_table rows =
+  Table.make ~title:"E2c: execution-history window vs buffer capacity"
+    ~paper_claim:
+      "the buffer bounds the window of history available to slicing;        window grows linearly with capacity"
+    ~header:[ "capacity"; "window (instrs)"; "evicted records" ]
+    (List.map
+       (fun r ->
+         [
+           (if r.capacity >= 1024 * 1024 then
+              Fmt.str "%dMB" (r.capacity / (1024 * 1024))
+            else Fmt.str "%dKB" (r.capacity / 1024));
+           Table.i r.window_instr;
+           Table.i r.evicted;
+         ])
+       rows)
+
+(* -- ablation: O2 hot-path threshold ---------------------------------------- *)
+
+type threshold_row = {
+  threshold : int;
+  t_bpi : float;
+  t_elided_o2 : int;
+}
+
+(* Sweep the execution count after which a block transition counts as
+   "hot": too high and the trace-level elimination never fires; too
+   low and it fires before the path is established (no correctness
+   impact — elision is verified against the dynamic writer — but the
+   paper's design point is that traces should be formed from genuinely
+   hot paths). *)
+let o2_threshold_sweep ?(size = 30) ?(seed = 2) () =
+  let w = Spec_like.matmul in
+  let input = w.Workload.input ~size ~seed in
+  List.map
+    (fun threshold ->
+      let m = Machine.create w.Workload.program ~input in
+      let tracer =
+        Ontrac.create
+          ~opts:{ Ontrac.default_opts with o2_hot_threshold = threshold }
+          w.Workload.program
+      in
+      Ontrac.attach tracer m;
+      ignore (Machine.run m);
+      {
+        threshold;
+        t_bpi = Ontrac.bytes_per_instr tracer;
+        t_elided_o2 = (Ontrac.stats tracer).Ontrac.elided_o2;
+      })
+    [ 2; 8; 32; 128; 1024; max_int ]
+
+let o2_threshold_table rows =
+  Table.make ~title:"E2d (ablation): O2 hot-path threshold"
+    ~paper_claim:
+      "trace-level elimination trades learning delay against stored bytes"
+    ~header:[ "threshold"; "B/instr"; "O2 elisions" ]
+    (List.map
+       (fun r ->
+         [
+           (if r.threshold = max_int then "off" else Table.i r.threshold);
+           Table.f2 r.t_bpi;
+           Table.i r.t_elided_o2;
+         ])
+       rows)

@@ -1,0 +1,112 @@
+(** E3 — DIFT with a helper thread on a second core (paper §2.1:
+    "We conducted detailed simulations to evaluate the overhead for
+    performing DIFT and found that to be 48% for SPEC integer
+    programs"), contrasting software and hardware communication. *)
+
+open Dift_vm
+open Dift_core
+open Dift_workloads
+open Dift_multicore
+
+type row = {
+  kernel : string;
+  inline_slowdown : float;  (** single-core software DIFT *)
+  sw_helper_slowdown : float;
+  hw_helper_overhead : float;  (** fraction; paper: 0.48 *)
+  hw_stalls : int;
+}
+
+type result = { rows : row list; mean_hw_overhead : float }
+
+module Bool_engine = Engine.Make (Taint.Bool)
+
+let inline_slowdown (w : Workload.t) ~input =
+  let m0 = Machine.create w.Workload.program ~input in
+  ignore (Machine.run m0);
+  let base = Machine.cycles m0 in
+  let m = Machine.create w.Workload.program ~input in
+  let eng = Bool_engine.create w.Workload.program in
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  float_of_int (Machine.cycles m) /. float_of_int base
+
+let measure_kernel (w : Workload.t) ~size ~seed =
+  let input = w.Workload.input ~size ~seed in
+  let sw = Helper.run ~channel:Helper.Software w.Workload.program ~input in
+  let hw = Helper.run ~channel:Helper.Hardware w.Workload.program ~input in
+  {
+    kernel = w.Workload.name;
+    inline_slowdown = inline_slowdown w ~input;
+    sw_helper_slowdown = Helper.total_slowdown sw;
+    hw_helper_overhead = Helper.main_overhead hw;
+    hw_stalls = hw.Helper.stall_cycles;
+  }
+
+let run ?(size = 30) ?(seed = 3) () =
+  let rows =
+    List.map (fun w -> measure_kernel w ~size ~seed) Spec_like.all
+  in
+  {
+    rows;
+    mean_hw_overhead =
+      Table.geomean (List.map (fun r -> 1. +. r.hw_helper_overhead) rows)
+      -. 1.;
+  }
+
+let table r =
+  Table.make ~title:"E3: helper-thread DIFT on a second core"
+    ~paper_claim:"48% overhead with hardware support (SPEC int)"
+    ~header:
+      [ "kernel"; "inline x"; "sw-queue x"; "hw overhead"; "hw stalls" ]
+    ~notes:
+      [ Fmt.str "geomean hw overhead: %.0f%%" (100. *. r.mean_hw_overhead) ]
+    (List.map
+       (fun row ->
+         [
+           row.kernel;
+           Table.f1 row.inline_slowdown;
+           Table.f1 row.sw_helper_slowdown;
+           Table.pct row.hw_helper_overhead;
+           Table.i row.hw_stalls;
+         ])
+       r.rows)
+
+(* -- queue-capacity sweep ----------------------------------------------------- *)
+
+type queue_row = {
+  q_capacity : int;
+  q_overhead : float;
+  q_stalls : int;
+}
+
+(* The software queue's size determines how far the helper may lag
+   before the main core stalls — the communication design choice the
+   paper explores. *)
+let queue_sweep ?(size = 16) ?(seed = 3) () =
+  let w = Spec_like.matmul in
+  let input = w.Workload.input ~size ~seed in
+  List.map
+    (fun q_capacity ->
+      let r =
+        Helper.run ~channel:Helper.Software ~queue_capacity:q_capacity
+          w.Workload.program ~input
+      in
+      {
+        q_capacity;
+        (* main-core slowdown: stalls show up here; the helper's own
+           clock bounds the total either way *)
+        q_overhead =
+          float_of_int r.Helper.main_cycles
+          /. float_of_int (max 1 r.Helper.base_cycles);
+        q_stalls = r.Helper.stall_cycles;
+      })
+    [ 2; 8; 64; 1024; 65536 ]
+
+let queue_table rows =
+  Table.make ~title:"E3b (ablation): software queue capacity"
+    ~paper_claim:"a deeper queue absorbs helper lag and removes stalls"
+    ~header:[ "queue slots"; "main-core slowdown"; "stall cycles" ]
+    (List.map
+       (fun r ->
+         [ Table.i r.q_capacity; Table.f1 r.q_overhead; Table.i r.q_stalls ])
+       rows)

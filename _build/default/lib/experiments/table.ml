@@ -1,0 +1,52 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type t = {
+  title : string;
+  paper_claim : string;  (** the quantitative claim being reproduced *)
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~paper_claim ~header ?(notes = []) rows =
+  { title; paper_claim; header; rows; notes }
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.length t.header in
+  List.init cols (fun i ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row i with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        0 all)
+
+let pad n s = s ^ String.make (max 0 (n - String.length s)) ' '
+
+let pp ppf t =
+  let ws = widths t in
+  let line row =
+    String.concat "  " (List.mapi (fun i c -> pad (List.nth ws i) c) row)
+  in
+  Fmt.pf ppf "@[<v>== %s@,paper: %s@,@," t.title t.paper_claim;
+  Fmt.pf ppf "%s@," (line t.header);
+  Fmt.pf ppf "%s@,"
+    (String.concat "  " (List.map (fun w -> String.make w '-') ws));
+  List.iter (fun r -> Fmt.pf ppf "%s@," (line r)) t.rows;
+  List.iter (fun n -> Fmt.pf ppf "note: %s@," n) t.notes;
+  Fmt.pf ppf "@]"
+
+let f1 x = Fmt.str "%.1f" x
+let f2 x = Fmt.str "%.2f" x
+let pct x = Fmt.str "%.0f%%" (100. *. x)
+let i = string_of_int
+
+(** Geometric mean of a non-empty float list. *)
+let geomean xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+      exp
+        (List.fold_left (fun acc x -> acc +. log (max 1e-9 x)) 0. xs
+        /. float_of_int (List.length xs))

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type t = {
+  title : string;
+  paper_claim : string;  (** the quantitative claim being reproduced *)
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  title:string ->
+  paper_claim:string ->
+  header:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+val pp : t Fmt.t
+
+(** Cell formatting helpers. *)
+
+val f1 : float -> string
+val f2 : float -> string
+val pct : float -> string
+val i : int -> string
+
+(** Geometric mean ([0.] on an empty list). *)
+val geomean : float list -> float

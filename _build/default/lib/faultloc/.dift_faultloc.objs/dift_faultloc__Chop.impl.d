@@ -1,0 +1,1 @@
+lib/faultloc/chop.ml: Ddg Dift_core Dift_vm Event Machine Ontrac Slicing Tool

@@ -1,0 +1,1 @@
+lib/faultloc/multi_point.ml: Ddg Dift_core Dift_vm List Machine Ontrac Slicing

@@ -1,0 +1,1 @@
+lib/faultloc/multi_point.mli: Dift_core Dift_isa Dift_vm Machine Ontrac Program

@@ -1,0 +1,1 @@
+lib/faultloc/omission.ml: Dift_core Dift_isa Dift_vm Event Func Instr List Machine Ontrac Slicing Tool

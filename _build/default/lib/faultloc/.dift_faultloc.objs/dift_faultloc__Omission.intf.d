@@ -1,0 +1,1 @@
+lib/faultloc/omission.mli: Dift_isa Dift_vm Machine Program

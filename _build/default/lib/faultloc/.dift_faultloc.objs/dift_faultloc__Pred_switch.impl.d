@@ -1,0 +1,1 @@
+lib/faultloc/pred_switch.ml: Dift_isa Dift_vm Event Func Instr List Machine Tool

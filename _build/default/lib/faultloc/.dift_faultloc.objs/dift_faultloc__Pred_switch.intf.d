@@ -1,0 +1,1 @@
+lib/faultloc/pred_switch.mli: Dift_isa Dift_vm Machine Program

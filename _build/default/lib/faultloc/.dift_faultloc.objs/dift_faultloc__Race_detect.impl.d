@@ -1,0 +1,1 @@
+lib/faultloc/race_detect.ml: Array Dift_isa Dift_vm Event Fmt Func Hashtbl Instr List Machine Tool

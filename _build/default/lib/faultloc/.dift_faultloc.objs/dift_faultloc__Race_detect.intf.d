@@ -1,0 +1,1 @@
+lib/faultloc/race_detect.mli: Dift_vm Fmt Machine

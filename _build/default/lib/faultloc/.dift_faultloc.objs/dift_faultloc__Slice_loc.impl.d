@@ -1,0 +1,1 @@
+lib/faultloc/slice_loc.ml: Ddg Dift_core Dift_vm Event Hashtbl Machine Ontrac Slicing Tool

@@ -1,0 +1,1 @@
+lib/faultloc/slice_loc.mli: Dift_core Dift_isa Dift_vm Event Machine Ontrac Program

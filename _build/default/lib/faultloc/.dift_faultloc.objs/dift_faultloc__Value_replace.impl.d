@@ -1,0 +1,1 @@
+lib/faultloc/value_replace.ml: Dift_isa Dift_vm Event Func Hashtbl Instr List Machine Tool

@@ -1,0 +1,1 @@
+lib/faultloc/value_replace.mli: Dift_isa Dift_vm Machine Program

@@ -1,0 +1,52 @@
+(** Failure-inducing chops (paper §3.1, after Gupta et al. [1]):
+    intersect the forward slice of the failure-inducing input with the
+    backward slice of the failure.  The chop keeps only statements
+    that both consumed the bad input and influenced the failure —
+    typically a much smaller candidate set than the backward slice. *)
+
+open Dift_vm
+open Dift_core
+
+type report = {
+  backward_sites : int;
+  chop_sites : int;
+  faulty_site_in_chop : bool;
+  reduction : float;  (** chop sites / backward-slice sites *)
+}
+
+let run ?(opts = Ontrac.default_opts) ?config program ~input ~faulty_site =
+  let m = Machine.create ?config program ~input in
+  let tracer = Ontrac.create ~opts program in
+  Ontrac.attach tracer m;
+  let fault = ref None in
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0 ~on_fault:(fun f -> fault := Some f) "probe");
+  ignore (Machine.run m);
+  let g, w = Ontrac.final_graph tracer in
+  let criterion =
+    match !fault with
+    | Some f -> Some f.Event.at_step
+    | None -> Slicing.last_output g
+  in
+  match criterion with
+  | None ->
+      { backward_sites = 0; chop_sites = 0; faulty_site_in_chop = false;
+        reduction = 0. }
+  | Some sink ->
+      (* sources: every input-read instance *)
+      let sources = ref [] in
+      Ddg.iter_nodes
+        (fun n -> if n.Ddg.input_index >= 0 then sources := n.Ddg.step :: !sources)
+        g;
+      let bwd = Slicing.backward ~window_start:w g ~criterion:[ sink ] in
+      let chop =
+        Slicing.chop ~window_start:w g ~source:!sources ~sink:[ sink ]
+      in
+      {
+        backward_sites = Slicing.num_sites bwd;
+        chop_sites = Slicing.num_sites chop;
+        faulty_site_in_chop = Slicing.mem_site chop faulty_site;
+        reduction =
+          float_of_int (Slicing.num_sites chop)
+          /. float_of_int (max 1 (Slicing.num_sites bwd));
+      }

@@ -1,0 +1,24 @@
+(** Failure-inducing chops (paper §3.1, after Gupta et al. [1]):
+    intersect the forward slice of the failure-inducing input with the
+    backward slice of the failure.  The chop keeps only statements
+    that both consumed the bad input and influenced the failure —
+    typically a much smaller candidate set than the backward slice. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+type report = {
+  backward_sites : int;
+  chop_sites : int;
+  faulty_site_in_chop : bool;
+  reduction : float;  (** chop sites / backward-slice sites *)
+}
+
+val run :
+  ?opts:Ontrac.opts ->
+  ?config:Machine.config ->
+  Program.t ->
+  input:int array ->
+  faulty_site:(string * int) ->
+  report

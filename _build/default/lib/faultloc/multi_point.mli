@@ -1,0 +1,32 @@
+(** Locating faulty code by multiple-points slicing (paper §3.1, after
+    Zhang et al., SP&E'07 [13]).
+
+    When several outputs are wrong, the fault is (likely) in the
+    {e intersection} of their backward slices; when some outputs are
+    correct, subtracting their slices yields a {e dice}.  Output
+    correctness is established against an oracle (the expected output
+    list), position-wise. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+type report = {
+  wrong_outputs : int;
+  correct_outputs : int;
+  single_slice_sites : int;  (** backward slice of one wrong output *)
+  intersection_sites : int;  (** ∩ of all wrong outputs' slices *)
+  dice_sites : int;
+      (** intersection minus the correct outputs' slices *)
+  faulty_in_intersection : bool;
+  faulty_in_dice : bool;
+}
+
+val run :
+  ?opts:Ontrac.opts ->
+  ?config:Machine.config ->
+  Program.t ->
+  input:int array ->
+  expected_output:int list ->
+  faulty_site:(string * int) ->
+  report

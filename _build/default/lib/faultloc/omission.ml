@@ -1,0 +1,113 @@
+(** Locating execution-omission errors with implicit dependences
+    (paper §3.1, after Zhang et al., PLDI'07).
+
+    Execution-omission errors fail *because correct code did not run*:
+    the failure has no data or control dependence on the faulty
+    predicate, so the ordinary backward slice misses it.  The implicit
+    dependence between the failure and a predicate is exposed by
+    switching the predicate: if forcing the untaken outcome makes the
+    failure disappear, the failure implicitly depends on that
+    predicate.
+
+    The search is demand-driven: only predicates *outside* the plain
+    slice are candidates (those inside are already implicated), tried
+    nearest to the failure first, and each verification is one
+    deterministic re-execution.  On success the slice is augmented
+    with the verified predicate and everything it depends on. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+type report = {
+  plain_slice_sites : int;
+  plain_slice_has_fault : bool;
+  verified_predicate : (int * (string * int)) option;
+      (** (dynamic step, site) of the implicit dependence *)
+  verifications : int;  (** re-executions spent *)
+  augmented_slice_sites : int;
+  augmented_slice_has_fault : bool;
+}
+
+let run ?(config = Machine.default_config) ?(max_verifications = 100)
+    program ~input ~faulty_site =
+  (* failing run under ONTRAC, collecting branch instances as we go *)
+  let m = Machine.create ~config program ~input in
+  let tracer = Ontrac.create program in
+  Ontrac.attach tracer m;
+  let branches = ref [] in
+  let fault = ref None in
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0
+       ~on_exec:(fun e ->
+         match e.Event.instr with
+         | Instr.Br _ ->
+             branches :=
+               (e.Event.step, (e.Event.func.Func.name, e.Event.pc))
+               :: !branches
+         | _ -> ())
+       ~on_fault:(fun f -> fault := Some f)
+       "probe");
+  ignore (Machine.run m);
+  let g, w = Ontrac.final_graph tracer in
+  let criterion =
+    match !fault with
+    | Some f -> Some f.Event.at_step
+    | None -> Slicing.last_output g
+  in
+  let plain =
+    match criterion with
+    | Some c -> Slicing.backward ~window_start:w g ~criterion:[ c ]
+    | None -> Slicing.empty
+  in
+  (* demand-driven verification over predicates outside the slice *)
+  let candidates =
+    List.filter (fun (step, _) -> not (Slicing.mem_step plain step)) !branches
+  in
+  let verifications = ref 0 in
+  let verified = ref None in
+  let rec verify = function
+    | [] -> ()
+    | (step, site) :: rest ->
+        if !verifications >= max_verifications || !verified <> None then ()
+        else begin
+          incr verifications;
+          let m2 =
+            Machine.create
+              ~config:{ config with flip_steps = [ step ] }
+              program ~input
+          in
+          (match Machine.run m2 with
+          | Event.Halted -> verified := Some (step, site)
+          | Event.Faulted _ | Event.Deadlocked | Event.Out_of_steps
+          | Event.Stopped _ ->
+              ());
+          if !verified = None then verify rest
+        end
+  in
+  verify candidates;
+  let augmented =
+    match !verified with
+    | None -> plain
+    | Some (step, _) ->
+        let extra =
+          Slicing.backward ~window_start:w g ~criterion:[ step ]
+        in
+        (* union of the two slices *)
+        let steps =
+          Slicing.steps plain @ Slicing.steps extra
+        in
+        Slicing.backward ~window_start:w g ~criterion:steps
+  in
+  {
+    plain_slice_sites = Slicing.num_sites plain;
+    plain_slice_has_fault = Slicing.mem_site plain faulty_site;
+    verified_predicate = !verified;
+    verifications = !verifications;
+    augmented_slice_sites = Slicing.num_sites augmented;
+    augmented_slice_has_fault =
+      Slicing.mem_site augmented faulty_site
+      || (match !verified with
+         | Some (_, site) -> site = faulty_site
+         | None -> false);
+  }

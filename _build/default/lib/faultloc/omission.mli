@@ -1,0 +1,32 @@
+(** Locating execution-omission errors with implicit dependences
+    (paper §3.1, after Zhang et al., PLDI'07).
+
+    Execution-omission errors fail because correct code did {e not}
+    run: the failure has no data or control dependence on the faulty
+    predicate, so the ordinary backward slice misses it.  The implicit
+    dependence is exposed by predicate switching: if forcing the
+    untaken outcome makes the failure disappear, the failure
+    implicitly depends on that predicate, and the slice is augmented
+    through it.  The search is demand-driven: only predicates outside
+    the plain slice are candidates, nearest the failure first. *)
+
+open Dift_isa
+open Dift_vm
+
+type report = {
+  plain_slice_sites : int;
+  plain_slice_has_fault : bool;
+  verified_predicate : (int * (string * int)) option;
+      (** (dynamic step, site) of the implicit dependence *)
+  verifications : int;  (** re-executions spent *)
+  augmented_slice_sites : int;
+  augmented_slice_has_fault : bool;
+}
+
+val run :
+  ?config:Machine.config ->
+  ?max_verifications:int ->
+  Program.t ->
+  input:int array ->
+  faulty_site:(string * int) ->
+  report

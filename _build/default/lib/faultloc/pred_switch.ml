@@ -1,0 +1,84 @@
+(** Automated predicate switching (paper §3.1, after Zhang et al.,
+    ICSE'06).
+
+    A predicate instance is *critical* when forcibly inverting its
+    outcome makes the failing run pass.  Critical predicates either are
+    the faulty statement or sit next to it, so they are strong fault
+    candidates — and, unlike slices, they also catch execution-omission
+    errors, where the faulty predicate kept correct code from running.
+
+    The search re-executes the (deterministic) failing run once per
+    candidate, flipping one dynamic branch instance at a time, nearest
+    to the failure first. *)
+
+open Dift_isa
+open Dift_vm
+
+type critical = {
+  step : int;  (** the flipped dynamic branch instance *)
+  site : string * int;
+  attempts : int;  (** re-executions needed to find it *)
+}
+
+type report = {
+  critical : critical option;
+  branches_seen : int;
+  attempts_made : int;
+}
+
+(* Collect the dynamic branch instances of a failing run, with sites. *)
+let branch_instances ?config program ~input =
+  let m = Machine.create ?config program ~input in
+  let branches = ref [] in
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0
+       ~on_exec:(fun e ->
+         match e.Event.instr with
+         | Instr.Br _ ->
+             branches :=
+               (e.Event.step, (e.Event.func.Func.name, e.Event.pc))
+               :: !branches
+         | _ -> ())
+       "branch-probe");
+  let outcome = Machine.run m in
+  (!branches (* newest first = nearest the failure first *), outcome)
+
+(* A flipped run "passes" when it neither faults nor deadlocks. *)
+let passes outcome =
+  match outcome with
+  | Event.Halted -> true
+  | Event.Faulted _ | Event.Deadlocked | Event.Out_of_steps
+  | Event.Stopped _ ->
+      false
+
+let search ?(config = Machine.default_config) ?(max_attempts = 200) program
+    ~input =
+  let branches, original_outcome = branch_instances ~config program ~input in
+  if passes original_outcome then
+    { critical = None; branches_seen = List.length branches;
+      attempts_made = 0 }
+  else begin
+    let attempts = ref 0 in
+    let found = ref None in
+    let rec try_candidates = function
+      | [] -> ()
+      | (step, site) :: rest ->
+          if !attempts >= max_attempts || !found <> None then ()
+          else begin
+            incr attempts;
+            let flipped =
+              { config with flip_steps = [ step ] }
+            in
+            let m = Machine.create ~config:flipped program ~input in
+            let o = Machine.run m in
+            if passes o then found := Some { step; site; attempts = !attempts }
+            else try_candidates rest
+          end
+    in
+    try_candidates branches;
+    {
+      critical = !found;
+      branches_seen = List.length branches;
+      attempts_made = !attempts;
+    }
+  end

@@ -1,0 +1,31 @@
+(** Automated predicate switching (paper §3.1, after Zhang et al.,
+    ICSE'06).
+
+    A predicate instance is {e critical} when forcibly inverting its
+    outcome makes the failing run pass.  Critical predicates either
+    are the faulty statement or sit next to it — and, unlike slices,
+    they also catch execution-omission errors.  The search re-executes
+    the deterministic failing run once per candidate, nearest to the
+    failure first. *)
+
+open Dift_isa
+open Dift_vm
+
+type critical = {
+  step : int;  (** the flipped dynamic branch instance *)
+  site : string * int;
+  attempts : int;  (** re-executions needed to find it *)
+}
+
+type report = {
+  critical : critical option;
+  branches_seen : int;
+  attempts_made : int;
+}
+
+val search :
+  ?config:Machine.config ->
+  ?max_attempts:int ->
+  Program.t ->
+  input:int array ->
+  report

@@ -1,0 +1,221 @@
+(** Dynamic data-race detection with synchronisation recognition
+    (paper §3.1, after Tian et al. [10]).
+
+    A vector-clock happens-before detector over the VM's event stream.
+    Ordering edges come from thread creation/join, locks and barriers —
+    and, in [Sync_aware] mode, from *recognised user-level
+    synchronisation*: repeated spin-wait reads classify their address
+    as a sync variable; a store to a sync variable releases the
+    writer's clock and a subsequent load acquires it.  Sync-aware mode
+    also drops the reports on the sync variables themselves — the
+    benign "synchronisation races" plain detectors drown users in. *)
+
+open Dift_isa
+open Dift_vm
+
+type mode = Basic | Sync_aware
+
+let max_threads = 32
+
+type access = { a_tid : int; a_clock : int; a_site : string * int }
+
+type loc_state = {
+  mutable last_write : access option;
+  mutable last_reads : (int * access) list;  (** newest per tid *)
+}
+
+type race = {
+  addr : int;
+  prior : access;
+  current : access;
+  current_is_write : bool;
+}
+
+type t = {
+  mode : mode;
+  clocks : (int, int array) Hashtbl.t;
+  locs : (int, loc_state) Hashtbl.t;
+  lock_vcs : (int, int array) Hashtbl.t;
+  barrier_acc : (int, int array) Hashtbl.t;
+  pending_barrier : (int, int) Hashtbl.t;  (** tid -> barrier id *)
+  sync_addrs : (int, unit) Hashtbl.t;
+  sync_release : (int, int array) Hashtbl.t;
+  spin_state : (int, int * int) Hashtbl.t;  (** tid -> (addr, run length) *)
+  spin_threshold : int;
+  mutable rev_races : race list;
+  reported : ((string * int) * (string * int), unit) Hashtbl.t;
+}
+
+let create ?(spin_threshold = 6) mode =
+  {
+    mode;
+    clocks = Hashtbl.create 8;
+    locs = Hashtbl.create 1024;
+    lock_vcs = Hashtbl.create 16;
+    barrier_acc = Hashtbl.create 8;
+    pending_barrier = Hashtbl.create 8;
+    sync_addrs = Hashtbl.create 16;
+    sync_release = Hashtbl.create 16;
+    spin_state = Hashtbl.create 8;
+    spin_threshold;
+    rev_races = [];
+    reported = Hashtbl.create 64;
+  }
+
+let vc_of t tid =
+  if tid >= max_threads then
+    invalid_arg
+      (Fmt.str "Race_detect: thread id %d exceeds the %d-thread limit" tid
+         max_threads);
+  match Hashtbl.find_opt t.clocks tid with
+  | Some v -> v
+  | None ->
+      let v = Array.make max_threads 0 in
+      v.(tid) <- 1;
+      Hashtbl.replace t.clocks tid v;
+      v
+
+let join_into dst src =
+  for i = 0 to max_threads - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let tick t tid = (vc_of t tid).(tid) <- (vc_of t tid).(tid) + 1
+
+(* [prior] happened before the current access by [tid] iff the prior
+   access's clock is covered by the current thread's knowledge of the
+   prior thread. *)
+let ordered t prior ~tid =
+  prior.a_tid = tid || prior.a_clock <= (vc_of t tid).(prior.a_tid)
+
+let loc_of t addr =
+  match Hashtbl.find_opt t.locs addr with
+  | Some l -> l
+  | None ->
+      let l = { last_write = None; last_reads = [] } in
+      Hashtbl.replace t.locs addr l;
+      l
+
+let report t addr prior current ~current_is_write =
+  let key = (prior.a_site, current.a_site) in
+  if not (Hashtbl.mem t.reported key) then begin
+    Hashtbl.replace t.reported key ();
+    t.rev_races <- { addr; prior; current; current_is_write } :: t.rev_races
+  end
+
+let access t (e : Event.exec) ~is_write =
+  let addr = e.Event.addr in
+  let tid = e.Event.tid in
+  let l = loc_of t addr in
+  let me =
+    { a_tid = tid; a_clock = (vc_of t tid).(tid);
+      a_site = (e.Event.func.Func.name, e.Event.pc) }
+  in
+  (match l.last_write with
+  | Some w when w.a_tid <> tid && not (ordered t w ~tid) ->
+      report t addr w me ~current_is_write:is_write
+  | Some _ | None -> ());
+  if is_write then begin
+    List.iter
+      (fun (rtid, r) ->
+        if rtid <> tid && not (ordered t r ~tid) then
+          report t addr r me ~current_is_write:true)
+      l.last_reads;
+    l.last_write <- Some me;
+    l.last_reads <- []
+  end
+  else l.last_reads <- (tid, me) :: List.remove_assoc tid l.last_reads
+
+(* Spin recognition: consecutive loads of one address by one thread. *)
+let note_spin t tid addr =
+  let run =
+    match Hashtbl.find_opt t.spin_state tid with
+    | Some (a, c) when a = addr -> c + 1
+    | Some _ | None -> 1
+  in
+  Hashtbl.replace t.spin_state tid (addr, run);
+  if run >= t.spin_threshold && not (Hashtbl.mem t.sync_addrs addr) then
+    Hashtbl.replace t.sync_addrs addr ()
+
+let on_exec t (e : Event.exec) =
+  let tid = e.Event.tid in
+  (* lazy barrier acquire *)
+  (match Hashtbl.find_opt t.pending_barrier tid with
+  | Some id ->
+      Hashtbl.remove t.pending_barrier tid;
+      (match Hashtbl.find_opt t.barrier_acc id with
+      | Some acc -> join_into (vc_of t tid) acc
+      | None -> ())
+  | None -> ());
+  match e.Event.instr with
+  | Instr.Sys (Instr.Spawn _) ->
+      let child = e.Event.value in
+      join_into (vc_of t child) (vc_of t tid);
+      (vc_of t child).(child) <- (vc_of t child).(child) + 1;
+      tick t tid
+  | Instr.Sys (Instr.Join _) ->
+      let target = e.Event.value in
+      join_into (vc_of t tid) (vc_of t target)
+  | Instr.Sys (Instr.Lock _) ->
+      (match Hashtbl.find_opt t.lock_vcs e.Event.value with
+      | Some lv -> join_into (vc_of t tid) lv
+      | None -> ())
+  | Instr.Sys (Instr.Unlock _) ->
+      Hashtbl.replace t.lock_vcs e.Event.value
+        (Array.copy (vc_of t tid));
+      tick t tid
+  | Instr.Sys (Instr.Barrier _) ->
+      let id = e.Event.value in
+      let acc =
+        match Hashtbl.find_opt t.barrier_acc id with
+        | Some acc -> acc
+        | None ->
+            let acc = Array.make max_threads 0 in
+            Hashtbl.replace t.barrier_acc id acc;
+            acc
+      in
+      join_into acc (vc_of t tid);
+      tick t tid;
+      Hashtbl.replace t.pending_barrier tid id
+  | Instr.Load _ when e.Event.addr >= 0 ->
+      if t.mode = Sync_aware then begin
+        note_spin t tid e.Event.addr;
+        match Hashtbl.find_opt t.sync_release e.Event.addr with
+        | Some rv when Hashtbl.mem t.sync_addrs e.Event.addr ->
+            join_into (vc_of t tid) rv
+        | Some _ | None -> ()
+      end;
+      access t e ~is_write:false
+  | Instr.Store _ when e.Event.addr >= 0 ->
+      if t.mode = Sync_aware then begin
+        Hashtbl.remove t.spin_state tid;
+        if Hashtbl.mem t.sync_addrs e.Event.addr then begin
+          Hashtbl.replace t.sync_release e.Event.addr
+            (Array.copy (vc_of t tid));
+          tick t tid
+        end
+      end;
+      access t e ~is_write:true
+  | _ -> ()
+
+(** Races found, oldest first.  In sync-aware mode, races on addresses
+    later recognised as sync variables are filtered out (they are the
+    synchronisation itself). *)
+let races t =
+  let all = List.rev t.rev_races in
+  match t.mode with
+  | Basic -> all
+  | Sync_aware ->
+      List.filter (fun r -> not (Hashtbl.mem t.sync_addrs r.addr)) all
+
+let sync_vars t = Hashtbl.length t.sync_addrs
+
+let attach t machine =
+  Machine.attach machine
+    (Tool.make ~dispatch_cost:0 ~on_exec:(on_exec t) "race-detect")
+
+let pp_race ppf r =
+  let f, p = r.prior.a_site and f2, p2 = r.current.a_site in
+  Fmt.pf ppf "mem[%d]: %s:%d (t%d) vs %s:%d (t%d)%s" r.addr f p
+    r.prior.a_tid f2 p2 r.current.a_tid
+    (if r.current_is_write then " [write]" else "")

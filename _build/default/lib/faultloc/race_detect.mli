@@ -1,0 +1,39 @@
+(** Dynamic data-race detection with synchronisation recognition
+    (paper §3.1, after Tian et al. [10]).
+
+    A vector-clock happens-before detector over the VM's event stream.
+    Ordering edges come from thread creation/join, locks and barriers
+    — and, in [Sync_aware] mode, from recognised user-level
+    synchronisation: repeated spin-wait reads classify their address
+    as a sync variable; a store to a sync variable releases the
+    writer's clock and a subsequent load acquires it.  Sync-aware mode
+    also drops the reports on the sync variables themselves — the
+    benign "synchronisation races" plain detectors drown users in. *)
+
+open Dift_vm
+
+type mode = Basic | Sync_aware
+
+type access = { a_tid : int; a_clock : int; a_site : string * int }
+
+type race = {
+  addr : int;
+  prior : access;
+  current : access;
+  current_is_write : bool;
+}
+
+type t
+
+val create : ?spin_threshold:int -> mode -> t
+val attach : t -> Machine.t -> unit
+
+(** Races found, oldest first, deduplicated by site pair.  In
+    sync-aware mode, races on addresses later recognised as sync
+    variables are filtered out. *)
+val races : t -> race list
+
+(** Number of sync variables recognised. *)
+val sync_vars : t -> int
+
+val pp_race : race Fmt.t

@@ -1,0 +1,58 @@
+(** Dynamic-slicing fault location (paper §3.1).
+
+    Run the failing input under ONTRAC, slice backwards from the
+    failure point (the faulting instruction, or the last output when
+    the failure is wrong output), and report how much of the program a
+    developer must examine: the static sites in the slice, and whether
+    the known faulty site is among them. *)
+
+open Dift_vm
+open Dift_core
+
+type report = {
+  fault : Event.fault option;
+  criterion_step : int option;
+  slice_steps : int;
+  slice_sites : int;
+  total_sites : int;  (** static instructions executed at least once *)
+  faulty_site_in_slice : bool;
+  examined_fraction : float;
+      (** slice sites / executed sites — the effort metric *)
+}
+
+let run ?(opts = Ontrac.default_opts) ?config program ~input ~faulty_site =
+  let m = Machine.create ?config program ~input in
+  let tracer = Ontrac.create ~opts program in
+  Ontrac.attach tracer m;
+  let fault = ref None in
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0 ~on_fault:(fun f -> fault := Some f) "probe");
+  ignore (Machine.run m);
+  let g, w = Ontrac.final_graph tracer in
+  let criterion =
+    match !fault with
+    | Some f -> Some f.Event.at_step
+    | None -> Slicing.last_output g
+  in
+  let slice =
+    match criterion with
+    | Some c -> Slicing.backward ~window_start:w g ~criterion:[ c ]
+    | None -> Slicing.empty
+  in
+  (* executed static sites = distinct (fname, pc) among graph nodes *)
+  let sites = Hashtbl.create 256 in
+  Ddg.iter_nodes
+    (fun n -> Hashtbl.replace sites (n.Ddg.fname, n.Ddg.pc) ())
+    g;
+  let total_sites = Hashtbl.length sites in
+  {
+    fault = !fault;
+    criterion_step = criterion;
+    slice_steps = Slicing.size slice;
+    slice_sites = Slicing.num_sites slice;
+    total_sites;
+    faulty_site_in_slice = Slicing.mem_site slice faulty_site;
+    examined_fraction =
+      float_of_int (Slicing.num_sites slice)
+      /. float_of_int (max 1 total_sites);
+  }

@@ -1,0 +1,29 @@
+(** Dynamic-slicing fault location (paper §3.1).
+
+    Run the failing input under ONTRAC, slice backwards from the
+    failure point (the faulting instruction, or the last output when
+    the failure is wrong output), and report how much of the program a
+    developer must examine. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+type report = {
+  fault : Event.fault option;
+  criterion_step : int option;
+  slice_steps : int;
+  slice_sites : int;
+  total_sites : int;  (** static instructions executed at least once *)
+  faulty_site_in_slice : bool;
+  examined_fraction : float;
+      (** slice sites / executed sites — the effort metric *)
+}
+
+val run :
+  ?opts:Ontrac.opts ->
+  ?config:Machine.config ->
+  Program.t ->
+  input:int array ->
+  faulty_site:(string * int) ->
+  report

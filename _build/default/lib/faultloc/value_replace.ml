@@ -1,0 +1,127 @@
+(** Fault localization using value replacement (paper §3.1, after
+    Jeffrey et al. [2]).
+
+    A statement instance is an *interesting value-mapping pair* when
+    replacing the value it produced with some alternate value (drawn
+    from the same run's value profile) turns the failing run into a
+    passing one.  Unlike slicing this needs no dependence tracking and
+    uniformly handles all error classes; statements are ranked by
+    whether such a replacement exists (and how early the instance is).
+
+    Each candidate costs one deterministic re-execution. *)
+
+open Dift_isa
+open Dift_vm
+
+type ranked = {
+  site : string * int;
+  step : int;  (** instance whose replacement made the run pass *)
+  replacement : int;
+}
+
+type report = {
+  ranking : ranked list;  (** interesting sites, by discovery order *)
+  faulty_rank : int option;
+      (** 1-based position of the known faulty site in the ranking *)
+  attempts : int;
+  sites_profiled : int;
+}
+
+(* Value-producing instructions worth perturbing. *)
+let producer (e : Event.exec) =
+  match e.Event.instr with
+  | Instr.Mov _ | Instr.Binop _ | Instr.Cmp _ | Instr.Load _ -> true
+  | _ -> false
+
+let passes = function
+  | Event.Halted -> true
+  | Event.Faulted _ | Event.Deadlocked | Event.Out_of_steps
+  | Event.Stopped _ ->
+      false
+
+let run ?(config = Machine.default_config) ?(max_attempts = 400)
+    ?(alternates_per_site = 3) program ~input ~faulty_site =
+  (* profile the failing run: per site, the values produced and one
+     representative instance (the last, nearest the failure) *)
+  let profile : (string * int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let instance : (string * int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let m = Machine.create ~config program ~input in
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0
+       ~on_exec:(fun e ->
+         if producer e then begin
+           let site = (e.Event.func.Func.name, e.Event.pc) in
+           let vs =
+             match Hashtbl.find_opt profile site with
+             | Some vs -> vs
+             | None -> []
+           in
+           if not (List.mem e.Event.value vs) then
+             Hashtbl.replace profile site (e.Event.value :: vs);
+           Hashtbl.replace instance site (e.Event.step, e.Event.value)
+         end)
+       "value-profile");
+  let original = Machine.run m in
+  if passes original then
+    { ranking = []; faulty_rank = None; attempts = 0; sites_profiled = 0 }
+  else begin
+    (* candidate alternates per site: other observed values at the same
+       site, plus simple mutations of the produced value *)
+    let attempts = ref 0 in
+    let ranking = ref [] in
+    let sites =
+      Hashtbl.fold (fun site inst acc -> (site, inst) :: acc) instance []
+      (* nearest-to-failure instances first *)
+      |> List.sort (fun (_, (s1, _)) (_, (s2, _)) -> compare s2 s1)
+    in
+    List.iter
+      (fun (site, (step, value)) ->
+        if !attempts < max_attempts then begin
+          let observed =
+            match Hashtbl.find_opt profile site with
+            | Some vs -> List.filter (fun v -> v <> value) vs
+            | None -> []
+          in
+          let alternates =
+            let mutations = [ value + 1; value - 1; 1 - value ] in
+            let rec take n = function
+              | [] -> []
+              | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+            in
+            take alternates_per_site
+              (observed @ List.filter (fun v -> v <> value) mutations)
+          in
+          List.iter
+            (fun alt ->
+              if
+                !attempts < max_attempts
+                && not (List.exists (fun r -> r.site = site) !ranking)
+              then begin
+                incr attempts;
+                let m2 =
+                  Machine.create
+                    ~config:
+                      { config with value_replacements = [ (step, alt) ] }
+                    program ~input
+                in
+                if passes (Machine.run m2) then
+                  ranking := { site; step; replacement = alt } :: !ranking
+              end)
+            alternates
+        end)
+      sites;
+    let ranking = List.rev !ranking in
+    let faulty_rank =
+      let rec find i = function
+        | [] -> None
+        | r :: rest -> if r.site = faulty_site then Some i else find (i + 1) rest
+      in
+      find 1 ranking
+    in
+    {
+      ranking;
+      faulty_rank;
+      attempts = !attempts;
+      sites_profiled = Hashtbl.length instance;
+    }
+  end

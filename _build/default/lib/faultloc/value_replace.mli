@@ -1,0 +1,35 @@
+(** Fault localization using value replacement (paper §3.1, after
+    Jeffrey et al. [2]).
+
+    A statement instance is an {e interesting value-mapping pair} when
+    replacing the value it produced with some alternate value (drawn
+    from the same run's value profile) turns the failing run into a
+    passing one.  Unlike slicing this needs no dependence tracking and
+    uniformly handles all error classes.  Each candidate costs one
+    deterministic re-execution. *)
+
+open Dift_isa
+open Dift_vm
+
+type ranked = {
+  site : string * int;
+  step : int;  (** instance whose replacement made the run pass *)
+  replacement : int;
+}
+
+type report = {
+  ranking : ranked list;  (** interesting sites, by discovery order *)
+  faulty_rank : int option;
+      (** 1-based position of the known faulty site in the ranking *)
+  attempts : int;
+  sites_profiled : int;
+}
+
+val run :
+  ?config:Machine.config ->
+  ?max_attempts:int ->
+  ?alternates_per_site:int ->
+  Program.t ->
+  input:int array ->
+  faulty_site:(string * int) ->
+  report

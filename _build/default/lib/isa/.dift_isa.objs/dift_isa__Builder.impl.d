@@ -1,0 +1,1 @@
+lib/isa/builder.ml: Array Fmt Func Hashtbl Instr List Operand Reg

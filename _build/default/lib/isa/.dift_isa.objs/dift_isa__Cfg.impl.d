@@ -1,0 +1,1 @@
+lib/isa/cfg.ml: Array Fmt Func Instr List

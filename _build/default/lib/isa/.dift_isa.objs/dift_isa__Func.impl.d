@@ -1,0 +1,1 @@
+lib/isa/func.ml: Array Fmt Instr

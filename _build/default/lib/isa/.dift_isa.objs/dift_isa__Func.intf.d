@@ -1,0 +1,1 @@
+lib/isa/func.mli: Fmt Instr

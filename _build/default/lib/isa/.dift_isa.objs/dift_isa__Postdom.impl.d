@@ -1,0 +1,1 @@
+lib/isa/postdom.ml: Array Cfg Fmt List Stack

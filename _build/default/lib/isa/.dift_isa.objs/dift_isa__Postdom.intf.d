@@ -1,0 +1,1 @@
+lib/isa/postdom.mli: Cfg Fmt

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Fmt Func Hashtbl List

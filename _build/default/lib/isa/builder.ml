@@ -1,0 +1,201 @@
+(** Embedded assembler.
+
+    Workloads are written against this builder rather than raw
+    {!Instr.t} arrays: it provides symbolic labels (resolved to
+    instruction indices at {!build} time), automatic fallthrough
+    targets for conditional branches, and a handful of structured
+    helpers.  One builder produces one function. *)
+
+type target =
+  | To_label of string
+  | To_next  (** resolves to the next instruction index *)
+
+type pending =
+  | P_instr of Instr.t
+  | P_jmp of target
+  | P_br of Operand.t * target * target
+
+type t = {
+  name : string;
+  arity : int;
+  mutable rev_code : pending list;
+  mutable len : int;
+  labels : (string, int) Hashtbl.t;
+  mutable next_fresh : int;
+}
+
+let create ~name ~arity =
+  { name; arity; rev_code = []; len = 0; labels = Hashtbl.create 16;
+    next_fresh = 0 }
+
+let emit b p =
+  b.rev_code <- p :: b.rev_code;
+  b.len <- b.len + 1
+
+(** Attach a label to the next emitted instruction. *)
+let label b l =
+  if Hashtbl.mem b.labels l then
+    invalid_arg (Fmt.str "Builder.label: duplicate label %s in %s" l b.name);
+  Hashtbl.replace b.labels l b.len
+
+(** Index of the next instruction to be emitted.  Workloads use this to
+    record the site of a deliberately injected fault. *)
+let here b = b.len
+
+(** A fresh label name with the given stem, unique within the builder. *)
+let fresh_label b stem =
+  let l = Fmt.str "%s__%d" stem b.next_fresh in
+  b.next_fresh <- b.next_fresh + 1;
+  l
+
+(* -- plain instructions ------------------------------------------------ *)
+
+let instr b i = emit b (P_instr i)
+let nop b = instr b Instr.Nop
+let mov b d s = instr b (Instr.Mov (d, s))
+let movi b d n = instr b (Instr.Mov (d, Operand.Imm n))
+
+let binop b op d x y = instr b (Instr.Binop (op, d, x, y))
+let add b d x y = binop b Instr.Add d x y
+let sub b d x y = binop b Instr.Sub d x y
+let mul b d x y = binop b Instr.Mul d x y
+let div b d x y = binop b Instr.Div d x y
+let rem b d x y = binop b Instr.Rem d x y
+let and_ b d x y = binop b Instr.And d x y
+let or_ b d x y = binop b Instr.Or d x y
+let xor b d x y = binop b Instr.Xor d x y
+let shl b d x y = binop b Instr.Shl d x y
+let shr b d x y = binop b Instr.Shr d x y
+
+let cmp b op d x y = instr b (Instr.Cmp (op, d, x, y))
+let eq b d x y = cmp b Instr.Eq d x y
+let ne b d x y = cmp b Instr.Ne d x y
+let lt b d x y = cmp b Instr.Lt d x y
+let le b d x y = cmp b Instr.Le d x y
+let gt b d x y = cmp b Instr.Gt d x y
+let ge b d x y = cmp b Instr.Ge d x y
+
+let load b d base off = instr b (Instr.Load (d, base, off))
+let store b src base off = instr b (Instr.Store (src, base, off))
+
+let call b f ~ret = instr b (Instr.Call (f, ret))
+let icall b f ~ret = instr b (Instr.Icall (f, ret))
+let ret b o = instr b (Instr.Ret o)
+let halt b = instr b Instr.Halt
+
+let sys b s = instr b (Instr.Sys s)
+let read b d = sys b (Instr.Read d)
+let write b o = sys b (Instr.Write o)
+let spawn b d f arg = sys b (Instr.Spawn (d, f, arg))
+let join b o = sys b (Instr.Join o)
+let lock b o = sys b (Instr.Lock o)
+let unlock b o = sys b (Instr.Unlock o)
+let barrier_init b id parties = sys b (Instr.Barrier_init (id, parties))
+let barrier b id = sys b (Instr.Barrier id)
+let alloc b d size = sys b (Instr.Alloc (d, size))
+let free b o = sys b (Instr.Free o)
+let tid b d = sys b (Instr.Tid d)
+let check b o = sys b (Instr.Check o)
+let mark b c v = sys b (Instr.Mark (c, v))
+let exit_ b = sys b Instr.Exit
+
+(* -- control flow ------------------------------------------------------ *)
+
+let jmp b l = emit b (P_jmp (To_label l))
+
+(** Branch to [l] when the operand is non-zero, else fall through. *)
+let br_nz b c l = emit b (P_br (c, To_label l, To_next))
+
+(** Branch to [l] when the operand is zero, else fall through. *)
+let br_z b c l = emit b (P_br (c, To_next, To_label l))
+
+(** Branch to [taken] / [fallthrough] labels explicitly. *)
+let br b c ~taken ~fallthrough =
+  emit b (P_br (c, To_label taken, To_label fallthrough))
+
+(* -- structured helpers ------------------------------------------------ *)
+
+(** [while_ b ~cond body]: emits a loop.  [cond] must emit code leaving
+    its truth value as an operand it returns; the loop runs while that
+    operand is non-zero. *)
+let while_ b ~cond body =
+  let head = fresh_label b "while_head" in
+  let exit = fresh_label b "while_exit" in
+  label b head;
+  let c = cond () in
+  br_z b c exit;
+  body ();
+  jmp b head;
+  label b exit
+
+(** [for_up b ~idx ~from_ ~below body]: counted loop with [idx] ranging
+    over [from_ .. below-1].  [body] receives nothing; it may read
+    [idx] but must not write it. *)
+let for_up b ~idx ~from_ ~below body =
+  mov b idx from_;
+  let head = fresh_label b "for_head" in
+  let exit = fresh_label b "for_exit" in
+  let t = Reg.make (Reg.count - 1) in
+  label b head;
+  lt b t (Operand.reg idx) below;
+  br_z b (Operand.reg t) exit;
+  body ();
+  add b idx (Operand.reg idx) (Operand.imm 1);
+  jmp b head;
+  label b exit
+
+(** [if_nz b c ~then_ ~else_]: two-armed conditional on [c <> 0]. *)
+let if_nz b c ~then_ ~else_ =
+  let l_else = fresh_label b "if_else" in
+  let l_end = fresh_label b "if_end" in
+  br_z b c l_else;
+  then_ ();
+  jmp b l_end;
+  label b l_else;
+  else_ ();
+  label b l_end
+
+(** [if_nz1 b c then_]: one-armed conditional. *)
+let if_nz1 b c then_ =
+  let l_end = fresh_label b "if_end" in
+  br_z b c l_end;
+  then_ ();
+  label b l_end
+
+(* -- finalisation ------------------------------------------------------ *)
+
+let resolve b here = function
+  | To_next -> here + 1
+  | To_label l -> (
+      match Hashtbl.find_opt b.labels l with
+      | Some i -> i
+      | None ->
+          invalid_arg
+            (Fmt.str "Builder.build: unknown label %s in %s" l b.name))
+
+(** Finalise the builder into a {!Func.t}; resolves all labels.  A
+    label attached past the last instruction (e.g. the join label of a
+    conditional whose branches both return) gets an implicit
+    [Ret None]. *)
+let build b =
+  let needs_tail =
+    Hashtbl.fold (fun _ i acc -> acc || i >= b.len) b.labels false
+  in
+  if needs_tail then emit b (P_instr (Instr.Ret None));
+  let pend = Array.of_list (List.rev b.rev_code) in
+  let code =
+    Array.mapi
+      (fun i p ->
+        match p with
+        | P_instr ins -> ins
+        | P_jmp t -> Instr.Jmp (resolve b i t)
+        | P_br (c, t, f) -> Instr.Br (c, resolve b i t, resolve b i f))
+      pend
+  in
+  Func.make ~name:b.name ~arity:b.arity code
+
+(** Convenience: build a whole function in one scoped call. *)
+let define ~name ~arity f =
+  let b = create ~name ~arity in
+  f b;
+  build b

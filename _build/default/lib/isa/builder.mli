@@ -1,0 +1,119 @@
+(** Embedded assembler.
+
+    Workloads are written against this builder rather than raw
+    {!Instr.t} arrays: it provides symbolic labels (resolved to
+    instruction indices at {!build} time), automatic fallthrough
+    targets for conditional branches, and a handful of structured
+    helpers.  One builder produces one function.
+
+    Register [r63] (the last register) is reserved as assembler
+    scratch by {!for_up}. *)
+
+type t
+
+val create : name:string -> arity:int -> t
+
+(** Index of the next instruction to be emitted.  Workloads use this
+    to record the site of a deliberately injected fault. *)
+val here : t -> int
+
+(** Attach a label to the next emitted instruction.
+    @raise Invalid_argument on duplicates. *)
+val label : t -> string -> unit
+
+(** A fresh label name with the given stem, unique within the builder. *)
+val fresh_label : t -> string -> string
+
+(** {1 Plain instructions} *)
+
+val instr : t -> Instr.t -> unit
+val nop : t -> unit
+val mov : t -> Reg.t -> Operand.t -> unit
+val movi : t -> Reg.t -> int -> unit
+val binop : t -> Instr.alu_op -> Reg.t -> Operand.t -> Operand.t -> unit
+val add : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val sub : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val mul : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val div : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val rem : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val and_ : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val or_ : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val xor : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val shl : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val shr : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val cmp : t -> Instr.cmp_op -> Reg.t -> Operand.t -> Operand.t -> unit
+val eq : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val ne : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val lt : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val le : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val gt : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val ge : t -> Reg.t -> Operand.t -> Operand.t -> unit
+val load : t -> Reg.t -> Operand.t -> int -> unit
+val store : t -> Operand.t -> Operand.t -> int -> unit
+val call : t -> string -> ret:Reg.t option -> unit
+val icall : t -> Operand.t -> ret:Reg.t option -> unit
+val ret : t -> Operand.t option -> unit
+val halt : t -> unit
+
+(** {1 Syscalls} *)
+
+val sys : t -> Instr.syscall -> unit
+val read : t -> Reg.t -> unit
+val write : t -> Operand.t -> unit
+val spawn : t -> Reg.t -> string -> Operand.t -> unit
+val join : t -> Operand.t -> unit
+val lock : t -> Operand.t -> unit
+val unlock : t -> Operand.t -> unit
+val barrier_init : t -> Operand.t -> Operand.t -> unit
+val barrier : t -> Operand.t -> unit
+val alloc : t -> Reg.t -> Operand.t -> unit
+val free : t -> Operand.t -> unit
+val tid : t -> Reg.t -> unit
+val check : t -> Operand.t -> unit
+val mark : t -> int -> Operand.t -> unit
+val exit_ : t -> unit
+
+(** {1 Control flow} *)
+
+val jmp : t -> string -> unit
+
+(** Branch to the label when the operand is non-zero, else fall
+    through. *)
+val br_nz : t -> Operand.t -> string -> unit
+
+(** Branch to the label when the operand is zero, else fall through. *)
+val br_z : t -> Operand.t -> string -> unit
+
+(** Branch to [taken] / [fallthrough] labels explicitly. *)
+val br : t -> Operand.t -> taken:string -> fallthrough:string -> unit
+
+(** {1 Structured helpers} *)
+
+(** [while_ b ~cond body]: loop while [cond ()] leaves a non-zero
+    operand. *)
+val while_ : t -> cond:(unit -> Operand.t) -> (unit -> unit) -> unit
+
+(** [for_up b ~idx ~from_ ~below body]: counted loop with [idx]
+    ranging over [from_ .. below-1].  The body may read [idx] but must
+    not write it.  Uses the last register as scratch. *)
+val for_up :
+  t -> idx:Reg.t -> from_:Operand.t -> below:Operand.t -> (unit -> unit) ->
+  unit
+
+(** Two-armed conditional on the operand being non-zero. *)
+val if_nz :
+  t -> Operand.t -> then_:(unit -> unit) -> else_:(unit -> unit) -> unit
+
+(** One-armed conditional. *)
+val if_nz1 : t -> Operand.t -> (unit -> unit) -> unit
+
+(** {1 Finalisation} *)
+
+(** Finalise into a {!Func.t}; resolves all labels.  A label attached
+    past the last instruction (e.g. the join label of a conditional
+    whose branches both return) gets an implicit [Ret None].
+    @raise Invalid_argument on unresolved labels. *)
+val build : t -> Func.t
+
+(** Convenience: build a whole function in one scoped call. *)
+val define : name:string -> arity:int -> (t -> unit) -> Func.t

@@ -1,0 +1,86 @@
+(** Intra-procedural control-flow graph, at instruction granularity.
+
+    Nodes are instruction indices [0 .. n-1] plus a virtual exit node
+    [n] that every [Ret], [Halt] and [Sys Exit] flows into.  The graph
+    also exposes the basic-block partition, which ONTRAC's
+    intra-basic-block optimization needs. *)
+
+type t = {
+  func : Func.t;
+  n : int;  (** number of real instructions; node [n] is the exit *)
+  succ : int list array;  (** length [n+1]; successors of each node *)
+  pred : int list array;  (** length [n+1] *)
+  block_of : int array;  (** block id of each instruction *)
+  blocks : (int * int) array;
+      (** block id -> [(first, last_exclusive)] instruction range *)
+}
+
+let exit_node t = t.n
+
+let successors_of_instr n i = function
+  | Instr.Jmp t -> [ t ]
+  | Instr.Br (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Instr.Ret _ | Instr.Halt | Instr.Sys Instr.Exit -> [ n ]
+  | Instr.Nop | Instr.Mov _ | Instr.Binop _ | Instr.Cmp _ | Instr.Load _
+  | Instr.Store _ | Instr.Call _ | Instr.Icall _ | Instr.Sys _ ->
+      if i + 1 < n then [ i + 1 ] else [ n ]
+
+let build (f : Func.t) =
+  let n = Func.length f in
+  let succ = Array.make (n + 1) [] in
+  let pred = Array.make (n + 1) [] in
+  for i = 0 to n - 1 do
+    let ss = successors_of_instr n i (Func.instr f i) in
+    succ.(i) <- ss;
+    List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss
+  done;
+  (* Basic blocks: leaders are 0, branch targets, and instructions
+     following a terminator. *)
+  let leader = Array.make n false in
+  if n > 0 then leader.(0) <- true;
+  for i = 0 to n - 1 do
+    (match Func.instr f i with
+    | Instr.Jmp t -> leader.(t) <- true
+    | Instr.Br (_, t, fl) ->
+        leader.(t) <- true;
+        leader.(fl) <- true
+    | _ -> ());
+    if Instr.is_terminator (Func.instr f i) && i + 1 < n then
+      leader.(i + 1) <- true
+  done;
+  let block_of = Array.make n 0 in
+  let rev_blocks = ref [] in
+  let bid = ref (-1) in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if leader.(i) then begin
+      if !bid >= 0 then rev_blocks := (!start, i) :: !rev_blocks;
+      incr bid;
+      start := i
+    end;
+    block_of.(i) <- !bid
+  done;
+  if n > 0 then rev_blocks := (!start, n) :: !rev_blocks;
+  let blocks = Array.of_list (List.rev !rev_blocks) in
+  { func = f; n; succ; pred; block_of; blocks }
+
+let succ t i = t.succ.(i)
+let pred t i = t.pred.(i)
+let block_of t i = t.block_of.(i)
+let blocks t = t.blocks
+let num_blocks t = Array.length t.blocks
+
+(** Instruction index range [(first, last_exclusive)] of a block. *)
+let block_range t b = t.blocks.(b)
+
+let func t = t.func
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>cfg %s (%d instrs, %d blocks):@," t.func.Func.name t.n
+    (num_blocks t);
+  for i = 0 to t.n - 1 do
+    Fmt.pf ppf "  %3d [b%d] -> %a@," i t.block_of.(i)
+      Fmt.(list ~sep:comma int)
+      t.succ.(i)
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,32 @@
+(** Intra-procedural control-flow graph, at instruction granularity.
+
+    Nodes are instruction indices [0 .. n-1] plus a virtual exit node
+    [n] that every [Ret], [Halt] and [Sys Exit] flows into.  The graph
+    also exposes the basic-block partition, which ONTRAC's
+    intra-basic-block optimization needs. *)
+
+type t
+
+val build : Func.t -> t
+
+(** Index of the virtual exit node (= the function's length). *)
+val exit_node : t -> int
+
+(** Successor / predecessor instruction indices of a node. *)
+val succ : t -> int -> int list
+
+val pred : t -> int -> int list
+
+(** Basic-block id of an instruction. *)
+val block_of : t -> int -> int
+
+(** All blocks as [(first, last_exclusive)] instruction ranges. *)
+val blocks : t -> (int * int) array
+
+val num_blocks : t -> int
+
+(** Instruction index range [(first, last_exclusive)] of a block. *)
+val block_range : t -> int -> int * int
+
+val func : t -> Func.t
+val pp : t Fmt.t

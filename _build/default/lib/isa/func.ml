@@ -1,0 +1,39 @@
+(** A function: a name, an argument count and a flat array of
+    instructions with resolved (index-based) control-flow targets. *)
+
+type t = {
+  name : string;
+  arity : int;  (** number of arguments expected in [r0 ..] *)
+  body : Instr.t array;
+}
+
+let make ~name ~arity body =
+  if Array.length body = 0 then invalid_arg "Func.make: empty body";
+  (* Validate that every control-flow target is in range, so the VM can
+     dispense with bounds checks in its hot loop. *)
+  let n = Array.length body in
+  let check_target t =
+    if t < 0 || t >= n then
+      invalid_arg
+        (Fmt.str "Func.make: %s: branch target %d out of range [0,%d)" name t
+           n)
+  in
+  Array.iter
+    (fun i ->
+      match i with
+      | Instr.Jmp t -> check_target t
+      | Instr.Br (_, t, f) ->
+          check_target t;
+          check_target f
+      | _ -> ())
+    body;
+  { name; arity; body }
+
+let length f = Array.length f.body
+
+let instr f pc = f.body.(pc)
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v>func %s/%d:@," f.name f.arity;
+  Array.iteri (fun i ins -> Fmt.pf ppf "  %3d: %a@," i Instr.pp ins) f.body;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,21 @@
+(** A function: a name, an argument count and a flat array of
+    instructions with resolved (index-based) control-flow targets. *)
+
+type t = {
+  name : string;
+  arity : int;  (** number of arguments expected in [r0 ..] *)
+  body : Instr.t array;
+}
+
+(** [make ~name ~arity body] validates every control-flow target.
+    @raise Invalid_argument on an empty body or an out-of-range
+    target. *)
+val make : name:string -> arity:int -> Instr.t array -> t
+
+(** Number of instructions. *)
+val length : t -> int
+
+(** [instr f pc] is the instruction at index [pc]. *)
+val instr : t -> int -> Instr.t
+
+val pp : t Fmt.t

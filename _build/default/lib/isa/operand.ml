@@ -1,0 +1,23 @@
+(** Instruction operands: a register or an immediate word. *)
+
+type t =
+  | Reg of Reg.t
+  | Imm of int
+
+let reg r = Reg r
+let imm n = Imm n
+
+let equal a b =
+  match a, b with
+  | Reg r1, Reg r2 -> Reg.equal r1 r2
+  | Imm n1, Imm n2 -> n1 = n2
+  | Reg _, Imm _ | Imm _, Reg _ -> false
+
+(** Registers read by this operand (empty for immediates). *)
+let regs = function
+  | Reg r -> [ r ]
+  | Imm _ -> []
+
+let pp ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm n -> Fmt.pf ppf "#%d" n

@@ -1,0 +1,14 @@
+(** Instruction operands: a register or an immediate word. *)
+
+type t =
+  | Reg of Reg.t
+  | Imm of int
+
+val reg : Reg.t -> t
+val imm : int -> t
+val equal : t -> t -> bool
+
+(** Registers read by this operand (empty for immediates). *)
+val regs : t -> Reg.t list
+
+val pp : t Fmt.t

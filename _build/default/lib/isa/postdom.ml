@@ -1,0 +1,106 @@
+(** Immediate postdominators.
+
+    Computed with the Cooper–Harvey–Kennedy iterative algorithm run on
+    the reverse CFG, rooted at the virtual exit node.  Instructions
+    that cannot reach the exit (code stuck in an infinite loop) are
+    conservatively given the exit node as postdominator, which makes
+    dynamic control-dependence regions for them never close — the safe
+    direction for slicing. *)
+
+type t = {
+  ipdom : int array;  (** length [n+1]; [ipdom.(exit) = exit] *)
+  exit : int;
+}
+
+let ipdom t i = t.ipdom.(i)
+let exit_node t = t.exit
+
+(** Reverse postorder of the *reverse* CFG starting from the exit. *)
+let reverse_postorder (cfg : Cfg.t) =
+  let n = Cfg.exit_node cfg in
+  let visited = Array.make (n + 1) false in
+  let order = ref [] in
+  (* Iterative DFS to avoid stack depth issues on long straight-line
+     functions. *)
+  let stack = Stack.create () in
+  Stack.push (`Enter n) stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Enter v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          Stack.push (`Leave v) stack;
+          List.iter
+            (fun p -> if not visited.(p) then Stack.push (`Enter p) stack)
+            (Cfg.pred cfg v)
+        end
+    | `Leave v -> order := v :: !order
+  done;
+  (!order, visited)
+
+let compute (cfg : Cfg.t) =
+  let exit = Cfg.exit_node cfg in
+  let n = exit in
+  let rpo, reachable = reverse_postorder cfg in
+  let rpo_index = Array.make (n + 1) (-1) in
+  List.iteri (fun i v -> rpo_index.(v) <- i) rpo;
+  let ipdom = Array.make (n + 1) (-1) in
+  ipdom.(exit) <- exit;
+  let intersect a b =
+    (* Walk up the (partially computed) postdominator tree.  Smaller
+       rpo index = closer to the exit. *)
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do
+        a := ipdom.(!a)
+      done;
+      while rpo_index.(!b) > rpo_index.(!a) do
+        b := ipdom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if v <> exit then begin
+          (* Successors in the original CFG are predecessors in the
+             reverse graph. *)
+          let processed =
+            List.filter
+              (fun s -> reachable.(s) && ipdom.(s) >= 0)
+              (Cfg.succ cfg v)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if ipdom.(v) <> new_idom then begin
+                ipdom.(v) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  (* Nodes never reached from the exit: conservative ipdom = exit. *)
+  for v = 0 to n do
+    if ipdom.(v) < 0 then ipdom.(v) <- exit
+  done;
+  { ipdom; exit }
+
+(** [postdominates t ~node ~of_] — does [node] postdominate [of_]?
+    (Reflexive: every node postdominates itself.) *)
+let postdominates t ~node ~of_ =
+  let rec walk v =
+    if v = node then true
+    else if v = t.exit then node = t.exit
+    else walk t.ipdom.(v)
+  in
+  walk of_
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>ipdom:@,";
+  Array.iteri (fun i d -> Fmt.pf ppf "  %3d -> %d@," i d) t.ipdom;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,22 @@
+(** Immediate postdominators.
+
+    Computed with the Cooper–Harvey–Kennedy iterative algorithm run on
+    the reverse CFG, rooted at the virtual exit node.  Instructions
+    that cannot reach the exit are conservatively given the exit node
+    as postdominator, which makes dynamic control-dependence regions
+    for them never close — the safe direction for slicing. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate postdominator of a node ([ipdom exit = exit]). *)
+val ipdom : t -> int -> int
+
+val exit_node : t -> int
+
+(** [postdominates t ~node ~of_] — does [node] postdominate [of_]?
+    (Reflexive: every node postdominates itself.) *)
+val postdominates : t -> node:int -> of_:int -> bool
+
+val pp : t Fmt.t

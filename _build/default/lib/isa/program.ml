@@ -1,0 +1,57 @@
+(** A whole program: a set of named functions plus an entry point.
+
+    Functions also receive dense integer ids so that programs can store
+    "function pointers" in memory and call through them with
+    {!Instr.Icall} — the substrate for control-flow hijack attacks. *)
+
+type t = {
+  funcs : (string, Func.t) Hashtbl.t;
+  by_id : Func.t array;  (** indexed by function id *)
+  ids : (string, int) Hashtbl.t;
+  entry : string;
+}
+
+let make ?(entry = "main") funcs =
+  let tbl = Hashtbl.create 16 in
+  let ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Func.t) ->
+      if Hashtbl.mem tbl f.Func.name then
+        invalid_arg (Fmt.str "Program.make: duplicate function %s" f.Func.name);
+      Hashtbl.replace tbl f.Func.name f;
+      Hashtbl.replace ids f.Func.name i)
+    funcs;
+  if not (Hashtbl.mem tbl entry) then
+    invalid_arg (Fmt.str "Program.make: no entry function %s" entry);
+  { funcs = tbl; by_id = Array.of_list funcs; ids; entry }
+
+let entry p = p.entry
+
+let find p name =
+  match Hashtbl.find_opt p.funcs name with
+  | Some f -> f
+  | None -> invalid_arg (Fmt.str "Program.find: unknown function %s" name)
+
+let find_opt p name = Hashtbl.find_opt p.funcs name
+
+(** Dense id of a function, usable as an in-memory "function pointer". *)
+let func_id p name =
+  match Hashtbl.find_opt p.ids name with
+  | Some i -> i
+  | None -> invalid_arg (Fmt.str "Program.func_id: unknown function %s" name)
+
+(** Function designated by an id; [None] when the id is invalid — an
+    invalid indirect call is a machine fault. *)
+let func_of_id p id =
+  if id < 0 || id >= Array.length p.by_id then None else Some p.by_id.(id)
+
+let functions p = Array.to_list p.by_id
+
+(** Total static instruction count, across all functions. *)
+let static_size p =
+  Array.fold_left (fun acc f -> acc + Func.length f) 0 p.by_id
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>";
+  Array.iter (fun f -> Fmt.pf ppf "%a@," Func.pp f) p.by_id;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,37 @@
+(** A whole program: a set of named functions plus an entry point.
+
+    Functions also receive dense integer ids so that programs can
+    store "function pointers" in memory and call through them with
+    {!Instr.Icall} — the substrate for control-flow hijack attacks. *)
+
+type t
+
+(** [make ?entry funcs] builds a program.
+    @raise Invalid_argument on duplicate function names or a missing
+    entry function (default entry: ["main"]). *)
+val make : ?entry:string -> Func.t list -> t
+
+(** Name of the entry function. *)
+val entry : t -> string
+
+(** [find p name] is the named function.
+    @raise Invalid_argument when it does not exist. *)
+val find : t -> string -> Func.t
+
+val find_opt : t -> string -> Func.t option
+
+(** Dense id of a function, usable as an in-memory "function pointer".
+    @raise Invalid_argument for unknown names. *)
+val func_id : t -> string -> int
+
+(** Function designated by an id; [None] when the id is invalid — an
+    invalid indirect call is a machine fault. *)
+val func_of_id : t -> int -> Func.t option
+
+(** All functions, in id order. *)
+val functions : t -> Func.t list
+
+(** Total static instruction count, across all functions. *)
+val static_size : t -> int
+
+val pp : t Fmt.t

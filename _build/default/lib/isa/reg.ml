@@ -1,0 +1,57 @@
+(** Machine registers.
+
+    The ISA exposes a flat file of general-purpose registers per thread.
+    By convention [r0 .. r7] carry call arguments and [r0] carries the
+    return value; the remaining registers are caller-owned temporaries.
+    The virtual machine saves and restores the full file across calls,
+    so programs never need to spill registers to memory for control
+    reasons (they still use memory for data, which is what dependence
+    tracking cares about). *)
+
+type t = int
+
+(** Number of general-purpose registers in a thread context. *)
+let count = 64
+
+(** Registers [r0 .. r7] used to pass call arguments. *)
+let arg_count = 8
+
+let make i =
+  if i < 0 || i >= count then invalid_arg "Reg.make: register out of range";
+  i
+
+let index r = r
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp ppf r = Fmt.pf ppf "r%d" r
+
+let to_string r = Fmt.str "%a" pp r
+
+(* A few common names used pervasively by the builder and workloads. *)
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+let r16 = 16
+let r17 = 17
+let r18 = 18
+let r19 = 19
+let r20 = 20
+let r21 = 21
+let r30 = 30
+let r31 = 31

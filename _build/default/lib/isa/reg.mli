@@ -1,0 +1,54 @@
+(** Machine registers.
+
+    The ISA exposes a flat file of general-purpose registers per
+    thread.  By convention [r0 .. r7] carry call arguments and [r0]
+    carries the return value.  The virtual machine gives every call a
+    fresh register frame, so programs never spill registers for
+    control reasons. *)
+
+type t = private int
+
+(** Number of general-purpose registers in a thread context. *)
+val count : int
+
+(** Registers [r0 ..] used to pass call arguments. *)
+val arg_count : int
+
+(** [make i] is register [i].
+    @raise Invalid_argument when [i] is outside [0, count). *)
+val make : int -> t
+
+(** Index of a register within the file. *)
+val index : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Common names used by the builder and the workloads. *)
+
+val r0 : t
+val r1 : t
+val r2 : t
+val r3 : t
+val r4 : t
+val r5 : t
+val r6 : t
+val r7 : t
+val r8 : t
+val r9 : t
+val r10 : t
+val r11 : t
+val r12 : t
+val r13 : t
+val r14 : t
+val r15 : t
+val r16 : t
+val r17 : t
+val r18 : t
+val r19 : t
+val r20 : t
+val r21 : t
+val r30 : t
+val r31 : t

@@ -1,0 +1,1 @@
+lib/lineage/domains.ml: Dift_bdd Dift_core Fmt Int Set Taint

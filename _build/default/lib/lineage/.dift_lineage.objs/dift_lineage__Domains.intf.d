@@ -1,0 +1,1 @@
+lib/lineage/domains.mli: Dift_bdd Dift_core Set Taint

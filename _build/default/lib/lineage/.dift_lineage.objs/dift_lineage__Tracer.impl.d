@@ -1,0 +1,1 @@
+lib/lineage/tracer.ml: Array Cost Dift_bdd Dift_core Dift_vm Dift_workloads Domains Engine Event List Machine Memory Scientific Tool

@@ -1,0 +1,1 @@
+lib/lineage/tracer.mli: Dift_workloads Scientific

@@ -1,0 +1,73 @@
+(** Lineage taint domains with operation-cost counters.
+
+    Lineage tracing is DIFT where the metadata is the set of input
+    indices behind each value (paper §3.4).  Two representations are
+    raced against each other: explicit sorted sets (the naive
+    baseline, cost ∝ elements touched per operation) and roBDDs
+    (cost ∝ unique BDD nodes visited).  Both expose the work they did
+    so the cycle model can charge for it. *)
+
+open Dift_core
+
+module Int_set = Set.Make (Int)
+
+(** Explicit-set lineage with element-touch accounting. *)
+module Naive () : sig
+  include Taint.DOMAIN with type t = Int_set.t
+
+  val elements_touched : unit -> int
+end = struct
+  type t = Int_set.t
+
+  let counter = ref 0
+  let elements_touched () = !counter
+  let name = "lineage-naive"
+  let bottom = Int_set.empty
+  let is_bottom = Int_set.is_empty
+  let equal = Int_set.equal
+
+  let join a b =
+    if Int_set.is_empty a then b
+    else if Int_set.is_empty b then a
+    else begin
+      (* a union walks both sets *)
+      counter := !counter + Int_set.cardinal a + Int_set.cardinal b;
+      Int_set.union a b
+    end
+
+  let source ~input_index ~step:_ =
+    counter := !counter + 1;
+    Int_set.singleton input_index
+
+  let at_write ~step:_ ~fname:_ ~pc:_ t = t
+  let words t = max 1 (Int_set.cardinal t)
+  let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (Int_set.elements t)
+end
+
+(** roBDD lineage sharing one manager per instantiation. *)
+module Robdd () : sig
+  include Taint.DOMAIN with type t = Dift_bdd.Bdd.t
+
+  val manager : Dift_bdd.Bdd.manager
+  val nodes_visited : unit -> int
+end = struct
+  module Bdd = Dift_bdd.Bdd
+
+  type t = Bdd.t
+
+  let manager = Bdd.manager ()
+  let nodes_visited () = Bdd.op_nodes_visited manager
+  let name = "lineage-robdd"
+  let bottom = Bdd.zero
+  let is_bottom = Bdd.is_empty
+  let equal = Bdd.equal
+  let join a b = Bdd.union manager a b
+  let source ~input_index ~step:_ = Bdd.singleton manager input_index
+  let at_write ~step:_ ~fname:_ ~pc:_ t = t
+
+  (* One BDD node is roughly four words (var, lo, hi, table slot); the
+     *family* footprint is computed separately since nodes are
+     shared. *)
+  let words t = 4 * Bdd.node_count t
+  let pp = Bdd.pp
+end

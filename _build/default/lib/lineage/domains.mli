@@ -1,0 +1,28 @@
+(** Lineage taint domains with operation-cost counters.
+
+    Lineage tracing is DIFT where the metadata is the set of input
+    indices behind each value (paper §3.4).  Two representations are
+    raced against each other: explicit sorted sets (the naive
+    baseline, cost ∝ elements touched per operation) and roBDDs (cost
+    ∝ unique BDD nodes visited).  Both expose the work they did so the
+    cycle model can charge for it. *)
+
+open Dift_core
+
+module Int_set : Set.S with type elt = int
+
+(** Explicit-set lineage with element-touch accounting (generative:
+    each instantiation has its own counter). *)
+module Naive () : sig
+  include Taint.DOMAIN with type t = Int_set.t
+
+  val elements_touched : unit -> int
+end
+
+(** roBDD lineage sharing one manager per instantiation. *)
+module Robdd () : sig
+  include Taint.DOMAIN with type t = Dift_bdd.Bdd.t
+
+  val manager : Dift_bdd.Bdd.manager
+  val nodes_visited : unit -> int
+end

@@ -1,0 +1,138 @@
+(** The lineage tracer: runs a scientific pipeline under a lineage
+    domain and reports, per output, the set of contributing inputs —
+    plus the cost figures the paper's §3.4 evaluation quotes (slowdown
+    versus native, and lineage memory overhead relative to the
+    application's own memory). *)
+
+open Dift_vm
+open Dift_core
+open Dift_workloads
+
+type representation = Naive_sets | Robdd
+
+type result = {
+  representation : representation;
+  outputs : (int * int list) list;
+      (** (output value, sorted lineage input indices) *)
+  base_cycles : int;  (** uninstrumented run *)
+  traced_cycles : int;  (** instrumented run incl. set-operation work *)
+  shadow_words_peak : int;  (** peak lineage memory, in words *)
+  app_words_peak : int;  (** peak application memory, in words *)
+  max_lineage : int;  (** largest lineage set observed at an output *)
+}
+
+let slowdown r =
+  float_of_int r.traced_cycles /. float_of_int (max 1 r.base_cycles)
+
+(** Lineage memory overhead as a fraction of application memory
+    (1.0 = 100%). *)
+let memory_overhead r =
+  float_of_int r.shadow_words_peak /. float_of_int (max 1 r.app_words_peak)
+
+let base_cycles_of (pl : Scientific.pipeline) ~size ~seed =
+  let input = pl.Scientific.input ~size ~seed in
+  let m = Machine.create pl.Scientific.program ~input in
+  ignore (Machine.run m);
+  Machine.cycles m
+
+(* Sample application memory roughly (words in the VM memory plus a
+   register file's worth per live thread). *)
+let app_words m = Memory.footprint (Machine.memory m)
+
+let run representation (pl : Scientific.pipeline) ~size ~seed =
+  let input = pl.Scientific.input ~size ~seed in
+  let base_cycles = base_cycles_of pl ~size ~seed in
+  let m = Machine.create pl.Scientific.program ~input in
+  let outputs = ref [] in
+  let shadow_peak = ref 0 in
+  let app_peak = ref 0 in
+  let max_lineage = ref 0 in
+  let finish_cost = ref 0 in
+  (match representation with
+  | Naive_sets ->
+      let module D = Domains.Naive () in
+      let module E = Engine.Make (D) in
+      let eng = E.create pl.Scientific.program in
+      E.on_sink eng (fun sink taint e ->
+          if sink = Engine.Sink_output then begin
+            let els = Domains.Int_set.elements taint in
+            max_lineage := max !max_lineage (List.length els);
+            outputs := (e.Event.value, els) :: !outputs
+          end);
+      E.attach eng m;
+      (* periodic peak sampling *)
+      let count = ref 0 in
+      Machine.attach m
+        (Tool.make
+           ~on_exec:(fun _ ->
+             incr count;
+             if !count land 4095 = 0 then begin
+               let _, words = E.shadow_footprint eng in
+               if words > !shadow_peak then shadow_peak := words;
+               let aw = app_words m in
+               if aw > !app_peak then app_peak := aw
+             end)
+           "lineage-probe");
+      ignore (Machine.run m);
+      let _, words = E.shadow_footprint eng in
+      if words > !shadow_peak then shadow_peak := words;
+      finish_cost := D.elements_touched () * Cost.lineage_set_element
+  | Robdd ->
+      let module D = Domains.Robdd () in
+      let module E = Engine.Make (D) in
+      let eng = E.create pl.Scientific.program in
+      E.on_sink eng (fun sink taint e ->
+          if sink = Engine.Sink_output then begin
+            let els = Dift_bdd.Bdd.elements taint in
+            max_lineage := max !max_lineage (List.length els);
+            outputs := (e.Event.value, els) :: !outputs
+          end);
+      E.attach eng m;
+      let count = ref 0 in
+      let sample () =
+        (* live shadow footprint: unique nodes reachable from any
+           currently stored lineage value *)
+        let sets =
+          E.Sh.fold (fun _ v acc -> v :: acc) (E.shadow eng) []
+        in
+        let words = 4 * Dift_bdd.Bdd.family_node_count sets in
+        if words > !shadow_peak then shadow_peak := words;
+        let aw = app_words m in
+        if aw > !app_peak then app_peak := aw
+      in
+      Machine.attach m
+        (Tool.make
+           ~on_exec:(fun _ ->
+             incr count;
+             if !count land 4095 = 0 then sample ())
+           "lineage-probe");
+      ignore (Machine.run m);
+      sample ();
+      finish_cost := D.nodes_visited () * Cost.lineage_bdd_node);
+  let aw = app_words m in
+  if aw > !app_peak then app_peak := aw;
+  {
+    representation;
+    outputs = List.rev !outputs;
+    base_cycles;
+    traced_cycles = Machine.cycles m + !finish_cost;
+    shadow_words_peak = !shadow_peak;
+    app_words_peak = max 1 !app_peak;
+    max_lineage = !max_lineage;
+  }
+
+let run_naive = run Naive_sets
+let run_robdd = run Robdd
+
+(** Check traced lineage against the pipeline's analytic ground truth;
+    returns the number of outputs whose lineage disagrees. *)
+let validate (pl : Scientific.pipeline) (r : result) ~size ~seed =
+  let input = pl.Scientific.input ~size ~seed in
+  let n = input.(0) in
+  let expected = pl.Scientific.expected_lineage ~n ~input in
+  let got = List.map snd r.outputs in
+  if List.length expected <> List.length got then max_int
+  else
+    List.fold_left2
+      (fun acc e g -> if e = g then acc else acc + 1)
+      0 expected got

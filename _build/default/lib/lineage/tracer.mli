@@ -1,0 +1,32 @@
+(** The lineage tracer: runs a scientific pipeline under a lineage
+    domain and reports, per output, the set of contributing inputs —
+    plus the cost figures the paper's §3.4 evaluation quotes. *)
+
+open Dift_workloads
+
+type representation = Naive_sets | Robdd
+
+type result = {
+  representation : representation;
+  outputs : (int * int list) list;
+      (** (output value, sorted lineage input indices) *)
+  base_cycles : int;  (** uninstrumented run *)
+  traced_cycles : int;
+      (** instrumented run incl. set-operation work *)
+  shadow_words_peak : int;  (** peak lineage memory, in words *)
+  app_words_peak : int;  (** peak application memory, in words *)
+  max_lineage : int;  (** largest lineage set observed at an output *)
+}
+
+val slowdown : result -> float
+
+(** Lineage memory overhead as a fraction of application memory
+    (1.0 = 100%). *)
+val memory_overhead : result -> float
+
+val run_naive : Scientific.pipeline -> size:int -> seed:int -> result
+val run_robdd : Scientific.pipeline -> size:int -> seed:int -> result
+
+(** Check traced lineage against the pipeline's analytic ground truth;
+    returns the number of outputs whose lineage disagrees. *)
+val validate : Scientific.pipeline -> result -> size:int -> seed:int -> int

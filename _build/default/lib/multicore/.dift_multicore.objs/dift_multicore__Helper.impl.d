@@ -1,0 +1,1 @@
+lib/multicore/helper.ml: Array Cost Dift_core Dift_isa Dift_vm Engine Event Fmt Instr Machine Taint Tool

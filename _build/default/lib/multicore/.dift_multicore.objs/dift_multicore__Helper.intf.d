@@ -1,0 +1,1 @@
+lib/multicore/helper.mli: Dift_core Dift_isa Fmt Policy Program

@@ -1,0 +1,145 @@
+(** Helper-thread DIFT on multicores (paper §2.1, "Exploiting
+    multicores", after Nagarajan et al., INTERACT'08).
+
+    The application runs on the main core; a helper thread on a second
+    core performs all information-flow tracking.  The main core only
+    *forwards* what the helper cannot reconstruct from the static code:
+    memory addresses/values, input values and control-flow outcomes.
+    Two communication substrates are modelled:
+
+    - {b Hardware}: a dedicated core-to-core interconnect.  Forwarding
+      is transparent (no binary instrumentation on the main core) and
+      costs {!Dift_vm.Cost.hw_channel_msg} per message; the helper is a
+      dedicated engine processing one event per cycle.
+    - {b Software}: a shared-memory queue.  The main core needs DBI to
+      intercept instructions (full dispatch cost) and pays
+      {!Dift_vm.Cost.sw_channel_msg} per enqueue; the helper runs the
+      software propagation loop.
+
+    The producer/consumer timing between the cores is simulated with a
+    bounded queue: the main core stalls when the queue is full, and the
+    run ends when the helper drains.  The main-core slowdown is the
+    number the paper reports (48% for SPEC integer programs with
+    hardware support). *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+type channel = Software | Hardware
+
+let channel_to_string = function
+  | Software -> "sw-queue"
+  | Hardware -> "hw-interconnect"
+
+type report = {
+  channel : channel;
+  base_cycles : int;  (** uninstrumented run *)
+  main_cycles : int;  (** main core, incl. forwarding and stalls *)
+  helper_busy_cycles : int;  (** work done on the helper core *)
+  finish_cycles : int;  (** when both cores are done *)
+  stall_cycles : int;  (** main-core cycles lost to a full queue *)
+  messages : int;
+  instructions : int;
+  sink_hits : int;  (** taint reaching sinks, observed by the helper *)
+}
+
+(** Main-core overhead over native execution (0.48 = 48%). *)
+let main_overhead r =
+  (float_of_int r.main_cycles /. float_of_int (max 1 r.base_cycles)) -. 1.
+
+let total_slowdown r =
+  float_of_int r.finish_cycles /. float_of_int (max 1 r.base_cycles)
+
+(* Does this event need forwarding?  Pure register arithmetic is
+   reconstructible by the helper from the static code and the control
+   trace; memory accesses, inputs/outputs, indirect targets and branch
+   outcomes are not. *)
+let needs_message (e : Event.exec) =
+  e.Event.addr >= 0
+  ||
+  match e.Event.instr with
+  | Instr.Br _ | Instr.Icall _ | Instr.Call _ | Instr.Ret _ | Instr.Sys _ ->
+      true
+  | Instr.Nop | Instr.Mov _ | Instr.Binop _ | Instr.Cmp _ | Instr.Load _
+  | Instr.Store _ | Instr.Jmp _ | Instr.Halt ->
+      false
+
+module Bool_engine = Engine.Make (Taint.Bool)
+
+let run ?(channel = Hardware) ?(queue_capacity = 1024) ?policy program
+    ~input =
+  (* native baseline *)
+  let m0 = Machine.create program ~input in
+  ignore (Machine.run m0);
+  let base_cycles = Machine.cycles m0 in
+  (* instrumented run *)
+  let m = Machine.create program ~input in
+  let eng = Bool_engine.create ?policy program in
+  let sink_hits = ref 0 in
+  Bool_engine.on_sink eng (fun _ taint _ ->
+      if taint then incr sink_hits);
+  (* helper-core clock and bounded-queue completion window *)
+  let helper_free = ref 0 in
+  let helper_busy = ref 0 in
+  let stalls = ref 0 in
+  let messages = ref 0 in
+  let instructions = ref 0 in
+  let completion = Array.make queue_capacity 0 in
+  let send_cost, dispatch_cost, helper_per_event =
+    match channel with
+    | Hardware -> (Cost.hw_channel_msg, 0, Cost.helper_process_msg)
+    | Software ->
+        (Cost.sw_channel_msg, Cost.dbi_dispatch, Cost.inline_taint_propagate)
+  in
+  let on_exec e =
+    incr instructions;
+    (* the helper propagates for every instruction; forwarded messages
+       exist only for events it cannot reconstruct *)
+    let msg = needs_message e in
+    if msg then begin
+      incr messages;
+      Machine.charge m send_cost;
+      (* stall until the queue has room *)
+      let now = Machine.cycles m in
+      let slot = !messages mod queue_capacity in
+      let oldest = completion.(slot) in
+      if !messages > queue_capacity && oldest > now then begin
+        stalls := !stalls + (oldest - now);
+        Machine.charge m (oldest - now)
+      end
+    end;
+    (* helper-side processing: can start once the event is visible *)
+    let visible_at = Machine.cycles m in
+    let start = max !helper_free visible_at in
+    let finish = start + helper_per_event in
+    helper_free := finish;
+    helper_busy := !helper_busy + helper_per_event;
+    if msg then completion.(!messages mod queue_capacity) <- finish;
+    (* the actual propagation (functional effect; timing is the
+       two-core model above) *)
+    Bool_engine.process eng e
+  in
+  Bool_engine.set_charge eng (fun _ -> ());
+  Machine.attach m
+    (Tool.make ~dispatch_cost ~on_exec "helper-dift");
+  ignore (Machine.run m);
+  {
+    channel;
+    base_cycles;
+    main_cycles = Machine.cycles m;
+    helper_busy_cycles = !helper_busy;
+    finish_cycles = max (Machine.cycles m) !helper_free;
+    stall_cycles = !stalls;
+    messages = !messages;
+    instructions = !instructions;
+    sink_hits = !sink_hits;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "%s: main %.1f%% overhead, total %.2fx, %d msgs / %d instrs, %d stall \
+     cycles"
+    (channel_to_string r.channel)
+    (100. *. main_overhead r)
+    (total_slowdown r) r.messages r.instructions r.stall_cycles

@@ -1,0 +1,46 @@
+(** Helper-thread DIFT on multicores (paper §2.1, "Exploiting
+    multicores", after Nagarajan et al., INTERACT'08).
+
+    The application runs on the main core; a helper thread on a second
+    core performs the information-flow tracking.  The main core only
+    forwards what the helper cannot reconstruct from the static code:
+    memory addresses/values, input values and control-flow outcomes.
+    The producer/consumer timing between the cores is simulated with a
+    bounded queue; the main-core slowdown is the number the paper
+    reports (48% for SPEC integer programs with hardware support). *)
+
+open Dift_isa
+open Dift_core
+
+type channel =
+  | Software  (** shared-memory queue; main core needs DBI *)
+  | Hardware  (** dedicated interconnect; forwarding is transparent *)
+
+val channel_to_string : channel -> string
+
+type report = {
+  channel : channel;
+  base_cycles : int;  (** uninstrumented run *)
+  main_cycles : int;  (** main core, incl. forwarding and stalls *)
+  helper_busy_cycles : int;  (** work done on the helper core *)
+  finish_cycles : int;  (** when both cores are done *)
+  stall_cycles : int;  (** main-core cycles lost to a full queue *)
+  messages : int;
+  instructions : int;
+  sink_hits : int;  (** taint reaching sinks, observed by the helper *)
+}
+
+(** Main-core overhead over native execution (0.48 = 48%). *)
+val main_overhead : report -> float
+
+val total_slowdown : report -> float
+
+val run :
+  ?channel:channel ->
+  ?queue_capacity:int ->
+  ?policy:Policy.t ->
+  Program.t ->
+  input:int array ->
+  report
+
+val pp_report : report Fmt.t

@@ -1,0 +1,1 @@
+lib/replay/reduction.ml: List Request_log

@@ -1,0 +1,1 @@
+lib/replay/reduction.mli: Dift_vm Request_log

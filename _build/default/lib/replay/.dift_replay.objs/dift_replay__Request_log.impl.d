@@ -1,0 +1,1 @@
+lib/replay/request_log.ml: Cost Dift_isa Dift_vm Event Hashtbl Instr Int List Machine Set Tool

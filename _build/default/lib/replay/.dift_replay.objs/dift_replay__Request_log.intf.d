@@ -1,0 +1,1 @@
+lib/replay/request_log.mli: Dift_vm Event Machine Set

@@ -1,0 +1,1 @@
+lib/replay/rerun.ml: Cost Dift_core Dift_isa Dift_vm Event Fmt Hashtbl Instr List Machine Ontrac Reduction Request_log Slicing

@@ -1,0 +1,1 @@
+lib/replay/rerun.mli: Dift_isa Dift_vm Fmt Machine Program

@@ -1,0 +1,111 @@
+(** Execution reduction (paper §2.2, "Execution Reduction Phase").
+
+    Given the replay log of a failed run, identify the part of the
+    execution that the failure actually depends on: starting from the
+    faulting request, walk backwards over the request history and keep
+    every request that wrote a memory page the relevant set has read
+    or written.  Everything else is irrelevant to the failure and need
+    not be traced during replay.  This is the analysis that turned the
+    paper's 976-million-dependence trace into 3175 dependences. *)
+
+module Int_set = Request_log.Int_set
+
+type plan = {
+  relevant : Request_log.request list;  (** oldest first *)
+  relevant_ids : Int_set.t;
+  earliest_step : int;
+      (** first step that must be replayed with tracing on *)
+  total_requests : int;
+}
+
+(** Compute the relevant-request closure for the logged fault. *)
+let analyse log =
+  match Request_log.faulting_request log with
+  | None -> None
+  | Some fr ->
+      let requests = Request_log.requests log in
+      (* Backward closure over page conflicts. *)
+      let relevant = ref [ fr ] in
+      let frontier =
+        ref
+          (Int_set.union fr.Request_log.pages_read
+             fr.Request_log.pages_written)
+      in
+      let earlier =
+        List.filter
+          (fun (r : Request_log.request) ->
+            r.Request_log.start_step < fr.Request_log.start_step
+            && r.Request_log.req_id <> fr.Request_log.req_id)
+          requests
+        |> List.sort (fun a b ->
+               compare b.Request_log.start_step a.Request_log.start_step)
+        (* newest first *)
+      in
+      List.iter
+        (fun (r : Request_log.request) ->
+          if
+            not
+              (Int_set.is_empty
+                 (Int_set.inter r.Request_log.pages_written !frontier))
+          then begin
+            relevant := r :: !relevant;
+            frontier :=
+              Int_set.union !frontier
+                (Int_set.union r.Request_log.pages_read
+                   r.Request_log.pages_written)
+          end)
+        earlier;
+      let relevant =
+        List.sort
+          (fun a b ->
+            compare a.Request_log.start_step b.Request_log.start_step)
+          !relevant
+      in
+      let ids =
+        List.fold_left
+          (fun acc r -> Int_set.add r.Request_log.req_id acc)
+          Int_set.empty relevant
+      in
+      Some
+        {
+          relevant;
+          relevant_ids = ids;
+          earliest_step =
+            (match relevant with
+            | r :: _ -> r.Request_log.start_step
+            | [] -> 0);
+          total_requests = List.length requests;
+        }
+
+let is_relevant plan req_id = Int_set.mem req_id plan.relevant_ids
+
+(** Fraction of requests kept. *)
+let kept_fraction plan =
+  float_of_int (List.length plan.relevant)
+  /. float_of_int (max 1 plan.total_requests)
+
+(** The newest checkpoint at or before [plan.earliest_step], with the
+    scheduler state needed to resume: the suffix of the recorded
+    schedule, seeded with the thread that was current at the
+    checkpoint. *)
+let restart_point log plan ~schedule =
+  let cps = Request_log.checkpoints log in
+  let best =
+    List.fold_left
+      (fun acc (step, cp) ->
+        if step <= plan.earliest_step then Some (step, cp) else acc)
+      None cps
+  in
+  match best with
+  | None -> None
+  | Some (cp_step, cp) ->
+      (* current thread when step [cp_step] executes: the last switch
+         at or before it; switches recorded exactly at [cp_step] stay
+         in the suffix and re-apply on top, harmlessly *)
+      let tid_at =
+        List.fold_left
+          (fun acc (s, tid) -> if s <= cp_step then tid else acc)
+          0 schedule
+      in
+      let suffix = List.filter (fun (s, _) -> s >= cp_step) schedule in
+      Some (cp_step, cp, (cp_step, tid_at) :: suffix)

@@ -1,0 +1,36 @@
+(** Execution reduction (paper §2.2, "Execution Reduction Phase").
+
+    Given the replay log of a failed run, identify the part of the
+    execution the failure actually depends on: starting from the
+    faulting request, walk backwards over the request history and keep
+    every request that wrote a memory page the relevant set has
+    touched.  Everything else is irrelevant to the failure and need
+    not be traced during replay. *)
+
+module Int_set = Request_log.Int_set
+
+type plan = {
+  relevant : Request_log.request list;  (** oldest first *)
+  relevant_ids : Int_set.t;
+  earliest_step : int;
+      (** first step that must be replayed with tracing on *)
+  total_requests : int;
+}
+
+(** Compute the relevant-request closure for the logged fault; [None]
+    when the run did not fault inside a request. *)
+val analyse : Request_log.t -> plan option
+
+val is_relevant : plan -> int -> bool
+
+(** Fraction of requests kept. *)
+val kept_fraction : plan -> float
+
+(** The newest checkpoint at or before the plan's earliest step,
+    together with the replay-schedule suffix to resume from it:
+    [(checkpoint_step, checkpoint, schedule_suffix)]. *)
+val restart_point :
+  Request_log.t ->
+  plan ->
+  schedule:(int * int) list ->
+  (int * Dift_vm.Machine.checkpoint * (int * int) list) option

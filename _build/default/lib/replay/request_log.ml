@@ -1,0 +1,148 @@
+(** Checkpointing & logging (paper §2.2, "Logging Phase").
+
+    Under normal operation the program runs with only this lightweight
+    logger attached: it records the scheduling decisions and input
+    values needed for deterministic replay, segments the execution
+    into requests using the program's [Mark] annotations, tracks the
+    *memory pages* each request touches (the syscall/page-granularity
+    information a real logging system gets almost for free), and takes
+    periodic whole-state checkpoints.  Its modelled overhead is the
+    "slowdown by a factor of two [or less]" class of cost the paper
+    attributes to checkpointing & logging — orders of magnitude below
+    fine-grained tracing. *)
+
+open Dift_isa
+open Dift_vm
+
+module Int_set = Set.Make (Int)
+
+let page_of addr = addr / 1024
+
+(* Mark channels (shared convention with the server workload). *)
+let mark_req_start = 1
+let mark_req_end = 2
+
+type request = {
+  req_id : int;
+  tid : int;
+  start_step : int;
+  mutable end_step : int;  (** [-1] while open *)
+  mutable pages_read : Int_set.t;
+  mutable pages_written : Int_set.t;
+}
+
+type t = {
+  mutable requests : request list;  (** completed + open, reverse order *)
+  open_by_tid : (int, request) Hashtbl.t;
+  mutable checkpoints : (int * Machine.checkpoint) list;
+      (** (step, checkpoint), newest first *)
+  checkpoint_every : int;
+  mutable last_checkpoint_step : int;
+  mutable fault : Event.fault option;
+  mutable machine : Machine.t option;
+  mutable logged_words : int;
+}
+
+let create ?(checkpoint_every = 50_000) () =
+  {
+    requests = [];
+    open_by_tid = Hashtbl.create 8;
+    checkpoints = [];
+    checkpoint_every;
+    last_checkpoint_step = 0;
+    fault = None;
+    machine = None;
+    logged_words = 0;
+  }
+
+let charge t n =
+  t.logged_words <- t.logged_words + n;
+  match t.machine with
+  | Some m -> Machine.charge m (n * Cost.log_event_word)
+  | None -> ()
+
+let on_exec t (e : Event.exec) =
+  let m = match t.machine with Some m -> m | None -> assert false in
+  (* periodic checkpoint (only from the first thread's context to keep
+     the cadence deterministic enough) *)
+  if e.Event.step - t.last_checkpoint_step >= t.checkpoint_every then begin
+    t.last_checkpoint_step <- e.Event.step;
+    (* the snapshot is of the state *after* this instruction; record it
+       under the machine's own step counter so replay scheduling
+       aligns exactly *)
+    let cp = Machine.checkpoint m in
+    t.checkpoints <- (Machine.checkpoint_step cp, cp) :: t.checkpoints
+  end;
+  (match e.Event.instr with
+  | Instr.Sys (Instr.Mark (c, _)) when c = mark_req_start ->
+      let r =
+        {
+          req_id = e.Event.value;
+          tid = e.Event.tid;
+          start_step = e.Event.step;
+          end_step = -1;
+          pages_read = Int_set.empty;
+          pages_written = Int_set.empty;
+        }
+      in
+      Hashtbl.replace t.open_by_tid e.Event.tid r;
+      t.requests <- r :: t.requests;
+      charge t 2
+  | Instr.Sys (Instr.Mark (c, _)) when c = mark_req_end ->
+      (match Hashtbl.find_opt t.open_by_tid e.Event.tid with
+      | Some r ->
+          r.end_step <- e.Event.step;
+          Hashtbl.remove t.open_by_tid e.Event.tid
+      | None -> ());
+      charge t 1
+  | Instr.Sys (Instr.Read _) when e.Event.input_index >= 0 ->
+      (* input word logged for replay *)
+      charge t 2
+  | _ -> ());
+  (* page tracking for the enclosing request *)
+  match Hashtbl.find_opt t.open_by_tid e.Event.tid with
+  | None -> ()
+  | Some r ->
+      if e.Event.addr >= 0 then begin
+        let page = page_of e.Event.addr in
+        match e.Event.instr with
+        | Instr.Store _ ->
+            if not (Int_set.mem page r.pages_written) then begin
+              r.pages_written <- Int_set.add page r.pages_written;
+              charge t 1
+            end
+        | Instr.Load _ ->
+            if not (Int_set.mem page r.pages_read) then begin
+              r.pages_read <- Int_set.add page r.pages_read;
+              charge t 1
+            end
+        | _ -> ()
+      end
+
+let attach t machine =
+  t.machine <- Some machine;
+  (* OS-level logging: no binary-instrumentation dispatch cost; the
+     logger charges its own per-event costs. *)
+  Machine.attach machine
+    (Tool.make ~dispatch_cost:0 ~on_exec:(on_exec t)
+       ~on_fault:(fun f -> t.fault <- Some f)
+       "request-log")
+
+(** Completed log: requests oldest-first. *)
+let requests t = List.rev t.requests
+
+let checkpoints t = List.rev t.checkpoints
+let fault t = t.fault
+let logged_words t = t.logged_words
+
+(** The request that was executing when the fault fired, if any. *)
+let faulting_request t =
+  match t.fault with
+  | None -> None
+  | Some f ->
+      List.find_opt
+        (fun r ->
+          r.tid = f.Event.at_tid
+          && r.start_step <= f.Event.at_step
+          && (r.end_step = -1 || r.end_step >= f.Event.at_step))
+        (requests t)

@@ -1,0 +1,49 @@
+(** Checkpointing & logging (paper §2.2, "Logging Phase").
+
+    Under normal operation the program runs with only this lightweight
+    logger attached: it records what deterministic replay needs,
+    segments the execution into requests using the program's [Mark]
+    annotations, tracks the memory *pages* each request touches (the
+    information an OS-level logger gets almost for free), and takes
+    periodic whole-state checkpoints.  Its modelled overhead is the
+    checkpointing/logging class of cost — orders of magnitude below
+    fine-grained tracing. *)
+
+open Dift_vm
+
+module Int_set : Set.S with type elt = int
+
+val page_of : int -> int
+
+(** Mark channels (shared convention with the server workload). *)
+val mark_req_start : int
+
+val mark_req_end : int
+
+type request = {
+  req_id : int;
+  tid : int;
+  start_step : int;
+  mutable end_step : int;  (** [-1] while open *)
+  mutable pages_read : Int_set.t;
+  mutable pages_written : Int_set.t;
+}
+
+type t
+
+val create : ?checkpoint_every:int -> unit -> t
+val attach : t -> Machine.t -> unit
+
+(** Completed log: requests oldest-first. *)
+val requests : t -> request list
+
+(** [(step, checkpoint)] pairs, oldest first. *)
+val checkpoints : t -> (int * Machine.checkpoint) list
+
+val fault : t -> Event.fault option
+
+(** Total words logged (the log-size measure). *)
+val logged_words : t -> int
+
+(** The request that was executing when the fault fired, if any. *)
+val faulting_request : t -> request option

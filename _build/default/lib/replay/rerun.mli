@@ -1,0 +1,37 @@
+(** The complete execution-reduction pipeline (paper §2.2): log a
+    failing run cheaply, analyse the log to find the failure-relevant
+    requests, restore the last checkpoint before them, and replay just
+    that suffix with fine-grained tracing gated to the relevant
+    requests.  The report mirrors the paper's MySQL case-study
+    numbers. *)
+
+open Dift_isa
+open Dift_vm
+
+type report = {
+  original_cycles : int;
+  logging_cycles : int;
+  tracing_cycles : int;  (** fine-grained tracing over the whole run *)
+  replay_cycles : int;  (** reduced replay with gated tracing *)
+  total_steps : int;
+  replayed_steps : int;
+  total_requests : int;
+  relevant_requests : int;
+  full_deps : int;  (** dependences recorded by whole-run tracing *)
+  reduced_deps : int;  (** dependences recorded by the reduced replay *)
+  checkpoints_taken : int;
+  logged_words : int;
+  fault_reproduced : bool;
+  fault_slice_sites : int;
+      (** statement count of the backward slice from the reproduced
+          fault, in the reduced graph *)
+}
+
+val run :
+  ?config:Machine.config ->
+  ?checkpoint_every:int ->
+  Program.t ->
+  input:int array ->
+  report
+
+val pp_report : report Fmt.t

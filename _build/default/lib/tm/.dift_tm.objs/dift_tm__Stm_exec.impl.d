@@ -1,0 +1,1 @@
+lib/tm/stm_exec.ml: Array Cost Dift_isa Dift_vm Func Hashtbl Instr List Operand Program Reg

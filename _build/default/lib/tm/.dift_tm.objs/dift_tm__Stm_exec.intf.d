@@ -1,0 +1,1 @@
+lib/tm/stm_exec.mli: Dift_isa Program

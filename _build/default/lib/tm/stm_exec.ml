@@ -1,0 +1,610 @@
+(** Transactional execution for runtime monitoring (paper §2.2).
+
+    To monitor a parallel application, every application memory access
+    and its shadow-metadata update must be applied atomically; the
+    paper's approach wraps chunks of execution in transactions.  This
+    module is a chunked software-TM executor for ISA programs: each
+    thread executes transactions of up to [chunk] instructions with
+    eager word-level conflict detection (reader sets + single writer),
+    in-place writes with an undo log, and full register/frame rollback
+    on abort.  Every application access is accompanied by a shadow
+    access inside the same transaction — the monitoring work the TM
+    exists to protect.
+
+    Synchronisation built from plain loads and stores (spin flags,
+    counter barriers) interacts catastrophically with naive conflict
+    resolution: a spinning reader perpetually owns the flag it waits
+    on, or two arrivers perpetually abort each other — the livelocks
+    of the paper.  The [Sync_aware] policy dynamically recognises
+    sync variables (an address a single transaction reads over and
+    over) and resolves conflicts on them in favour of progress. *)
+
+open Dift_isa
+open Dift_vm
+
+type policy =
+  | Abort_requester
+      (** the thread that detects the conflict aborts itself *)
+  | Abort_owner  (** the current owner(s) are aborted *)
+  | Sync_aware
+      (** like [Abort_requester], except on a recognised sync variable
+          where the writer wins (spinning readers are aborted and
+          re-read the new value) *)
+
+let policy_to_string = function
+  | Abort_requester -> "abort-requester"
+  | Abort_owner -> "abort-owner"
+  | Sync_aware -> "sync-aware"
+
+type config = {
+  policy : policy;
+  max_txn : int;
+      (** safety bound on transaction length; real commit points are
+          irrevocable operations (I/O, thread management), matching
+          monitors that delimit transactions at events they know
+          about — a spin-wait contains none, which is the root of the
+          livelock *)
+  spin_threshold : int;
+      (** reads of one address within one transaction before it is
+          classified as a sync variable *)
+  max_ticks : int;
+  livelock_window : int;
+      (** ticks without any commit before declaring livelock *)
+  starvation_threshold : int;
+      (** consecutive aborts of one thread without a commit before
+          declaring livelock *)
+  monitor : bool;  (** perform shadow-metadata accesses *)
+}
+
+let default_config =
+  {
+    policy = Sync_aware;
+    max_txn = 10_000;
+    spin_threshold = 8;
+    max_ticks = 2_000_000;
+    livelock_window = 200_000;
+    starvation_threshold = 300;
+    monitor = true;
+  }
+
+type outcome =
+  | Completed
+  | Livelocked
+  | Fault of string
+  | Tick_budget_exhausted
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable ticks : int;
+  mutable cycles : int;
+  mutable committed_instrs : int;
+  mutable wasted_instrs : int;  (** instructions rolled back *)
+  mutable sync_vars : int;
+  mutable outcome : outcome;
+}
+
+(** Monitoring overhead: modelled cycles per usefully executed
+    instruction. *)
+let overhead s =
+  float_of_int s.cycles /. float_of_int (max 1 s.committed_instrs)
+
+(* -- executor state ------------------------------------------------------- *)
+
+type frame = {
+  func : Func.t;
+  mutable pc : int;
+  mutable regs : int array;
+  ret_dst : Reg.t option;
+}
+
+type txn = {
+  mutable t_active : bool;
+  mutable t_len : int;
+  mutable t_undo : (int * int) list;  (** (addr, old value) *)
+  mutable t_accessed : int list;  (** addresses with ownership taken *)
+  mutable t_read_counts : (int, int) Hashtbl.t;
+  mutable t_saved : frame list;  (** deep frame snapshot at txn start *)
+  mutable t_split_pending : bool;
+      (** sync-aware: commit right after the current instruction *)
+}
+
+type status = Running | Waiting_join of int | Waiting_lock of int | Done
+
+type thread = {
+  tid : int;
+  mutable frames : frame list;
+  mutable status : status;
+  txn : txn;
+  mutable consecutive_aborts : int;
+}
+
+type owner = { mutable readers : int list; mutable writer : int option }
+
+type t = {
+  program : Program.t;
+  config : config;
+  mem : (int, int) Hashtbl.t;
+  owners : (int, owner) Hashtbl.t;
+  sync_addrs : (int, unit) Hashtbl.t;
+  mutable threads : thread list;
+  mutable next_tid : int;
+  lock_owners : (int, int) Hashtbl.t;  (** lock id -> owner tid *)
+  input : int array;
+  mutable input_pos : int;
+  mutable rev_output : int list;
+  stats : stats;
+  mutable last_commit_tick : int;
+  mutable halted : bool;
+  mutable fault : string option;
+}
+
+exception Abort_self
+
+let shadow_offset = 10_000_000
+
+let create ?(config = default_config) program ~input =
+  let t =
+    {
+      program;
+      config;
+      mem = Hashtbl.create 4096;
+      owners = Hashtbl.create 1024;
+      sync_addrs = Hashtbl.create 16;
+      threads = [];
+      next_tid = 0;
+      lock_owners = Hashtbl.create 8;
+      input;
+      input_pos = 0;
+      rev_output = [];
+      stats =
+        {
+          commits = 0;
+          aborts = 0;
+          ticks = 0;
+          cycles = 0;
+          committed_instrs = 0;
+          wasted_instrs = 0;
+          sync_vars = 0;
+          outcome = Completed;
+        };
+      last_commit_tick = 0;
+      halted = false;
+      fault = None;
+    }
+  in
+  let main = Program.find program (Program.entry program) in
+  let frame =
+    { func = main; pc = 0; regs = Array.make Reg.count 0; ret_dst = None }
+  in
+  t.threads <-
+    [
+      {
+        tid = 0;
+        frames = [ frame ];
+        status = Running;
+        txn =
+          {
+            t_active = false;
+            t_len = 0;
+            t_undo = [];
+            t_accessed = [];
+            t_read_counts = Hashtbl.create 16;
+            t_saved = [];
+            t_split_pending = false;
+          };
+        consecutive_aborts = 0;
+      };
+    ];
+  t.next_tid <- 1;
+  t
+
+let copy_frames frames =
+  List.map (fun f -> { f with regs = Array.copy f.regs }) frames
+
+let owner_of t addr =
+  match Hashtbl.find_opt t.owners addr with
+  | Some o -> o
+  | None ->
+      let o = { readers = []; writer = None } in
+      Hashtbl.replace t.owners addr o;
+      o
+
+(* -- transaction lifecycle -------------------------------------------------- *)
+
+let begin_txn _t th =
+  let txn = th.txn in
+  txn.t_active <- true;
+  txn.t_len <- 0;
+  txn.t_undo <- [];
+  txn.t_accessed <- [];
+  Hashtbl.reset txn.t_read_counts;
+  txn.t_saved <- copy_frames th.frames;
+  txn.t_split_pending <- false
+
+let release_ownerships t th =
+  List.iter
+    (fun addr ->
+      match Hashtbl.find_opt t.owners addr with
+      | None -> ()
+      | Some o ->
+          o.readers <- List.filter (fun r -> r <> th.tid) o.readers;
+          if o.writer = Some th.tid then o.writer <- None)
+    th.txn.t_accessed
+
+let commit_txn t th =
+  if th.txn.t_active then begin
+    release_ownerships t th;
+    t.stats.commits <- t.stats.commits + 1;
+    t.stats.committed_instrs <- t.stats.committed_instrs + th.txn.t_len;
+    t.last_commit_tick <- t.stats.ticks;
+    th.consecutive_aborts <- 0;
+    th.txn.t_active <- false;
+    th.txn.t_split_pending <- false
+  end
+
+let abort_txn t th =
+  if th.txn.t_active then begin
+    (* undo memory writes in reverse order *)
+    List.iter (fun (addr, old) -> Hashtbl.replace t.mem addr old)
+      th.txn.t_undo;
+    release_ownerships t th;
+    th.frames <- copy_frames th.txn.t_saved;
+    t.stats.aborts <- t.stats.aborts + 1;
+    t.stats.wasted_instrs <- t.stats.wasted_instrs + th.txn.t_len;
+    t.stats.cycles <- t.stats.cycles + Cost.stm_abort;
+    th.consecutive_aborts <- th.consecutive_aborts + 1;
+    th.txn.t_active <- false;
+    th.txn.t_split_pending <- false
+  end
+
+(* -- transactional memory access --------------------------------------------- *)
+
+let note_read t th addr =
+  let txn = th.txn in
+  let c =
+    match Hashtbl.find_opt txn.t_read_counts addr with
+    | Some c -> c
+    | None -> 0
+  in
+  Hashtbl.replace txn.t_read_counts addr (c + 1);
+  if c + 1 >= t.config.spin_threshold && not (Hashtbl.mem t.sync_addrs addr)
+  then begin
+    Hashtbl.replace t.sync_addrs addr ();
+    t.stats.sync_vars <- t.stats.sync_vars + 1
+  end;
+  (* Sync-aware: an access to a recognised sync variable is a
+     transaction boundary — the spinner must not keep the variable
+     owned across iterations, and a release must become visible. *)
+  if t.config.policy = Sync_aware && Hashtbl.mem t.sync_addrs addr then
+    txn.t_split_pending <- true
+
+(* Resolve a conflict per policy: raises [Abort_self] or returns the
+   owners to abort. *)
+let resolve t addr ~owners ~is_write =
+  match t.config.policy with
+  | Abort_requester -> raise Abort_self
+  | Abort_owner -> owners
+  | Sync_aware ->
+      if Hashtbl.mem t.sync_addrs addr then
+        if is_write then owners (* writer wins: release the spinners *)
+        else raise Abort_self (* spinning reader retries *)
+      else raise Abort_self
+
+let find_thread t tid = List.find (fun th -> th.tid = tid) t.threads
+
+let tread t th addr =
+  t.stats.cycles <- t.stats.cycles + Cost.stm_access;
+  let o = owner_of t addr in
+  (match o.writer with
+  | Some w when w <> th.tid ->
+      let doomed = resolve t addr ~owners:[ w ] ~is_write:false in
+      List.iter (fun tid -> abort_txn t (find_thread t tid)) doomed
+  | Some _ | None -> ());
+  if not (List.mem th.tid o.readers) then begin
+    o.readers <- th.tid :: o.readers;
+    th.txn.t_accessed <- addr :: th.txn.t_accessed
+  end;
+  note_read t th addr;
+  match Hashtbl.find_opt t.mem addr with Some v -> v | None -> 0
+
+let twrite t th addr v =
+  t.stats.cycles <- t.stats.cycles + Cost.stm_access;
+  let o = owner_of t addr in
+  let others =
+    (match o.writer with Some w when w <> th.tid -> [ w ] | _ -> [])
+    @ List.filter (fun r -> r <> th.tid) o.readers
+  in
+  if others <> [] then begin
+    let doomed = resolve t addr ~owners:others ~is_write:true in
+    List.iter (fun tid -> abort_txn t (find_thread t tid)) doomed
+  end;
+  if o.writer <> Some th.tid then begin
+    o.writer <- Some th.tid;
+    if not (List.mem addr th.txn.t_accessed) then
+      th.txn.t_accessed <- addr :: th.txn.t_accessed
+  end;
+  let old = match Hashtbl.find_opt t.mem addr with Some v -> v | None -> 0 in
+  th.txn.t_undo <- (addr, old) :: th.txn.t_undo;
+  Hashtbl.replace t.mem addr v;
+  if t.config.policy = Sync_aware && Hashtbl.mem t.sync_addrs addr then
+    th.txn.t_split_pending <- true
+
+(* Application access + shadow-metadata access, atomically in the same
+   transaction (the monitoring the TM protects). *)
+let app_read t th addr =
+  let v = tread t th addr in
+  if t.config.monitor then ignore (tread t th (addr + shadow_offset));
+  v
+
+let app_write t th addr v =
+  twrite t th addr v;
+  if t.config.monitor then twrite t th (addr + shadow_offset) th.tid
+
+(* -- instruction execution ---------------------------------------------------- *)
+
+let eval th (f : frame) = function
+  | Operand.Imm n -> n
+  | Operand.Reg r ->
+      ignore th;
+      f.regs.(Reg.index r)
+
+exception Machine_fault of string
+
+(* Commit the current transaction and run [k] outside any transaction
+   (irrevocable operations: I/O, thread management). *)
+let irrevocably t th k =
+  (* the irrevocable instruction itself is accounted separately, not as
+     part of the committed transaction *)
+  th.txn.t_len <- max 0 (th.txn.t_len - 1);
+  commit_txn t th;
+  k ();
+  t.stats.committed_instrs <- t.stats.committed_instrs + 1
+
+let exec_one t th =
+  let txn = th.txn in
+  if not txn.t_active then begin_txn t th;
+  let f = List.hd th.frames in
+  let ins = Func.instr f.func f.pc in
+  t.stats.cycles <- t.stats.cycles + Cost.base_instr;
+  txn.t_len <- txn.t_len + 1;
+  (try
+     match ins with
+     | Instr.Nop -> f.pc <- f.pc + 1
+     | Instr.Mov (d, s) ->
+         f.regs.(Reg.index d) <- eval th f s;
+         f.pc <- f.pc + 1
+     | Instr.Binop (op, d, a, b) -> (
+         match Instr.eval_alu op (eval th f a) (eval th f b) with
+         | Some v ->
+             f.regs.(Reg.index d) <- v;
+             f.pc <- f.pc + 1
+         | None -> raise (Machine_fault "division by zero"))
+     | Instr.Cmp (op, d, a, b) ->
+         f.regs.(Reg.index d) <- Instr.eval_cmp op (eval th f a) (eval th f b);
+         f.pc <- f.pc + 1
+     | Instr.Load (d, base, off) ->
+         let addr = eval th f base + off in
+         f.regs.(Reg.index d) <- app_read t th addr;
+         f.pc <- f.pc + 1
+     | Instr.Store (src, base, off) ->
+         let addr = eval th f base + off in
+         app_write t th addr (eval th f src);
+         f.pc <- f.pc + 1
+     | Instr.Jmp target -> f.pc <- target
+     | Instr.Br (c, taken, fall) ->
+         f.pc <- (if eval th f c <> 0 then taken else fall)
+     | Instr.Call (fname, ret_dst) ->
+         let callee = Program.find t.program fname in
+         f.pc <- f.pc + 1;
+         let nf =
+           {
+             func = callee;
+             pc = 0;
+             regs = Array.make Reg.count 0;
+             ret_dst;
+           }
+         in
+         for i = 0 to callee.Func.arity - 1 do
+           nf.regs.(i) <- f.regs.(i)
+         done;
+         th.frames <- nf :: th.frames
+     | Instr.Icall (fop, ret_dst) -> (
+         match Program.func_of_id t.program (eval th f fop) with
+         | None -> raise (Machine_fault "invalid icall")
+         | Some callee ->
+             f.pc <- f.pc + 1;
+             let nf =
+               { func = callee; pc = 0; regs = Array.make Reg.count 0;
+                 ret_dst }
+             in
+             for i = 0 to callee.Func.arity - 1 do
+               nf.regs.(i) <- f.regs.(i)
+             done;
+             th.frames <- nf :: th.frames)
+     | Instr.Ret src -> (
+         let v = match src with Some o -> eval th f o | None -> 0 in
+         match th.frames with
+         | [ _ ] ->
+             commit_txn t th;
+             th.status <- Done
+         | callee :: (caller :: _ as rest) ->
+             (match callee.ret_dst with
+             | Some d -> caller.regs.(Reg.index d) <- v
+             | None -> ());
+             th.frames <- rest
+         | [] -> raise (Machine_fault "ret with no frame"))
+     | Instr.Halt ->
+         commit_txn t th;
+         t.halted <- true
+     | Instr.Sys s -> (
+         match s with
+         | Instr.Read d ->
+             irrevocably t th (fun () ->
+                 let v =
+                   if t.input_pos < Array.length t.input then begin
+                     let v = t.input.(t.input_pos) in
+                     t.input_pos <- t.input_pos + 1;
+                     v
+                   end
+                   else -1
+                 in
+                 f.regs.(Reg.index d) <- v;
+                 f.pc <- f.pc + 1)
+         | Instr.Write o ->
+             let v = eval th f o in
+             irrevocably t th (fun () ->
+                 t.rev_output <- v :: t.rev_output;
+                 f.pc <- f.pc + 1)
+         | Instr.Spawn (d, fname, argo) ->
+             let arg = eval th f argo in
+             irrevocably t th (fun () ->
+                 let callee = Program.find t.program fname in
+                 let nf =
+                   { func = callee; pc = 0;
+                     regs = Array.make Reg.count 0; ret_dst = None }
+                 in
+                 nf.regs.(0) <- arg;
+                 let tid = t.next_tid in
+                 t.next_tid <- tid + 1;
+                 t.threads <-
+                   t.threads
+                   @ [
+                       {
+                         tid;
+                         frames = [ nf ];
+                         status = Running;
+                         txn =
+                           {
+                             t_active = false;
+                             t_len = 0;
+                             t_undo = [];
+                             t_accessed = [];
+                             t_read_counts = Hashtbl.create 16;
+                             t_saved = [];
+                             t_split_pending = false;
+                           };
+                         consecutive_aborts = 0;
+                       };
+                     ];
+                 f.regs.(Reg.index d) <- tid;
+                 f.pc <- f.pc + 1)
+         | Instr.Join o ->
+             let target = eval th f o in
+             irrevocably t th (fun () ->
+                 match
+                   List.find_opt (fun x -> x.tid = target) t.threads
+                 with
+                 | Some x when x.status <> Done ->
+                     th.status <- Waiting_join target
+                 | Some _ | None -> f.pc <- f.pc + 1)
+         | Instr.Tid d ->
+             f.regs.(Reg.index d) <- th.tid;
+             f.pc <- f.pc + 1
+         | Instr.Check o ->
+             if eval th f o = 0 then raise (Machine_fault "check failed")
+             else f.pc <- f.pc + 1
+         | Instr.Mark (_, _) -> f.pc <- f.pc + 1
+         | Instr.Exit ->
+             commit_txn t th;
+             th.status <- Done
+         | Instr.Lock o ->
+             (* OS-level locks are irrevocable: commit, then acquire
+                or wait.  Monitored code may freely mix them with
+                transactions — it is *user-level* spin sync that the
+                TM cannot see. *)
+             let id = eval th f o in
+             irrevocably t th (fun () ->
+                 match Hashtbl.find_opt t.lock_owners id with
+                 | None ->
+                     Hashtbl.replace t.lock_owners id th.tid;
+                     f.pc <- f.pc + 1
+                 | Some owner when owner = th.tid -> f.pc <- f.pc + 1
+                 | Some _ -> th.status <- Waiting_lock id)
+         | Instr.Unlock o ->
+             let id = eval th f o in
+             irrevocably t th (fun () ->
+                 if Hashtbl.find_opt t.lock_owners id = Some th.tid then begin
+                   Hashtbl.remove t.lock_owners id;
+                   List.iter
+                     (fun other ->
+                       match other.status with
+                       | Waiting_lock wid when wid = id ->
+                           other.status <- Running
+                       | _ -> ())
+                     t.threads
+                 end;
+                 f.pc <- f.pc + 1)
+         | Instr.Barrier_init _ | Instr.Barrier _ | Instr.Alloc _
+         | Instr.Free _ ->
+             raise
+               (Machine_fault
+                  "TM executor: OS barriers/heap not supported \
+                   (workloads use spin synchronisation and static \
+                   memory)"))
+   with
+  | Abort_self -> abort_txn t th
+  | Machine_fault msg ->
+      t.fault <- Some msg;
+      t.halted <- true);
+  if txn.t_active && (txn.t_len >= t.config.max_txn || txn.t_split_pending)
+  then commit_txn t th
+
+(* -- main loop ----------------------------------------------------------------- *)
+
+let wake_joiners t =
+  List.iter
+    (fun th ->
+      match th.status with
+      | Waiting_join target -> (
+          match List.find_opt (fun x -> x.tid = target) t.threads with
+          | Some x when x.status = Done ->
+              let f = List.hd th.frames in
+              f.pc <- f.pc + 1;
+              th.status <- Running
+          | Some _ | None -> ())
+      | Running | Waiting_lock _ | Done -> ())
+    t.threads
+
+let run t =
+  let s = t.stats in
+  let rec loop () =
+    if t.halted then ()
+    else if s.ticks >= t.config.max_ticks then
+      s.outcome <- Tick_budget_exhausted
+    else if s.ticks - t.last_commit_tick > t.config.livelock_window then
+      s.outcome <- Livelocked
+    else if
+      List.exists
+        (fun th -> th.consecutive_aborts > t.config.starvation_threshold)
+        t.threads
+    then s.outcome <- Livelocked
+    else begin
+      wake_joiners t;
+      let runnable =
+        List.filter (fun th -> th.status = Running) t.threads
+      in
+      if runnable = [] then begin
+        if List.for_all (fun th -> th.status = Done) t.threads then ()
+        else s.outcome <- Livelocked
+      end
+      else begin
+        List.iter
+          (fun th ->
+            if (not t.halted) && th.status = Running then begin
+              s.ticks <- s.ticks + 1;
+              exec_one t th
+            end)
+          runnable;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  (match t.fault with
+  | Some msg -> s.outcome <- Fault msg
+  | None -> ());
+  s
+
+let output t = List.rev t.rev_output
+let stats t = t.stats

@@ -1,0 +1,77 @@
+(** Transactional execution for runtime monitoring (paper §2.2).
+
+    A chunked software-TM executor for ISA programs: each thread
+    executes transactions with eager word-level conflict detection
+    (reader sets + single writer), in-place writes with an undo log,
+    and full register/frame rollback on abort.  Every application
+    access is accompanied by a shadow-metadata access inside the same
+    transaction — the monitoring work the TM exists to protect.
+
+    Transactions end at irrevocable operations (I/O, thread
+    management) and a large safety bound, matching monitors that
+    delimit transactions at events they know about.  A spin-wait
+    contains no such event — the root of the livelocks the paper
+    describes; the [Sync_aware] policy dynamically recognises sync
+    variables, splits transactions at them, and lets writers win. *)
+
+open Dift_isa
+
+type policy =
+  | Abort_requester
+      (** the thread that detects the conflict aborts itself *)
+  | Abort_owner  (** the current owner(s) are aborted *)
+  | Sync_aware
+      (** like [Abort_requester], except at a recognised sync variable
+          where the writer wins and transactions split *)
+
+val policy_to_string : policy -> string
+
+type config = {
+  policy : policy;
+  max_txn : int;  (** safety bound on transaction length *)
+  spin_threshold : int;
+      (** reads of one address within one transaction before it is
+          classified as a sync variable *)
+  max_ticks : int;
+  livelock_window : int;
+      (** ticks without any commit before declaring livelock *)
+  starvation_threshold : int;
+      (** consecutive aborts of one thread without a commit before
+          declaring livelock *)
+  monitor : bool;  (** perform shadow-metadata accesses *)
+}
+
+val default_config : config
+
+type outcome =
+  | Completed
+  | Livelocked
+  | Fault of string
+  | Tick_budget_exhausted
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable ticks : int;
+  mutable cycles : int;
+  mutable committed_instrs : int;
+  mutable wasted_instrs : int;  (** instructions rolled back *)
+  mutable sync_vars : int;
+  mutable outcome : outcome;
+}
+
+(** Monitoring overhead: modelled cycles per usefully executed
+    instruction. *)
+val overhead : stats -> float
+
+type t
+
+val create : ?config:config -> Program.t -> input:int array -> t
+
+(** Run to completion, livelock detection, fault, or tick budget. *)
+val run : t -> stats
+
+(** Program output, oldest first. *)
+val output : t -> int list
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/vm/event.ml: Dift_isa Fmt Func Instr Loc

@@ -1,0 +1,1 @@
+lib/vm/event.mli: Dift_isa Fmt Func Instr Loc

@@ -1,0 +1,1 @@
+lib/vm/loc.ml: Dift_isa Fmt Hashtbl Int Map Reg Set Stdlib

@@ -1,0 +1,1 @@
+lib/vm/loc.mli: Dift_isa Fmt Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Cost Dift_isa Event Fmt Func Hashtbl Instr List Loc Memory Operand Option Program Random Reg Tool

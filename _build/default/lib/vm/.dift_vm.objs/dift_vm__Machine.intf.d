@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Dift_isa Event Memory Tool

@@ -1,0 +1,1 @@
+lib/vm/tool.ml: Cost Event

@@ -1,0 +1,74 @@
+(** Events observed by instrumentation tools.
+
+    One {!exec} record is produced for every executed instruction; it
+    carries everything a DBI tool sees: the dynamic instance identity
+    (global step number), the static site (function, pc), the locations
+    read and written, the effective memory address for loads/stores,
+    and the resolved control-flow target. *)
+
+open Dift_isa
+
+type fault_kind =
+  | Div_by_zero
+  | Invalid_icall of int  (** bad function id used as call target *)
+  | Check_failed  (** a [Sys Check] assertion evaluated to zero *)
+  | Invalid_free of int
+  | Out_of_bounds of int
+      (** heap access outside any live block (only with bounds
+          checking enabled) *)
+
+type fault = {
+  kind : fault_kind;
+  at_step : int;
+  at_tid : int;
+  at_func : string;
+  at_pc : int;
+}
+
+(** Why a run ended. *)
+type outcome =
+  | Halted  (** a thread executed [Halt], or all threads finished *)
+  | Faulted of fault
+  | Deadlocked  (** live threads remain but none is runnable *)
+  | Out_of_steps  (** the [max_steps] budget was exhausted *)
+  | Stopped of string  (** a tool requested the stop (e.g. attack detected) *)
+
+type exec = {
+  step : int;  (** global dynamic instruction count; unique id *)
+  tid : int;
+  func : Func.t;
+  pc : int;
+  instr : Instr.t;
+  reads : Loc.t list;
+  writes : Loc.t list;
+  addr : int;  (** effective address of a load/store, or [-1] *)
+  next_pc : int;
+      (** pc the thread continues at inside the same function, or [-1]
+          when control leaves the function (call/ret/halt/exit) *)
+  input_index : int;  (** index of the input word consumed, or [-1] *)
+  value : int;  (** primary value produced/written, or [0] *)
+}
+
+let is_branch e = match e.instr with Instr.Br _ -> true | _ -> false
+
+let pp_fault_kind ppf = function
+  | Div_by_zero -> Fmt.string ppf "division by zero"
+  | Invalid_icall id -> Fmt.pf ppf "invalid indirect call (id %d)" id
+  | Check_failed -> Fmt.string ppf "check failed"
+  | Invalid_free a -> Fmt.pf ppf "invalid free (addr %d)" a
+  | Out_of_bounds a -> Fmt.pf ppf "out-of-bounds access (addr %d)" a
+
+let pp_fault ppf f =
+  Fmt.pf ppf "%a at step %d (tid %d, %s:%d)" pp_fault_kind f.kind f.at_step
+    f.at_tid f.at_func f.at_pc
+
+let pp_outcome ppf = function
+  | Halted -> Fmt.string ppf "halted"
+  | Faulted f -> Fmt.pf ppf "faulted: %a" pp_fault f
+  | Deadlocked -> Fmt.string ppf "deadlocked"
+  | Out_of_steps -> Fmt.string ppf "out of steps"
+  | Stopped r -> Fmt.pf ppf "stopped: %s" r
+
+let pp_exec ppf e =
+  Fmt.pf ppf "#%d t%d %s:%d %a" e.step e.tid e.func.Func.name e.pc Instr.pp
+    e.instr

@@ -1,0 +1,57 @@
+(** Events observed by instrumentation tools.
+
+    One {!exec} record is produced for every executed instruction; it
+    carries everything a DBI tool sees: the dynamic instance identity
+    (global step number), the static site (function, pc), the
+    locations read and written, the effective memory address for
+    loads/stores, and the resolved control-flow target. *)
+
+open Dift_isa
+
+type fault_kind =
+  | Div_by_zero
+  | Invalid_icall of int  (** bad function id used as call target *)
+  | Check_failed  (** a [Sys Check] assertion evaluated to zero *)
+  | Invalid_free of int
+  | Out_of_bounds of int
+      (** heap access outside any live block (only with bounds
+          checking enabled) *)
+
+type fault = {
+  kind : fault_kind;
+  at_step : int;  (** the faulting dynamic instruction instance *)
+  at_tid : int;
+  at_func : string;
+  at_pc : int;
+}
+
+(** Why a run ended. *)
+type outcome =
+  | Halted  (** a thread executed [Halt], or all threads finished *)
+  | Faulted of fault
+  | Deadlocked  (** live threads remain but none is runnable *)
+  | Out_of_steps  (** the [max_steps] budget was exhausted *)
+  | Stopped of string
+      (** a tool requested the stop (e.g. attack detected) *)
+
+type exec = {
+  step : int;  (** global dynamic instruction count; unique id *)
+  tid : int;
+  func : Func.t;
+  pc : int;
+  instr : Instr.t;
+  reads : Loc.t list;
+  writes : Loc.t list;
+  addr : int;  (** effective address of a load/store, or [-1] *)
+  next_pc : int;
+      (** pc the thread continues at inside the same function, or
+          [-1] when control leaves the function *)
+  input_index : int;  (** index of the input word consumed, or [-1] *)
+  value : int;  (** primary value produced/written, or [0] *)
+}
+
+val is_branch : exec -> bool
+val pp_fault_kind : fault_kind Fmt.t
+val pp_fault : fault Fmt.t
+val pp_outcome : outcome Fmt.t
+val pp_exec : exec Fmt.t

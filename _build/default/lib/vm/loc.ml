@@ -1,0 +1,54 @@
+(** Storage locations, encoded as integers for fast hashing.
+
+    A location is either a memory word or a register in a specific
+    activation frame.  Register files are per-activation (the VM gives
+    every call a fresh frame), so a frame serial number plus a register
+    index identifies a register globally and no save/restore aliasing
+    can pollute dependence tracking.
+
+    Encoding: memory address [a] is [a lsl 1]; register [r] of frame
+    serial [s] is [((s * Reg.count + r) lsl 1) lor 1]. *)
+
+open Dift_isa
+
+type t = int
+
+let mem addr =
+  if addr < 0 then invalid_arg "Loc.mem: negative address";
+  addr lsl 1
+
+let reg ~frame r = (((frame * Reg.count) + Reg.index r) lsl 1) lor 1
+
+let is_mem l = l land 1 = 0
+let is_reg l = l land 1 = 1
+
+(** Memory address of a memory location. *)
+let addr l =
+  if not (is_mem l) then invalid_arg "Loc.addr: not a memory location";
+  l lsr 1
+
+(** [(frame_serial, register_index)] of a register location. *)
+let frame_reg l =
+  if not (is_reg l) then invalid_arg "Loc.frame_reg: not a register";
+  let v = l lsr 1 in
+  (v / Reg.count, v mod Reg.count)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (l : t) = Hashtbl.hash l
+
+let pp ppf l =
+  if is_mem l then Fmt.pf ppf "mem[%d]" (addr l)
+  else
+    let f, r = frame_reg l in
+    Fmt.pf ppf "f%d:r%d" f r
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,37 @@
+(** Storage locations, encoded as integers for fast hashing.
+
+    A location is either a memory word or a register in a specific
+    activation frame.  Register files are per-activation (the VM gives
+    every call a fresh frame), so a frame serial number plus a
+    register index identifies a register globally and no save/restore
+    aliasing can pollute dependence tracking. *)
+
+type t = int
+
+(** [mem addr] is the location of memory word [addr].
+    @raise Invalid_argument on negative addresses. *)
+val mem : int -> t
+
+(** [reg ~frame r] is register [r] of the activation with serial
+    [frame]. *)
+val reg : frame:int -> Dift_isa.Reg.t -> t
+
+val is_mem : t -> bool
+val is_reg : t -> bool
+
+(** Memory address of a memory location.
+    @raise Invalid_argument on register locations. *)
+val addr : t -> int
+
+(** [(frame_serial, register_index)] of a register location.
+    @raise Invalid_argument on memory locations. *)
+val frame_reg : t -> int * int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = int
+module Map : Map.S with type key = int

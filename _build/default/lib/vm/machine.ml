@@ -1,0 +1,868 @@
+(** The virtual machine: a multithreaded interpreter for {!Dift_isa}
+    programs with an instrumentation-tool interface, deterministic
+    seeded scheduling, a replayable schedule/input log, cycle-cost
+    accounting and whole-state checkpointing.
+
+    This is the substitute for the dynamic binary instrumentation
+    substrate (Pin/Valgrind) used by the paper: tools attached to the
+    machine observe exactly the event stream a DBI plugin would. *)
+
+open Dift_isa
+
+type config = {
+  seed : int;  (** scheduler PRNG seed *)
+  quantum_min : int;  (** min instructions between preemption points *)
+  quantum_max : int;
+  max_steps : int;  (** step budget before [Out_of_steps] *)
+  heap_padding : int;  (** slack added to every allocation *)
+  check_bounds : bool;  (** fault on heap accesses outside live blocks *)
+  schedule : (int * int) list option;
+      (** replay mode: the switch list recorded by a previous run *)
+  input_override : (int * int) list;
+      (** replay-with-edits: pairs [(index, value)] replacing specific
+          input words (the avoidance framework's "malformed request"
+          patch) *)
+  flip_steps : int list;
+      (** dynamic branch instances (by step) whose outcome is inverted —
+          the predicate-switching mechanism of §3.1 *)
+  value_replacements : (int * int) list;
+      (** [(step, v)]: the value produced at dynamic step [step] is
+          replaced by [v] — the value-replacement mechanism of §3.1 *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    quantum_min = 20;
+    quantum_max = 120;
+    max_steps = 200_000_000;
+    heap_padding = 0;
+    check_bounds = false;
+    schedule = None;
+    input_override = [];
+    flip_steps = [];
+    value_replacements = [];
+  }
+
+type block_resume = Retry | Advance
+
+type status =
+  | Runnable
+  | Blocked of block_resume
+  | Finished
+
+type activation = {
+  serial : int;
+  func : Func.t;
+  mutable pc : int;
+  regs : int array;
+  ret_dst : Reg.t option;
+  caller : activation option;
+}
+
+type thread = {
+  tid : int;
+  mutable act : activation;
+  mutable status : status;
+}
+
+type mutex = { mutable owner : int option; mutable waiters : int list }
+
+type barrier = {
+  mutable parties : int;
+  mutable arrived : int;
+  mutable waiting : int list;
+}
+
+type t = {
+  program : Program.t;
+  config : config;
+  mem : Memory.t;
+  mutable threads : thread list;  (** in spawn order *)
+  mutable next_tid : int;
+  mutable next_serial : int;
+  mutexes : (int, mutex) Hashtbl.t;
+  barriers : (int, barrier) Hashtbl.t;
+  input : int array;
+  mutable input_pos : int;
+  mutable rev_output : (int * int) list;  (** (step, value) *)
+  mutable step_count : int;
+  mutable cycles : int;
+  mutable tools : Tool.t list;
+  rng : Random.State.t;
+  mutable current : int;  (** tid currently scheduled *)
+  mutable quantum_left : int;
+  mutable rev_switches : (int * int) list;  (** (step, tid) choices *)
+  mutable replay_sched : (int * int) list;  (** remaining switches *)
+  mutable rev_inputs : (int * int * int) list;  (** (step, index, value) *)
+  mutable stop_request : string option;
+  mutable outcome : Event.outcome option;
+  mutable dispatch_cycles : int;
+      (** summed per-instruction dispatch cost of the attached tools *)
+  mutable step_cost : Event.exec -> int;
+      (** base cost of executing one instruction; replay harnesses
+          override it to fast-forward log-applied (irrelevant)
+          regions *)
+}
+
+exception Replay_divergence of string
+
+let fresh_activation m func ~ret_dst ~caller =
+  let serial = m.next_serial in
+  m.next_serial <- serial + 1;
+  { serial; func; pc = 0; regs = Array.make Reg.count 0; ret_dst; caller }
+
+let create ?(config = default_config) program ~input =
+  let input =
+    if config.input_override = [] then input
+    else begin
+      let a = Array.copy input in
+      List.iter
+        (fun (i, v) -> if i >= 0 && i < Array.length a then a.(i) <- v)
+        config.input_override;
+      a
+    end
+  in
+  let m =
+    {
+      program;
+      config;
+      mem = Memory.create ~padding:config.heap_padding ();
+      threads = [];
+      next_tid = 0;
+      next_serial = 0;
+      mutexes = Hashtbl.create 16;
+      barriers = Hashtbl.create 16;
+      input;
+      input_pos = 0;
+      rev_output = [];
+      step_count = 0;
+      cycles = 0;
+      tools = [];
+      rng = Random.State.make [| config.seed |];
+      current = 0;
+      quantum_left = 0;
+      rev_switches = [];
+      replay_sched = (match config.schedule with Some s -> s | None -> []);
+      rev_inputs = [];
+      stop_request = None;
+      outcome = None;
+      dispatch_cycles = 0;
+      step_cost = (fun _ -> Cost.base_instr);
+    }
+  in
+  let main = Program.find program (Program.entry program) in
+  let act = fresh_activation m main ~ret_dst:None ~caller:None in
+  m.threads <- [ { tid = 0; act; status = Runnable } ];
+  m.next_tid <- 1;
+  m
+
+let attach m tool =
+  m.tools <- m.tools @ [ tool ];
+  m.dispatch_cycles <- m.dispatch_cycles + tool.Tool.dispatch_cost
+
+(** Override the per-instruction base cost (replay fast-forwarding). *)
+let set_step_cost m f = m.step_cost <- f
+
+(** Charge extra modelled cycles (used by tools for their overhead). *)
+let charge m n = m.cycles <- m.cycles + n
+
+let program m = m.program
+let memory m = m.mem
+let cycles m = m.cycles
+let steps m = m.step_count
+
+(** Program output, oldest first, as [(step, value)] pairs. *)
+let output m = List.rev m.rev_output
+
+let output_values m = List.map snd (output m)
+
+(** The recorded scheduling choices, oldest first. *)
+let schedule_log m = List.rev m.rev_switches
+
+(** The recorded input reads, oldest first: [(step, index, value)]. *)
+let input_log m = List.rev m.rev_inputs
+
+(** Ask the machine to stop after the current instruction; the run's
+    outcome becomes [Stopped reason].  For tools such as the attack
+    detector. *)
+let request_stop m reason =
+  if m.stop_request = None then m.stop_request <- Some reason
+
+let thread m tid = List.find_opt (fun t -> t.tid = tid) m.threads
+
+let is_replay m = m.config.schedule <> None
+
+(* -- state fingerprinting (for replay determinism tests) -------------- *)
+
+(** A hash of the externally observable machine state: memory contents
+    and program output.  Two runs with equal fingerprints behaved
+    identically as far as the program semantics is concerned. *)
+let fingerprint m =
+  let cells = ref [] in
+  Hashtbl.iter
+    (fun a v -> cells := (a, v) :: !cells)
+    m.mem.Memory.cells;
+  let cells = List.sort compare !cells in
+  Hashtbl.hash (cells, List.rev m.rev_output, m.input_pos)
+
+(* -- operand evaluation ------------------------------------------------ *)
+
+let eval_operand act = function
+  | Operand.Imm n -> (n, [])
+  | Operand.Reg r -> (act.regs.(Reg.index r), [ Loc.reg ~frame:act.serial r ])
+
+let reg_loc act r = Loc.reg ~frame:act.serial r
+
+(* Value replacement (§3.1): substitute the value produced at a chosen
+   dynamic step. *)
+let substitute m v =
+  if m.config.value_replacements = [] then v
+  else
+    match List.assoc_opt m.step_count m.config.value_replacements with
+    | Some v' -> v'
+    | None -> v
+
+(* -- event emission ---------------------------------------------------- *)
+
+let emit m (e : Event.exec) =
+  List.iter (fun (t : Tool.t) -> t.Tool.on_exec e) m.tools
+
+let make_event m th ~instr ~reads ~writes ~addr ~next_pc ~input_index ~value
+    =
+  {
+    Event.step = m.step_count;
+    tid = th.tid;
+    func = th.act.func;
+    pc = th.act.pc;
+    instr;
+    reads;
+    writes;
+    addr;
+    next_pc;
+    input_index;
+    value;
+  }
+
+(* -- faults ------------------------------------------------------------ *)
+
+(* Every call site runs right after the faulting instruction's event
+   was emitted (and the step counter advanced), so the faulting
+   instance is [step_count - 1]. *)
+let fault m th kind =
+  let f =
+    {
+      Event.kind;
+      at_step = m.step_count - 1;
+      at_tid = th.tid;
+      at_func = th.act.func.Func.name;
+      at_pc = th.act.pc;
+    }
+  in
+  List.iter (fun (t : Tool.t) -> t.Tool.on_fault f) m.tools;
+  m.outcome <- Some (Event.Faulted f)
+
+(* -- thread completion ------------------------------------------------- *)
+
+let finish_thread m th =
+  th.status <- Finished;
+  (* Joiners blocked on this thread retry their Join and now succeed.
+     Only threads blocked *at a Join instruction* are woken; lock and
+     barrier waiters keep waiting for their own wake conditions. *)
+  List.iter
+    (fun t ->
+      match t.status with
+      | Blocked Retry -> (
+          match Func.instr t.act.func t.act.pc with
+          | Instr.Sys (Instr.Join _) -> t.status <- Runnable
+          | _ -> ())
+      | Blocked Advance | Runnable | Finished -> ())
+    m.threads
+
+(* -- instruction execution --------------------------------------------- *)
+
+type step_result =
+  | Executed
+  | Did_block  (** thread could not proceed; nothing was emitted *)
+
+(* Wakes every thread blocked in Retry mode; used after unlocks.  The
+   woken threads re-attempt their blocking instruction when next
+   scheduled and re-block if the condition still does not hold.  This
+   models contended acquisition and keeps wake bookkeeping simple. *)
+let wake_retriers m tids =
+  List.iter
+    (fun t ->
+      if List.mem t.tid tids then
+        match t.status with
+        | Blocked Retry -> t.status <- Runnable
+        | Blocked Advance | Runnable | Finished -> ())
+    m.threads
+
+let get_mutex m id =
+  match Hashtbl.find_opt m.mutexes id with
+  | Some mu -> mu
+  | None ->
+      let mu = { owner = None; waiters = [] } in
+      Hashtbl.replace m.mutexes id mu;
+      mu
+
+let get_barrier m id =
+  match Hashtbl.find_opt m.barriers id with
+  | Some b -> b
+  | None ->
+      let b = { parties = 0; arrived = 0; waiting = [] } in
+      Hashtbl.replace m.barriers id b;
+      b
+
+(* Executes one instruction of [th].  Returns [Did_block] if the thread
+   must wait (no event emitted, pc unchanged), otherwise emits the exec
+   event and advances state.  Sets [m.outcome] on halting/faulting. *)
+let rec exec_instr m th =
+  let act = th.act in
+  let ins = Func.instr act.func act.pc in
+  let simple ?(reads = []) ?(writes = []) ?(addr = -1) ?(input_index = -1)
+      ?(value = 0) ~next_pc () =
+    let e =
+      make_event m th ~instr:ins ~reads ~writes ~addr ~next_pc ~input_index
+        ~value
+    in
+    m.step_count <- m.step_count + 1;
+    m.cycles <- m.cycles + m.step_cost e + m.dispatch_cycles;
+    act.pc <- (if next_pc >= 0 then next_pc else act.pc);
+    emit m e;
+    Executed
+  in
+  match ins with
+  | Instr.Nop -> simple ~next_pc:(act.pc + 1) ()
+  | Instr.Mov (d, s) ->
+      let v, rl = eval_operand act s in
+      let v = substitute m v in
+      act.regs.(Reg.index d) <- v;
+      simple ~reads:rl ~writes:[ reg_loc act d ] ~value:v
+        ~next_pc:(act.pc + 1) ()
+  | Instr.Binop (op, d, a, b) -> (
+      let va, ra = eval_operand act a in
+      let vb, rb = eval_operand act b in
+      match Instr.eval_alu op va vb with
+      | None ->
+          (* Emit the faulting event first so slicing can start from it. *)
+          let r = simple ~reads:(ra @ rb) ~next_pc:act.pc () in
+          fault m th Event.Div_by_zero;
+          r
+      | Some v ->
+          let v = substitute m v in
+          act.regs.(Reg.index d) <- v;
+          simple ~reads:(ra @ rb) ~writes:[ reg_loc act d ] ~value:v
+            ~next_pc:(act.pc + 1) ())
+  | Instr.Cmp (op, d, a, b) ->
+      let va, ra = eval_operand act a in
+      let vb, rb = eval_operand act b in
+      let v = substitute m (Instr.eval_cmp op va vb) in
+      act.regs.(Reg.index d) <- v;
+      simple ~reads:(ra @ rb) ~writes:[ reg_loc act d ] ~value:v
+        ~next_pc:(act.pc + 1) ()
+  | Instr.Load (d, base, off) -> (
+      let vb, rb = eval_operand act base in
+      let addr = vb + off in
+      if addr < 0 then begin
+        let r = simple ~reads:rb ~next_pc:act.pc () in
+        fault m th (Event.Out_of_bounds addr);
+        r
+      end
+      else
+        match
+          if m.config.check_bounds && Memory.in_heap m.mem addr then
+            Memory.block_of m.mem addr
+          else Some { Memory.base = 0; size = 0; live = true }
+        with
+        | None ->
+            let r = simple ~reads:rb ~next_pc:act.pc () in
+            fault m th (Event.Out_of_bounds addr);
+            r
+        | Some _ ->
+            let v = substitute m (Memory.read m.mem addr) in
+            act.regs.(Reg.index d) <- v;
+            simple
+              ~reads:(rb @ [ Loc.mem addr ])
+              ~writes:[ reg_loc act d ] ~addr ~value:v ~next_pc:(act.pc + 1)
+              ())
+  | Instr.Store (src, base, off) -> (
+      let vs, rs = eval_operand act src in
+      let vb, rb = eval_operand act base in
+      let addr = vb + off in
+      if addr < 0 then begin
+        let r = simple ~reads:(rs @ rb) ~next_pc:act.pc () in
+        fault m th (Event.Out_of_bounds addr);
+        r
+      end
+      else
+        match
+          if m.config.check_bounds && Memory.in_heap m.mem addr then
+            Memory.block_of m.mem addr
+          else Some { Memory.base = 0; size = 0; live = true }
+        with
+        | None ->
+            let r = simple ~reads:(rs @ rb) ~next_pc:act.pc () in
+            fault m th (Event.Out_of_bounds addr);
+            r
+        | Some _ ->
+            let vs = substitute m vs in
+            Memory.write m.mem addr vs;
+            simple ~reads:(rs @ rb)
+              ~writes:[ Loc.mem addr ]
+              ~addr ~value:vs ~next_pc:(act.pc + 1) ())
+  | Instr.Jmp t -> simple ~next_pc:t ()
+  | Instr.Br (c, t, f) ->
+      let v, rl = eval_operand act c in
+      let taken = if v <> 0 then t else f in
+      let taken =
+        if
+          m.config.flip_steps <> []
+          && List.mem m.step_count m.config.flip_steps
+        then if taken = t then f else t
+        else taken
+      in
+      simple ~reads:rl ~value:v ~next_pc:taken ()
+  | Instr.Call (fname, ret_dst) ->
+      let callee = Program.find m.program fname in
+      act.pc <- act.pc + 1;
+      (* the event must still report the call site *)
+      let site_pc = act.pc - 1 in
+      let callee_act = fresh_activation m callee ~ret_dst ~caller:(Some act) in
+      let reads = ref [] and writes = ref [] in
+      for i = callee.Func.arity - 1 downto 0 do
+        callee_act.regs.(i) <- act.regs.(i);
+        reads := Loc.reg ~frame:act.serial (Reg.make i) :: !reads;
+        writes := Loc.reg ~frame:callee_act.serial (Reg.make i) :: !writes
+      done;
+      let e =
+        {
+          Event.step = m.step_count;
+          tid = th.tid;
+          func = act.func;
+          pc = site_pc;
+          instr = ins;
+          reads = !reads;
+          writes = !writes;
+          addr = -1;
+          next_pc = -1;
+          input_index = -1;
+          value = 0;
+        }
+      in
+      m.step_count <- m.step_count + 1;
+      m.cycles <- m.cycles + m.step_cost e + m.dispatch_cycles;
+      th.act <- callee_act;
+      emit m e;
+      Executed
+  | Instr.Icall (fop, ret_dst) -> (
+      let fid, rl = eval_operand act fop in
+      match Program.func_of_id m.program fid with
+      | None ->
+          let r = simple ~reads:rl ~value:fid ~next_pc:act.pc () in
+          fault m th (Event.Invalid_icall fid);
+          r
+      | Some callee ->
+          act.pc <- act.pc + 1;
+          let site_pc = act.pc - 1 in
+          let callee_act =
+            fresh_activation m callee ~ret_dst ~caller:(Some act)
+          in
+          (* reads: the arguments in order, then the target operand's
+             registers; writes: the callee's argument registers in the
+             same order — tools rely on this pairwise alignment. *)
+          let reads = ref rl and writes = ref [] in
+          for i = callee.Func.arity - 1 downto 0 do
+            callee_act.regs.(i) <- act.regs.(i);
+            reads := Loc.reg ~frame:act.serial (Reg.make i) :: !reads;
+            writes := Loc.reg ~frame:callee_act.serial (Reg.make i) :: !writes
+          done;
+          let e =
+            {
+              Event.step = m.step_count;
+              tid = th.tid;
+              func = act.func;
+              pc = site_pc;
+              instr = ins;
+              reads = !reads;
+              writes = !writes;
+              addr = -1;
+              next_pc = -1;
+              input_index = -1;
+              value = fid;
+            }
+          in
+          m.step_count <- m.step_count + 1;
+          m.cycles <- m.cycles + m.step_cost e + m.dispatch_cycles;
+          th.act <- callee_act;
+          emit m e;
+          Executed)
+  | Instr.Ret src -> (
+      let v, rl =
+        match src with
+        | Some o -> eval_operand act o
+        | None -> (0, [])
+      in
+      match act.caller with
+      | None ->
+          let r = simple ~reads:rl ~value:v ~next_pc:act.pc () in
+          finish_thread m th;
+          r
+      | Some caller ->
+          let writes =
+            match act.ret_dst with
+            | Some d ->
+                caller.regs.(Reg.index d) <- v;
+                [ Loc.reg ~frame:caller.serial d ]
+            | None -> []
+          in
+          let r = simple ~reads:rl ~writes ~value:v ~next_pc:act.pc () in
+          th.act <- caller;
+          r)
+  | Instr.Halt ->
+      let r = simple ~next_pc:act.pc () in
+      m.outcome <- Some Event.Halted;
+      r
+  | Instr.Sys s -> exec_syscall m th act ins s
+
+and exec_syscall m th act ins s =
+  let simple ?(reads = []) ?(writes = []) ?(input_index = -1) ?(value = 0)
+      ?(next_pc = act.pc + 1) () =
+    let e =
+      make_event m th ~instr:ins ~reads ~writes ~addr:(-1) ~next_pc
+        ~input_index ~value
+    in
+    m.step_count <- m.step_count + 1;
+    m.cycles <- m.cycles + m.step_cost e + m.dispatch_cycles;
+    act.pc <- next_pc;
+    emit m e;
+    Executed
+  in
+  match s with
+  | Instr.Read d ->
+      let idx = m.input_pos in
+      let v, input_index =
+        if idx < Array.length m.input then begin
+          m.input_pos <- idx + 1;
+          (m.input.(idx), idx)
+        end
+        else (-1, -1)
+      in
+      act.regs.(Reg.index d) <- v;
+      if input_index >= 0 then
+        m.rev_inputs <- (m.step_count, input_index, v) :: m.rev_inputs;
+      simple ~writes:[ reg_loc act d ] ~input_index ~value:v ()
+  | Instr.Write o ->
+      let v, rl = eval_operand act o in
+      m.rev_output <- (m.step_count, v) :: m.rev_output;
+      simple ~reads:rl ~value:v ()
+  | Instr.Spawn (d, fname, argo) ->
+      let v, rl = eval_operand act argo in
+      let callee = Program.find m.program fname in
+      let new_act = fresh_activation m callee ~ret_dst:None ~caller:None in
+      new_act.regs.(0) <- v;
+      let tid = m.next_tid in
+      m.next_tid <- tid + 1;
+      m.threads <- m.threads @ [ { tid; act = new_act; status = Runnable } ];
+      act.regs.(Reg.index d) <- tid;
+      simple ~reads:rl
+        ~writes:
+          [ reg_loc act d; Loc.reg ~frame:new_act.serial (Reg.make 0) ]
+        ~value:tid ()
+  | Instr.Join o -> (
+      let v, rl = eval_operand act o in
+      match thread m v with
+      | Some t when t.status <> Finished ->
+          th.status <- Blocked Retry;
+          Did_block
+      | Some _ | None -> simple ~reads:rl ~value:v ())
+  | Instr.Lock o ->
+      let v, rl = eval_operand act o in
+      let mu = get_mutex m v in
+      (match mu.owner with
+      | None ->
+          mu.owner <- Some th.tid;
+          ignore (simple ~reads:rl ~value:v ())
+      | Some owner when owner = th.tid -> ignore (simple ~reads:rl ~value:v ())
+      | Some _ ->
+          mu.waiters <- mu.waiters @ [ th.tid ];
+          th.status <- Blocked Retry);
+      if th.status = Runnable || th.status = Finished then Executed
+      else Did_block
+  | Instr.Unlock o ->
+      let v, rl = eval_operand act o in
+      let mu = get_mutex m v in
+      if mu.owner = Some th.tid then begin
+        mu.owner <- None;
+        let ws = mu.waiters in
+        mu.waiters <- [];
+        wake_retriers m ws
+      end;
+      simple ~reads:rl ~value:v ()
+  | Instr.Barrier_init (ido, po) ->
+      let id, r1 = eval_operand act ido in
+      let parties, r2 = eval_operand act po in
+      let b = get_barrier m id in
+      b.parties <- parties;
+      b.arrived <- 0;
+      simple ~reads:(r1 @ r2) ~value:id ()
+  | Instr.Barrier ido ->
+      let id, rl = eval_operand act ido in
+      let b = get_barrier m id in
+      b.arrived <- b.arrived + 1;
+      if b.arrived >= b.parties then begin
+        b.arrived <- 0;
+        let ws = b.waiting in
+        b.waiting <- [];
+        (* Barrier waiters have already counted: wake them *past* the
+           barrier instruction. *)
+        List.iter
+          (fun wtid ->
+            match thread m wtid with
+            | Some t -> (
+                match t.status with
+                | Blocked Advance ->
+                    t.act.pc <- t.act.pc + 1;
+                    t.status <- Runnable
+                | Blocked Retry | Runnable | Finished -> ())
+            | None -> ())
+          ws;
+        simple ~reads:rl ~value:id ()
+      end
+      else begin
+        b.waiting <- b.waiting @ [ th.tid ];
+        th.status <- Blocked Advance;
+        (* The arrival itself is observable: emit the event, but leave
+           the thread blocked at this pc (it is advanced on release). *)
+        let e =
+          make_event m th ~instr:ins ~reads:rl ~writes:[] ~addr:(-1)
+            ~next_pc:act.pc ~input_index:(-1) ~value:id
+        in
+        m.step_count <- m.step_count + 1;
+        m.cycles <- m.cycles + m.step_cost e + m.dispatch_cycles;
+        emit m e;
+        Executed
+      end
+  | Instr.Alloc (d, so) ->
+      let size, rl = eval_operand act so in
+      let base = Memory.alloc m.mem size in
+      act.regs.(Reg.index d) <- base;
+      simple ~reads:rl ~writes:[ reg_loc act d ] ~value:base ()
+  | Instr.Free o -> (
+      let v, rl = eval_operand act o in
+      match Memory.free m.mem v with
+      | Ok () -> simple ~reads:rl ~value:v ()
+      | Error `Invalid_free ->
+          let r = simple ~reads:rl ~value:v ~next_pc:act.pc () in
+          fault m th (Event.Invalid_free v);
+          r)
+  | Instr.Tid d ->
+      act.regs.(Reg.index d) <- th.tid;
+      simple ~writes:[ reg_loc act d ] ~value:th.tid ()
+  | Instr.Check o ->
+      let v, rl = eval_operand act o in
+      if v = 0 then begin
+        let r = simple ~reads:rl ~value:v ~next_pc:act.pc () in
+        fault m th Event.Check_failed;
+        r
+      end
+      else simple ~reads:rl ~value:v ()
+  | Instr.Mark (_, o) ->
+      let v, rl = eval_operand act o in
+      simple ~reads:rl ~value:v ()
+  | Instr.Exit ->
+      let r = simple ~next_pc:act.pc () in
+      finish_thread m th;
+      r
+
+(* -- scheduling -------------------------------------------------------- *)
+
+let runnable_threads m =
+  List.filter (fun t -> t.status = Runnable) m.threads
+
+let record_switch m tid =
+  m.rev_switches <- (m.step_count, tid) :: m.rev_switches;
+  m.current <- tid;
+  m.quantum_left <-
+    m.config.quantum_min
+    + Random.State.int m.rng
+        (max 1 (m.config.quantum_max - m.config.quantum_min))
+
+(* Choose the thread to run next.  In recording mode: seeded random
+   choice among runnables, recorded for replay.  In replay mode: follow
+   the recorded switch list. *)
+let schedule m =
+  if is_replay m then begin
+    (* Apply all switches recorded at this step. *)
+    let rec apply () =
+      match m.replay_sched with
+      | (s, tid) :: rest when s = m.step_count ->
+          m.current <- tid;
+          m.replay_sched <- rest;
+          apply ()
+      | _ -> ()
+    in
+    apply ();
+    match thread m m.current with
+    | Some t when t.status = Runnable -> Some t
+    | Some _ | None -> (
+        (* The recorded thread cannot run here: in a faithful replay
+           this only happens transiently when the recording switched
+           away at the same step; fall back to any runnable thread
+           only if the log has a future switch, otherwise diverge. *)
+        match runnable_threads m with
+        | [] -> None
+        | t :: _ -> (
+            match m.replay_sched with
+            | _ :: _ -> Some t
+            | [] ->
+                raise
+                  (Replay_divergence
+                     (Fmt.str "no runnable thread matches log at step %d"
+                        m.step_count))))
+  end
+  else begin
+    let need_new =
+      m.quantum_left <= 0
+      ||
+      match thread m m.current with
+      | Some t -> t.status <> Runnable
+      | None -> true
+    in
+    if need_new then begin
+      match runnable_threads m with
+      | [] -> ()
+      | rs ->
+          let pick = List.nth rs (Random.State.int m.rng (List.length rs)) in
+          record_switch m pick.tid
+    end;
+    match thread m m.current with
+    | Some t when t.status = Runnable -> Some t
+    | Some _ | None -> None
+  end
+
+(* -- main loop --------------------------------------------------------- *)
+
+let finish m outcome =
+  m.outcome <- Some outcome;
+  List.iter (fun (t : Tool.t) -> t.Tool.on_finish outcome) m.tools;
+  outcome
+
+let run m =
+  if m.outcome <> None then invalid_arg "Machine.run: already ran";
+  (* Initial scheduling choice. *)
+  if not (is_replay m) then record_switch m 0;
+  let rec loop () =
+    match m.outcome with
+    | Some o -> o
+    | None ->
+        if m.step_count >= m.config.max_steps then Event.Out_of_steps
+        else begin
+          match m.stop_request with
+          | Some r -> Event.Stopped r
+          | None -> (
+              match schedule m with
+              | None ->
+                  if List.for_all (fun t -> t.status = Finished) m.threads
+                  then Event.Halted
+                  else Event.Deadlocked
+              | Some th -> (
+                  match exec_instr m th with
+                  | Executed ->
+                      m.quantum_left <- m.quantum_left - 1;
+                      loop ()
+                  | Did_block -> loop ()))
+        end
+  in
+  let outcome = loop () in
+  finish m outcome
+
+(* -- checkpointing ------------------------------------------------------ *)
+
+type checkpoint = {
+  cp_mem : Memory.t;
+  cp_threads : thread list;
+  cp_next_tid : int;
+  cp_next_serial : int;
+  cp_mutexes : (int, mutex) Hashtbl.t;
+  cp_barriers : (int, barrier) Hashtbl.t;
+  cp_input_pos : int;
+  cp_rev_output : (int * int) list;
+  cp_step : int;
+  cp_words : int;  (** memory words captured, for cost accounting *)
+}
+
+let rec copy_activation cache act =
+  match Hashtbl.find_opt cache act.serial with
+  | Some a -> a
+  | None ->
+      let caller = Option.map (copy_activation cache) act.caller in
+      let a = { act with regs = Array.copy act.regs; caller } in
+      Hashtbl.replace cache act.serial a;
+      a
+
+let copy_threads threads =
+  let cache = Hashtbl.create 64 in
+  List.map
+    (fun t -> { t with act = copy_activation cache t.act })
+    threads
+
+(** Capture the entire mutable state of the machine.  The modelled cost
+    ({!Cost.checkpoint_word} per live memory word) is charged to the
+    machine's cycle counter. *)
+let checkpoint m =
+  let words = Memory.footprint m.mem in
+  charge m (words * Cost.checkpoint_word);
+  {
+    cp_mem = Memory.snapshot m.mem;
+    cp_threads = copy_threads m.threads;
+    cp_next_tid = m.next_tid;
+    cp_next_serial = m.next_serial;
+    cp_mutexes =
+      (let h = Hashtbl.create 16 in
+       Hashtbl.iter
+         (fun k mu -> Hashtbl.replace h k { mu with owner = mu.owner })
+         m.mutexes;
+       h);
+    cp_barriers =
+      (let h = Hashtbl.create 16 in
+       Hashtbl.iter
+         (fun k b -> Hashtbl.replace h k { b with parties = b.parties })
+         m.barriers;
+       h);
+    cp_input_pos = m.input_pos;
+    cp_rev_output = m.rev_output;
+    cp_step = m.step_count;
+    cp_words = words;
+  }
+
+(** Build a fresh machine whose state is the checkpoint's.  The new
+    machine shares nothing mutable with the checkpoint (it can be
+    restored from repeatedly) and may use a different [config] — e.g.
+    replay mode with a recorded schedule suffix. *)
+let of_checkpoint ?(config = default_config) program ~input cp =
+  let m = create ~config program ~input in
+  let fresh = Memory.snapshot cp.cp_mem in
+  Hashtbl.reset m.mem.Memory.cells;
+  Hashtbl.iter (Hashtbl.replace m.mem.Memory.cells) fresh.Memory.cells;
+  Hashtbl.reset m.mem.Memory.blocks;
+  Hashtbl.iter (Hashtbl.replace m.mem.Memory.blocks) fresh.Memory.blocks;
+  m.mem.Memory.next <- fresh.Memory.next;
+  m.threads <- copy_threads cp.cp_threads;
+  m.next_tid <- cp.cp_next_tid;
+  m.next_serial <- cp.cp_next_serial;
+  Hashtbl.reset m.mutexes;
+  Hashtbl.iter
+    (fun k mu -> Hashtbl.replace m.mutexes k { mu with owner = mu.owner })
+    cp.cp_mutexes;
+  Hashtbl.reset m.barriers;
+  Hashtbl.iter
+    (fun k b -> Hashtbl.replace m.barriers k { b with parties = b.parties })
+    cp.cp_barriers;
+  m.input_pos <- cp.cp_input_pos;
+  m.rev_output <- cp.cp_rev_output;
+  m.step_count <- cp.cp_step;
+  m
+
+let checkpoint_words cp = cp.cp_words
+let checkpoint_step cp = cp.cp_step

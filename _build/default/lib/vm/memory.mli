@@ -1,0 +1,46 @@
+(** Sparse word-addressed memory with a bump heap allocator.
+
+    Addresses below {!heap_base} form the static/global region, freely
+    usable by programs.  [Sys Alloc] hands out blocks from the heap
+    region and remembers their extents, which lets applications reason
+    about heap overflows and lets the avoidance framework pad
+    allocations (an "environment patch" in the paper's sense). *)
+
+type block = { base : int; size : int; mutable live : bool }
+
+type t = {
+  cells : (int, int) Hashtbl.t;
+  blocks : (int, block) Hashtbl.t;  (** keyed by base address *)
+  mutable next : int;  (** bump pointer *)
+  padding : int;  (** extra slack appended to every allocation *)
+}
+
+(** First heap address; everything below is the global region. *)
+val heap_base : int
+
+val create : ?padding:int -> unit -> t
+
+(** Unwritten addresses read as zero. *)
+val read : t -> int -> int
+
+val write : t -> int -> int -> unit
+
+(** Allocate a block; padding (if configured) becomes part of the
+    block, so small overflows land in it harmlessly. *)
+val alloc : t -> int -> int
+
+(** [free m base] releases a block; [Error] when [base] is not the
+    base address of a live block. *)
+val free : t -> int -> (unit, [ `Invalid_free ]) result
+
+(** The live block containing an address, if any. *)
+val block_of : t -> int -> block option
+
+(** Is the address inside the allocated heap range? *)
+val in_heap : t -> int -> bool
+
+(** Number of addresses currently holding a non-zero value. *)
+val footprint : t -> int
+
+(** Deep copy, for checkpointing. *)
+val snapshot : t -> t

@@ -1,0 +1,22 @@
+(** The instrumentation-tool interface.
+
+    A tool is what a Pin/Valgrind plugin is to a real binary: a set of
+    callbacks invoked by the machine as execution proceeds.
+
+    [dispatch_cost] is the per-instruction overhead the machine charges
+    while this tool is attached.  Binary-instrumentation tools pay
+    {!Cost.dbi_dispatch}; OS-level observers (checkpoint/logging, or a
+    tracer that instruments selectively and charges itself) pass [0]. *)
+
+type t = {
+  name : string;
+  dispatch_cost : int;
+  on_exec : Event.exec -> unit;
+      (** called after each instruction's effects are applied *)
+  on_fault : Event.fault -> unit;  (** called when the machine faults *)
+  on_finish : Event.outcome -> unit;  (** called once, when the run ends *)
+}
+
+let make ?(dispatch_cost = Cost.dbi_dispatch) ?(on_exec = fun _ -> ())
+    ?(on_fault = fun _ -> ()) ?(on_finish = fun _ -> ()) name =
+  { name; dispatch_cost; on_exec; on_fault; on_finish }

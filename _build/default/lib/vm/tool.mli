@@ -1,0 +1,28 @@
+(** The instrumentation-tool interface.
+
+    A tool is what a Pin/Valgrind plugin is to a real binary: a set of
+    callbacks invoked by the machine as execution proceeds.
+
+    [dispatch_cost] is the per-instruction overhead the machine
+    charges while this tool is attached.  Binary-instrumentation tools
+    pay {!Cost.dbi_dispatch}; OS-level observers (checkpoint/logging,
+    or a tracer that instruments selectively and charges itself) pass
+    [0]. *)
+
+type t = {
+  name : string;
+  dispatch_cost : int;
+  on_exec : Event.exec -> unit;
+      (** called after each instruction's effects are applied *)
+  on_fault : Event.fault -> unit;  (** called when the machine faults *)
+  on_finish : Event.outcome -> unit;
+      (** called once, when the run ends *)
+}
+
+val make :
+  ?dispatch_cost:int ->
+  ?on_exec:(Event.exec -> unit) ->
+  ?on_fault:(Event.fault -> unit) ->
+  ?on_finish:(Event.outcome -> unit) ->
+  string ->
+  t

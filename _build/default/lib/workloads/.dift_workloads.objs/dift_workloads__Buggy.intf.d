@@ -1,0 +1,1 @@
+lib/workloads/buggy.mli: Dift_isa Program

@@ -1,0 +1,1 @@
+lib/workloads/scientific.ml: Array Builder Dift_isa Fmt List Operand Program Random Reg Workload

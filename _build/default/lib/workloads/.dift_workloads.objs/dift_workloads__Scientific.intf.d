@@ -1,0 +1,1 @@
+lib/workloads/scientific.mli: Dift_isa Program

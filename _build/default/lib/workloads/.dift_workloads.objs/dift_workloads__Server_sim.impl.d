@@ -1,0 +1,1 @@
+lib/workloads/server_sim.ml: Array Builder Dift_isa List Operand Program Random Reg

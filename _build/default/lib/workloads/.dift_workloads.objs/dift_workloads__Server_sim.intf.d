@@ -1,0 +1,1 @@
+lib/workloads/server_sim.mli: Dift_isa Program

@@ -1,0 +1,1 @@
+lib/workloads/spec_like.ml: Array Builder Dift_isa Fmt List Operand Program Random Reg Workload

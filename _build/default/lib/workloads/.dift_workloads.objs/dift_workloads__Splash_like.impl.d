@@ -1,0 +1,1 @@
+lib/workloads/splash_like.ml: Array Builder Dift_isa Fmt Operand Program Reg Workload

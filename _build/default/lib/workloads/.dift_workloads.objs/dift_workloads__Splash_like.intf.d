@@ -1,0 +1,1 @@
+lib/workloads/splash_like.mli: Dift_isa Program

@@ -1,0 +1,1 @@
+lib/workloads/vulnerable.ml: Builder Dift_isa Fmt List Operand Program Reg

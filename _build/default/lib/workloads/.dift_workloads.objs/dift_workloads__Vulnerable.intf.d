@@ -1,0 +1,1 @@
+lib/workloads/vulnerable.mli: Dift_isa Program

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Dift_isa Fmt Program Random

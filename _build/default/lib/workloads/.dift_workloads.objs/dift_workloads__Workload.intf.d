@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Dift_isa Fmt Program

@@ -1,0 +1,262 @@
+(** Programs with injected faults, for the fault-location experiments
+    (paper §3.1).
+
+    Each case knows its own ground truth: the static site of the
+    injected fault, a passing input and a failing input.  The failure
+    is observable (a wrong output or a failed [Sys Check]), which is
+    what dynamic slicing starts from.  The corpus covers the error
+    classes the paper discusses: value errors caught by data slices,
+    predicate errors, execution-omission errors (the hard case §3.1
+    addresses with implicit dependences / predicate switching), and
+    latent state corruption. *)
+
+open Dift_isa
+
+let imm = Operand.imm
+let reg = Operand.reg
+
+type case = {
+  name : string;
+  description : string;
+  program : Program.t;
+  faulty_site : string * int;  (** ground truth: (function, pc) *)
+  failing_input : int array;
+  passing_input : int array;
+  omission : bool;
+      (** true when the bug makes correct code *not* execute — the
+          execution-omission class *)
+}
+
+(* 1. Wrong operator in a computation: sum must double each element,
+   but the faulty site adds instead of multiplying when the value
+   exceeds a threshold. *)
+let wrong_operator =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.read b Reg.r0;
+        (* n *)
+        Builder.movi b Reg.r5 0;
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r0)
+          (fun () ->
+            Builder.read b Reg.r1;
+            Builder.gt b Reg.r2 (reg Reg.r1) (imm 50);
+            Builder.if_nz b (reg Reg.r2)
+              ~then_:(fun () ->
+                site := Builder.here b;
+                (* BUG: should be [mul r3 r1 2] *)
+                Builder.add b Reg.r3 (reg Reg.r1) (imm 2))
+              ~else_:(fun () ->
+                Builder.mul b Reg.r3 (reg Reg.r1) (imm 2));
+            Builder.add b Reg.r5 (reg Reg.r5) (reg Reg.r3));
+        (* The spec: the sum of doubled elements is even. *)
+        Builder.rem b Reg.r6 (reg Reg.r5) (imm 2);
+        Builder.eq b Reg.r7 (reg Reg.r6) (imm 0);
+        Builder.write b (reg Reg.r5);
+        Builder.check b (reg Reg.r7);
+        Builder.halt b)
+  in
+  {
+    name = "wrong-operator";
+    description = "add instead of mul on the >50 path makes the sum odd";
+    program = Program.make [ main ];
+    faulty_site = ("main", !site);
+    failing_input = [| 3; 60; 10; 20 |];
+    (* one odd contribution: 62 + 20 + 40 = 122? 62 is even... use 61 *)
+    passing_input = [| 3; 10; 20; 30 |];
+    omission = false;
+  }
+
+(* Fix the failing input after the fact: 60 -> 60+2 = 62 (even), so use
+   an odd seed value: 61 -> 63 (odd) breaks the parity check. *)
+let wrong_operator =
+  { wrong_operator with failing_input = [| 3; 61; 10; 20 |] }
+
+(* 2. Off-by-one loop bound: the last element is never accumulated. *)
+let off_by_one =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.read b Reg.r0;
+        Builder.movi b Reg.r5 0;
+        site := Builder.here b;
+        (* BUG: bound should be r0, not r0-1 *)
+        Builder.sub b Reg.r4 (reg Reg.r0) (imm 1);
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r4)
+          (fun () ->
+            Builder.read b Reg.r1;
+            Builder.add b Reg.r5 (reg Reg.r5) (reg Reg.r1));
+        (* The spec: echo the total; the harness checks it against the
+           true sum via the final check word (true sum supplied as the
+           last input word by the generator). *)
+        Builder.read b Reg.r2;
+        (* unread element, consumed here so the stream aligns *)
+        Builder.read b Reg.r3;
+        (* expected sum *)
+        Builder.eq b Reg.r6 (reg Reg.r5) (reg Reg.r3);
+        Builder.write b (reg Reg.r5);
+        Builder.check b (reg Reg.r6);
+        Builder.halt b)
+  in
+  {
+    name = "off-by-one";
+    description = "loop bound n-1 drops the last element of the sum";
+    program = Program.make [ main ];
+    faulty_site = ("main", !site);
+    failing_input = [| 3; 5; 6; 7; 18 |];
+    (* passing when the dropped element is 0 *)
+    passing_input = [| 3; 5; 6; 0; 11 |];
+    omission = false;
+  }
+
+(* 3. Execution omission: a guard predicate is wrong (> instead of >=),
+   so the update statement is *not executed* for the boundary value and
+   the failure has no data dependence on the faulty predicate's
+   then-branch.  Locating this requires implicit dependences /
+   predicate switching. *)
+let omission_guard =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.read b Reg.r0;
+        (* x *)
+        Builder.movi b Reg.r5 0;
+        (* flag stays 0 unless the guard fires *)
+        site := Builder.here b;
+        (* BUG: should be [ge r2 r0 10] *)
+        Builder.gt b Reg.r2 (reg Reg.r0) (imm 10);
+        Builder.if_nz1 b (reg Reg.r2) (fun () -> Builder.movi b Reg.r5 1);
+        (* The spec: for x >= 10 the flag must be set. *)
+        Builder.ge b Reg.r3 (reg Reg.r0) (imm 10);
+        Builder.eq b Reg.r4 (reg Reg.r5) (reg Reg.r3);
+        Builder.write b (reg Reg.r5);
+        Builder.check b (reg Reg.r4);
+        Builder.halt b)
+  in
+  {
+    name = "omission-guard";
+    description =
+      "guard uses > instead of >=, omitting the update at the boundary";
+    program = Program.make [ main ];
+    faulty_site = ("main", !site);
+    failing_input = [| 10 |];
+    passing_input = [| 11 |];
+    omission = true;
+  }
+
+(* 4. Missing initialisation: a cell is read before being written when
+   a rare path is taken, yielding a stale value from a previous
+   phase. *)
+let stale_read =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        (* Phase 1 leaves a value in the scratch cell. *)
+        Builder.read b Reg.r0;
+        Builder.store b (reg Reg.r0) (imm 900) 0;
+        (* Phase 2: should re-initialise the cell, but only does so on
+           the common path. *)
+        Builder.read b Reg.r1;
+        site := Builder.here b;
+        (* BUG: initialisation guarded by r1 != 0; for r1 = 0 the cell
+           keeps phase 1's value *)
+        Builder.if_nz1 b (reg Reg.r1) (fun () ->
+            Builder.store b (imm 1) (imm 900) 0);
+        Builder.load b Reg.r2 (imm 900) 0;
+        (* The spec: phase 2's result is always 1 when r1<>0, and the
+           program claims it is always <= 1. *)
+        Builder.le b Reg.r3 (reg Reg.r2) (imm 1);
+        Builder.write b (reg Reg.r2);
+        Builder.check b (reg Reg.r3);
+        Builder.halt b)
+  in
+  {
+    name = "stale-read";
+    description = "conditional initialisation leaves a stale value behind";
+    program = Program.make [ main ];
+    faulty_site = ("main", !site);
+    failing_input = [| 7; 0 |];
+    passing_input = [| 7; 1 |];
+    omission = true;
+  }
+
+(* 5. Rare division by zero: a denominator derived from input is not
+   validated. *)
+let div_crash =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.read b Reg.r0;
+        Builder.read b Reg.r1;
+        Builder.sub b Reg.r2 (reg Reg.r1) (imm 5);
+        site := Builder.here b;
+        (* BUG: divides by r1-5 without checking for 5 *)
+        Builder.div b Reg.r3 (reg Reg.r0) (reg Reg.r2);
+        Builder.write b (reg Reg.r3);
+        Builder.halt b)
+  in
+  {
+    name = "div-crash";
+    description = "unvalidated denominator crashes when the input is 5";
+    program = Program.make [ main ];
+    faulty_site = ("main", !site);
+    failing_input = [| 100; 5 |];
+    passing_input = [| 100; 7 |];
+    omission = false;
+  }
+
+(* 6. Corruption at a distance: an early bounds error corrupts a
+   neighbouring cell; the failure fires many instructions later when
+   the corrupted cell is finally used. *)
+let latent_corruption =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        (* table of 4 valid cells at 910..913, sentinel at 914 *)
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm 4)
+          (fun () ->
+            Builder.add b Reg.r2 (imm 910) (reg Reg.r10);
+            Builder.store b (imm 1) (reg Reg.r2) 0);
+        Builder.store b (imm 1) (imm 914) 0;
+        (* write input-selected index without validating *)
+        Builder.read b Reg.r0;
+        site := Builder.here b;
+        (* BUG: index may be 4, clobbering the sentinel *)
+        Builder.add b Reg.r3 (imm 910) (reg Reg.r0);
+        Builder.store b (imm 0) (reg Reg.r3) 0;
+        (* ... lots of unrelated work ... *)
+        Builder.movi b Reg.r5 0;
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm 200)
+          (fun () ->
+            Builder.add b Reg.r5 (reg Reg.r5) (reg Reg.r10));
+        Builder.write b (reg Reg.r5);
+        (* the sentinel must still be intact *)
+        Builder.load b Reg.r6 (imm 914) 0;
+        Builder.check b (reg Reg.r6);
+        Builder.halt b)
+  in
+  {
+    name = "latent-corruption";
+    description =
+      "unvalidated index clobbers a sentinel; failure manifests much later";
+    program = Program.make [ main ];
+    faulty_site = ("main", !site);
+    failing_input = [| 4 |];
+    passing_input = [| 2 |];
+    omission = false;
+  }
+
+let all =
+  [
+    wrong_operator;
+    off_by_one;
+    omission_guard;
+    stale_read;
+    div_crash;
+    latent_corruption;
+  ]
+
+let by_name name =
+  match List.find_opt (fun c -> c.name = name) all with
+  | Some c -> c
+  | None -> invalid_arg (Fmt.str "Buggy.by_name: %s" name)

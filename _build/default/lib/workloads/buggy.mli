@@ -1,0 +1,32 @@
+(** Programs with injected faults, for the fault-location experiments
+    (paper §3.1).
+
+    Each case knows its own ground truth: the static site of the
+    injected fault, a passing input and a failing input.  The failure
+    is observable (a wrong output or a failed [Sys Check]).  The
+    corpus covers the error classes the paper discusses, including
+    execution-omission errors — the hard case §3.1 addresses. *)
+
+open Dift_isa
+
+type case = {
+  name : string;
+  description : string;
+  program : Program.t;
+  faulty_site : string * int;  (** ground truth: (function, pc) *)
+  failing_input : int array;
+  passing_input : int array;
+  omission : bool;
+      (** true when the bug makes correct code *not* execute *)
+}
+
+val wrong_operator : case
+val off_by_one : case
+val omission_guard : case
+val stale_read : case
+val div_crash : case
+val latent_corruption : case
+val all : case list
+
+(** @raise Invalid_argument for unknown names. *)
+val by_name : string -> case

@@ -1,0 +1,31 @@
+(** Scientific data-processing pipelines for the lineage experiments
+    (paper §3.4).
+
+    Each program turns an input dataset into output records whose
+    lineage (the set of contributing input indices) has a different
+    shape: clustered windows, scattered subsets, the full input, small
+    joins, and maximally overlapping prefixes — the structures the
+    roBDD representation exists to exploit. *)
+
+open Dift_isa
+
+type pipeline = {
+  name : string;
+  description : string;
+  program : Program.t;
+  input : size:int -> seed:int -> int array;
+  expected_lineage : n:int -> input:int array -> int list list;
+      (** analytic ground truth: per output, the expected input
+          indices (data-flow lineage, matching the engine's data-only
+          policy) *)
+}
+
+val moving_avg : pipeline
+val histogram : pipeline
+val reduction : pipeline
+val join : pipeline
+val prefix_sum : pipeline
+val all : pipeline list
+
+(** @raise Invalid_argument for unknown names. *)
+val by_name : string -> pipeline

@@ -1,0 +1,217 @@
+(** A long-running multithreaded key-value "server" with a latent heap
+    overflow — the stand-in for the paper's MySQL 3.23.56 memory-bug
+    case study (§2.2).
+
+    [main] loads a batch of requests into an in-memory queue, then
+    worker threads pull requests under a lock and process them:
+
+    - [PUT key value] stores the value and its parity in the key's
+      bucket (each bucket lives on its own 1024-word "page" so
+      page-granularity logging separates them);
+    - [GET key] loads the value and asserts parity — the observable
+      failure when a bucket was corrupted;
+    - [ADMIN len seed] copies [len] words into a 4-word scratch buffer
+      *without a bounds check*; a malicious length overflows into
+      bucket 0's page and breaks its parity.
+
+    The corruption is silent; the failure fires much later, at the
+    next [GET] on bucket 0 — exactly the "long-running execution,
+    fault exercised long after its cause" scenario execution reduction
+    targets.  Request boundaries are announced with [Mark] so the
+    logging layer can segment the execution. *)
+
+open Dift_isa
+
+let imm = Operand.imm
+let reg = Operand.reg
+
+(* Memory layout. *)
+let page = 1024
+let buckets = 16
+let bucket_base b = 20_480 + (b * page)
+let scratch_base = 20_476 (* 4 words, ends where bucket 0's page starts *)
+(* The queue lives far above the bucket pages (the last bucket page
+   ends at 20_480 + 16*1024 = 36_864) so big batches cannot collide
+   with table data. *)
+let queue_count = 99_998
+let queue_cursor = 99_999
+let queue_base = 100_000
+
+(* Mark channels. *)
+let mark_req_start = 1
+let mark_req_end = 2
+
+let op_put = 1
+let op_get = 2
+let op_admin = 3
+
+(* Per-request think-time compute, so a request costs a realistic
+   number of instructions. *)
+let think b ~seed_reg ~iters =
+  Builder.movi b Reg.r20 0;
+  Builder.for_up b ~idx:Reg.r21 ~from_:(imm 0) ~below:(imm iters) (fun () ->
+      Builder.mul b Reg.r20 (reg Reg.r20) (imm 31);
+      Builder.add b Reg.r20 (reg Reg.r20) (reg seed_reg);
+      Builder.and_ b Reg.r20 (reg Reg.r20) (imm 0xFFFF))
+
+let worker =
+  Builder.define ~name:"worker" ~arity:1 (fun b ->
+      let again = Builder.fresh_label b "again" in
+      let done_ = Builder.fresh_label b "done" in
+      Builder.label b again;
+      (* claim the next request index under the queue lock *)
+      Builder.lock b (imm 1);
+      Builder.load b Reg.r1 (imm queue_cursor) 0;
+      Builder.load b Reg.r2 (imm queue_count) 0;
+      Builder.lt b Reg.r3 (reg Reg.r1) (reg Reg.r2);
+      Builder.if_nz1 b (reg Reg.r3) (fun () ->
+          Builder.add b Reg.r4 (reg Reg.r1) (imm 1);
+          Builder.store b (reg Reg.r4) (imm queue_cursor) 0);
+      Builder.unlock b (imm 1);
+      Builder.br_z b (reg Reg.r3) done_;
+      (* fetch the request *)
+      Builder.mark b mark_req_start (reg Reg.r1);
+      Builder.mul b Reg.r5 (reg Reg.r1) (imm 3);
+      Builder.add b Reg.r5 (reg Reg.r5) (imm queue_base);
+      Builder.load b Reg.r6 (reg Reg.r5) 0;
+      (* op *)
+      Builder.load b Reg.r7 (reg Reg.r5) 1;
+      (* key / len *)
+      Builder.load b Reg.r8 (reg Reg.r5) 2;
+      (* value / seed *)
+      think b ~seed_reg:Reg.r8 ~iters:12;
+      (* dispatch *)
+      Builder.eq b Reg.r9 (reg Reg.r6) (imm op_put);
+      Builder.if_nz1 b (reg Reg.r9) (fun () ->
+          (* PUT: bucket = key mod buckets *)
+          Builder.rem b Reg.r10 (reg Reg.r7) (imm buckets);
+          Builder.mul b Reg.r11 (reg Reg.r10) (imm page);
+          Builder.add b Reg.r11 (reg Reg.r11) (imm (bucket_base 0));
+          Builder.add b Reg.r12 (reg Reg.r10) (imm 10);
+          (* per-bucket lock id *)
+          Builder.lock b (reg Reg.r12);
+          Builder.store b (reg Reg.r8) (reg Reg.r11) 0;
+          Builder.rem b Reg.r13 (reg Reg.r8) (imm 2);
+          Builder.store b (reg Reg.r13) (reg Reg.r11) 1;
+          Builder.unlock b (reg Reg.r12));
+      Builder.eq b Reg.r9 (reg Reg.r6) (imm op_get);
+      Builder.if_nz1 b (reg Reg.r9) (fun () ->
+          (* GET: parity must hold *)
+          Builder.rem b Reg.r10 (reg Reg.r7) (imm buckets);
+          Builder.mul b Reg.r11 (reg Reg.r10) (imm page);
+          Builder.add b Reg.r11 (reg Reg.r11) (imm (bucket_base 0));
+          Builder.add b Reg.r12 (reg Reg.r10) (imm 10);
+          Builder.lock b (reg Reg.r12);
+          Builder.load b Reg.r13 (reg Reg.r11) 0;
+          Builder.load b Reg.r14 (reg Reg.r11) 1;
+          Builder.unlock b (reg Reg.r12);
+          Builder.rem b Reg.r15 (reg Reg.r13) (imm 2);
+          Builder.eq b Reg.r16 (reg Reg.r14) (reg Reg.r15);
+          Builder.check b (reg Reg.r16);
+          Builder.write b (reg Reg.r13));
+      Builder.eq b Reg.r9 (reg Reg.r6) (imm op_admin);
+      Builder.if_nz1 b (reg Reg.r9) (fun () ->
+          (* ADMIN: copy r7 words derived from the seed into the
+             4-word scratch buffer.  BUG: r7 is not validated. *)
+          Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r7)
+            (fun () ->
+              Builder.add b Reg.r11 (reg Reg.r8) (reg Reg.r10);
+              Builder.add b Reg.r12 (imm scratch_base) (reg Reg.r10);
+              Builder.store b (reg Reg.r11) (reg Reg.r12) 0));
+      Builder.mark b mark_req_end (reg Reg.r1);
+      Builder.jmp b again;
+      Builder.label b done_;
+      Builder.ret b None)
+
+let main ~workers =
+  Builder.define ~name:"main" ~arity:0 (fun b ->
+      (* initialise buckets (value 0, parity 0 is consistent) *)
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm buckets)
+        (fun () ->
+          Builder.mul b Reg.r2 (reg Reg.r10) (imm page);
+          Builder.add b Reg.r2 (reg Reg.r2) (imm (bucket_base 0));
+          Builder.store b (imm 0) (reg Reg.r2) 0;
+          Builder.store b (imm 0) (reg Reg.r2) 1);
+      (* load the request batch *)
+      Builder.read b Reg.r0;
+      Builder.store b (reg Reg.r0) (imm queue_count) 0;
+      Builder.store b (imm 0) (imm queue_cursor) 0;
+      Builder.mul b Reg.r1 (reg Reg.r0) (imm 3);
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r1)
+        (fun () ->
+          Builder.read b Reg.r2;
+          Builder.add b Reg.r3 (imm queue_base) (reg Reg.r10);
+          Builder.store b (reg Reg.r2) (reg Reg.r3) 0);
+      (* run the workers *)
+      for w = 0 to workers - 1 do
+        Builder.spawn b (Reg.make (30 + w)) "worker" (imm w)
+      done;
+      for w = 0 to workers - 1 do
+        Builder.join b (reg (Reg.make (30 + w)))
+      done;
+      Builder.write b (imm 0);
+      Builder.halt b)
+
+let program ?(workers = 2) () = Program.make [ main ~workers; worker ]
+
+(** Ground truth about a generated request batch. *)
+type batch = {
+  input : int array;
+  requests : int;
+  admin_index : int option;  (** index of the corrupting ADMIN request *)
+  first_failing_get : int option;
+      (** index of the first bucket-0 GET after the corruption *)
+}
+
+(** Generate a request batch.  With [faulty], one over-long ADMIN
+    request is placed [admin_at] of the way through (default 0.8), and
+    bucket-0 GETs after it will fail their parity check. *)
+let generate ~requests ~seed ?(faulty = false) ?(admin_at = 0.8) () =
+  let rng = Random.State.make [| seed; requests |] in
+  let admin_index =
+    if faulty then Some (int_of_float (float_of_int requests *. admin_at))
+    else None
+  in
+  let reqs = ref [] in
+  let first_failing_get = ref None in
+  for i = 0 to requests - 1 do
+    if admin_index = Some i then
+      (* len 6 overflows the 4-word scratch into bucket 0; seed 2 makes
+         the overwritten parity wrong for any value *)
+      reqs := [ op_admin; 6; 2 ] :: !reqs
+    else begin
+      let key = Random.State.int rng 64 in
+      let is_put = Random.State.bool rng in
+      if is_put then
+        (* keep keys off bucket 0 for PUTs after corruption, so the
+           corruption is not silently healed *)
+        let key =
+          match admin_index with
+          | Some a when i > a && key mod buckets = 0 -> key + 1
+          | _ -> key
+        in
+        reqs := [ op_put; key; Random.State.int rng 1000 ] :: !reqs
+      else begin
+        (match admin_index with
+        | Some a
+          when i > a && key mod buckets = 0 && !first_failing_get = None ->
+            first_failing_get := Some i
+        | _ -> ());
+        reqs := [ op_get; key; 0 ] :: !reqs
+      end
+    end
+  done;
+  (* Guarantee the failure manifests: if no bucket-0 GET landed after
+     the corruption, make the final request one. *)
+  (match admin_index, !reqs with
+  | Some _, _ :: rest when !first_failing_get = None ->
+      reqs := [ op_get; 0; 0 ] :: rest;
+      first_failing_get := Some (requests - 1)
+  | _ -> ());
+  let body = List.concat (List.rev !reqs) in
+  {
+    input = Array.of_list (requests :: body);
+    requests;
+    admin_index;
+    first_failing_get = !first_failing_get;
+  }

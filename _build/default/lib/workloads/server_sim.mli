@@ -1,0 +1,48 @@
+(** A long-running multithreaded key-value "server" with a latent heap
+    overflow — the stand-in for the paper's MySQL 3.23.56 memory-bug
+    case study (§2.2).
+
+    Worker threads pull [PUT]/[GET]/[ADMIN] requests from a shared
+    queue.  [ADMIN] copies an unvalidated number of words into a
+    4-word scratch buffer; an over-long request silently corrupts
+    bucket 0's parity, and a much later [GET] on that bucket fails its
+    check.  Request boundaries are announced with [Mark] so the
+    logging layer can segment the execution; each bucket lives on its
+    own 1024-word page so page-granularity logging separates them. *)
+
+open Dift_isa
+
+val page : int
+val buckets : int
+val bucket_base : int -> int
+val scratch_base : int
+val queue_base : int
+val mark_req_start : int
+val mark_req_end : int
+val op_put : int
+val op_get : int
+val op_admin : int
+
+(** The server program ([workers] worker threads, default 2). *)
+val program : ?workers:int -> unit -> Program.t
+
+(** Ground truth about a generated request batch. *)
+type batch = {
+  input : int array;
+  requests : int;
+  admin_index : int option;
+      (** index of the corrupting ADMIN request *)
+  first_failing_get : int option;
+      (** index of the first bucket-0 GET after the corruption *)
+}
+
+(** Generate a request batch.  With [faulty], one over-long ADMIN
+    request is placed [admin_at] of the way through (default 0.8), and
+    a bucket-0 GET after it is guaranteed to fail its parity check. *)
+val generate :
+  requests:int ->
+  seed:int ->
+  ?faulty:bool ->
+  ?admin_at:float ->
+  unit ->
+  batch

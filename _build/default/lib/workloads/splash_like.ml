@@ -1,0 +1,384 @@
+(** Parallel kernels with the synchronisation idioms of SPLASH-2:
+    barriers, fine-grained locks, and flag (spin-wait) synchronisation.
+
+    These drive the transactional-memory monitoring experiments
+    (paper §2.2 — barrier/flag sync inside transactions causes
+    livelock unless conflict resolution is synchronisation-aware) and
+    the race-detection experiments (§3.1 — spin-wait flags produce
+    benign "synchronisation races" that a sync-aware detector must
+    filter).  Each kernel also has a deliberately racy variant. *)
+
+open Dift_isa
+
+let imm = Operand.imm
+let reg = Operand.reg
+
+(* Shared-memory layout. *)
+let param_n = 39_000 (* array length *)
+let param_k = 39_001 (* phases *)
+let param_t = 39_002 (* thread count *)
+let array_a = 40_000
+let array_b = 45_000
+let accounts_base = 41_000
+let flag_cell = 42_000
+let data_cell = 42_001
+let done_cell = 42_002
+
+(* -- barrier-synchronised stencil ---------------------------------------- *)
+
+(* worker(w): for each phase, smooth own slice of A into B, barrier,
+   copy back, barrier. *)
+let stencil_worker ~use_barrier =
+  let name = if use_barrier then "worker" else "worker" in
+  Builder.define ~name ~arity:1 (fun b ->
+      (* r0 = worker index *)
+      Builder.mov b Reg.r30 (reg Reg.r0);
+      Builder.load b Reg.r1 (imm param_n) 0;
+      Builder.load b Reg.r2 (imm param_k) 0;
+      Builder.load b Reg.r3 (imm param_t) 0;
+      (* slice bounds: [w*n/t, (w+1)*n/t) clipped to [1, n-1) *)
+      Builder.mul b Reg.r4 (reg Reg.r30) (reg Reg.r1);
+      Builder.div b Reg.r4 (reg Reg.r4) (reg Reg.r3);
+      Builder.add b Reg.r5 (reg Reg.r30) (imm 1);
+      Builder.mul b Reg.r5 (reg Reg.r5) (reg Reg.r1);
+      Builder.div b Reg.r5 (reg Reg.r5) (reg Reg.r3);
+      Builder.lt b Reg.r6 (reg Reg.r4) (imm 1);
+      Builder.if_nz1 b (reg Reg.r6) (fun () -> Builder.movi b Reg.r4 1);
+      Builder.sub b Reg.r7 (reg Reg.r1) (imm 1);
+      Builder.gt b Reg.r6 (reg Reg.r5) (reg Reg.r7);
+      Builder.if_nz1 b (reg Reg.r6) (fun () ->
+          Builder.mov b Reg.r5 (reg Reg.r7));
+      Builder.for_up b ~idx:Reg.r31 ~from_:(imm 0) ~below:(reg Reg.r2)
+        (fun () ->
+          (* smooth *)
+          Builder.for_up b ~idx:Reg.r10 ~from_:(reg Reg.r4)
+            ~below:(reg Reg.r5) (fun () ->
+              Builder.add b Reg.r11 (imm array_a) (reg Reg.r10);
+              Builder.load b Reg.r12 (reg Reg.r11) (-1);
+              Builder.load b Reg.r13 (reg Reg.r11) 0;
+              Builder.load b Reg.r14 (reg Reg.r11) 1;
+              Builder.add b Reg.r15 (reg Reg.r12) (reg Reg.r13);
+              Builder.add b Reg.r15 (reg Reg.r15) (reg Reg.r14);
+              Builder.div b Reg.r15 (reg Reg.r15) (imm 3);
+              Builder.add b Reg.r16 (imm array_b) (reg Reg.r10);
+              Builder.store b (reg Reg.r15) (reg Reg.r16) 0);
+          if use_barrier then Builder.barrier b (imm 7);
+          (* copy back own slice *)
+          Builder.for_up b ~idx:Reg.r10 ~from_:(reg Reg.r4)
+            ~below:(reg Reg.r5) (fun () ->
+              Builder.add b Reg.r16 (imm array_b) (reg Reg.r10);
+              Builder.load b Reg.r15 (reg Reg.r16) 0;
+              Builder.add b Reg.r11 (imm array_a) (reg Reg.r10);
+              Builder.store b (reg Reg.r15) (reg Reg.r11) 0);
+          if use_barrier then Builder.barrier b (imm 7));
+      Builder.ret b None)
+
+let stencil_main ~threads =
+  Builder.define ~name:"main" ~arity:0 (fun b ->
+      Builder.read b Reg.r0;
+      (* n *)
+      Builder.read b Reg.r1;
+      (* phases *)
+      Builder.store b (reg Reg.r0) (imm param_n) 0;
+      Builder.store b (reg Reg.r1) (imm param_k) 0;
+      Builder.store b (imm threads) (imm param_t) 0;
+      (* fill A from input *)
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r0)
+        (fun () ->
+          Builder.read b Reg.r2;
+          Builder.add b Reg.r3 (imm array_a) (reg Reg.r10);
+          Builder.store b (reg Reg.r2) (reg Reg.r3) 0);
+      Builder.barrier_init b (imm 7) (imm threads);
+      for w = 0 to threads - 1 do
+        Builder.spawn b (Reg.make (32 + w)) "worker" (imm w)
+      done;
+      for w = 0 to threads - 1 do
+        Builder.join b (reg (Reg.make (32 + w)))
+      done;
+      (* checksum *)
+      Builder.movi b Reg.r14 0;
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r0)
+        (fun () ->
+          Builder.add b Reg.r3 (imm array_a) (reg Reg.r10);
+          Builder.load b Reg.r2 (reg Reg.r3) 0;
+          Builder.xor b Reg.r14 (reg Reg.r14) (reg Reg.r2));
+      Builder.write b (reg Reg.r14);
+      Builder.halt b)
+
+let stencil ?(threads = 4) () =
+  Program.make [ stencil_main ~threads; stencil_worker ~use_barrier:true ]
+
+let stencil_racy ?(threads = 4) () =
+  Program.make [ stencil_main ~threads; stencil_worker ~use_barrier:false ]
+
+let stencil_input ~size ~seed =
+  let n = max 8 size in
+  Array.concat
+    [ [| n; 4 |]; Workload.random_input ~bound:100 n seed ]
+
+(* -- lock-based bank transfers -------------------------------------------- *)
+
+let num_accounts = 8
+
+let bank_worker ~use_locks =
+  Builder.define ~name:"worker" ~arity:1 (fun b ->
+      (* r0 = seed; LCG-driven transfers *)
+      Builder.mov b Reg.r20 (reg Reg.r0);
+      Builder.load b Reg.r1 (imm param_n) 0;
+      (* transfers per thread *)
+      Builder.for_up b ~idx:Reg.r21 ~from_:(imm 0) ~below:(reg Reg.r1)
+        (fun () ->
+          (* src, dst from the LCG *)
+          Builder.mul b Reg.r20 (reg Reg.r20) (imm 1103515245);
+          Builder.add b Reg.r20 (reg Reg.r20) (imm 12345);
+          Builder.and_ b Reg.r20 (reg Reg.r20) (imm 0x3FFFFFFF);
+          Builder.rem b Reg.r2 (reg Reg.r20) (imm num_accounts);
+          Builder.shr b Reg.r3 (reg Reg.r20) (imm 8);
+          Builder.rem b Reg.r3 (reg Reg.r3) (imm num_accounts);
+          Builder.ne b Reg.r4 (reg Reg.r2) (reg Reg.r3);
+          Builder.if_nz1 b (reg Reg.r4) (fun () ->
+              (* lock in id order to avoid deadlock *)
+              (if use_locks then begin
+                 Builder.lt b Reg.r5 (reg Reg.r2) (reg Reg.r3);
+                 Builder.if_nz b (reg Reg.r5)
+                   ~then_:(fun () ->
+                     Builder.add b Reg.r6 (reg Reg.r2) (imm 20);
+                     Builder.lock b (reg Reg.r6);
+                     Builder.add b Reg.r7 (reg Reg.r3) (imm 20);
+                     Builder.lock b (reg Reg.r7))
+                   ~else_:(fun () ->
+                     Builder.add b Reg.r7 (reg Reg.r3) (imm 20);
+                     Builder.lock b (reg Reg.r7);
+                     Builder.add b Reg.r6 (reg Reg.r2) (imm 20);
+                     Builder.lock b (reg Reg.r6))
+               end);
+              (* move one unit *)
+              Builder.add b Reg.r8 (imm accounts_base) (reg Reg.r2);
+              Builder.load b Reg.r9 (reg Reg.r8) 0;
+              Builder.sub b Reg.r9 (reg Reg.r9) (imm 1);
+              Builder.store b (reg Reg.r9) (reg Reg.r8) 0;
+              Builder.add b Reg.r10 (imm accounts_base) (reg Reg.r3);
+              Builder.load b Reg.r11 (reg Reg.r10) 0;
+              Builder.add b Reg.r11 (reg Reg.r11) (imm 1);
+              Builder.store b (reg Reg.r11) (reg Reg.r10) 0;
+              if use_locks then begin
+                Builder.add b Reg.r6 (reg Reg.r2) (imm 20);
+                Builder.unlock b (reg Reg.r6);
+                Builder.add b Reg.r7 (reg Reg.r3) (imm 20);
+                Builder.unlock b (reg Reg.r7)
+              end));
+      Builder.ret b None)
+
+let bank_main ?(check_total = false) ~threads () =
+  Builder.define ~name:"main" ~arity:0 (fun b ->
+      Builder.read b Reg.r0;
+      (* transfers per thread *)
+      Builder.store b (reg Reg.r0) (imm param_n) 0;
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm num_accounts)
+        (fun () ->
+          Builder.add b Reg.r2 (imm accounts_base) (reg Reg.r10);
+          Builder.store b (imm 100) (reg Reg.r2) 0);
+      for w = 0 to threads - 1 do
+        Builder.spawn b (Reg.make (32 + w)) "worker" (imm (w + 1))
+      done;
+      for w = 0 to threads - 1 do
+        Builder.join b (reg (Reg.make (32 + w)))
+      done;
+      (* total must be conserved *)
+      Builder.movi b Reg.r14 0;
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm num_accounts)
+        (fun () ->
+          Builder.add b Reg.r2 (imm accounts_base) (reg Reg.r10);
+          Builder.load b Reg.r3 (reg Reg.r2) 0;
+          Builder.add b Reg.r14 (reg Reg.r14) (reg Reg.r3));
+      Builder.write b (reg Reg.r14);
+      if check_total then begin
+        Builder.eq b Reg.r15 (reg Reg.r14) (imm (100 * num_accounts));
+        Builder.check b (reg Reg.r15)
+      end;
+      Builder.halt b)
+
+let bank ?(threads = 4) () =
+  Program.make [ bank_main ~threads (); bank_worker ~use_locks:true ]
+
+let bank_racy ?(threads = 4) () =
+  Program.make [ bank_main ~threads (); bank_worker ~use_locks:false ]
+
+(** The racy bank with an end-of-run conservation check: the atomicity
+    violation becomes an observable fault the avoidance framework can
+    capture and dodge by changing scheduling. *)
+let bank_racy_checked ?(threads = 4) () =
+  Program.make
+    [ bank_main ~check_total:true ~threads (); bank_worker ~use_locks:false ]
+
+let bank_input ~size ~seed:_ = [| max 4 size |]
+
+(* -- flag (spin-wait) pipeline --------------------------------------------- *)
+
+(* Producer publishes n items through a one-slot mailbox guarded by a
+   spin flag; the consumer spins until the flag is set, consumes, and
+   clears the flag.  The loads/stores on [flag_cell] race by design —
+   these are the benign synchronisation races a sync-aware race
+   detector must recognise. *)
+let flag_producer =
+  Builder.define ~name:"producer" ~arity:1 (fun b ->
+      Builder.load b Reg.r1 (imm param_n) 0;
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r1)
+        (fun () ->
+          (* wait for the mailbox to be empty *)
+          let spin = Builder.fresh_label b "spin_empty" in
+          Builder.label b spin;
+          Builder.load b Reg.r2 (imm flag_cell) 0;
+          Builder.br_nz b (reg Reg.r2) spin;
+          (* publish *)
+          Builder.mul b Reg.r3 (reg Reg.r10) (imm 7);
+          Builder.add b Reg.r3 (reg Reg.r3) (imm 1);
+          Builder.store b (reg Reg.r3) (imm data_cell) 0;
+          Builder.store b (imm 1) (imm flag_cell) 0);
+      Builder.store b (imm 1) (imm done_cell) 0;
+      Builder.ret b None)
+
+let flag_consumer =
+  Builder.define ~name:"consumer" ~arity:1 (fun b ->
+      Builder.load b Reg.r1 (imm param_n) 0;
+      Builder.movi b Reg.r14 0;
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r1)
+        (fun () ->
+          let spin = Builder.fresh_label b "spin_full" in
+          Builder.label b spin;
+          Builder.load b Reg.r2 (imm flag_cell) 0;
+          Builder.br_z b (reg Reg.r2) spin;
+          Builder.load b Reg.r3 (imm data_cell) 0;
+          Builder.add b Reg.r14 (reg Reg.r14) (reg Reg.r3);
+          Builder.store b (imm 0) (imm flag_cell) 0);
+      Builder.write b (reg Reg.r14);
+      Builder.ret b None)
+
+let flag_pipeline () =
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.read b Reg.r0;
+        Builder.store b (reg Reg.r0) (imm param_n) 0;
+        Builder.store b (imm 0) (imm flag_cell) 0;
+        Builder.store b (imm 0) (imm done_cell) 0;
+        Builder.spawn b Reg.r1 "producer" (imm 0);
+        Builder.spawn b Reg.r2 "consumer" (imm 0);
+        Builder.join b (reg Reg.r1);
+        Builder.join b (reg Reg.r2);
+        Builder.halt b)
+  in
+  Program.make [ main; flag_producer; flag_consumer ]
+
+let flag_input ~size ~seed:_ = [| max 2 size |]
+
+(* -- spin-wait (centralized counter) barrier -------------------------------- *)
+
+let spin_counter = 43_000
+let spin_sense = 43_001
+let partial_base = 43_100
+
+(* Workers compute a partial sum, then synchronise on a sense-reversing
+   barrier built from plain loads and stores — the construct that
+   livelocks transaction-wrapped monitoring unless conflict resolution
+   is synchronisation-aware (paper §2.2). *)
+let spin_barrier_worker ~threads ~phases =
+  Builder.define ~name:"worker" ~arity:1 (fun b ->
+      Builder.mov b Reg.r30 (reg Reg.r0);
+      (* my index *)
+      Builder.movi b Reg.r31 0;
+      (* local sense *)
+      Builder.for_up b ~idx:Reg.r21 ~from_:(imm 0) ~below:(imm phases)
+        (fun () ->
+          (* some per-phase work: accumulate into my partial cell *)
+          Builder.add b Reg.r1 (imm partial_base) (reg Reg.r30);
+          Builder.load b Reg.r2 (reg Reg.r1) 0;
+          Builder.add b Reg.r2 (reg Reg.r2) (reg Reg.r21);
+          Builder.add b Reg.r2 (reg Reg.r2) (imm 1);
+          Builder.store b (reg Reg.r2) (reg Reg.r1) 0;
+          (* barrier: flip my sense, increment the counter *)
+          Builder.xor b Reg.r31 (reg Reg.r31) (imm 1);
+          Builder.load b Reg.r3 (imm spin_counter) 0;
+          Builder.add b Reg.r3 (reg Reg.r3) (imm 1);
+          Builder.store b (reg Reg.r3) (imm spin_counter) 0;
+          Builder.eq b Reg.r4 (reg Reg.r3) (imm threads);
+          Builder.if_nz b (reg Reg.r4)
+            ~then_:(fun () ->
+              (* last arriver resets and releases *)
+              Builder.store b (imm 0) (imm spin_counter) 0;
+              Builder.store b (reg Reg.r31) (imm spin_sense) 0)
+            ~else_:(fun () ->
+              (* spin until the sense flips *)
+              let spin = Builder.fresh_label b "spin_sense" in
+              Builder.label b spin;
+              Builder.load b Reg.r5 (imm spin_sense) 0;
+              Builder.ne b Reg.r6 (reg Reg.r5) (reg Reg.r31);
+              Builder.br_nz b (reg Reg.r6) spin));
+      Builder.ret b None)
+
+let spin_barrier ?(threads = 2) ?(phases = 3) () =
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.store b (imm 0) (imm spin_counter) 0;
+        Builder.store b (imm 0) (imm spin_sense) 0;
+        for w = 0 to threads - 1 do
+          Builder.spawn b (Reg.make (32 + w)) "worker" (imm w)
+        done;
+        for w = 0 to threads - 1 do
+          Builder.join b (reg (Reg.make (32 + w)))
+        done;
+        (* sum the partials *)
+        Builder.movi b Reg.r14 0;
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm threads)
+          (fun () ->
+            Builder.add b Reg.r2 (imm partial_base) (reg Reg.r10);
+            Builder.load b Reg.r3 (reg Reg.r2) 0;
+            Builder.add b Reg.r14 (reg Reg.r14) (reg Reg.r3));
+        Builder.write b (reg Reg.r14);
+        Builder.halt b)
+  in
+  Program.make [ main; spin_barrier_worker ~threads ~phases ]
+
+(** Expected output of {!spin_barrier}: each worker adds (phase + 1)
+    per phase. *)
+let spin_barrier_expected ~threads ~phases =
+  threads * (phases + (phases * (phases - 1) / 2))
+
+(* -- lock-order deadlock ------------------------------------------------------ *)
+
+(* Two threads acquire the same two locks in opposite orders — the
+   classic deadlock, manifesting only under unlucky preemption.  An
+   environment-fault scenario for the avoidance framework: coarser
+   scheduling makes the window unhittable. *)
+let deadlock_worker ~first ~second =
+  Builder.define
+    ~name:(Fmt.str "worker%d" first)
+    ~arity:1
+    (fun b ->
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm 40)
+        (fun () ->
+          Builder.lock b (imm first);
+          Builder.lock b (imm second);
+          Builder.load b Reg.r2 (imm accounts_base) 0;
+          Builder.add b Reg.r2 (reg Reg.r2) (imm 1);
+          Builder.store b (reg Reg.r2) (imm accounts_base) 0;
+          Builder.unlock b (imm second);
+          Builder.unlock b (imm first));
+      Builder.ret b None)
+
+let lock_order_deadlock () =
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.spawn b Reg.r0 "worker1" (imm 0);
+        Builder.spawn b Reg.r1 "worker2" (imm 1);
+        Builder.join b (reg Reg.r0);
+        Builder.join b (reg Reg.r1);
+        Builder.load b Reg.r2 (imm accounts_base) 0;
+        Builder.write b (reg Reg.r2);
+        Builder.halt b)
+  in
+  Program.make
+    [
+      main;
+      deadlock_worker ~first:1 ~second:2;
+      deadlock_worker ~first:2 ~second:1;
+    ]

@@ -1,0 +1,69 @@
+(** Parallel kernels with the synchronisation idioms of SPLASH-2:
+    barriers, fine-grained locks, and flag (spin-wait)
+    synchronisation.
+
+    These drive the transactional-memory monitoring experiments (paper
+    §2.2) and the race-detection experiments (§3.1).  Each kernel also
+    has a deliberately racy variant. *)
+
+open Dift_isa
+
+(** Shared-memory layout constants (exposed so tests can assert about
+    specific cells). *)
+
+val param_n : int
+val accounts_base : int
+val flag_cell : int
+val data_cell : int
+val num_accounts : int
+
+(** {1 Barrier-synchronised stencil} *)
+
+val stencil : ?threads:int -> unit -> Program.t
+
+(** Same computation with the barriers removed (races by design). *)
+val stencil_racy : ?threads:int -> unit -> Program.t
+
+val stencil_input : size:int -> seed:int -> int array
+
+(** {1 Lock-based bank transfers} *)
+
+val bank : ?threads:int -> unit -> Program.t
+
+(** Transfers without the locks: a real atomicity bug. *)
+val bank_racy : ?threads:int -> unit -> Program.t
+
+(** The racy bank with an end-of-run conservation check: the atomicity
+    violation becomes an observable fault the avoidance framework can
+    capture. *)
+val bank_racy_checked : ?threads:int -> unit -> Program.t
+
+val bank_input : size:int -> seed:int -> int array
+
+(** {1 Flag (spin-wait) pipeline} *)
+
+(** Producer publishes items through a one-slot mailbox guarded by a
+    spin flag; the loads/stores on the flag race by design — the
+    benign synchronisation races a sync-aware detector must
+    recognise. *)
+val flag_pipeline : unit -> Program.t
+
+val flag_input : size:int -> seed:int -> int array
+
+(** {1 Spin-wait (centralized counter) barrier} *)
+
+(** Workers synchronise on a sense-reversing barrier built from plain
+    loads and stores — the construct that livelocks
+    transaction-wrapped monitoring unless conflict resolution is
+    synchronisation-aware (paper §2.2). *)
+val spin_barrier : ?threads:int -> ?phases:int -> unit -> Program.t
+
+(** Expected output of {!spin_barrier}. *)
+val spin_barrier_expected : threads:int -> phases:int -> int
+
+(** {1 Lock-order deadlock} *)
+
+(** Two threads acquire the same two locks in opposite orders — a
+    deadlock manifesting only under unlucky preemption; an
+    environment-fault scenario for the avoidance framework. *)
+val lock_order_deadlock : unit -> Program.t

@@ -1,0 +1,213 @@
+(** Vulnerable programs and attacks against them (paper §3.3).
+
+    Each case is an input-validation error — the class the paper notes
+    covered 72% of 2006's vulnerabilities: a stack-style smash of a
+    code pointer, a heap overflow into an adjacent object, an
+    arbitrary-write ("format-string") primitive, and an unvalidated
+    table index.  Every program has a benign input, an attack input
+    that hijacks control to the [evil] function, and a ground-truth
+    root-cause site (the unchecked copy/store) that PC-taint should
+    name when the attack is detected. *)
+
+open Dift_isa
+
+let imm = Operand.imm
+let reg = Operand.reg
+
+type case = {
+  name : string;
+  description : string;
+  program : Program.t;
+  benign_input : int array;
+  attack_input : int array;
+  root_cause : string * int;
+      (** the statement whose missing validation enables the exploit *)
+  evil_name : string;  (** function the attack redirects control to *)
+  heap_based : bool;
+      (** true when allocation padding (an environment patch) defeats
+          the attack *)
+}
+
+(* The attacker's target: observable side effect if it ever runs. *)
+let evil =
+  Builder.define ~name:"evil" ~arity:0 (fun b ->
+      Builder.write b (imm 666);
+      Builder.ret b None)
+
+(* A benign handler. *)
+let handler =
+  Builder.define ~name:"handler" ~arity:0 (fun b ->
+      Builder.write b (imm 1);
+      Builder.ret b None)
+
+(* -- 1. smash of an adjacent code pointer -------------------------------- *)
+
+(* Layout: message buffer at 921..928 (8 words), handler pointer slot
+   at 929.  The copy loop trusts the length field from the input. *)
+let code_ptr_slot = 929
+let buffer_base = 921
+
+let stack_smash =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        (* install the legitimate handler *)
+        Builder.movi b Reg.r0 1;
+        (* func id of "handler" (program order below) *)
+        Builder.store b (reg Reg.r0) (imm code_ptr_slot) 0;
+        (* read length, copy message into the buffer *)
+        Builder.read b Reg.r1;
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r1)
+          (fun () ->
+            Builder.read b Reg.r2;
+            Builder.add b Reg.r3 (imm buffer_base) (reg Reg.r10);
+            site := Builder.here b;
+            (* BUG: no check that r10 < 8 *)
+            Builder.store b (reg Reg.r2) (reg Reg.r3) 0);
+        (* dispatch through the (possibly clobbered) pointer *)
+        Builder.load b Reg.r4 (imm code_ptr_slot) 0;
+        Builder.icall b (reg Reg.r4) ~ret:None;
+        Builder.halt b)
+  in
+  let program = Program.make [ main; handler; evil ] in
+  let evil_id = Program.func_id program "evil" in
+  {
+    name = "stack-smash";
+    description = "length-trusting copy clobbers an adjacent code pointer";
+    program;
+    benign_input = [| 3; 11; 12; 13 |];
+    attack_input = [| 9; 1; 2; 3; 4; 5; 6; 7; 8; evil_id |];
+    root_cause = ("main", !site);
+    evil_name = "evil";
+    heap_based = false;
+  }
+
+(* -- 2. heap overflow into an adjacent object's code pointer ------------- *)
+
+let heap_overflow =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        (* victim object allocated right after the buffer *)
+        Builder.alloc b Reg.r0 (imm 4);
+        (* message buffer *)
+        Builder.alloc b Reg.r1 (imm 2);
+        (* dispatch object *)
+        Builder.movi b Reg.r2 1;
+        Builder.store b (reg Reg.r2) (reg Reg.r1) 0;
+        (* handler id *)
+        (* copy the message with a trusted length *)
+        Builder.read b Reg.r3;
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r3)
+          (fun () ->
+            Builder.read b Reg.r4;
+            Builder.add b Reg.r5 (reg Reg.r0) (reg Reg.r10);
+            site := Builder.here b;
+            (* BUG: no check that r10 < 4 *)
+            Builder.store b (reg Reg.r4) (reg Reg.r5) 0);
+        Builder.load b Reg.r6 (reg Reg.r1) 0;
+        Builder.icall b (reg Reg.r6) ~ret:None;
+        Builder.halt b)
+  in
+  let program = Program.make [ main; handler; evil ] in
+  let evil_id = Program.func_id program "evil" in
+  {
+    name = "heap-overflow";
+    description = "heap buffer overflow rewrites the next object's code ptr";
+    program;
+    benign_input = [| 2; 41; 42 |];
+    (* the allocator places the second block at base+size+1, so the
+       6th copied word (offset 5) lands on its first cell *)
+    attack_input = [| 6; 1; 2; 3; 4; 5; evil_id |];
+    root_cause = ("main", !site);
+    evil_name = "evil";
+    heap_based = true;
+  }
+
+(* -- 3. arbitrary-write primitive (format-string analogue) --------------- *)
+
+let fmt_table = 950
+
+let format_write =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        (* table[0] holds the continuation id *)
+        Builder.movi b Reg.r0 1;
+        Builder.store b (reg Reg.r0) (imm fmt_table) 0;
+        (* process (slot, value) directives from the input *)
+        Builder.read b Reg.r1;
+        (* directive count *)
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r1)
+          (fun () ->
+            Builder.read b Reg.r2;
+            (* slot *)
+            Builder.read b Reg.r3;
+            (* value *)
+            Builder.add b Reg.r4 (imm fmt_table) (reg Reg.r2);
+            site := Builder.here b;
+            (* BUG: slot 0 (the continuation) is writable *)
+            Builder.store b (reg Reg.r3) (reg Reg.r4) 0);
+        Builder.load b Reg.r5 (imm fmt_table) 0;
+        Builder.icall b (reg Reg.r5) ~ret:None;
+        Builder.halt b)
+  in
+  let program = Program.make [ main; handler; evil ] in
+  let evil_id = Program.func_id program "evil" in
+  {
+    name = "format-write";
+    description = "attacker-controlled (slot, value) writes reach slot 0";
+    program;
+    benign_input = [| 2; 3; 77; 4; 88 |];
+    attack_input = [| 1; 0; evil_id |];
+    root_cause = ("main", !site);
+    evil_name = "evil";
+    heap_based = false;
+  }
+
+(* -- 4. unvalidated jump-table index -------------------------------------- *)
+
+let jt_base = 970
+let user_cell = 975
+
+let boundary =
+  let site = ref 0 in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        (* 3-entry jump table, all benign *)
+        Builder.store b (imm 1) (imm jt_base) 0;
+        Builder.store b (imm 1) (imm jt_base) 1;
+        Builder.store b (imm 1) (imm jt_base) 2;
+        (* user "profile" word saved nearby: the write whose reach the
+           missing bounds check exposes — PC taint will name it *)
+        Builder.read b Reg.r0;
+        site := Builder.here b;
+        Builder.store b (reg Reg.r0) (imm user_cell) 0;
+        (* opcode dispatch; BUG: opcode not checked against the table
+           size, so it can index into the profile cell *)
+        Builder.read b Reg.r1;
+        Builder.add b Reg.r2 (imm jt_base) (reg Reg.r1);
+        Builder.load b Reg.r3 (reg Reg.r2) 0;
+        Builder.icall b (reg Reg.r3) ~ret:None;
+        Builder.halt b)
+  in
+  let program = Program.make [ main; handler; evil ] in
+  let evil_id = Program.func_id program "evil" in
+  {
+    name = "boundary";
+    description = "out-of-range opcode indexes attacker data as a code ptr";
+    program;
+    benign_input = [| 99; 1 |];
+    (* profile word = evil id; opcode 5 lands on the profile cell *)
+    attack_input = [| evil_id; 5 |];
+    root_cause = ("main", !site);
+    evil_name = "evil";
+    heap_based = false;
+  }
+
+let all = [ stack_smash; heap_overflow; format_write; boundary ]
+
+let by_name name =
+  match List.find_opt (fun c -> c.name = name) all with
+  | Some c -> c
+  | None -> invalid_arg (Fmt.str "Vulnerable.by_name: %s" name)

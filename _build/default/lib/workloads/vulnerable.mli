@@ -1,0 +1,33 @@
+(** Vulnerable programs and attacks against them (paper §3.3).
+
+    Each case is an input-validation error — the class the paper notes
+    covered 72% of 2006's vulnerabilities.  Every program has a benign
+    input, an attack input that hijacks control to the [evil]
+    function, and a ground-truth root-cause site (the unchecked
+    copy/store) that PC taint should name when the attack is
+    detected. *)
+
+open Dift_isa
+
+type case = {
+  name : string;
+  description : string;
+  program : Program.t;
+  benign_input : int array;
+  attack_input : int array;
+  root_cause : string * int;
+      (** the statement whose missing validation enables the exploit *)
+  evil_name : string;  (** function the attack redirects control to *)
+  heap_based : bool;
+      (** true when allocation padding (an environment patch) defeats
+          the attack *)
+}
+
+val stack_smash : case
+val heap_overflow : case
+val format_write : case
+val boundary : case
+val all : case list
+
+(** @raise Invalid_argument for unknown names. *)
+val by_name : string -> case

@@ -1,0 +1,25 @@
+(** A named benchmark program plus its input generator.
+
+    The [input] function receives a size parameter and a seed and
+    produces the input stream; sizes scale the dynamic instruction
+    count so experiments can sweep them. *)
+
+open Dift_isa
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  input : size:int -> seed:int -> int array;
+}
+
+let make ~name ~description ~program ~input =
+  { name; description; program; input }
+
+(** A deterministic pseudo-random input stream of [n] words in
+    [0, bound). *)
+let random_input ?(bound = 1000) n seed =
+  let rng = Random.State.make [| seed; n |] in
+  Array.init n (fun _ -> Random.State.int rng bound)
+
+let pp ppf w = Fmt.pf ppf "%s: %s" w.name w.description

@@ -1,0 +1,25 @@
+(** A named benchmark program plus its input generator. *)
+
+open Dift_isa
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  input : size:int -> seed:int -> int array;
+      (** [size] scales the dynamic instruction count; [seed] selects
+          the pseudo-random data *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  program:Program.t ->
+  input:(size:int -> seed:int -> int array) ->
+  t
+
+(** A deterministic pseudo-random input stream of [n] words in
+    [0, bound). *)
+val random_input : ?bound:int -> int -> int -> int array
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Adaptive Alcotest Builder Dift_core Dift_isa Dift_vm List Machine Operand Program Reg

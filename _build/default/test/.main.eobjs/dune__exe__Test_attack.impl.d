@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Builder Detector Dift_attack Dift_core Dift_isa Dift_vm Dift_workloads Fmt List Machine Operand Program Reg Vulnerable

@@ -1,0 +1,1 @@
+test/test_avoidance.ml: Alcotest Dift_avoidance Dift_vm Dift_workloads Env_patch Event Framework List Machine Server_sim Splash_like Vulnerable

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Dift_bdd Fmt Int List QCheck2 QCheck_alcotest Set

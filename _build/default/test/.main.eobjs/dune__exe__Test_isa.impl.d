@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Builder Cfg Dift_isa Fmt Func Instr List Operand Option Postdom Program Random Reg

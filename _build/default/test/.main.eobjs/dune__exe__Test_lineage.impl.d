@@ -1,0 +1,1 @@
+test/test_lineage.ml: Alcotest Dift_lineage Dift_workloads Fmt List Scientific Tracer

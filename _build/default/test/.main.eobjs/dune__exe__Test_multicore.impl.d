@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Dift_core Dift_multicore Dift_vm Dift_workloads Engine Fmt Helper List Machine Spec_like Taint Workload

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Builder Ddg Ddg_io Dep Dift_core Dift_isa Dift_vm Encoding Engine Event Instr List Machine Ontrac Operand Program QCheck2 QCheck_alcotest Reg Slicing Taint Trace_buffer

@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Dift_replay Dift_vm Dift_workloads Event Fmt List Machine Reduction Request_log Rerun Server_sim

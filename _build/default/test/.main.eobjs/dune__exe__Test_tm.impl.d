@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Dift_tm Dift_vm Dift_workloads Fmt Machine Spec_like Splash_like Stm_exec Workload

@@ -1,0 +1,1 @@
+test/test_tm_extra.ml: Alcotest Builder Dift_isa Dift_tm Dift_vm Dift_workloads Fmt Lazy List Machine Operand Program Reg Spec_like Splash_like Stm_exec Workload

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Builder Dift_isa Dift_vm Event Fmt Instr List Machine Operand Program Reg

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Buggy Dift_isa Dift_vm Dift_workloads Event Fmt Func List Machine Program Queue Scientific Server_sim Spec_like Splash_like Vulnerable Workload

@@ -1,0 +1,23 @@
+(* Test runner aggregating every suite. *)
+
+let () =
+  Alcotest.run "dift"
+    [
+      ("isa", Test_isa.suite);
+      ("vm", Test_vm.suite);
+      ("core", Test_core.suite);
+      ("workloads", Test_workloads.suite);
+      ("bdd", Test_bdd.suite);
+      ("lineage", Test_lineage.suite);
+      ("replay", Test_replay.suite);
+      ("tm", Test_tm.suite);
+      ("tm-extra", Test_tm_extra.suite);
+      ("multicore", Test_multicore.suite);
+      ("faultloc", Test_faultloc.suite);
+      ("attack", Test_attack.suite);
+      ("avoidance", Test_avoidance.suite);
+      ("adaptive", Test_adaptive.suite);
+      ("extra", Test_extra.suite);
+      ("properties", Test_props.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,168 @@
+(* Adaptive-optimization profiling (paper §4): hot traces, biased
+   branches, invariant loads and monomorphic indirect calls are all
+   recognised from the event stream. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+let check = Alcotest.check
+let imm = Operand.imm
+let reg = Operand.reg
+
+let profile ?(input = [||]) program =
+  let m = Machine.create program ~input in
+  let prof = Adaptive.create program in
+  Adaptive.attach prof m;
+  ignore (Machine.run m);
+  prof
+
+let test_hot_trace_found () =
+  (* a hot loop spanning several blocks: trace candidate *)
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(imm 0) ~below:(imm 500)
+              (fun () ->
+                Builder.rem b Reg.r2 (reg Reg.r1) (imm 2);
+                Builder.if_nz b (reg Reg.r2)
+                  ~then_:(fun () ->
+                    Builder.add b Reg.r0 (reg Reg.r0) (imm 1))
+                  ~else_:(fun () ->
+                    Builder.add b Reg.r0 (reg Reg.r0) (imm 2)));
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let prof = profile p in
+  let traces =
+    List.filter
+      (function Adaptive.Form_trace _ -> true | _ -> false)
+      (Adaptive.suggestions prof)
+  in
+  check Alcotest.bool "found a trace candidate" true (traces <> []);
+  match traces with
+  | Adaptive.Form_trace { blocks; _ } :: _ ->
+      check Alcotest.bool "multi-block" true (List.length blocks >= 2)
+  | _ -> ()
+
+let test_biased_branch_found () =
+  (* a loop guard taken 999 times out of 1000: heavily biased *)
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(imm 0) ~below:(imm 1000)
+              (fun () ->
+                (* rarely-taken guard: only when r1 = 500 *)
+                Builder.eq b Reg.r2 (reg Reg.r1) (imm 500);
+                Builder.if_nz1 b (reg Reg.r2) (fun () ->
+                    Builder.add b Reg.r0 (reg Reg.r0) (imm 100)));
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let prof = profile p in
+  let biased =
+    List.filter
+      (function
+        | Adaptive.If_convert { bias; _ } -> bias >= 0.95
+        | _ -> false)
+      (Adaptive.suggestions prof)
+  in
+  check Alcotest.bool "found biased branches" true (biased <> [])
+
+let test_invariant_load_found () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.store b (imm 7) (imm 500) 0;
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(imm 0) ~below:(imm 200)
+              (fun () ->
+                (* the same constant configuration value every time *)
+                Builder.load b Reg.r2 (imm 500) 0;
+                Builder.add b Reg.r0 (reg Reg.r0) (reg Reg.r2));
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let prof = profile p in
+  let cached =
+    List.filter_map
+      (function
+        | Adaptive.Cache_load { value; _ } -> Some value
+        | _ -> None)
+      (Adaptive.suggestions prof)
+  in
+  check Alcotest.bool "found invariant load of 7" true (List.mem 7 cached)
+
+let test_monomorphic_icall_found () =
+  let handler =
+    Builder.define ~name:"handler" ~arity:1 (fun b ->
+        Builder.add b Reg.r0 (reg Reg.r0) (imm 1);
+        Builder.ret b (Some (reg Reg.r0)))
+  in
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(imm 0) ~below:(imm 100)
+              (fun () ->
+                Builder.movi b Reg.r2 1;
+                (* always the same target *)
+                Builder.icall b (reg Reg.r2) ~ret:(Some Reg.r0));
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+        handler;
+      ]
+  in
+  let prof = profile p in
+  let devirt =
+    List.filter_map
+      (function
+        | Adaptive.Devirtualize { target; _ } -> Some target
+        | _ -> None)
+      (Adaptive.suggestions prof)
+  in
+  check Alcotest.(list string) "devirtualise to handler" [ "handler" ] devirt
+
+let test_varying_load_not_cached () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(imm 0) ~below:(imm 200)
+              (fun () ->
+                Builder.store b (reg Reg.r1) (imm 500) 0;
+                Builder.load b Reg.r2 (imm 500) 0;
+                Builder.add b Reg.r0 (reg Reg.r0) (reg Reg.r2));
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let prof = profile p in
+  let cached =
+    List.filter
+      (function Adaptive.Cache_load _ -> true | _ -> false)
+      (Adaptive.suggestions prof)
+  in
+  check Alcotest.bool "varying load not suggested" true (cached = [])
+
+let suite =
+  [
+    Alcotest.test_case "hot trace found" `Quick test_hot_trace_found;
+    Alcotest.test_case "biased branch found" `Quick test_biased_branch_found;
+    Alcotest.test_case "invariant load found" `Quick
+      test_invariant_load_found;
+    Alcotest.test_case "monomorphic icall found" `Quick
+      test_monomorphic_icall_found;
+    Alcotest.test_case "varying load not cached" `Quick
+      test_varying_load_not_cached;
+  ]

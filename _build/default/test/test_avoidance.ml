@@ -1,0 +1,171 @@
+(* Environment-fault avoidance (paper §3.2): the framework captures a
+   failure, finds an environment patch that dodges it, and the patched
+   environment keeps future runs safe — for all three fault classes
+   the paper studies. *)
+
+open Dift_vm
+open Dift_workloads
+open Dift_avoidance
+
+let check = Alcotest.check
+
+(* Find a scheduler seed under which the racy bank actually violates
+   conservation (the atomicity violation manifests). *)
+let failing_bank_config () =
+  let p = Splash_like.bank_racy_checked ~threads:2 () in
+  let input = Splash_like.bank_input ~size:80 ~seed:0 in
+  let rec hunt seed =
+    if seed > 40 then None
+    else begin
+      let config =
+        { Machine.default_config with seed; quantum_min = 1; quantum_max = 4 }
+      in
+      let m = Machine.create ~config p ~input in
+      match Machine.run m with
+      | Event.Faulted _ -> Some (p, input, config)
+      | _ -> hunt (seed + 1)
+    end
+  in
+  hunt 1
+
+let test_atomicity_violation_avoided () =
+  match failing_bank_config () with
+  | None -> Alcotest.fail "no failing schedule found"
+  | Some (p, input, config) ->
+      let r = Framework.avoid ~config p ~input in
+      check Alcotest.bool "fault captured" true
+        (r.Framework.original_fault <> None);
+      (match r.Framework.fix with
+      | Some (Env_patch.Reschedule _) -> ()
+      | Some other ->
+          Alcotest.failf "expected a scheduling patch, got %s"
+            (Env_patch.to_string other)
+      | None -> Alcotest.fail "no patch found");
+      check Alcotest.bool "future runs pass" true r.Framework.rerun_ok
+
+let test_heap_overflow_avoided () =
+  let c = Vulnerable.heap_overflow in
+  (* bounds checking turns the overflow into an observable fault *)
+  let config = { Machine.default_config with check_bounds = true } in
+  let r =
+    Framework.avoid ~config c.Vulnerable.program
+      ~input:c.Vulnerable.attack_input
+  in
+  (match r.Framework.original_fault with
+  | Some { kind = Event.Out_of_bounds _; _ } -> ()
+  | Some f -> Alcotest.failf "unexpected fault %a" Event.pp_fault f
+  | None -> Alcotest.fail "no fault captured");
+  (match r.Framework.fix with
+  | Some (Env_patch.Pad_heap _) -> ()
+  | Some other ->
+      Alcotest.failf "expected a padding patch, got %s"
+        (Env_patch.to_string other)
+  | None -> Alcotest.fail "no patch found");
+  check Alcotest.bool "future runs pass" true r.Framework.rerun_ok;
+  (* and the padded run must not reach the attacker's code either *)
+  (match r.Framework.fix with
+  | Some patch ->
+      let config' = Env_patch.apply patch config in
+      let m =
+        Machine.create ~config:config' c.Vulnerable.program
+          ~input:c.Vulnerable.attack_input
+      in
+      ignore (Machine.run m);
+      check Alcotest.bool "hijack also gone" false
+        (List.mem 666 (Machine.output_values m))
+  | None -> ())
+
+let test_malformed_request_avoided () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests:40 ~seed:11 ~faulty:true () in
+  (* request r's opcode is input word 1 + 3r *)
+  let request_input_index r = 1 + (3 * r) in
+  let r =
+    Framework.avoid p ~input:batch.Server_sim.input ~request_input_index
+  in
+  check Alcotest.bool "fault captured" true
+    (r.Framework.original_fault <> None);
+  (match r.Framework.fix with
+  | Some (Env_patch.Neutralize_input ovs) ->
+      (* the neutralised request must be the corrupting ADMIN one *)
+      let admin =
+        match batch.Server_sim.admin_index with
+        | Some a -> a
+        | None -> Alcotest.fail "no admin request"
+      in
+      check Alcotest.bool "admin request neutralised" true
+        (List.mem_assoc (request_input_index admin) ovs)
+  | Some other ->
+      Alcotest.failf "expected input neutralisation, got %s"
+        (Env_patch.to_string other)
+  | None -> Alcotest.fail "no patch found");
+  check Alcotest.bool "future runs pass" true r.Framework.rerun_ok
+
+let test_deadlock_avoided () =
+  let p = Splash_like.lock_order_deadlock () in
+  let rec hunt seed =
+    if seed > 60 then None
+    else begin
+      let config =
+        { Machine.default_config with seed; quantum_min = 1; quantum_max = 3 }
+      in
+      let m = Machine.create ~config p ~input:[||] in
+      match Machine.run m with
+      | Event.Deadlocked -> Some config
+      | _ -> hunt (seed + 1)
+    end
+  in
+  match hunt 1 with
+  | None -> Alcotest.fail "no deadlocking schedule found"
+  | Some config ->
+      let r = Framework.avoid ~config p ~input:[||] in
+      (match r.Framework.fix with
+      | Some (Env_patch.Reschedule _) -> ()
+      | Some other ->
+          Alcotest.failf "expected a scheduling patch, got %s"
+            (Env_patch.to_string other)
+      | None -> Alcotest.fail "no patch found");
+      check Alcotest.bool "future runs pass" true r.Framework.rerun_ok
+
+let test_patch_serialisation_roundtrip () =
+  let patches =
+    [
+      Env_patch.Reschedule { seed = 7; quantum_min = 100; quantum_max = 200 };
+      Env_patch.Pad_heap 16;
+      Env_patch.Neutralize_input [ (4, 0); (11, 9) ];
+    ]
+  in
+  List.iter
+    (fun patch ->
+      match Env_patch.parse (Env_patch.serialize patch) with
+      | Some p ->
+          check Alcotest.string "roundtrip" (Env_patch.to_string patch)
+            (Env_patch.to_string p)
+      | None ->
+          Alcotest.failf "unparseable: %s" (Env_patch.serialize patch))
+    patches;
+  check Alcotest.bool "garbage rejected" true
+    (Env_patch.parse "frobnicate 3" = None)
+
+let test_no_patch_on_passing_run () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests:20 ~seed:3 () in
+  let r = Framework.avoid p ~input:batch.Server_sim.input in
+  check Alcotest.bool "no fault" true (r.Framework.original_fault = None);
+  check Alcotest.bool "no patch" true (r.Framework.fix = None);
+  check Alcotest.bool "run ok" true r.Framework.rerun_ok
+
+let suite =
+  [
+    Alcotest.test_case "atomicity violation avoided" `Quick
+      test_atomicity_violation_avoided;
+    Alcotest.test_case "heap overflow avoided" `Quick
+      test_heap_overflow_avoided;
+    Alcotest.test_case "malformed request avoided" `Quick
+      test_malformed_request_avoided;
+    Alcotest.test_case "deadlock avoided" `Quick test_deadlock_avoided;
+    Alcotest.test_case "patch serialisation" `Quick
+      test_patch_serialisation_roundtrip;
+    Alcotest.test_case "no patch on passing run" `Quick
+      test_no_patch_on_passing_run;
+  ]

@@ -1,0 +1,735 @@
+(* Tests for the core DIFT layer: taint domains and engine, dynamic
+   control dependence, ONTRAC (with each optimization), the offline
+   baseline, the trace buffer window, and slicing. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+let check = Alcotest.check
+
+module Bool_engine = Engine.Make (Taint.Bool)
+module Pc_engine = Engine.Make (Taint.Pc)
+module Set_engine = Engine.Make (Taint.Input_set)
+
+(* read x; y <- x + 1; write y; write 5; halt *)
+let prog_simple_flow () =
+  Program.make
+    [
+      Builder.define ~name:"main" ~arity:0 (fun b ->
+          Builder.read b Reg.r0;
+          Builder.add b Reg.r1 (Operand.reg Reg.r0) (Operand.imm 1);
+          Builder.write b (Operand.reg Reg.r1);
+          Builder.write b (Operand.imm 5);
+          Builder.halt b);
+    ]
+
+let test_bool_taint_output () =
+  let p = prog_simple_flow () in
+  let m = Machine.create p ~input:[| 10 |] in
+  let eng = Bool_engine.create p in
+  let hits = ref [] in
+  Bool_engine.on_sink eng (fun sink taint e ->
+      if sink = Engine.Sink_output then hits := (taint, e.Event.value) :: !hits);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  match List.rev !hits with
+  | [ (t1, v1); (t2, v2) ] ->
+      check Alcotest.bool "derived output tainted" true t1;
+      check Alcotest.int "value" 11 v1;
+      check Alcotest.bool "constant output clean" false t2;
+      check Alcotest.int "const value" 5 v2
+  | l -> Alcotest.failf "expected 2 output events, got %d" (List.length l)
+
+(* Taint must survive a round trip through memory. *)
+let test_taint_through_memory () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.store b (Operand.reg Reg.r0) (Operand.imm 100) 0;
+            Builder.movi b Reg.r0 0;
+            Builder.load b Reg.r1 (Operand.imm 100) 0;
+            Builder.write b (Operand.reg Reg.r1);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[| 3 |] in
+  let eng = Bool_engine.create p in
+  let tainted = ref false in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  check Alcotest.bool "taint via memory" true !tainted
+
+(* Overwriting with a constant clears taint. *)
+let test_taint_cleared_by_constant () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.store b (Operand.reg Reg.r0) (Operand.imm 100) 0;
+            Builder.store b (Operand.imm 9) (Operand.imm 100) 0;
+            Builder.load b Reg.r1 (Operand.imm 100) 0;
+            Builder.write b (Operand.reg Reg.r1);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[| 3 |] in
+  let eng = Bool_engine.create p in
+  let tainted = ref true in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  check Alcotest.bool "constant overwrite untaints" false !tainted
+
+(* Taint flows through call arguments and return values. *)
+let test_taint_through_call () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.call b "inc" ~ret:(Some Reg.r1);
+            Builder.write b (Operand.reg Reg.r1);
+            Builder.halt b);
+        Builder.define ~name:"inc" ~arity:1 (fun b ->
+            Builder.add b Reg.r0 (Operand.reg Reg.r0) (Operand.imm 1);
+            Builder.ret b (Some (Operand.reg Reg.r0)));
+      ]
+  in
+  let m = Machine.create p ~input:[| 5 |] in
+  let eng = Bool_engine.create p in
+  let tainted = ref false in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  check Alcotest.bool "taint through call" true !tainted
+
+(* PC taint names the most recent writer: the store into the buffer. *)
+let test_pc_taint_identifies_writer () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            (* pc 0 *)
+            Builder.add b Reg.r1 (Operand.reg Reg.r0) (Operand.imm 0);
+            (* pc 1: the "buggy" computation *)
+            Builder.store b (Operand.reg Reg.r1) (Operand.imm 200) 0;
+            (* pc 2: last writer of the sink value *)
+            Builder.load b Reg.r2 (Operand.imm 200) 0;
+            Builder.write b (Operand.reg Reg.r2);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[| 4 |] in
+  let eng = Pc_engine.create p in
+  let site = ref None in
+  Pc_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then site := taint);
+  Pc_engine.attach eng m;
+  ignore (Machine.run m);
+  match !site with
+  | Some s ->
+      check Alcotest.string "writer function" "main" s.Taint.fname;
+      (* Loads copy tags unchanged, so the tag still names the store at
+         pc 2 — the last instruction that wrote the *location*. *)
+      check Alcotest.int "writer pc" 2 s.Taint.pc
+  | None -> Alcotest.fail "output should carry PC taint"
+
+(* Input-set taint unions the contributing inputs. *)
+let test_input_set_taint () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.read b Reg.r1;
+            Builder.read b Reg.r2;
+            Builder.add b Reg.r3 (Operand.reg Reg.r0) (Operand.reg Reg.r1);
+            Builder.write b (Operand.reg Reg.r3);
+            Builder.write b (Operand.reg Reg.r2);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[| 1; 2; 3 |] in
+  let eng = Set_engine.create p in
+  let sets = ref [] in
+  Set_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then sets := taint :: !sets);
+  Set_engine.attach eng m;
+  ignore (Machine.run m);
+  match List.rev !sets with
+  | [ s1; s2 ] ->
+      check
+        Alcotest.(list int)
+        "first output lineage" [ 0; 1 ]
+        (Taint.Int_set.elements s1);
+      check
+        Alcotest.(list int)
+        "second output lineage" [ 2 ]
+        (Taint.Int_set.elements s2)
+  | l -> Alcotest.failf "expected 2 outputs, got %d" (List.length l)
+
+(* Implicit flow: x is only control-dependent on the input.  The
+   data-only policy misses it; the full policy catches it. *)
+let prog_implicit_flow () =
+  Program.make
+    [
+      Builder.define ~name:"main" ~arity:0 (fun b ->
+          Builder.read b Reg.r0;
+          Builder.movi b Reg.r1 0;
+          Builder.if_nz b (Operand.reg Reg.r0)
+            ~then_:(fun () -> Builder.movi b Reg.r1 1)
+            ~else_:(fun () -> Builder.movi b Reg.r1 2);
+          Builder.write b (Operand.reg Reg.r1);
+          Builder.halt b);
+    ]
+
+let run_implicit policy =
+  let p = prog_implicit_flow () in
+  let m = Machine.create p ~input:[| 1 |] in
+  let eng = Bool_engine.create ~policy p in
+  let tainted = ref false in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  !tainted
+
+let test_implicit_flow_policies () =
+  check Alcotest.bool "data-only misses implicit flow" false
+    (run_implicit Policy.data_only);
+  check Alcotest.bool "control policy catches implicit flow" true
+    (run_implicit Policy.full)
+
+(* Pointer-flow policy: tainted index into a clean table. *)
+let prog_pointer_flow () =
+  Program.make
+    [
+      Builder.define ~name:"main" ~arity:0 (fun b ->
+          Builder.store b (Operand.imm 7) (Operand.imm 300) 0;
+          Builder.store b (Operand.imm 8) (Operand.imm 301) 0;
+          Builder.read b Reg.r0;
+          Builder.add b Reg.r1 (Operand.imm 300) (Operand.reg Reg.r0);
+          Builder.load b Reg.r2 (Operand.reg Reg.r1) 0;
+          Builder.write b (Operand.reg Reg.r2);
+          Builder.halt b);
+    ]
+
+let test_pointer_flow_policies () =
+  let run policy =
+    let p = prog_pointer_flow () in
+    let m = Machine.create p ~input:[| 1 |] in
+    let eng = Bool_engine.create ~policy p in
+    let tainted = ref false in
+    Bool_engine.on_sink eng (fun sink taint _ ->
+        if sink = Engine.Sink_output then tainted := taint);
+    Bool_engine.attach eng m;
+    ignore (Machine.run m);
+    !tainted
+  in
+  check Alcotest.bool "data-only misses pointer flow" false
+    (run Policy.data_only);
+  check Alcotest.bool "security policy catches pointer flow" true
+    (run Policy.security)
+
+(* Taint crosses Spawn into the child thread. *)
+let test_taint_through_spawn () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.spawn b Reg.r1 "child" (Operand.reg Reg.r0);
+            Builder.join b (Operand.reg Reg.r1);
+            Builder.halt b);
+        Builder.define ~name:"child" ~arity:1 (fun b ->
+            Builder.write b (Operand.reg Reg.r0);
+            Builder.ret b None);
+      ]
+  in
+  let m = Machine.create p ~input:[| 6 |] in
+  let eng = Bool_engine.create p in
+  let tainted = ref false in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  check Alcotest.bool "taint into spawned thread" true !tainted
+
+(* -- dynamic control dependence ---------------------------------------- *)
+
+(* Loop: body instructions are control-dependent on the loop branch. *)
+let test_control_dep_loop () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(Operand.imm 0)
+              ~below:(Operand.imm 3) (fun () ->
+                Builder.add b Reg.r0 (Operand.reg Reg.r0) (Operand.imm 1));
+            Builder.write b (Operand.reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[||] in
+  let static = Static_info.create p in
+  let cd = Control_dep.create static in
+  let parents = ref [] in
+  Machine.attach m
+    (Tool.make
+       ~on_exec:(fun e ->
+         let parent = Control_dep.process cd e in
+         parents := (e, parent) :: !parents)
+       "cd-probe");
+  ignore (Machine.run m);
+  let events = List.rev !parents in
+  (* The add in the loop body must have a branch parent; the first movi
+     must have none; the final write must have none (it is past the
+     loop's postdominator). *)
+  let body_adds =
+    List.filter
+      (fun ((e : Event.exec), _) ->
+        match e.Event.instr with
+        | Instr.Binop (Instr.Add, d, _, _) -> Reg.index d = 0
+        | _ -> false)
+      events
+  in
+  check Alcotest.bool "loop body has parents" true
+    (body_adds <> []
+    && List.for_all (fun (_, parent) -> parent <> None) body_adds);
+  let first_movi, last_write =
+    ( List.find
+        (fun ((e : Event.exec), _) ->
+          match e.Event.instr with Instr.Mov _ -> true | _ -> false)
+        events,
+      List.find
+        (fun ((e : Event.exec), _) ->
+          match e.Event.instr with
+          | Instr.Sys (Instr.Write _) -> true
+          | _ -> false)
+        events )
+  in
+  check Alcotest.bool "first movi has no parent" true (snd first_movi = None);
+  check Alcotest.bool "final write has no parent" true (snd last_write = None)
+
+(* Instructions in a callee inherit the call as control parent. *)
+let test_control_dep_call () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.call b "f" ~ret:None;
+            Builder.halt b);
+        Builder.define ~name:"f" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 1;
+            Builder.ret b None);
+      ]
+  in
+  let m = Machine.create p ~input:[||] in
+  let static = Static_info.create p in
+  let cd = Control_dep.create static in
+  let callee_parent = ref None in
+  let call_step = ref (-1) in
+  Machine.attach m
+    (Tool.make
+       ~on_exec:(fun e ->
+         let parent = Control_dep.process cd e in
+         (match e.Event.instr with
+         | Instr.Call _ -> call_step := e.Event.step
+         | Instr.Mov _ -> callee_parent := parent
+         | _ -> ()))
+       "cd-probe");
+  ignore (Machine.run m);
+  check Alcotest.(option int) "callee parent is the call" (Some !call_step)
+    !callee_parent
+
+(* -- encoding ----------------------------------------------------------- *)
+
+let test_encoding_roundtrip () =
+  let deps =
+    [
+      { Dep.kind = Dep.Data; def_step = 0; use_step = 3 };
+      { Dep.kind = Dep.Control; def_step = 2; use_step = 3 };
+      { Dep.kind = Dep.Data; def_step = 3; use_step = 1000 };
+      { Dep.kind = Dep.Waw; def_step = 999; use_step = 1000 };
+      { Dep.kind = Dep.Summary; def_step = 500; use_step = 123456789 };
+    ]
+  in
+  let w = Encoding.writer () in
+  List.iter (Encoding.write w) deps;
+  let decoded = Encoding.decode (Encoding.contents w) in
+  check Alcotest.int "count" (List.length deps) (List.length decoded);
+  List.iter2
+    (fun a b ->
+      check Alcotest.bool
+        (Fmt.str "record %a" Dep.pp a)
+        true
+        (a.Dep.kind = b.Dep.kind
+        && a.Dep.def_step = b.Dep.def_step
+        && a.Dep.use_step = b.Dep.use_step))
+    deps decoded
+
+(* -- trace buffer -------------------------------------------------------- *)
+
+let test_buffer_eviction () =
+  let buf = Trace_buffer.create ~capacity:100 in
+  for step = 0 to 99 do
+    Trace_buffer.add buf ~use_step:step ~bytes:10
+  done;
+  check Alcotest.bool "stored within capacity" true
+    (Trace_buffer.stored_bytes buf <= 100);
+  check Alcotest.int "total bytes" 1000 (Trace_buffer.total_bytes buf);
+  check Alcotest.int "stored records" 10 (Trace_buffer.stored_records buf);
+  check Alcotest.int "window start" 90 (Trace_buffer.window_start buf)
+
+(* -- ONTRAC -------------------------------------------------------------- *)
+
+(* A loop-heavy kernel with memory traffic; inputs drive the data. *)
+let prog_kernel ~iters =
+  Program.make
+    [
+      Builder.define ~name:"main" ~arity:0 (fun b ->
+          Builder.read b Reg.r0;
+          Builder.movi b Reg.r2 0;
+          Builder.for_up b ~idx:Reg.r1 ~from_:(Operand.imm 0)
+            ~below:(Operand.imm iters) (fun () ->
+              Builder.add b Reg.r3 (Operand.reg Reg.r1) (Operand.reg Reg.r0);
+              Builder.mul b Reg.r4 (Operand.reg Reg.r3) (Operand.imm 3);
+              Builder.store b (Operand.reg Reg.r4) (Operand.imm 400) 0;
+              Builder.load b Reg.r5 (Operand.imm 400) 0;
+              (* a second load of the same address with no intervening
+                 store: dynamically redundant (O3) *)
+              Builder.load b Reg.r6 (Operand.imm 400) 0;
+              Builder.add b Reg.r2 (Operand.reg Reg.r2) (Operand.reg Reg.r5);
+              Builder.add b Reg.r2 (Operand.reg Reg.r2) (Operand.reg Reg.r6));
+          Builder.write b (Operand.reg Reg.r2);
+          Builder.halt b);
+    ]
+
+let run_ontrac ?(opts = Ontrac.default_opts) ?(input = [| 7 |]) p =
+  let m = Machine.create p ~input in
+  let tracer = Ontrac.create ~opts p in
+  Ontrac.attach tracer m;
+  let outcome = Machine.run m in
+  (m, tracer, outcome)
+
+let test_ontrac_optimizations_reduce_bytes () =
+  let p = prog_kernel ~iters:200 in
+  let _, opt, _ = run_ontrac p in
+  let _, unopt, _ = run_ontrac ~opts:Ontrac.no_opts p in
+  let bo = Ontrac.bytes_per_instr opt in
+  let bu = Ontrac.bytes_per_instr unopt in
+  check Alcotest.bool
+    (Fmt.str "optimized %.2f < unoptimized %.2f B/instr" bo bu)
+    true (bo < bu /. 2.);
+  let s = Ontrac.stats opt in
+  check Alcotest.bool "O1 fired" true (s.Ontrac.elided_o1 > 0);
+  check Alcotest.bool "O3 fired" true (s.Ontrac.elided_o3 > 0);
+  check Alcotest.bool "control elision fired" true
+    (s.Ontrac.elided_control > 0)
+
+(* The optimized and unoptimized graphs contain the same dependences —
+   optimizations only avoid *storing* the inferable ones. *)
+let test_ontrac_graph_equivalence () =
+  let p = prog_kernel ~iters:50 in
+  let _, opt, _ = run_ontrac p in
+  let _, unopt, _ = run_ontrac ~opts:Ontrac.no_opts p in
+  let g1, _ = Ontrac.final_graph opt in
+  let g2, _ = Ontrac.final_graph unopt in
+  check Alcotest.int "same node count" (Ddg.num_nodes g2) (Ddg.num_nodes g1);
+  check Alcotest.int "same edge count" (Ddg.num_edges g2) (Ddg.num_edges g1);
+  (* And slices from the last output agree. *)
+  match Slicing.last_output g1 with
+  | None -> Alcotest.fail "no output node"
+  | Some out ->
+      let s1 = Slicing.backward g1 ~criterion:[ out ] in
+      let s2 = Slicing.backward g2 ~criterion:[ out ] in
+      check Alcotest.int "same slice size" (Slicing.size s2) (Slicing.size s1)
+
+(* Backward slice from the output must reach the input read. *)
+let test_slice_reaches_input () =
+  let p = prog_kernel ~iters:20 in
+  let _, tracer, _ = run_ontrac p in
+  let g, w = Ontrac.final_graph tracer in
+  match Slicing.last_output g with
+  | None -> Alcotest.fail "no output node"
+  | Some out ->
+      let s = Slicing.backward ~window_start:w g ~criterion:[ out ] in
+      let has_input =
+        List.exists
+          (fun step ->
+            match Ddg.node g step with
+            | Some n -> n.Ddg.input_index >= 0
+            | None -> false)
+          (Slicing.steps s)
+      in
+      check Alcotest.bool "slice contains the input read" true has_input
+
+(* Small buffer: the window shrinks, old steps are unreachable. *)
+let test_ontrac_window () =
+  let p = prog_kernel ~iters:500 in
+  let opts = { Ontrac.default_opts with capacity = 2000 } in
+  let _, tracer, _ = run_ontrac ~opts p in
+  let s = Ontrac.stats tracer in
+  check Alcotest.bool "buffer evicted" true
+    (Trace_buffer.evicted_records (Ontrac.buffer tracer) > 0);
+  check Alcotest.bool "window smaller than run" true
+    (Ontrac.window_length tracer < s.Ontrac.instructions);
+  let g, w = Ontrac.final_graph tracer in
+  check Alcotest.bool "window start positive" true (w > 0);
+  (* All remaining nodes are inside the window. *)
+  let ok = ref true in
+  Ddg.iter_nodes (fun n -> if n.Ddg.step < w then ok := false) g;
+  check Alcotest.bool "graph pruned to window" true !ok
+
+(* O4a: scope tracing to main only; the helper's computation is bridged
+   by summary edges so the slice still reaches main's earlier writes. *)
+let test_ontrac_scoped_summary () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            (* traced: the value originates here *)
+            Builder.call b "mix" ~ret:(Some Reg.r1);
+            Builder.write b (Operand.reg Reg.r1);
+            Builder.halt b);
+        Builder.define ~name:"mix" ~arity:1 (fun b ->
+            Builder.mul b Reg.r2 (Operand.reg Reg.r0) (Operand.imm 2);
+            Builder.add b Reg.r2 (Operand.reg Reg.r2) (Operand.imm 1);
+            Builder.ret b (Some (Operand.reg Reg.r2)));
+      ]
+  in
+  let opts = { Ontrac.default_opts with scope = Some [ "main" ] } in
+  let _, tracer, _ = run_ontrac ~opts p in
+  let s = Ontrac.stats tracer in
+  check Alcotest.bool "summary deps recorded" true (s.Ontrac.summary_deps > 0);
+  let g, w = Ontrac.final_graph tracer in
+  match Slicing.last_output g with
+  | None -> Alcotest.fail "no output node"
+  | Some out ->
+      let sl = Slicing.backward ~window_start:w g ~criterion:[ out ] in
+      let has_input =
+        List.exists
+          (fun step ->
+            match Ddg.node g step with
+            | Some n -> n.Ddg.input_index >= 0
+            | None -> false)
+          (Slicing.steps sl)
+      in
+      check Alcotest.bool "summary edges keep the chain to the input" true
+        has_input
+
+(* O4b: only input-affected dependences are stored; a computation that
+   never touches input records (almost) nothing. *)
+let test_ontrac_input_slice_only () =
+  let pure =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(Operand.imm 0)
+              ~below:(Operand.imm 100) (fun () ->
+                Builder.add b Reg.r0 (Operand.reg Reg.r0) (Operand.reg Reg.r1));
+            Builder.write b (Operand.reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let opts =
+    { Ontrac.no_opts with input_slice_only = true }
+  in
+  let _, gated, _ = run_ontrac ~opts ~input:[||] pure in
+  let _, full, _ = run_ontrac ~opts:Ontrac.no_opts ~input:[||] pure in
+  let sg = Ontrac.stats gated and sf = Ontrac.stats full in
+  check Alcotest.bool "input gating skips most deps" true
+    (sg.Ontrac.deps_recorded * 10 < sf.Ontrac.deps_recorded);
+  (* But a program whose output depends on input keeps its chain. *)
+  let p = prog_kernel ~iters:20 in
+  let _, tracer, _ = run_ontrac ~opts p in
+  let g, w = Ontrac.final_graph tracer in
+  match Slicing.last_output g with
+  | None -> Alcotest.fail "no output node"
+  | Some out ->
+      let sl = Slicing.backward ~window_start:w g ~criterion:[ out ] in
+      let has_input =
+        List.exists
+          (fun step ->
+            match Ddg.node g step with
+            | Some n -> n.Ddg.input_index >= 0
+            | None -> false)
+          (Slicing.steps sl)
+      in
+      check Alcotest.bool "input-gated slice reaches input" true has_input
+
+(* -- offline baseline ---------------------------------------------------- *)
+
+let test_offline_matches_ontrac_slices () =
+  let p = prog_kernel ~iters:30 in
+  let m1 = Machine.create p ~input:[| 7 |] in
+  let off = Offline.create p in
+  Offline.attach off m1;
+  ignore (Machine.run m1);
+  let g_off = Offline.postprocess off in
+  let _, tracer, _ = run_ontrac ~opts:Ontrac.no_opts p in
+  let g_on, _ = Ontrac.final_graph tracer in
+  (match Slicing.last_output g_off, Slicing.last_output g_on with
+  | Some a, Some b ->
+      let sa = Slicing.backward g_off ~criterion:[ a ] in
+      let sb = Slicing.backward g_on ~criterion:[ b ] in
+      check Alcotest.int "same number of slice sites" (Slicing.num_sites sb)
+        (Slicing.num_sites sa)
+  | _ -> Alcotest.fail "missing output nodes");
+  (* Offline is much more expensive in modelled cycles. *)
+  let s = Offline.stats off in
+  check Alcotest.bool "postprocess cycles dominate" true
+    (s.Offline.postprocess_cycles > s.Offline.instructions * 10)
+
+(* ONTRAC is much cheaper than offline in total modelled cycles. *)
+let test_ontrac_cheaper_than_offline () =
+  let p = prog_kernel ~iters:300 in
+  (* Baseline uninstrumented cycles. *)
+  let m0 = Machine.create p ~input:[| 7 |] in
+  ignore (Machine.run m0);
+  let base = Machine.cycles m0 in
+  let m1, _, _ = run_ontrac p in
+  let ontrac_cycles = Machine.cycles m1 in
+  let m2 = Machine.create p ~input:[| 7 |] in
+  let off = Offline.create p in
+  Offline.attach off m2;
+  ignore (Machine.run m2);
+  ignore (Offline.postprocess off);
+  let offline_cycles =
+    Machine.cycles m2 + (Offline.stats off).Offline.postprocess_cycles
+  in
+  let slow_on = float_of_int ontrac_cycles /. float_of_int base in
+  let slow_off = float_of_int offline_cycles /. float_of_int base in
+  check Alcotest.bool
+    (Fmt.str "ontrac %.1fx much cheaper than offline %.1fx" slow_on slow_off)
+    true
+    (slow_off > 4. *. slow_on)
+
+(* Forward slicing: everything derived from the input read. *)
+let test_forward_slice () =
+  let p = prog_simple_flow () in
+  let _, tracer, _ = run_ontrac ~opts:Ontrac.no_opts p in
+  let g, _ = Ontrac.final_graph tracer in
+  let input_step = ref None in
+  Ddg.iter_nodes
+    (fun n -> if n.Ddg.input_index >= 0 then input_step := Some n.Ddg.step)
+    g;
+  match !input_step with
+  | None -> Alcotest.fail "no input node"
+  | Some s ->
+      let fwd = Slicing.forward g ~criterion:[ s ] in
+      (* The derived output (pc 2's write) is in the forward slice, the
+         constant write is not. *)
+      check Alcotest.bool "derived write reached" true
+        (Slicing.mem_site fwd ("main", 2));
+      check Alcotest.bool "constant write not reached" false
+        (Slicing.mem_site fwd ("main", 3))
+
+(* The central ONTRAC design consequence (§2.1): "the faulty statement
+   can be found using dynamic slicing only if the fault is exercised
+   within this window".  A corruption followed by a long stretch of
+   unrelated work is locatable with a large buffer and unlocatable
+   once the buffer has evicted it. *)
+let test_window_bounds_fault_location () =
+  let corrupt_site = ref 0 in
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            (* the root cause: store a bad value *)
+            Builder.read b Reg.r0;
+            corrupt_site := Builder.here b;
+            Builder.store b (Operand.reg Reg.r0) (Operand.imm 800) 0;
+            (* a long stretch of unrelated work *)
+            Builder.movi b Reg.r1 0;
+            Builder.for_up b ~idx:Reg.r10 ~from_:(Operand.imm 0)
+              ~below:(Operand.imm 3000) (fun () ->
+                Builder.add b Reg.r1 (Operand.reg Reg.r1)
+                  (Operand.reg Reg.r10));
+            (* the failure: the corrupted cell trips the check *)
+            Builder.load b Reg.r2 (Operand.imm 800) 0;
+            Builder.check b (Operand.reg Reg.r2);
+            Builder.halt b);
+      ]
+  in
+  let faulty_site = ("main", !corrupt_site) in
+  let locate capacity =
+    let m = Machine.create p ~input:[| 0 |] in
+    let tracer =
+      Ontrac.create ~opts:{ Ontrac.default_opts with capacity } p
+    in
+    Ontrac.attach tracer m;
+    let fault = ref None in
+    Machine.attach m
+      (Tool.make ~dispatch_cost:0
+         ~on_fault:(fun f -> fault := Some f)
+         "probe");
+    ignore (Machine.run m);
+    let g, w = Ontrac.final_graph tracer in
+    match !fault with
+    | None -> Alcotest.fail "expected a fault"
+    | Some f ->
+        let slice =
+          Slicing.backward ~window_start:w g
+            ~criterion:[ f.Event.at_step ]
+        in
+        Slicing.mem_site slice faulty_site
+  in
+  check Alcotest.bool "large buffer: fault located" true
+    (locate (1024 * 1024));
+  check Alcotest.bool "tiny buffer: corruption evicted, fault missed" false
+    (locate 300)
+
+let suite =
+  [
+    Alcotest.test_case "bool taint reaches output" `Quick
+      test_bool_taint_output;
+    Alcotest.test_case "taint through memory" `Quick
+      test_taint_through_memory;
+    Alcotest.test_case "constant overwrite untaints" `Quick
+      test_taint_cleared_by_constant;
+    Alcotest.test_case "taint through call" `Quick test_taint_through_call;
+    Alcotest.test_case "pc taint identifies writer" `Quick
+      test_pc_taint_identifies_writer;
+    Alcotest.test_case "input-set taint" `Quick test_input_set_taint;
+    Alcotest.test_case "implicit flow policies" `Quick
+      test_implicit_flow_policies;
+    Alcotest.test_case "pointer flow policies" `Quick
+      test_pointer_flow_policies;
+    Alcotest.test_case "taint through spawn" `Quick test_taint_through_spawn;
+    Alcotest.test_case "control dep in loop" `Quick test_control_dep_loop;
+    Alcotest.test_case "control dep through call" `Quick
+      test_control_dep_call;
+    Alcotest.test_case "encoding roundtrip" `Quick test_encoding_roundtrip;
+    Alcotest.test_case "buffer eviction" `Quick test_buffer_eviction;
+    Alcotest.test_case "optimizations reduce bytes" `Quick
+      test_ontrac_optimizations_reduce_bytes;
+    Alcotest.test_case "optimized graph equals unoptimized" `Quick
+      test_ontrac_graph_equivalence;
+    Alcotest.test_case "slice reaches input" `Quick test_slice_reaches_input;
+    Alcotest.test_case "buffer window limits slicing" `Quick
+      test_ontrac_window;
+    Alcotest.test_case "window bounds fault location" `Quick
+      test_window_bounds_fault_location;
+    Alcotest.test_case "scoped tracing with summaries" `Quick
+      test_ontrac_scoped_summary;
+    Alcotest.test_case "input-slice-only gating" `Quick
+      test_ontrac_input_slice_only;
+    Alcotest.test_case "offline baseline slices agree" `Quick
+      test_offline_matches_ontrac_slices;
+    Alcotest.test_case "ontrac cheaper than offline" `Quick
+      test_ontrac_cheaper_than_offline;
+    Alcotest.test_case "forward slice" `Quick test_forward_slice;
+  ]

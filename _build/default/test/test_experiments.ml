@@ -1,0 +1,74 @@
+(* The experiment harness itself: every experiment must run at reduced
+   scale and produce non-degenerate tables.  This is the regression
+   net for the reproduction — if a substrate change breaks a paper
+   claim's shape, one of these trips. *)
+
+open Dift_experiments
+
+let check = Alcotest.check
+
+let test_all_experiments_produce_tables () =
+  List.iter
+    (fun (e : All.experiment) ->
+      let tables = e.All.run All.Quick in
+      check Alcotest.bool
+        (Fmt.str "%s produces tables" e.All.id)
+        true (tables <> []);
+      List.iter
+        (fun (t : Table.t) ->
+          check Alcotest.bool
+            (Fmt.str "%s: '%s' has rows" e.All.id t.Table.title)
+            true (t.Table.rows <> []);
+          (* every row has the header's width *)
+          let cols = List.length t.Table.header in
+          List.iter
+            (fun row ->
+              check Alcotest.int
+                (Fmt.str "%s: '%s' row width" e.All.id t.Table.title)
+                cols (List.length row))
+            t.Table.rows)
+        tables)
+    All.experiments
+
+let test_key_shapes_hold () =
+  (* E1: online ≪ offline *)
+  let e1 = E1_ontrac_vs_offline.run ~size:12 () in
+  check Alcotest.bool
+    (Fmt.str "e1 shape: ontrac %.1f << offline %.1f"
+       e1.E1_ontrac_vs_offline.mean_ontrac
+       e1.E1_ontrac_vs_offline.mean_offline)
+    true
+    (e1.E1_ontrac_vs_offline.mean_offline
+    > 5. *. e1.E1_ontrac_vs_offline.mean_ontrac);
+  (* E2: optimized rate well below the raw 16 B/instr *)
+  let e2 = E2_trace_rate.run ~size:12 () in
+  check Alcotest.bool
+    (Fmt.str "e2 shape: %.2f B/instr < 4" e2.E2_trace_rate.mean_opt_bpi)
+    true
+    (e2.E2_trace_rate.mean_opt_bpi < 4.);
+  (* E3: hardware helper overhead under 150% *)
+  let e3 = E3_multicore.run ~size:10 () in
+  check Alcotest.bool
+    (Fmt.str "e3 shape: hw overhead %.0f%%"
+       (100. *. e3.E3_multicore.mean_hw_overhead))
+    true
+    (e3.E3_multicore.mean_hw_overhead < 1.5);
+  (* E6: everything detected *)
+  let e6 = E6_attack_detection.run () in
+  check Alcotest.bool "e6 shape: all detected" true
+    (List.for_all
+       (fun (r : Dift_attack.Detector.eval_row) ->
+         r.Dift_attack.Detector.attack_detected)
+       e6.E6_attack_detection.rows)
+
+let test_registry_lookup () =
+  check Alcotest.bool "finds e4" true (All.find "e4" <> None);
+  check Alcotest.bool "rejects nonsense" true (All.find "e99" = None)
+
+let suite =
+  [
+    Alcotest.test_case "all experiments produce tables" `Slow
+      test_all_experiments_produce_tables;
+    Alcotest.test_case "key shapes hold" `Slow test_key_shapes_hold;
+    Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+  ]

@@ -1,0 +1,370 @@
+(* Deeper edge-case coverage: PC-taint join semantics, control taint
+   across calls and spawns, control-dependence region bookkeeping,
+   the predicate-switch and value-replacement VM hooks in isolation,
+   and WAR/WAW recording. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+let check = Alcotest.check
+let imm = Operand.imm
+let reg = Operand.reg
+
+module Pc_engine = Engine.Make (Taint.Pc)
+module Bool_engine = Engine.Make (Taint.Bool)
+
+(* PC taint join keeps the most recent writer. *)
+let test_pc_join_most_recent () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            (* step 0 *)
+            Builder.read b Reg.r1;
+            (* step 1 *)
+            Builder.add b Reg.r2 (reg Reg.r0) (imm 0);
+            (* r2 written at pc 2 *)
+            Builder.add b Reg.r3 (reg Reg.r1) (imm 0);
+            (* r3 written at pc 3 *)
+            Builder.add b Reg.r4 (reg Reg.r2) (reg Reg.r3);
+            (* join: pc 4 is the most recent writer *)
+            Builder.write b (reg Reg.r4);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[| 1; 2 |] in
+  let eng = Pc_engine.create p in
+  let site = ref None in
+  Pc_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then site := taint);
+  Pc_engine.attach eng m;
+  ignore (Machine.run m);
+  match !site with
+  | Some s -> check Alcotest.int "most recent writer pc" 4 s.Taint.pc
+  | None -> Alcotest.fail "expected PC taint at the output"
+
+(* Control taint flows into a callee's writes (policy [full]). *)
+let test_control_taint_through_call () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.if_nz1 b (reg Reg.r0) (fun () ->
+                Builder.call b "setter" ~ret:None);
+            Builder.load b Reg.r1 (imm 600) 0;
+            Builder.write b (reg Reg.r1);
+            Builder.halt b);
+        Builder.define ~name:"setter" ~arity:0 (fun b ->
+            Builder.store b (imm 1) (imm 600) 0;
+            Builder.ret b None);
+      ]
+  in
+  let m = Machine.create p ~input:[| 1 |] in
+  let eng = Bool_engine.create ~policy:Policy.full p in
+  let tainted = ref false in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  check Alcotest.bool "callee write carries control taint" true !tainted
+
+(* Control taint ends when the region closes: a write after the join
+   point stays clean. *)
+let test_control_taint_region_closes () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.if_nz1 b (reg Reg.r0) (fun () -> Builder.nop b);
+            (* past the join point: no longer controlled by the input *)
+            Builder.movi b Reg.r1 5;
+            Builder.write b (reg Reg.r1);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[| 1 |] in
+  let eng = Bool_engine.create ~policy:Policy.full p in
+  let tainted = ref true in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  check Alcotest.bool "write after region close is clean" false !tainted
+
+(* Control taint crosses Spawn into the child thread. *)
+let test_control_taint_through_spawn () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.if_nz1 b (reg Reg.r0) (fun () ->
+                Builder.spawn b Reg.r1 "child" (imm 0);
+                Builder.join b (reg Reg.r1));
+            Builder.halt b);
+        Builder.define ~name:"child" ~arity:1 (fun b ->
+            Builder.movi b Reg.r2 9;
+            Builder.write b (reg Reg.r2);
+            Builder.ret b None);
+      ]
+  in
+  let m = Machine.create p ~input:[| 1 |] in
+  let eng = Bool_engine.create ~policy:Policy.full p in
+  let tainted = ref false in
+  Bool_engine.on_sink eng (fun sink taint _ ->
+      if sink = Engine.Sink_output then tainted := taint);
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  check Alcotest.bool "spawned thread inherits control taint" true !tainted
+
+(* Engine statistics: one source per consumed input word. *)
+let test_engine_stats () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            Builder.read b Reg.r1;
+            Builder.read b Reg.r2;
+            (* EOF read: not a source *)
+            Builder.read b Reg.r3;
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[| 1; 2; 3 |] in
+  let eng = Bool_engine.create p in
+  Bool_engine.attach eng m;
+  ignore (Machine.run m);
+  let s = Bool_engine.stats eng in
+  check Alcotest.int "sources" 3 s.Engine.sources;
+  check Alcotest.bool "events counted" true (s.Engine.events >= 6);
+  check Alcotest.int "tainted sink hits" 1 s.Engine.sink_hits;
+  let locs, words = Bool_engine.shadow_footprint eng in
+  check Alcotest.bool "shadow tracks tainted locs" true (locs >= 3);
+  check Alcotest.int "bool domain words = locs" locs words
+
+(* Control-dependence regions are bounded in nested loops (the
+   back-edge pop keeps the stack from growing per iteration). *)
+let test_control_dep_regions_bounded () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm 10)
+              (fun () ->
+                Builder.for_up b ~idx:Reg.r11 ~from_:(imm 0) ~below:(imm 10)
+                  (fun () ->
+                    Builder.add b Reg.r0 (reg Reg.r0) (imm 1)));
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[||] in
+  let static = Static_info.create p in
+  let cd = Control_dep.create static in
+  let max_depth = ref 0 in
+  Machine.attach m
+    (Tool.make
+       ~on_exec:(fun e ->
+         ignore (Control_dep.process cd e);
+         max_depth := max !max_depth (Control_dep.open_regions cd 0))
+       "probe");
+  ignore (Machine.run m);
+  check Alcotest.bool
+    (Fmt.str "region stack bounded (max %d)" !max_depth)
+    true (!max_depth <= 3)
+
+(* The predicate-switch hook: flipping the loop guard's first instance
+   skips the loop entirely. *)
+let test_flip_steps_hook () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.for_up b ~idx:Reg.r1 ~from_:(imm 0) ~below:(imm 5)
+              (fun () -> Builder.add b Reg.r0 (reg Reg.r0) (imm 1));
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  (* find the first branch instance *)
+  let m0 = Machine.create p ~input:[||] in
+  let first_branch = ref (-1) in
+  Machine.attach m0
+    (Tool.make
+       ~on_exec:(fun e ->
+         if Event.is_branch e && !first_branch < 0 then
+           first_branch := e.Event.step)
+       "probe");
+  ignore (Machine.run m0);
+  check Alcotest.(list int) "normal run sums" [ 5 ]
+    (Machine.output_values m0);
+  let config =
+    { Machine.default_config with flip_steps = [ !first_branch ] }
+  in
+  let m1 = Machine.create ~config p ~input:[||] in
+  ignore (Machine.run m1);
+  check Alcotest.(list int) "flipped guard skips the loop" [ 0 ]
+    (Machine.output_values m1)
+
+(* The value-replacement hook substitutes one dynamic value. *)
+let test_value_replacement_hook () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 3;
+            Builder.mul b Reg.r1 (reg Reg.r0) (imm 7);
+            Builder.write b (reg Reg.r1);
+            Builder.halt b);
+      ]
+  in
+  (* the mul executes at step 1 *)
+  let config =
+    { Machine.default_config with value_replacements = [ (1, 100) ] }
+  in
+  let m = Machine.create ~config p ~input:[||] in
+  ignore (Machine.run m);
+  check Alcotest.(list int) "replaced value" [ 100 ]
+    (Machine.output_values m)
+
+(* WAR and WAW dependences are recorded when asked for. *)
+let test_war_waw_recording () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.store b (imm 1) (imm 500) 0;
+            Builder.load b Reg.r0 (imm 500) 0;
+            (* read, then overwrite: WAR + WAW *)
+            Builder.store b (imm 2) (imm 500) 0;
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let m = Machine.create p ~input:[||] in
+  let tracer =
+    Ontrac.create ~opts:{ Ontrac.no_opts with record_war_waw = true } p
+  in
+  Ontrac.attach tracer m;
+  ignore (Machine.run m);
+  let g, _ = Ontrac.final_graph tracer in
+  let kinds = ref [] in
+  Ddg.iter_nodes
+    (fun n ->
+      List.iter (fun (k, _) -> kinds := k :: !kinds) n.Ddg.preds)
+    g;
+  check Alcotest.bool "WAR edge present" true (List.mem Dep.War !kinds);
+  check Alcotest.bool "WAW edge present" true (List.mem Dep.Waw !kinds)
+
+(* Encoding writer exposes its byte count consistently. *)
+let test_encoding_bytes_written () =
+  let w = Encoding.writer () in
+  List.iter (Encoding.write w)
+    [
+      { Dep.kind = Dep.Data; def_step = 0; use_step = 5 };
+      { Dep.kind = Dep.Control; def_step = 3; use_step = 6 };
+    ];
+  check Alcotest.int "bytes_written = contents length"
+    (String.length (Encoding.contents w))
+    (Encoding.bytes_written w)
+
+(* Replay with an impossible schedule raises divergence. *)
+let test_replay_divergence () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 1;
+            Builder.write b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let config =
+    { Machine.default_config with schedule = Some [ (0, 7) ] }
+  in
+  let m = Machine.create ~config p ~input:[||] in
+  Alcotest.check_raises "divergence"
+    (Machine.Replay_divergence
+       "no runnable thread matches log at step 0") (fun () ->
+      ignore (Machine.run m))
+
+(* Heap bookkeeping: block_of and in_heap. *)
+let test_memory_blocks () =
+  let mem = Memory.create () in
+  let b1 = Memory.alloc mem 4 in
+  let b2 = Memory.alloc mem 2 in
+  check Alcotest.bool "b1 in heap" true (Memory.in_heap mem b1);
+  check Alcotest.bool "global not in heap" false (Memory.in_heap mem 100);
+  (match Memory.block_of mem (b1 + 3) with
+  | Some blk -> check Alcotest.int "block base" b1 blk.Memory.base
+  | None -> Alcotest.fail "expected a block");
+  check Alcotest.bool "gap between blocks" true
+    (Memory.block_of mem (b2 - 1) = None);
+  (match Memory.free mem b1 with
+  | Ok () -> ()
+  | Error `Invalid_free -> Alcotest.fail "valid free rejected");
+  check Alcotest.bool "freed block gone" true
+    (Memory.block_of mem b1 = None);
+  check Alcotest.bool "double free rejected" true
+    (Memory.free mem b1 = Error `Invalid_free)
+
+(* Loc encoding round-trips. *)
+let test_loc_roundtrip () =
+  let l1 = Loc.mem 12345 in
+  check Alcotest.bool "mem loc" true (Loc.is_mem l1);
+  check Alcotest.int "addr" 12345 (Loc.addr l1);
+  let l2 = Loc.reg ~frame:77 Reg.r5 in
+  check Alcotest.bool "reg loc" true (Loc.is_reg l2);
+  let f, r = Loc.frame_reg l2 in
+  check Alcotest.int "frame" 77 f;
+  check Alcotest.int "reg index" 5 r;
+  check Alcotest.bool "distinct" false (Loc.equal l1 l2)
+
+(* Corrupt serialised graphs are rejected, not misread. *)
+let test_ddg_io_rejects_corrupt () =
+  Alcotest.check_raises "bad magic" (Ddg_io.Corrupt "bad magic") (fun () ->
+      ignore (Ddg_io.deserialize "NOPE"));
+  (* valid header, truncated body *)
+  let g = Ddg.create () in
+  Ddg.add_node g ~step:0 ~tid:0 ~fname:"f" ~pc:0 ~input_index:(-1)
+    ~is_output:false;
+  let bytes = Ddg_io.serialize g in
+  let truncated = String.sub bytes 0 (String.length bytes - 1) in
+  Alcotest.(check bool) "truncation detected" true
+    (try
+       ignore (Ddg_io.deserialize truncated);
+       false
+     with Ddg_io.Corrupt _ | Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "pc taint joins to most recent" `Quick
+      test_pc_join_most_recent;
+    Alcotest.test_case "control taint through call" `Quick
+      test_control_taint_through_call;
+    Alcotest.test_case "control taint region closes" `Quick
+      test_control_taint_region_closes;
+    Alcotest.test_case "control taint through spawn" `Quick
+      test_control_taint_through_spawn;
+    Alcotest.test_case "engine stats" `Quick test_engine_stats;
+    Alcotest.test_case "control-dep regions bounded" `Quick
+      test_control_dep_regions_bounded;
+    Alcotest.test_case "flip_steps hook" `Quick test_flip_steps_hook;
+    Alcotest.test_case "value replacement hook" `Quick
+      test_value_replacement_hook;
+    Alcotest.test_case "war/waw recording" `Quick test_war_waw_recording;
+    Alcotest.test_case "encoding bytes_written" `Quick
+      test_encoding_bytes_written;
+    Alcotest.test_case "replay divergence" `Quick test_replay_divergence;
+    Alcotest.test_case "memory blocks" `Quick test_memory_blocks;
+    Alcotest.test_case "loc roundtrip" `Quick test_loc_roundtrip;
+    Alcotest.test_case "ddg io rejects corrupt input" `Quick
+      test_ddg_io_rejects_corrupt;
+  ]

@@ -1,0 +1,341 @@
+(* Fault location: slicing captures value faults, predicate switching
+   and implicit dependences capture omission faults, value replacement
+   ranks faulty statements, and the race detector filters benign sync
+   races (paper §3.1). *)
+
+open Dift_isa
+open Dift_vm
+open Dift_workloads
+open Dift_faultloc
+
+let check = Alcotest.check
+
+(* Slicing captures the faulty site for non-omission bugs and keeps
+   the examined fraction well below the whole program. *)
+let test_slicing_captures_value_faults () =
+  List.iter
+    (fun (c : Buggy.case) ->
+      if not c.Buggy.omission then begin
+        let r =
+          Slice_loc.run c.Buggy.program ~input:c.Buggy.failing_input
+            ~faulty_site:c.Buggy.faulty_site
+        in
+        check Alcotest.bool
+          (Fmt.str "%s: fault in slice" c.Buggy.name)
+          true r.Slice_loc.faulty_site_in_slice;
+        (* tiny programs may be fully in the slice; only demand real
+           pruning where there is unrelated code to exclude *)
+        if r.Slice_loc.total_sites > 15 then
+          check Alcotest.bool
+            (Fmt.str "%s: slice is a subset (%.0f%%)" c.Buggy.name
+               (100. *. r.Slice_loc.examined_fraction))
+            true
+            (r.Slice_loc.examined_fraction < 0.9)
+      end)
+    Buggy.all
+
+(* Omission faults escape the plain slice. *)
+let test_slicing_misses_omission_faults () =
+  List.iter
+    (fun (c : Buggy.case) ->
+      if c.Buggy.omission then begin
+        let r =
+          Slice_loc.run c.Buggy.program ~input:c.Buggy.failing_input
+            ~faulty_site:c.Buggy.faulty_site
+        in
+        check Alcotest.bool
+          (Fmt.str "%s: fault NOT in plain slice" c.Buggy.name)
+          false r.Slice_loc.faulty_site_in_slice
+      end)
+    Buggy.all
+
+(* Predicate switching finds a critical predicate for the omission
+   bugs — the faulty guard itself or its controlling branch. *)
+let test_pred_switch_on_omission () =
+  List.iter
+    (fun (c : Buggy.case) ->
+      if c.Buggy.omission then begin
+        let r = Pred_switch.search c.Buggy.program ~input:c.Buggy.failing_input in
+        match r.Pred_switch.critical with
+        | None -> Alcotest.failf "%s: no critical predicate" c.Buggy.name
+        | Some crit ->
+            (* the critical predicate must be in the faulty site's
+               function and near the injected fault *)
+            let ffn, fpc = c.Buggy.faulty_site in
+            let cfn, cpc = crit.Pred_switch.site in
+            check Alcotest.string
+              (Fmt.str "%s: critical predicate function" c.Buggy.name)
+              ffn cfn;
+            check Alcotest.bool
+              (Fmt.str "%s: critical predicate near fault (pc %d vs %d)"
+                 c.Buggy.name cpc fpc)
+              true
+              (abs (cpc - fpc) <= 3)
+      end)
+    Buggy.all
+
+(* No critical predicate on a passing run. *)
+let test_pred_switch_passing_run () =
+  let c = Buggy.omission_guard in
+  let r = Pred_switch.search c.Buggy.program ~input:c.Buggy.passing_input in
+  check Alcotest.bool "no critical predicate" true
+    (r.Pred_switch.critical = None)
+
+(* The implicit-dependence method: the plain slice misses the fault;
+   the verified predicate + augmented slice capture it, with few
+   verifications. *)
+let test_implicit_deps_capture_omission () =
+  List.iter
+    (fun (c : Buggy.case) ->
+      if c.Buggy.omission then begin
+        let r =
+          Omission.run c.Buggy.program ~input:c.Buggy.failing_input
+            ~faulty_site:c.Buggy.faulty_site
+        in
+        check Alcotest.bool
+          (Fmt.str "%s: plain slice misses fault" c.Buggy.name)
+          false r.Omission.plain_slice_has_fault;
+        check Alcotest.bool
+          (Fmt.str "%s: augmented slice captures fault" c.Buggy.name)
+          true r.Omission.augmented_slice_has_fault;
+        check Alcotest.bool
+          (Fmt.str "%s: few verifications (%d)" c.Buggy.name
+             r.Omission.verifications)
+          true
+          (r.Omission.verifications <= 25)
+      end)
+    Buggy.all
+
+(* Value replacement ranks the faulty site (or a statement adjacent to
+   it) among its interesting sites. *)
+let test_value_replacement_ranks_faults () =
+  let localised = ref 0 in
+  let applicable = ref 0 in
+  List.iter
+    (fun (c : Buggy.case) ->
+      match c.Buggy.name with
+      | "div-crash" | "latent-corruption" | "wrong-operator" | "off-by-one"
+        ->
+          incr applicable;
+          let r =
+            Value_replace.run c.Buggy.program ~input:c.Buggy.failing_input
+              ~faulty_site:c.Buggy.faulty_site
+          in
+          let ffn, fpc = c.Buggy.faulty_site in
+          let near =
+            List.exists
+              (fun (rk : Value_replace.ranked) ->
+                let fn, pc = rk.Value_replace.site in
+                fn = ffn && abs (pc - fpc) <= 3)
+              r.Value_replace.ranking
+          in
+          if near then incr localised
+      | _ -> ())
+    Buggy.all;
+  check Alcotest.bool
+    (Fmt.str "value replacement localises %d of %d" !localised !applicable)
+    true
+    (!localised >= 3)
+
+(* Race detection: the racy bank has true races both modes report; the
+   flag pipeline has only benign sync races, which sync-aware filtering
+   removes. *)
+let run_with_detector mode program input ~seed =
+  let config =
+    { Machine.default_config with seed; quantum_min = 2; quantum_max = 9 }
+  in
+  let m = Machine.create ~config program ~input in
+  let det = Race_detect.create mode in
+  Race_detect.attach det m;
+  ignore (Machine.run m);
+  det
+
+let test_race_detector_finds_true_races () =
+  let p = Splash_like.bank_racy ~threads:2 () in
+  let input = Splash_like.bank_input ~size:60 ~seed:0 in
+  let det = run_with_detector Race_detect.Basic p input ~seed:4 in
+  check Alcotest.bool "basic finds races" true
+    (Race_detect.races det <> []);
+  let det2 = run_with_detector Race_detect.Sync_aware p input ~seed:4 in
+  check Alcotest.bool "sync-aware still finds account races" true
+    (Race_detect.races det2 <> [])
+
+let test_locked_bank_race_free () =
+  let p = Splash_like.bank ~threads:2 () in
+  let input = Splash_like.bank_input ~size:40 ~seed:0 in
+  let det = run_with_detector Race_detect.Basic p input ~seed:5 in
+  check Alcotest.(list string) "no races under locks" []
+    (List.map (Fmt.str "%a" Race_detect.pp_race) (Race_detect.races det))
+
+let test_sync_aware_filters_benign_races () =
+  let p = Splash_like.flag_pipeline () in
+  let input = [| 10 |] in
+  let basic = run_with_detector Race_detect.Basic p input ~seed:6 in
+  let aware = run_with_detector Race_detect.Sync_aware p input ~seed:6 in
+  let nb = List.length (Race_detect.races basic) in
+  let na = List.length (Race_detect.races aware) in
+  check Alcotest.bool
+    (Fmt.str "basic reports sync races (%d)" nb)
+    true (nb > 0);
+  check Alcotest.bool
+    (Fmt.str "sync-aware filters them (%d < %d)" na nb)
+    true (na < nb);
+  check Alcotest.bool "sync vars recognised" true
+    (Race_detect.sync_vars aware > 0)
+
+let test_barrier_orders_accesses () =
+  let p = Splash_like.stencil ~threads:2 () in
+  let input = Splash_like.stencil_input ~size:16 ~seed:1 in
+  let det = run_with_detector Race_detect.Basic p input ~seed:7 in
+  (* the barrier-synchronised stencil is race free apart from boundary
+     element sharing, which the barrier orders *)
+  check Alcotest.(list string) "stencil race free" []
+    (List.map (Fmt.str "%a" Race_detect.pp_race) (Race_detect.races det))
+
+(* Failure-inducing chops: for input-driven faults, the chop keeps
+   the faulty site while shrinking the candidate set. *)
+let test_chop_narrows_candidates () =
+  List.iter
+    (fun (c : Buggy.case) ->
+      if not c.Buggy.omission then begin
+        let r =
+          Chop.run c.Buggy.program ~input:c.Buggy.failing_input
+            ~faulty_site:c.Buggy.faulty_site
+        in
+        check Alcotest.bool
+          (Fmt.str "%s: chop keeps the faulty site" c.Buggy.name)
+          true r.Chop.faulty_site_in_chop;
+        check Alcotest.bool
+          (Fmt.str "%s: chop no larger than backward slice (%d <= %d)"
+             c.Buggy.name r.Chop.chop_sites r.Chop.backward_sites)
+          true
+          (r.Chop.chop_sites <= r.Chop.backward_sites)
+      end)
+    Buggy.all
+
+(* Multithreaded slicing with WAR/WAW dependences (§3.1): slicing from
+   the racy bank's bad total reaches both threads' transfer code; with
+   plain data/control dependences only, the second thread's overwriting
+   store would be invisible. *)
+let test_multithreaded_slice_sees_races () =
+  let p = Splash_like.bank_racy ~threads:2 () in
+  let input = Splash_like.bank_input ~size:60 ~seed:0 in
+  let rec hunt seed =
+    if seed > 30 then None
+    else begin
+      let config =
+        { Machine.default_config with seed; quantum_min = 1; quantum_max = 4 }
+      in
+      let m = Machine.create ~config p ~input in
+      let opts =
+        { Dift_core.Ontrac.default_opts with record_war_waw = true }
+      in
+      let tracer = Dift_core.Ontrac.create ~opts p in
+      Dift_core.Ontrac.attach tracer m;
+      ignore (Machine.run m);
+      if Machine.output_values m <> [ 800 ] then Some tracer else hunt (seed + 1)
+    end
+  in
+  match hunt 1 with
+  | None -> Alcotest.fail "no lossy schedule found"
+  | Some tracer ->
+      let g, w = Dift_core.Ontrac.final_graph tracer in
+      let out =
+        match Dift_core.Slicing.last_output g with
+        | Some s -> s
+        | None -> Alcotest.fail "no output"
+      in
+      let plain =
+        Dift_core.Slicing.backward ~window_start:w g ~criterion:[ out ]
+      in
+      let extended =
+        Dift_core.Slicing.backward
+          ~kinds:Dift_core.Slicing.multithreaded_kinds ~window_start:w g
+          ~criterion:[ out ]
+      in
+      check Alcotest.bool
+        (Fmt.str "WAR/WAW extend the slice (%d > %d)"
+           (Dift_core.Slicing.size extended)
+           (Dift_core.Slicing.size plain))
+        true
+        (Dift_core.Slicing.size extended > Dift_core.Slicing.size plain)
+
+(* Multiple-points slicing [13]: wrong outputs' slice intersection
+   keeps the fault; dicing away the correct outputs' slices sharpens
+   it further. *)
+let test_multi_point_slicing () =
+  let imm = Operand.imm and reg = Operand.reg in
+  let site = ref 0 in
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.read b Reg.r0;
+            (* n *)
+            Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r0)
+              (fun () ->
+                Builder.read b Reg.r1;
+                Builder.gt b Reg.r2 (reg Reg.r1) (imm 50);
+                Builder.if_nz b (reg Reg.r2)
+                  ~then_:(fun () ->
+                    site := Builder.here b;
+                    (* BUG: adds 1 instead of doubling *)
+                    Builder.add b Reg.r3 (reg Reg.r1) (imm 1))
+                  ~else_:(fun () ->
+                    Builder.mul b Reg.r3 (reg Reg.r1) (imm 2));
+                Builder.write b (reg Reg.r3));
+            Builder.halt b);
+      ]
+  in
+  let faulty_site = ("main", !site) in
+  let data = [ 10; 60; 20; 70; 30 ] in
+  let input = Array.of_list (List.length data :: data) in
+  let expected_output = List.map (fun x -> 2 * x) data in
+  let r =
+    Multi_point.run p ~input ~expected_output ~faulty_site
+  in
+  check Alcotest.int "wrong outputs" 2 r.Multi_point.wrong_outputs;
+  check Alcotest.int "correct outputs" 3 r.Multi_point.correct_outputs;
+  check Alcotest.bool "fault in intersection" true
+    r.Multi_point.faulty_in_intersection;
+  check Alcotest.bool "fault in dice" true r.Multi_point.faulty_in_dice;
+  check Alcotest.bool
+    (Fmt.str "dice (%d) smaller than single slice (%d)"
+       r.Multi_point.dice_sites r.Multi_point.single_slice_sites)
+    true
+    (r.Multi_point.dice_sites < r.Multi_point.single_slice_sites);
+  check Alcotest.bool
+    (Fmt.str "intersection (%d) no larger than single slice (%d)"
+       r.Multi_point.intersection_sites r.Multi_point.single_slice_sites)
+    true
+    (r.Multi_point.intersection_sites <= r.Multi_point.single_slice_sites)
+
+let suite =
+  [
+    Alcotest.test_case "chop narrows candidates" `Quick
+      test_chop_narrows_candidates;
+    Alcotest.test_case "multiple-points slicing" `Quick
+      test_multi_point_slicing;
+    Alcotest.test_case "multithreaded slice sees races" `Quick
+      test_multithreaded_slice_sees_races;
+    Alcotest.test_case "slicing captures value faults" `Quick
+      test_slicing_captures_value_faults;
+    Alcotest.test_case "slicing misses omission faults" `Quick
+      test_slicing_misses_omission_faults;
+    Alcotest.test_case "predicate switching on omission" `Quick
+      test_pred_switch_on_omission;
+    Alcotest.test_case "predicate switching on passing run" `Quick
+      test_pred_switch_passing_run;
+    Alcotest.test_case "implicit deps capture omission" `Quick
+      test_implicit_deps_capture_omission;
+    Alcotest.test_case "value replacement ranks faults" `Quick
+      test_value_replacement_ranks_faults;
+    Alcotest.test_case "detector finds true races" `Quick
+      test_race_detector_finds_true_races;
+    Alcotest.test_case "locked bank race free" `Quick
+      test_locked_bank_race_free;
+    Alcotest.test_case "sync-aware filters benign races" `Quick
+      test_sync_aware_filters_benign_races;
+    Alcotest.test_case "barrier orders accesses" `Quick
+      test_barrier_orders_accesses;
+  ]

@@ -1,0 +1,205 @@
+(* Tests for the ISA library: builder label resolution, CFG
+   construction, and postdominator computation. *)
+
+open Dift_isa
+
+let check = Alcotest.check
+let int_list = Alcotest.(list int)
+
+(* A diamond: 0:br -> (1,2); 1: jmp 3; 2: ...; 3: ret *)
+let diamond () =
+  Builder.define ~name:"diamond" ~arity:0 (fun b ->
+      Builder.br b (Operand.reg Reg.r0) ~taken:"left" ~fallthrough:"right";
+      Builder.label b "left";
+      Builder.movi b Reg.r1 1;
+      Builder.jmp b "join";
+      Builder.label b "right";
+      Builder.movi b Reg.r1 2;
+      Builder.label b "join";
+      Builder.ret b (Some (Operand.reg Reg.r1)))
+
+let test_builder_labels () =
+  let f = diamond () in
+  check Alcotest.int "length" 5 (Func.length f);
+  (match Func.instr f 0 with
+  | Instr.Br (_, t, fl) ->
+      check Alcotest.int "taken" 1 t;
+      check Alcotest.int "fallthrough" 3 fl
+  | i -> Alcotest.failf "expected Br, got %a" Instr.pp i);
+  match Func.instr f 2 with
+  | Instr.Jmp t -> check Alcotest.int "jmp target" 4 t
+  | i -> Alcotest.failf "expected Jmp, got %a" Instr.pp i
+
+let test_builder_unknown_label () =
+  Alcotest.check_raises "unknown label"
+    (Invalid_argument "Builder.build: unknown label nowhere in bad")
+    (fun () ->
+      ignore
+        (Builder.define ~name:"bad" ~arity:0 (fun b ->
+             Builder.jmp b "nowhere";
+             Builder.halt b)))
+
+let test_builder_duplicate_label () =
+  let b = Builder.create ~name:"dup" ~arity:0 in
+  Builder.label b "x";
+  Builder.nop b;
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Builder.label: duplicate label x in dup") (fun () ->
+      Builder.label b "x")
+
+let test_cfg_diamond () =
+  let f = diamond () in
+  let cfg = Cfg.build f in
+  check int_list "succ of br" [ 1; 3 ] (List.sort compare (Cfg.succ cfg 0));
+  check int_list "succ of jmp" [ 4 ] (Cfg.succ cfg 2);
+  check int_list "succ of ret" [ 5 ] (Cfg.succ cfg 4);
+  check Alcotest.int "blocks" 4 (Cfg.num_blocks cfg);
+  check Alcotest.int "block of 1 = block of 2" (Cfg.block_of cfg 1)
+    (Cfg.block_of cfg 2);
+  Alcotest.(check bool)
+    "br and left in different blocks" true
+    (Cfg.block_of cfg 0 <> Cfg.block_of cfg 1)
+
+let test_postdom_diamond () =
+  let f = diamond () in
+  let cfg = Cfg.build f in
+  let pd = Postdom.compute cfg in
+  (* The join (index 4) postdominates the branch (index 0). *)
+  check Alcotest.int "ipdom of branch" 4 (Postdom.ipdom pd 0);
+  Alcotest.(check bool)
+    "join postdominates branch" true
+    (Postdom.postdominates pd ~node:4 ~of_:0);
+  Alcotest.(check bool)
+    "left arm does not postdominate branch" false
+    (Postdom.postdominates pd ~node:1 ~of_:0)
+
+(* Straight-line code: each instruction's ipdom is its successor. *)
+let test_postdom_straightline () =
+  let f =
+    Builder.define ~name:"line" ~arity:0 (fun b ->
+        Builder.movi b Reg.r0 1;
+        Builder.movi b Reg.r1 2;
+        Builder.add b Reg.r2 (Operand.reg Reg.r0) (Operand.reg Reg.r1);
+        Builder.ret b (Some (Operand.reg Reg.r2)))
+  in
+  let pd = Postdom.compute (Cfg.build f) in
+  check Alcotest.int "ipdom 0" 1 (Postdom.ipdom pd 0);
+  check Alcotest.int "ipdom 1" 2 (Postdom.ipdom pd 1);
+  check Alcotest.int "ipdom 2" 3 (Postdom.ipdom pd 2)
+
+(* A loop whose body is conditionally skipped: the loop head's ipdom is
+   the exit-side instruction. *)
+let test_postdom_loop () =
+  let f =
+    Builder.define ~name:"loop" ~arity:0 (fun b ->
+        Builder.movi b Reg.r0 0;
+        Builder.for_up b ~idx:Reg.r1 ~from_:(Operand.imm 0)
+          ~below:(Operand.imm 10) (fun () ->
+            Builder.add b Reg.r0 (Operand.reg Reg.r0) (Operand.reg Reg.r1));
+        Builder.ret b (Some (Operand.reg Reg.r0)))
+  in
+  let cfg = Cfg.build f in
+  let pd = Postdom.compute cfg in
+  (* The backward-branch test (Br) is at some index; its ipdom must be
+     reachable and eventually lead to the ret. *)
+  let n = Func.length f in
+  for i = 0 to n - 1 do
+    let d = Postdom.ipdom pd i in
+    Alcotest.(check bool)
+      (Fmt.str "ipdom %d in range" i)
+      true
+      (d >= 0 && d <= n)
+  done;
+  (* Every instruction is postdominated by the return. *)
+  let ret_idx = n - 1 in
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Fmt.str "ret postdominates %d" i)
+      true
+      (Postdom.postdominates pd ~node:ret_idx ~of_:i)
+  done
+
+(* Brute-force postdominator check on random CFGs: node [d]
+   postdominates [v] iff every path from [v] to exit passes through
+   [d].  We enumerate paths by DFS with visited sets (graphs are tiny). *)
+let brute_postdominates cfg ~node ~of_ =
+  let exit = Cfg.exit_node cfg in
+  (* Does there exist a path from [of_] to exit avoiding [node]? *)
+  let rec search visited v =
+    if v = node then false
+    else if v = exit then true
+    else if List.mem v visited then false
+    else List.exists (search (v :: visited)) (Cfg.succ cfg v)
+  in
+  if of_ = node then true else not (search [] of_)
+
+let random_func rng =
+  (* Random structured function: sequence of arithmetic, conditionals
+     and early returns. *)
+  let n_instr = 4 + Random.State.int rng 12 in
+  Builder.define ~name:"rand" ~arity:0 (fun b ->
+      for i = 0 to n_instr - 1 do
+        match Random.State.int rng 4 with
+        | 0 -> Builder.movi b Reg.r0 i
+        | 1 -> Builder.add b Reg.r1 (Operand.reg Reg.r0) (Operand.imm 1)
+        | 2 ->
+            Builder.if_nz1 b (Operand.reg Reg.r0) (fun () ->
+                Builder.movi b Reg.r2 i)
+        | _ ->
+            Builder.if_nz b (Operand.reg Reg.r1)
+              ~then_:(fun () -> Builder.movi b Reg.r3 i)
+              ~else_:(fun () -> Builder.movi b Reg.r4 i)
+      done;
+      Builder.ret b None)
+
+let test_postdom_vs_brute () =
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 25 do
+    let f = random_func rng in
+    let cfg = Cfg.build f in
+    let pd = Postdom.compute cfg in
+    let n = Func.length f in
+    for v = 0 to n - 1 do
+      for d = 0 to n - 1 do
+        let fast = Postdom.postdominates pd ~node:d ~of_:v in
+        let slow = brute_postdominates cfg ~node:d ~of_:v in
+        if fast <> slow then
+          Alcotest.failf "postdom mismatch in %a: node=%d of=%d fast=%b"
+            Func.pp f d v fast
+      done
+    done
+  done
+
+let test_program_func_ids () =
+  let f1 = Builder.define ~name:"a" ~arity:0 (fun b -> Builder.halt b) in
+  let f2 = Builder.define ~name:"b" ~arity:0 (fun b -> Builder.halt b) in
+  let p = Program.make ~entry:"a" [ f1; f2 ] in
+  check Alcotest.int "id of a" 0 (Program.func_id p "a");
+  check Alcotest.int "id of b" 1 (Program.func_id p "b");
+  (match Program.func_of_id p 1 with
+  | Some f -> check Alcotest.string "name" "b" f.Func.name
+  | None -> Alcotest.fail "func_of_id 1");
+  check Alcotest.bool "invalid id" true (Program.func_of_id p 99 = None)
+
+let test_uses_def () =
+  let i = Instr.Binop (Instr.Add, Reg.r2, Operand.reg Reg.r0, Operand.reg Reg.r1) in
+  check int_list "uses" [ 0; 1 ] (List.map Reg.index (Instr.uses i));
+  check Alcotest.(option int) "def" (Some 2)
+    (Option.map Reg.index (Instr.def i))
+
+let suite =
+  [
+    Alcotest.test_case "builder resolves labels" `Quick test_builder_labels;
+    Alcotest.test_case "builder rejects unknown label" `Quick
+      test_builder_unknown_label;
+    Alcotest.test_case "builder rejects duplicate label" `Quick
+      test_builder_duplicate_label;
+    Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "postdom diamond" `Quick test_postdom_diamond;
+    Alcotest.test_case "postdom straight line" `Quick
+      test_postdom_straightline;
+    Alcotest.test_case "postdom loop" `Quick test_postdom_loop;
+    Alcotest.test_case "postdom vs brute force" `Quick test_postdom_vs_brute;
+    Alcotest.test_case "program function ids" `Quick test_program_func_ids;
+    Alcotest.test_case "instr uses/def" `Quick test_uses_def;
+  ]

@@ -1,0 +1,76 @@
+(* Lineage tracing: both representations must agree with each other
+   and with each pipeline's analytic ground truth; the roBDD
+   representation must pay off on large clustered lineage. *)
+
+open Dift_workloads
+open Dift_lineage
+
+let check = Alcotest.check
+
+let test_lineage_matches_ground_truth () =
+  List.iter
+    (fun (pl : Scientific.pipeline) ->
+      let size = 16 and seed = 5 in
+      let r = Tracer.run_naive pl ~size ~seed in
+      check Alcotest.int
+        (Fmt.str "%s naive mismatches" pl.Scientific.name)
+        0
+        (Tracer.validate pl r ~size ~seed);
+      let r2 = Tracer.run_robdd pl ~size ~seed in
+      check Alcotest.int
+        (Fmt.str "%s robdd mismatches" pl.Scientific.name)
+        0
+        (Tracer.validate pl r2 ~size ~seed))
+    Scientific.all
+
+let test_representations_agree () =
+  List.iter
+    (fun (pl : Scientific.pipeline) ->
+      let size = 24 and seed = 9 in
+      let a = Tracer.run_naive pl ~size ~seed in
+      let b = Tracer.run_robdd pl ~size ~seed in
+      check
+        Alcotest.(list (pair int (list int)))
+        (Fmt.str "%s outputs" pl.Scientific.name)
+        a.Tracer.outputs b.Tracer.outputs)
+    Scientific.all
+
+let test_large_lineage_sets_exist () =
+  let r = Tracer.run_naive Scientific.reduction ~size:500 ~seed:3 in
+  check Alcotest.bool
+    (Fmt.str "reduction lineage is large (%d)" r.Tracer.max_lineage)
+    true (r.Tracer.max_lineage >= 500)
+
+let test_robdd_memory_beats_naive_on_reduction () =
+  let size = 800 and seed = 4 in
+  let naive = Tracer.run_naive Scientific.reduction ~size ~seed in
+  let robdd = Tracer.run_robdd Scientific.reduction ~size ~seed in
+  check Alcotest.bool
+    (Fmt.str "robdd peak %d words < naive peak %d words"
+       robdd.Tracer.shadow_words_peak naive.Tracer.shadow_words_peak)
+    true
+    (robdd.Tracer.shadow_words_peak < naive.Tracer.shadow_words_peak)
+
+let test_slowdowns_are_finite_and_ordered () =
+  let size = 200 and seed = 6 in
+  let pl = Scientific.moving_avg in
+  let naive = Tracer.run_naive pl ~size ~seed in
+  let robdd = Tracer.run_robdd pl ~size ~seed in
+  let sn = Tracer.slowdown naive and sr = Tracer.slowdown robdd in
+  check Alcotest.bool (Fmt.str "naive slowdown %.1f > 1" sn) true (sn > 1.);
+  check Alcotest.bool (Fmt.str "robdd slowdown %.1f > 1" sr) true (sr > 1.);
+  check Alcotest.bool "slowdowns bounded" true (sn < 500. && sr < 500.)
+
+let suite =
+  [
+    Alcotest.test_case "lineage matches ground truth" `Quick
+      test_lineage_matches_ground_truth;
+    Alcotest.test_case "naive and robdd agree" `Quick
+      test_representations_agree;
+    Alcotest.test_case "large lineage sets exist" `Quick
+      test_large_lineage_sets_exist;
+    Alcotest.test_case "robdd memory beats naive" `Quick
+      test_robdd_memory_beats_naive_on_reduction;
+    Alcotest.test_case "slowdowns sane" `Quick
+      test_slowdowns_are_finite_and_ordered;
+  ]

@@ -1,0 +1,88 @@
+(* Helper-thread DIFT: hardware-assisted forwarding keeps the
+   main-core overhead moderate (the paper's 48%-class result); the
+   software queue is several times slower; the helper still computes
+   the same taint verdicts as inline DIFT. *)
+
+open Dift_vm
+open Dift_core
+open Dift_workloads
+open Dift_multicore
+
+let check = Alcotest.check
+
+let kernel_report channel (w : Workload.t) ~size ~seed =
+  let input = w.Workload.input ~size ~seed in
+  Helper.run ~channel w.Workload.program ~input
+
+let test_hw_overhead_moderate () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let r = kernel_report Helper.Hardware w ~size:20 ~seed:3 in
+      let ov = Helper.main_overhead r in
+      check Alcotest.bool
+        (Fmt.str "%s hw overhead %.0f%% in (10%%, 120%%)" w.Workload.name
+           (100. *. ov))
+        true
+        (ov > 0.10 && ov < 1.20))
+    Spec_like.all
+
+let test_sw_much_slower_than_hw () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let hw = kernel_report Helper.Hardware w ~size:16 ~seed:5 in
+      let sw = kernel_report Helper.Software w ~size:16 ~seed:5 in
+      check Alcotest.bool
+        (Fmt.str "%s: sw %.2fx > 2 * hw %.2fx" w.Workload.name
+           (Helper.total_slowdown sw) (Helper.total_slowdown hw))
+        true
+        (Helper.total_slowdown sw > 2. *. Helper.total_slowdown hw))
+    [ Spec_like.crc; Spec_like.sieve; Spec_like.matmul ]
+
+(* The helper computes the same taint verdicts as an inline engine. *)
+let test_helper_taint_agrees_with_inline () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:30 ~seed:9 in
+  (* inline *)
+  let module E = Engine.Make (Taint.Bool) in
+  let m = Machine.create w.Workload.program ~input in
+  let eng = E.create w.Workload.program in
+  let inline_hits = ref 0 in
+  E.on_sink eng (fun _ taint _ -> if taint then incr inline_hits);
+  E.attach eng m;
+  ignore (Machine.run m);
+  (* helper *)
+  let r = Helper.run ~channel:Helper.Hardware w.Workload.program ~input in
+  check Alcotest.int "same sink hits" !inline_hits r.Helper.sink_hits;
+  check Alcotest.bool "hits observed" true (r.Helper.sink_hits > 0)
+
+(* A tiny queue forces stalls; a large one removes them. *)
+let test_queue_capacity_matters () =
+  let w = Spec_like.matmul in
+  let input = w.Workload.input ~size:12 ~seed:2 in
+  let small =
+    Helper.run ~channel:Helper.Software ~queue_capacity:4
+      w.Workload.program ~input
+  in
+  let large =
+    Helper.run ~channel:Helper.Software ~queue_capacity:65536
+      w.Workload.program ~input
+  in
+  check Alcotest.bool
+    (Fmt.str "small queue stalls more: %d >= %d" small.Helper.stall_cycles
+       large.Helper.stall_cycles)
+    true
+    (small.Helper.stall_cycles >= large.Helper.stall_cycles);
+  check Alcotest.bool "small queue stalls exist" true
+    (small.Helper.stall_cycles > 0)
+
+let suite =
+  [
+    Alcotest.test_case "hw overhead moderate" `Quick
+      test_hw_overhead_moderate;
+    Alcotest.test_case "sw much slower than hw" `Quick
+      test_sw_much_slower_than_hw;
+    Alcotest.test_case "helper taint agrees with inline" `Quick
+      test_helper_taint_agrees_with_inline;
+    Alcotest.test_case "queue capacity matters" `Quick
+      test_queue_capacity_matters;
+  ]

@@ -1,0 +1,139 @@
+(* Execution reduction end-to-end on the server workload: logging is
+   cheap, the reduction finds the corrupting ADMIN request, and the
+   reduced replay reproduces the fault with a tiny fraction of the
+   dependences of whole-run tracing. *)
+
+open Dift_vm
+open Dift_workloads
+open Dift_replay
+
+let check = Alcotest.check
+
+let server_report ?(requests = 60) ?(seed = 11) () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests ~seed ~faulty:true () in
+  let config = { Machine.default_config with seed } in
+  (Rerun.run ~config ~checkpoint_every:5_000 p ~input:batch.Server_sim.input,
+   batch)
+
+let test_logging_is_cheap () =
+  let r, _ = server_report () in
+  let ratio =
+    float_of_int r.Rerun.logging_cycles
+    /. float_of_int r.Rerun.original_cycles
+  in
+  check Alcotest.bool
+    (Fmt.str "logging ratio %.2f in (1, 2]" ratio)
+    true
+    (ratio > 1.0 && ratio <= 2.0)
+
+let test_tracing_is_expensive () =
+  let r, _ = server_report () in
+  let ratio =
+    float_of_int r.Rerun.tracing_cycles
+    /. float_of_int r.Rerun.original_cycles
+  in
+  check Alcotest.bool (Fmt.str "tracing ratio %.1f > 5" ratio) true
+    (ratio > 5.)
+
+let test_reduction_finds_admin_request () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests:60 ~seed:11 ~faulty:true () in
+  let config = { Machine.default_config with seed = 11 } in
+  let m = Machine.create ~config p ~input:batch.Server_sim.input in
+  let log = Request_log.create ~checkpoint_every:5_000 () in
+  Request_log.attach log m;
+  ignore (Machine.run m);
+  (match Request_log.fault log with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a logged fault");
+  match Reduction.analyse log with
+  | None -> Alcotest.fail "expected a reduction plan"
+  | Some plan ->
+      let admin =
+        match batch.Server_sim.admin_index with
+        | Some a -> a
+        | None -> Alcotest.fail "batch has no admin request"
+      in
+      check Alcotest.bool "admin request is relevant" true
+        (Reduction.is_relevant plan admin);
+      check Alcotest.bool
+        (Fmt.str "only a fraction kept (%.2f)" (Reduction.kept_fraction plan))
+        true
+        (Reduction.kept_fraction plan < 0.6)
+
+let test_reduced_replay_reproduces_fault () =
+  let r, _ = server_report () in
+  check Alcotest.bool "fault reproduced" true r.Rerun.fault_reproduced;
+  check Alcotest.bool "slice from fault nonempty" true
+    (r.Rerun.fault_slice_sites > 0)
+
+let test_reduction_shrinks_deps_and_time () =
+  let r, _ = server_report ~requests:120 () in
+  check Alcotest.bool
+    (Fmt.str "deps shrink: %d -> %d" r.Rerun.full_deps r.Rerun.reduced_deps)
+    true
+    (r.Rerun.reduced_deps * 4 < r.Rerun.full_deps);
+  check Alcotest.bool
+    (Fmt.str "replay cheaper than tracing: %d < %d" r.Rerun.replay_cycles
+       r.Rerun.tracing_cycles)
+    true
+    (r.Rerun.replay_cycles * 2 < r.Rerun.tracing_cycles);
+  check Alcotest.bool
+    (Fmt.str "replayed %d of %d steps" r.Rerun.replayed_steps
+       r.Rerun.total_steps)
+    true
+    (r.Rerun.replayed_steps <= r.Rerun.total_steps);
+  (* the reduced replay costs on the order of the original run (the
+     traced fraction is small), nowhere near full tracing *)
+  check Alcotest.bool
+    (Fmt.str "replay %d within 2x of original %d" r.Rerun.replay_cycles
+       r.Rerun.original_cycles)
+    true
+    (r.Rerun.replay_cycles < 2 * r.Rerun.original_cycles)
+
+let test_clean_run_has_no_plan () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests:30 ~seed:3 () in
+  let m = Machine.create p ~input:batch.Server_sim.input in
+  let log = Request_log.create () in
+  Request_log.attach log m;
+  (match Machine.run m with
+  | Event.Halted -> ()
+  | o -> Alcotest.failf "clean run: %a" Event.pp_outcome o);
+  check Alcotest.bool "no fault logged" true (Request_log.fault log = None);
+  check Alcotest.bool "no plan" true (Reduction.analyse log = None)
+
+let test_request_log_segments () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests:25 ~seed:5 () in
+  let m = Machine.create p ~input:batch.Server_sim.input in
+  let log = Request_log.create () in
+  Request_log.attach log m;
+  ignore (Machine.run m);
+  let reqs = Request_log.requests log in
+  check Alcotest.int "all requests logged" 25 (List.length reqs);
+  List.iter
+    (fun (r : Request_log.request) ->
+      Alcotest.(check bool)
+        (Fmt.str "request %d closed" r.Request_log.req_id)
+        true
+        (r.Request_log.end_step > r.Request_log.start_step))
+    reqs
+
+let suite =
+  [
+    Alcotest.test_case "logging is cheap" `Quick test_logging_is_cheap;
+    Alcotest.test_case "tracing is expensive" `Quick
+      test_tracing_is_expensive;
+    Alcotest.test_case "reduction finds the admin request" `Quick
+      test_reduction_finds_admin_request;
+    Alcotest.test_case "reduced replay reproduces fault" `Quick
+      test_reduced_replay_reproduces_fault;
+    Alcotest.test_case "reduction shrinks deps and time" `Quick
+      test_reduction_shrinks_deps_and_time;
+    Alcotest.test_case "clean run has no plan" `Quick
+      test_clean_run_has_no_plan;
+    Alcotest.test_case "request log segments execution" `Quick
+      test_request_log_segments;
+  ]

@@ -1,0 +1,128 @@
+(* TM-based monitoring: single-threaded sanity against the plain VM,
+   livelock under naive conflict resolution on spin-synchronised
+   kernels, and completion with sync-aware resolution (paper §2.2). *)
+
+open Dift_vm
+open Dift_workloads
+open Dift_tm
+
+let check = Alcotest.check
+
+let tm_config policy =
+  {
+    Stm_exec.default_config with
+    policy;
+    max_ticks = 400_000;
+    livelock_window = 120_000;
+    starvation_threshold = 200;
+  }
+
+let run_tm ?config program input =
+  let t = Stm_exec.create ?config program ~input in
+  let stats = Stm_exec.run t in
+  (stats, Stm_exec.output t)
+
+(* Single-threaded program: the TM executor must agree with the plain
+   machine, with zero aborts. *)
+let test_single_thread_agrees_with_vm () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:40 ~seed:7 in
+  let m = Machine.create w.Workload.program ~input in
+  ignore (Machine.run m);
+  let stats, out = run_tm w.Workload.program input in
+  check Alcotest.(list int) "same output" (Machine.output_values m) out;
+  check Alcotest.int "no aborts" 0 stats.Stm_exec.aborts;
+  check Alcotest.bool "completed" true
+    (stats.Stm_exec.outcome = Stm_exec.Completed);
+  check Alcotest.bool "commits happened" true (stats.Stm_exec.commits > 0)
+
+let test_sieve_under_tm () =
+  let stats, out = run_tm Spec_like.sieve.Workload.program [| 50 |] in
+  check Alcotest.(list int) "primes below 50" [ 15 ] out;
+  check Alcotest.bool "completed" true
+    (stats.Stm_exec.outcome = Stm_exec.Completed)
+
+(* The flag pipeline: a spinning consumer must livelock the naive
+   abort-requester policy (the producer can never publish) but complete
+   under sync-aware resolution. *)
+let test_flag_pipeline_policies () =
+  let p = Splash_like.flag_pipeline () in
+  let input = [| 6 |] in
+  let stats_naive, _ =
+    run_tm ~config:(tm_config Stm_exec.Abort_requester) p input
+  in
+  check Alcotest.bool "abort-requester fails to complete" true
+    (stats_naive.Stm_exec.outcome <> Stm_exec.Completed);
+  let stats_sync, out =
+    run_tm ~config:(tm_config Stm_exec.Sync_aware) p input
+  in
+  check Alcotest.bool
+    (Fmt.str "sync-aware completes (outcome ok, %d aborts)"
+       stats_sync.Stm_exec.aborts)
+    true
+    (stats_sync.Stm_exec.outcome = Stm_exec.Completed);
+  let expected = ref 0 in
+  for i = 0 to 5 do
+    expected := !expected + ((i * 7) + 1)
+  done;
+  check Alcotest.(list int) "pipeline sum" [ !expected ] out;
+  check Alcotest.bool "sync vars detected" true
+    (stats_sync.Stm_exec.sync_vars > 0)
+
+(* The spin barrier: mutual aborts livelock both naive policies;
+   sync-aware completes with the right result. *)
+let test_spin_barrier_policies () =
+  let threads = 2 and phases = 3 in
+  let p = Splash_like.spin_barrier ~threads ~phases () in
+  let naive, _ =
+    run_tm ~config:(tm_config Stm_exec.Abort_requester) p [||]
+  in
+  check Alcotest.bool "abort-requester fails" true
+    (naive.Stm_exec.outcome <> Stm_exec.Completed);
+  let sync, out = run_tm ~config:(tm_config Stm_exec.Sync_aware) p [||] in
+  check Alcotest.bool
+    (Fmt.str "sync-aware completes with %d aborts" sync.Stm_exec.aborts)
+    true
+    (sync.Stm_exec.outcome = Stm_exec.Completed);
+  check Alcotest.(list int) "barrier sum"
+    [ Splash_like.spin_barrier_expected ~threads ~phases ]
+    out
+
+(* Aborted work is accounted and bounded under sync-aware resolution. *)
+let test_abort_accounting () =
+  let p = Splash_like.flag_pipeline () in
+  let sync, _ = run_tm ~config:(tm_config Stm_exec.Sync_aware) p [| 8 |] in
+  check Alcotest.bool "useful work dominates" true
+    (sync.Stm_exec.committed_instrs > sync.Stm_exec.wasted_instrs);
+  check Alcotest.bool
+    (Fmt.str "overhead %.1f sane" (Stm_exec.overhead sync))
+    true
+    (Stm_exec.overhead sync >= 1. && Stm_exec.overhead sync < 100.)
+
+(* Monitoring off: no shadow accesses, cheaper, still correct. *)
+let test_monitor_off_cheaper () =
+  let p = Splash_like.spin_barrier ~threads:2 ~phases:2 () in
+  let on, _ = run_tm ~config:(tm_config Stm_exec.Sync_aware) p [||] in
+  let off, out =
+    run_tm
+      ~config:{ (tm_config Stm_exec.Sync_aware) with monitor = false }
+      p [||]
+  in
+  check Alcotest.(list int) "still correct"
+    [ Splash_like.spin_barrier_expected ~threads:2 ~phases:2 ]
+    out;
+  check Alcotest.bool "monitoring costs cycles" true
+    (Stm_exec.overhead on > Stm_exec.overhead off)
+
+let suite =
+  [
+    Alcotest.test_case "single thread agrees with vm" `Quick
+      test_single_thread_agrees_with_vm;
+    Alcotest.test_case "sieve under tm" `Quick test_sieve_under_tm;
+    Alcotest.test_case "flag pipeline policies" `Quick
+      test_flag_pipeline_policies;
+    Alcotest.test_case "spin barrier policies" `Quick
+      test_spin_barrier_policies;
+    Alcotest.test_case "abort accounting" `Quick test_abort_accounting;
+    Alcotest.test_case "monitoring cost" `Quick test_monitor_off_cheaper;
+  ]

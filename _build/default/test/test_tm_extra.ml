@@ -1,0 +1,151 @@
+(* TM executor edge cases: rollback across call frames, recursion
+   under transactions, irrevocable-operation boundaries, and undo-log
+   correctness when aborts interleave. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_workloads
+open Dift_tm
+
+let check = Alcotest.check
+let imm = Operand.imm
+let reg = Operand.reg
+
+let run_tm ?config program input =
+  let t = Stm_exec.create ?config program ~input in
+  let s = Stm_exec.run t in
+  (s, Stm_exec.output t)
+
+(* Recursion (deep frame chains) executes correctly under the TM
+   executor, matching the plain machine. *)
+let test_recursion_under_tm () =
+  let w = Spec_like.qsort in
+  let input = w.Workload.input ~size:30 ~seed:3 in
+  let m = Machine.create w.Workload.program ~input in
+  ignore (Machine.run m);
+  let s, out = run_tm w.Workload.program input in
+  check Alcotest.(list int) "same output" (Machine.output_values m) out;
+  check Alcotest.bool "completed" true
+    (s.Stm_exec.outcome = Stm_exec.Completed)
+
+(* A multi-writer contention point: two threads increment a counter
+   2000 times in total; the TM's chunked atomicity must not lose a
+   single increment (unlike the racy plain-VM run). *)
+let counter_worker =
+  Builder.define ~name:"worker" ~arity:1 (fun b ->
+      Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(imm 100)
+        (fun () ->
+          Builder.load b Reg.r1 (imm 900) 0;
+          Builder.add b Reg.r1 (reg Reg.r1) (imm 1);
+          Builder.store b (reg Reg.r1) (imm 900) 0);
+      Builder.ret b None)
+
+let counter_program =
+  lazy
+    (Program.make
+       [
+         Builder.define ~name:"main" ~arity:0 (fun b ->
+             Builder.spawn b Reg.r0 "worker" (imm 0);
+             Builder.spawn b Reg.r1 "worker" (imm 1);
+             Builder.join b (reg Reg.r0);
+             Builder.join b (reg Reg.r1);
+             Builder.load b Reg.r2 (imm 900) 0;
+             Builder.write b (reg Reg.r2);
+             Builder.halt b);
+         counter_worker;
+       ])
+
+let test_tm_makes_increments_atomic () =
+  (* each load..store triple lands inside one transaction, and
+     conflicting transactions are serialised by ownership *)
+  let s, out = run_tm (Lazy.force counter_program) [||] in
+  check Alcotest.bool
+    (Fmt.str "completed with %d aborts" s.Stm_exec.aborts)
+    true
+    (s.Stm_exec.outcome = Stm_exec.Completed);
+  check Alcotest.(list int) "no lost updates" [ 200 ] out
+
+(* Aborted work rolls back memory: after a run, the committed state
+   must be exactly the sequential result even though aborts occurred. *)
+let test_abort_rolls_back_memory () =
+  let s, out = run_tm (Lazy.force counter_program) [||] in
+  if s.Stm_exec.aborts > 0 then
+    check Alcotest.(list int) "state correct despite aborts" [ 200 ] out
+  else
+    (* force contention with a different policy if no aborts occurred *)
+    let config =
+      { Stm_exec.default_config with policy = Stm_exec.Abort_owner }
+    in
+    let _, out2 = run_tm ~config (Lazy.force counter_program) [||] in
+    check Alcotest.(list int) "state correct (abort-owner)" [ 200 ] out2
+
+(* Check faults inside transactions surface as faults. *)
+let test_check_fault_in_txn () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.movi b Reg.r0 0;
+            Builder.check b (reg Reg.r0);
+            Builder.halt b);
+      ]
+  in
+  let s, _ = run_tm p [||] in
+  match s.Stm_exec.outcome with
+  | Stm_exec.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a fault outcome"
+
+(* Input/output are irrevocable: every input word is consumed exactly
+   once even when surrounding transactions abort and retry. *)
+let test_io_is_irrevocable () =
+  let p =
+    Program.make
+      [
+        Builder.define ~name:"main" ~arity:0 (fun b ->
+            Builder.spawn b Reg.r0 "worker" (imm 0);
+            Builder.read b Reg.r1;
+            Builder.read b Reg.r2;
+            Builder.add b Reg.r3 (reg Reg.r1) (reg Reg.r2);
+            Builder.join b (reg Reg.r0);
+            (* mix with the worker's contended counter *)
+            Builder.load b Reg.r4 (imm 900) 0;
+            Builder.add b Reg.r3 (reg Reg.r3) (reg Reg.r4);
+            Builder.write b (reg Reg.r3);
+            Builder.halt b);
+        counter_worker;
+      ]
+  in
+  let _, out = run_tm p [| 10; 20 |] in
+  check Alcotest.(list int) "inputs consumed once" [ 130 ] out
+
+(* OS-level locks inside monitored code: the locked bank completes
+   under every policy and conserves the total — the TM problem is
+   specifically *user-level* spin synchronisation. *)
+let test_locked_bank_under_tm () =
+  let p = Splash_like.bank ~threads:2 () in
+  let input = Splash_like.bank_input ~size:20 ~seed:0 in
+  List.iter
+    (fun policy ->
+      let config = { Stm_exec.default_config with policy } in
+      let s, out = run_tm ~config p input in
+      check Alcotest.bool
+        (Fmt.str "%s completes" (Stm_exec.policy_to_string policy))
+        true
+        (s.Stm_exec.outcome = Stm_exec.Completed);
+      check Alcotest.(list int)
+        (Fmt.str "%s conserves" (Stm_exec.policy_to_string policy))
+        [ 800 ] out)
+    [ Stm_exec.Abort_requester; Stm_exec.Abort_owner; Stm_exec.Sync_aware ]
+
+let suite =
+  [
+    Alcotest.test_case "recursion under tm" `Quick test_recursion_under_tm;
+    Alcotest.test_case "tm makes increments atomic" `Quick
+      test_tm_makes_increments_atomic;
+    Alcotest.test_case "abort rolls back memory" `Quick
+      test_abort_rolls_back_memory;
+    Alcotest.test_case "check fault in txn" `Quick test_check_fault_in_txn;
+    Alcotest.test_case "io is irrevocable" `Quick test_io_is_irrevocable;
+    Alcotest.test_case "locked bank under tm" `Quick
+      test_locked_bank_under_tm;
+  ]

@@ -1,0 +1,483 @@
+(* Workload validation: every synthetic program is checked against an
+   OCaml reference implementation or its own ground truth before the
+   experiment layers are allowed to rely on it. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_workloads
+
+let check = Alcotest.check
+
+let run ?config program input =
+  let m = Machine.create ?config program ~input in
+  let o = Machine.run m in
+  (m, o)
+
+let expect_halted name o =
+  match o with
+  | Event.Halted -> ()
+  | o -> Alcotest.failf "%s: expected halted, got %a" name Event.pp_outcome o
+
+let run_workload ?config (w : Workload.t) ~size ~seed =
+  let input = w.Workload.input ~size ~seed in
+  let m, o = run ?config w.Workload.program input in
+  (input, m, o)
+
+(* -- spec-like kernels ---------------------------------------------------- *)
+
+let test_all_kernels_halt () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let _, _, o = run_workload w ~size:10 ~seed:1 in
+      expect_halted w.Workload.name o)
+    Spec_like.all
+
+let test_matmul_reference () =
+  let w = Spec_like.matmul in
+  let input = w.Workload.input ~size:4 ~seed:3 in
+  let n = input.(0) in
+  let a i j = input.(1 + (i * n) + j) in
+  let bm i j = input.(1 + (n * n) + (i * n) + j) in
+  let expected = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0 in
+      for k = 0 to n - 1 do
+        s := !s + (a i k * bm k j)
+      done;
+      expected := !expected lxor !s
+    done
+  done;
+  let m, o = run w.Workload.program input in
+  expect_halted "matmul" o;
+  check Alcotest.(list int) "checksum" [ !expected ] (Machine.output_values m)
+
+let test_qsort_reference () =
+  let w = Spec_like.qsort in
+  let input = w.Workload.input ~size:40 ~seed:9 in
+  let n = input.(0) in
+  let data = Array.sub input 1 n in
+  Array.sort compare data;
+  (* all but the last element are accumulated by the kernel's verify
+     loop *)
+  let expected = Array.fold_left ( + ) 0 data - data.(n - 1) in
+  let m, o = run w.Workload.program input in
+  expect_halted "qsort" o;
+  check Alcotest.(list int) "sum of sorted prefix" [ expected ]
+    (Machine.output_values m)
+
+let test_sieve_reference () =
+  let input = [| 30 |] in
+  let m, o = run Spec_like.sieve.Workload.program input in
+  expect_halted "sieve" o;
+  (* primes below 30: 2 3 5 7 11 13 17 19 23 29 *)
+  check Alcotest.(list int) "primes below 30" [ 10 ]
+    (Machine.output_values m)
+
+let test_crc_reference () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:50 ~seed:5 in
+  let n = input.(0) in
+  let crc = ref 65521 in
+  for i = 0 to n - 1 do
+    let word = input.(1 + i) in
+    crc := ((!crc lsl 1) lxor (!crc lsr 15) lxor word) land 0xFFFF
+  done;
+  let m, o = run w.Workload.program input in
+  expect_halted "crc" o;
+  check Alcotest.(list int) "crc" [ !crc ] (Machine.output_values m)
+
+let test_search_reference () =
+  let w = Spec_like.search in
+  let input = w.Workload.input ~size:60 ~seed:2 in
+  let m_len = input.(0) in
+  let pat = Array.sub input 1 m_len in
+  let n = input.(1 + m_len) in
+  let text = Array.sub input (2 + m_len) n in
+  let count = ref 0 in
+  for i = 0 to n - m_len do
+    let ok = ref true in
+    for j = 0 to m_len - 1 do
+      if text.(i + j) <> pat.(j) then ok := false
+    done;
+    if !ok then incr count
+  done;
+  let m, o = run w.Workload.program input in
+  expect_halted "search" o;
+  check Alcotest.(list int) "matches" [ !count ] (Machine.output_values m)
+
+let test_hash_deterministic () =
+  let w = Spec_like.hash in
+  let input = w.Workload.input ~size:50 ~seed:4 in
+  let m1, o1 = run w.Workload.program input in
+  let m2, o2 = run w.Workload.program input in
+  expect_halted "hash" o1;
+  expect_halted "hash" o2;
+  check Alcotest.(list int) "deterministic" (Machine.output_values m1)
+    (Machine.output_values m2)
+
+let test_poly_reference () =
+  let w = Spec_like.poly in
+  let input = w.Workload.input ~size:5 ~seed:8 in
+  let deg = input.(0) in
+  let coeffs = Array.sub input 1 deg in
+  let mpts = input.(1 + deg) in
+  let xs = Array.sub input (2 + deg) mpts in
+  let acc = ref 0 in
+  Array.iter
+    (fun x ->
+      let v = ref 0 in
+      Array.iter (fun c -> v := (((!v * x) + c) mod 1_000_003)) coeffs;
+      acc := !acc lxor !v)
+    xs;
+  let m, o = run w.Workload.program input in
+  expect_halted "poly" o;
+  check Alcotest.(list int) "poly" [ !acc ] (Machine.output_values m)
+
+let test_butterfly_reference () =
+  let w = Spec_like.butterfly in
+  let input = w.Workload.input ~size:4 ~seed:6 in
+  let log2n = input.(0) in
+  let n = 1 lsl log2n in
+  let a = Array.sub input 1 n in
+  for p = 0 to log2n - 1 do
+    let stride = 1 lsl p in
+    for i = 0 to n - 1 do
+      let partner = i lxor stride in
+      if i < partner then begin
+        let x = a.(i) and y = a.(partner) in
+        a.(i) <- x + y;
+        a.(partner) <- x - y
+      end
+    done
+  done;
+  let expected = Array.fold_left ( lxor ) 0 a in
+  let m, o = run w.Workload.program input in
+  expect_halted "butterfly" o;
+  check Alcotest.(list int) "butterfly checksum" [ expected ]
+    (Machine.output_values m)
+
+let test_bfs_reference () =
+  let w = Spec_like.bfs in
+  let input = w.Workload.input ~size:20 ~seed:4 in
+  let n = input.(0) in
+  let degrees = Array.sub input 1 n in
+  let total_edges = Array.fold_left ( + ) 0 degrees in
+  let edges = Array.sub input (1 + n) total_edges in
+  (* reference BFS *)
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + degrees.(i)
+  done;
+  let level = Array.make n (-1) in
+  level.(0) <- 0;
+  let q = Queue.create () in
+  Queue.add 0 q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    for e = offsets.(u) to offsets.(u + 1) - 1 do
+      let v = edges.(e) in
+      if level.(v) < 0 then begin
+        level.(v) <- level.(u) + 1;
+        Queue.add v q
+      end
+    done
+  done;
+  let reachable = Array.fold_left (fun a l -> if l >= 0 then a + 1 else a) 0 level in
+  let level_sum = Array.fold_left (fun a l -> if l >= 0 then a + l else a) 0 level in
+  let m, o = run w.Workload.program input in
+  expect_halted "bfs" o;
+  check Alcotest.(list int) "bfs results" [ reachable; level_sum ]
+    (Machine.output_values m)
+
+(* -- buggy corpus ---------------------------------------------------------- *)
+
+let test_buggy_cases () =
+  List.iter
+    (fun (c : Buggy.case) ->
+      let _, o_pass = run c.Buggy.program c.Buggy.passing_input in
+      (match o_pass with
+      | Event.Halted -> ()
+      | o ->
+          Alcotest.failf "%s: passing input should halt, got %a" c.Buggy.name
+            Event.pp_outcome o);
+      let _, o_fail = run c.Buggy.program c.Buggy.failing_input in
+      match o_fail with
+      | Event.Faulted _ -> ()
+      | o ->
+          Alcotest.failf "%s: failing input should fault, got %a"
+            c.Buggy.name Event.pp_outcome o)
+    Buggy.all
+
+let test_buggy_sites_recorded () =
+  List.iter
+    (fun (c : Buggy.case) ->
+      let fname, pc = c.Buggy.faulty_site in
+      let f = Program.find c.Buggy.program fname in
+      Alcotest.(check bool)
+        (Fmt.str "%s: site pc in range" c.Buggy.name)
+        true
+        (pc >= 0 && pc < Func.length f))
+    Buggy.all
+
+(* -- vulnerable corpus ------------------------------------------------------ *)
+
+let test_vulnerable_benign () =
+  List.iter
+    (fun (c : Vulnerable.case) ->
+      let m, o = run c.Vulnerable.program c.Vulnerable.benign_input in
+      (match o with
+      | Event.Halted -> ()
+      | o ->
+          Alcotest.failf "%s benign: %a" c.Vulnerable.name Event.pp_outcome o);
+      (* benign run calls the legitimate handler, never evil *)
+      Alcotest.(check bool)
+        (Fmt.str "%s benign output" c.Vulnerable.name)
+        false
+        (List.mem 666 (Machine.output_values m)))
+    Vulnerable.all
+
+(* Undefended, every attack hijacks control to [evil]. *)
+let test_vulnerable_attacks_succeed () =
+  List.iter
+    (fun (c : Vulnerable.case) ->
+      let m, _ = run c.Vulnerable.program c.Vulnerable.attack_input in
+      Alcotest.(check bool)
+        (Fmt.str "%s attack reaches evil" c.Vulnerable.name)
+        true
+        (List.mem 666 (Machine.output_values m)))
+    Vulnerable.all
+
+(* Heap padding (the environment patch) defeats the heap-based attack. *)
+let test_heap_padding_defeats_overflow () =
+  let c = Vulnerable.heap_overflow in
+  let config = { Machine.default_config with heap_padding = 4 } in
+  let m, o = run ~config c.Vulnerable.program c.Vulnerable.attack_input in
+  (match o with
+  | Event.Halted -> ()
+  | o -> Alcotest.failf "padded attack run: %a" Event.pp_outcome o);
+  Alcotest.(check bool)
+    "evil not reached under padding" false
+    (List.mem 666 (Machine.output_values m))
+
+(* -- server simulation ------------------------------------------------------- *)
+
+let test_server_clean_run () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests:40 ~seed:11 () in
+  let m, o = run p batch.Server_sim.input in
+  (match o with
+  | Event.Halted -> ()
+  | o -> Alcotest.failf "clean server run: %a" Event.pp_outcome o);
+  ignore m
+
+let test_server_faulty_run () =
+  let p = Server_sim.program () in
+  let batch = Server_sim.generate ~requests:40 ~seed:11 ~faulty:true () in
+  Alcotest.(check bool)
+    "admin request present" true
+    (batch.Server_sim.admin_index <> None);
+  Alcotest.(check bool)
+    "failing get present" true
+    (batch.Server_sim.first_failing_get <> None);
+  let _, o = run p batch.Server_sim.input in
+  match o with
+  | Event.Faulted { kind = Event.Check_failed; _ } -> ()
+  | o -> Alcotest.failf "faulty server run: %a" Event.pp_outcome o
+
+let test_server_faulty_run_any_seed () =
+  let p = Server_sim.program () in
+  List.iter
+    (fun seed ->
+      let batch = Server_sim.generate ~requests:30 ~seed ~faulty:true () in
+      let config = { Machine.default_config with seed } in
+      let m = Machine.create ~config p ~input:batch.Server_sim.input in
+      match Machine.run m with
+      | Event.Faulted { kind = Event.Check_failed; _ } -> ()
+      | o ->
+          Alcotest.failf "faulty server seed %d: %a" seed Event.pp_outcome o)
+    [ 1; 2; 3 ]
+
+(* -- splash-like kernels ------------------------------------------------------ *)
+
+let test_stencil_deterministic_with_barrier () =
+  let p = Splash_like.stencil () in
+  let input = Splash_like.stencil_input ~size:24 ~seed:3 in
+  let outputs =
+    List.map
+      (fun seed ->
+        let config =
+          { Machine.default_config with seed; quantum_min = 3;
+            quantum_max = 17 }
+        in
+        let m = Machine.create ~config p ~input in
+        (match Machine.run m with
+        | Event.Halted -> ()
+        | o -> Alcotest.failf "stencil seed %d: %a" seed Event.pp_outcome o);
+        Machine.output_values m)
+      [ 1; 2; 3; 4 ]
+  in
+  match outputs with
+  | first :: rest ->
+      List.iter
+        (fun o -> check Alcotest.(list int) "same checksum" first o)
+        rest
+  | [] -> Alcotest.fail "no runs"
+
+let test_bank_conserves_total () =
+  let p = Splash_like.bank () in
+  let input = Splash_like.bank_input ~size:50 ~seed:0 in
+  List.iter
+    (fun seed ->
+      let config =
+        { Machine.default_config with seed; quantum_min = 2; quantum_max = 9 }
+      in
+      let m = Machine.create ~config p ~input in
+      (match Machine.run m with
+      | Event.Halted -> ()
+      | o -> Alcotest.failf "bank seed %d: %a" seed Event.pp_outcome o);
+      check Alcotest.(list int) (Fmt.str "total seed %d" seed) [ 800 ]
+        (Machine.output_values m))
+    [ 5; 6; 7 ]
+
+let test_bank_racy_loses_updates () =
+  let p = Splash_like.bank_racy () in
+  let input = Splash_like.bank_input ~size:80 ~seed:0 in
+  let lost =
+    List.exists
+      (fun seed ->
+        let config =
+          { Machine.default_config with seed; quantum_min = 1;
+            quantum_max = 4 }
+        in
+        let m = Machine.create ~config p ~input in
+        ignore (Machine.run m);
+        Machine.output_values m <> [ 800 ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  Alcotest.(check bool) "some seed violates conservation" true lost
+
+let test_flag_pipeline () =
+  let p = Splash_like.flag_pipeline () in
+  let n = 12 in
+  let expected = ref 0 in
+  for i = 0 to n - 1 do
+    expected := !expected + ((i * 7) + 1)
+  done;
+  List.iter
+    (fun seed ->
+      let config =
+        { Machine.default_config with seed; quantum_min = 5;
+          quantum_max = 30 }
+      in
+      let m = Machine.create ~config p ~input:[| n |] in
+      (match Machine.run m with
+      | Event.Halted -> ()
+      | o -> Alcotest.failf "pipeline seed %d: %a" seed Event.pp_outcome o);
+      check Alcotest.(list int) (Fmt.str "sum seed %d" seed) [ !expected ]
+        (Machine.output_values m))
+    [ 2; 3; 4 ]
+
+(* -- scientific pipelines ------------------------------------------------------ *)
+
+let test_moving_avg_reference () =
+  let pl = Scientific.moving_avg in
+  let input = pl.Scientific.input ~size:12 ~seed:6 in
+  let n = input.(0) in
+  let expected =
+    List.init (n - 3) (fun i ->
+        (input.(1 + i) + input.(2 + i) + input.(3 + i) + input.(4 + i)) / 4)
+  in
+  let m, o = run pl.Scientific.program input in
+  expect_halted "moving-avg" o;
+  check Alcotest.(list int) "averages" expected (Machine.output_values m)
+
+let test_histogram_reference () =
+  let pl = Scientific.histogram in
+  let input = pl.Scientific.input ~size:20 ~seed:7 in
+  let n = input.(0) in
+  let bins = Array.make 8 0 in
+  for i = 0 to n - 1 do
+    let v = input.(1 + i) in
+    bins.(v mod 8) <- bins.(v mod 8) + v
+  done;
+  let m, o = run pl.Scientific.program input in
+  expect_halted "histogram" o;
+  check Alcotest.(list int) "bins" (Array.to_list bins)
+    (Machine.output_values m)
+
+let test_reduction_reference () =
+  let pl = Scientific.reduction in
+  let input = pl.Scientific.input ~size:30 ~seed:8 in
+  let n = input.(0) in
+  let sum = ref 0 in
+  for i = 0 to n - 1 do
+    sum := !sum + input.(1 + i)
+  done;
+  let m, o = run pl.Scientific.program input in
+  expect_halted "reduction" o;
+  check Alcotest.(list int) "sum" [ !sum ] (Machine.output_values m)
+
+let test_join_reference () =
+  let pl = Scientific.join in
+  let input = pl.Scientific.input ~size:6 ~seed:9 in
+  let n = input.(0) in
+  let offa = 1 and offb = 2 + (2 * n) in
+  let expected =
+    List.concat
+      (List.init n (fun i ->
+           let ka = input.(offa + (2 * i)) in
+           let va = input.(offa + (2 * i) + 1) in
+           let rec find j =
+             if j >= n then []
+             else if input.(offb + (2 * j)) = ka then
+               [ va + input.(offb + (2 * j) + 1) ]
+             else find (j + 1)
+           in
+           find 0))
+  in
+  let m, o = run pl.Scientific.program input in
+  expect_halted "join" o;
+  check Alcotest.(list int) "joined sums" expected (Machine.output_values m)
+
+let suite =
+  [
+    Alcotest.test_case "all kernels halt" `Quick test_all_kernels_halt;
+    Alcotest.test_case "matmul vs reference" `Quick test_matmul_reference;
+    Alcotest.test_case "qsort vs reference" `Quick test_qsort_reference;
+    Alcotest.test_case "sieve vs reference" `Quick test_sieve_reference;
+    Alcotest.test_case "crc vs reference" `Quick test_crc_reference;
+    Alcotest.test_case "search vs reference" `Quick test_search_reference;
+    Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic;
+    Alcotest.test_case "poly vs reference" `Quick test_poly_reference;
+    Alcotest.test_case "butterfly vs reference" `Quick
+      test_butterfly_reference;
+    Alcotest.test_case "bfs vs reference" `Quick test_bfs_reference;
+    Alcotest.test_case "buggy corpus pass/fail" `Quick test_buggy_cases;
+    Alcotest.test_case "buggy sites recorded" `Quick
+      test_buggy_sites_recorded;
+    Alcotest.test_case "vulnerable benign runs" `Quick
+      test_vulnerable_benign;
+    Alcotest.test_case "attacks succeed undefended" `Quick
+      test_vulnerable_attacks_succeed;
+    Alcotest.test_case "heap padding defeats overflow" `Quick
+      test_heap_padding_defeats_overflow;
+    Alcotest.test_case "server clean run" `Quick test_server_clean_run;
+    Alcotest.test_case "server faulty run" `Quick test_server_faulty_run;
+    Alcotest.test_case "server faulty across seeds" `Quick
+      test_server_faulty_run_any_seed;
+    Alcotest.test_case "stencil deterministic with barrier" `Quick
+      test_stencil_deterministic_with_barrier;
+    Alcotest.test_case "bank conserves total" `Quick
+      test_bank_conserves_total;
+    Alcotest.test_case "racy bank loses updates" `Quick
+      test_bank_racy_loses_updates;
+    Alcotest.test_case "flag pipeline" `Quick test_flag_pipeline;
+    Alcotest.test_case "moving-avg vs reference" `Quick
+      test_moving_avg_reference;
+    Alcotest.test_case "histogram vs reference" `Quick
+      test_histogram_reference;
+    Alcotest.test_case "reduction vs reference" `Quick
+      test_reduction_reference;
+    Alcotest.test_case "join vs reference" `Quick test_join_reference;
+  ]

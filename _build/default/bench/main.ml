@@ -82,6 +82,36 @@ let bench_helper =
               ~channel:Dift_multicore.Helper.Hardware w.Workload.program
               ~input)))
 
+(* e11: the real two-domain runtime, wall clock.  One inline baseline
+   plus a sweep of the forwarding-channel geometry: three ring
+   capacities at a fixed batch size, and two batch sizes at a fixed
+   capacity (batch 1 is the chatty, unamortised channel). *)
+
+let bench_parallel_inline =
+  let w = Spec_like.crc in
+  let input = kernel_input w ~size:60 ~seed:1 in
+  Test.make ~name:"e11: inline (1 domain) dift crc/60"
+    (Staged.stage (fun () ->
+         ignore (Dift_parallel.Parallel.run_inline w.Workload.program ~input)))
+
+let bench_parallel ~queue_capacity ~batch_size =
+  let w = Spec_like.crc in
+  let input = kernel_input w ~size:60 ~seed:1 in
+  Test.make
+    ~name:
+      (Fmt.str "e11: helper-domain dift crc/60 (q=%d b=%d)" queue_capacity
+         batch_size)
+    (Staged.stage (fun () ->
+         ignore
+           (Dift_parallel.Parallel.run ~queue_capacity ~batch_size
+              w.Workload.program ~input)))
+
+let bench_parallel_q4 = bench_parallel ~queue_capacity:4 ~batch_size:64
+let bench_parallel_q64 = bench_parallel ~queue_capacity:64 ~batch_size:64
+let bench_parallel_q1024 = bench_parallel ~queue_capacity:1024 ~batch_size:64
+let bench_parallel_b1 = bench_parallel ~queue_capacity:64 ~batch_size:1
+let bench_parallel_b256 = bench_parallel ~queue_capacity:64 ~batch_size:256
+
 let bench_reduction =
   let p = Server_sim.program () in
   let batch = Server_sim.generate ~requests:30 ~seed:11 ~faulty:true () in
@@ -186,6 +216,12 @@ let tests =
       bench_offline;
       bench_taint;
       bench_helper;
+      bench_parallel_inline;
+      bench_parallel_q4;
+      bench_parallel_q64;
+      bench_parallel_q1024;
+      bench_parallel_b1;
+      bench_parallel_b256;
       bench_reduction;
       bench_stm;
       bench_attack;

@@ -113,30 +113,82 @@ let trace_cmd =
 module Bool_engine = Engine.Make (Taint.Bool)
 
 let taint_cmd =
-  let run name size seed =
+  let parallel_arg =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:
+            "Track on a helper OCaml domain connected by the bounded \
+             forwarding channel (the real two-domain runtime) instead \
+             of inline in the interpreter's domain.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ]
+          ~doc:"Forwarding-ring capacity, in batches (with --parallel).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-size" ]
+          ~doc:"Events per forwarded batch (with --parallel).")
+  in
+  let on_sink sink taint (e : Event.exec) =
+    if taint && sink = Engine.Sink_output then
+      Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
+  in
+  let run name size seed parallel queue_capacity batch_size =
     match find_workload name with
     | Error e ->
         Fmt.epr "%s@." e;
         1
+    | Ok _ when parallel && (queue_capacity < 1 || batch_size < 1) ->
+        Fmt.epr "--queue-capacity and --batch-size must be at least 1@.";
+        1
     | Ok w ->
         let input = w.Workload.input ~size ~seed in
-        let m = Machine.create w.Workload.program ~input in
-        let eng = Bool_engine.create w.Workload.program in
-        Bool_engine.on_sink eng (fun sink taint e ->
-            if taint && sink = Engine.Sink_output then
-              Fmt.pr "tainted output %d at step %d@." e.Event.value
-                e.Event.step);
-        Bool_engine.attach eng m;
-        ignore (Machine.run m);
-        let locs, words = Bool_engine.shadow_footprint eng in
-        let s = Bool_engine.stats eng in
-        Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
-          s.Engine.events s.Engine.sources s.Engine.sink_hits;
-        Fmt.pr "shadow: %d locations, %d words@." locs words;
+        if parallel then begin
+          let r =
+            Dift_parallel.Parallel.run ~queue_capacity ~batch_size ~on_sink
+              w.Workload.program ~input
+          in
+          let open Dift_parallel.Parallel in
+          Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
+            r.result.events r.result.sources r.result.sink_hits;
+          Fmt.pr "shadow: %d locations, %d words@."
+            r.result.tainted_locations r.result.shadow_words;
+          Fmt.pr
+            "channel: %d batches (ring %d x %d), %d producer stalls, %d \
+             helper waits@."
+            r.batches r.queue_capacity r.batch_size r.producer_stalls
+            r.consumer_waits;
+          Fmt.pr "wall: main %.2f ms, total %.2f ms@."
+            (float_of_int r.main_wall_ns /. 1e6)
+            (float_of_int r.total_wall_ns /. 1e6)
+        end
+        else begin
+          let m = Machine.create w.Workload.program ~input in
+          let eng = Bool_engine.create w.Workload.program in
+          Bool_engine.on_sink eng on_sink;
+          Bool_engine.attach eng m;
+          ignore (Machine.run m);
+          let locs, words = Bool_engine.shadow_footprint eng in
+          let s = Bool_engine.stats eng in
+          Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
+            s.Engine.events s.Engine.sources s.Engine.sink_hits;
+          Fmt.pr "shadow: %d locations, %d words@." locs words
+        end;
         0
   in
-  Cmd.v (Cmd.info "taint" ~doc:"Run a kernel under boolean taint DIFT.")
-    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "taint"
+       ~doc:
+         "Run a kernel under boolean taint DIFT, inline or on a helper \
+          domain (--parallel).")
+    Term.(
+      const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ parallel_arg
+      $ queue_arg $ batch_arg)
 
 (* -- slice ------------------------------------------------------------------- *)
 

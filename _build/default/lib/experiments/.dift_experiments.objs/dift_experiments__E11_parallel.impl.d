@@ -1,0 +1,1 @@
+lib/experiments/e11_parallel.ml: Dift_parallel Dift_workloads Fmt List Parallel Spec_like Table Workload

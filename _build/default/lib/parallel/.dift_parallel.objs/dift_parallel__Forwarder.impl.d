@@ -1,0 +1,1 @@
+lib/parallel/forwarder.ml: Array Dift_vm Event Spsc

@@ -1,0 +1,1 @@
+lib/parallel/forwarder.mli: Dift_vm Event

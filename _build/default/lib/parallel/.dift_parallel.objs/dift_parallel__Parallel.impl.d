@@ -1,0 +1,1 @@
+lib/parallel/parallel.ml: Dift_core Dift_vm Domain Engine Event Fmt Forwarder Hashtbl List Machine Taint Tool Unix

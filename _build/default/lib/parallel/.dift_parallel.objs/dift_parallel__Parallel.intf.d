@@ -1,0 +1,1 @@
+lib/parallel/parallel.mli: Dift_core Dift_isa Dift_vm Engine Event Fmt Machine Policy Program Taint

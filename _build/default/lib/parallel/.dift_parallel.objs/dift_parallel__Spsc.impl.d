@@ -1,0 +1,1 @@
+lib/parallel/spsc.ml: Array Atomic Condition Domain Mutex

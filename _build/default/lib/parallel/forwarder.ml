@@ -1,0 +1,65 @@
+(** Batched event forwarding over the {!Spsc} ring (paper §2.1); see
+    the interface for the protocol. *)
+
+open Dift_vm
+
+type t = {
+  ring : Event.exec array Spsc.t;
+  batch_size : int;
+  mutable buf : Event.exec array;  (** [[||]] when no batch is open *)
+  mutable fill : int;
+  mutable events : int;
+  mutable batches : int;
+}
+
+let create ~queue_capacity ~batch_size =
+  if batch_size < 1 then invalid_arg "Forwarder.create: batch_size < 1";
+  {
+    ring = Spsc.create ~capacity:queue_capacity;
+    batch_size;
+    buf = [||];
+    fill = 0;
+    events = 0;
+    batches = 0;
+  }
+
+let events t = t.events
+let batches t = t.batches
+let producer_stalls t = Spsc.producer_stalls t.ring
+let consumer_waits t = Spsc.consumer_waits t.ring
+let dropped t = Spsc.dropped t.ring
+
+let flush t =
+  if t.fill > 0 then begin
+    let batch =
+      if t.fill = t.batch_size then t.buf else Array.sub t.buf 0 t.fill
+    in
+    (* the consumer takes ownership of the array; open a fresh one *)
+    t.buf <- [||];
+    t.fill <- 0;
+    t.batches <- t.batches + 1;
+    Spsc.push t.ring batch
+  end
+
+let add t e =
+  if t.buf == [||] then t.buf <- Array.make t.batch_size e;
+  t.buf.(t.fill) <- e;
+  t.fill <- t.fill + 1;
+  t.events <- t.events + 1;
+  if t.fill = t.batch_size then flush t
+
+let close t =
+  flush t;
+  Spsc.close t.ring
+
+let abort t = Spsc.abort t.ring
+
+let drain t ~f =
+  let rec loop () =
+    match Spsc.pop t.ring with
+    | None -> ()
+    | Some batch ->
+        Array.iter f batch;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,68 @@
+(** The event-forwarding channel between the application core and the
+    DIFT helper core (paper §2.1): batches of {!Dift_vm.Event.exec}
+    records carried over a bounded {!Spsc} ring.
+
+    The paper's forwarding set — memory addresses and values, input
+    words, and control-flow outcomes — is exactly what an
+    {!Dift_vm.Event.exec} record carries, so whole event records are
+    forwarded.  To amortise channel synchronisation, the producer
+    accumulates events into fixed-size batches and pushes one batch
+    (one ring slot) at a time; the ring capacity is therefore counted
+    in {e batches}, and the channel buffers up to
+    [queue_capacity * batch_size] events.
+
+    Shutdown protocol: the producer calls {!close}, which flushes the
+    trailing partial batch and closes the ring; {!drain} then returns
+    once every forwarded event has been consumed.  If the consumer
+    fails, {!abort} permanently unblocks the producer (further events
+    are dropped and counted) so the application can finish and observe
+    the helper's exception at join time.
+
+    See [docs/forwarding-protocol.md] for the full protocol. *)
+
+open Dift_vm
+
+type t
+
+(** [create ~queue_capacity ~batch_size] — a ring of [queue_capacity]
+    batch slots, each holding up to [batch_size] events.
+    @raise Invalid_argument if either is [< 1]. *)
+val create : queue_capacity:int -> batch_size:int -> t
+
+(** {1 Producer (application-core) side} *)
+
+(** Forward one event; pushes the current batch when it reaches
+    [batch_size] (blocking while the ring is full). *)
+val add : t -> Event.exec -> unit
+
+(** Push the current partial batch, if any. *)
+val flush : t -> unit
+
+(** Flush and close the ring: no more events will be forwarded. *)
+val close : t -> unit
+
+(** Events forwarded so far. *)
+val events : t -> int
+
+(** Batches pushed so far (ring messages). *)
+val batches : t -> int
+
+(** Times the producer blocked on a full ring (backpressure; the
+    wall-clock analogue of the simulator's [stall_cycles]). *)
+val producer_stalls : t -> int
+
+(** Batches dropped after an {!abort}. *)
+val dropped : t -> int
+
+(** {1 Consumer (helper-core) side} *)
+
+(** [drain t ~f] applies [f] to every forwarded event in program
+    order; returns when the channel is closed and fully drained. *)
+val drain : t -> f:(Event.exec -> unit) -> unit
+
+(** Consumer gives up (helper crash): unblocks the producer for good. *)
+val abort : t -> unit
+
+(** Times the consumer blocked on an empty ring (helper idle
+    episodes). *)
+val consumer_waits : t -> int

@@ -1,0 +1,157 @@
+(** The real two-domain DIFT runtime (paper §2.1); see the interface
+    for the architecture and [docs/forwarding-protocol.md] for the
+    channel protocol. *)
+
+open Dift_vm
+open Dift_core
+
+module Bool_engine = Engine.Make (Taint.Bool)
+
+type result = {
+  outcome : Event.outcome;
+  events : int;
+  sources : int;
+  sink_hits : int;
+  sink_trace_hash : int;
+  tainted_locations : int;
+  shadow_words : int;
+  taint_fingerprint : int;
+}
+
+type report = {
+  result : result;
+  queue_capacity : int;
+  batch_size : int;
+  batches : int;
+  producer_stalls : int;
+  consumer_waits : int;
+  main_wall_ns : int;
+  total_wall_ns : int;
+}
+
+type inline_report = {
+  i_result : result;
+  i_wall_ns : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Order-sensitive accumulation: h' = hash (h, observation). *)
+let mix h obs = Hashtbl.hash (h, obs)
+
+let taint_fingerprint eng =
+  let sh = Bool_engine.shadow eng in
+  Bool_engine.Sh.fold (fun loc d acc -> (loc, d) :: acc) sh []
+  |> List.sort compare |> Hashtbl.hash
+
+(* Shared between the inline and the parallel paths: an engine whose
+   sink observations feed the trace hash (and the client callback),
+   with modelled-cycle charging disabled — this runtime measures wall
+   clock, not the cycle model. *)
+let make_engine ?policy ?on_sink program =
+  let eng = Bool_engine.create ?policy program in
+  Bool_engine.set_charge eng ignore;
+  let trace = ref 0 in
+  Bool_engine.on_sink eng (fun sink taint e ->
+      trace := mix !trace (Engine.sink_to_string sink, taint, e.Event.step);
+      match on_sink with Some f -> f sink taint e | None -> ());
+  (eng, trace)
+
+let result_of eng trace outcome =
+  let s = Bool_engine.stats eng in
+  let tainted_locations, shadow_words = Bool_engine.shadow_footprint eng in
+  {
+    outcome;
+    events = s.Engine.events;
+    sources = s.Engine.sources;
+    sink_hits = s.Engine.sink_hits;
+    sink_trace_hash = !trace;
+    tainted_locations;
+    shadow_words;
+    taint_fingerprint = taint_fingerprint eng;
+  }
+
+let run ?config ?(queue_capacity = 64) ?(batch_size = 64) ?policy ?on_sink
+    program ~input =
+  let fwd = Forwarder.create ~queue_capacity ~batch_size in
+  let eng, trace = make_engine ?policy ?on_sink program in
+  let helper =
+    Domain.spawn (fun () ->
+        try Forwarder.drain fwd ~f:(Bool_engine.process eng)
+        with ex ->
+          (* never leave the application domain blocked on a full ring *)
+          Forwarder.abort fwd;
+          raise ex)
+  in
+  let m = Machine.create ?config program ~input in
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0 ~on_exec:(Forwarder.add fwd)
+       "parallel-dift-forwarder");
+  let t0 = now_ns () in
+  let outcome =
+    match Machine.run m with
+    | outcome ->
+        Forwarder.close fwd;
+        outcome
+    | exception ex ->
+        (* shut the channel down before re-raising so the helper exits *)
+        Forwarder.close fwd;
+        (try ignore (Domain.join helper) with _ -> ());
+        raise ex
+  in
+  let main_wall_ns = now_ns () - t0 in
+  (* re-raises any helper-side exception *)
+  Domain.join helper;
+  let total_wall_ns = now_ns () - t0 in
+  {
+    result = result_of eng trace outcome;
+    queue_capacity;
+    batch_size;
+    batches = Forwarder.batches fwd;
+    producer_stalls = Forwarder.producer_stalls fwd;
+    consumer_waits = Forwarder.consumer_waits fwd;
+    main_wall_ns;
+    total_wall_ns;
+  }
+
+let run_inline ?config ?policy ?on_sink program ~input =
+  let eng, trace = make_engine ?policy ?on_sink program in
+  let m = Machine.create ?config program ~input in
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0 ~on_exec:(Bool_engine.process eng)
+       "inline-dift");
+  let t0 = now_ns () in
+  let outcome = Machine.run m in
+  let i_wall_ns = now_ns () - t0 in
+  { i_result = result_of eng trace outcome; i_wall_ns }
+
+let native_wall_ns ?config program ~input =
+  let m = Machine.create ?config program ~input in
+  let t0 = now_ns () in
+  ignore (Machine.run m);
+  now_ns () - t0
+
+let speedup i r =
+  float_of_int i.i_wall_ns /. float_of_int (max 1 r.total_wall_ns)
+
+let main_ratio i r =
+  float_of_int r.main_wall_ns /. float_of_int (max 1 i.i_wall_ns)
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "%a; %d events, %d sources, %d sink hits; shadow %d locs / %d words"
+    Event.pp_outcome r.outcome r.events r.sources r.sink_hits
+    r.tainted_locations r.shadow_words
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "queue %d x %d: %a; %d batches, %d stalls, %d waits; main %.2f ms, \
+     total %.2f ms"
+    r.queue_capacity r.batch_size pp_result r.result r.batches
+    r.producer_stalls r.consumer_waits
+    (float_of_int r.main_wall_ns /. 1e6)
+    (float_of_int r.total_wall_ns /. 1e6)
+
+let pp_inline_report ppf r =
+  Fmt.pf ppf "inline: %a; %.2f ms" pp_result r.i_result
+    (float_of_int r.i_wall_ns /. 1e6)

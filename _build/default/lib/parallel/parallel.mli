@@ -1,0 +1,108 @@
+(** The real two-domain DIFT runtime (paper §2.1, "Exploiting
+    multicores").
+
+    Where [Dift_multicore.Helper] {e simulates} the main-core /
+    helper-core split with a cycle model, this module {e runs} it: the
+    application executes in the calling OCaml 5 domain while a helper
+    [Domain.t] consumes the forwarded event stream through a bounded
+    {!Forwarder} channel and drives the shared taint engine
+    ({!Dift_core.Engine} over {!Dift_core.Taint.Bool}).  The numbers
+    it reports are wall-clock, not modelled cycles — the software
+    proof that the paper's decoupled architecture keeps the
+    application core running while tracking proceeds elsewhere.
+
+    Because the channel is a FIFO and the VM's event stream is
+    deterministic (seeded scheduling), the helper processes exactly
+    the event sequence an inline engine would, so {!run} and
+    {!run_inline} produce identical {!result}s — asserted by the
+    cross-validation tests in [test/test_parallel.ml].
+
+    Helper-side exceptions (from the engine or a client [on_sink]
+    callback) abort the channel, so the application domain cannot
+    deadlock on a full queue, and are re-raised from {!run} after the
+    join. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+module Bool_engine : module type of Engine.Make (Taint.Bool)
+
+(** The functional outcome of a tracked run — everything that must be
+    identical between the parallel and the sequential runtime. *)
+type result = {
+  outcome : Event.outcome;
+  events : int;  (** events the engine processed *)
+  sources : int;  (** taint injections at input reads *)
+  sink_hits : int;  (** sinks reached by tainted data *)
+  sink_trace_hash : int;
+      (** order-sensitive hash of every sink observation
+          [(sink, taint, step)] *)
+  tainted_locations : int;
+  shadow_words : int;
+  taint_fingerprint : int;
+      (** hash of the full final shadow state (sorted location/taint
+          pairs) *)
+}
+
+type report = {
+  result : result;
+  queue_capacity : int;  (** ring slots, in batches *)
+  batch_size : int;  (** events per batch *)
+  batches : int;  (** ring messages actually sent *)
+  producer_stalls : int;
+      (** times the application domain blocked on a full ring *)
+  consumer_waits : int;
+      (** times the helper domain blocked on an empty ring *)
+  main_wall_ns : int;  (** application-domain run time *)
+  total_wall_ns : int;  (** until the helper joined *)
+}
+
+type inline_report = {
+  i_result : result;
+  i_wall_ns : int;
+}
+
+(** [run program ~input] executes [program] in the current domain
+    while a spawned helper domain performs the taint tracking.
+
+    [queue_capacity] (default 64) and [batch_size] (default 64) shape
+    the forwarding channel.  [on_sink] runs {e on the helper domain}
+    for every sink event.  Exceptions raised helper-side are re-raised
+    here after the application run completes. *)
+val run :
+  ?config:Machine.config ->
+  ?queue_capacity:int ->
+  ?batch_size:int ->
+  ?policy:Policy.t ->
+  ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
+  Program.t ->
+  input:int array ->
+  report
+
+(** The sequential baseline: the same engine attached inline in the
+    current domain, reported in the same shape. *)
+val run_inline :
+  ?config:Machine.config ->
+  ?policy:Policy.t ->
+  ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
+  Program.t ->
+  input:int array ->
+  inline_report
+
+(** Wall time of an uninstrumented run (the native baseline). *)
+val native_wall_ns :
+  ?config:Machine.config -> Program.t -> input:int array -> int
+
+(** [speedup inline parallel]: inline wall time over parallel total
+    wall time ([> 1.] when offloading wins). *)
+val speedup : inline_report -> report -> float
+
+(** Application-domain slowdown of the parallel run over an inline
+    run ([< 1.] when the main domain finishes faster than inline —
+    the paper's main-core overhead, wall-clock edition). *)
+val main_ratio : inline_report -> report -> float
+
+val pp_result : result Fmt.t
+val pp_report : report Fmt.t
+val pp_inline_report : inline_report Fmt.t

@@ -1,0 +1,163 @@
+(** A bounded single-producer/single-consumer channel — the software
+    incarnation of the core-to-core forwarding queue of paper §2.1.
+
+    Ring buffer with atomic head/tail.  Only the consumer writes
+    [head]; only the producer writes [tail]; each side reads the
+    other's index atomically, which is what publishes the slot
+    contents (plain writes to [buf] happen-before the index bump that
+    makes them visible).  The mutex guards nothing but the parking
+    protocol: a side that must block sets its [*_waiting] flag and
+    re-checks the full/empty condition while holding the lock, and the
+    opposite side broadcasts under the same lock, so no wakeup can be
+    lost between the re-check and the wait. *)
+
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  head : int Atomic.t;  (** next slot to pop; written by the consumer *)
+  tail : int Atomic.t;  (** next slot to push; written by the producer *)
+  closed : bool Atomic.t;
+  aborted : bool Atomic.t;
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  producer_waiting : bool Atomic.t;
+  consumer_waiting : bool Atomic.t;
+  mutable stalls : int;  (** owned by the producer *)
+  mutable drops : int;  (** owned by the producer *)
+  mutable waits : int;  (** owned by the consumer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity < 1";
+  {
+    buf = Array.make capacity None;
+    cap = capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    closed = Atomic.make false;
+    aborted = Atomic.make false;
+    lock = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    producer_waiting = Atomic.make false;
+    consumer_waiting = Atomic.make false;
+    stalls = 0;
+    drops = 0;
+    waits = 0;
+  }
+
+let capacity t = t.cap
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let producer_stalls t = t.stalls
+let consumer_waits t = t.waits
+let dropped t = t.drops
+
+let signal_locked t cond =
+  Mutex.lock t.lock;
+  Condition.broadcast cond;
+  Mutex.unlock t.lock
+
+(* How long a side spins before parking on the condition variable.
+   When producer and consumer are rate-matched the ring oscillates
+   around empty/full, and parking on every oscillation costs a wake
+   syscall per batch; a short spin absorbs those oscillations so the
+   slow path is reserved for genuinely lopsided rates.  On a machine
+   without a second core to spin on (recommended_domain_count = 1),
+   spinning only steals time from the domain we are waiting for, so
+   both sides park immediately. *)
+let spin_budget =
+  if Domain.recommended_domain_count () > 1 then 2048 else 0
+
+(* Spin while [cond] holds, up to the budget; true if it still holds
+   (caller should park). *)
+let spin_while cond =
+  let i = ref 0 in
+  while !i < spin_budget && cond () do
+    Domain.cpu_relax ();
+    incr i
+  done;
+  cond ()
+
+(* Park the producer until the ring has room or the consumer aborted. *)
+let wait_not_full t tl =
+  Mutex.lock t.lock;
+  t.stalls <- t.stalls + 1;
+  Atomic.set t.producer_waiting true;
+  while
+    (not (Atomic.get t.aborted)) && tl - Atomic.get t.head >= t.cap
+  do
+    Condition.wait t.not_full t.lock
+  done;
+  Atomic.set t.producer_waiting false;
+  Mutex.unlock t.lock
+
+let push t x =
+  if Atomic.get t.closed then invalid_arg "Spsc.push: closed channel";
+  if Atomic.get t.aborted then t.drops <- t.drops + 1
+  else begin
+    let tl = Atomic.get t.tail in
+    if
+      tl - Atomic.get t.head >= t.cap
+      && spin_while (fun () ->
+             (not (Atomic.get t.aborted))
+             && tl - Atomic.get t.head >= t.cap)
+    then wait_not_full t tl;
+    if Atomic.get t.aborted then t.drops <- t.drops + 1
+    else begin
+      t.buf.(tl mod t.cap) <- Some x;
+      Atomic.set t.tail (tl + 1);
+      if Atomic.get t.consumer_waiting then signal_locked t t.not_empty
+    end
+  end
+
+let close t =
+  Atomic.set t.closed true;
+  signal_locked t t.not_empty
+
+let abort t =
+  Atomic.set t.aborted true;
+  signal_locked t t.not_full;
+  signal_locked t t.not_empty
+
+(* Park the consumer until an element arrives or the channel closes. *)
+let wait_not_empty t =
+  Mutex.lock t.lock;
+  t.waits <- t.waits + 1;
+  Atomic.set t.consumer_waiting true;
+  while
+    Atomic.get t.tail = Atomic.get t.head
+    && (not (Atomic.get t.closed))
+    && not (Atomic.get t.aborted)
+  do
+    Condition.wait t.not_empty t.lock
+  done;
+  Atomic.set t.consumer_waiting false;
+  Mutex.unlock t.lock
+
+let rec pop t =
+  let h = Atomic.get t.head in
+  if Atomic.get t.aborted then None
+  else if Atomic.get t.tail - h > 0 then begin
+    let slot = h mod t.cap in
+    let x =
+      match t.buf.(slot) with Some v -> v | None -> assert false
+    in
+    t.buf.(slot) <- None;
+    Atomic.set t.head (h + 1);
+    if Atomic.get t.producer_waiting then signal_locked t t.not_full;
+    Some x
+  end
+  else if Atomic.get t.closed then
+    (* a final element may have landed between the emptiness check and
+       the closed check *)
+    if Atomic.get t.tail - h > 0 then pop t else None
+  else begin
+    if
+      spin_while (fun () ->
+          Atomic.get t.tail = Atomic.get t.head
+          && (not (Atomic.get t.closed))
+          && not (Atomic.get t.aborted))
+    then wait_not_empty t;
+    pop t
+  end

@@ -1,0 +1,67 @@
+(** A bounded single-producer/single-consumer channel — the software
+    incarnation of the core-to-core forwarding queue of paper §2.1
+    ("Exploiting multicores", after Nagarajan et al., INTERACT'08).
+
+    The main core pushes, the helper core pops; capacity is fixed at
+    creation, so a lagging consumer exerts backpressure on the
+    producer exactly as the paper's bounded hardware queue does.  The
+    implementation is a ring buffer with atomic head/tail indices: the
+    common push/pop path takes no lock, and a Mutex/Condition pair is
+    used only to park a blocked side (producer on a full ring,
+    consumer on an empty one) and to wake it again.
+
+    The channel is strictly one producer domain and one consumer
+    domain; none of the operations below may be called from two
+    domains concurrently on the same side.
+
+    Lifecycle: the producer eventually calls {!close} (no more
+    pushes); the consumer drains and {!pop} returns [None].  If the
+    consumer dies instead, it calls {!abort}, which turns every
+    subsequent or blocked {!push} into a counted drop so the producer
+    can never deadlock against a dead helper. *)
+
+type 'a t
+
+(** [create ~capacity] is an empty channel holding at most [capacity]
+    elements.  @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Elements currently buffered (racy snapshot, exact when quiescent). *)
+val length : 'a t -> int
+
+(** {1 Producer side} *)
+
+(** [push t x] enqueues [x], blocking while the channel is full.
+    After {!abort}, [x] is dropped (and counted) instead.
+    @raise Invalid_argument if the channel is closed. *)
+val push : 'a t -> 'a -> unit
+
+(** No more pushes; blocked and future {!pop}s see the remaining
+    elements and then [None].  Idempotent. *)
+val close : 'a t -> unit
+
+(** Times the producer had to block on a full channel — the software
+    analogue of the cycle model's [stall_cycles] backpressure
+    counter. *)
+val producer_stalls : 'a t -> int
+
+(** Elements dropped because the consumer aborted. *)
+val dropped : 'a t -> int
+
+(** {1 Consumer side} *)
+
+(** [pop t] dequeues the oldest element, blocking while the channel is
+    empty and not yet closed; [None] once the channel is closed and
+    drained (or aborted). *)
+val pop : 'a t -> 'a option
+
+(** Consumer gives up: wakes and un-blocks the producer permanently,
+    turning pushes into drops.  Used to propagate a helper-side crash
+    without deadlocking the main core.  Idempotent. *)
+val abort : 'a t -> unit
+
+(** Times the consumer had to block on an empty channel (helper idle
+    episodes). *)
+val consumer_waits : 'a t -> int

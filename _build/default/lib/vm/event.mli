@@ -4,7 +4,14 @@
     carries everything a DBI tool sees: the dynamic instance identity
     (global step number), the static site (function, pc), the
     locations read and written, the effective memory address for
-    loads/stores, and the resolved control-flow target. *)
+    loads/stores, and the resolved control-flow target.
+
+    This is also the paper's §2.1 forwarding set — the memory
+    addresses/values, input words and control-flow outcomes a main
+    core must send to a DIFT helper core because the helper cannot
+    reconstruct them from the static code; the multicore runtimes
+    ([Dift_multicore.Helper] simulated, [Dift_parallel] real)
+    forward exactly these records. *)
 
 open Dift_isa
 

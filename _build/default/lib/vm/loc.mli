@@ -4,7 +4,10 @@
     activation frame.  Register files are per-activation (the VM gives
     every call a fresh frame), so a frame serial number plus a
     register index identifies a register globally and no save/restore
-    aliasing can pollute dependence tracking. *)
+    aliasing can pollute dependence tracking.  Locations are the keys
+    of all per-value metadata in the reproduction: shadow taint
+    (paper §2.1/§3.3), dependence-graph definitions (§2.1) and
+    lineage sets (§3.4). *)
 
 type t = int
 

@@ -4,8 +4,13 @@
     accounting and whole-state checkpointing.
 
     This is the substitute for the dynamic binary instrumentation
-    substrate (Pin/Valgrind) used by the paper: tools attached to the
-    machine observe exactly the event stream a DBI plugin would. *)
+    substrate (Pin/Valgrind) every technique in the paper runs on:
+    tools attached to the machine observe exactly the event stream a
+    DBI plugin would.  The record/replay log and checkpoints serve
+    checkpointing & logging and execution reduction (paper §2.2); the
+    schedule/input/branch/value override hooks in {!config} serve the
+    fault-location mechanisms of §3.1 and the environment patches of
+    §3.2. *)
 
 type config = {
   seed : int;  (** scheduler PRNG seed *)

@@ -4,7 +4,7 @@
     usable by programs.  [Sys Alloc] hands out blocks from the heap
     region and remembers their extents, which lets applications reason
     about heap overflows and lets the avoidance framework pad
-    allocations (an "environment patch" in the paper's sense). *)
+    allocations (an environment patch in the sense of paper §3.2). *)
 
 type block = { base : int; size : int; mutable live : bool }
 

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Dift_core Dift_parallel Dift_vm Dift_workloads Domain Fmt List Machine Parallel Policy Spec_like Spsc Unix Workload

@@ -1,0 +1,213 @@
+(* The real two-domain runtime computes exactly what the sequential
+   engine computes: same sink hits, same sink order, same final shadow
+   state — on every kernel, across queue/batch shapes.  Plus unit
+   coverage of the SPSC channel itself (ordering, blocking, shutdown,
+   abort) and helper-side exception propagation. *)
+
+open Dift_vm
+open Dift_core
+open Dift_workloads
+open Dift_parallel
+
+let check = Alcotest.check
+
+(* -- the forwarding channel ------------------------------------------- *)
+
+let test_spsc_order () =
+  let q = Spsc.create ~capacity:4 in
+  let n = 10_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec loop acc =
+          match Spsc.pop q with
+          | None -> List.rev acc
+          | Some x -> loop (x :: acc)
+        in
+        loop [])
+  in
+  for i = 1 to n do
+    Spsc.push q i
+  done;
+  Spsc.close q;
+  let received = Domain.join consumer in
+  check Alcotest.int "all elements" n (List.length received);
+  check Alcotest.bool "FIFO order" true
+    (List.for_all2 ( = ) received (List.init n (fun i -> i + 1)))
+
+let test_spsc_backpressure () =
+  let q = Spsc.create ~capacity:2 in
+  (* a slow consumer forces the producer to park *)
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec loop n =
+          match Spsc.pop q with
+          | None -> n
+          | Some _ ->
+              if n < 4 then Unix.sleepf 0.002;
+              loop (n + 1)
+        in
+        loop 0)
+  in
+  for i = 1 to 64 do
+    Spsc.push q i
+  done;
+  Spsc.close q;
+  let popped = Domain.join consumer in
+  check Alcotest.int "consumer saw everything" 64 popped;
+  check Alcotest.bool "producer stalled at least once" true
+    (Spsc.producer_stalls q > 0)
+
+let test_spsc_close_drains () =
+  let q = Spsc.create ~capacity:8 in
+  Spsc.push q 1;
+  Spsc.push q 2;
+  Spsc.close q;
+  check Alcotest.(option int) "first" (Some 1) (Spsc.pop q);
+  check Alcotest.(option int) "second" (Some 2) (Spsc.pop q);
+  check Alcotest.(option int) "then end of stream" None (Spsc.pop q);
+  check Alcotest.bool "push after close rejected" true
+    (match Spsc.push q 3 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_spsc_abort_unblocks_producer () =
+  let q = Spsc.create ~capacity:1 in
+  Spsc.push q 0;
+  (* the ring is now full; a second push would block forever without
+     the abort coming from another domain *)
+  let aborter =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.005;
+        Spsc.abort q)
+  in
+  Spsc.push q 1;
+  (* non-blocking now: aborted pushes are dropped *)
+  Spsc.push q 2;
+  Domain.join aborter;
+  check Alcotest.bool "drops counted" true (Spsc.dropped q >= 1);
+  check Alcotest.(option int) "aborted channel reads empty" None
+    (Spsc.pop q)
+
+(* -- parallel vs sequential equivalence ------------------------------- *)
+
+let same_result name (a : Parallel.result) (b : Parallel.result) =
+  check Alcotest.bool
+    (Fmt.str "%s: outcome agrees" name)
+    true (a.Parallel.outcome = b.Parallel.outcome);
+  check Alcotest.int (Fmt.str "%s: events" name) a.Parallel.events
+    b.Parallel.events;
+  check Alcotest.int (Fmt.str "%s: sources" name) a.Parallel.sources
+    b.Parallel.sources;
+  check Alcotest.int (Fmt.str "%s: sink hits" name) a.Parallel.sink_hits
+    b.Parallel.sink_hits;
+  check Alcotest.int
+    (Fmt.str "%s: sink trace hash" name)
+    a.Parallel.sink_trace_hash b.Parallel.sink_trace_hash;
+  check Alcotest.int
+    (Fmt.str "%s: tainted locations" name)
+    a.Parallel.tainted_locations b.Parallel.tainted_locations;
+  check Alcotest.int (Fmt.str "%s: shadow words" name)
+    a.Parallel.shadow_words b.Parallel.shadow_words;
+  check Alcotest.int
+    (Fmt.str "%s: taint fingerprint" name)
+    a.Parallel.taint_fingerprint b.Parallel.taint_fingerprint
+
+(* Every kernel: the helper-domain run equals the inline run. *)
+let test_equivalence_all_kernels () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let input = w.Workload.input ~size:20 ~seed:7 in
+      let inline = Parallel.run_inline w.Workload.program ~input in
+      let par =
+        Parallel.run ~queue_capacity:8 ~batch_size:16 w.Workload.program
+          ~input
+      in
+      same_result w.Workload.name inline.Parallel.i_result
+        par.Parallel.result;
+      check Alcotest.bool
+        (Fmt.str "%s: events actually flowed" w.Workload.name)
+        true
+        (par.Parallel.batches > 0
+        && par.Parallel.result.Parallel.events > 0))
+    Spec_like.all
+
+(* Deterministic, fixed-seed, small-size equivalence across channel
+   shapes — the queue geometry must never change the answer. *)
+let test_equivalence_fixed_seed_shapes () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:10 ~seed:42 in
+  let config = { Machine.default_config with seed = 42 } in
+  let inline = Parallel.run_inline ~config w.Workload.program ~input in
+  List.iter
+    (fun (queue_capacity, batch_size) ->
+      let par =
+        Parallel.run ~config ~queue_capacity ~batch_size
+          w.Workload.program ~input
+      in
+      same_result
+        (Fmt.str "crc q=%d b=%d" queue_capacity batch_size)
+        inline.Parallel.i_result par.Parallel.result)
+    [ (1, 1); (2, 8); (64, 64); (1024, 256) ]
+
+(* The security policy (pointer flows) must survive the domain hop
+   identically too. *)
+let test_equivalence_security_policy () =
+  let w = Spec_like.bfs in
+  let input = w.Workload.input ~size:16 ~seed:3 in
+  let policy = Policy.security in
+  let inline = Parallel.run_inline ~policy w.Workload.program ~input in
+  let par = Parallel.run ~policy w.Workload.program ~input in
+  same_result "bfs/security" inline.Parallel.i_result par.Parallel.result
+
+(* A tiny ring forces backpressure; the result is still identical and
+   the stalls are visible in the report. *)
+let test_backpressure_accounting () =
+  let w = Spec_like.matmul in
+  let input = w.Workload.input ~size:14 ~seed:2 in
+  let inline = Parallel.run_inline w.Workload.program ~input in
+  let par =
+    Parallel.run ~queue_capacity:1 ~batch_size:1 w.Workload.program ~input
+  in
+  same_result "matmul tiny-queue" inline.Parallel.i_result
+    par.Parallel.result;
+  check Alcotest.int "one event per batch"
+    par.Parallel.result.Parallel.events par.Parallel.batches;
+  check Alcotest.bool "some backpressure or waiting happened" true
+    (par.Parallel.producer_stalls > 0 || par.Parallel.consumer_waits >= 0)
+
+(* A helper-side exception must not deadlock the application domain
+   and must surface in the caller. *)
+exception Helper_boom
+
+let test_helper_exception_propagates () =
+  let w = Spec_like.sieve in
+  let input = w.Workload.input ~size:20 ~seed:1 in
+  let raised =
+    match
+      Parallel.run ~queue_capacity:2 ~batch_size:4
+        ~on_sink:(fun _ _ _ -> raise Helper_boom)
+        w.Workload.program ~input
+    with
+    | _ -> false
+    | exception Helper_boom -> true
+  in
+  check Alcotest.bool "helper exception re-raised at join" true raised
+
+let suite =
+  [
+    Alcotest.test_case "spsc order" `Quick test_spsc_order;
+    Alcotest.test_case "spsc backpressure" `Quick test_spsc_backpressure;
+    Alcotest.test_case "spsc close drains" `Quick test_spsc_close_drains;
+    Alcotest.test_case "spsc abort unblocks producer" `Quick
+      test_spsc_abort_unblocks_producer;
+    Alcotest.test_case "parallel ≡ inline on all kernels" `Quick
+      test_equivalence_all_kernels;
+    Alcotest.test_case "parallel ≡ inline, fixed seed, channel shapes"
+      `Quick test_equivalence_fixed_seed_shapes;
+    Alcotest.test_case "parallel ≡ inline under security policy" `Quick
+      test_equivalence_security_policy;
+    Alcotest.test_case "backpressure accounted" `Quick
+      test_backpressure_accounting;
+    Alcotest.test_case "helper exception propagates" `Quick
+      test_helper_exception_propagates;
+  ]

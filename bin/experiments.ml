@@ -8,7 +8,7 @@ open Cmdliner
 
 let ids_arg =
   let doc =
-    "Experiments to run (e1..e10).  Runs all of them when omitted."
+    "Experiments to run (e1..e11).  Runs all of them when omitted."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 

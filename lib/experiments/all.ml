@@ -106,6 +106,17 @@ let experiments =
           let size = match scale with Quick -> 24 | Full -> 60 in
           [ E10_race_detection.table (E10_race_detection.run ~size ()) ]);
     };
+    {
+      id = "e11";
+      description =
+        "real two-domain DIFT runtime (OCaml 5 Domains, wall clock)";
+      run =
+        (fun scale ->
+          let size, reps =
+            match scale with Quick -> (10, 1) | Full -> (60, 3)
+          in
+          [ E11_parallel.table (E11_parallel.run ~size ~reps ()) ]);
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) experiments

@@ -1,7 +1,10 @@
 (** The instrumentation-tool interface.
 
     A tool is what a Pin/Valgrind plugin is to a real binary: a set of
-    callbacks invoked by the machine as execution proceeds.
+    callbacks invoked by the machine as execution proceeds.  Every
+    observer in the reproduction is a tool: the DIFT engines (paper
+    §2.1, §3.3, §3.4), the ONTRAC tracer (§2.1), the request logger
+    (§2.2) and the race detector (§3.1).
 
     [dispatch_cost] is the per-instruction overhead the machine
     charges while this tool is attached.  Binary-instrumentation tools

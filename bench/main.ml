@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   Two parts:
+   Three parts:
 
    1. The experiment tables — one per table/claim in the paper's
       evaluation (E1..E10), regenerated at reduced scale (run
@@ -11,7 +11,12 @@
       timing the core operation each experiment stresses, so
       regressions in the *implementation's* real performance are
       visible (the tables above measure the modelled cycles, not wall
-      clock). *)
+      clock).
+
+   3. A machine-readable summary: the E11 inline-vs-helper wall-clock
+      sweep serialized to BENCH_2.json (see docs/observability.md for
+      the schema).  `bench --json [FILE]` writes only that file and
+      skips the slow parts — the CI smoke path. *)
 
 open Bechamel
 open Toolkit
@@ -278,6 +283,52 @@ let run_benchmarks () =
         (if Float.is_nan words then "n/a" else Fmt.str "%.0f" words))
     names
 
+(* -- part 3: machine-readable E11 summary ---------------------------------- *)
+
+let bench_json () =
+  let open Dift_obs.Json in
+  let r = Dift_experiments.E11_parallel.run () in
+  obj
+    [
+      ("bench", String "e11-two-domain-dift");
+      ("kernel", String r.Dift_experiments.E11_parallel.kernel);
+      ("native_ms", Float r.Dift_experiments.E11_parallel.native_ms);
+      ("inline_ms", Float r.Dift_experiments.E11_parallel.inline_ms);
+      ( "configs",
+        List
+          (List.map
+             (fun (row : Dift_experiments.E11_parallel.row) ->
+               obj
+                 [
+                   ("queue_capacity", Int row.queue_capacity);
+                   ("batch_size", Int row.batch_size);
+                   ("main_ms", Float row.main_ms);
+                   ("total_ms", Float row.total_ms);
+                   ("stalls", Int row.stalls);
+                   ("speedup_vs_inline", Float row.speedup);
+                   ("main_ratio", Float row.main_ratio);
+                 ])
+             r.Dift_experiments.E11_parallel.rows) );
+    ]
+
+let write_bench_json file =
+  let json = Dift_obs.Json.to_string (bench_json ()) in
+  if file = "-" then print_string json
+  else begin
+    let oc = open_out file in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote %s@." file
+  end
+
 let () =
-  print_tables ();
-  run_benchmarks ()
+  (* `bench --json [FILE]`: only the machine-readable summary (the CI
+     smoke path); plain `bench`: tables + micro-benchmarks, then the
+     summary next to the current directory. *)
+  match Array.to_list Sys.argv with
+  | _ :: "--json" :: rest ->
+      write_bench_json (match rest with f :: _ -> f | [] -> "BENCH_2.json")
+  | _ ->
+      print_tables ();
+      run_benchmarks ();
+      write_bench_json "BENCH_2.json"

@@ -33,6 +33,22 @@ let seed_arg =
 let name_arg kind =
   Arg.(required & pos 0 (some string) None & info [] ~docv:kind)
 
+(* [--stats] / [--stats=FILE]: attach the observability registry to
+   the run and dump a JSON snapshot afterwards ("-" = stdout). *)
+let stats_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Instrument the run through the metrics registry and write a \
+           JSON snapshot to $(docv) (\"-\", the default, means stdout).")
+
+let emit_stats dest reg =
+  match dest with
+  | None -> ()
+  | Some file -> Dift_obs.Registry.(write_json file (snapshot reg))
+
 (* -- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -57,7 +73,7 @@ let list_cmd =
 (* -- run ------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name size seed =
+  let run name size seed stats =
     match find_workload name with
     | Error e ->
         Fmt.epr "%s@." e;
@@ -66,6 +82,8 @@ let run_cmd =
         let input = w.Workload.input ~size ~seed in
         let config = { Machine.default_config with seed } in
         let m = Machine.create ~config w.Workload.program ~input in
+        let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
+        Option.iter (fun reg -> Obs_tool.attach reg m) obs;
         let outcome = Machine.run m in
         Fmt.pr "outcome: %a@." Event.pp_outcome outcome;
         Fmt.pr "output:  %a@."
@@ -73,10 +91,11 @@ let run_cmd =
           (Machine.output_values m);
         Fmt.pr "steps:   %d, cycles: %d@." (Machine.steps m)
           (Machine.cycles m);
+        Option.iter (fun reg -> emit_stats stats reg) obs;
         0
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a kernel natively.")
-    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg)
+    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ stats_arg)
 
 (* -- trace ------------------------------------------------------------------ *)
 
@@ -87,7 +106,7 @@ let trace_cmd =
       & opt int (16 * 1024 * 1024)
       & info [ "capacity" ] ~doc:"Trace buffer capacity in bytes.")
   in
-  let run name size seed capacity =
+  let run name size seed capacity stats =
     match find_workload name with
     | Error e ->
         Fmt.epr "%s@." e;
@@ -98,15 +117,24 @@ let trace_cmd =
         let opts = { Ontrac.default_opts with capacity } in
         let tracer = Ontrac.create ~opts w.Workload.program in
         Ontrac.attach tracer m;
+        let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
+        Option.iter (fun reg -> Obs_tool.attach reg m) obs;
         ignore (Machine.run m);
         Fmt.pr "%a@." Ontrac.pp_stats (Ontrac.stats tracer);
         Fmt.pr "%a@." Trace_buffer.pp (Ontrac.buffer tracer);
         Fmt.pr "bytes/instr: %.3f@." (Ontrac.bytes_per_instr tracer);
         Fmt.pr "window: %d instructions@." (Ontrac.window_length tracer);
+        Option.iter
+          (fun reg ->
+            Ontrac.register_obs tracer reg;
+            emit_stats stats reg)
+          obs;
         0
   in
   Cmd.v (Cmd.info "trace" ~doc:"Run a kernel under ONTRAC.")
-    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ capacity_arg)
+    Term.(
+      const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ capacity_arg
+      $ stats_arg)
 
 (* -- taint ------------------------------------------------------------------- *)
 
@@ -138,7 +166,7 @@ let taint_cmd =
     if taint && sink = Engine.Sink_output then
       Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
   in
-  let run name size seed parallel queue_capacity batch_size =
+  let run name size seed parallel queue_capacity batch_size stats =
     match find_workload name with
     | Error e ->
         Fmt.epr "%s@." e;
@@ -148,10 +176,11 @@ let taint_cmd =
         1
     | Ok w ->
         let input = w.Workload.input ~size ~seed in
+        let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
         if parallel then begin
           let r =
-            Dift_parallel.Parallel.run ~queue_capacity ~batch_size ~on_sink
-              w.Workload.program ~input
+            Dift_parallel.Parallel.run ?obs ~queue_capacity ~batch_size
+              ~on_sink w.Workload.program ~input
           in
           let open Dift_parallel.Parallel in
           Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
@@ -172,6 +201,11 @@ let taint_cmd =
           let eng = Bool_engine.create w.Workload.program in
           Bool_engine.on_sink eng on_sink;
           Bool_engine.attach eng m;
+          Option.iter
+            (fun reg ->
+              Bool_engine.register_obs eng reg;
+              Obs_tool.attach reg m)
+            obs;
           ignore (Machine.run m);
           let locs, words = Bool_engine.shadow_footprint eng in
           let s = Bool_engine.stats eng in
@@ -179,6 +213,7 @@ let taint_cmd =
             s.Engine.events s.Engine.sources s.Engine.sink_hits;
           Fmt.pr "shadow: %d locations, %d words@." locs words
         end;
+        Option.iter (fun reg -> emit_stats stats reg) obs;
         0
   in
   Cmd.v
@@ -188,7 +223,71 @@ let taint_cmd =
           domain (--parallel).")
     Term.(
       const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ parallel_arg
-      $ queue_arg $ batch_arg)
+      $ queue_arg $ batch_arg $ stats_arg)
+
+(* -- stats ------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let workload_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"KERNEL"
+          ~doc:"Kernel to run fully instrumented.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~doc:"Forwarding-ring capacity, in batches.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-size" ] ~doc:"Events per forwarded batch.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the snapshot (\"-\" means stdout).")
+  in
+  let run name size seed queue_capacity batch_size out =
+    match find_workload name with
+    | Error e ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok _ when queue_capacity < 1 || batch_size < 1 ->
+        Fmt.epr "--queue-capacity and --batch-size must be at least 1@.";
+        1
+    | Ok w ->
+        let input = w.Workload.input ~size ~seed in
+        let config = { Machine.default_config with seed } in
+        let reg = Dift_obs.Registry.create () in
+        (* Phase 1: the two-domain runtime fills [vm.*],
+           [core.engine.*], [core.shadow.*] and [parallel.*]. *)
+        ignore
+          (Dift_parallel.Parallel.run ~config ~obs:reg ~queue_capacity
+             ~batch_size w.Workload.program ~input);
+        (* Phase 2: an ONTRAC pass over the same deterministic
+           execution fills [core.ontrac.*] and [core.trace_buffer.*]
+           (no [Obs_tool] here, so the vm counters are not doubled). *)
+        let m = Machine.create ~config w.Workload.program ~input in
+        let tracer = Ontrac.create w.Workload.program in
+        Ontrac.attach tracer m;
+        ignore (Machine.run m);
+        Ontrac.register_obs tracer reg;
+        Dift_obs.Registry.(write_json out (snapshot reg));
+        0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a kernel under the full observability stack (two-domain \
+          taint run plus an ONTRAC pass) and print the JSON metrics \
+          snapshot.")
+    Term.(
+      const run $ workload_arg $ size_arg $ seed_arg $ queue_arg $ batch_arg
+      $ out_arg)
 
 (* -- slice ------------------------------------------------------------------- *)
 
@@ -406,7 +505,7 @@ let dump_cmd =
 let main =
   let doc = "dynamic information flow tracking playground" in
   Cmd.group (Cmd.info "diftc" ~doc)
-    [ list_cmd; run_cmd; trace_cmd; taint_cmd; slice_cmd; attack_cmd;
-      lineage_cmd; profile_cmd; reduce_cmd; avoid_cmd; dump_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; taint_cmd; stats_cmd; slice_cmd;
+      attack_cmd; lineage_cmd; profile_cmd; reduce_cmd; avoid_cmd; dump_cmd ]
 
 let () = exit (Cmd.eval' main)

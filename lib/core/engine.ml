@@ -269,6 +269,23 @@ module Make (D : Taint.DOMAIN) = struct
           List.iter (fun l -> Sh.set t.shadow l taint) e.Event.writes
         end
 
+  (** Expose the engine through an observability registry (derived
+      gauges over the live stats and the O(1) shadow accounting). *)
+  let register_obs t reg =
+    let open Dift_obs in
+    let g name help f = Registry.gauge_fn reg name ~help f in
+    let s = t.stats in
+    g "core.engine.events" "events the engine processed" (fun () ->
+        s.events);
+    g "core.engine.sources" "taint injections at input reads" (fun () ->
+        s.sources);
+    g "core.engine.sink_hits" "sinks reached by non-bottom taint"
+      (fun () -> s.sink_hits);
+    g "core.shadow.tainted_locations" "locations with non-bottom taint"
+      (fun () -> Sh.tainted_locations t.shadow);
+    g "core.shadow.words" "shadow footprint, machine words" (fun () ->
+        Sh.footprint_words t.shadow)
+
   (** Attach the engine to a machine; overhead is charged to the
       machine's cycle counter unless [charge] overrides it (the
       multicore helper model redirects it to the helper core). *)

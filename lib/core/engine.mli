@@ -56,6 +56,12 @@ module Make (D : Taint.DOMAIN) : sig
       tool). *)
   val process : t -> Event.exec -> unit
 
+  (** Register the engine's statistics in an observability registry as
+      derived gauges ([core.engine.*] and [core.shadow.*]; see
+      [docs/observability.md]).  Snapshot-time reads only — the
+      propagation hot path is untouched. *)
+  val register_obs : t -> Dift_obs.Registry.t -> unit
+
   (** Attach to a machine; overhead is charged to the machine's cycle
       counter unless [charge] overrides it. *)
   val attach : ?charge:(int -> unit) -> t -> Machine.t -> unit

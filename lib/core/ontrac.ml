@@ -489,6 +489,49 @@ let final_graph t =
   Ddg.prune t.ddg ~window_start:(window_start t);
   (t.ddg, window_start t)
 
+(** Expose the tracer through an observability registry (derived
+    gauges over the live stats; nothing is added to the hot path). *)
+let register_obs t reg =
+  let open Dift_obs in
+  let g name help f = Registry.gauge_fn reg name ~help f in
+  let s = t.stats in
+  g "core.ontrac.instructions" "instructions traced" (fun () ->
+      s.instructions);
+  g "core.ontrac.deps_total" "dependences seen" (fun () -> s.deps_total);
+  g "core.ontrac.deps_recorded" "dependences stored" (fun () ->
+      s.deps_recorded);
+  g "core.ontrac.elided_o1" "elided: intra-block (O1)" (fun () ->
+      s.elided_o1);
+  g "core.ontrac.elided_o2" "elided: hot traces (O2)" (fun () ->
+      s.elided_o2);
+  g "core.ontrac.elided_o3" "elided: redundant loads (O3)" (fun () ->
+      s.elided_o3);
+  g "core.ontrac.elided_control" "elided: repeated control parents"
+    (fun () -> s.elided_control);
+  g "core.ontrac.summary_deps" "summary dependences (O4a)" (fun () ->
+      s.summary_deps);
+  g "core.ontrac.bytes_per_kinstr"
+    "stored trace bytes per 1000 instructions (the paper's trace rate)"
+    (fun () ->
+      if s.instructions = 0 then 0
+      else Trace_buffer.total_bytes t.buffer * 1000 / s.instructions);
+  g "core.ontrac.window_length" "retained window, dynamic instructions"
+    (fun () -> window_length t);
+  g "core.trace_buffer.capacity_bytes" "buffer byte budget" (fun () ->
+      t.opts.capacity);
+  g "core.trace_buffer.stored_bytes" "bytes currently buffered" (fun () ->
+      Trace_buffer.stored_bytes t.buffer);
+  g "core.trace_buffer.total_bytes" "bytes ever appended" (fun () ->
+      Trace_buffer.total_bytes t.buffer);
+  g "core.trace_buffer.stored_records" "records currently buffered"
+    (fun () -> Trace_buffer.stored_records t.buffer);
+  g "core.trace_buffer.total_records" "records ever appended" (fun () ->
+      Trace_buffer.total_records t.buffer);
+  g "core.trace_buffer.evicted_records" "records evicted" (fun () ->
+      Trace_buffer.evicted_records t.buffer);
+  g "core.trace_buffer.window_start" "first retained step" (fun () ->
+      Trace_buffer.window_start t.buffer)
+
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "@[<v>instructions: %d@,deps total: %d@,deps recorded: %d@,elided O1: \

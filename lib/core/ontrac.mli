@@ -92,4 +92,10 @@ val attach_filtered : t -> Machine.t -> keep:(Event.exec -> bool) -> unit
     start (to be called after the run). *)
 val final_graph : t -> Ddg.t * int
 
+(** Register the tracer's statistics in an observability registry as
+    derived gauges ([core.ontrac.*] and [core.trace_buffer.*]; see
+    [docs/observability.md]).  Snapshot-time reads only — the tracing
+    hot path is untouched. *)
+val register_obs : t -> Dift_obs.Registry.t -> unit
+
 val pp_stats : stats Fmt.t

@@ -7,24 +7,47 @@
 open Dift_vm
 
 module Make (D : Taint.DOMAIN) = struct
-  type t = { tbl : D.t Loc.Tbl.t }
+  type t = {
+    tbl : D.t Loc.Tbl.t;
+    mutable words : int;
+        (** running total of [D.words] over the table, maintained
+            incrementally so {!footprint_words} is O(1) — per-event
+            stats sampling would otherwise pay a full-table fold. *)
+  }
 
-  let create () = { tbl = Loc.Tbl.create 1024 }
+  let create () = { tbl = Loc.Tbl.create 1024; words = 0 }
 
   let get t loc =
     match Loc.Tbl.find_opt t.tbl loc with Some v -> v | None -> D.bottom
 
-  let set t loc v =
-    if D.is_bottom v then Loc.Tbl.remove t.tbl loc
-    else Loc.Tbl.replace t.tbl loc v
+  let stored_words t loc =
+    match Loc.Tbl.find_opt t.tbl loc with Some v -> D.words v | None -> 0
 
-  let clear t loc = Loc.Tbl.remove t.tbl loc
+  let set t loc v =
+    let old = stored_words t loc in
+    if D.is_bottom v then begin
+      Loc.Tbl.remove t.tbl loc;
+      t.words <- t.words - old
+    end
+    else begin
+      Loc.Tbl.replace t.tbl loc v;
+      t.words <- t.words - old + D.words v
+    end
+
+  let clear t loc =
+    t.words <- t.words - stored_words t loc;
+    Loc.Tbl.remove t.tbl loc
 
   (** Number of tainted locations. *)
   let tainted_locations t = Loc.Tbl.length t.tbl
 
-  (** Total shadow footprint in words, per the domain's accounting. *)
-  let footprint_words t =
+  (** Total shadow footprint in words, per the domain's accounting.
+      O(1): maintained incrementally by {!set}/{!clear}. *)
+  let footprint_words t = t.words
+
+  (** The O(n) fold {!footprint_words} replaced, kept as a debug
+      cross-check: always equal to [footprint_words]. *)
+  let recomputed_footprint_words t =
     Loc.Tbl.fold (fun _ v acc -> acc + D.words v) t.tbl 0
 
   let fold f t acc = Loc.Tbl.fold f t.tbl acc

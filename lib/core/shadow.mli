@@ -22,8 +22,15 @@ module Make (D : Taint.DOMAIN) : sig
   (** Number of tainted locations. *)
   val tainted_locations : t -> int
 
-  (** Total shadow footprint in words, per the domain's accounting. *)
+  (** Total shadow footprint in words, per the domain's accounting.
+      O(1): the count is maintained incrementally by {!set}/{!clear},
+      so stats sampling may call it per event. *)
   val footprint_words : t -> int
+
+  (** Recompute the footprint by folding over the whole table — the
+      O(n) definition {!footprint_words} must always agree with.
+      Debug cross-check only. *)
+  val recomputed_footprint_words : t -> int
 
   val fold : (Loc.t -> D.t -> 'a -> 'a) -> t -> 'a -> 'a
 end

@@ -45,7 +45,12 @@ let add t ~use_step ~bytes =
   t.stored_bytes <- t.stored_bytes + bytes;
   t.total_bytes <- t.total_bytes + bytes;
   t.total_records <- t.total_records + 1;
-  while t.stored_bytes > t.capacity do
+  (* Never evict the record just appended: a record larger than the
+     whole buffer ([bytes > capacity]) is retained alone rather than
+     silently dropped — evicting it would leave the buffer empty while
+     [total_records] advances and would push [window_start] past the
+     record's own step, corrupting the window accounting. *)
+  while t.stored_bytes > t.capacity && Queue.length t.records > 1 do
     evict_one t
   done
 

@@ -10,7 +10,13 @@ type t
 (** @raise Invalid_argument on a non-positive capacity (bytes). *)
 val create : capacity:int -> t
 
-(** Append a record; evicts the oldest records while over capacity. *)
+(** Append a record; evicts the oldest records while over capacity.
+
+    The newly appended record itself is never evicted: an oversized
+    record ([bytes > capacity]) is retained alone, so {!stored_bytes}
+    may exceed the capacity until the next {!add} evicts it.  This
+    keeps the invariants [stored_records >= 1] after any [add] and
+    [window_start <= use_step] of the newest record. *)
 val add : t -> use_step:int -> bytes:int -> unit
 
 (** Smallest step whose records are guaranteed retained. *)

@@ -1,0 +1,87 @@
+(** Minimal JSON tree and printer; see the interface. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let obj fields = Obj fields
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Floats must stay valid JSON: no [nan]/[infinity] literals, and a
+   plain integral float prints with a decimal point so it reads back
+   as a float. *)
+let float_to_string f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+(* A hand-rolled writer rather than [Format] boxes: boxes indent
+   relative to the column they open at, which for JSON produces deep
+   hanging indents instead of the conventional flat two-space steps. *)
+let rec write b indent = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_to_string f)
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      write_block b indent '[' ']' (fun b indent ->
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_string b ",\n";
+              Buffer.add_string b (String.make indent ' ');
+              write b indent x)
+            xs)
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      write_block b indent '{' '}' (fun b indent ->
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_string b ",\n";
+              Buffer.add_string b (String.make indent ' ');
+              Buffer.add_char b '"';
+              Buffer.add_string b (escape k);
+              Buffer.add_string b "\": ";
+              write b indent v)
+            fields)
+
+and write_block b indent opening closing body =
+  Buffer.add_char b opening;
+  Buffer.add_char b '\n';
+  body b (indent + 2);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (String.make indent ' ');
+  Buffer.add_char b closing
+
+let render j =
+  let b = Buffer.create 1024 in
+  write b 0 j;
+  Buffer.contents b
+
+let to_string j = render j ^ "\n"
+let pp ppf j = Fmt.string ppf (render j)

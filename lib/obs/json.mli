@@ -1,0 +1,26 @@
+(** A minimal JSON tree and printer.
+
+    The observability layer needs to emit machine-readable snapshots
+    ([diftc stats], [BENCH_*.json]) without pulling a JSON dependency
+    into the build; this module is the few dozen lines that requires.
+    Output is deterministic (object members print in insertion order)
+    so snapshot files diff cleanly across runs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [obj fields] is a JSON object; a convenience for [Obj]. *)
+val obj : (string * t) list -> t
+
+(** Pretty-printer (2-space indentation, stable member order). *)
+val pp : t Fmt.t
+
+(** [to_string j] is the indented textual rendering of [j], with a
+    trailing newline — suitable to write to a file as-is. *)
+val to_string : t -> string

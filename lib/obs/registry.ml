@@ -1,0 +1,255 @@
+(** The metrics registry; see the interface for the design.
+
+    Update cells are [int Atomic.t], so the hot-path operations are
+    single unboxed atomic read-modify-writes: no allocation, no lock,
+    and safely readable from a concurrently snapshotting domain.  The
+    registry lock guards only the metric list (registration and
+    snapshot iteration), never an update. *)
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+type histogram = {
+  h_bounds : int array;  (** inclusive upper bounds, ascending *)
+  h_counts : int Atomic.t array;  (** length = bounds + 1 (overflow) *)
+  h_sum : int Atomic.t;
+}
+
+type span = { s_count : int Atomic.t; s_total_ns : int Atomic.t }
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_gauge_fn of (unit -> int) ref
+  | M_histogram of histogram
+  | M_span of span
+
+type t = {
+  lock : Mutex.t;
+  mutable metrics : (string * string * metric) list;  (** newest first *)
+}
+
+let create () = { lock = Mutex.create (); metrics = [] }
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_gauge_fn _ -> "gauge"
+  | M_histogram _ -> "histogram"
+  | M_span _ -> "span"
+
+(* Register [fresh ()] under [name], or return the existing metric of
+   the same kind; [same] decides compatibility and may rebind (derived
+   gauges). *)
+let register t name help ~same ~fresh =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  match List.find_opt (fun (n, _, _) -> n = name) t.metrics with
+  | Some (_, _, m) -> (
+      match same m with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Fmt.str "Registry: %s already registered as a %s" name
+               (kind_name m)))
+  | None ->
+      let m = fresh () in
+      t.metrics <- (name, help, m) :: t.metrics;
+      m
+
+(* -- counters ----------------------------------------------------------- *)
+
+let counter ?(help = "") t name =
+  match
+    register t name help
+      ~same:(function M_counter _ as m -> Some m | _ -> None)
+      ~fresh:(fun () -> M_counter (Atomic.make 0))
+  with
+  | M_counter c -> c
+  | _ -> assert false
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = if n > 0 then ignore (Atomic.fetch_and_add c n)
+let value = Atomic.get
+
+(* -- gauges ------------------------------------------------------------- *)
+
+let gauge ?(help = "") t name =
+  match
+    register t name help
+      ~same:(function M_gauge _ as m -> Some m | _ -> None)
+      ~fresh:(fun () -> M_gauge (Atomic.make 0))
+  with
+  | M_gauge g -> g
+  | _ -> assert false
+
+let set g n = Atomic.set g n
+let gauge_value = Atomic.get
+
+let gauge_fn ?(help = "") t name f =
+  ignore
+    (register t name help
+       ~same:(function
+         | M_gauge_fn r as m ->
+             r := f;
+             Some m
+         | _ -> None)
+       ~fresh:(fun () -> M_gauge_fn (ref f)))
+
+(* -- histograms --------------------------------------------------------- *)
+
+let histogram ?(help = "") t name ~buckets =
+  if buckets = [] then invalid_arg "Registry.histogram: no buckets";
+  let bounds = Array.of_list (List.sort_uniq compare buckets) in
+  match
+    register t name help
+      ~same:(function M_histogram _ as m -> Some m | _ -> None)
+      ~fresh:(fun () ->
+        M_histogram
+          {
+            h_bounds = bounds;
+            h_counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0;
+          })
+  with
+  | M_histogram h -> h
+  | _ -> assert false
+
+let observe h v =
+  let n = Array.length h.h_bounds in
+  let i = ref 0 in
+  while !i < n && v > Array.unsafe_get h.h_bounds !i do
+    Stdlib.incr i
+  done;
+  ignore (Atomic.fetch_and_add (Array.unsafe_get h.h_counts !i) 1);
+  ignore (Atomic.fetch_and_add h.h_sum v)
+
+let observations h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.h_counts
+
+(* -- spans -------------------------------------------------------------- *)
+
+let span ?(help = "") t name =
+  match
+    register t name help
+      ~same:(function M_span _ as m -> Some m | _ -> None)
+      ~fresh:(fun () ->
+        M_span { s_count = Atomic.make 0; s_total_ns = Atomic.make 0 })
+  with
+  | M_span s -> s
+  | _ -> assert false
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let record_ns s ns =
+  ignore (Atomic.fetch_and_add s.s_count 1);
+  if ns > 0 then ignore (Atomic.fetch_and_add s.s_total_ns ns)
+
+let time s f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> record_ns s (now_ns () - t0)) f
+
+let span_total_ns s = Atomic.get s.s_total_ns
+
+(* -- snapshots ----------------------------------------------------------- *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of {
+      buckets : int list;
+      counts : int list;
+      count : int;
+      sum : int;
+    }
+  | Span_v of { count : int; total_ns : int }
+
+type snapshot = (string * string * value) list
+
+let read_metric = function
+  | M_counter c -> Counter_v (Atomic.get c)
+  | M_gauge g -> Gauge_v (Atomic.get g)
+  | M_gauge_fn f -> Gauge_v (!f ())
+  | M_histogram h ->
+      let counts = Array.to_list (Array.map Atomic.get h.h_counts) in
+      Histogram_v
+        {
+          buckets = Array.to_list h.h_bounds;
+          counts;
+          count = List.fold_left ( + ) 0 counts;
+          sum = Atomic.get h.h_sum;
+        }
+  | M_span s ->
+      Span_v { count = Atomic.get s.s_count; total_ns = Atomic.get s.s_total_ns }
+
+let snapshot t =
+  let metrics =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+    t.metrics
+  in
+  (* Derived-gauge callbacks run outside the lock: they may themselves
+     touch the registry. *)
+  List.rev_map (fun (name, help, m) -> (name, help, read_metric m)) metrics
+
+let find snap name =
+  List.find_opt (fun (n, _, _) -> n = name) snap
+  |> Option.map (fun (_, _, v) -> v)
+
+let value_to_json = function
+  | Counter_v n -> Json.obj [ ("kind", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge_v n -> Json.obj [ ("kind", Json.String "gauge"); ("value", Json.Int n) ]
+  | Histogram_v { buckets; counts; count; sum } ->
+      Json.obj
+        [
+          ("kind", Json.String "histogram");
+          ("buckets", Json.List (List.map (fun b -> Json.Int b) buckets));
+          ("counts", Json.List (List.map (fun c -> Json.Int c) counts));
+          ("count", Json.Int count);
+          ("sum", Json.Int sum);
+        ]
+  | Span_v { count; total_ns } ->
+      Json.obj
+        [
+          ("kind", Json.String "span");
+          ("count", Json.Int count);
+          ("total_ns", Json.Int total_ns);
+        ]
+
+(* Group by the segment before the first dot, preserving registration
+   order of both groups and members. *)
+let to_json snap =
+  let split name =
+    match String.index_opt name '.' with
+    | Some i ->
+        ( String.sub name 0 i,
+          String.sub name (i + 1) (String.length name - i - 1) )
+    | None -> ("misc", name)
+  in
+  let order = ref [] (* group names, first-seen order, reversed *) in
+  let members = Hashtbl.create 8 (* group -> members, reversed *) in
+  List.iter
+    (fun (name, _, v) ->
+      let g, rest = split name in
+      let ms =
+        match Hashtbl.find_opt members g with
+        | Some ms -> ms
+        | None ->
+            order := g :: !order;
+            []
+      in
+      Hashtbl.replace members g ((rest, value_to_json v) :: ms))
+    snap;
+  Json.obj
+    (List.rev_map
+       (fun g -> (g, Json.obj (List.rev (Hashtbl.find members g))))
+       !order)
+
+let write_json file snap =
+  let s = Json.to_string (to_json snap) in
+  if file = "-" then print_string s
+  else begin
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+    output_string oc s
+  end

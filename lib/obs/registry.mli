@@ -1,0 +1,130 @@
+(** The metrics registry — the single observability substrate every
+    layer of the system reports through.
+
+    The paper's claims are quantitative (trace bytes per instruction,
+    helper-core stalls, shadow-memory footprint, §2.1), so the
+    reproduction needs a machine-readable way to observe itself.  A
+    {!t} holds named metrics of four kinds:
+
+    - {b counters} — monotonic, atomically incremented integers.  The
+      hot-path operations ({!incr}, {!add}) allocate nothing and are
+      safe to call from one domain while another domain reads or
+      snapshots (the cells are [Atomic.t], so cross-domain reads are
+      never torn — unlike the plain [mutable] fields they replace).
+    - {b gauges} — last-value integers, either {!set} explicitly or
+      {e derived} ({!gauge_fn}): a callback evaluated at snapshot
+      time, used to expose an existing component's internal statistics
+      without touching its hot path.
+    - {b histograms} — fixed upper-bound buckets chosen at
+      registration; {!observe} is allocation-free.
+    - {b spans} — accumulated wall-clock timers ({!time},
+      {!record_ns}).
+
+    Metric names are dot-separated, [group.rest…], and the first
+    segment ([vm], [core], [parallel], …) becomes the top-level group
+    of the JSON snapshot.  Registration is idempotent: registering an
+    existing name of the same kind returns the existing metric
+    (re-registering a derived gauge rebinds its callback to the newest
+    component instance); registering it with a different kind raises
+    [Invalid_argument].  Registration and snapshotting take a lock;
+    updates never do.
+
+    A {!snapshot} is a point-in-time reading of every metric.  Because
+    updaters may run concurrently on other domains, a snapshot is not
+    a consistent cut across metrics — but each individual counter read
+    is atomic, and successive snapshots of a counter are monotonic.
+    See [docs/observability.md] for the metric catalogue and the JSON
+    schema. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter t name] registers (or finds) the monotonic counter
+    [name]. *)
+val counter : ?help:string -> t -> string -> counter
+
+(** Add one.  Allocation-free; callable from any domain. *)
+val incr : counter -> unit
+
+(** Add [n] ([n >= 0]; negative increments are ignored to keep the
+    counter monotonic). *)
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : ?help:string -> t -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** [gauge_fn t name f] registers a derived gauge: [f ()] is evaluated
+    at snapshot time (on the snapshotting domain).  Re-registration
+    replaces the callback. *)
+val gauge_fn : ?help:string -> t -> string -> (unit -> int) -> unit
+
+(** {1 Histograms} *)
+
+type histogram
+
+(** [histogram t name ~buckets] registers a histogram with the given
+    inclusive upper bounds (sorted ascending internally); observations
+    above the last bound land in an implicit overflow bucket.
+    @raise Invalid_argument if [buckets] is empty. *)
+val histogram : ?help:string -> t -> string -> buckets:int list -> histogram
+
+(** Record one observation.  Allocation-free. *)
+val observe : histogram -> int -> unit
+
+(** Observations recorded so far. *)
+val observations : histogram -> int
+
+(** {1 Spans} *)
+
+type span
+
+val span : ?help:string -> t -> string -> span
+
+(** [time s f] runs [f ()] and accumulates its wall-clock duration. *)
+val time : span -> (unit -> 'a) -> 'a
+
+(** Accumulate an externally measured duration. *)
+val record_ns : span -> int -> unit
+
+val span_total_ns : span -> int
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of {
+      buckets : int list;  (** upper bounds, ascending *)
+      counts : int list;  (** per-bucket counts, plus a final overflow *)
+      count : int;
+      sum : int;
+    }
+  | Span_v of { count : int; total_ns : int }
+
+(** Metrics in registration order: [(name, help, value)]. *)
+type snapshot = (string * string * value) list
+
+val snapshot : t -> snapshot
+
+(** [find snap name] is the reading of metric [name], if present. *)
+val find : snapshot -> string -> value option
+
+(** Render a snapshot as the documented JSON schema: one object per
+    top-level name group, each metric as a [{"kind": …, …}] object. *)
+val to_json : snapshot -> Json.t
+
+(** [write_json file snap] writes {!to_json} to [file]; ["-"] means
+    stdout. *)
+val write_json : string -> snapshot -> unit

@@ -10,18 +10,61 @@ type t = {
   mutable fill : int;
   mutable events : int;
   mutable batches : int;
+  occupancy : Dift_obs.Registry.histogram option;
+      (** events per pushed batch, when observability is on *)
 }
 
-let create ~queue_capacity ~batch_size =
+(* Power-of-two occupancy buckets up to the batch size: a full batch
+   lands in the last real bucket, so the overflow bucket staying at
+   zero is itself an invariant check. *)
+let occupancy_buckets batch_size =
+  let rec up acc b = if b >= batch_size then List.rev (batch_size :: acc)
+    else up (b :: acc) (b * 2)
+  in
+  up [] 1
+
+let create ?obs ~queue_capacity ~batch_size () =
   if batch_size < 1 then invalid_arg "Forwarder.create: batch_size < 1";
-  {
-    ring = Spsc.create ~capacity:queue_capacity;
-    batch_size;
-    buf = [||];
-    fill = 0;
-    events = 0;
-    batches = 0;
-  }
+  let ring = Spsc.create ~capacity:queue_capacity in
+  let occupancy =
+    Option.map
+      (fun reg ->
+        let open Dift_obs in
+        Registry.gauge_fn reg "parallel.ring.capacity_batches"
+          ~help:"ring slots" (fun () -> Spsc.capacity ring);
+        Registry.gauge_fn reg "parallel.ring.stalls"
+          ~help:"producer blocked on a full ring" (fun () ->
+            Spsc.producer_stalls ring);
+        Registry.gauge_fn reg "parallel.ring.waits"
+          ~help:"consumer blocked on an empty ring" (fun () ->
+            Spsc.consumer_waits ring);
+        Registry.gauge_fn reg "parallel.ring.drops"
+          ~help:"batches dropped after abort" (fun () -> Spsc.dropped ring);
+        Registry.histogram reg "parallel.forwarder.batch_occupancy"
+          ~help:"events per pushed batch"
+          ~buckets:(occupancy_buckets batch_size))
+      obs
+  in
+  let t =
+    {
+      ring;
+      batch_size;
+      buf = [||];
+      fill = 0;
+      events = 0;
+      batches = 0;
+      occupancy;
+    }
+  in
+  (match obs with
+  | Some reg ->
+      let open Dift_obs in
+      Registry.gauge_fn reg "parallel.forwarder.events"
+        ~help:"events forwarded" (fun () -> t.events);
+      Registry.gauge_fn reg "parallel.forwarder.batches"
+        ~help:"batches pushed" (fun () -> t.batches)
+  | None -> ());
+  t
 
 let events t = t.events
 let batches t = t.batches
@@ -34,6 +77,9 @@ let flush t =
     let batch =
       if t.fill = t.batch_size then t.buf else Array.sub t.buf 0 t.fill
     in
+    (match t.occupancy with
+    | Some h -> Dift_obs.Registry.observe h t.fill
+    | None -> ());
     (* the consumer takes ownership of the array; open a fresh one *)
     t.buf <- [||];
     t.fill <- 0;
@@ -54,12 +100,12 @@ let close t =
 
 let abort t = Spsc.abort t.ring
 
-let drain t ~f =
+let drain ?(around_batch = fun k -> k ()) t ~f =
   let rec loop () =
     match Spsc.pop t.ring with
     | None -> ()
     | Some batch ->
-        Array.iter f batch;
+        around_batch (fun () -> Array.iter f batch);
         loop ()
   in
   loop ()

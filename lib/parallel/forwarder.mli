@@ -26,8 +26,14 @@ type t
 
 (** [create ~queue_capacity ~batch_size] — a ring of [queue_capacity]
     batch slots, each holding up to [batch_size] events.
+
+    With [?obs], the channel registers its [parallel.ring.*] gauges
+    (capacity, stalls, waits, drops — all backed by the ring's atomic
+    counters, so a snapshot from any domain is safe) and records the
+    [parallel.forwarder.batch_occupancy] histogram on every push.
     @raise Invalid_argument if either is [< 1]. *)
-val create : queue_capacity:int -> batch_size:int -> t
+val create :
+  ?obs:Dift_obs.Registry.t -> queue_capacity:int -> batch_size:int -> unit -> t
 
 (** {1 Producer (application-core) side} *)
 
@@ -57,8 +63,14 @@ val dropped : t -> int
 (** {1 Consumer (helper-core) side} *)
 
 (** [drain t ~f] applies [f] to every forwarded event in program
-    order; returns when the channel is closed and fully drained. *)
-val drain : t -> f:(Event.exec -> unit) -> unit
+    order; returns when the channel is closed and fully drained.
+
+    [around_batch] wraps the processing of each popped batch (the
+    thunk it receives runs [f] over the whole batch); the runtime uses
+    it to time helper-domain busy periods without a per-event clock
+    read.  It must call the thunk exactly once. *)
+val drain :
+  ?around_batch:((unit -> unit) -> unit) -> t -> f:(Event.exec -> unit) -> unit
 
 (** Consumer gives up (helper crash): unblocks the producer for good. *)
 val abort : t -> unit

@@ -71,19 +71,58 @@ let result_of eng trace outcome =
     taint_fingerprint = taint_fingerprint eng;
   }
 
-let run ?config ?(queue_capacity = 64) ?(batch_size = 64) ?policy ?on_sink
-    program ~input =
-  let fwd = Forwarder.create ~queue_capacity ~batch_size in
+let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
+    ?on_sink program ~input =
+  let fwd = Forwarder.create ?obs ~queue_capacity ~batch_size () in
   let eng, trace = make_engine ?policy ?on_sink program in
+  (* Observability: engine gauges plus helper-domain utilization —
+     busy time is measured around whole batches (one clock read per
+     batch, not per event) and compared to the helper's wall time at
+     snapshot. *)
+  let around_batch =
+    match obs with
+    | None -> fun k -> k ()
+    | Some reg ->
+        let open Dift_obs in
+        Bool_engine.register_obs eng reg;
+        let busy =
+          Registry.counter reg "parallel.helper.busy_ns"
+            ~help:"helper time spent processing batches"
+        in
+        let wall =
+          Registry.counter reg "parallel.helper.wall_ns"
+            ~help:"helper wall time, spawn to drain end"
+        in
+        Registry.gauge_fn reg "parallel.helper.utilization_pct"
+          ~help:"busy / wall, percent" (fun () ->
+            Registry.value busy * 100 / max 1 (Registry.value wall));
+        fun k ->
+          let t0 = now_ns () in
+          k ();
+          Registry.add busy (now_ns () - t0)
+  in
+  let helper_wall =
+    Option.map
+      (fun reg -> Dift_obs.Registry.counter reg "parallel.helper.wall_ns")
+      obs
+  in
   let helper =
     Domain.spawn (fun () ->
-        try Forwarder.drain fwd ~f:(Bool_engine.process eng)
+        let t0 = now_ns () in
+        Fun.protect
+          ~finally:(fun () ->
+            match helper_wall with
+            | Some wall -> Dift_obs.Registry.add wall (now_ns () - t0)
+            | None -> ())
+        @@ fun () ->
+        try Forwarder.drain ~around_batch fwd ~f:(Bool_engine.process eng)
         with ex ->
           (* never leave the application domain blocked on a full ring *)
           Forwarder.abort fwd;
           raise ex)
   in
   let m = Machine.create ?config program ~input in
+  (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
   Machine.attach m
     (Tool.make ~dispatch_cost:0 ~on_exec:(Forwarder.add fwd)
        "parallel-dift-forwarder");
@@ -114,9 +153,14 @@ let run ?config ?(queue_capacity = 64) ?(batch_size = 64) ?policy ?on_sink
     total_wall_ns;
   }
 
-let run_inline ?config ?policy ?on_sink program ~input =
+let run_inline ?config ?obs ?policy ?on_sink program ~input =
   let eng, trace = make_engine ?policy ?on_sink program in
   let m = Machine.create ?config program ~input in
+  (match obs with
+  | Some reg ->
+      Bool_engine.register_obs eng reg;
+      Obs_tool.attach reg m
+  | None -> ());
   Machine.attach m
     (Tool.make ~dispatch_cost:0 ~on_exec:(Bool_engine.process eng)
        "inline-dift");

@@ -69,9 +69,18 @@ type inline_report = {
     [queue_capacity] (default 64) and [batch_size] (default 64) shape
     the forwarding channel.  [on_sink] runs {e on the helper domain}
     for every sink event.  Exceptions raised helper-side are re-raised
-    here after the application run completes. *)
+    here after the application run completes.
+
+    With [?obs], the run is fully instrumented into the registry: the
+    VM's [vm.*] counters ({!Dift_vm.Obs_tool}), the engine's
+    [core.engine.*]/[core.shadow.*] gauges, the channel's
+    [parallel.ring.*]/[parallel.forwarder.*] metrics, and
+    [parallel.helper.*] (busy/wall time and a derived utilization
+    percentage).  The registry may be snapshotted from any domain,
+    including while the run is in flight. *)
 val run :
   ?config:Machine.config ->
+  ?obs:Dift_obs.Registry.t ->
   ?queue_capacity:int ->
   ?batch_size:int ->
   ?policy:Policy.t ->
@@ -81,9 +90,12 @@ val run :
   report
 
 (** The sequential baseline: the same engine attached inline in the
-    current domain, reported in the same shape. *)
+    current domain, reported in the same shape.  [?obs] instruments
+    the VM and engine as in {!run} (no [parallel.*] group — there is
+    no channel). *)
 val run_inline :
   ?config:Machine.config ->
+  ?obs:Dift_obs.Registry.t ->
   ?policy:Policy.t ->
   ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
   Program.t ->

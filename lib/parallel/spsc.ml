@@ -23,9 +23,9 @@ type 'a t = {
   not_empty : Condition.t;
   producer_waiting : bool Atomic.t;
   consumer_waiting : bool Atomic.t;
-  mutable stalls : int;  (** owned by the producer *)
-  mutable drops : int;  (** owned by the producer *)
-  mutable waits : int;  (** owned by the consumer *)
+  stalls : int Atomic.t;  (** incremented by the producer *)
+  drops : int Atomic.t;  (** incremented by the producer *)
+  waits : int Atomic.t;  (** incremented by the consumer *)
 }
 
 let create ~capacity =
@@ -42,16 +42,16 @@ let create ~capacity =
     not_empty = Condition.create ();
     producer_waiting = Atomic.make false;
     consumer_waiting = Atomic.make false;
-    stalls = 0;
-    drops = 0;
-    waits = 0;
+    stalls = Atomic.make 0;
+    drops = Atomic.make 0;
+    waits = Atomic.make 0;
   }
 
 let capacity t = t.cap
 let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
-let producer_stalls t = t.stalls
-let consumer_waits t = t.waits
-let dropped t = t.drops
+let producer_stalls t = Atomic.get t.stalls
+let consumer_waits t = Atomic.get t.waits
+let dropped t = Atomic.get t.drops
 
 let signal_locked t cond =
   Mutex.lock t.lock;
@@ -82,7 +82,7 @@ let spin_while cond =
 (* Park the producer until the ring has room or the consumer aborted. *)
 let wait_not_full t tl =
   Mutex.lock t.lock;
-  t.stalls <- t.stalls + 1;
+  Atomic.incr t.stalls;
   Atomic.set t.producer_waiting true;
   while
     (not (Atomic.get t.aborted)) && tl - Atomic.get t.head >= t.cap
@@ -94,7 +94,7 @@ let wait_not_full t tl =
 
 let push t x =
   if Atomic.get t.closed then invalid_arg "Spsc.push: closed channel";
-  if Atomic.get t.aborted then t.drops <- t.drops + 1
+  if Atomic.get t.aborted then Atomic.incr t.drops
   else begin
     let tl = Atomic.get t.tail in
     if
@@ -103,7 +103,7 @@ let push t x =
              (not (Atomic.get t.aborted))
              && tl - Atomic.get t.head >= t.cap)
     then wait_not_full t tl;
-    if Atomic.get t.aborted then t.drops <- t.drops + 1
+    if Atomic.get t.aborted then Atomic.incr t.drops
     else begin
       t.buf.(tl mod t.cap) <- Some x;
       Atomic.set t.tail (tl + 1);
@@ -123,7 +123,7 @@ let abort t =
 (* Park the consumer until an element arrives or the channel closes. *)
 let wait_not_empty t =
   Mutex.lock t.lock;
-  t.waits <- t.waits + 1;
+  Atomic.incr t.waits;
   Atomic.set t.consumer_waiting true;
   while
     Atomic.get t.tail = Atomic.get t.head

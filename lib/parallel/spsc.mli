@@ -43,11 +43,15 @@ val push : 'a t -> 'a -> unit
 val close : 'a t -> unit
 
 (** Times the producer had to block on a full channel — the software
-    analogue of the cycle model's [stall_cycles] backpressure
-    counter. *)
+    analogue of the cycle model's [stall_cycles] backpressure counter.
+    The stall/wait/drop counters are atomic, so they may be read from
+    {e any} domain (including a third, monitoring domain) while the
+    channel is in use; reads are never torn and successive reads are
+    monotonic. *)
 val producer_stalls : 'a t -> int
 
-(** Elements dropped because the consumer aborted. *)
+(** Elements dropped because the consumer aborted (atomic; readable
+    from any domain). *)
 val dropped : 'a t -> int
 
 (** {1 Consumer side} *)
@@ -63,5 +67,5 @@ val pop : 'a t -> 'a option
 val abort : 'a t -> unit
 
 (** Times the consumer had to block on an empty channel (helper idle
-    episodes). *)
+    episodes; atomic, readable from any domain). *)
 val consumer_waits : 'a t -> int

@@ -13,6 +13,7 @@ let () =
       ("tm", Test_tm.suite);
       ("tm-extra", Test_tm_extra.suite);
       ("multicore", Test_multicore.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("faultloc", Test_faultloc.suite);
       ("attack", Test_attack.suite);

@@ -391,6 +391,74 @@ let test_buffer_eviction () =
   check Alcotest.int "stored records" 10 (Trace_buffer.stored_records buf);
   check Alcotest.int "window start" 90 (Trace_buffer.window_start buf)
 
+(* Regression: a record larger than the whole buffer used to be
+   appended and then immediately evicted by its own [add], leaving the
+   buffer empty and the window start pointing past the newest record.
+   It must be retained alone until the next add. *)
+let test_buffer_oversized_record () =
+  let buf = Trace_buffer.create ~capacity:100 in
+  Trace_buffer.add buf ~use_step:0 ~bytes:10;
+  Trace_buffer.add buf ~use_step:1 ~bytes:500;
+  check Alcotest.int "oversized record retained alone" 1
+    (Trace_buffer.stored_records buf);
+  check Alcotest.int "stored bytes may exceed capacity" 500
+    (Trace_buffer.stored_bytes buf);
+  check Alcotest.int "window starts at the oversized record" 1
+    (Trace_buffer.window_start buf);
+  (* the next add evicts it like any other oldest record *)
+  Trace_buffer.add buf ~use_step:2 ~bytes:10;
+  check Alcotest.int "evicted by the next add" 2
+    (Trace_buffer.evicted_records buf);
+  check Alcotest.int "back within capacity" 10
+    (Trace_buffer.stored_bytes buf);
+  check Alcotest.int "window moves to the newest record" 2
+    (Trace_buffer.window_start buf)
+
+(* -- shadow footprint ----------------------------------------------------- *)
+
+(* Regression for the incremental footprint count: a workload of
+   overwrites (growing and shrinking values), explicit clears and
+   bottom-stores must keep [footprint_words] equal to the O(n) fold it
+   replaced. *)
+let test_shadow_incremental_footprint () =
+  let module Sh = Shadow.Make (Taint.Input_set) in
+  let sh = Sh.create () in
+  let value n =
+    (* a set of [n] input indices: [n] words under Input_set accounting *)
+    List.fold_left
+      (fun acc i ->
+        Taint.Input_set.join acc (Taint.Input_set.source ~input_index:i ~step:0))
+      Taint.Input_set.bottom
+      (List.init n Fun.id)
+  in
+  let agree label =
+    check Alcotest.int label (Sh.recomputed_footprint_words sh)
+      (Sh.footprint_words sh)
+  in
+  agree "empty";
+  for i = 0 to 19 do
+    Sh.set sh (Loc.mem i) (value ((i mod 5) + 1))
+  done;
+  agree "after fills";
+  (* overwrites: grow some entries, shrink others *)
+  for i = 0 to 19 do
+    if i mod 2 = 0 then Sh.set sh (Loc.mem i) (value 7)
+    else Sh.set sh (Loc.mem i) (value 1)
+  done;
+  agree "after overwrites";
+  (* storing bottom removes; clearing a missing loc is a no-op *)
+  for i = 0 to 9 do
+    Sh.set sh (Loc.mem i) Taint.Input_set.bottom
+  done;
+  Sh.clear sh (Loc.mem 3);
+  Sh.clear sh (Loc.mem 1000);
+  agree "after removals";
+  for i = 10 to 19 do
+    Sh.clear sh (Loc.mem i)
+  done;
+  agree "emptied again";
+  check Alcotest.int "empty footprint is zero" 0 (Sh.footprint_words sh)
+
 (* -- ONTRAC -------------------------------------------------------------- *)
 
 (* A loop-heavy kernel with memory traffic; inputs drive the data. *)
@@ -714,6 +782,10 @@ let suite =
       test_control_dep_call;
     Alcotest.test_case "encoding roundtrip" `Quick test_encoding_roundtrip;
     Alcotest.test_case "buffer eviction" `Quick test_buffer_eviction;
+    Alcotest.test_case "oversized record retained" `Quick
+      test_buffer_oversized_record;
+    Alcotest.test_case "incremental shadow footprint" `Quick
+      test_shadow_incremental_footprint;
     Alcotest.test_case "optimizations reduce bytes" `Quick
       test_ontrac_optimizations_reduce_bytes;
     Alcotest.test_case "optimized graph equals unoptimized" `Quick

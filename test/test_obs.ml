@@ -1,0 +1,219 @@
+(* Tests for the observability layer: the metrics registry (counters,
+   gauges, histograms, spans), snapshotting and its JSON rendering,
+   and the cross-domain stats-correctness regression — a third domain
+   snapshotting Spsc counters while two domains hammer the ring. *)
+
+open Dift_obs
+
+let check = Alcotest.check
+
+(* -- counters / gauges ----------------------------------------------------- *)
+
+let test_counter () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "t.hits" ~help:"hits" in
+  check Alcotest.int "starts at zero" 0 (Registry.value c);
+  Registry.incr c;
+  Registry.incr c;
+  Registry.add c 40;
+  check Alcotest.int "incr and add" 42 (Registry.value c);
+  Registry.add c (-7);
+  check Alcotest.int "negative add ignored (monotonic)" 42 (Registry.value c);
+  (* idempotent registration returns the same cell *)
+  let c' = Registry.counter reg "t.hits" in
+  Registry.incr c';
+  check Alcotest.int "re-registration shares the cell" 43 (Registry.value c)
+
+let test_kind_mismatch () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "t.x");
+  Alcotest.check_raises "counter re-registered as gauge"
+    (Invalid_argument "Registry: t.x already registered as a counter")
+    (fun () -> ignore (Registry.gauge reg "t.x"))
+
+let test_gauge_fn_rebinds () =
+  let reg = Registry.create () in
+  Registry.gauge_fn reg "t.depth" (fun () -> 1);
+  Registry.gauge_fn reg "t.depth" (fun () -> 2);
+  match Registry.(find (snapshot reg) "t.depth") with
+  | Some (Registry.Gauge_v v) ->
+      check Alcotest.int "newest callback wins" 2 v
+  | _ -> Alcotest.fail "t.depth missing from snapshot"
+
+(* -- histograms ------------------------------------------------------------ *)
+
+let test_histogram () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "t.sizes" ~buckets:[ 10; 1; 100 ] in
+  List.iter (Registry.observe h) [ 0; 1; 2; 10; 11; 100; 1000 ];
+  check Alcotest.int "observations" 7 (Registry.observations h);
+  match Registry.(find (snapshot reg) "t.sizes") with
+  | Some (Registry.Histogram_v { buckets; counts; count; sum }) ->
+      check (Alcotest.list Alcotest.int) "bounds sorted" [ 1; 10; 100 ]
+        buckets;
+      (* <=1: {0,1}; <=10: {2,10}; <=100: {11,100}; overflow: {1000} *)
+      check (Alcotest.list Alcotest.int) "bucket counts" [ 2; 2; 2; 1 ]
+        counts;
+      check Alcotest.int "count" 7 count;
+      check Alcotest.int "sum" 1124 sum
+  | _ -> Alcotest.fail "t.sizes missing from snapshot"
+
+(* -- spans ----------------------------------------------------------------- *)
+
+let test_span () =
+  let reg = Registry.create () in
+  let s = Registry.span reg "t.phase" in
+  Registry.record_ns s 500;
+  let x = Registry.time s (fun () -> 21 * 2) in
+  check Alcotest.int "time returns the thunk's value" 42 x;
+  check Alcotest.bool "total accumulates" true
+    (Registry.span_total_ns s >= 500);
+  match Registry.(find (snapshot reg) "t.phase") with
+  | Some (Registry.Span_v { count; total_ns }) ->
+      check Alcotest.int "two recordings" 2 count;
+      check Alcotest.bool "snapshot total" true (total_ns >= 500)
+  | _ -> Alcotest.fail "t.phase missing from snapshot"
+
+(* -- snapshot + JSON ------------------------------------------------------- *)
+
+let test_snapshot_json_shape () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "vm.events" ~help:"events" in
+  Registry.add c 7;
+  Registry.gauge_fn reg "core.depth" (fun () -> 3);
+  let h = Registry.histogram reg "parallel.occ" ~buckets:[ 2; 4 ] in
+  Registry.observe h 3;
+  ignore (Registry.span reg "misc_timer");
+  let json = Registry.to_json (Registry.snapshot reg) in
+  (match json with
+  | Json.Obj groups ->
+      check
+        (Alcotest.list Alcotest.string)
+        "groups in first-seen order, dotless names under misc"
+        [ "vm"; "core"; "parallel"; "misc" ]
+        (List.map fst groups)
+  | _ -> Alcotest.fail "snapshot must render to an object");
+  let s = Json.to_string json in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool
+        (Fmt.str "rendering contains %S" needle)
+        true (contains needle))
+    [
+      "\"events\": {"; "\"kind\": \"counter\""; "\"value\": 7";
+      "\"kind\": \"gauge\""; "\"kind\": \"histogram\"";
+      "\"kind\": \"span\"";
+    ]
+
+let test_json_printer () =
+  let j =
+    Json.obj
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 2.5);
+        ("fi", Json.Float 4.0);
+        ("nan", Json.Float Float.nan);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  let s = Json.to_string j in
+  let expected =
+    "{\n\
+    \  \"s\": \"a\\\"b\\\\c\\nd\",\n\
+    \  \"i\": -3,\n\
+    \  \"f\": 2.5,\n\
+    \  \"fi\": 4.0,\n\
+    \  \"nan\": null,\n\
+    \  \"l\": [\n\
+    \    true,\n\
+    \    null\n\
+    \  ],\n\
+    \  \"empty\": {}\n\
+     }\n"
+  in
+  check Alcotest.string "deterministic rendering" expected s
+
+(* -- cross-domain stats (satellite-1 regression) --------------------------- *)
+
+(* The Spsc stall/wait/drop counters used to be plain [mutable]
+   fields: reading them from a domain other than the one incrementing
+   them was unsynchronized and could observe stale or torn values.
+   Now they are [Atomic.t]; a third (monitoring) domain snapshotting
+   them concurrently with a two-domain run must never raise and must
+   see each counter monotonically non-decreasing. *)
+let test_two_domain_stats_snapshot () =
+  let ring = Dift_parallel.Spsc.create ~capacity:2 in
+  let reg = Registry.create () in
+  Registry.gauge_fn reg "parallel.ring.stalls" (fun () ->
+      Dift_parallel.Spsc.producer_stalls ring);
+  Registry.gauge_fn reg "parallel.ring.waits" (fun () ->
+      Dift_parallel.Spsc.consumer_waits ring);
+  Registry.gauge_fn reg "parallel.ring.drops" (fun () ->
+      Dift_parallel.Spsc.dropped ring);
+  let items = 20_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to items do
+          Dift_parallel.Spsc.push ring i
+        done;
+        Dift_parallel.Spsc.close ring)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        let rec loop () =
+          match Dift_parallel.Spsc.pop ring with
+          | Some _ ->
+              incr n;
+              loop ()
+          | None -> !n
+        in
+        loop ())
+  in
+  (* the monitoring domain: snapshot in a tight loop during the run *)
+  let gauge name snap =
+    match Registry.find snap name with
+    | Some (Registry.Gauge_v v) -> v
+    | _ -> Alcotest.failf "%s missing from snapshot" name
+  in
+  let monotonic = ref true in
+  let prev_stalls = ref 0 and prev_waits = ref 0 in
+  for _ = 1 to 2_000 do
+    let snap = Registry.snapshot reg in
+    let stalls = gauge "parallel.ring.stalls" snap in
+    let waits = gauge "parallel.ring.waits" snap in
+    if stalls < !prev_stalls || waits < !prev_waits then monotonic := false;
+    prev_stalls := stalls;
+    prev_waits := waits
+  done;
+  let consumed = Domain.join consumer in
+  Domain.join producer;
+  check Alcotest.bool "counters monotonic under concurrency" true !monotonic;
+  check Alcotest.int "every element consumed" items consumed;
+  (* quiescent: a final snapshot agrees with the direct reads *)
+  let snap = Registry.snapshot reg in
+  check Alcotest.int "final stalls agree"
+    (Dift_parallel.Spsc.producer_stalls ring)
+    (gauge "parallel.ring.stalls" snap);
+  check Alcotest.int "no drops without abort" 0
+    (gauge "parallel.ring.drops" snap)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter;
+    Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
+    Alcotest.test_case "gauge_fn rebinds" `Quick test_gauge_fn_rebinds;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "span timing" `Quick test_span;
+    Alcotest.test_case "snapshot JSON shape" `Quick test_snapshot_json_shape;
+    Alcotest.test_case "json printer" `Quick test_json_printer;
+    Alcotest.test_case "two-domain stats snapshot" `Quick
+      test_two_domain_stats_snapshot;
+  ]

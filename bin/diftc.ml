@@ -49,6 +49,50 @@ let emit_stats dest reg =
   | None -> ()
   | Some file -> Dift_obs.Registry.(write_json file (snapshot reg))
 
+(* [--chrome-trace] / [--chrome-trace=FILE]: record the run on an
+   execution timeline and export it in Chrome trace-event JSON
+   (loadable in Perfetto / chrome://tracing). *)
+let chrome_trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "trace.json") (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Record an execution timeline and write it as Chrome \
+           trace-event JSON to $(docv) (default \"trace.json\"; \"-\" \
+           means stdout).  Open the file in Perfetto or \
+           chrome://tracing.")
+
+let trace_capacity_arg =
+  Arg.(
+    value & opt int 65_536
+    & info [ "trace-capacity" ] ~docv:"EVENTS"
+        ~doc:
+          "Per-domain timeline buffer capacity, in events (with \
+           --chrome-trace).  Events beyond the cap are dropped and \
+           counted, never silently truncated.")
+
+(* A tracer when [--chrome-trace] was given; its drop/buffer accounting
+   joins the [--stats] registry when both are on. *)
+let make_tracer chrome capacity obs =
+  Option.map
+    (fun _ ->
+      let tr = Dift_obs.Trace.create ~capacity () in
+      Option.iter (Dift_obs.Trace.register_obs tr) obs;
+      tr)
+    chrome
+
+let emit_trace chrome tr =
+  match chrome with
+  | None -> ()
+  | Some file ->
+      Dift_obs.Trace.write tr file;
+      if file <> "-" then
+        Fmt.epr "chrome trace: %d events -> %s (%d dropped)@."
+          (Dift_obs.Trace.buffered tr)
+          file
+          (Dift_obs.Trace.dropped tr)
+
 (* -- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -73,7 +117,7 @@ let list_cmd =
 (* -- run ------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name size seed stats =
+  let run name size seed stats chrome trace_capacity =
     match find_workload name with
     | Error e ->
         Fmt.epr "%s@." e;
@@ -84,7 +128,15 @@ let run_cmd =
         let m = Machine.create ~config w.Workload.program ~input in
         let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
         Option.iter (fun reg -> Obs_tool.attach reg m) obs;
-        let outcome = Machine.run m in
+        let tracer = make_tracer chrome trace_capacity obs in
+        Option.iter (fun tr -> Obs_tool.attach_trace tr m) tracer;
+        let outcome =
+          match tracer with
+          | Some tr ->
+              Dift_obs.Trace.span tr ~cat:"vm" "run" (fun () ->
+                  Machine.run m)
+          | None -> Machine.run m
+        in
         Fmt.pr "outcome: %a@." Event.pp_outcome outcome;
         Fmt.pr "output:  %a@."
           Fmt.(list ~sep:sp int)
@@ -92,10 +144,13 @@ let run_cmd =
         Fmt.pr "steps:   %d, cycles: %d@." (Machine.steps m)
           (Machine.cycles m);
         Option.iter (fun reg -> emit_stats stats reg) obs;
+        Option.iter (fun tr -> emit_trace chrome tr) tracer;
         0
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a kernel natively.")
-    Term.(const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ stats_arg)
+    Term.(
+      const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ stats_arg
+      $ chrome_trace_arg $ trace_capacity_arg)
 
 (* -- trace ------------------------------------------------------------------ *)
 
@@ -106,7 +161,7 @@ let trace_cmd =
       & opt int (16 * 1024 * 1024)
       & info [ "capacity" ] ~doc:"Trace buffer capacity in bytes.")
   in
-  let run name size seed capacity stats =
+  let run name size seed capacity stats chrome trace_capacity =
     match find_workload name with
     | Error e ->
         Fmt.epr "%s@." e;
@@ -119,7 +174,17 @@ let trace_cmd =
         Ontrac.attach tracer m;
         let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
         Option.iter (fun reg -> Obs_tool.attach reg m) obs;
-        ignore (Machine.run m);
+        let timeline = make_tracer chrome trace_capacity obs in
+        Option.iter
+          (fun tr ->
+            Ontrac.set_trace tracer tr;
+            Obs_tool.attach_trace tr m)
+          timeline;
+        (match timeline with
+        | Some tr ->
+            Dift_obs.Trace.span tr ~cat:"vm" "ontrac.run" (fun () ->
+                ignore (Machine.run m))
+        | None -> ignore (Machine.run m));
         Fmt.pr "%a@." Ontrac.pp_stats (Ontrac.stats tracer);
         Fmt.pr "%a@." Trace_buffer.pp (Ontrac.buffer tracer);
         Fmt.pr "bytes/instr: %.3f@." (Ontrac.bytes_per_instr tracer);
@@ -129,12 +194,13 @@ let trace_cmd =
             Ontrac.register_obs tracer reg;
             emit_stats stats reg)
           obs;
+        Option.iter (fun tr -> emit_trace chrome tr) timeline;
         0
   in
   Cmd.v (Cmd.info "trace" ~doc:"Run a kernel under ONTRAC.")
     Term.(
       const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ capacity_arg
-      $ stats_arg)
+      $ stats_arg $ chrome_trace_arg $ trace_capacity_arg)
 
 (* -- taint ------------------------------------------------------------------- *)
 
@@ -162,12 +228,33 @@ let taint_cmd =
       & info [ "batch-size" ]
           ~doc:"Events per forwarded batch (with --parallel).")
   in
+  (* The kernel can be named either positionally or with [--workload]
+     (convenient in scripted invocations where the options come
+     first). *)
+  let pos_name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"KERNEL"
+          ~doc:"Kernel to run (alternative to the positional argument).")
+  in
   let on_sink sink taint (e : Event.exec) =
     if taint && sink = Engine.Sink_output then
       Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
   in
-  let run name size seed parallel queue_capacity batch_size stats =
-    match find_workload name with
+  let run pos_name workload size seed parallel queue_capacity batch_size
+      stats chrome trace_capacity =
+    let named =
+      match (pos_name, workload) with
+      | Some p, Some w when p <> w ->
+          Error (Fmt.str "both KERNEL %s and --workload %s given" p w)
+      | Some n, _ | None, Some n -> Ok n
+      | None, None -> Error "no kernel named (positional or --workload)"
+    in
+    match Result.bind named find_workload with
     | Error e ->
         Fmt.epr "%s@." e;
         1
@@ -177,10 +264,11 @@ let taint_cmd =
     | Ok w ->
         let input = w.Workload.input ~size ~seed in
         let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
+        let tracer = make_tracer chrome trace_capacity obs in
         if parallel then begin
           let r =
-            Dift_parallel.Parallel.run ?obs ~queue_capacity ~batch_size
-              ~on_sink w.Workload.program ~input
+            Dift_parallel.Parallel.run ?obs ?trace:tracer ~queue_capacity
+              ~batch_size ~on_sink w.Workload.program ~input
           in
           let open Dift_parallel.Parallel in
           Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
@@ -206,7 +294,17 @@ let taint_cmd =
               Bool_engine.register_obs eng reg;
               Obs_tool.attach reg m)
             obs;
-          ignore (Machine.run m);
+          Option.iter
+            (fun tr ->
+              Dift_obs.Trace.name_track tr "app";
+              Bool_engine.set_trace eng tr;
+              Obs_tool.attach_trace tr m)
+            tracer;
+          (match tracer with
+          | Some tr ->
+              Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () ->
+                  ignore (Machine.run m))
+          | None -> ignore (Machine.run m));
           let locs, words = Bool_engine.shadow_footprint eng in
           let s = Bool_engine.stats eng in
           Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
@@ -214,6 +312,7 @@ let taint_cmd =
           Fmt.pr "shadow: %d locations, %d words@." locs words
         end;
         Option.iter (fun reg -> emit_stats stats reg) obs;
+        Option.iter (fun tr -> emit_trace chrome tr) tracer;
         0
   in
   Cmd.v
@@ -222,8 +321,9 @@ let taint_cmd =
          "Run a kernel under boolean taint DIFT, inline or on a helper \
           domain (--parallel).")
     Term.(
-      const run $ name_arg "KERNEL" $ size_arg $ seed_arg $ parallel_arg
-      $ queue_arg $ batch_arg $ stats_arg)
+      const run $ pos_name_arg $ workload_arg $ size_arg $ seed_arg
+      $ parallel_arg $ queue_arg $ batch_arg $ stats_arg $ chrome_trace_arg
+      $ trace_capacity_arg)
 
 (* -- stats ------------------------------------------------------------------- *)
 
@@ -251,7 +351,17 @@ let stats_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Where to write the snapshot (\"-\" means stdout).")
   in
-  let run name size seed queue_capacity batch_size out =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("prometheus", `Prometheus) ]) `Json
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Snapshot encoding: $(b,json) (the structured snapshot) or \
+             $(b,prometheus) (text exposition format, one metric per \
+             line, ready for a scrape endpoint).")
+  in
+  let run name size seed queue_capacity batch_size out format =
     match find_workload name with
     | Error e ->
         Fmt.epr "%s@." e;
@@ -276,18 +386,21 @@ let stats_cmd =
         Ontrac.attach tracer m;
         ignore (Machine.run m);
         Ontrac.register_obs tracer reg;
-        Dift_obs.Registry.(write_json out (snapshot reg));
+        (match format with
+        | `Json -> Dift_obs.Registry.(write_json out (snapshot reg))
+        | `Prometheus ->
+            Dift_obs.Registry.(write_prometheus out (snapshot reg)));
         0
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a kernel under the full observability stack (two-domain \
-          taint run plus an ONTRAC pass) and print the JSON metrics \
-          snapshot.")
+          taint run plus an ONTRAC pass) and print the metrics snapshot \
+          as JSON or Prometheus text.")
     Term.(
       const run $ workload_arg $ size_arg $ seed_arg $ queue_arg $ batch_arg
-      $ out_arg)
+      $ out_arg $ format_arg)
 
 (* -- slice ------------------------------------------------------------------- *)
 

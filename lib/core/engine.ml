@@ -56,6 +56,9 @@ module Make (D : Taint.DOMAIN) = struct
     control : (int, thread_control) Hashtbl.t;
     pending_spawn_taint : (int, D.t) Hashtbl.t;  (** tid -> control taint *)
     mutable charge : int -> unit;
+    mutable tracer : (Dift_obs.Trace.t * int) option;
+        (** timeline tracer and its sampling period *)
+    mutable trace_left : int;  (** events until the next sample *)
   }
 
   let create ?(policy = Policy.default) program =
@@ -68,6 +71,8 @@ module Make (D : Taint.DOMAIN) = struct
       control = Hashtbl.create 8;
       pending_spawn_taint = Hashtbl.create 8;
       charge = ignore;
+      tracer = None;
+      trace_left = 0;
     }
 
   let on_sink t f = t.sink_handler <- Some f
@@ -170,8 +175,34 @@ module Make (D : Taint.DOMAIN) = struct
 
   let site_of (e : Event.exec) = (e.Event.func.Func.name, e.Event.pc)
 
+  (** Sample the shadow footprint onto the timeline every
+      [sample_every] processed events (default [256]) — the
+      [shadow.words] / [shadow.tainted_locations] counter tracks ride
+      on whichever domain runs {!process}, so the helper track shows
+      the footprint growing while the application track keeps
+      executing.  @raise Invalid_argument if [sample_every < 1]. *)
+  let set_trace ?(sample_every = 256) t tr =
+    if sample_every < 1 then invalid_arg "Engine.set_trace: sample_every < 1";
+    t.tracer <- Some (tr, sample_every);
+    t.trace_left <- 1
+
+  let trace_sample t =
+    match t.tracer with
+    | None -> ()
+    | Some (tr, every) ->
+        t.trace_left <- t.trace_left - 1;
+        if t.trace_left <= 0 then begin
+          t.trace_left <- every;
+          let open Dift_obs in
+          Trace.counter tr ~cat:"core" "shadow.words"
+            (Sh.footprint_words t.shadow);
+          Trace.counter tr ~cat:"core" "shadow.tainted_locations"
+            (Sh.tainted_locations t.shadow)
+        end
+
   let process t (e : Event.exec) =
     t.stats.events <- t.stats.events + 1;
+    trace_sample t;
     t.charge Cost.inline_taint_propagate;
     let ctl = control_taint t e in
     let fname, pc = site_of e in

@@ -62,6 +62,16 @@ module Make (D : Taint.DOMAIN) : sig
       propagation hot path is untouched. *)
   val register_obs : t -> Dift_obs.Registry.t -> unit
 
+  (** Sample the shadow footprint onto an execution timeline: every
+      [sample_every] processed events (default [256]) the engine
+      records [shadow.words] and [shadow.tainted_locations] counter
+      samples (category [core]) into the {e processing} domain's
+      trace buffer — under the two-domain runtime that is the helper
+      track, so the trace shows the footprint growing while the
+      application track keeps executing (paper §2.1).
+      @raise Invalid_argument if [sample_every < 1]. *)
+  val set_trace : ?sample_every:int -> t -> Dift_obs.Trace.t -> unit
+
   (** Attach to a machine; overhead is charged to the machine's cycle
       counter unless [charge] overrides it. *)
   val attach : ?charge:(int -> unit) -> t -> Machine.t -> unit

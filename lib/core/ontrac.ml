@@ -101,6 +101,9 @@ type t = {
   scope_set : (string, unit) Hashtbl.t option;
   mutable machine : Machine.t option;
   mutable events_since_prune : int;
+  mutable tracer : (Dift_obs.Trace.t * int) option;
+      (** timeline tracer and its sampling period *)
+  mutable trace_left : int;  (** instructions until the next sample *)
 }
 
 let create ?(opts = default_opts) program =
@@ -143,6 +146,8 @@ let create ?(opts = default_opts) program =
         opts.scope;
     machine = None;
     events_since_prune = 0;
+    tracer = None;
+    trace_left = 0;
   }
 
 let stats t = t.stats
@@ -170,12 +175,52 @@ let in_scope t fname =
 let charge t n =
   match t.machine with Some m -> Machine.charge m n | None -> ()
 
+(** Sample the circular buffer onto an execution timeline: every
+    [sample_every] traced instructions (default [1024]) a
+    [trace_buffer.stored_bytes] counter sample shows the buffer
+    filling, and every {!Trace_buffer.add} that evicts records emits a
+    [trace_buffer.drain] duration span carrying the eviction count —
+    so the window wrapping around is visible as drain pulses on an
+    otherwise monotone fill ramp.
+    @raise Invalid_argument if [sample_every < 1]. *)
+let set_trace ?(sample_every = 1024) t tr =
+  if sample_every < 1 then invalid_arg "Ontrac.set_trace: sample_every < 1";
+  t.tracer <- Some (tr, sample_every);
+  t.trace_left <- 1
+
+let trace_sample t =
+  match t.tracer with
+  | None -> ()
+  | Some (tr, every) ->
+      t.trace_left <- t.trace_left - 1;
+      if t.trace_left <= 0 then begin
+        t.trace_left <- every;
+        Dift_obs.Trace.counter tr ~cat:"core" "trace_buffer.stored_bytes"
+          (Trace_buffer.stored_bytes t.buffer)
+      end
+
+(* Append to the circular buffer, timing the append as a drain span
+   when it evicted records. *)
+let buffer_add t ~use_step ~bytes =
+  match t.tracer with
+  | None -> Trace_buffer.add t.buffer ~use_step ~bytes
+  | Some (tr, _) ->
+      let open Dift_obs in
+      let evicted0 = Trace_buffer.evicted_records t.buffer in
+      let t0 = Trace.now_ns tr in
+      Trace_buffer.add t.buffer ~use_step ~bytes;
+      let evicted = Trace_buffer.evicted_records t.buffer - evicted0 in
+      if evicted > 0 then
+        Trace.complete_ns tr ~cat:"core"
+          ~args:[ ("evicted", Json.Int evicted) ]
+          "trace_buffer.drain" ~start_ns:t0 ~dur_ns:(Trace.now_ns tr - t0)
+
 (* Record a dependence: real byte encoding, buffer accounting, cycle
    charge, and DDG edge. *)
 let record t (d : Dep.t) =
   let bytes = Encoding.record_size ~prev_use:t.writer.Encoding.prev_use d in
   Encoding.write t.writer d;
-  Trace_buffer.add t.buffer ~use_step:d.Dep.use_step ~bytes;
+  buffer_add t ~use_step:d.Dep.use_step ~bytes;
   charge t Cost.ontrac_record;
   t.stats.deps_recorded <- t.stats.deps_recorded + 1;
   Ddg.add_dep t.ddg d
@@ -287,6 +332,7 @@ let classify t (e : Event.exec) ~loc ~(w : writer_info) ~block ~history =
 
 let process t (e : Event.exec) =
   t.stats.instructions <- t.stats.instructions + 1;
+  trace_sample t;
   let parent = Control_dep.process t.cd e in
   let fname = e.Event.func.Func.name in
   let scoped = in_scope t fname in

@@ -115,14 +115,22 @@ let histogram ?(help = "") t name ~buckets =
   | M_histogram h -> h
   | _ -> assert false
 
+(* Bounds are inclusive (<=): a value equal to a bound lands in that
+   bound's bucket.  Negative observations are ignored entirely
+   (mirroring [add]): they used to land in the lowest bucket while
+   decreasing [h_sum], breaking the monotonicity that snapshot
+   consumers — and the cumulative Prometheus histogram series — rely
+   on. *)
 let observe h v =
-  let n = Array.length h.h_bounds in
-  let i = ref 0 in
-  while !i < n && v > Array.unsafe_get h.h_bounds !i do
-    Stdlib.incr i
-  done;
-  ignore (Atomic.fetch_and_add (Array.unsafe_get h.h_counts !i) 1);
-  ignore (Atomic.fetch_and_add h.h_sum v)
+  if v >= 0 then begin
+    let n = Array.length h.h_bounds in
+    let i = ref 0 in
+    while !i < n && v > Array.unsafe_get h.h_bounds !i do
+      Stdlib.incr i
+    done;
+    ignore (Atomic.fetch_and_add (Array.unsafe_get h.h_counts !i) 1);
+    ignore (Atomic.fetch_and_add h.h_sum v)
+  end
 
 let observations h =
   Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.h_counts
@@ -150,6 +158,7 @@ let time s f =
   Fun.protect ~finally:(fun () -> record_ns s (now_ns () - t0)) f
 
 let span_total_ns s = Atomic.get s.s_total_ns
+let span_count s = Atomic.get s.s_count
 
 (* -- snapshots ----------------------------------------------------------- *)
 
@@ -162,7 +171,7 @@ type value =
       count : int;
       sum : int;
     }
-  | Span_v of { count : int; total_ns : int }
+  | Span_v of { count : int; total_ns : int; mean_ns : int }
 
 type snapshot = (string * string * value) list
 
@@ -180,7 +189,14 @@ let read_metric = function
           sum = Atomic.get h.h_sum;
         }
   | M_span s ->
-      Span_v { count = Atomic.get s.s_count; total_ns = Atomic.get s.s_total_ns }
+      let count = Atomic.get s.s_count in
+      let total_ns = Atomic.get s.s_total_ns in
+      Span_v
+        {
+          count;
+          total_ns;
+          mean_ns = (if count = 0 then 0 else total_ns / count);
+        }
 
 let snapshot t =
   let metrics =
@@ -208,12 +224,13 @@ let value_to_json = function
           ("count", Json.Int count);
           ("sum", Json.Int sum);
         ]
-  | Span_v { count; total_ns } ->
+  | Span_v { count; total_ns; mean_ns } ->
       Json.obj
         [
           ("kind", Json.String "span");
           ("count", Json.Int count);
           ("total_ns", Json.Int total_ns);
+          ("mean_ns", Json.Int mean_ns);
         ]
 
 (* Group by the segment before the first dot, preserving registration
@@ -245,11 +262,77 @@ let to_json snap =
        (fun g -> (g, Json.obj (List.rev (Hashtbl.find members g))))
        !order)
 
-let write_json file snap =
-  let s = Json.to_string (to_json snap) in
+let write_string file s =
   if file = "-" then print_string s
   else begin
     let oc = open_out file in
     Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
     output_string oc s
   end
+
+let write_json file snap = write_string file (Json.to_string (to_json snap))
+
+(* -- Prometheus text exposition ----------------------------------------- *)
+
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "dift_" ^ Bytes.to_string b
+
+(* HELP text: the exposition format escapes backslash and newline. *)
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_prometheus snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.bprintf buf fmt in
+  let header n help typ =
+    if help <> "" then line "# HELP %s %s\n" n (prom_escape help);
+    line "# TYPE %s %s\n" n typ
+  in
+  List.iter
+    (fun (name, help, v) ->
+      match v with
+      | Counter_v c ->
+          let n = prom_name name in
+          header n help "counter";
+          line "%s %d\n" n c
+      | Gauge_v g ->
+          let n = prom_name name in
+          header n help "gauge";
+          line "%s %d\n" n g
+      | Histogram_v { buckets; counts; count; sum } ->
+          let n = prom_name name in
+          header n help "histogram";
+          (* cumulative buckets; the trailing overflow count is folded
+             into the +Inf bucket, which always equals [count] *)
+          let cum = ref 0 in
+          List.iteri
+            (fun i b ->
+              cum := !cum + List.nth counts i;
+              line "%s_bucket{le=\"%d\"} %d\n" n b !cum)
+            buckets;
+          line "%s_bucket{le=\"+Inf\"} %d\n" n count;
+          line "%s_sum %d\n" n sum;
+          line "%s_count %d\n" n count
+      | Span_v { count; total_ns; _ } ->
+          let n = prom_name name ^ "_ns" in
+          header n help "summary";
+          line "%s_sum %d\n" n total_ns;
+          line "%s_count %d\n" n count)
+    snap;
+  Buffer.contents buf
+
+let write_prometheus file snap = write_string file (to_prometheus snap)

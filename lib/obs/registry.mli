@@ -75,12 +75,23 @@ val gauge_fn : ?help:string -> t -> string -> (unit -> int) -> unit
 type histogram
 
 (** [histogram t name ~buckets] registers a histogram with the given
-    inclusive upper bounds (sorted ascending internally); observations
-    above the last bound land in an implicit overflow bucket.
+    {e inclusive} upper bounds (sorted ascending internally): an
+    observation [v] lands in the first bucket whose bound [b]
+    satisfies [v <= b] — so a value exactly equal to a bound belongs
+    to that bound's bucket, not the next one ([<=], never [<]).
+    Observations above the last bound land in an implicit overflow
+    bucket.
     @raise Invalid_argument if [buckets] is empty. *)
 val histogram : ?help:string -> t -> string -> buckets:int list -> histogram
 
-(** Record one observation.  Allocation-free. *)
+(** Record one observation.  Allocation-free.
+
+    Negative values are ignored — not bucketed, not counted, not
+    summed — mirroring {!add}'s treatment of negative increments, so
+    the per-bucket counts, [count] and [sum] of successive snapshots
+    are all monotonic (which the Prometheus exposition, where
+    histogram series are cumulative counters, requires).  They used to
+    land in the lowest bucket while {e decreasing} [sum]. *)
 val observe : histogram -> int -> unit
 
 (** Observations recorded so far. *)
@@ -100,6 +111,10 @@ val record_ns : span -> int -> unit
 
 val span_total_ns : span -> int
 
+(** Durations recorded so far ({!time} calls plus {!record_ns}
+    calls). *)
+val span_count : span -> int
+
 (** {1 Snapshots} *)
 
 type value =
@@ -111,7 +126,11 @@ type value =
       count : int;
       sum : int;
     }
-  | Span_v of { count : int; total_ns : int }
+  | Span_v of {
+      count : int;
+      total_ns : int;
+      mean_ns : int;  (** [total_ns / count], [0] when empty *)
+    }
 
 (** Metrics in registration order: [(name, help, value)]. *)
 type snapshot = (string * string * value) list
@@ -128,3 +147,17 @@ val to_json : snapshot -> Json.t
 (** [write_json file snap] writes {!to_json} to [file]; ["-"] means
     stdout. *)
 val write_json : string -> snapshot -> unit
+
+(** Render a snapshot in the Prometheus text exposition format
+    (version 0.0.4): per metric a [# HELP] line (when the help string
+    is non-empty), a [# TYPE] line and the sample lines.  Metric names
+    are prefixed with [dift_] and every non-alphanumeric character
+    becomes [_].  Counters and gauges map directly; histograms render
+    as cumulative [_bucket{le="…"}] series plus [_sum]/[_count]; spans
+    render as a [summary] named [<name>_ns] whose [_sum] is the
+    accumulated nanoseconds. *)
+val to_prometheus : snapshot -> string
+
+(** [write_prometheus file snap] writes {!to_prometheus} to [file];
+    ["-"] means stdout. *)
+val write_prometheus : string -> snapshot -> unit

@@ -1,0 +1,237 @@
+(** The streaming execution tracer; see the interface for the design.
+
+    Hot path: one [Domain.DLS.get], a list cons and an atomic length
+    bump into the calling domain's private buffer — no locks, no
+    shared writes except the atomic counters.  The tracer-wide mutex
+    guards only the buffer list (taken once per recording domain, at
+    its first event) and merge-time iteration. *)
+
+type kind =
+  | Span of { dur_ns : int }
+  | Instant
+  | Sample of { value : int }
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;
+  tid : int;
+  kind : kind;
+  args : (string * Json.t) list;
+}
+
+(* One per recording domain.  [evs]/[b_name] are written only by the
+   owning domain and read only after it quiesced (merge time); [len]
+   is atomic so accounting gauges may read it live from any domain. *)
+type buf = {
+  b_tid : int;
+  mutable b_name : string;
+  mutable evs : event list;  (** newest first *)
+  len : int Atomic.t;
+}
+
+type t = {
+  cap : int;  (** per-domain event cap *)
+  epoch_ns : int;
+  lock : Mutex.t;
+  bufs : buf list ref;  (** every domain's buffer; guarded by [lock] *)
+  key : buf Domain.DLS.key;
+  t_dropped : int Atomic.t;
+  obs_dropped : Registry.counter option Atomic.t;
+      (** mirror drops into the registry once {!register_obs} ran *)
+}
+
+let wall_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  let lock = Mutex.create () in
+  let bufs = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let tid = (Domain.self () :> int) in
+        let b =
+          { b_tid = tid; b_name = Fmt.str "domain-%d" tid; evs = [];
+            len = Atomic.make 0 }
+        in
+        Mutex.lock lock;
+        bufs := b :: !bufs;
+        Mutex.unlock lock;
+        b)
+  in
+  {
+    cap = capacity;
+    epoch_ns = wall_ns ();
+    lock;
+    bufs;
+    key;
+    t_dropped = Atomic.make 0;
+    obs_dropped = Atomic.make None;
+  }
+
+let capacity t = t.cap
+let now_ns t = wall_ns () - t.epoch_ns
+
+let name_track t name =
+  let b = Domain.DLS.get t.key in
+  b.b_name <- name
+
+(* -- recording ---------------------------------------------------------- *)
+
+let record t ~name ~cat ~ts_ns ~kind ~args =
+  let b = Domain.DLS.get t.key in
+  if Atomic.get b.len >= t.cap then begin
+    Atomic.incr t.t_dropped;
+    match Atomic.get t.obs_dropped with
+    | Some c -> Registry.incr c
+    | None -> ()
+  end
+  else begin
+    b.evs <- { name; cat; ts_ns; tid = b.b_tid; kind; args } :: b.evs;
+    Atomic.incr b.len
+  end
+
+let instant t ?(cat = "misc") ?(args = []) name =
+  record t ~name ~cat ~ts_ns:(now_ns t) ~kind:Instant ~args
+
+let counter t ?(cat = "misc") name value =
+  record t ~name ~cat ~ts_ns:(now_ns t) ~kind:(Sample { value }) ~args:[]
+
+let complete_ns t ?(cat = "misc") ?(args = []) name ~start_ns ~dur_ns =
+  record t ~name ~cat ~ts_ns:start_ns ~kind:(Span { dur_ns = max 0 dur_ns })
+    ~args
+
+let span t ?cat ?args name f =
+  let t0 = now_ns t in
+  Fun.protect
+    ~finally:(fun () ->
+      complete_ns t ?cat ?args name ~start_ns:t0 ~dur_ns:(now_ns t - t0))
+    f
+
+(* -- accounting --------------------------------------------------------- *)
+
+let with_bufs t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () -> f !(t.bufs)
+
+let buffered t =
+  with_bufs t (List.fold_left (fun acc b -> acc + Atomic.get b.len) 0)
+
+let dropped t = Atomic.get t.t_dropped
+
+let register_obs t reg =
+  let c =
+    Registry.counter reg "trace.dropped"
+      ~help:"trace events dropped at the per-domain capacity cap"
+  in
+  (* carry over drops recorded before the registry was attached *)
+  Registry.add c (Atomic.get t.t_dropped);
+  Atomic.set t.obs_dropped (Some c);
+  Registry.gauge_fn reg "trace.buffered_events"
+    ~help:"trace events currently buffered, all domains" (fun () ->
+      buffered t);
+  Registry.gauge_fn reg "trace.domains" ~help:"domains that recorded events"
+    (fun () -> with_bufs t List.length);
+  Registry.gauge_fn reg "trace.capacity_per_domain"
+    ~help:"trace event cap per recording domain" (fun () -> t.cap)
+
+(* -- merge and export --------------------------------------------------- *)
+
+(* Counter series get synthetic track ids well above any plausible
+   domain id, assigned in order of first appearance in the merged
+   timeline (deterministic given the recorded data). *)
+let counter_tid_base = 0x1000
+
+let merged t =
+  let bufs = with_bufs t (fun bs -> bs) in
+  let evs =
+    List.concat_map (fun b -> List.rev b.evs) bufs
+    |> List.stable_sort (fun a b ->
+           compare (a.ts_ns, a.tid) (b.ts_ns, b.tid))
+  in
+  let ctids = Hashtbl.create 8 in
+  let next = ref counter_tid_base in
+  let evs =
+    List.map
+      (fun e ->
+        match e.kind with
+        | Sample _ ->
+            let tid =
+              match Hashtbl.find_opt ctids e.name with
+              | Some tid -> tid
+              | None ->
+                  let tid = !next in
+                  incr next;
+                  Hashtbl.add ctids e.name tid;
+                  tid
+            in
+            { e with tid }
+        | Span _ | Instant -> e)
+      evs
+  in
+  let domain_tracks =
+    List.map (fun b -> (b.b_tid, b.b_name)) bufs |> List.sort compare
+  in
+  let counter_tracks =
+    Hashtbl.fold (fun name tid acc -> (tid, name) :: acc) ctids []
+    |> List.sort compare
+  in
+  (domain_tracks @ counter_tracks, evs)
+
+let events t = snd (merged t)
+let tracks t = fst (merged t)
+
+let to_json t =
+  let tracks, evs = merged t in
+  let us ns = Json.Float (float_of_int ns /. 1e3) in
+  let meta =
+    Json.obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("args", Json.obj [ ("name", Json.String "dift") ]);
+      ]
+    :: List.map
+         (fun (tid, name) ->
+           Json.obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("args", Json.obj [ ("name", Json.String name) ]);
+             ])
+         tracks
+  in
+  let ev_json e =
+    let shape =
+      match e.kind with
+      | Span { dur_ns } ->
+          [ ("ph", Json.String "X"); ("ts", us e.ts_ns); ("dur", us dur_ns) ]
+      | Instant ->
+          [ ("ph", Json.String "i"); ("ts", us e.ts_ns);
+            ("s", Json.String "t") ]
+      | Sample _ -> [ ("ph", Json.String "C"); ("ts", us e.ts_ns) ]
+    in
+    let args =
+      match e.kind with
+      | Sample { value } -> ("value", Json.Int value) :: e.args
+      | Span _ | Instant -> e.args
+    in
+    Json.obj
+      ([ ("name", Json.String e.name); ("cat", Json.String e.cat) ]
+      @ shape
+      @ [ ("pid", Json.Int 1); ("tid", Json.Int e.tid) ]
+      @ (if args = [] then [] else [ ("args", Json.obj args) ]))
+  in
+  Json.List (meta @ List.map ev_json evs)
+
+let write t file =
+  let s = Json.to_string (to_json t) in
+  if file = "-" then print_string s
+  else begin
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+    output_string oc s
+  end

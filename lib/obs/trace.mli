@@ -1,0 +1,131 @@
+(** The streaming execution tracer — the {e timeline} companion to the
+    {!Registry} aggregates.
+
+    The paper's §2.1 argument is temporal: ONTRAC and the helper-core
+    runtime win by {e overlapping} application execution with taint
+    propagation.  Counters and end-of-run histograms cannot show that
+    overlap; this module records {e when} things happened — duration
+    spans, instant markers and counter samples — and exports the
+    standard Chrome trace-event JSON array, loadable in Perfetto or
+    [chrome://tracing], so the compute/track overlap and the ring's
+    backpressure waves are literally visible as parallel tracks.
+
+    {2 Buffering model}
+
+    Recording must not perturb the two-domain runtime it observes, so
+    there are no locks on the hot path: each recording domain owns a
+    private bounded buffer (created on that domain's first event via
+    domain-local storage) and appends with plain writes.  The tracer's
+    only shared mutable state is the atomic drop counter and the
+    cold-path buffer list, touched once per domain.
+
+    Buffers are bounded by a per-domain event {e capacity}; once a
+    domain's buffer is full, further events from that domain are
+    dropped and counted — never silently truncated.  {!register_obs}
+    surfaces the drop count as the [trace.dropped] counter in the
+    ordinary metrics snapshot.
+
+    {2 Quiescence}
+
+    {!events}, {!tracks}, {!to_json} and {!write} merge the per-domain
+    buffers and must only be called when every traced domain has quit
+    recording (e.g. after [Domain.join]); the cheap accounting reads
+    ({!buffered}, {!dropped}, the registered gauges) are atomic and
+    safe from any domain at any time.
+
+    {2 Track mapping (paper §2.1)}
+
+    The two-domain runtime names its tracks ["app"] (the application
+    core) and ["helper"] (the DIFT helper core); counter series such as
+    [ring.occupancy] render as their own tracks.  See
+    [docs/observability.md] for the full event catalogue. *)
+
+type t
+
+(** [create ()] is a fresh tracer; its creation instant is timestamp
+    zero.  [capacity] (default [65536]) bounds the buffered events
+    {e per recording domain}; events beyond it are dropped and counted.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : ?capacity:int -> unit -> t
+
+(** The per-domain event cap. *)
+val capacity : t -> int
+
+(** Nanoseconds since the tracer was created — the timebase every
+    event timestamp uses (and the one {!complete_ns} expects). *)
+val now_ns : t -> int
+
+(** {1 Recording (hot path, lock-free)} *)
+
+(** Name the {e calling} domain's track (shown as the thread name in
+    the trace viewer).  Last call wins; default is ["domain-<id>"]. *)
+val name_track : t -> string -> unit
+
+(** Record a zero-duration marker. *)
+val instant : t -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+(** [counter t name v] records a sample of the counter series [name];
+    each series renders as its own track. *)
+val counter : t -> ?cat:string -> string -> int -> unit
+
+(** [span t name f] runs [f ()] and records a duration span covering
+    it (recorded even if [f] raises). *)
+val span : t -> ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** Record an externally timed duration span; [start_ns] is in the
+    {!now_ns} timebase. *)
+val complete_ns :
+  t ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  string ->
+  start_ns:int ->
+  dur_ns:int ->
+  unit
+
+(** {1 Accounting (safe from any domain)} *)
+
+(** Events currently buffered, across all domains. *)
+val buffered : t -> int
+
+(** Events dropped at the capacity cap. *)
+val dropped : t -> int
+
+(** Surface the tracer in a metrics registry: the [trace.dropped]
+    counter (drop accounting in the ordinary stats snapshot — the
+    anti-silent-truncation guarantee) plus [trace.buffered_events],
+    [trace.domains] and [trace.capacity_per_domain] gauges. *)
+val register_obs : t -> Registry.t -> unit
+
+(** {1 Merge and export (quiescent tracer only)} *)
+
+type kind =
+  | Span of { dur_ns : int }  (** a duration span *)
+  | Instant
+  | Sample of { value : int }  (** a counter sample *)
+
+type event = {
+  name : string;
+  cat : string;  (** category, e.g. ["vm"], ["core"], ["parallel"] *)
+  ts_ns : int;  (** start time, {!now_ns} timebase *)
+  tid : int;  (** track id: domain id, or a synthetic counter track *)
+  kind : kind;
+  args : (string * Json.t) list;
+}
+
+(** All recorded events merged across domains, sorted by timestamp.
+    Counter samples are remapped onto one synthetic track id per
+    series name. *)
+val events : t -> event list
+
+(** The track ids appearing in {!events} with their display names:
+    every per-domain buffer plus one track per counter series. *)
+val tracks : t -> (int * string) list
+
+(** The Chrome trace-event JSON array: [thread_name] metadata records
+    for every track followed by the events ([ph] ["X"]/["i"]/["C"],
+    timestamps in microseconds). *)
+val to_json : t -> Json.t
+
+(** [write t file] writes {!to_json} to [file]; ["-"] means stdout. *)
+val write : t -> string -> unit

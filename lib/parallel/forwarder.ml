@@ -12,6 +12,9 @@ type t = {
   mutable batches : int;
   occupancy : Dift_obs.Registry.histogram option;
       (** events per pushed batch, when observability is on *)
+  trace : Dift_obs.Trace.t option;
+      (** execution timeline: enqueue/stall and dequeue/wait spans
+          plus the ring-occupancy counter track *)
 }
 
 (* Power-of-two occupancy buckets up to the batch size: a full batch
@@ -23,7 +26,7 @@ let occupancy_buckets batch_size =
   in
   up [] 1
 
-let create ?obs ~queue_capacity ~batch_size () =
+let create ?obs ?trace ~queue_capacity ~batch_size () =
   if batch_size < 1 then invalid_arg "Forwarder.create: batch_size < 1";
   let ring = Spsc.create ~capacity:queue_capacity in
   let occupancy =
@@ -54,6 +57,7 @@ let create ?obs ~queue_capacity ~batch_size () =
       events = 0;
       batches = 0;
       occupancy;
+      trace;
     }
   in
   (match obs with
@@ -72,6 +76,27 @@ let producer_stalls t = Spsc.producer_stalls t.ring
 let consumer_waits t = Spsc.consumer_waits t.ring
 let dropped t = Spsc.dropped t.ring
 
+(* Push one batch, recording the producer's side of the timeline: a
+   span named [ring.stall] when the push parked on a full ring (a
+   backpressure wave) and [ring.enqueue] otherwise, then a sample of
+   the ring occupancy. *)
+let traced_push t batch =
+  match t.trace with
+  | None -> Spsc.push t.ring batch
+  | Some tr ->
+      let open Dift_obs in
+      let stalls0 = Spsc.producer_stalls t.ring in
+      let t0 = Trace.now_ns tr in
+      Spsc.push t.ring batch;
+      let dur_ns = Trace.now_ns tr - t0 in
+      let name =
+        if Spsc.producer_stalls t.ring > stalls0 then "ring.stall"
+        else "ring.enqueue"
+      in
+      Trace.complete_ns tr ~cat:"parallel" name ~start_ns:t0 ~dur_ns;
+      Trace.counter tr ~cat:"parallel" "ring.occupancy"
+        (Spsc.length t.ring)
+
 let flush t =
   if t.fill > 0 then begin
     let batch =
@@ -84,7 +109,7 @@ let flush t =
     t.buf <- [||];
     t.fill <- 0;
     t.batches <- t.batches + 1;
-    Spsc.push t.ring batch
+    traced_push t batch
   end
 
 let add t e =
@@ -100,9 +125,31 @@ let close t =
 
 let abort t = Spsc.abort t.ring
 
+(* Pop one batch, recording the consumer's side of the timeline: a
+   span named [ring.wait] when the pop parked on an empty ring (a
+   helper idle episode) and [ring.dequeue] otherwise, then a sample of
+   the ring occupancy. *)
+let traced_pop t =
+  match t.trace with
+  | None -> Spsc.pop t.ring
+  | Some tr ->
+      let open Dift_obs in
+      let waits0 = Spsc.consumer_waits t.ring in
+      let t0 = Trace.now_ns tr in
+      let batch = Spsc.pop t.ring in
+      let dur_ns = Trace.now_ns tr - t0 in
+      let name =
+        if Spsc.consumer_waits t.ring > waits0 then "ring.wait"
+        else "ring.dequeue"
+      in
+      Trace.complete_ns tr ~cat:"parallel" name ~start_ns:t0 ~dur_ns;
+      Trace.counter tr ~cat:"parallel" "ring.occupancy"
+        (Spsc.length t.ring);
+      batch
+
 let drain ?(around_batch = fun k -> k ()) t ~f =
   let rec loop () =
-    match Spsc.pop t.ring with
+    match traced_pop t with
     | None -> ()
     | Some batch ->
         around_batch (fun () -> Array.iter f batch);

@@ -31,9 +31,23 @@ type t
     (capacity, stalls, waits, drops — all backed by the ring's atomic
     counters, so a snapshot from any domain is safe) and records the
     [parallel.forwarder.batch_occupancy] histogram on every push.
-    @raise Invalid_argument if either is [< 1]. *)
+
+    With [?trace], the channel additionally records the execution
+    timeline of every ring transfer (category [parallel]): each
+    pushed batch becomes a [ring.enqueue] span on the producer's
+    track — named [ring.stall] when the push parked on a full ring, so
+    backpressure waves are visible — each pop a [ring.dequeue] span on
+    the consumer's track (named [ring.wait] when it parked on an empty
+    ring, a helper idle episode), and both sides sample the
+    [ring.occupancy] counter track after every transfer.
+    @raise Invalid_argument if either size is [< 1]. *)
 val create :
-  ?obs:Dift_obs.Registry.t -> queue_capacity:int -> batch_size:int -> unit -> t
+  ?obs:Dift_obs.Registry.t ->
+  ?trace:Dift_obs.Trace.t ->
+  queue_capacity:int ->
+  batch_size:int ->
+  unit ->
+  t
 
 (** {1 Producer (application-core) side} *)
 

@@ -71,14 +71,19 @@ let result_of eng trace outcome =
     taint_fingerprint = taint_fingerprint eng;
   }
 
-let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
+let run ?config ?obs ?trace ?(queue_capacity = 64) ?(batch_size = 64) ?policy
     ?on_sink program ~input =
-  let fwd = Forwarder.create ?obs ~queue_capacity ~batch_size () in
-  let eng, trace = make_engine ?policy ?on_sink program in
+  let fwd = Forwarder.create ?obs ?trace ~queue_capacity ~batch_size () in
+  let eng, sink_trace = make_engine ?policy ?on_sink program in
+  (* Timeline: the engine samples its shadow footprint from whichever
+     domain processes events — the helper track, here. *)
+  (match trace with Some tr -> Bool_engine.set_trace eng tr | None -> ());
   (* Observability: engine gauges plus helper-domain utilization —
      busy time is measured around whole batches (one clock read per
      batch, not per event) and compared to the helper's wall time at
-     snapshot. *)
+     snapshot.  The same per-batch measurement feeds the
+     [parallel.helper.batch] span, whose snapshot carries the batch
+     count and mean latency. *)
   let around_batch =
     match obs with
     | None -> fun k -> k ()
@@ -93,13 +98,30 @@ let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
           Registry.counter reg "parallel.helper.wall_ns"
             ~help:"helper wall time, spawn to drain end"
         in
+        let batch_span =
+          Registry.span reg "parallel.helper.batch"
+            ~help:"per-batch propagation latency"
+        in
         Registry.gauge_fn reg "parallel.helper.utilization_pct"
           ~help:"busy / wall, percent" (fun () ->
             Registry.value busy * 100 / max 1 (Registry.value wall));
         fun k ->
           let t0 = now_ns () in
           k ();
-          Registry.add busy (now_ns () - t0)
+          let dt = now_ns () - t0 in
+          Registry.add busy dt;
+          Registry.record_ns batch_span dt
+  in
+  (* Timeline: each batch the helper propagates is an [engine.batch]
+     span on the helper track — §2.1's "tracking proceeds elsewhere"
+     as visible duration blocks interleaving with the app track. *)
+  let around_batch =
+    match trace with
+    | None -> around_batch
+    | Some tr ->
+        fun k ->
+          Dift_obs.Trace.span tr ~cat:"core" "engine.batch" (fun () ->
+              around_batch k)
   in
   let helper_wall =
     Option.map
@@ -108,6 +130,9 @@ let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
   in
   let helper =
     Domain.spawn (fun () ->
+        (match trace with
+        | Some tr -> Dift_obs.Trace.name_track tr "helper"
+        | None -> ());
         let t0 = now_ns () in
         Fun.protect
           ~finally:(fun () ->
@@ -115,7 +140,14 @@ let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
             | Some wall -> Dift_obs.Registry.add wall (now_ns () - t0)
             | None -> ())
         @@ fun () ->
-        try Forwarder.drain ~around_batch fwd ~f:(Bool_engine.process eng)
+        let drain () =
+          Forwarder.drain ~around_batch fwd ~f:(Bool_engine.process eng)
+        in
+        try
+          match trace with
+          | Some tr ->
+              Dift_obs.Trace.span tr ~cat:"parallel" "helper.drain" drain
+          | None -> drain ()
         with ex ->
           (* never leave the application domain blocked on a full ring *)
           Forwarder.abort fwd;
@@ -123,12 +155,21 @@ let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
   in
   let m = Machine.create ?config program ~input in
   (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
+  (match trace with
+  | Some tr -> Dift_obs.Trace.name_track tr "app"
+  | None -> ());
   Machine.attach m
     (Tool.make ~dispatch_cost:0 ~on_exec:(Forwarder.add fwd)
        "parallel-dift-forwarder");
   let t0 = now_ns () in
+  let run_machine () =
+    match trace with
+    | Some tr ->
+        Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () -> Machine.run m)
+    | None -> Machine.run m
+  in
   let outcome =
-    match Machine.run m with
+    match run_machine () with
     | outcome ->
         Forwarder.close fwd;
         outcome
@@ -143,7 +184,7 @@ let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
   Domain.join helper;
   let total_wall_ns = now_ns () - t0 in
   {
-    result = result_of eng trace outcome;
+    result = result_of eng sink_trace outcome;
     queue_capacity;
     batch_size;
     batches = Forwarder.batches fwd;
@@ -153,8 +194,13 @@ let run ?config ?obs ?(queue_capacity = 64) ?(batch_size = 64) ?policy
     total_wall_ns;
   }
 
-let run_inline ?config ?obs ?policy ?on_sink program ~input =
-  let eng, trace = make_engine ?policy ?on_sink program in
+let run_inline ?config ?obs ?trace ?policy ?on_sink program ~input =
+  let eng, sink_trace = make_engine ?policy ?on_sink program in
+  (match trace with
+  | Some tr ->
+      Dift_obs.Trace.name_track tr "app";
+      Bool_engine.set_trace eng tr
+  | None -> ());
   let m = Machine.create ?config program ~input in
   (match obs with
   | Some reg ->
@@ -165,9 +211,14 @@ let run_inline ?config ?obs ?policy ?on_sink program ~input =
     (Tool.make ~dispatch_cost:0 ~on_exec:(Bool_engine.process eng)
        "inline-dift");
   let t0 = now_ns () in
-  let outcome = Machine.run m in
+  let outcome =
+    match trace with
+    | Some tr ->
+        Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () -> Machine.run m)
+    | None -> Machine.run m
+  in
   let i_wall_ns = now_ns () - t0 in
-  { i_result = result_of eng trace outcome; i_wall_ns }
+  { i_result = result_of eng sink_trace outcome; i_wall_ns }
 
 let native_wall_ns ?config program ~input =
   let m = Machine.create ?config program ~input in

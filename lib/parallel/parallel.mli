@@ -75,12 +75,24 @@ type inline_report = {
     VM's [vm.*] counters ({!Dift_vm.Obs_tool}), the engine's
     [core.engine.*]/[core.shadow.*] gauges, the channel's
     [parallel.ring.*]/[parallel.forwarder.*] metrics, and
-    [parallel.helper.*] (busy/wall time and a derived utilization
+    [parallel.helper.*] (busy/wall time, a [parallel.helper.batch]
+    span over per-batch propagation latency, and a derived utilization
     percentage).  The registry may be snapshotted from any domain,
-    including while the run is in flight. *)
+    including while the run is in flight.
+
+    With [?trace], the run is recorded on an execution timeline
+    ({!Dift_obs.Trace}) with one track per domain: the application
+    track (named ["app"]) carries the [app.run] span and the
+    producer's [ring.enqueue]/[ring.stall] spans, the helper track
+    (named ["helper"]) carries the [helper.drain] envelope, one
+    [engine.batch] span per propagated batch, the consumer's
+    [ring.dequeue]/[ring.wait] spans, and the engine's shadow-footprint
+    counter samples; both sides feed the [ring.occupancy] counter
+    track.  Export with {!Dift_obs.Trace.write} after the run. *)
 val run :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
+  ?trace:Dift_obs.Trace.t ->
   ?queue_capacity:int ->
   ?batch_size:int ->
   ?policy:Policy.t ->
@@ -92,10 +104,12 @@ val run :
 (** The sequential baseline: the same engine attached inline in the
     current domain, reported in the same shape.  [?obs] instruments
     the VM and engine as in {!run} (no [parallel.*] group — there is
-    no channel). *)
+    no channel); [?trace] records a single-track timeline ([app.run]
+    span plus engine counter samples, all on the calling domain). *)
 val run_inline :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
+  ?trace:Dift_obs.Trace.t ->
   ?policy:Policy.t ->
   ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
   Program.t ->

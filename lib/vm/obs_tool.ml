@@ -60,3 +60,30 @@ let tool reg =
     "obs"
 
 let attach reg m = Machine.attach m (tool reg)
+
+(* 1-in-N sampled instruction-class instants on the calling domain's
+   trace track; the first event is always recorded so short runs still
+   show up. *)
+let trace_tool ?(sample_every = 64) tr =
+  if sample_every < 1 then invalid_arg "Obs_tool.trace_tool: sample_every < 1";
+  let open Dift_obs in
+  let left = ref 1 in
+  Tool.make ~dispatch_cost:0
+    ~on_exec:(fun e ->
+      decr left;
+      if !left <= 0 then begin
+        left := sample_every;
+        Trace.instant tr ~cat:"vm"
+          ~args:
+            [ ("step", Json.Int e.Event.step); ("pc", Json.Int e.Event.pc) ]
+          ("instr." ^ class_names.(class_of_instr e.Event.instr))
+      end)
+    ~on_fault:(fun f ->
+      Trace.instant tr ~cat:"vm"
+        ~args:[ ("step", Json.Int f.Event.at_step) ]
+        "fault")
+    ~on_finish:(fun _ -> Trace.instant tr ~cat:"vm" "finish")
+    "obs-trace"
+
+let attach_trace ?sample_every tr m =
+  Machine.attach m (trace_tool ?sample_every tr)

@@ -14,6 +14,7 @@ let () =
       ("tm-extra", Test_tm_extra.suite);
       ("multicore", Test_multicore.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
       ("faultloc", Test_faultloc.suite);
       ("attack", Test_attack.suite);

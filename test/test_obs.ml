@@ -58,6 +58,30 @@ let test_histogram () =
       check Alcotest.int "sum" 1124 sum
   | _ -> Alcotest.fail "t.sizes missing from snapshot"
 
+(* -- histogram bucket-edge regression -------------------------------------- *)
+
+(* Bucket bounds are inclusive: an observation equal to a bound lands
+   in that bound's bucket, never the next one.  Negative observations
+   used to land in the lowest bucket while pulling [sum] backwards,
+   making snapshots non-monotonic; now they are ignored, like negative
+   counter increments. *)
+let test_histogram_edges () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "t.edges" ~buckets:[ 10; 20 ] in
+  List.iter (Registry.observe h) [ 10; 11; 20; 21; -5 ];
+  check Alcotest.int "negative observation ignored" 4
+    (Registry.observations h);
+  match Registry.(find (snapshot reg) "t.edges") with
+  | Some (Registry.Histogram_v { buckets; counts; count; sum }) ->
+      check (Alcotest.list Alcotest.int) "bounds" [ 10; 20 ] buckets;
+      (* <=10: {10}; <=20: {11,20}; overflow: {21} — both exact-bound
+         observations stay in their own bucket *)
+      check (Alcotest.list Alcotest.int) "edge observations inclusive"
+        [ 1; 2; 1 ] counts;
+      check Alcotest.int "count excludes negatives" 4 count;
+      check Alcotest.int "sum excludes negatives" 62 sum
+  | _ -> Alcotest.fail "t.edges missing from snapshot"
+
 (* -- spans ----------------------------------------------------------------- *)
 
 let test_span () =
@@ -68,11 +92,39 @@ let test_span () =
   check Alcotest.int "time returns the thunk's value" 42 x;
   check Alcotest.bool "total accumulates" true
     (Registry.span_total_ns s >= 500);
+  check Alcotest.int "span_count" 2 (Registry.span_count s);
   match Registry.(find (snapshot reg) "t.phase") with
-  | Some (Registry.Span_v { count; total_ns }) ->
+  | Some (Registry.Span_v { count; total_ns; mean_ns }) ->
       check Alcotest.int "two recordings" 2 count;
-      check Alcotest.bool "snapshot total" true (total_ns >= 500)
+      check Alcotest.bool "snapshot total" true (total_ns >= 500);
+      check Alcotest.int "mean is total over count" (total_ns / 2) mean_ns
   | _ -> Alcotest.fail "t.phase missing from snapshot"
+
+let test_span_mean () =
+  let reg = Registry.create () in
+  let s = Registry.span reg "t.batch" in
+  Registry.record_ns s 100;
+  Registry.record_ns s 300;
+  (match Registry.(find (snapshot reg) "t.batch") with
+  | Some (Registry.Span_v { count; total_ns; mean_ns }) ->
+      check Alcotest.int "count" 2 count;
+      check Alcotest.int "total" 400 total_ns;
+      check Alcotest.int "mean" 200 mean_ns
+  | _ -> Alcotest.fail "t.batch missing from snapshot");
+  (* an empty span reports a zero mean, not a division failure *)
+  let e = Registry.span reg "t.empty" in
+  check Alcotest.int "empty span count" 0 (Registry.span_count e);
+  (match Registry.(find (snapshot reg) "t.empty") with
+  | Some (Registry.Span_v { mean_ns; _ }) ->
+      check Alcotest.int "empty span mean" 0 mean_ns
+  | _ -> Alcotest.fail "t.empty missing from snapshot");
+  let s = Json.to_string (Registry.to_json (Registry.snapshot reg)) in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = needle || at (i + 1)) in
+    at 0
+  in
+  check Alcotest.bool "JSON carries mean_ns" true (contains "\"mean_ns\": 200")
 
 (* -- snapshot + JSON ------------------------------------------------------- *)
 
@@ -139,6 +191,64 @@ let test_json_printer () =
      }\n"
   in
   check Alcotest.string "deterministic rendering" expected s
+
+(* -- prometheus exposition ------------------------------------------------- *)
+
+(* Every line of the exposition is either a [# HELP]/[# TYPE] comment
+   or [name value] with a float-parseable value — the shape a scraper
+   relies on. *)
+let test_prometheus () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "vm.events.exec" ~help:"executed" in
+  Registry.add c 7;
+  Registry.gauge_fn reg "core.depth" (fun () -> 3);
+  let h = Registry.histogram reg "parallel.occ" ~buckets:[ 2; 4 ] in
+  List.iter (Registry.observe h) [ 1; 3; 3; 4; 5; 9; 100 ];
+  let s = Registry.span reg "parallel.helper.batch" ~help:"per batch" in
+  Registry.record_ns s 100;
+  Registry.record_ns s 300;
+  let text = Registry.to_prometheus (Registry.snapshot reg) in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  List.iter
+    (fun line ->
+      let prefixed p =
+        String.length line >= String.length p
+        && String.sub line 0 (String.length p) = p
+      in
+      if not (prefixed "# HELP " || prefixed "# TYPE ") then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "sample line has no value: %S" line
+        | Some i -> (
+            let value =
+              String.sub line (i + 1) (String.length line - i - 1)
+            in
+            match float_of_string_opt value with
+            | Some _ -> ()
+            | None ->
+                Alcotest.failf "unparseable value %S in line %S" value line)
+      end)
+    lines;
+  let has l = List.mem l lines in
+  List.iter
+    (fun l -> check Alcotest.bool (Fmt.str "has %S" l) true (has l))
+    [
+      "# TYPE dift_vm_events_exec counter";
+      "dift_vm_events_exec 7";
+      "# HELP dift_vm_events_exec executed";
+      "# TYPE dift_core_depth gauge";
+      "dift_core_depth 3";
+      "# TYPE dift_parallel_occ histogram";
+      "dift_parallel_occ_bucket{le=\"2\"} 1";
+      "dift_parallel_occ_bucket{le=\"4\"} 4";
+      "dift_parallel_occ_bucket{le=\"+Inf\"} 7";
+      "dift_parallel_occ_sum 125";
+      "dift_parallel_occ_count 7";
+      "# TYPE dift_parallel_helper_batch_ns summary";
+      "dift_parallel_helper_batch_ns_sum 400";
+      "dift_parallel_helper_batch_ns_count 2";
+    ]
 
 (* -- cross-domain stats (satellite-1 regression) --------------------------- *)
 
@@ -211,9 +321,12 @@ let suite =
     Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
     Alcotest.test_case "gauge_fn rebinds" `Quick test_gauge_fn_rebinds;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "histogram bucket edges" `Quick test_histogram_edges;
     Alcotest.test_case "span timing" `Quick test_span;
+    Alcotest.test_case "span mean" `Quick test_span_mean;
     Alcotest.test_case "snapshot JSON shape" `Quick test_snapshot_json_shape;
     Alcotest.test_case "json printer" `Quick test_json_printer;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
     Alcotest.test_case "two-domain stats snapshot" `Quick
       test_two_domain_stats_snapshot;
   ]

@@ -1,0 +1,208 @@
+(* Tests for the streaming execution tracer (Obs.Trace): event
+   recording and kinds, per-domain tracks, counter-track remapping,
+   the bounded-buffer drop policy with its registry accounting, the
+   Chrome trace-event JSON rendering, and the acceptance shape of a
+   real two-domain run — at least three distinct tracks with duration
+   spans on both domain tracks and a sampled ring-occupancy counter
+   track. *)
+
+open Dift_obs
+open Dift_workloads
+
+let check = Alcotest.check
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = needle || at (i + 1)) in
+  at 0
+
+(* -- event recording -------------------------------------------------- *)
+
+let test_basic_events () =
+  let tr = Trace.create ~capacity:128 () in
+  Trace.name_track tr "main";
+  let x = Trace.span tr ~cat:"t" "work" (fun () -> 21 * 2) in
+  check Alcotest.int "span returns the thunk's value" 42 x;
+  Trace.instant tr ~cat:"t" "mark";
+  Trace.counter tr ~cat:"t" "depth" 3;
+  Trace.complete_ns tr ~cat:"t" "manual" ~start_ns:10 ~dur_ns:5;
+  check Alcotest.int "buffered" 4 (Trace.buffered tr);
+  check Alcotest.int "nothing dropped" 0 (Trace.dropped tr);
+  let tracks = Trace.tracks tr and evs = Trace.events tr in
+  check Alcotest.int "four events" 4 (List.length evs);
+  let by_name n = List.find (fun e -> e.Trace.name = n) evs in
+  (match (by_name "work").Trace.kind with
+  | Trace.Span { dur_ns } ->
+      check Alcotest.bool "span duration non-negative" true (dur_ns >= 0)
+  | _ -> Alcotest.fail "work must be a span");
+  (match (by_name "mark").Trace.kind with
+  | Trace.Instant -> ()
+  | _ -> Alcotest.fail "mark must be an instant");
+  (match (by_name "depth").Trace.kind with
+  | Trace.Sample { value } -> check Alcotest.int "sample value" 3 value
+  | _ -> Alcotest.fail "depth must be a sample");
+  let self = (Domain.self () :> int) in
+  check Alcotest.int "spans ride the recording domain's track" self
+    (by_name "work").Trace.tid;
+  check Alcotest.bool "counter remapped off the domain track" true
+    ((by_name "depth").Trace.tid <> self);
+  check Alcotest.bool "domain track is named" true
+    (List.mem (self, "main") tracks);
+  check Alcotest.bool "counter track named after the series" true
+    (List.exists (fun (_, n) -> n = "depth") tracks)
+
+let test_span_records_on_raise () =
+  let tr = Trace.create ~capacity:16 () in
+  (try
+     Trace.span tr "boom" (fun () -> failwith "x") |> ignore;
+     Alcotest.fail "exception must propagate"
+   with Failure _ -> ());
+  check Alcotest.int "span recorded despite the raise" 1 (Trace.buffered tr)
+
+(* -- JSON rendering ---------------------------------------------------- *)
+
+let test_chrome_json () =
+  let tr = Trace.create ~capacity:64 () in
+  Trace.name_track tr "main";
+  ignore (Trace.span tr ~cat:"t" "work" (fun () -> ()));
+  Trace.counter tr ~cat:"t" "depth" 7;
+  let s = Json.to_string (Trace.to_json tr) in
+  check Alcotest.bool "renders a JSON array" true (s.[0] = '[');
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Fmt.str "contains %S" needle) true
+        (contains s needle))
+    [
+      "\"thread_name\""; "\"process_name\""; "\"ph\": \"X\"";
+      "\"ph\": \"C\""; "\"ph\": \"M\""; "\"pid\": 1"; "\"value\": 7";
+    ]
+
+(* -- bounded buffers and drop accounting ------------------------------- *)
+
+(* Below the cap nothing is lost: two domains each record a known
+   number of spans and every one appears in the merge.  Over the cap,
+   events are dropped and counted — in the tracer and in the
+   registry's [trace.dropped] counter — never silently truncated. *)
+let test_capacity_and_drops () =
+  let cap = 512 in
+  let tr = Trace.create ~capacity:cap () in
+  let reg = Registry.create () in
+  Trace.register_obs tr reg;
+  let spans_per_domain = 200 in
+  let record () =
+    for i = 1 to spans_per_domain do
+      Trace.complete_ns tr ~cat:"t" "tick" ~start_ns:i ~dur_ns:1
+    done
+  in
+  let d = Domain.spawn record in
+  record ();
+  Domain.join d;
+  check Alcotest.int "all spans retained below the cap"
+    (2 * spans_per_domain) (Trace.buffered tr);
+  check Alcotest.int "no drops below the cap" 0 (Trace.dropped tr);
+  check Alcotest.int "merge loses nothing" (2 * spans_per_domain)
+    (List.length (Trace.events tr));
+  (* a fresh domain overflows its own buffer by exactly [cap] *)
+  Domain.join
+    (Domain.spawn (fun () ->
+         for _ = 1 to 2 * cap do
+           Trace.instant tr "burst"
+         done));
+  check Alcotest.int "buffer retains up to the cap"
+    ((2 * spans_per_domain) + cap)
+    (Trace.buffered tr);
+  check Alcotest.int "overflow counted, not silent" cap (Trace.dropped tr);
+  match Registry.(find (snapshot reg) "trace.dropped") with
+  | Some (Registry.Counter_v v) ->
+      check Alcotest.int "registry mirrors the drop count" cap v
+  | _ -> Alcotest.fail "trace.dropped missing from snapshot"
+
+(* -- the two-domain runtime on a timeline ------------------------------ *)
+
+(* The acceptance shape: a parallel run yields at least three distinct
+   track ids (app domain, helper domain, ring-occupancy counter),
+   duration spans on both domain tracks, and zero drops at default
+   capacity. *)
+let test_two_domain_timeline () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:40 ~seed:1 in
+  let reg = Registry.create () in
+  let tr = Trace.create () in
+  Trace.register_obs tr reg;
+  let r =
+    Dift_parallel.Parallel.run ~obs:reg ~trace:tr ~queue_capacity:4
+      ~batch_size:16 w.Workload.program ~input
+  in
+  check Alcotest.bool "run did work" true
+    (r.Dift_parallel.Parallel.result.Dift_parallel.Parallel.events > 0);
+  let tracks = Trace.tracks tr and evs = Trace.events tr in
+  let module IS = Set.Make (Int) in
+  let tids = IS.of_list (List.map (fun e -> e.Trace.tid) evs) in
+  check Alcotest.bool "at least three distinct tracks" true
+    (IS.cardinal tids >= 3);
+  let span_tids =
+    IS.of_list
+      (List.filter_map
+         (fun e ->
+           match e.Trace.kind with
+           | Trace.Span _ -> Some e.Trace.tid
+           | _ -> None)
+         evs)
+  in
+  check Alcotest.bool "duration spans on both domain tracks" true
+    (IS.cardinal span_tids >= 2);
+  let name_of tid = List.assoc_opt tid tracks in
+  check Alcotest.bool "app track named" true
+    (List.exists (fun tid -> name_of tid = Some "app") (IS.elements tids));
+  check Alcotest.bool "helper track named" true
+    (List.exists (fun tid -> name_of tid = Some "helper") (IS.elements tids));
+  let has_event name =
+    List.exists (fun e -> e.Trace.name = name) evs
+  in
+  List.iter
+    (fun n -> check Alcotest.bool (Fmt.str "recorded %s" n) true (has_event n))
+    [ "app.run"; "helper.drain"; "engine.batch"; "ring.occupancy" ];
+  (* ring.occupancy lives on its own synthetic counter track *)
+  let occ =
+    List.find (fun e -> e.Trace.name = "ring.occupancy") evs
+  in
+  check Alcotest.bool "occupancy on a counter track" true
+    (not (List.exists (fun tid -> tid = occ.Trace.tid)
+            (IS.elements span_tids)));
+  check Alcotest.int "no drops at default capacity" 0 (Trace.dropped tr);
+  (match Registry.(find (snapshot reg) "trace.dropped") with
+  | Some (Registry.Counter_v v) -> check Alcotest.int "snapshot agrees" 0 v
+  | _ -> Alcotest.fail "trace.dropped missing from snapshot");
+  (* satellite: the helper's per-batch span made it into the registry *)
+  match Registry.(find (snapshot reg) "parallel.helper.batch") with
+  | Some (Registry.Span_v { count; mean_ns; _ }) ->
+      check Alcotest.bool "batches timed" true (count > 0);
+      check Alcotest.bool "mean computed" true (mean_ns >= 0)
+  | _ -> Alcotest.fail "parallel.helper.batch missing from snapshot"
+
+(* Cross-validation under tracing: the timeline must not perturb the
+   tracked computation. *)
+let test_traced_run_matches_inline () =
+  let w = Spec_like.bfs in
+  let input = w.Workload.input ~size:16 ~seed:3 in
+  let tr = Trace.create () in
+  let r =
+    Dift_parallel.Parallel.run ~trace:tr ~queue_capacity:2 ~batch_size:8
+      w.Workload.program ~input
+  in
+  let i = Dift_parallel.Parallel.run_inline w.Workload.program ~input in
+  check Alcotest.bool "same result as untraced inline" true
+    (r.Dift_parallel.Parallel.result
+    = i.Dift_parallel.Parallel.i_result)
+
+let suite =
+  [
+    Alcotest.test_case "basic events" `Quick test_basic_events;
+    Alcotest.test_case "span records on raise" `Quick
+      test_span_records_on_raise;
+    Alcotest.test_case "chrome json" `Quick test_chrome_json;
+    Alcotest.test_case "capacity and drops" `Quick test_capacity_and_drops;
+    Alcotest.test_case "two-domain timeline" `Quick test_two_domain_timeline;
+    Alcotest.test_case "traced run matches inline" `Quick
+      test_traced_run_matches_inline;
+  ]

@@ -1,0 +1,56 @@
+(* CI gate for the flat paged shadow: re-runs the engine micro-sweep
+   in-process (smoke scale) and fails loudly if the paged shadow has
+   become slower than the hashtable reference.
+
+   Two checks over the sweep of {!Engine_bench}:
+
+   - no row — any kernel, any domain, engine or bare-shadow level —
+     may show the paged shadow slower than the reference beyond a
+     noise tolerance;
+
+   - the headline claim must hold: for the Bool domain the bare
+     shadow traffic must be at least 2x faster on a majority of
+     kernels (the single-core CI box is noisy, so the gate asks for 2
+     of 3 rather than all).
+
+   Exit status 1 with a per-row report on failure. *)
+
+(* The shared-runner tolerance: a row only fails if paged is >15%
+   slower than the reference. *)
+let tolerance = 0.85
+
+let () =
+  let rows = Engine_bench.run ~size:25 ~reps:3 () in
+  Engine_bench.pp_rows Fmt.stdout rows;
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun (r : Engine_bench.row) ->
+      let e = Engine_bench.speedup r.Engine_bench.engine in
+      let s = Engine_bench.speedup r.Engine_bench.shadow in
+      if e < tolerance then
+        fail "%s/%s: engine with paged shadow %.2fx the reference (slower)"
+          r.Engine_bench.kernel r.Engine_bench.domain e;
+      if s < tolerance then
+        fail "%s/%s: paged shadow traffic %.2fx the reference (slower)"
+          r.Engine_bench.kernel r.Engine_bench.domain s)
+    rows;
+  let bool_2x =
+    List.length
+      (List.filter
+         (fun (r : Engine_bench.row) ->
+           r.Engine_bench.domain = "bool"
+           && Engine_bench.speedup r.Engine_bench.shadow >= 2.0)
+         rows)
+  in
+  if bool_2x < 2 then
+    fail
+      "bool shadow traffic >=2x faster than the hashtable on only %d \
+       kernel(s); need >=2"
+      bool_2x;
+  match !failures with
+  | [] -> Fmt.pr "@.check_regression: paged shadow holds its speedups@."
+  | fs ->
+      Fmt.epr "@.check_regression FAILED:@.";
+      List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev fs);
+      exit 1

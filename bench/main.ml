@@ -287,13 +287,24 @@ let run_benchmarks () =
 
 let bench_json () =
   let open Dift_obs.Json in
-  let r = Dift_experiments.E11_parallel.run () in
+  (* size 200 / best-of-10: at the default sweep size the kernel runs
+     in tens of microseconds, so the fixed domain spawn/join cost (and
+     its scheduling noise, especially on single-core runners) swamps
+     the quantity being measured; a longer kernel amortises it and the
+     deeper best-of tightens the cost-floor estimate *)
+  let r = Dift_experiments.E11_parallel.run ~size:200 ~reps:10 () in
   obj
     [
       ("bench", String "e11-two-domain-dift");
       ("kernel", String r.Dift_experiments.E11_parallel.kernel);
       ("native_ms", Float r.Dift_experiments.E11_parallel.native_ms);
       ("inline_ms", Float r.Dift_experiments.E11_parallel.inline_ms);
+      (* inline-DIFT slowdown over the uninstrumented run — the
+         sequential-overhead baseline every speedup is judged against *)
+      ( "inline_vs_native",
+        Float
+          (r.Dift_experiments.E11_parallel.inline_ms
+          /. r.Dift_experiments.E11_parallel.native_ms) );
       ( "configs",
         List
           (List.map
@@ -321,14 +332,40 @@ let write_bench_json file =
     Fmt.pr "wrote %s@." file
   end
 
+(* The engine micro-sweep (shadow impl x domain x kernel; see
+   engine_bench.ml) serialized to BENCH_3.json. *)
+let write_engine_json ?size ?reps file =
+  let rows = Engine_bench.run ?size ?reps () in
+  Engine_bench.pp_rows Fmt.stdout rows;
+  let json = Dift_obs.Json.to_string (Engine_bench.json rows) in
+  if file = "-" then print_string json
+  else begin
+    let oc = open_out file in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote %s@." file
+  end
+
 let () =
-  (* `bench --json [FILE]`: only the machine-readable summary (the CI
-     smoke path); plain `bench`: tables + micro-benchmarks, then the
-     summary next to the current directory. *)
+  (* `bench --json [FILE]`: only the machine-readable E11 summary;
+     `bench --engine-json [FILE]`: only the engine micro-sweep
+     (`--smoke` shrinks it to the CI scale).  Plain `bench`: tables +
+     micro-benchmarks, then both summaries next to the current
+     directory. *)
   match Array.to_list Sys.argv with
   | _ :: "--json" :: rest ->
       write_bench_json (match rest with f :: _ -> f | [] -> "BENCH_2.json")
+  | _ :: "--engine-json" :: rest ->
+      let smoke = List.mem "--smoke" rest in
+      let file =
+        match List.filter (fun a -> a <> "--smoke") rest with
+        | f :: _ -> f
+        | [] -> "BENCH_3.json"
+      in
+      if smoke then write_engine_json ~size:25 ~reps:3 file
+      else write_engine_json file
   | _ ->
       print_tables ();
       run_benchmarks ();
-      write_bench_json "BENCH_2.json"
+      write_bench_json "BENCH_2.json";
+      write_engine_json "BENCH_3.json"

@@ -6,6 +6,19 @@
     supports pruning of nodes older than a window start, which is how
     the ONTRAC circular buffer's eviction is reflected. *)
 
+open Dift_vm
+
+(** Monomorphic hash table over dynamic step numbers.  The polymorphic
+    [Hashtbl] it replaces paid a generic-hash call per operation;
+    steps are ints, so the cheap {!Loc.hash} int mix applies
+    unchanged.  Shared with {!Slicing}'s visited sets. *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+  let hash = Loc.hash
+end)
+
 type node = {
   step : int;
   tid : int;
@@ -17,79 +30,79 @@ type node = {
 }
 
 type t = {
-  nodes : (int, node) Hashtbl.t;
+  nodes : node Itbl.t;
   mutable min_step : int;
   mutable max_step : int;
   mutable edge_count : int;
 }
 
 let create () =
-  { nodes = Hashtbl.create 4096; min_step = max_int; max_step = -1;
+  { nodes = Itbl.create 4096; min_step = max_int; max_step = -1;
     edge_count = 0 }
 
 let add_node t ~step ~tid ~fname ~pc ~input_index ~is_output =
-  if not (Hashtbl.mem t.nodes step) then begin
-    Hashtbl.replace t.nodes step
+  if not (Itbl.mem t.nodes step) then begin
+    Itbl.replace t.nodes step
       { step; tid; fname; pc; input_index; is_output; preds = [] };
     if step < t.min_step then t.min_step <- step;
     if step > t.max_step then t.max_step <- step
   end
 
-let node t step = Hashtbl.find_opt t.nodes step
-let mem t step = Hashtbl.mem t.nodes step
+let node t step = Itbl.find_opt t.nodes step
+let mem t step = Itbl.mem t.nodes step
 
 (** Add a dependence edge; both endpoints must already be nodes
     (missing endpoints are ignored, matching buffer-eviction
     semantics). *)
 let add_dep t (d : Dep.t) =
-  match Hashtbl.find_opt t.nodes d.Dep.use_step with
+  match Itbl.find_opt t.nodes d.Dep.use_step with
   | None -> ()
   | Some n ->
-      if Hashtbl.mem t.nodes d.Dep.def_step then begin
+      if Itbl.mem t.nodes d.Dep.def_step then begin
         n.preds <- (d.Dep.kind, d.Dep.def_step) :: n.preds;
         t.edge_count <- t.edge_count + 1
       end
 
 let preds t step =
-  match Hashtbl.find_opt t.nodes step with
+  match Itbl.find_opt t.nodes step with
   | Some n -> n.preds
   | None -> []
 
-let num_nodes t = Hashtbl.length t.nodes
+let num_nodes t = Itbl.length t.nodes
 let num_edges t = t.edge_count
 let max_step t = t.max_step
 
-let iter_nodes f t = Hashtbl.iter (fun _ n -> f n) t.nodes
+let iter_nodes f t = Itbl.iter (fun _ n -> f n) t.nodes
 
 (** Drop every node (and its out-edges) with step below
     [window_start]; edges *into* dropped nodes from retained nodes are
     kept dangling and skipped during traversal. *)
 let prune t ~window_start =
   let doomed = ref [] in
-  Hashtbl.iter
+  Itbl.iter
     (fun step _ -> if step < window_start then doomed := step :: !doomed)
     t.nodes;
   List.iter
     (fun s ->
-      (match Hashtbl.find_opt t.nodes s with
+      (match Itbl.find_opt t.nodes s with
       | Some n -> t.edge_count <- t.edge_count - List.length n.preds
       | None -> ());
-      Hashtbl.remove t.nodes s)
+      Itbl.remove t.nodes s)
     !doomed;
   if window_start > t.min_step then t.min_step <- window_start
 
 (** Successor adjacency (use -> def inverted), built on demand for
     forward traversals. *)
 let successors t =
-  let succ = Hashtbl.create (Hashtbl.length t.nodes) in
-  Hashtbl.iter
+  let succ = Itbl.create (Itbl.length t.nodes) in
+  Itbl.iter
     (fun use n ->
       List.iter
         (fun (k, def) ->
           let cur =
-            match Hashtbl.find_opt succ def with Some l -> l | None -> []
+            match Itbl.find_opt succ def with Some l -> l | None -> []
           in
-          Hashtbl.replace succ def ((k, use) :: cur))
+          Itbl.replace succ def ((k, use) :: cur))
         n.preds)
     t.nodes;
   succ
@@ -97,7 +110,7 @@ let successors t =
 let pp ppf t =
   Fmt.pf ppf "@[<v>ddg: %d nodes, %d edges@," (num_nodes t) (num_edges t);
   let steps =
-    Hashtbl.fold (fun s _ acc -> s :: acc) t.nodes [] |> List.sort compare
+    Itbl.fold (fun s _ acc -> s :: acc) t.nodes [] |> List.sort Int.compare
   in
   List.iter
     (fun s ->

@@ -5,6 +5,10 @@
     The graph supports pruning of nodes older than a window start,
     which is how the ONTRAC circular buffer's eviction is reflected. *)
 
+(** Monomorphic hash table over dynamic step numbers (cheap int hash,
+    no generic hashing); shared with {!Slicing}'s visited sets. *)
+module Itbl : Hashtbl.S with type key = int
+
 type node = {
   step : int;
   tid : int;
@@ -47,6 +51,6 @@ val prune : t -> window_start:int -> unit
 
 (** Successor adjacency (use -> def inverted), built on demand for
     forward traversals. *)
-val successors : t -> (int, (Dep.kind * int) list) Hashtbl.t
+val successors : t -> (Dep.kind * int) list Itbl.t
 
 val pp : t Fmt.t

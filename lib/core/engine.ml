@@ -8,7 +8,15 @@
 
     This is the single propagation core all four of the paper's
     application areas instantiate: boolean taint for detection, PC
-    taint for bug location, input sets for lineage. *)
+    taint for bug location, input sets for lineage.
+
+    The per-event transfer function is allocation-free for immediate
+    domains: source joins and write fans are static recursive loops
+    (no closures), list emptiness is matched (no polymorphic
+    comparison), the per-thread control state is cached by tid (no
+    hashtable probe per event), and the Bool domain gets a
+    short-circuiting monomorphic join selected once at functor
+    application via {!Taint.DOMAIN.as_bool}. *)
 
 open Dift_isa
 open Dift_vm
@@ -37,8 +45,40 @@ type stats = {
   mutable sink_hits : int;  (** sinks reached by non-bottom taint *)
 }
 
-module Make (D : Taint.DOMAIN) = struct
-  module Sh = Shadow.Make (D)
+module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
+  module Sh = Shadow_impl (D)
+
+  (* -- monomorphic fast paths, selected once at functor application -- *)
+
+  (* For the Bool domain the fold over source locations short-circuits
+     at the first tainted one and makes no calls through the functor
+     parameter; every other domain pays the generic join loop (still
+     closure-free). *)
+  let joined_locs : Sh.t -> Loc.t list -> D.t =
+    match D.as_bool with
+    | Some Taint.Refl ->
+        let rec any sh (locs : Loc.t list) =
+          match locs with
+          | [] -> false
+          | l :: rest -> Sh.get sh l || any sh rest
+        in
+        any
+    | None ->
+        let rec go sh acc = function
+          | [] -> acc
+          | l :: rest -> go sh (D.join acc (Sh.get sh l)) rest
+        in
+        fun sh locs -> go sh D.bottom locs
+
+  let join2 : D.t -> D.t -> D.t =
+    match D.as_bool with Some Taint.Refl -> ( || ) | None -> D.join
+
+  (* Write fan-out without a per-event closure. *)
+  let rec set_all sh v = function
+    | [] -> ()
+    | l :: rest ->
+        Sh.set sh l v;
+        set_all sh v rest
 
   type control_frame = {
     mutable regions : (int * D.t) list;  (** (close_at_pc, taint) *)
@@ -54,6 +94,12 @@ module Make (D : Taint.DOMAIN) = struct
     stats : stats;
     mutable sink_handler : (sink -> D.t -> Event.exec -> unit) option;
     control : (int, thread_control) Hashtbl.t;
+    mutable ctl_tid : int;  (** tid of [ctl_tc], or [min_int] *)
+    mutable ctl_tc : thread_control;
+        (** per-thread control state cache: workloads are dominated by
+            long single-thread stretches, so the per-event
+            [Hashtbl.find_opt] (and its [Some] allocation) almost
+            always collapses into one int compare *)
     pending_spawn_taint : (int, D.t) Hashtbl.t;  (** tid -> control taint *)
     mutable charge : int -> unit;
     mutable tracer : (Dift_obs.Trace.t * int) option;
@@ -69,6 +115,8 @@ module Make (D : Taint.DOMAIN) = struct
       stats = { events = 0; sources = 0; sink_hits = 0 };
       sink_handler = None;
       control = Hashtbl.create 8;
+      ctl_tid = min_int;
+      ctl_tc = { cframes = [] };
       pending_spawn_taint = Hashtbl.create 8;
       charge = ignore;
       tracer = None;
@@ -89,8 +137,7 @@ module Make (D : Taint.DOMAIN) = struct
   let shadow_footprint t =
     (Sh.tainted_locations t.shadow, Sh.footprint_words t.shadow)
 
-  let joined t locs =
-    List.fold_left (fun acc l -> D.join acc (Sh.get t.shadow l)) D.bottom locs
+  let joined t locs = joined_locs t.shadow locs
 
   let hit_sink t sink taint e =
     if not (D.is_bottom taint) then t.stats.sink_hits <- t.stats.sink_hits + 1;
@@ -100,20 +147,28 @@ module Make (D : Taint.DOMAIN) = struct
 
   (* -- control-taint bookkeeping (only when policy.propagate_control) - *)
 
+  let thread_control_slow t tid =
+    let tc =
+      match Hashtbl.find_opt t.control tid with
+      | Some tc -> tc
+      | None ->
+          let base =
+            match Hashtbl.find_opt t.pending_spawn_taint tid with
+            | Some d ->
+                Hashtbl.remove t.pending_spawn_taint tid;
+                d
+            | None -> D.bottom
+          in
+          let tc = { cframes = [ { regions = []; base } ] } in
+          Hashtbl.replace t.control tid tc;
+          tc
+    in
+    t.ctl_tid <- tid;
+    t.ctl_tc <- tc;
+    tc
+
   let thread_control t tid =
-    match Hashtbl.find_opt t.control tid with
-    | Some tc -> tc
-    | None ->
-        let base =
-          match Hashtbl.find_opt t.pending_spawn_taint tid with
-          | Some d ->
-              Hashtbl.remove t.pending_spawn_taint tid;
-              d
-          | None -> D.bottom
-        in
-        let tc = { cframes = [ { regions = []; base } ] } in
-        Hashtbl.replace t.control tid tc;
-        tc
+    if tid = t.ctl_tid then t.ctl_tc else thread_control_slow t tid
 
   let current_cframe tc =
     match tc.cframes with
@@ -123,8 +178,23 @@ module Make (D : Taint.DOMAIN) = struct
         tc.cframes <- [ f ];
         f
 
-  let control_taint_of_frame f =
-    List.fold_left (fun acc (_, d) -> D.join acc d) f.base f.regions
+  let rec join_regions acc = function
+    | [] -> acc
+    | (_, d) :: rest -> join_regions (join2 acc d) rest
+
+  let control_taint_of_frame f = join_regions f.base f.regions
+
+  (* Region-list maintenance without allocating when nothing closes at
+     this pc (the overwhelmingly common case). *)
+  let rec closes_here pc = function
+    | [] -> false
+    | (close, _) :: rest -> close = pc || closes_here pc rest
+
+  let rec remove_closed pc = function
+    | [] -> []
+    | ((close, _) as r) :: rest ->
+        if close = pc then remove_closed pc rest
+        else r :: remove_closed pc rest
 
   (* Update control regions for this event and return the active
      control taint. *)
@@ -133,7 +203,11 @@ module Make (D : Taint.DOMAIN) = struct
     else begin
       let tc = thread_control t e.Event.tid in
       let f = current_cframe tc in
-      f.regions <- List.filter (fun (close, _) -> close <> e.Event.pc) f.regions;
+      (match f.regions with
+      | [] -> ()
+      | regions ->
+          if closes_here e.Event.pc regions then
+            f.regions <- remove_closed e.Event.pc regions);
       let active = control_taint_of_frame f in
       (match e.Event.instr with
       | Instr.Br (_, _, _) ->
@@ -160,8 +234,7 @@ module Make (D : Taint.DOMAIN) = struct
   (* -- the per-event transfer function --------------------------------- *)
 
   (* Splits a load/store event's reads into (value sources, address
-     sources) according to the instruction shape; for all other
-     instructions every read is a value source. *)
+     sources) according to the instruction shape. *)
   let split_sources (e : Event.exec) =
     match e.Event.instr with
     | Instr.Load (_, _, _) ->
@@ -200,12 +273,21 @@ module Make (D : Taint.DOMAIN) = struct
             (Sh.tainted_locations t.shadow)
         end
 
+  (* Argument copies are pure moves: tags propagate unchanged (no
+     [at_write]), so PC taint keeps naming the instruction that
+     produced the value. *)
+  let rec copy_args t ctl writes reads =
+    match writes, reads with
+    | [], _ | _, [] -> ()
+    | w :: ws, r :: rs ->
+        Sh.set t.shadow w (join2 (Sh.get t.shadow r) ctl);
+        copy_args t ctl ws rs
+
   let process t (e : Event.exec) =
     t.stats.events <- t.stats.events + 1;
     trace_sample t;
     t.charge Cost.inline_taint_propagate;
     let ctl = control_taint t e in
-    let fname, pc = site_of e in
     match e.Event.instr with
     | Instr.Sys (Instr.Read _) ->
         let taint =
@@ -215,8 +297,7 @@ module Make (D : Taint.DOMAIN) = struct
           end
           else D.bottom
         in
-        let taint = D.join taint ctl in
-        List.iter (fun l -> Sh.set t.shadow l taint) e.Event.writes
+        set_all t.shadow (join2 taint ctl) e.Event.writes
     | Instr.Call _ | Instr.Icall _ | Instr.Sys (Instr.Spawn _) ->
         (* Pairwise argument copy; for Icall the trailing reads are the
            target operand's registers. *)
@@ -238,7 +319,7 @@ module Make (D : Taint.DOMAIN) = struct
                its taint when the policy says so. *)
             let arg_taint =
               if t.policy.Policy.taint_spawn_arg then
-                D.join (joined t e.Event.reads) ctl
+                join2 (joined t e.Event.reads) ctl
               else D.bottom
             in
             match e.Event.writes with
@@ -247,58 +328,62 @@ module Make (D : Taint.DOMAIN) = struct
                 Sh.set t.shadow callee_arg arg_taint
             | _ -> ())
         | _ ->
-            (* Argument copies are pure moves: tags propagate
-               unchanged (no [at_write]), so PC taint keeps naming the
-               instruction that produced the value. *)
-            let nargs = List.length e.Event.writes in
-            let arg_reads =
-              List.filteri (fun i _ -> i < nargs) e.Event.reads
-            in
-            List.iter2
-              (fun w r -> Sh.set t.shadow w (D.join (Sh.get t.shadow r) ctl))
-              e.Event.writes arg_reads)
+            (* nargs = length writes; reads beyond that are the Icall
+               target registers, skipped by the pairwise walk. *)
+            copy_args t ctl e.Event.writes e.Event.reads)
     | Instr.Br (_, _, _) ->
         hit_sink t Sink_branch (joined t e.Event.reads) e
     | Instr.Sys (Instr.Write _) ->
         hit_sink t Sink_output (joined t e.Event.reads) e
     | Instr.Sys (Instr.Check _) ->
         hit_sink t Sink_check (joined t e.Event.reads) e
-    | _ ->
+    | Instr.Load _ | Instr.Store _ ->
         let value_srcs, addr_srcs = split_sources e in
-        (match e.Event.instr with
-        | Instr.Load _ ->
-            hit_sink t Sink_load_address (joined t addr_srcs) e
-        | Instr.Store _ ->
-            hit_sink t Sink_store_address (joined t addr_srcs) e
-        | _ -> ());
-        if e.Event.writes <> [] then begin
-          let taint = joined t value_srcs in
-          let taint =
-            match e.Event.instr with
-            | Instr.Load _ when t.policy.Policy.propagate_load_address ->
-                D.join taint (joined t addr_srcs)
-            | Instr.Store _ when t.policy.Policy.propagate_store_address ->
-                D.join taint (joined t addr_srcs)
-            | _ -> taint
-          in
-          let taint = D.join taint ctl in
-          (* Pure copies (loads, register moves, returned values)
-             propagate tags unchanged; value-producing instructions and
-             stores stamp the tag with their own site — "the most
-             recent instruction that wrote to the location" (paper
-             §3.3), which is what makes the tag at an attack sink name
-             the unchecked store rather than an innocent load. *)
-          let is_copy =
-            match e.Event.instr with
-            | Instr.Load _ | Instr.Mov _ | Instr.Ret _ -> true
-            | _ -> false
-          in
-          let taint =
-            if is_copy then taint
-            else D.at_write ~step:e.Event.step ~fname ~pc taint
-          in
-          List.iter (fun l -> Sh.set t.shadow l taint) e.Event.writes
-        end
+        let is_load =
+          match e.Event.instr with Instr.Load _ -> true | _ -> false
+        in
+        hit_sink t
+          (if is_load then Sink_load_address else Sink_store_address)
+          (joined t addr_srcs) e;
+        (match e.Event.writes with
+        | [] -> ()
+        | writes ->
+            let taint = joined t value_srcs in
+            let taint =
+              if
+                (if is_load then t.policy.Policy.propagate_load_address
+                 else t.policy.Policy.propagate_store_address)
+              then join2 taint (joined t addr_srcs)
+              else taint
+            in
+            let taint = join2 taint ctl in
+            (* Loads are pure copies; stores stamp the tag with their
+               own site — "the most recent instruction that wrote to
+               the location" (paper §3.3), which is what makes the tag
+               at an attack sink name the unchecked store rather than
+               an innocent load. *)
+            let taint =
+              if is_load then taint
+              else
+                let fname, pc = site_of e in
+                D.at_write ~step:e.Event.step ~fname ~pc taint
+            in
+            set_all t.shadow taint writes)
+    | _ -> (
+        (* every read is a value source; no address sinks *)
+        match e.Event.writes with
+        | [] -> ()
+        | writes ->
+            let taint = join2 (joined t e.Event.reads) ctl in
+            (* register moves and returned values are pure copies *)
+            let taint =
+              match e.Event.instr with
+              | Instr.Mov _ | Instr.Ret _ -> taint
+              | _ ->
+                  let fname, pc = site_of e in
+                  D.at_write ~step:e.Event.step ~fname ~pc taint
+            in
+            set_all t.shadow taint writes)
 
   (** Expose the engine through an observability registry (derived
       gauges over the live stats and the O(1) shadow accounting). *)
@@ -328,3 +413,5 @@ module Make (D : Taint.DOMAIN) = struct
     Machine.attach machine
       (Tool.make ~on_exec:(process t) (Fmt.str "dift-%s" D.name))
 end
+
+module Make (D : Taint.DOMAIN) = Make_over (Shadow.Make) (D)

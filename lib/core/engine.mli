@@ -7,7 +7,13 @@
 
     This is the single propagation core all four of the paper's
     application areas instantiate: boolean taint for detection, PC
-    taint for bug location, input sets for lineage. *)
+    taint for bug location, input sets for lineage.
+
+    {!Make} runs over the default flat paged shadow ({!Shadow.Make});
+    {!Make_over} additionally takes the shadow implementation as a
+    functor argument, which is how the differential suite builds an
+    engine over the hashtable reference ({!Shadow.Make_ref}) and
+    checks the two are observationally identical. *)
 
 open Dift_isa
 open Dift_vm
@@ -29,8 +35,9 @@ type stats = {
   mutable sink_hits : int;  (** sinks reached by non-bottom taint *)
 }
 
-module Make (D : Taint.DOMAIN) : sig
-  module Sh : module type of Shadow.Make (D)
+(** The engine over an explicit shadow implementation. *)
+module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) : sig
+  module Sh : Shadow.S with type elt = D.t
 
   type t
 
@@ -76,3 +83,6 @@ module Make (D : Taint.DOMAIN) : sig
       counter unless [charge] overrides it. *)
   val attach : ?charge:(int -> unit) -> t -> Machine.t -> unit
 end
+
+(** The engine over the default (paged) shadow. *)
+module Make (D : Taint.DOMAIN) : module type of Make_over (Shadow.Make) (D)

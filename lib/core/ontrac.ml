@@ -297,12 +297,17 @@ let o2_inferable t ~fname ~reg ~(w : writer_info) ~block ~history =
         hf = fname
         && hot_edge t fname hb newer
         &&
+        (* matches instead of [= Some _] / [= None]: these sit on the
+           per-event elision path and must not call the polymorphic
+           comparator *)
         if hb = w_block then
-          Static_info.block_last_def t.static fname ~block:hb ~reg
-          = Some w.w_pc
-        else
-          Static_info.block_last_def t.static fname ~block:hb ~reg = None
-          && walk hb older
+          match Static_info.block_last_def t.static fname ~block:hb ~reg with
+          | Some pc -> pc = w.w_pc
+          | None -> false
+        else (
+          match Static_info.block_last_def t.static fname ~block:hb ~reg with
+          | None -> walk hb older
+          | Some _ -> false)
   in
   w.w_fname = fname && walk block history
 
@@ -313,8 +318,12 @@ let classify t (e : Event.exec) ~loc ~(w : writer_info) ~block ~history =
     let reg = Reg.make reg_idx in
     let o1_ok =
       t.opts.o1_intra_block && w.w_fname = fname
-      && Static_info.reaching_def_in_block t.static fname ~pc:e.Event.pc ~reg
-         = Some w.w_pc
+      &&
+      match
+        Static_info.reaching_def_in_block t.static fname ~pc:e.Event.pc ~reg
+      with
+      | Some pc -> pc = w.w_pc
+      | None -> false
     in
     if o1_ok then Elide_o1
     else if t.opts.o2_traces && o2_inferable t ~fname ~reg ~w ~block ~history
@@ -324,7 +333,9 @@ let classify t (e : Event.exec) ~loc ~(w : writer_info) ~block ~history =
   else if
     t.opts.o3_redundant_loads
     && (match e.Event.instr with Instr.Load _ -> true | _ -> false)
-    && Loc.Tbl.find_opt t.last_recorded_load loc = Some w.w_step
+    && (match Loc.Tbl.find_opt t.last_recorded_load loc with
+       | Some s -> s = w.w_step
+       | None -> false)
   then Elide_o3
   else Record
 
@@ -364,7 +375,7 @@ let process t (e : Event.exec) =
             t.stats.skipped_scope <- t.stats.skipped_scope + 1
           else if not affected then
             t.stats.skipped_input <- t.stats.skipped_input + 1
-          else if (not w.w_scoped) && t.scope_set <> None then begin
+          else if (not w.w_scoped) && Option.is_some t.scope_set then begin
             (* Bridge untraced code with summary dependences to the
                last traced ancestors of this value. *)
             let os =
@@ -422,9 +433,14 @@ let process t (e : Event.exec) =
         | None -> None
       in
       let same_static =
+        (* field-wise match, not [= Some site]: a polymorphic compare
+           of [(string * int) option] per control dependence would
+           dominate the elision it pays for *)
         match parent_site with
-        | Some site ->
-            Hashtbl.find_opt t.last_control_parent e.Event.tid = Some site
+        | Some (sf, spc) -> (
+            match Hashtbl.find_opt t.last_control_parent e.Event.tid with
+            | Some (lf, lpc) -> spc = lpc && String.equal sf lf
+            | None -> false)
         | None -> false
       in
       if same_static then begin
@@ -480,7 +496,7 @@ let process t (e : Event.exec) =
         { w_step = e.Event.step; w_fname = fname; w_pc = e.Event.pc;
           w_scoped = scoped };
       Loc.Tbl.remove t.last_recorded_load loc;
-      if t.scope_set <> None then
+      if Option.is_some t.scope_set then
         if scoped then Loc.Tbl.replace t.origins loc [ e.Event.step ]
         else begin
           (* Untraced write: carry forward the traced ancestors of the

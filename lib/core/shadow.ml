@@ -1,54 +1,17 @@
-(** Shadow state: a taint value for every storage location.
+(** Shadow state: a taint value for every storage location — the
+    functor-level selector over the two implementations.
 
-    Bottom values are not stored, so the table's size is the number of
-    currently tainted locations — which is also what the memory
-    overhead measurements count. *)
+    {!Make} (what {!Engine.Make} and every application layer use) is
+    the flat paged table of {!Shadow_pages}: direct array indexing on
+    the integer {!Dift_vm.Loc} encoding, no hashing and no hot-path
+    allocation.  {!Make_ref} is the original hashtable
+    ({!Shadow_ref}), retained as the observational reference for
+    differential testing and as the fallback for extremely sparse
+    address spaces.  Both satisfy {!S}; an engine over a specific
+    implementation is built with {!Engine.Make_over}. *)
 
-open Dift_vm
+module type S = Shadow_intf.S
+module type IMPL = Shadow_intf.IMPL
 
-module Make (D : Taint.DOMAIN) = struct
-  type t = {
-    tbl : D.t Loc.Tbl.t;
-    mutable words : int;
-        (** running total of [D.words] over the table, maintained
-            incrementally so {!footprint_words} is O(1) — per-event
-            stats sampling would otherwise pay a full-table fold. *)
-  }
-
-  let create () = { tbl = Loc.Tbl.create 1024; words = 0 }
-
-  let get t loc =
-    match Loc.Tbl.find_opt t.tbl loc with Some v -> v | None -> D.bottom
-
-  let stored_words t loc =
-    match Loc.Tbl.find_opt t.tbl loc with Some v -> D.words v | None -> 0
-
-  let set t loc v =
-    let old = stored_words t loc in
-    if D.is_bottom v then begin
-      Loc.Tbl.remove t.tbl loc;
-      t.words <- t.words - old
-    end
-    else begin
-      Loc.Tbl.replace t.tbl loc v;
-      t.words <- t.words - old + D.words v
-    end
-
-  let clear t loc =
-    t.words <- t.words - stored_words t loc;
-    Loc.Tbl.remove t.tbl loc
-
-  (** Number of tainted locations. *)
-  let tainted_locations t = Loc.Tbl.length t.tbl
-
-  (** Total shadow footprint in words, per the domain's accounting.
-      O(1): maintained incrementally by {!set}/{!clear}. *)
-  let footprint_words t = t.words
-
-  (** The O(n) fold {!footprint_words} replaced, kept as a debug
-      cross-check: always equal to [footprint_words]. *)
-  let recomputed_footprint_words t =
-    Loc.Tbl.fold (fun _ v acc -> acc + D.words v) t.tbl 0
-
-  let fold f t acc = Loc.Tbl.fold f t.tbl acc
-end
+module Make = Shadow_pages.Make
+module Make_ref = Shadow_ref.Make

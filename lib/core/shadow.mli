@@ -1,36 +1,23 @@
-(** Shadow state: a taint value for every storage location.
+(** Shadow state: a taint value for every storage location — the
+    functor-level selector over the two implementations.
 
-    Bottom values are not stored, so the table's size is the number of
-    currently tainted locations — which is also what the memory
-    overhead measurements count. *)
+    Bottom values are never counted, so {!S.tainted_locations} is the
+    number of currently tainted locations — which is also what the
+    memory overhead measurements count.
 
-open Dift_vm
+    {!Make} is the default: the flat paged table of {!Shadow_pages}
+    (direct array indexing on the integer {!Dift_vm.Loc} encoding; see
+    [docs/performance.md] for the layout).  {!Make_ref} is the
+    original hashtable ({!Shadow_ref}), retained as the observational
+    reference for differential testing and as the fallback for
+    extremely sparse address spaces.  An engine over a specific
+    implementation is built with {!Engine.Make_over}. *)
 
-module Make (D : Taint.DOMAIN) : sig
-  type t
+module type S = Shadow_intf.S
+module type IMPL = Shadow_intf.IMPL
 
-  val create : unit -> t
+(** The paged flat shadow (default). *)
+module Make : IMPL
 
-  (** Untracked locations read as [D.bottom]. *)
-  val get : t -> Loc.t -> D.t
-
-  (** Storing [D.bottom] clears the entry. *)
-  val set : t -> Loc.t -> D.t -> unit
-
-  val clear : t -> Loc.t -> unit
-
-  (** Number of tainted locations. *)
-  val tainted_locations : t -> int
-
-  (** Total shadow footprint in words, per the domain's accounting.
-      O(1): the count is maintained incrementally by {!set}/{!clear},
-      so stats sampling may call it per event. *)
-  val footprint_words : t -> int
-
-  (** Recompute the footprint by folding over the whole table — the
-      O(n) definition {!footprint_words} must always agree with.
-      Debug cross-check only. *)
-  val recomputed_footprint_words : t -> int
-
-  val fold : (Loc.t -> D.t -> 'a -> 'a) -> t -> 'a -> 'a
-end
+(** The hashtable shadow (reference / sparse fallback). *)
+module Make_ref : IMPL

@@ -1,0 +1,56 @@
+(** The shadow-state interface both implementations satisfy.
+
+    A shadow maps every storage location to a taint value; untracked
+    locations read as the domain's bottom.  Two implementations exist
+    behind this signature:
+
+    - {!Shadow_pages.Make} — a flat two-level page table indexed
+      directly by the integer {!Dift_vm.Loc} encoding (the default;
+      O(1) array probes, no hashing, no allocation on the hot path);
+    - {!Shadow_ref.Make} — the original hashtable, kept as the
+      differential-testing reference and as a fallback for extremely
+      sparse address spaces where page-granularity allocation would
+      waste memory.
+
+    {!Shadow.Make} selects the paged implementation; engines that want
+    a specific one take any [IMPL] through {!Engine.Make_over}. *)
+
+open Dift_vm
+
+module type S = sig
+  type t
+
+  (** The domain's taint value type ([D.t] of the functor argument). *)
+  type elt
+
+  val create : unit -> t
+
+  (** Untracked locations read as bottom. *)
+  val get : t -> Loc.t -> elt
+
+  (** Storing bottom clears the entry. *)
+  val set : t -> Loc.t -> elt -> unit
+
+  val clear : t -> Loc.t -> unit
+
+  (** Number of tainted (non-bottom) locations. *)
+  val tainted_locations : t -> int
+
+  (** Total shadow footprint in words, per the domain's accounting.
+      O(1): maintained incrementally by {!set}/{!clear}, so stats
+      sampling may call it per event. *)
+  val footprint_words : t -> int
+
+  (** Recompute the footprint by folding over the whole shadow — the
+      O(n) definition {!footprint_words} must always agree with.
+      Debug cross-check only. *)
+  val recomputed_footprint_words : t -> int
+
+  (** Fold over the non-bottom entries.  Iteration order is
+      unspecified and differs between implementations. *)
+  val fold : (Loc.t -> elt -> 'a -> 'a) -> t -> 'a -> 'a
+end
+
+(** A shadow implementation: a functor from a taint domain to a shadow
+    over that domain's values. *)
+module type IMPL = functor (D : Taint.DOMAIN) -> S with type elt = D.t

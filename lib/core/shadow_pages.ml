@@ -1,0 +1,173 @@
+(** Flat paged shadow memory — the default shadow implementation.
+
+    Hardware DIFT proposals get their speed from tag memories indexed
+    directly by address instead of associative lookups; the integer
+    {!Dift_vm.Loc} encoding was designed to enable exactly that
+    substitution in software.  A location is [(index lsl 1) lor plane]
+    where bit 0 selects the plane (memory words vs. register slots)
+    and the upper bits are a dense index, so the shadow is two
+    two-level page tables: a growable directory of 4096-entry value
+    pages, allocated on first non-bottom touch.  Every [get]/[set] is
+    a shift, a mask and two array probes — no hashing, no comparison
+    calls, and no allocation once the touched pages exist.
+
+    Bottom is the in-page "empty" sentinel: it is never counted, and
+    storing it clears the entry (without ever allocating a page, so
+    clearing untouched locations is free).  [tainted_locations] and
+    [footprint_words] are maintained incrementally, exactly like the
+    hashtable reference ({!Shadow_ref}), with which this module must
+    stay observationally identical — the differential suite replays
+    random event streams through both.
+
+    Trade-off: a page costs 4096 words even if one slot is tainted.
+    Dense address use (the VM's contiguous memory, consecutive frame
+    serials) amortises that; a workload tainting a handful of wildly
+    scattered addresses should select {!Shadow_ref} via
+    {!Engine.Make_over} instead. *)
+
+module Make (D : Taint.DOMAIN) = struct
+  type elt = D.t
+
+  let page_bits = 12
+  let page_size = 1 lsl page_bits
+  let page_mask = page_size - 1
+
+  (* The absent-page marker: physically unique (compared with [==]),
+     safe to share since it is never written. *)
+  let no_page : D.t array = [||]
+
+  type plane = { mutable dir : D.t array array }
+
+  type t = {
+    mem : plane;  (** even locations: memory words *)
+    reg : plane;  (** odd locations: register slots *)
+    mutable count : int;  (** non-bottom entries *)
+    mutable words : int;  (** running [D.words] total over them *)
+  }
+
+  let create () =
+    { mem = { dir = [||] }; reg = { dir = [||] }; count = 0; words = 0 }
+
+  let get t loc =
+    let p = if loc land 1 = 0 then t.mem else t.reg in
+    let idx = loc lsr 1 in
+    let pi = idx lsr page_bits in
+    if pi >= Array.length p.dir then D.bottom
+    else
+      let page = Array.unsafe_get p.dir pi in
+      if page == no_page then D.bottom
+      else
+        (* in bounds: [land page_mask < page_size = Array.length page] *)
+        Array.unsafe_get page (idx land page_mask)
+
+  let grow p pi =
+    let n = Array.length p.dir in
+    let n' = max 8 (max (pi + 1) (2 * n)) in
+    let dir' = Array.make n' no_page in
+    Array.blit p.dir 0 dir' 0 n;
+    p.dir <- dir'
+
+  let fresh_page p pi =
+    let page = Array.make page_size D.bottom in
+    p.dir.(pi) <- page;
+    page
+
+  (* One probe finds both the old value and the slot to write — the
+     hashtable implementation pays a lookup for the old value and a
+     second for the replace/remove. *)
+  let set_generic t loc v =
+    let p = if loc land 1 = 0 then t.mem else t.reg in
+    let idx = loc lsr 1 in
+    let pi = idx lsr page_bits in
+    let page =
+      if pi < Array.length p.dir then Array.unsafe_get p.dir pi
+      else no_page
+    in
+    if page == no_page then begin
+      (* absent page: the old value is bottom.  Storing bottom into an
+         absent page stays a no-op — no page is allocated for it. *)
+      if not (D.is_bottom v) then begin
+        if pi >= Array.length p.dir then grow p pi;
+        let page = fresh_page p pi in
+        Array.unsafe_set page (idx land page_mask) v;
+        t.count <- t.count + 1;
+        t.words <- t.words + D.words v
+      end
+    end
+    else begin
+      let slot = idx land page_mask in
+      let old = Array.unsafe_get page slot in
+      Array.unsafe_set page slot v;
+      if D.is_bottom old then begin
+        if not (D.is_bottom v) then begin
+          t.count <- t.count + 1;
+          t.words <- t.words + D.words v
+        end
+      end
+      else if D.is_bottom v then begin
+        t.count <- t.count - 1;
+        t.words <- t.words - D.words old
+      end
+      else t.words <- t.words - D.words old + D.words v
+    end
+
+  (* Monomorphic store for the Bool domain, selected once at functor
+     application: bottom is [false] and every tainted value costs one
+     word, so the bottom tests and the words accounting become plain
+     bool compares instead of three calls through the functor
+     parameter. *)
+  let set : t -> int -> D.t -> unit =
+    match D.as_bool with
+    | None -> set_generic
+    | Some Taint.Refl ->
+        fun t loc (v : bool) ->
+          let p = if loc land 1 = 0 then t.mem else t.reg in
+          let idx = loc lsr 1 in
+          let pi = idx lsr page_bits in
+          let page =
+            if pi < Array.length p.dir then Array.unsafe_get p.dir pi
+            else no_page
+          in
+          if page == no_page then begin
+            if v then begin
+              if pi >= Array.length p.dir then grow p pi;
+              let page = fresh_page p pi in
+              Array.unsafe_set page (idx land page_mask) v;
+              t.count <- t.count + 1;
+              t.words <- t.words + 1
+            end
+          end
+          else begin
+            let slot = idx land page_mask in
+            let old : bool = Array.unsafe_get page slot in
+            if old <> v then begin
+              Array.unsafe_set page slot v;
+              let d = if v then 1 else -1 in
+              t.count <- t.count + d;
+              t.words <- t.words + d
+            end
+          end
+
+  let clear t loc = set t loc D.bottom
+  let tainted_locations t = t.count
+  let footprint_words t = t.words
+
+  let fold_plane plane_bit p f acc =
+    let acc = ref acc in
+    Array.iteri
+      (fun pi page ->
+        if page != no_page then
+          for s = 0 to page_size - 1 do
+            let v = Array.unsafe_get page s in
+            if not (D.is_bottom v) then
+              let idx = (pi lsl page_bits) lor s in
+              acc := f ((idx lsl 1) lor plane_bit) v !acc
+          done)
+      p.dir;
+    !acc
+
+  let fold f t acc = fold_plane 1 t.reg f (fold_plane 0 t.mem f acc)
+
+  let recomputed_footprint_words t =
+    fold (fun _ v acc -> acc + D.words v) t 0
+end

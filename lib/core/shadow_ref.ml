@@ -1,0 +1,54 @@
+(** The hashtable shadow — the original implementation, kept as the
+    observational reference for {!Shadow_pages} (differential tests
+    replay identical event streams through both and require
+    bit-identical taint, sinks and accounting) and as a fallback for
+    address spaces too sparse for page-granularity allocation.
+
+    Bottom values are not stored, so the table's size is the number of
+    currently tainted locations — which is also what the memory
+    overhead measurements count. *)
+
+open Dift_vm
+
+module Make (D : Taint.DOMAIN) = struct
+  type elt = D.t
+
+  type t = {
+    tbl : D.t Loc.Tbl.t;
+    mutable words : int;
+        (** running total of [D.words] over the table, maintained
+            incrementally so [footprint_words] is O(1) — per-event
+            stats sampling would otherwise pay a full-table fold. *)
+  }
+
+  let create () = { tbl = Loc.Tbl.create 1024; words = 0 }
+
+  let get t loc =
+    match Loc.Tbl.find_opt t.tbl loc with Some v -> v | None -> D.bottom
+
+  let stored_words t loc =
+    match Loc.Tbl.find_opt t.tbl loc with Some v -> D.words v | None -> 0
+
+  let set t loc v =
+    let old = stored_words t loc in
+    if D.is_bottom v then begin
+      Loc.Tbl.remove t.tbl loc;
+      t.words <- t.words - old
+    end
+    else begin
+      Loc.Tbl.replace t.tbl loc v;
+      t.words <- t.words - old + D.words v
+    end
+
+  let clear t loc =
+    t.words <- t.words - stored_words t loc;
+    Loc.Tbl.remove t.tbl loc
+
+  let tainted_locations t = Loc.Tbl.length t.tbl
+  let footprint_words t = t.words
+
+  let recomputed_footprint_words t =
+    Loc.Tbl.fold (fun _ v acc -> acc + D.words v) t.tbl 0
+
+  let fold f t acc = Loc.Tbl.fold f t.tbl acc
+end

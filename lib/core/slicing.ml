@@ -47,21 +47,21 @@ let add_node acc (n : Ddg.node) =
     are unreachable — the slice silently stops there, which models the
     bounded execution history of ONTRAC's buffer. *)
 let backward ?(kinds = default_kinds) ?(window_start = 0) g ~criterion =
-  let visited = Hashtbl.create 256 in
+  let visited = Ddg.Itbl.create 256 in
   let acc = ref empty in
   let stack = Stack.create () in
   List.iter (fun s -> Stack.push s stack) criterion;
   while not (Stack.is_empty stack) do
     let s = Stack.pop stack in
-    if (not (Hashtbl.mem visited s)) && s >= window_start then begin
-      Hashtbl.replace visited s ();
+    if (not (Ddg.Itbl.mem visited s)) && s >= window_start then begin
+      Ddg.Itbl.replace visited s ();
       match Ddg.node g s with
       | None -> ()
       | Some n ->
           acc := add_node !acc n;
           List.iter
             (fun (k, def) ->
-              if List.mem k kinds && not (Hashtbl.mem visited def) then
+              if List.mem k kinds && not (Ddg.Itbl.mem visited def) then
                 Stack.push def stack)
             n.Ddg.preds
     end
@@ -72,24 +72,24 @@ let backward ?(kinds = default_kinds) ?(window_start = 0) g ~criterion =
     criterion steps. *)
 let forward ?(kinds = default_kinds) ?(window_start = 0) g ~criterion =
   let succ = Ddg.successors g in
-  let visited = Hashtbl.create 256 in
+  let visited = Ddg.Itbl.create 256 in
   let acc = ref empty in
   let stack = Stack.create () in
   List.iter (fun s -> Stack.push s stack) criterion;
   while not (Stack.is_empty stack) do
     let s = Stack.pop stack in
-    if (not (Hashtbl.mem visited s)) && s >= window_start then begin
-      Hashtbl.replace visited s ();
+    if (not (Ddg.Itbl.mem visited s)) && s >= window_start then begin
+      Ddg.Itbl.replace visited s ();
       match Ddg.node g s with
       | None -> ()
       | Some n ->
           acc := add_node !acc n;
           let outs =
-            match Hashtbl.find_opt succ s with Some l -> l | None -> []
+            match Ddg.Itbl.find_opt succ s with Some l -> l | None -> []
           in
           List.iter
             (fun (k, use) ->
-              if List.mem k kinds && not (Hashtbl.mem visited use) then
+              if List.mem k kinds && not (Ddg.Itbl.mem visited use) then
                 Stack.push use stack)
             outs
     end

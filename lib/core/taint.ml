@@ -7,6 +7,14 @@
     bottom ("untainted") element, a source injection and a write
     transfer function. *)
 
+(** A type-equality witness.  [('a, 'b) eq] is inhabited exactly when
+    ['a] and ['b] are the same type; matching on {!Refl} makes the
+    equality available to the type checker.  The engine uses it to
+    discover — once, at instantiation time — that a domain's [t] is
+    [bool] and switch to a monomorphic, short-circuiting propagation
+    path with no calls through the functor parameter. *)
+type (_, _) eq = Refl : ('a, 'a) eq
+
 module type DOMAIN = sig
   type t
 
@@ -17,6 +25,11 @@ module type DOMAIN = sig
 
   val is_bottom : t -> bool
   val equal : t -> t -> bool
+
+  (** [Some Refl] iff [t] is [bool] with [bottom = false] and
+      [join = (||)] — the license for the engine's monomorphic
+      boolean fast path.  Everything else must answer [None]. *)
+  val as_bool : (t, bool) eq option
 
   (** Least upper bound; combining the taints of an instruction's
       operands. *)
@@ -47,6 +60,7 @@ module Bool : DOMAIN with type t = bool = struct
   let bottom = false
   let is_bottom t = not t
   let equal = Bool.equal
+  let as_bool = Some Refl
   let join = ( || )
   let source ~input_index:_ ~step:_ = true
   let at_write ~step:_ ~fname:_ ~pc:_ t = t
@@ -67,7 +81,11 @@ module Pc : DOMAIN with type t = site option = struct
 
   let name = "pc"
   let bottom = None
-  let is_bottom t = t = None
+
+  (* monomorphic: [t = None] would call the generic structural
+     comparison once per event *)
+  let is_bottom = function None -> true | Some _ -> false
+  let as_bool = None
 
   let equal a b =
     match a, b with
@@ -105,6 +123,7 @@ module Input_set : DOMAIN with type t = Int_set.t = struct
   let bottom = Int_set.empty
   let is_bottom = Int_set.is_empty
   let equal = Int_set.equal
+  let as_bool = None
   let join = Int_set.union
   let source ~input_index ~step:_ = Int_set.singleton input_index
   let at_write ~step:_ ~fname:_ ~pc:_ t = t

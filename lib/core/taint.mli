@@ -7,6 +7,11 @@
     bottom ("untainted") element, a source injection and a write
     transfer function. *)
 
+(** A type-equality witness: [('a, 'b) eq] is inhabited exactly when
+    ['a] and ['b] are the same type, and matching on {!Refl} makes
+    that equality available to the type checker. *)
+type (_, _) eq = Refl : ('a, 'a) eq
+
 module type DOMAIN = sig
   type t
 
@@ -17,6 +22,12 @@ module type DOMAIN = sig
 
   val is_bottom : t -> bool
   val equal : t -> t -> bool
+
+  (** [Some Refl] iff [t] is [bool] with [bottom = false] and
+      [join = (||)] — the license for the engine's monomorphic
+      boolean fast path (see {!Engine.Make}).  Everything else must
+      answer [None]. *)
+  val as_bool : (t, bool) eq option
 
   (** Least upper bound; combining the taints of an instruction's
       operands. *)

@@ -25,6 +25,7 @@ end = struct
   let bottom = Int_set.empty
   let is_bottom = Int_set.is_empty
   let equal = Int_set.equal
+  let as_bool = None
 
   let join a b =
     if Int_set.is_empty a then b
@@ -61,6 +62,7 @@ end = struct
   let bottom = Bdd.zero
   let is_bottom = Bdd.is_empty
   let equal = Bdd.equal
+  let as_bool = None
   let join a b = Bdd.union manager a b
   let source ~input_index ~step:_ = Bdd.singleton manager input_index
   let at_write ~step:_ ~fname:_ ~pc:_ t = t

@@ -1,13 +1,31 @@
 (** Batched event forwarding over the {!Spsc} ring (paper §2.1); see
-    the interface for the protocol. *)
+    the interface for the protocol.
+
+    A ring slot carries a [batch] record — a backing array plus a fill
+    length — rather than a bare array, so a partial flush (the trailing
+    batch at {!close}) hands the consumer its length instead of paying
+    an [Array.sub] copy.  Drained batch records come back to the
+    producer over a second, never-blocking {!Spsc} ring (the free
+    list), so in steady state the forwarder allocates nothing per
+    batch: the backing arrays cycle producer → consumer → producer.
+    A recycled array keeps its event references until overwritten,
+    bounded by [(queue_capacity + 2) * batch_size] events. *)
 
 open Dift_vm
 
+type batch = {
+  mutable data : Event.exec array;  (** [[||]] until the first event *)
+  mutable len : int;
+}
+
+(* The no-open-batch marker: physically unique, never pushed. *)
+let no_batch : batch = { data = [||]; len = 0 }
+
 type t = {
-  ring : Event.exec array Spsc.t;
+  ring : batch Spsc.t;
+  free : batch Spsc.t;  (** drained records coming back for reuse *)
   batch_size : int;
-  mutable buf : Event.exec array;  (** [[||]] when no batch is open *)
-  mutable fill : int;
+  mutable cur : batch;  (** [no_batch] when no batch is open *)
   mutable events : int;
   mutable batches : int;
   occupancy : Dift_obs.Registry.histogram option;
@@ -29,6 +47,9 @@ let occupancy_buckets batch_size =
 let create ?obs ?trace ~queue_capacity ~batch_size () =
   if batch_size < 1 then invalid_arg "Forwarder.create: batch_size < 1";
   let ring = Spsc.create ~capacity:queue_capacity in
+  (* + 2: room for the in-flight record on each side on top of the
+     ring's worth, so recycling (almost) never falls through to GC *)
+  let free = Spsc.create ~capacity:(queue_capacity + 2) in
   let occupancy =
     Option.map
       (fun reg ->
@@ -51,9 +72,9 @@ let create ?obs ?trace ~queue_capacity ~batch_size () =
   let t =
     {
       ring;
+      free;
       batch_size;
-      buf = [||];
-      fill = 0;
+      cur = no_batch;
       events = 0;
       batches = 0;
       occupancy;
@@ -98,26 +119,41 @@ let traced_push t batch =
         (Spsc.length t.ring)
 
 let flush t =
-  if t.fill > 0 then begin
-    let batch =
-      if t.fill = t.batch_size then t.buf else Array.sub t.buf 0 t.fill
-    in
+  let b = t.cur in
+  if b.len > 0 then begin
     (match t.occupancy with
-    | Some h -> Dift_obs.Registry.observe h t.fill
+    | Some h -> Dift_obs.Registry.observe h b.len
     | None -> ());
-    (* the consumer takes ownership of the array; open a fresh one *)
-    t.buf <- [||];
-    t.fill <- 0;
+    (* the consumer takes ownership of the record (and its length —
+       no [Array.sub] for a partial batch); open a fresh one lazily *)
+    t.cur <- no_batch;
     t.batches <- t.batches + 1;
-    traced_push t batch
+    traced_push t b
+  end
+
+(* An open batch to append to: the current one, a recycled one off the
+   free list (steady state — no allocation), or a fresh record. *)
+let open_batch t =
+  if t.cur != no_batch then t.cur
+  else begin
+    let b =
+      match Spsc.try_pop t.free with
+      | Some b ->
+          b.len <- 0;
+          b
+      | None -> { data = [||]; len = 0 }
+    in
+    t.cur <- b;
+    b
   end
 
 let add t e =
-  if t.buf == [||] then t.buf <- Array.make t.batch_size e;
-  t.buf.(t.fill) <- e;
-  t.fill <- t.fill + 1;
+  let b = open_batch t in
+  if b.data == [||] then b.data <- Array.make t.batch_size e;
+  b.data.(b.len) <- e;
+  b.len <- b.len + 1;
   t.events <- t.events + 1;
-  if t.fill = t.batch_size then flush t
+  if b.len = t.batch_size then flush t
 
 let close t =
   flush t;
@@ -148,11 +184,20 @@ let traced_pop t =
       batch
 
 let drain ?(around_batch = fun k -> k ()) t ~f =
+  let run_batch b () =
+    for i = 0 to b.len - 1 do
+      f (Array.unsafe_get b.data i)
+    done
+  in
   let rec loop () =
     match traced_pop t with
     | None -> ()
-    | Some batch ->
-        around_batch (fun () -> Array.iter f batch);
+    | Some b ->
+        around_batch (run_batch b);
+        (* recycle the record; if the free list is momentarily full
+           the record just falls to the GC *)
+        b.len <- 0;
+        ignore (Spsc.try_push t.free b : bool);
         loop ()
   in
   loop ()

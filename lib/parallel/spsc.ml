@@ -9,10 +9,20 @@
     protocol: a side that must block sets its [*_waiting] flag and
     re-checks the full/empty condition while holding the lock, and the
     opposite side broadcasts under the same lock, so no wakeup can be
-    lost between the re-check and the wait. *)
+    lost between the re-check and the wait.
+
+    Slots hold the element representation directly with a unique
+    sentinel block marking "empty" — not ['a option] — so a push does
+    not allocate a [Some] box per element.  [Obj.t] (rather than a
+    ['a] array with a magicked sentinel) keeps the buffer a pointer
+    array even when ['a] is [float], which would otherwise be flattened
+    into a flat float array the sentinel cannot inhabit. *)
+
+(* The empty-slot marker: physically unique, never escapes. *)
+let empty_slot : Obj.t = Obj.repr (ref ())
 
 type 'a t = {
-  buf : 'a option array;
+  buf : Obj.t array;
   cap : int;
   head : int Atomic.t;  (** next slot to pop; written by the consumer *)
   tail : int Atomic.t;  (** next slot to push; written by the producer *)
@@ -31,7 +41,7 @@ type 'a t = {
 let create ~capacity =
   if capacity < 1 then invalid_arg "Spsc.create: capacity < 1";
   {
-    buf = Array.make capacity None;
+    buf = Array.make capacity empty_slot;
     cap = capacity;
     head = Atomic.make 0;
     tail = Atomic.make 0;
@@ -79,6 +89,12 @@ let spin_while cond =
   done;
   cond ()
 
+(* Publish [x] at [tl] and wake the consumer if parked. *)
+let store_and_publish t tl x =
+  t.buf.(tl mod t.cap) <- Obj.repr x;
+  Atomic.set t.tail (tl + 1);
+  if Atomic.get t.consumer_waiting then signal_locked t t.not_empty
+
 (* Park the producer until the ring has room or the consumer aborted. *)
 let wait_not_full t tl =
   Mutex.lock t.lock;
@@ -104,10 +120,21 @@ let push t x =
              && tl - Atomic.get t.head >= t.cap)
     then wait_not_full t tl;
     if Atomic.get t.aborted then Atomic.incr t.drops
+    else store_and_publish t tl x
+  end
+
+let try_push t x =
+  if Atomic.get t.closed then invalid_arg "Spsc.try_push: closed channel";
+  if Atomic.get t.aborted then begin
+    Atomic.incr t.drops;
+    true
+  end
+  else begin
+    let tl = Atomic.get t.tail in
+    if tl - Atomic.get t.head >= t.cap then false
     else begin
-      t.buf.(tl mod t.cap) <- Some x;
-      Atomic.set t.tail (tl + 1);
-      if Atomic.get t.consumer_waiting then signal_locked t t.not_empty
+      store_and_publish t tl x;
+      true
     end
   end
 
@@ -135,19 +162,20 @@ let wait_not_empty t =
   Atomic.set t.consumer_waiting false;
   Mutex.unlock t.lock
 
+(* Take the element at [h]; the slot is reset to the sentinel so the
+   ring does not retain the element until the slot is overwritten. *)
+let take t h =
+  let slot = h mod t.cap in
+  let x : 'a = Obj.obj t.buf.(slot) in
+  t.buf.(slot) <- empty_slot;
+  Atomic.set t.head (h + 1);
+  if Atomic.get t.producer_waiting then signal_locked t t.not_full;
+  x
+
 let rec pop t =
   let h = Atomic.get t.head in
   if Atomic.get t.aborted then None
-  else if Atomic.get t.tail - h > 0 then begin
-    let slot = h mod t.cap in
-    let x =
-      match t.buf.(slot) with Some v -> v | None -> assert false
-    in
-    t.buf.(slot) <- None;
-    Atomic.set t.head (h + 1);
-    if Atomic.get t.producer_waiting then signal_locked t t.not_full;
-    Some x
-  end
+  else if Atomic.get t.tail - h > 0 then Some (take t h)
   else if Atomic.get t.closed then
     (* a final element may have landed between the emptiness check and
        the closed check *)
@@ -161,3 +189,9 @@ let rec pop t =
     then wait_not_empty t;
     pop t
   end
+
+let try_pop t =
+  let h = Atomic.get t.head in
+  if Atomic.get t.aborted then None
+  else if Atomic.get t.tail - h > 0 then Some (take t h)
+  else None

@@ -18,7 +18,10 @@
     pushes); the consumer drains and {!pop} returns [None].  If the
     consumer dies instead, it calls {!abort}, which turns every
     subsequent or blocked {!push} into a counted drop so the producer
-    can never deadlock against a dead helper. *)
+    can never deadlock against a dead helper.
+
+    Slots hold elements directly behind a unique sentinel rather than
+    as ['a option], so a push allocates nothing. *)
 
 type 'a t
 
@@ -37,6 +40,13 @@ val length : 'a t -> int
     After {!abort}, [x] is dropped (and counted) instead.
     @raise Invalid_argument if the channel is closed. *)
 val push : 'a t -> 'a -> unit
+
+(** [try_push t x] enqueues [x] if the channel has room and returns
+    [true]; returns [false] (without blocking or counting a stall) if
+    it is full.  After {!abort}, behaves like {!push}: the element is
+    dropped, counted, and [true] is returned.
+    @raise Invalid_argument if the channel is closed. *)
+val try_push : 'a t -> 'a -> bool
 
 (** No more pushes; blocked and future {!pop}s see the remaining
     elements and then [None].  Idempotent. *)
@@ -60,6 +70,11 @@ val dropped : 'a t -> int
     empty and not yet closed; [None] once the channel is closed and
     drained (or aborted). *)
 val pop : 'a t -> 'a option
+
+(** [try_pop t] dequeues the oldest element if one is buffered;
+    [None] if the channel is momentarily empty (or aborted) — it never
+    blocks and does not distinguish empty from closed-and-drained. *)
+val try_pop : 'a t -> 'a option
 
 (** Consumer gives up: wakes and un-blocks the producer permanently,
     turning pushes into drops.  Used to propagate a helper-side crash

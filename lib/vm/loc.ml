@@ -34,8 +34,20 @@ let frame_reg l =
   (v / Reg.count, v mod Reg.count)
 
 let equal (a : t) (b : t) = a = b
-let compare (a : t) (b : t) = Stdlib.compare a b
-let hash (l : t) = Hashtbl.hash l
+
+(* Monomorphic: [Stdlib.compare] on a known-int type still goes
+   through the generic comparison runtime, one call per table probe. *)
+let compare (a : t) (b : t) = Int.compare a b
+
+(* Fibonacci (Knuth multiplicative) mix instead of [Hashtbl.hash]:
+   one multiply, no trip through the generic hashing runtime.  The
+   multiplier spreads the low bits — locations are an int encoding
+   whose bit 0 is the mem/reg plane and whose upper bits are
+   near-sequential addresses, so identity hashing would leave half the
+   buckets of a power-of-two table unused for single-plane key sets.
+   [land max_int] keeps the result non-negative as [Hashtbl.Make]
+   requires. *)
+let hash (l : t) = (l * 0x9E3779B1) land max_int
 
 let pp ppf l =
   if is_mem l then Fmt.pf ppf "mem[%d]" (addr l)

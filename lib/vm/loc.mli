@@ -31,7 +31,13 @@ val addr : t -> int
 val frame_reg : t -> int * int
 
 val equal : t -> t -> bool
+
+(** Monomorphic int compare (no generic-comparison call). *)
 val compare : t -> t -> int
+
+(** Cheap multiplicative int mix (no generic hashing); non-negative.
+    Also suitable for any other int key (the DDG's dynamic step
+    numbers use it too): it is just a bit spreader. *)
 val hash : t -> int
 val pp : t Fmt.t
 

@@ -6,6 +6,7 @@ let () =
       ("isa", Test_isa.suite);
       ("vm", Test_vm.suite);
       ("core", Test_core.suite);
+      ("shadow-diff", Test_shadow_diff.suite);
       ("workloads", Test_workloads.suite);
       ("bdd", Test_bdd.suite);
       ("lineage", Test_lineage.suite);

@@ -1,6 +1,6 @@
-(* CI gate for the flat paged shadow: re-runs the engine micro-sweep
-   in-process (smoke scale) and fails loudly if the paged shadow has
-   become slower than the hashtable reference.
+(* CI gate for the performance claims: re-runs the engine micro-sweep
+   and the shard-scaling sweep in-process (smoke scale) and fails
+   loudly if either regresses.
 
    Two checks over the sweep of {!Engine_bench}:
 
@@ -12,6 +12,10 @@
      shadow traffic must be at least 2x faster on a majority of
      kernels (the single-core CI box is noisy, so the gate asks for 2
      of 3 rather than all).
+
+   One check over the sweep of {!Shard_bench}: the 4-shard aggregate
+   drain rate must stay >= 1.5x the 1-shard rate on at least two
+   kernels.
 
    Exit status 1 with a per-row report on failure. *)
 
@@ -48,8 +52,25 @@ let () =
       "bool shadow traffic >=2x faster than the hashtable on only %d \
        kernel(s); need >=2"
       bool_2x;
+  (* The shard-scaling gate (BENCH_4.json; see shard_bench.ml): at 4
+     shards the aggregate drain rate must be at least 1.5x the
+     one-shard rate on at least two kernels.  The call-dense kernels
+     (treesum, feistel) are the ones expected to scale — frame
+     striping spreads their activations — while the single-frame
+     loops are expected to sit near 1x; the gate fails only if the
+     scaling story itself regresses. *)
+  let srows = Shard_bench.run ~size:40 ~reps:5 () in
+  Shard_bench.pp_rows Fmt.stdout srows;
+  let scaling =
+    List.length
+      (List.filter (fun r -> Shard_bench.speedup_at ~shards:4 r >= 1.5) srows)
+  in
+  if scaling < 2 then
+    fail
+      "sharded drain rate >=1.5x at 4 shards on only %d kernel(s); need >=2"
+      scaling;
   match !failures with
-  | [] -> Fmt.pr "@.check_regression: paged shadow holds its speedups@."
+  | [] -> Fmt.pr "@.check_regression: paged shadow and sharded runtime hold their speedups@."
   | fs ->
       Fmt.epr "@.check_regression FAILED:@.";
       List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev fs);

@@ -346,12 +346,27 @@ let write_engine_json ?size ?reps file =
     Fmt.pr "wrote %s@." file
   end
 
+(* The shard-scaling sweep (kernel x shard count, two-pass journal
+   replay; see shard_bench.ml) serialized to BENCH_4.json. *)
+let write_shard_json ?size ?reps file =
+  let rows = Shard_bench.run ?size ?reps () in
+  Shard_bench.pp_rows Fmt.stdout rows;
+  let json = Dift_obs.Json.to_string (Shard_bench.json rows) in
+  if file = "-" then print_string json
+  else begin
+    let oc = open_out file in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote %s@." file
+  end
+
 let () =
   (* `bench --json [FILE]`: only the machine-readable E11 summary;
-     `bench --engine-json [FILE]`: only the engine micro-sweep
-     (`--smoke` shrinks it to the CI scale).  Plain `bench`: tables +
-     micro-benchmarks, then both summaries next to the current
-     directory. *)
+     `bench --engine-json [FILE]`: only the engine micro-sweep;
+     `bench --shard-json [FILE]`: only the shard-scaling sweep
+     (`--smoke` shrinks either sweep to the CI scale).  Plain `bench`:
+     tables + micro-benchmarks, then all three summaries next to the
+     current directory. *)
   match Array.to_list Sys.argv with
   | _ :: "--json" :: rest ->
       write_bench_json (match rest with f :: _ -> f | [] -> "BENCH_2.json")
@@ -364,8 +379,18 @@ let () =
       in
       if smoke then write_engine_json ~size:25 ~reps:3 file
       else write_engine_json file
+  | _ :: "--shard-json" :: rest ->
+      let smoke = List.mem "--smoke" rest in
+      let file =
+        match List.filter (fun a -> a <> "--smoke") rest with
+        | f :: _ -> f
+        | [] -> "BENCH_4.json"
+      in
+      if smoke then write_shard_json ~size:40 ~reps:3 file
+      else write_shard_json file
   | _ ->
       print_tables ();
       run_benchmarks ();
       write_bench_json "BENCH_2.json";
-      write_engine_json "BENCH_3.json"
+      write_engine_json "BENCH_3.json";
+      write_shard_json "BENCH_4.json"

@@ -228,6 +228,30 @@ let taint_cmd =
       & info [ "batch-size" ]
           ~doc:"Events per forwarded batch (with --parallel).")
   in
+  let helpers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "helpers" ] ~docv:"N"
+          ~doc:
+            "Number of helper domains (with --parallel).  With N > 1, \
+             shadow memory is sharded across the helpers and \
+             cross-shard events are resolved by the two-phase \
+             exchange (see --route).")
+  in
+  let route_arg =
+    let route =
+      Arg.enum
+        [ ("request-reply", `Request_reply); ("broadcast", `Broadcast) ]
+    in
+    Arg.(
+      value
+      & opt route `Request_reply
+      & info [ "route" ] ~docv:"ROUTE"
+          ~doc:
+            "Cross-shard strategy with --helpers > 1: $(b,request-reply) \
+             (exact two-phase exchange over disjoint shards) or \
+             $(b,broadcast) (replicate every event to every shard).")
+  in
   (* The kernel can be named either positionally or with [--workload]
      (convenient in scripted invocations where the options come
      first). *)
@@ -245,8 +269,8 @@ let taint_cmd =
     if taint && sink = Engine.Sink_output then
       Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
   in
-  let run pos_name workload size seed parallel queue_capacity batch_size
-      stats chrome trace_capacity =
+  let run pos_name workload size seed parallel helpers route queue_capacity
+      batch_size stats chrome trace_capacity =
     let named =
       match (pos_name, workload) with
       | Some p, Some w when p <> w ->
@@ -261,11 +285,41 @@ let taint_cmd =
     | Ok _ when parallel && (queue_capacity < 1 || batch_size < 1) ->
         Fmt.epr "--queue-capacity and --batch-size must be at least 1@.";
         1
+    | Ok _ when parallel && helpers < 1 ->
+        Fmt.epr "--helpers must be at least 1@.";
+        1
     | Ok w ->
         let input = w.Workload.input ~size ~seed in
         let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
         let tracer = make_tracer chrome trace_capacity obs in
-        if parallel then begin
+        if parallel && helpers > 1 then begin
+          let r =
+            Dift_parallel.Parallel.run_sharded ?obs ?trace:tracer ~route
+              ~queue_capacity ~batch_size ~on_sink ~shards:helpers
+              w.Workload.program ~input
+          in
+          let open Dift_parallel.Parallel in
+          Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
+            r.s_result.events r.s_result.sources r.s_result.sink_hits;
+          Fmt.pr "shadow: %d locations, %d words@."
+            r.s_result.tainted_locations r.s_result.shadow_words;
+          Fmt.pr "sharding: %a@." pp_sharded_report r;
+          Array.iter
+            (fun (s : Dift_parallel.Shard_engine.shard_stat) ->
+              Fmt.pr
+                "  shard %d: %d events in %d batches, %d sent / %d \
+                 received, busy %.2f ms (%d stalls, %d waits)@."
+                s.Dift_parallel.Shard_engine.shard
+                s.Dift_parallel.Shard_engine.handled
+                s.Dift_parallel.Shard_engine.batches
+                s.Dift_parallel.Shard_engine.exchange_sent
+                s.Dift_parallel.Shard_engine.exchange_received
+                (float_of_int s.Dift_parallel.Shard_engine.busy_ns /. 1e6)
+                s.Dift_parallel.Shard_engine.producer_stalls
+                s.Dift_parallel.Shard_engine.consumer_waits)
+            r.s_per_shard
+        end
+        else if parallel then begin
           let r =
             Dift_parallel.Parallel.run ?obs ?trace:tracer ~queue_capacity
               ~batch_size ~on_sink w.Workload.program ~input
@@ -322,8 +376,8 @@ let taint_cmd =
           domain (--parallel).")
     Term.(
       const run $ pos_name_arg $ workload_arg $ size_arg $ seed_arg
-      $ parallel_arg $ queue_arg $ batch_arg $ stats_arg $ chrome_trace_arg
-      $ trace_capacity_arg)
+      $ parallel_arg $ helpers_arg $ route_arg $ queue_arg $ batch_arg
+      $ stats_arg $ chrome_trace_arg $ trace_capacity_arg)
 
 (* -- stats ------------------------------------------------------------------- *)
 

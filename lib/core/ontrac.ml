@@ -290,6 +290,11 @@ type verdict =
    between is definition-free for the register, and every transition on
    the path is hot (a learned "trace" in the paper's sense). *)
 let o2_inferable t ~fname ~reg ~(w : writer_info) ~block ~history =
+  (* guard before the block lookup: [w.w_pc] indexes [fname]'s CFG, so
+     a writer from another function (e.g. a callee's [Ret] defining the
+     caller's return register) would index out of bounds *)
+  w.w_fname = fname
+  &&
   let w_block = Static_info.block_of t.static fname w.w_pc in
   let rec walk newer = function
     | [] -> false
@@ -309,7 +314,7 @@ let o2_inferable t ~fname ~reg ~(w : writer_info) ~block ~history =
           | None -> walk hb older
           | Some _ -> false)
   in
-  w.w_fname = fname && walk block history
+  walk block history
 
 let classify t (e : Event.exec) ~loc ~(w : writer_info) ~block ~history =
   let fname = e.Event.func.Func.name in

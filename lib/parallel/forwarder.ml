@@ -8,28 +8,31 @@
     producer over a second, never-blocking {!Spsc} ring (the free
     list), so in steady state the forwarder allocates nothing per
     batch: the backing arrays cycle producer → consumer → producer.
-    A recycled array keeps its event references until overwritten,
-    bounded by [(queue_capacity + 2) * batch_size] events. *)
+    A recycled array keeps its element references until overwritten,
+    bounded by [(queue_capacity + 2) * batch_size] elements.
 
-open Dift_vm
+    The channel is polymorphic in the element type: the two-domain
+    runtime forwards {!Dift_vm.Event.exec} records, and the sharded
+    runtime ({!Parallel.run_sharded}) reuses the same channel for each
+    shard's inbound event ring. *)
 
-type batch = {
-  mutable data : Event.exec array;  (** [[||]] until the first event *)
+type 'a batch = {
+  mutable data : 'a array;  (** [[||]] until the first element *)
   mutable len : int;
 }
 
-(* The no-open-batch marker: physically unique, never pushed. *)
-let no_batch : batch = { data = [||]; len = 0 }
-
-type t = {
-  ring : batch Spsc.t;
-  free : batch Spsc.t;  (** drained records coming back for reuse *)
+type 'a t = {
+  ring : 'a batch Spsc.t;
+  free : 'a batch Spsc.t;  (** drained records coming back for reuse *)
   batch_size : int;
-  mutable cur : batch;  (** [no_batch] when no batch is open *)
+  no_batch : 'a batch;
+      (** the no-open-batch marker: physically unique per channel,
+          never pushed *)
+  mutable cur : 'a batch;  (** [no_batch] when no batch is open *)
   mutable events : int;
   mutable batches : int;
   occupancy : Dift_obs.Registry.histogram option;
-      (** events per pushed batch, when observability is on *)
+      (** elements per pushed batch, when observability is on *)
   trace : Dift_obs.Trace.t option;
       (** execution timeline: enqueue/stall and dequeue/wait spans
           plus the ring-occupancy counter track *)
@@ -44,8 +47,12 @@ let occupancy_buckets batch_size =
   in
   up [] 1
 
-let create ?obs ?trace ~queue_capacity ~batch_size () =
-  if batch_size < 1 then invalid_arg "Forwarder.create: batch_size < 1";
+let create ?obs ?trace ?(ns = "parallel") ~queue_capacity ~batch_size () =
+  if queue_capacity < 1 then
+    invalid_arg
+      (Fmt.str "Forwarder.create: queue_capacity = %d < 1" queue_capacity);
+  if batch_size < 1 then
+    invalid_arg (Fmt.str "Forwarder.create: batch_size = %d < 1" batch_size);
   let ring = Spsc.create ~capacity:queue_capacity in
   (* + 2: room for the in-flight record on each side on top of the
      ring's worth, so recycling (almost) never falls through to GC *)
@@ -54,26 +61,29 @@ let create ?obs ?trace ~queue_capacity ~batch_size () =
     Option.map
       (fun reg ->
         let open Dift_obs in
-        Registry.gauge_fn reg "parallel.ring.capacity_batches"
+        let n suffix = ns ^ suffix in
+        Registry.gauge_fn reg (n ".ring.capacity_batches")
           ~help:"ring slots" (fun () -> Spsc.capacity ring);
-        Registry.gauge_fn reg "parallel.ring.stalls"
+        Registry.gauge_fn reg (n ".ring.stalls")
           ~help:"producer blocked on a full ring" (fun () ->
             Spsc.producer_stalls ring);
-        Registry.gauge_fn reg "parallel.ring.waits"
+        Registry.gauge_fn reg (n ".ring.waits")
           ~help:"consumer blocked on an empty ring" (fun () ->
             Spsc.consumer_waits ring);
-        Registry.gauge_fn reg "parallel.ring.drops"
+        Registry.gauge_fn reg (n ".ring.drops")
           ~help:"batches dropped after abort" (fun () -> Spsc.dropped ring);
-        Registry.histogram reg "parallel.forwarder.batch_occupancy"
+        Registry.histogram reg (n ".forwarder.batch_occupancy")
           ~help:"events per pushed batch"
           ~buckets:(occupancy_buckets batch_size))
       obs
   in
+  let no_batch = { data = [||]; len = 0 } in
   let t =
     {
       ring;
       free;
       batch_size;
+      no_batch;
       cur = no_batch;
       events = 0;
       batches = 0;
@@ -84,9 +94,9 @@ let create ?obs ?trace ~queue_capacity ~batch_size () =
   (match obs with
   | Some reg ->
       let open Dift_obs in
-      Registry.gauge_fn reg "parallel.forwarder.events"
+      Registry.gauge_fn reg (ns ^ ".forwarder.events")
         ~help:"events forwarded" (fun () -> t.events);
-      Registry.gauge_fn reg "parallel.forwarder.batches"
+      Registry.gauge_fn reg (ns ^ ".forwarder.batches")
         ~help:"batches pushed" (fun () -> t.batches)
   | None -> ());
   t
@@ -126,7 +136,7 @@ let flush t =
     | None -> ());
     (* the consumer takes ownership of the record (and its length —
        no [Array.sub] for a partial batch); open a fresh one lazily *)
-    t.cur <- no_batch;
+    t.cur <- t.no_batch;
     t.batches <- t.batches + 1;
     traced_push t b
   end
@@ -134,7 +144,7 @@ let flush t =
 (* An open batch to append to: the current one, a recycled one off the
    free list (steady state — no allocation), or a fresh record. *)
 let open_batch t =
-  if t.cur != no_batch then t.cur
+  if t.cur != t.no_batch then t.cur
   else begin
     let b =
       match Spsc.try_pop t.free with

@@ -1,39 +1,52 @@
-(** The event-forwarding channel between the application core and the
-    DIFT helper core (paper §2.1): batches of {!Dift_vm.Event.exec}
-    records carried over a bounded {!Spsc} ring.
+(** The batched forwarding channel between an application core and a
+    DIFT helper core (paper §2.1): batches of elements — usually
+    {!Dift_vm.Event.exec} records — carried over a bounded {!Spsc}
+    ring.
 
     The paper's forwarding set — memory addresses and values, input
     words, and control-flow outcomes — is exactly what an
     {!Dift_vm.Event.exec} record carries, so whole event records are
     forwarded.  To amortise channel synchronisation, the producer
-    accumulates events into fixed-size batches and pushes one batch
+    accumulates elements into fixed-size batches and pushes one batch
     (one ring slot) at a time; the ring capacity is therefore counted
     in {e batches}, and the channel buffers up to
-    [queue_capacity * batch_size] events.  Batch backing arrays are
+    [queue_capacity * batch_size] elements.  Batch backing arrays are
     recycled from the consumer back to the producer over an internal
     free list, so steady-state forwarding allocates nothing per
     batch.
 
+    The channel is used in two places: {!Parallel.run} forwards the
+    whole event stream over a single channel to its one helper, and
+    {!Parallel.run_sharded} creates one channel per shard (with a
+    per-shard [?ns] metric namespace) and routes each event to the
+    shards that participate in it.
+
     Shutdown protocol: the producer calls {!close}, which flushes the
     trailing partial batch and closes the ring; {!drain} then returns
-    once every forwarded event has been consumed.  If the consumer
-    fails, {!abort} permanently unblocks the producer (further events
-    are dropped and counted) so the application can finish and observe
-    the helper's exception at join time.
+    once every forwarded element has been consumed.  If the consumer
+    fails, {!abort} permanently unblocks the producer (further
+    elements are dropped and counted) so the application can finish
+    and observe the helper's exception at join time.
 
     See [docs/forwarding-protocol.md] for the full protocol. *)
 
-open Dift_vm
+(** A forwarding channel carrying elements of type ['a].  Strictly one
+    producer domain and one consumer domain, like the underlying
+    {!Spsc} ring. *)
+type 'a t
 
-type t
+(** [create ~queue_capacity ~batch_size ()] — a ring of
+    [queue_capacity] batch slots, each holding up to [batch_size]
+    elements.
 
-(** [create ~queue_capacity ~batch_size] — a ring of [queue_capacity]
-    batch slots, each holding up to [batch_size] events.
-
-    With [?obs], the channel registers its [parallel.ring.*] gauges
-    (capacity, stalls, waits, drops — all backed by the ring's atomic
-    counters, so a snapshot from any domain is safe) and records the
-    [parallel.forwarder.batch_occupancy] histogram on every push.
+    With [?obs], the channel registers its ring gauges (capacity,
+    stalls, waits, drops — all backed by the ring's atomic counters,
+    so a snapshot from any domain is safe) and records a
+    batch-occupancy histogram on every push.  [?ns] sets the metric
+    name prefix (default ["parallel"], giving [parallel.ring.*] and
+    [parallel.forwarder.*]); the sharded runtime passes
+    [parallel.shard<i>] so each shard's channel publishes its own
+    series.
 
     With [?trace], the channel additionally records the execution
     timeline of every ring transfer (category [parallel]): each
@@ -47,39 +60,42 @@ type t
 val create :
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?ns:string ->
   queue_capacity:int ->
   batch_size:int ->
   unit ->
-  t
+  'a t
 
 (** {1 Producer (application-core) side} *)
 
-(** Forward one event; pushes the current batch when it reaches
+(** Forward one element; pushes the current batch when it reaches
     [batch_size] (blocking while the ring is full). *)
-val add : t -> Event.exec -> unit
+val add : 'a t -> 'a -> unit
 
-(** Push the current partial batch, if any. *)
-val flush : t -> unit
+(** Push the current partial batch, if any.  The sharded router calls
+    this after every cross-shard event so no participant's copy can
+    sit in an open batch while a peer shard blocks waiting for it. *)
+val flush : 'a t -> unit
 
-(** Flush and close the ring: no more events will be forwarded. *)
-val close : t -> unit
+(** Flush and close the ring: no more elements will be forwarded. *)
+val close : 'a t -> unit
 
-(** Events forwarded so far. *)
-val events : t -> int
+(** Elements forwarded so far. *)
+val events : 'a t -> int
 
 (** Batches pushed so far (ring messages). *)
-val batches : t -> int
+val batches : 'a t -> int
 
 (** Times the producer blocked on a full ring (backpressure; the
     wall-clock analogue of the simulator's [stall_cycles]). *)
-val producer_stalls : t -> int
+val producer_stalls : 'a t -> int
 
 (** Batches dropped after an {!abort}. *)
-val dropped : t -> int
+val dropped : 'a t -> int
 
 (** {1 Consumer (helper-core) side} *)
 
-(** [drain t ~f] applies [f] to every forwarded event in program
+(** [drain t ~f] applies [f] to every forwarded element in program
     order; returns when the channel is closed and fully drained.
 
     [around_batch] wraps the processing of each popped batch (the
@@ -87,11 +103,11 @@ val dropped : t -> int
     it to time helper-domain busy periods without a per-event clock
     read.  It must call the thunk exactly once. *)
 val drain :
-  ?around_batch:((unit -> unit) -> unit) -> t -> f:(Event.exec -> unit) -> unit
+  ?around_batch:((unit -> unit) -> unit) -> 'a t -> f:('a -> unit) -> unit
 
 (** Consumer gives up (helper crash): unblocks the producer for good. *)
-val abort : t -> unit
+val abort : 'a t -> unit
 
 (** Times the consumer blocked on an empty ring (helper idle
     episodes). *)
-val consumer_waits : t -> int
+val consumer_waits : 'a t -> int

@@ -71,8 +71,18 @@ let result_of eng trace outcome =
     taint_fingerprint = taint_fingerprint eng;
   }
 
+(* Channel geometry below 1 would loop in batch fill / ring indexing
+   arithmetic; reject it up front with a caller-level message. *)
+let validate_geometry fn ~queue_capacity ~batch_size =
+  if queue_capacity < 1 then
+    invalid_arg
+      (Fmt.str "Parallel.%s: queue_capacity = %d < 1" fn queue_capacity);
+  if batch_size < 1 then
+    invalid_arg (Fmt.str "Parallel.%s: batch_size = %d < 1" fn batch_size)
+
 let run ?config ?obs ?trace ?(queue_capacity = 64) ?(batch_size = 64) ?policy
     ?on_sink program ~input =
+  validate_geometry "run" ~queue_capacity ~batch_size;
   let fwd = Forwarder.create ?obs ?trace ~queue_capacity ~batch_size () in
   let eng, sink_trace = make_engine ?policy ?on_sink program in
   (* Timeline: the engine samples its shadow footprint from whichever
@@ -219,6 +229,114 @@ let run_inline ?config ?obs ?trace ?policy ?on_sink program ~input =
   in
   let i_wall_ns = now_ns () - t0 in
   { i_result = result_of eng sink_trace outcome; i_wall_ns }
+
+(* -- the sharded N-helper runtime ------------------------------------- *)
+
+module Bool_shards = Shard_engine.Make (Taint.Bool)
+
+type sharded_report = {
+  s_result : result;
+  s_shards : int;
+  s_route : Shard_engine.route;
+  s_queue_capacity : int;
+  s_batch_size : int;
+  s_cross_events : int;
+  s_exchange_messages : int;
+  s_per_shard : Shard_engine.shard_stat array;
+  s_main_wall_ns : int;
+  s_total_wall_ns : int;
+}
+
+let run_sharded ?config ?obs ?trace ?route ?(queue_capacity = 64)
+    ?(batch_size = 64) ?xchg_capacity ?block_bits ?policy ?on_sink ~shards
+    program ~input =
+  if shards < 1 then
+    invalid_arg (Fmt.str "Parallel.run_sharded: shards = %d < 1" shards);
+  validate_geometry "run_sharded" ~queue_capacity ~batch_size;
+  let c =
+    Bool_shards.cluster ?policy ?route ?block_bits ?obs ?trace
+      ~queue_capacity ~batch_size ?xchg_capacity ~shards program
+  in
+  Bool_shards.start c;
+  let m = Machine.create ?config program ~input in
+  (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
+  (match trace with
+  | Some tr -> Dift_obs.Trace.name_track tr "app"
+  | None -> ());
+  Machine.attach m
+    (Tool.make ~dispatch_cost:0
+       ~on_exec:(Bool_shards.feed c)
+       "sharded-dift-router");
+  let t0 = now_ns () in
+  let outcome =
+    let run_machine () =
+      match trace with
+      | Some tr ->
+          Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () ->
+              Machine.run m)
+      | None -> Machine.run m
+    in
+    match run_machine () with
+    | outcome -> outcome
+    | exception ex ->
+        (* shut the channels down before re-raising so every helper
+           exits; absorb their (secondary) failures *)
+        (try ignore (Bool_shards.finish c : Bool_shards.merged)
+         with _ -> ());
+        raise ex
+  in
+  let s_main_wall_ns = now_ns () - t0 in
+  (* closes the channels, joins every shard, re-raises helper failures *)
+  let merged = Bool_shards.finish c in
+  let s_total_wall_ns = now_ns () - t0 in
+  (* Deterministic sink delivery: unlike {!run}, whose [on_sink] runs
+     streaming on the helper domain, sharded sink callbacks fire here,
+     after the join, in global step order. *)
+  let sink_trace_hash =
+    List.fold_left
+      (fun h (step, sink, taint, _) ->
+        mix h (Engine.sink_to_string sink, taint, step))
+      0 merged.Bool_shards.m_sinks
+  in
+  (match on_sink with
+  | Some f ->
+      List.iter
+        (fun (_, sink, taint, e) -> f sink taint e)
+        merged.Bool_shards.m_sinks
+  | None -> ());
+  {
+    s_result =
+      {
+        outcome;
+        events = merged.Bool_shards.m_events;
+        sources = merged.Bool_shards.m_sources;
+        sink_hits = merged.Bool_shards.m_sink_hits;
+        sink_trace_hash;
+        tainted_locations = merged.Bool_shards.m_tainted_locations;
+        shadow_words = merged.Bool_shards.m_shadow_words;
+        taint_fingerprint = merged.Bool_shards.m_fingerprint;
+      };
+    s_shards = shards;
+    s_route =
+      (match route with Some r -> r | None -> `Request_reply);
+    s_queue_capacity = queue_capacity;
+    s_batch_size = batch_size;
+    s_cross_events = Bool_shards.cross_events c;
+    s_exchange_messages = Bool_shards.exchange_messages c;
+    s_per_shard = Bool_shards.shard_stats c;
+    s_main_wall_ns;
+    s_total_wall_ns;
+  }
+
+let pp_sharded_report ppf r =
+  Fmt.pf ppf
+    "%d shard%s (%a): %d cross events, %d exchange msgs; main %.2f ms, \
+     total %.2f ms"
+    r.s_shards
+    (if r.s_shards = 1 then "" else "s")
+    Shard_engine.pp_route r.s_route r.s_cross_events r.s_exchange_messages
+    (float_of_int r.s_main_wall_ns /. 1e6)
+    (float_of_int r.s_total_wall_ns /. 1e6)
 
 let native_wall_ns ?config program ~input =
   let m = Machine.create ?config program ~input in

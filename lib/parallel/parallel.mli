@@ -88,7 +88,10 @@ type inline_report = {
     [engine.batch] span per propagated batch, the consumer's
     [ring.dequeue]/[ring.wait] spans, and the engine's shadow-footprint
     counter samples; both sides feed the [ring.occupancy] counter
-    track.  Export with {!Dift_obs.Trace.write} after the run. *)
+    track.  Export with {!Dift_obs.Trace.write} after the run.
+
+    @raise Invalid_argument if [queue_capacity] or [batch_size] is
+    [< 1]. *)
 val run :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
@@ -116,6 +119,83 @@ val run_inline :
   input:int array ->
   inline_report
 
+(** {1 The sharded N-helper runtime}
+
+    {!run_sharded} generalises {!run} from one helper domain to [N]:
+    a {!Router} partitions shadow memory across shards by block
+    interleaving the {!Dift_vm.Loc} encoding, the application domain
+    routes each forwarded event to the shards it touches over
+    per-shard {!Forwarder} channels, and events spanning shards are
+    resolved by {!Shard_engine}'s two-phase read-request/taint-reply
+    exchange (or conservatively broadcast — see
+    {!Shard_engine.route}).  Results merge deterministically at join:
+    sharded(N), sharded(1), {!run} and {!run_inline} all produce the
+    same {!result} — asserted kernel-by-kernel and property-tested in
+    [test/test_sharded.ml]. *)
+
+(** What {!run_sharded} reports on top of the merged {!result}:
+    routing and exchange volume, plus per-shard activity. *)
+type sharded_report = {
+  s_result : result;  (** merged, comparable against {!run_inline} *)
+  s_shards : int;
+  s_route : Shard_engine.route;
+  s_queue_capacity : int;  (** per-shard inbound ring slots *)
+  s_batch_size : int;  (** events per inbound batch *)
+  s_cross_events : int;  (** events that spanned shards *)
+  s_exchange_messages : int;  (** taint vectors through the mesh *)
+  s_per_shard : Shard_engine.shard_stat array;
+  s_main_wall_ns : int;  (** application-domain run time *)
+  s_total_wall_ns : int;  (** until the last shard joined *)
+}
+
+(** [run_sharded ~shards program ~input] executes [program] in the
+    current domain while [shards] helper domains track taint, each
+    owning a disjoint slice of shadow memory.
+
+    [route] picks the cross-shard strategy (default [`Request_reply];
+    that route rejects policies with [propagate_control] — use
+    [`Broadcast] for control-flow tracking).  [block_bits] sets the
+    interleaving granularity ({!Router.default_block_bits} aligns
+    blocks with register frames).  [queue_capacity]/[batch_size]
+    shape each shard's inbound channel and [xchg_capacity] each
+    exchange ring.
+
+    Unlike {!run}, [on_sink] fires on the {e calling} domain after the
+    join, in global step order (the deterministic merge); the hash and
+    counts in [s_result] are nevertheless bit-identical to the
+    streaming runtimes.
+
+    With [?obs], each shard's channel publishes under
+    [parallel.shard<i>.*] alongside per-shard busy/wall/utilization
+    gauges and the router's [parallel.router.cross_events]; with
+    [?trace], each shard gets its own [shard-<i>] track of batch and
+    ring spans next to the [app] track.
+
+    @raise Invalid_argument if [shards], [queue_capacity] or
+    [batch_size] is [< 1]. *)
+val run_sharded :
+  ?config:Machine.config ->
+  ?obs:Dift_obs.Registry.t ->
+  ?trace:Dift_obs.Trace.t ->
+  ?route:Shard_engine.route ->
+  ?queue_capacity:int ->
+  ?batch_size:int ->
+  ?xchg_capacity:int ->
+  ?block_bits:int ->
+  ?policy:Policy.t ->
+  ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
+  shards:int ->
+  Program.t ->
+  input:int array ->
+  sharded_report
+
+(** One-line summary of a sharded run (shard count, route, exchange
+    volume, wall times); combine with {!pp_result} for the merged
+    outcome. *)
+val pp_sharded_report : sharded_report Fmt.t
+
+(** {1 Baselines and comparisons} *)
+
 (** Wall time of an uninstrumented run (the native baseline). *)
 val native_wall_ns :
   ?config:Machine.config -> Program.t -> input:int array -> int
@@ -129,6 +209,13 @@ val speedup : inline_report -> report -> float
     the paper's main-core overhead, wall-clock edition). *)
 val main_ratio : inline_report -> report -> float
 
+(** Outcome, event/source/sink counts and shadow footprint on one
+    line. *)
 val pp_result : result Fmt.t
+
+(** Channel geometry, {!pp_result}, batch/stall/wait counts and wall
+    times. *)
 val pp_report : report Fmt.t
+
+(** {!pp_result} plus the inline wall time. *)
 val pp_inline_report : inline_report Fmt.t

@@ -1,0 +1,70 @@
+(** Event routing for the sharded N-helper runtime
+    ({!Parallel.run_sharded}).
+
+    The shadow address space is partitioned across helper shards by
+    {e block interleaving} the integer {!Dift_vm.Loc} encoding: location
+    [l] belongs to shard [((l lsr 1) lsr block_bits) mod shards].  The
+    default block of [2{^6} = 64] locations matches
+    [Dift_isa.Reg.count], so one register frame — one activation's
+    registers — lives entirely on one shard, successive call frames
+    round-robin across shards, and memory is striped in 64-word
+    blocks.
+
+    A router value is a pure description: [shard_of_loc], [home_of]
+    and [participants] are arithmetic on the event alone, so the
+    application domain (routing) and every helper domain (deciding its
+    own role in a cross-shard event) evaluate the same function
+    independently and always agree.  No state is shared; this is the
+    "routing key" of [docs/forwarding-protocol.md]. *)
+
+open Dift_vm
+
+type t
+
+(** Block size exponent used when [?block_bits] is omitted: [6], i.e.
+    64-location blocks aligned with the register-frame size. *)
+val default_block_bits : int
+
+(** Largest supported shard count (participant sets are one-word
+    bitmasks). *)
+val max_shards : int
+
+(** [create ~shards ()] describes a partition of the location space
+    into [shards] interleaved shards of [2{^block_bits}]-location
+    blocks.
+    @raise Invalid_argument if [shards < 1], [shards > max_shards] or
+    [block_bits] is outside [[0, 30]]. *)
+val create : ?block_bits:int -> shards:int -> unit -> t
+
+(** Number of shards in the partition. *)
+val shards : t -> int
+
+(** The block size exponent this router was created with. *)
+val block_bits : t -> int
+
+(** [shard_of_loc t l] is the shard owning location [l]. *)
+val shard_of_loc : t -> Loc.t -> int
+
+(** [owns t s l] is [shard_of_loc t l = s]. *)
+val owns : t -> int -> Loc.t -> bool
+
+(** [home_of t e] is the shard that executes the engine transfer
+    function for event [e]: the owner of the first write when [e]
+    writes (keeping stores local), else the owner of the first read
+    (sink-only events evaluate where their operand taint lives), else
+    [e.step mod shards]. *)
+val home_of : t -> Event.exec -> int
+
+(** [participants t e] is the bitmask of shards involved in [e]: the
+    owners of every read and write location plus the home shard.  A
+    one-bit mask means the event is purely local to that shard. *)
+val participants : t -> Event.exec -> int
+
+(** [is_local mask] — does this participant mask name exactly one
+    shard? *)
+val is_local : int -> bool
+
+(** [iter_shards mask f] applies [f] to each set bit of [mask] in
+    ascending shard order — the canonical leg order of the cross-shard
+    protocol. *)
+val iter_shards : int -> (int -> unit) -> unit

@@ -1,0 +1,483 @@
+(** Per-shard DIFT workers and the cross-shard exchange protocol; see
+    the interface for the architecture and
+    [docs/forwarding-protocol.md] for the protocol and its
+    deadlock-freedom argument. *)
+
+open Dift_vm
+open Dift_core
+
+type route = [ `Request_reply | `Broadcast ]
+
+let pp_route ppf (r : route) =
+  Fmt.string ppf
+    (match r with
+    | `Request_reply -> "request-reply"
+    | `Broadcast -> "broadcast")
+
+type shard_stat = {
+  shard : int;
+  handled : int;
+  batches : int;
+  busy_ns : int;
+  wall_ns : int;
+  producer_stalls : int;
+  consumer_waits : int;
+  exchange_sent : int;
+  exchange_received : int;
+}
+
+exception Shard_dead
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+module Make (D : Taint.DOMAIN) = struct
+  module E = Engine.Make (D)
+
+  (* One exchange message: the step it belongs to (a protocol
+     self-check — rings are FIFO, so a mismatch means a routing bug)
+     plus taint values positional on the event's read or write list. *)
+  type msg = int * D.t array
+
+  type xchg = {
+    rings : msg Spsc.t array array;  (** [rings.(src).(dst)] *)
+    journals : msg list ref array array option;
+        (** consumed messages per ring, newest first; written only by
+            each ring's consumer domain *)
+  }
+
+  let create_xchg ?(capacity = 256) ?(journal = false) ~shards () =
+    if capacity < 1 then
+      invalid_arg "Shard_engine.create_xchg: capacity < 1";
+    {
+      rings =
+        Array.init shards (fun _ ->
+            Array.init shards (fun _ -> Spsc.create ~capacity));
+      journals =
+        (if journal then
+           Some
+             (Array.init shards (fun _ ->
+                  Array.init shards (fun _ -> ref [])))
+         else None);
+    }
+
+  let abort_xchg x = Array.iter (Array.iter Spsc.abort) x.rings
+
+  let journal x ~src ~dst =
+    match x.journals with
+    | None -> []
+    | Some j -> List.rev !(j.(src).(dst))
+
+  let prefill x ~src ~dst msgs =
+    List.iter (Spsc.push x.rings.(src).(dst)) msgs
+
+  type worker = {
+    w_shard : int;
+    router : Router.t;
+    route : route;
+    x : xchg;
+    eng : E.t;
+    record_sinks : bool;
+    mutable sinks : (int * Engine.sink * D.t * Event.exec) list;
+        (** newest first *)
+    mutable w_handled : int;
+    mutable sent : int;
+    mutable received : int;
+  }
+
+  let worker ?policy ~router ~route ~xchg ~record_sinks ~shard program =
+    let policy = Option.value policy ~default:Policy.default in
+    (match route with
+    | `Request_reply when policy.Policy.propagate_control ->
+        invalid_arg
+          "Shard_engine: propagate_control entangles every event through \
+           per-thread control state and cannot be sharded exactly; use \
+           ~route:`Broadcast"
+    | _ -> ());
+    let eng = E.create ~policy program in
+    (* wall-clock runtime: modelled-cycle charging is meaningless here *)
+    E.set_charge eng ignore;
+    let w =
+      {
+        w_shard = shard;
+        router;
+        route;
+        x = xchg;
+        eng;
+        record_sinks;
+        sinks = [];
+        w_handled = 0;
+        sent = 0;
+        received = 0;
+      }
+    in
+    if record_sinks then
+      E.on_sink eng (fun sink taint e ->
+          w.sinks <- (e.Event.step, sink, taint, e) :: w.sinks);
+    w
+
+  let engine w = w.eng
+  let handled w = w.w_handled
+  let exchange_sent w = w.sent
+  let exchange_received w = w.received
+
+  let push_x w ~dst m =
+    w.sent <- w.sent + 1;
+    Spsc.push w.x.rings.(w.w_shard).(dst) m
+
+  let pop_x w ~src =
+    match Spsc.pop w.x.rings.(src).(w.w_shard) with
+    | None -> raise Shard_dead
+    | Some m ->
+        w.received <- w.received + 1;
+        (match w.x.journals with
+        | Some j ->
+            let cell = j.(src).(w.w_shard) in
+            cell := m :: !cell
+        | None -> ());
+        m
+
+  let protocol_error w (e : Event.exec) step =
+    failwith
+      (Fmt.str
+         "Shard_engine: shard %d expected the exchange leg for step %d but \
+          popped step %d — routing bug"
+         w.w_shard e.Event.step step)
+
+  (* Shards (other than this one) owning at least one of [locs]. *)
+  let remote_mask w locs =
+    List.fold_left
+      (fun m l -> m lor (1 lsl Router.shard_of_loc w.router l))
+      0 locs
+    land lnot (1 lsl w.w_shard)
+
+  (* The home shard runs the *unmodified* sequential transfer function
+     by windowing remote state through its own shadow: pull each
+     provider's read-taint vector and [set] it in place, run
+     {!E.process} (sinks, stats, policy handling and write stamping
+     all behave exactly as in the sequential engine), then read the
+     resulting taints of remote write locations back out of the
+     shadow, ship them to their owners, and clear every remote
+     location again.  The set/clear pairs cancel in the incremental
+     footprint accounting, so per-shard footprints stay disjoint. *)
+  let handle_home w (e : Event.exec) =
+    let sh = E.shadow w.eng in
+    let mine l = Router.owns w.router w.w_shard l in
+    Router.iter_shards (remote_mask w e.reads) (fun s ->
+        let step, v = pop_x w ~src:s in
+        if step <> e.step then protocol_error w e step;
+        List.iteri
+          (fun i l ->
+            if Router.shard_of_loc w.router l = s then E.Sh.set sh l v.(i))
+          e.reads);
+    E.process w.eng e;
+    let rmask = remote_mask w e.writes in
+    if rmask <> 0 then begin
+      let wv = Array.make (List.length e.writes) D.bottom in
+      List.iteri
+        (fun i l -> if not (mine l) then wv.(i) <- E.Sh.get sh l)
+        e.writes;
+      Router.iter_shards rmask (fun s -> push_x w ~dst:s (e.step, wv))
+    end;
+    List.iter (fun l -> if not (mine l) then E.Sh.clear sh l) e.reads;
+    List.iter (fun l -> if not (mine l) then E.Sh.clear sh l) e.writes
+
+  (* A non-home participant: provide the taints of its owned read
+     locations (positional on [e.reads]), then — if it owns write
+     locations — await the home's write vector and store its share.
+     Provide-before-await is the leg order the deadlock-freedom
+     argument relies on. *)
+  let handle_assist w (e : Event.exec) ~home =
+    let sh = E.shadow w.eng in
+    let mine l = Router.owns w.router w.w_shard l in
+    if List.exists mine e.reads then begin
+      let v = Array.make (List.length e.reads) D.bottom in
+      List.iteri (fun i l -> if mine l then v.(i) <- E.Sh.get sh l) e.reads;
+      push_x w ~dst:home (e.step, v)
+    end;
+    if List.exists mine e.writes then begin
+      let step, wv = pop_x w ~src:home in
+      if step <> e.step then protocol_error w e step;
+      List.iteri (fun i l -> if mine l then E.Sh.set sh l wv.(i)) e.writes
+    end
+
+  let handle w (e : Event.exec) =
+    w.w_handled <- w.w_handled + 1;
+    match w.route with
+    | `Broadcast -> E.process w.eng e
+    | `Request_reply ->
+        let mask = Router.participants w.router e in
+        if Router.is_local mask then E.process w.eng e
+        else begin
+          let home = Router.home_of w.router e in
+          if home = w.w_shard then handle_home w e
+          else handle_assist w e ~home
+        end
+
+  (* -- deterministic merge --------------------------------------------- *)
+
+  type merged = {
+    m_events : int;
+    m_sources : int;
+    m_sink_hits : int;
+    m_sinks : (int * Engine.sink * D.t * Event.exec) list;
+    m_tainted_locations : int;
+    m_shadow_words : int;
+    m_fingerprint : int;
+  }
+
+  (* Same recipe as the sequential fingerprint: every (loc, taint)
+     entry, sorted, hashed.  Request/reply shards own disjoint
+     location sets, so concatenating their folds enumerates exactly
+     the sequential shadow. *)
+  let fingerprint_of ws =
+    Array.fold_left
+      (fun acc w ->
+        E.Sh.fold (fun loc d acc -> (loc, d) :: acc) (E.shadow w.eng) acc)
+      [] ws
+    |> List.sort compare |> Hashtbl.hash
+
+  let merge ws =
+    match ws.(0).route with
+    | `Broadcast ->
+        (* full replication: shard 0 holds the whole answer *)
+        let w0 = ws.(0) in
+        let s = E.stats w0.eng in
+        let tl, sw = E.shadow_footprint w0.eng in
+        {
+          m_events = s.Engine.events;
+          m_sources = s.Engine.sources;
+          m_sink_hits = s.Engine.sink_hits;
+          m_sinks = List.rev w0.sinks;
+          m_tainted_locations = tl;
+          m_shadow_words = sw;
+          m_fingerprint = fingerprint_of [| w0 |];
+        }
+    | `Request_reply ->
+        let ev = ref 0
+        and src = ref 0
+        and hits = ref 0
+        and tl = ref 0
+        and sw = ref 0 in
+        Array.iter
+          (fun w ->
+            let s = E.stats w.eng in
+            ev := !ev + s.Engine.events;
+            src := !src + s.Engine.sources;
+            hits := !hits + s.Engine.sink_hits;
+            let t, wd = E.shadow_footprint w.eng in
+            tl := !tl + t;
+            sw := !sw + wd)
+          ws;
+        (* each shard's list is already step-ascending (it processes
+           its ring in forwarding order); a stable sort on the step is
+           a k-way merge that keeps intra-step order (all entries of
+           one step come from that event's home shard) *)
+        let sinks =
+          Array.fold_left (fun acc w -> List.rev_append w.sinks acc) [] ws
+          |> List.stable_sort (fun (a, _, _, _) (b, _, _, _) ->
+                 compare (a : int) b)
+        in
+        {
+          m_events = !ev;
+          m_sources = !src;
+          m_sink_hits = !hits;
+          m_sinks = sinks;
+          m_tainted_locations = !tl;
+          m_shadow_words = !sw;
+          m_fingerprint = fingerprint_of ws;
+        }
+
+  (* The sequential reference: one worker, one shard, no exchange —
+     [handle] degenerates to [E.process] on every event. *)
+  let sequential ?policy program events =
+    let router = Router.create ~shards:1 () in
+    let xchg = create_xchg ~capacity:1 ~shards:1 () in
+    let w =
+      worker ?policy ~router ~route:`Broadcast ~xchg ~record_sinks:true
+        ~shard:0 program
+    in
+    List.iter (handle w) events;
+    merge [| w |]
+
+  (* -- a cluster: workers + inbound rings + helper domains ------------- *)
+
+  type shard_clock = { mutable busy_ns : int; mutable wall_ns : int }
+
+  type cluster = {
+    c_router : Router.t;
+    c_route : route;
+    c_xchg : xchg;
+    workers : worker array;
+    fwds : Event.exec Forwarder.t array;
+    clocks : shard_clock array;
+    c_trace : Dift_obs.Trace.t option;
+    mutable domains : unit Domain.t array;
+    mutable cross : int;
+  }
+
+  let cluster ?policy ?(route = `Request_reply) ?block_bits ?obs ?trace
+      ?(queue_capacity = 64) ?(batch_size = 64) ?(xchg_capacity = 256)
+      ?(xchg_journal = false) ~shards program =
+    let router = Router.create ?block_bits ~shards () in
+    let xchg =
+      create_xchg ~capacity:xchg_capacity ~journal:xchg_journal ~shards ()
+    in
+    let workers =
+      Array.init shards (fun s ->
+          worker ?policy ~router ~route ~xchg
+            ~record_sinks:
+              (match route with
+              | `Request_reply -> true
+              | `Broadcast -> s = 0)
+            ~shard:s program)
+    in
+    let fwds =
+      Array.init shards (fun s ->
+          Forwarder.create ?obs ?trace
+            ~ns:(Fmt.str "parallel.shard%d" s)
+            ~queue_capacity ~batch_size ())
+    in
+    let clocks = Array.init shards (fun _ -> { busy_ns = 0; wall_ns = 0 }) in
+    let c =
+      {
+        c_router = router;
+        c_route = route;
+        c_xchg = xchg;
+        workers;
+        fwds;
+        clocks;
+        c_trace = trace;
+        domains = [||];
+        cross = 0;
+      }
+    in
+    (match obs with
+    | Some reg ->
+        let open Dift_obs in
+        Array.iteri
+          (fun s (k : shard_clock) ->
+            let n suffix = Fmt.str "parallel.shard%d.%s" s suffix in
+            Registry.gauge_fn reg (n "busy_ns")
+              ~help:"shard time spent processing batches" (fun () ->
+                k.busy_ns);
+            Registry.gauge_fn reg (n "wall_ns")
+              ~help:"shard wall time, spawn to drain end" (fun () ->
+                k.wall_ns);
+            Registry.gauge_fn reg (n "utilization_pct")
+              ~help:"busy / wall, percent" (fun () ->
+                k.busy_ns * 100 / max 1 k.wall_ns);
+            Registry.gauge_fn reg (n "exchange_sent")
+              ~help:"cross-shard taint vectors pushed" (fun () ->
+                c.workers.(s).sent))
+          clocks;
+        Registry.gauge_fn reg "parallel.router.cross_events"
+          ~help:"events spanning more than one shard" (fun () -> c.cross)
+    | None -> ());
+    c
+
+  let router c = c.c_router
+  let cross_events c = c.cross
+
+  let exchange_messages c =
+    Array.fold_left (fun acc w -> acc + w.sent) 0 c.workers
+
+  let feed c e =
+    match c.c_route with
+    | `Broadcast -> Array.iter (fun f -> Forwarder.add f e) c.fwds
+    | `Request_reply ->
+        let mask = Router.participants c.c_router e in
+        if Router.is_local mask then
+          Router.iter_shards mask (fun s -> Forwarder.add c.fwds.(s) e)
+        else begin
+          c.cross <- c.cross + 1;
+          Router.iter_shards mask (fun s -> Forwarder.add c.fwds.(s) e);
+          (* flush every participant: no copy of a cross-shard event
+             may sit in an open batch while a peer shard blocks
+             awaiting one of its exchange legs *)
+          Router.iter_shards mask (fun s -> Forwarder.flush c.fwds.(s))
+        end
+
+  let start c =
+    c.domains <-
+      Array.mapi
+        (fun s w ->
+          Domain.spawn (fun () ->
+              (match c.c_trace with
+              | Some tr ->
+                  Dift_obs.Trace.name_track tr (Fmt.str "shard-%d" s)
+              | None -> ());
+              let k = c.clocks.(s) in
+              let around_batch body =
+                let t0 = now_ns () in
+                (match c.c_trace with
+                | Some tr ->
+                    Dift_obs.Trace.span tr ~cat:"core" "engine.batch" body
+                | None -> body ());
+                k.busy_ns <- k.busy_ns + (now_ns () - t0)
+              in
+              let t0 = now_ns () in
+              Fun.protect ~finally:(fun () -> k.wall_ns <- now_ns () - t0)
+              @@ fun () ->
+              try Forwarder.drain ~around_batch c.fwds.(s) ~f:(handle w)
+              with ex ->
+                (* unblock the application and every peer shard before
+                   dying, so the failure cascades instead of wedging *)
+                Forwarder.abort c.fwds.(s);
+                abort_xchg c.c_xchg;
+                raise ex))
+        c.workers
+
+  let close_feed c = Array.iter Forwarder.close c.fwds
+
+  let finish c =
+    close_feed c;
+    let exns =
+      Array.map
+        (fun d ->
+          match Domain.join d with () -> None | exception ex -> Some ex)
+        c.domains
+    in
+    c.domains <- [||];
+    (* prefer the original failure over the Shard_dead cascade it
+       triggered in the other shards *)
+    let first_real =
+      Array.fold_left
+        (fun acc ex ->
+          match (acc, ex) with
+          | Some _, _ -> acc
+          | None, Some e when e <> Shard_dead -> Some e
+          | None, _ -> acc)
+        None exns
+    in
+    (match (first_real, Array.exists Option.is_some exns) with
+    | Some ex, _ -> raise ex
+    | None, true -> raise Shard_dead
+    | None, false -> ());
+    merge c.workers
+
+  let shard_stats c =
+    Array.mapi
+      (fun s w ->
+        {
+          shard = s;
+          handled = w.w_handled;
+          batches = Forwarder.batches c.fwds.(s);
+          busy_ns = c.clocks.(s).busy_ns;
+          wall_ns = c.clocks.(s).wall_ns;
+          producer_stalls = Forwarder.producer_stalls c.fwds.(s);
+          consumer_waits = Forwarder.consumer_waits c.fwds.(s);
+          exchange_sent = w.sent;
+          exchange_received = w.received;
+        })
+      c.workers
+
+  let run_stream ?policy ?route ?block_bits ?queue_capacity ?batch_size
+      ?xchg_capacity ~shards program events =
+    let c =
+      cluster ?policy ?route ?block_bits ?queue_capacity ?batch_size
+        ?xchg_capacity ~shards program
+    in
+    start c;
+    List.iter (feed c) events;
+    finish c
+end

@@ -1,0 +1,252 @@
+(** The sharded DIFT runtime's worker layer: N helper shards, each an
+    unmodified sequential {!Dift_core.Engine} over the shard's slice
+    of shadow memory, plus the cross-shard taint exchange.
+
+    {2 Exact sharding by shadow windowing}
+
+    A {!Router} partitions the location space; each worker owns the
+    shadow entries of its own shard and nothing else.  An event whose
+    locations span shards is delivered to every participant, and each
+    participant derives its role from the event alone:
+
+    - {e providers} (owners of read locations) send the taints of
+      their read locations to the home shard, positional on the
+      event's read list;
+    - the {e home} shard (owner of the first written location) windows
+      those remote taints into its own shadow with plain [Sh.set],
+      runs the ordinary sequential [Engine.process] — so policies,
+      sinks, stats and write stamping behave {e exactly} as in the
+      sequential engine — then reads the remote write taints back out,
+      ships them, and clears every remote location again;
+    - {e receivers} (owners of written locations) await the home's
+      write vector and store their share.
+
+    The two legs are the "read-request/taint-reply" exchange of
+    [docs/forwarding-protocol.md]; messages travel over a full mesh of
+    {!Spsc} rings, one per ordered shard pair.  Because rings are
+    FIFO, every shard processes its inbound events in global step
+    order, and providers always send before receivers await, the
+    protocol is deadlock-free (the argument is spelled out in the
+    protocol document).
+
+    The [`Request_reply] route is exact for every policy {e except}
+    [propagate_control], whose per-thread control state entangles all
+    events; {!val-worker} rejects that combination.  The [`Broadcast]
+    route replicates every event to every shard instead — each shard
+    computes the full answer redundantly, shard 0 reports — which
+    supports every policy (including control flow) at the cost of no
+    tracking-work reduction; it is the conservative end of the
+    bandwidth-versus-synchronisation trade.
+
+    This module is the machinery under {!Parallel.run_sharded}; it is
+    exposed so tests can drive raw event streams through real domain
+    clusters ({!Make.run_stream}) and the benchmark harness can replay
+    recorded exchanges against isolated workers. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+
+(** Cross-shard resolution strategy: [`Request_reply] is the exact
+    two-phase exchange over disjoint shards; [`Broadcast] is full
+    replication (every shard sees every event, shard 0 reports). *)
+type route = [ `Request_reply | `Broadcast ]
+
+(** Prints [request-reply] or [broadcast] (the same spelling the CLI
+    accepts). *)
+val pp_route : route Fmt.t
+
+(** Per-shard activity summary, reported by {!Make.shard_stats} after
+    a cluster run. *)
+type shard_stat = {
+  shard : int;  (** shard index *)
+  handled : int;  (** events delivered to this shard (incl. assists) *)
+  batches : int;  (** inbound ring batches *)
+  busy_ns : int;  (** time spent inside batch processing *)
+  wall_ns : int;  (** helper wall time, spawn to drain end *)
+  producer_stalls : int;  (** app blocked on this shard's full ring *)
+  consumer_waits : int;  (** shard blocked on its empty ring *)
+  exchange_sent : int;  (** cross-shard taint vectors pushed *)
+  exchange_received : int;  (** cross-shard taint vectors popped *)
+}
+
+(** Raised (and cascaded) when a peer shard died mid-protocol: an
+    exchange pop returned end-of-stream because some shard aborted the
+    mesh.  {!Make.finish} re-raises the original failure in
+    preference to this cascade marker. *)
+exception Shard_dead
+
+(** The worker layer over one taint domain. *)
+module Make (D : Taint.DOMAIN) : sig
+  (** This worker's engine instantiation (independent of any other
+      [Engine.Make (D)] application). *)
+  module E : module type of Engine.Make (D)
+
+  (** {1 The exchange mesh} *)
+
+  (** One exchange message: the owning step (a FIFO self-check) and a
+      taint vector positional on the event's read or write list. *)
+  type msg = int * D.t array
+
+  (** A full mesh of {!Spsc} rings, one per ordered shard pair. *)
+  type xchg
+
+  (** [create_xchg ~shards ()] builds the mesh.  [capacity] bounds
+      each ring (any value [>= 1] is deadlock-free; it only trades
+      memory against provider stalls).  With [~journal:true] every
+      consumed message is also recorded, retrievable per ring with
+      {!journal} — the benchmark harness uses this to replay a shard's
+      inbound exchange against an isolated worker.
+      @raise Invalid_argument if [capacity < 1]. *)
+  val create_xchg : ?capacity:int -> ?journal:bool -> shards:int -> unit -> xchg
+
+  (** Abort every ring in the mesh: blocked pops return, blocked
+      pushes drop.  Used to cascade a shard failure. *)
+  val abort_xchg : xchg -> unit
+
+  (** The messages consumed from ring [src → dst], oldest first;
+      [[]] unless the mesh was created with [~journal:true]. *)
+  val journal : xchg -> src:int -> dst:int -> msg list
+
+  (** Push recorded messages back into ring [src → dst] ahead of an
+      isolated replay.  The ring capacity must accommodate them. *)
+  val prefill : xchg -> src:int -> dst:int -> msg list -> unit
+
+  (** {1 Workers} *)
+
+  type worker
+
+  (** [worker ~router ~route ~xchg ~record_sinks ~shard program] is
+      shard [shard]'s engine plus protocol state.  With
+      [record_sinks], every sink callback is recorded (step, sink,
+      taint, event) for the deterministic merge.
+      @raise Invalid_argument when [route] is [`Request_reply] and the
+      policy enables [propagate_control] (see the module preamble). *)
+  val worker :
+    ?policy:Policy.t ->
+    router:Router.t ->
+    route:route ->
+    xchg:xchg ->
+    record_sinks:bool ->
+    shard:int ->
+    Program.t ->
+    worker
+
+  (** Process one routed event: run it locally, or play this shard's
+      home/provider/receiver legs of the cross-shard exchange.  May
+      block on the mesh; raises {!Shard_dead} if a peer aborted. *)
+  val handle : worker -> Event.exec -> unit
+
+  (** The shard's underlying engine (its shadow holds only owned
+      locations once all events are handled). *)
+  val engine : worker -> E.t
+
+  (** Events this worker handled (including assist-only legs). *)
+  val handled : worker -> int
+
+  (** Exchange vectors this worker pushed. *)
+  val exchange_sent : worker -> int
+
+  (** Exchange vectors this worker popped. *)
+  val exchange_received : worker -> int
+
+  (** {1 Deterministic merge} *)
+
+  (** The order-independent union of every shard's results, directly
+      comparable against a sequential run. *)
+  type merged = {
+    m_events : int;  (** engine events (each event has one home) *)
+    m_sources : int;  (** taint injections *)
+    m_sink_hits : int;  (** sinks reached by non-bottom taint *)
+    m_sinks : (int * Engine.sink * D.t * Event.exec) list;
+        (** every sink callback, globally step-ordered *)
+    m_tainted_locations : int;  (** summed over disjoint shards *)
+    m_shadow_words : int;  (** summed over disjoint shards *)
+    m_fingerprint : int;
+        (** hash of the sorted (loc, taint) entries of the union
+            shadow — same recipe as the sequential fingerprint *)
+  }
+
+  (** Merge the workers of one cluster (call only after all domains
+      joined).  Request/reply sums disjoint shards; broadcast reports
+      shard 0. *)
+  val merge : worker array -> merged
+
+  (** The sequential reference: one engine processing [events] in
+      order, reported in the same {!merged} shape. *)
+  val sequential : ?policy:Policy.t -> Program.t -> Event.exec list -> merged
+
+  (** {1 Clusters: workers + inbound rings + helper domains} *)
+
+  type cluster
+
+  (** [cluster ~shards program] assembles a router, the exchange mesh,
+      one worker and one inbound {!Forwarder} channel per shard
+      (metric namespace [parallel.shard<i>] when [?obs] is given, plus
+      per-shard [busy_ns]/[wall_ns]/[utilization_pct] gauges and the
+      [parallel.router.cross_events] counter).  No domains run yet —
+      call {!start}.
+      @raise Invalid_argument for [shards < 1] or non-positive channel
+      geometry. *)
+  val cluster :
+    ?policy:Policy.t ->
+    ?route:route ->
+    ?block_bits:int ->
+    ?obs:Dift_obs.Registry.t ->
+    ?trace:Dift_obs.Trace.t ->
+    ?queue_capacity:int ->
+    ?batch_size:int ->
+    ?xchg_capacity:int ->
+    ?xchg_journal:bool ->
+    shards:int ->
+    Program.t ->
+    cluster
+
+  (** The cluster's routing topology. *)
+  val router : cluster -> Router.t
+
+  (** Route one event from the application domain: deliver it to every
+      participant shard's inbound channel, flushing all of them when
+      the event crosses shards (see {!Forwarder.flush}).  [`Broadcast]
+      delivers every event to every shard. *)
+  val feed : cluster -> Event.exec -> unit
+
+  (** Spawn one helper domain per shard, each draining its inbound
+      channel through {!handle}.  A failing shard aborts its channel
+      and the whole mesh so the failure cascades instead of wedging. *)
+  val start : cluster -> unit
+
+  (** Close every inbound channel (flushing trailing batches): the
+      shutdown fan-in.  {!finish} calls this; exposed for drivers that
+      need to stop feeding early. *)
+  val close_feed : cluster -> unit
+
+  (** Close the channels, join every helper domain and merge.
+      Re-raises the first non-{!Shard_dead} helper failure, or
+      {!Shard_dead} if only the cascade markers remain. *)
+  val finish : cluster -> merged
+
+  (** Events that crossed shards (request/reply route only). *)
+  val cross_events : cluster -> int
+
+  (** Total exchange vectors pushed across the mesh. *)
+  val exchange_messages : cluster -> int
+
+  (** Per-shard activity after {!finish}. *)
+  val shard_stats : cluster -> shard_stat array
+
+  (** [run_stream ~shards program events] — cluster, start, feed the
+      whole list, finish.  The test-suite driver for comparing
+      sharded(N) against {!sequential} on arbitrary streams. *)
+  val run_stream :
+    ?policy:Policy.t ->
+    ?route:route ->
+    ?block_bits:int ->
+    ?queue_capacity:int ->
+    ?batch_size:int ->
+    ?xchg_capacity:int ->
+    shards:int ->
+    Program.t ->
+    Event.exec list ->
+    merged
+end

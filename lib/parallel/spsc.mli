@@ -29,6 +29,7 @@ type 'a t
     elements.  @raise Invalid_argument if [capacity < 1]. *)
 val create : capacity:int -> 'a t
 
+(** The fixed slot count the channel was created with. *)
 val capacity : 'a t -> int
 
 (** Elements currently buffered (racy snapshot, exact when quiescent). *)

@@ -572,8 +572,139 @@ let bfs =
       in
       Array.concat [ [| n |]; degrees; edges ])
 
+(* -- tree-structured hash reduction -------------------------------------- *)
+
+(* Divide-and-conquer over the input array: internal nodes split the
+   segment and combine child results, leaves hash their elements in a
+   tight register loop.  One activation per segment gives the
+   call-dense profile of real code that the fused single-frame loops
+   above lack — and, since the VM assigns every activation a fresh
+   register frame, it is the shape that spreads work across the
+   sharded runtime's frame-striped shadow partition. *)
+let treesum =
+  let leaf = 8 in
+  let tsum =
+    Builder.define ~name:"treesum" ~arity:2 (fun b ->
+        (* r0 = lo, r1 = hi (exclusive) *)
+        Builder.sub b Reg.r2 (reg Reg.r1) (reg Reg.r0);
+        Builder.le b Reg.r3 (reg Reg.r2) (imm leaf);
+        Builder.if_nz b (reg Reg.r3)
+          ~then_:(fun () ->
+            Builder.movi b Reg.r4 0;
+            Builder.for_up b ~idx:Reg.r5 ~from_:(reg Reg.r0)
+              ~below:(reg Reg.r1) (fun () ->
+                Builder.add b Reg.r6 (imm base_a) (reg Reg.r5);
+                Builder.load b Reg.r7 (reg Reg.r6) 0;
+                (* avalanche the element (two mix rounds), then fold *)
+                Builder.mul b Reg.r8 (reg Reg.r7) (imm 0x9e37);
+                Builder.shr b Reg.r9 (reg Reg.r8) (imm 7);
+                Builder.xor b Reg.r8 (reg Reg.r8) (reg Reg.r9);
+                Builder.shl b Reg.r9 (reg Reg.r8) (imm 3);
+                Builder.add b Reg.r8 (reg Reg.r8) (reg Reg.r9);
+                Builder.mul b Reg.r8 (reg Reg.r8) (imm 0x85eb);
+                Builder.shr b Reg.r9 (reg Reg.r8) (imm 11);
+                Builder.xor b Reg.r8 (reg Reg.r8) (reg Reg.r9);
+                Builder.shl b Reg.r9 (reg Reg.r8) (imm 5);
+                Builder.add b Reg.r8 (reg Reg.r8) (reg Reg.r9);
+                Builder.xor b Reg.r4 (reg Reg.r4) (reg Reg.r8);
+                Builder.add b Reg.r4 (reg Reg.r4) (reg Reg.r7));
+            Builder.ret b (Some (reg Reg.r4)))
+          ~else_:(fun () ->
+            (* mid = lo + (hi - lo) / 2 *)
+            Builder.shr b Reg.r4 (reg Reg.r2) (imm 1);
+            Builder.add b Reg.r4 (reg Reg.r0) (reg Reg.r4);
+            Builder.mov b Reg.r11 (reg Reg.r1);
+            Builder.mov b Reg.r12 (reg Reg.r4);
+            Builder.mov b Reg.r1 (reg Reg.r12);
+            Builder.call b "treesum" ~ret:(Some Reg.r13);
+            Builder.mov b Reg.r0 (reg Reg.r12);
+            Builder.mov b Reg.r1 (reg Reg.r11);
+            Builder.call b "treesum" ~ret:(Some Reg.r14);
+            Builder.mul b Reg.r2 (reg Reg.r13) (imm 31);
+            Builder.add b Reg.r2 (reg Reg.r2) (reg Reg.r14);
+            Builder.xor b Reg.r2 (reg Reg.r2) (reg Reg.r13);
+            Builder.ret b (Some (reg Reg.r2))))
+  in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.read b Reg.r0;
+        (* n *)
+        Builder.mov b Reg.r15 (reg Reg.r0);
+        read_array b ~base:base_a ~count:(reg Reg.r15) ~idx:Reg.r10
+          ~tmp:Reg.r2 ~addr:Reg.r3;
+        Builder.movi b Reg.r0 0;
+        Builder.mov b Reg.r1 (reg Reg.r15);
+        Builder.call b "treesum" ~ret:(Some Reg.r14);
+        Builder.write b (reg Reg.r14);
+        Builder.halt b)
+  in
+  Workload.make ~name:"treesum"
+    ~description:
+      "divide-and-conquer hash reduction, one activation per segment"
+    ~program:(Program.make [ main; tsum ])
+    ~input:(fun ~size ~seed ->
+      let n = max 2 size in
+      Array.append [| n |] (Workload.random_input n seed))
+
+(* -- per-block Feistel mixing -------------------------------------------- *)
+
+(* Every input word is pushed through a called round function — the
+   other call-dense shape (one short-lived activation per data block,
+   all of its work in registers).  The round structure is a textbook
+   Feistel network, so the output depends on every bit of the input
+   word and the checksum stays taint-reachable. *)
+let feistel =
+  let rounds = 16 in
+  let mix =
+    Builder.define ~name:"mix" ~arity:2 (fun b ->
+        (* r0 = left half (data), r1 = right half (block index) *)
+        for _ = 1 to rounds do
+          Builder.shl b Reg.r2 (reg Reg.r0) (imm 4);
+          Builder.add b Reg.r2 (reg Reg.r2) (reg Reg.r1);
+          Builder.shr b Reg.r3 (reg Reg.r0) (imm 5);
+          Builder.add b Reg.r3 (reg Reg.r3) (imm 0x7af3);
+          Builder.xor b Reg.r2 (reg Reg.r2) (reg Reg.r3);
+          Builder.add b Reg.r4 (reg Reg.r0) (reg Reg.r2);
+          Builder.mov b Reg.r0 (reg Reg.r1);
+          Builder.mov b Reg.r1 (reg Reg.r4)
+        done;
+        Builder.add b Reg.r0 (reg Reg.r0) (reg Reg.r1);
+        Builder.ret b (Some (reg Reg.r0)))
+  in
+  let main =
+    Builder.define ~name:"main" ~arity:0 (fun b ->
+        Builder.read b Reg.r0;
+        (* n *)
+        Builder.mov b Reg.r15 (reg Reg.r0);
+        read_array b ~base:base_a ~count:(reg Reg.r15) ~idx:Reg.r10
+          ~tmp:Reg.r2 ~addr:Reg.r3;
+        Builder.movi b Reg.r14 0;
+        Builder.for_up b ~idx:Reg.r10 ~from_:(imm 0) ~below:(reg Reg.r15)
+          (fun () ->
+            Builder.add b Reg.r2 (imm base_a) (reg Reg.r10);
+            Builder.load b Reg.r0 (reg Reg.r2) 0;
+            Builder.mov b Reg.r1 (reg Reg.r10);
+            Builder.call b "mix" ~ret:(Some Reg.r3);
+            Builder.add b Reg.r2 (imm base_b) (reg Reg.r10);
+            Builder.store b (reg Reg.r3) (reg Reg.r2) 0;
+            Builder.xor b Reg.r14 (reg Reg.r14) (reg Reg.r3));
+        Builder.write b (reg Reg.r14);
+        Builder.halt b)
+  in
+  Workload.make ~name:"feistel"
+    ~description:
+      "per-block Feistel mixing, one round-function activation per word"
+    ~program:(Program.make [ main; mix ])
+    ~input:(fun ~size ~seed ->
+      let n = max 2 size in
+      Array.append [| n |] (Workload.random_input n seed))
+
 (** The kernel suite, in a stable order. *)
-let all = [ matmul; qsort; rle; search; hash; crc; sieve; poly; butterfly; bfs ]
+let all =
+  [
+    matmul; qsort; rle; search; hash; crc; sieve; poly; butterfly; bfs;
+    treesum; feistel;
+  ]
 
 let by_name name =
   match List.find_opt (fun w -> w.Workload.name = name) all with

@@ -5,7 +5,9 @@
     fire), computes in registers and memory, and writes a checksum.
     Together they span the behaviours that drive tracing cost: tight
     arithmetic loops, data-dependent control, indexed memory traffic,
-    strided shuffles and pointer chasing. *)
+    strided shuffles, pointer chasing, and call-dense code (one
+    activation per data block — the shape that exercises per-frame
+    register files and the sharded runtime's frame striping). *)
 
 val matmul : Workload.t
 val qsort : Workload.t
@@ -17,6 +19,8 @@ val sieve : Workload.t
 val poly : Workload.t
 val butterfly : Workload.t
 val bfs : Workload.t
+val treesum : Workload.t
+val feistel : Workload.t
 
 (** The kernel suite, in a stable order. *)
 val all : Workload.t list

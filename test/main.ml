@@ -17,6 +17,7 @@ let () =
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
+      ("sharded", Test_sharded.suite);
       ("faultloc", Test_faultloc.suite);
       ("attack", Test_attack.suite);
       ("avoidance", Test_avoidance.suite);

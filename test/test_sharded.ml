@@ -1,0 +1,373 @@
+(* The sharded N-helper runtime computes exactly what the sequential
+   engine computes — same sink trace, same stats, same final shadow —
+   for every workload kernel at 1, 2 and 4 shards, on both cross-shard
+   routes, and (as a QCheck property) for random event streams that
+   force cross-shard source/dest splits, in all three taint domains.
+   Plus the regression test for channel-geometry validation. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+open Dift_workloads
+open Dift_parallel
+
+let check = Alcotest.check
+
+let same_result name (a : Parallel.result) (b : Parallel.result) =
+  check Alcotest.bool
+    (Fmt.str "%s: outcome agrees" name)
+    true (a.Parallel.outcome = b.Parallel.outcome);
+  check Alcotest.int (Fmt.str "%s: events" name) a.Parallel.events
+    b.Parallel.events;
+  check Alcotest.int (Fmt.str "%s: sources" name) a.Parallel.sources
+    b.Parallel.sources;
+  check Alcotest.int (Fmt.str "%s: sink hits" name) a.Parallel.sink_hits
+    b.Parallel.sink_hits;
+  check Alcotest.int
+    (Fmt.str "%s: sink trace hash" name)
+    a.Parallel.sink_trace_hash b.Parallel.sink_trace_hash;
+  check Alcotest.int
+    (Fmt.str "%s: tainted locations" name)
+    a.Parallel.tainted_locations b.Parallel.tainted_locations;
+  check Alcotest.int (Fmt.str "%s: shadow words" name)
+    a.Parallel.shadow_words b.Parallel.shadow_words;
+  check Alcotest.int
+    (Fmt.str "%s: taint fingerprint" name)
+    a.Parallel.taint_fingerprint b.Parallel.taint_fingerprint
+
+(* -- every kernel, 1/2/4 shards, bit-identical to inline -------------- *)
+
+let test_equivalence_all_kernels () =
+  let found_cross = ref false in
+  List.iter
+    (fun (w : Workload.t) ->
+      let input = w.Workload.input ~size:14 ~seed:11 in
+      let inline = Parallel.run_inline w.Workload.program ~input in
+      List.iter
+        (fun shards ->
+          let rep =
+            Parallel.run_sharded ~queue_capacity:8 ~batch_size:8 ~shards
+              w.Workload.program ~input
+          in
+          same_result
+            (Fmt.str "%s/shards=%d" w.Workload.name shards)
+            inline.Parallel.i_result rep.Parallel.s_result;
+          if rep.Parallel.s_cross_events > 0 then found_cross := true)
+        [ 1; 2; 4 ])
+    Spec_like.all;
+  (* if no kernel ever crossed shards, the exchange protocol was never
+     exercised and the equivalences above prove nothing about it *)
+  check Alcotest.bool "cross-shard exchange exercised" true !found_cross
+
+(* The sharded runtime must also agree with the two-domain [run]
+   (which asserts the hash chain is the same one [make_engine] mixes). *)
+let test_agrees_with_two_domain_run () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:12 ~seed:5 in
+  let two = Parallel.run w.Workload.program ~input in
+  let sharded =
+    Parallel.run_sharded ~shards:2 w.Workload.program ~input
+  in
+  same_result "crc run vs run_sharded" two.Parallel.result
+    sharded.Parallel.s_result
+
+(* Broadcast replication: same answer, every policy allowed. *)
+let test_broadcast_route () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let input = w.Workload.input ~size:12 ~seed:9 in
+      let inline = Parallel.run_inline w.Workload.program ~input in
+      let rep =
+        Parallel.run_sharded ~route:`Broadcast ~shards:3
+          w.Workload.program ~input
+      in
+      same_result
+        (Fmt.str "%s/broadcast" w.Workload.name)
+        inline.Parallel.i_result rep.Parallel.s_result)
+    [ Spec_like.crc; Spec_like.qsort ]
+
+(* The security policy (pointer flows) must survive sharding. *)
+let test_security_policy () =
+  let w = Spec_like.bfs in
+  let input = w.Workload.input ~size:14 ~seed:3 in
+  let policy = Policy.security in
+  let inline = Parallel.run_inline ~policy w.Workload.program ~input in
+  let rep =
+    Parallel.run_sharded ~policy ~shards:4 w.Workload.program ~input
+  in
+  same_result "bfs/security sharded" inline.Parallel.i_result
+    rep.Parallel.s_result
+
+(* Control-flow taint entangles all events through per-thread state:
+   the exact route must refuse it, the broadcast route must get it
+   right. *)
+let test_control_policy () =
+  let w = Spec_like.search in
+  let input = w.Workload.input ~size:10 ~seed:2 in
+  let policy = Policy.full in
+  check Alcotest.bool "request-reply rejects propagate_control" true
+    (match
+       Parallel.run_sharded ~policy ~shards:2 w.Workload.program ~input
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let inline = Parallel.run_inline ~policy w.Workload.program ~input in
+  let rep =
+    Parallel.run_sharded ~policy ~route:`Broadcast ~shards:2
+      w.Workload.program ~input
+  in
+  same_result "search/full broadcast" inline.Parallel.i_result
+    rep.Parallel.s_result
+
+(* -- regression: channel geometry below 1 must raise, not hang ------- *)
+
+let raises_invalid f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+let test_invalid_geometry_rejected () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:4 ~seed:1 in
+  let p = w.Workload.program in
+  List.iter
+    (fun (name, f) ->
+      check Alcotest.bool name true (raises_invalid f))
+    [
+      ( "run: queue_capacity 0",
+        fun () -> ignore (Parallel.run ~queue_capacity:0 p ~input) );
+      ( "run: batch_size 0",
+        fun () -> ignore (Parallel.run ~batch_size:0 p ~input) );
+      ( "run: batch_size negative",
+        fun () -> ignore (Parallel.run ~batch_size:(-3) p ~input) );
+      ( "run_sharded: shards 0",
+        fun () -> ignore (Parallel.run_sharded ~shards:0 p ~input) );
+      ( "run_sharded: shards negative",
+        fun () -> ignore (Parallel.run_sharded ~shards:(-1) p ~input) );
+      ( "run_sharded: queue_capacity 0",
+        fun () ->
+          ignore (Parallel.run_sharded ~queue_capacity:0 ~shards:2 p ~input)
+      );
+      ( "run_sharded: batch_size 0",
+        fun () ->
+          ignore (Parallel.run_sharded ~batch_size:0 ~shards:2 p ~input) );
+    ]
+
+(* Sharded sink callbacks fire at join, in global step order — the
+   same observations, in the same order, as the streaming runtimes. *)
+let test_deferred_on_sink_order () =
+  let w = Spec_like.rle in
+  let input = w.Workload.input ~size:12 ~seed:8 in
+  let observe acc sink taint (e : Event.exec) =
+    acc := (Engine.sink_to_string sink, taint, e.Event.step) :: !acc
+  in
+  let inline_obs = ref [] in
+  let _ =
+    Parallel.run_inline ~on_sink:(observe inline_obs) w.Workload.program
+      ~input
+  in
+  let sharded_obs = ref [] in
+  let _ =
+    Parallel.run_sharded ~shards:3 ~on_sink:(observe sharded_obs)
+      w.Workload.program ~input
+  in
+  check Alcotest.bool "same sink observations, same order" true
+    (!inline_obs = !sharded_obs);
+  check Alcotest.bool "observations non-empty" true (!inline_obs <> [])
+
+(* An exception from the deferred on_sink surfaces at the caller. *)
+exception Sink_boom
+
+let test_on_sink_exception () =
+  let w = Spec_like.sieve in
+  let input = w.Workload.input ~size:10 ~seed:1 in
+  check Alcotest.bool "on_sink exception re-raised" true
+    (match
+       Parallel.run_sharded ~shards:2
+         ~on_sink:(fun _ _ _ -> raise Sink_boom)
+         w.Workload.program ~input
+     with
+    | _ -> false
+    | exception Sink_boom -> true)
+
+(* -- QCheck: random streams, sharded(N) ≡ sharded(1) ≡ sequential ---- *)
+
+(* A synthetic one-function program: stream events only need a [func]
+   to name their site; no machine ever runs it. *)
+let stream_prog =
+  Program.make [ Func.make ~name:"main" ~arity:0 [| Instr.Halt |] ]
+
+let stream_func = Program.find stream_prog "main"
+
+(* Locations spanning several 64-location blocks in both planes, so
+   independently drawn reads/writes frequently split across shards —
+   the property is vacuous without cross-shard events. *)
+let loc_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map Loc.mem (int_bound 300);
+        map2
+          (fun frame r -> Loc.reg ~frame (Reg.make r))
+          (int_bound 5)
+          (int_bound (Reg.count - 1));
+      ])
+
+(* Abstract stream operations, lowered to Event.exec records with
+   sequential step numbers. *)
+type sop =
+  | SRead of Loc.t
+  | SMov of Loc.t * Loc.t
+  | SAdd of Loc.t * Loc.t * Loc.t
+  | SLoad of Loc.t * Loc.t * Loc.t  (* dst, mem source, address reg *)
+  | SStore of Loc.t * Loc.t * Loc.t  (* mem dst, value source, address reg *)
+  | SOut of Loc.t
+  | SBr of Loc.t
+  | SCheck of Loc.t
+  | SNop
+
+let pp_sop ppf = function
+  | SRead l -> Fmt.pf ppf "read>%d" l
+  | SMov (s, d) -> Fmt.pf ppf "mov %d>%d" s d
+  | SAdd (a, b, d) -> Fmt.pf ppf "add %d,%d>%d" a b d
+  | SLoad (d, m, a) -> Fmt.pf ppf "load %d@%d>%d" m a d
+  | SStore (d, v, a) -> Fmt.pf ppf "store %d@%d>%d" v a d
+  | SOut l -> Fmt.pf ppf "out<%d" l
+  | SBr l -> Fmt.pf ppf "br<%d" l
+  | SCheck l -> Fmt.pf ppf "check<%d" l
+  | SNop -> Fmt.pf ppf "nop"
+
+let sop_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (2, map (fun l -> SRead l) loc_gen);
+        (3, map2 (fun s d -> SMov (s, d)) loc_gen loc_gen);
+        (3, map3 (fun a b d -> SAdd (a, b, d)) loc_gen loc_gen loc_gen);
+        (2, map3 (fun d m a -> SLoad (d, m, a)) loc_gen loc_gen loc_gen);
+        (2, map3 (fun d v a -> SStore (d, v, a)) loc_gen loc_gen loc_gen);
+        (1, map (fun l -> SOut l) loc_gen);
+        (1, map (fun l -> SBr l) loc_gen);
+        (1, map (fun l -> SCheck l) loc_gen);
+        (1, return SNop);
+      ])
+
+let stream_gen = QCheck2.Gen.(list_size (int_range 1 150) sop_gen)
+
+let event_of_sop step sop =
+  let ev ?(reads = []) ?(writes = []) ?(input_index = -1) instr =
+    {
+      Event.step;
+      tid = 0;
+      func = stream_func;
+      pc = step mod 23;
+      instr;
+      reads;
+      writes;
+      addr = -1;
+      next_pc = 0;
+      input_index;
+      value = 0;
+    }
+  in
+  match sop with
+  | SRead l ->
+      (* some reads hit input exhaustion (input_index = -1): no source *)
+      ev ~writes:[ l ]
+        ~input_index:(if step mod 5 = 0 then -1 else step)
+        (Instr.Sys (Instr.Read Reg.r0))
+  | SMov (s, d) ->
+      ev ~reads:[ s ] ~writes:[ d ] (Instr.Mov (Reg.r0, Operand.Reg Reg.r1))
+  | SAdd (a, b, d) ->
+      ev ~reads:[ a; b ] ~writes:[ d ]
+        (Instr.Binop (Instr.Add, Reg.r0, Operand.Reg Reg.r1, Operand.Reg Reg.r2))
+  | SLoad (d, m, a) ->
+      ev ~reads:[ m; a ] ~writes:[ d ]
+        (Instr.Load (Reg.r0, Operand.Reg Reg.r1, 0))
+  | SStore (d, v, a) ->
+      ev ~reads:[ v; a ] ~writes:[ d ]
+        (Instr.Store (Operand.Reg Reg.r0, Operand.Reg Reg.r1, 0))
+  | SOut l -> ev ~reads:[ l ] (Instr.Sys (Instr.Write (Operand.Reg Reg.r0)))
+  | SBr l -> ev ~reads:[ l ] (Instr.Br (Operand.Reg Reg.r0, 0, 0))
+  | SCheck l -> ev ~reads:[ l ] (Instr.Sys (Instr.Check (Operand.Reg Reg.r0)))
+  | SNop -> ev Instr.Nop
+
+let events_of_stream ops = List.mapi event_of_sop ops
+
+module Stream_prop (D : Taint.DOMAIN) = struct
+  module SE = Shard_engine.Make (D)
+
+  (* Everything observable about a merged run.  Taint values inside
+     the sink list and the fingerprint are compared structurally: the
+     exchange ships representations verbatim and the home shard
+     replays the exact sequential join order, so representations (not
+     just abstract values) must coincide. *)
+  let key (m : SE.merged) =
+    ( m.SE.m_events,
+      m.SE.m_sources,
+      m.SE.m_sink_hits,
+      List.map
+        (fun (step, sink, taint, _) ->
+          (step, Engine.sink_to_string sink, taint))
+        m.SE.m_sinks,
+      m.SE.m_tainted_locations,
+      m.SE.m_shadow_words,
+      m.SE.m_fingerprint )
+
+  let agree ?policy ops =
+    let events = events_of_stream ops in
+    let reference = key (SE.sequential ?policy stream_prog events) in
+    List.for_all
+      (fun (shards, queue_capacity, batch_size) ->
+        key
+          (SE.run_stream ?policy ~shards ~queue_capacity ~batch_size
+             ~xchg_capacity:4 stream_prog events)
+        = reference)
+      [ (1, 8, 8); (2, 4, 4); (4, 2, 3) ]
+
+  let property name =
+    QCheck2.Test.make ~count:30
+      ~name:(Fmt.str "sharded(4) ≡ sharded(2) ≡ sharded(1) ≡ sequential (%s)" name)
+      ~print:Fmt.(str "%a" (list ~sep:(any "; ") pp_sop))
+      stream_gen
+      (fun ops -> agree ops)
+
+  let property_security name =
+    QCheck2.Test.make ~count:15
+      ~name:(Fmt.str "sharded ≡ sequential, security policy (%s)" name)
+      ~print:Fmt.(str "%a" (list ~sep:(any "; ") pp_sop))
+      stream_gen
+      (fun ops -> agree ~policy:Policy.security ops)
+end
+
+module Bool_prop = Stream_prop (Taint.Bool)
+module Pc_prop = Stream_prop (Taint.Pc)
+module Input_set_prop = Stream_prop (Taint.Input_set)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Bool_prop.property "Bool";
+      Pc_prop.property "Pc";
+      Input_set_prop.property "Input_set";
+      Bool_prop.property_security "Bool";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "sharded ≡ inline on all kernels (1/2/4 shards)"
+      `Quick test_equivalence_all_kernels;
+    Alcotest.test_case "sharded ≡ two-domain run" `Quick
+      test_agrees_with_two_domain_run;
+    Alcotest.test_case "broadcast route ≡ inline" `Quick
+      test_broadcast_route;
+    Alcotest.test_case "security policy survives sharding" `Quick
+      test_security_policy;
+    Alcotest.test_case "control policy: rejected exact, correct broadcast"
+      `Quick test_control_policy;
+    Alcotest.test_case "invalid channel geometry raises" `Quick
+      test_invalid_geometry_rejected;
+    Alcotest.test_case "deferred on_sink: same observations, same order"
+      `Quick test_deferred_on_sink_order;
+    Alcotest.test_case "on_sink exception surfaces at caller" `Quick
+      test_on_sink_exception;
+  ]
+  @ qcheck_tests

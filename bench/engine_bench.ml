@@ -24,7 +24,7 @@ open Dift_vm
 open Dift_core
 open Dift_workloads
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Dift_obs.Clock.now_ns
 
 (* Best of [reps] measurements; each builds fresh state with [setup]
    (untimed — engine construction must not pollute per-event costs),

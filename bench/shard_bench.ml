@@ -32,7 +32,7 @@ open Dift_workloads
 module Router = Dift_parallel.Router
 module B = Dift_parallel.Shard_engine.Make (Taint.Bool)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Dift_obs.Clock.now_ns
 
 (* Run the kernel once, recording every executed event (same collector
    as engine_bench). *)

@@ -265,12 +265,35 @@ let taint_cmd =
       & info [ "workload" ] ~docv:"KERNEL"
           ~doc:"Kernel to run (alternative to the positional argument).")
   in
+  let fault_plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Inject a deterministic fault plan into the parallel runtime \
+             (with --parallel).  Grammar: [WHERE/]OP@N=FAULT, \
+             ';'-separated — e.g. \
+             $(b,push\\@3=abort;xchg/pop\\@2=raise).  The run exits 0 \
+             when it terminates cleanly with only injected failures.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Derive a reproducible pseudo-random fault plan from SEED \
+             (with --parallel; the plan is printed to stderr, so any \
+             failing seed is a one-flag repro).  Mutually exclusive \
+             with --fault-plan.")
+  in
   let on_sink sink taint (e : Event.exec) =
     if taint && sink = Engine.Sink_output then
       Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
   in
   let run pos_name workload size seed parallel helpers route queue_capacity
-      batch_size stats chrome trace_capacity =
+      batch_size fault_plan fault_seed stats chrome trace_capacity =
     let named =
       match (pos_name, workload) with
       | Some p, Some w when p <> w ->
@@ -288,55 +311,110 @@ let taint_cmd =
     | Ok _ when parallel && helpers < 1 ->
         Fmt.epr "--helpers must be at least 1@.";
         1
+    | Ok _ when (fault_plan <> None || fault_seed <> None) && not parallel ->
+        Fmt.epr "--fault-plan/--fault-seed require --parallel@.";
+        1
+    | Ok _ when fault_plan <> None && fault_seed <> None ->
+        Fmt.epr "--fault-plan and --fault-seed are mutually exclusive@.";
+        1
+    | Ok _
+      when match fault_plan with
+           | Some p ->
+               Result.is_error (Dift_parallel.Chaos.plan_of_string p)
+           | None -> false -> (
+        match Option.map Dift_parallel.Chaos.plan_of_string fault_plan with
+        | Some (Error e) ->
+            Fmt.epr "bad --fault-plan: %s@." e;
+            1
+        | _ -> assert false)
     | Ok w ->
         let input = w.Workload.input ~size ~seed in
         let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
         let tracer = make_tracer chrome trace_capacity obs in
+        let plan =
+          match (fault_plan, fault_seed) with
+          | Some p, _ -> (
+              match Dift_parallel.Chaos.plan_of_string p with
+              | Ok pl -> Some pl
+              | Error _ -> assert false (* rejected above *))
+          | None, Some s -> Some (Dift_parallel.Chaos.plan_of_seed s)
+          | None, None -> None
+        in
+        (match plan with
+        | Some pl ->
+            Fmt.epr "fault plan: %a@." Dift_parallel.Chaos.pp_plan pl
+        | None -> ());
+        let chaos = Option.map Dift_parallel.Chaos.create plan in
+        (* A fault-injected run is green when it terminated cleanly and
+           the primary failure is the injected one (or the Shard_dead
+           cascade it caused); anything else is a real failure. *)
+        let expected_failure ex =
+          chaos <> None
+          &&
+          match ex with
+          | Dift_parallel.Chaos.Injected _
+          | Dift_parallel.Shard_engine.Shard_dead ->
+              true
+          | _ -> false
+        in
+        let rc = ref 0 in
         if parallel && helpers > 1 then begin
-          let r =
-            Dift_parallel.Parallel.run_sharded ?obs ?trace:tracer ~route
+          let open Dift_parallel.Parallel in
+          match
+            run_sharded_result ?obs ?trace:tracer ?chaos ~route
               ~queue_capacity ~batch_size ~on_sink ~shards:helpers
               w.Workload.program ~input
-          in
-          let open Dift_parallel.Parallel in
-          Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
-            r.s_result.events r.s_result.sources r.s_result.sink_hits;
-          Fmt.pr "shadow: %d locations, %d words@."
-            r.s_result.tainted_locations r.s_result.shadow_words;
-          Fmt.pr "sharding: %a@." pp_sharded_report r;
-          Array.iter
-            (fun (s : Dift_parallel.Shard_engine.shard_stat) ->
-              Fmt.pr
-                "  shard %d: %d events in %d batches, %d sent / %d \
-                 received, busy %.2f ms (%d stalls, %d waits)@."
-                s.Dift_parallel.Shard_engine.shard
-                s.Dift_parallel.Shard_engine.handled
-                s.Dift_parallel.Shard_engine.batches
-                s.Dift_parallel.Shard_engine.exchange_sent
-                s.Dift_parallel.Shard_engine.exchange_received
-                (float_of_int s.Dift_parallel.Shard_engine.busy_ns /. 1e6)
-                s.Dift_parallel.Shard_engine.producer_stalls
-                s.Dift_parallel.Shard_engine.consumer_waits)
-            r.s_per_shard
+          with
+          | Error e ->
+              Fmt.epr "sharded run failed: %a@." pp_error e;
+              rc := (if expected_failure e.e_exn then 0 else 1)
+          | Ok r ->
+              Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
+                r.s_result.events r.s_result.sources r.s_result.sink_hits;
+              Fmt.pr "shadow: %d locations, %d words@."
+                r.s_result.tainted_locations r.s_result.shadow_words;
+              Fmt.pr "sharding: %a@." pp_sharded_report r;
+              Array.iter
+                (fun (s : Dift_parallel.Shard_engine.shard_stat) ->
+                  Fmt.pr
+                    "  shard %d: %d events in %d batches, %d sent / %d \
+                     received, busy %.2f ms (%d stalls, %d waits)@."
+                    s.Dift_parallel.Shard_engine.shard
+                    s.Dift_parallel.Shard_engine.handled
+                    s.Dift_parallel.Shard_engine.batches
+                    s.Dift_parallel.Shard_engine.exchange_sent
+                    s.Dift_parallel.Shard_engine.exchange_received
+                    (float_of_int s.Dift_parallel.Shard_engine.busy_ns
+                    /. 1e6)
+                    s.Dift_parallel.Shard_engine.producer_stalls
+                    s.Dift_parallel.Shard_engine.consumer_waits)
+                r.s_per_shard
         end
         else if parallel then begin
-          let r =
-            Dift_parallel.Parallel.run ?obs ?trace:tracer ~queue_capacity
-              ~batch_size ~on_sink w.Workload.program ~input
-          in
           let open Dift_parallel.Parallel in
-          Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
-            r.result.events r.result.sources r.result.sink_hits;
-          Fmt.pr "shadow: %d locations, %d words@."
-            r.result.tainted_locations r.result.shadow_words;
-          Fmt.pr
-            "channel: %d batches (ring %d x %d), %d producer stalls, %d \
-             helper waits@."
-            r.batches r.queue_capacity r.batch_size r.producer_stalls
-            r.consumer_waits;
-          Fmt.pr "wall: main %.2f ms, total %.2f ms@."
-            (float_of_int r.main_wall_ns /. 1e6)
-            (float_of_int r.total_wall_ns /. 1e6)
+          match
+            run_result ?obs ?trace:tracer ?chaos ~queue_capacity
+              ~batch_size ~on_sink w.Workload.program ~input
+          with
+          | Error e ->
+              Fmt.epr "parallel run failed: %a@." pp_error e;
+              rc := (if expected_failure e.e_exn then 0 else 1)
+          | Ok r ->
+              Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
+                r.result.events r.result.sources r.result.sink_hits;
+              Fmt.pr "shadow: %d locations, %d words@."
+                r.result.tainted_locations r.result.shadow_words;
+              Fmt.pr
+                "channel: %d batches (ring %d x %d), %d producer stalls, \
+                 %d helper waits@."
+                r.batches r.queue_capacity r.batch_size r.producer_stalls
+                r.consumer_waits;
+              if r.dropped_batches > 0 then
+                Fmt.pr "dropped: %d batches / %d events@." r.dropped_batches
+                  r.dropped_events;
+              Fmt.pr "wall: main %.2f ms, total %.2f ms@."
+                (float_of_int r.main_wall_ns /. 1e6)
+                (float_of_int r.total_wall_ns /. 1e6)
         end
         else begin
           let m = Machine.create w.Workload.program ~input in
@@ -365,19 +443,25 @@ let taint_cmd =
             s.Engine.events s.Engine.sources s.Engine.sink_hits;
           Fmt.pr "shadow: %d locations, %d words@." locs words
         end;
+        (match chaos with
+        | Some c ->
+            Fmt.epr "faults fired: %d@." (Dift_parallel.Chaos.fired c)
+        | None -> ());
         Option.iter (fun reg -> emit_stats stats reg) obs;
         Option.iter (fun tr -> emit_trace chrome tr) tracer;
-        0
+        !rc
   in
   Cmd.v
     (Cmd.info "taint"
        ~doc:
          "Run a kernel under boolean taint DIFT, inline or on a helper \
-          domain (--parallel).")
+          domain (--parallel), optionally under an injected fault plan \
+          (--fault-plan/--fault-seed).")
     Term.(
       const run $ pos_name_arg $ workload_arg $ size_arg $ seed_arg
       $ parallel_arg $ helpers_arg $ route_arg $ queue_arg $ batch_arg
-      $ stats_arg $ chrome_trace_arg $ trace_capacity_arg)
+      $ fault_plan_arg $ fault_seed_arg $ stats_arg $ chrome_trace_arg
+      $ trace_capacity_arg)
 
 (* -- stats ------------------------------------------------------------------- *)
 

@@ -1,0 +1,25 @@
+(** The shared monotonic clock every duration in the tree is measured
+    on.
+
+    All span, busy-time and utilization accounting used to read
+    [Unix.gettimeofday], which is {e wall} time: an NTP step (or a
+    manual [date]) mid-run produces negative or wildly inflated
+    durations — exactly the silent distortion the time-aware
+    instrumentation literature warns against.  This module reads
+    [CLOCK_MONOTONIC] instead (via a tiny C stub; OCaml 5.1's [Unix]
+    has no [clock_gettime] binding), which NTP may slew but never
+    step, so for any two calls in one process
+
+    {[ let a = Clock.now_ns () in … let b = Clock.now_ns () in b >= a ]}
+
+    always holds — durations are non-negative by construction.
+
+    The epoch is unspecified (typically system boot): only
+    {e differences} between two readings are meaningful.  Readings are
+    process-wide — any two domains' readings are on the same timebase,
+    so cross-domain span arithmetic (e.g. app-track vs helper-track
+    trace timestamps) is sound. *)
+
+(** Nanoseconds since an arbitrary fixed epoch; monotonic
+    non-decreasing within the process.  Allocation-free. *)
+val now_ns : unit -> int

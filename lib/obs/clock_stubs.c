@@ -1,0 +1,24 @@
+/* Monotonic clock primitive for Dift_obs.Clock.
+
+   CLOCK_MONOTONIC never steps backwards (NTP slews it but cannot jump
+   it), which is what every busy/wall/span duration in the tree needs;
+   Unix.gettimeofday is wall time and can move both ways.  OCaml 5.1's
+   Unix has no clock_gettime binding, so this is the one-line stub. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t dift_clock_monotonic_ns(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * INT64_C(1000000000) + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value dift_clock_monotonic_ns_byte(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(dift_clock_monotonic_ns());
+}

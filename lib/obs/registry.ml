@@ -147,7 +147,9 @@ let span ?(help = "") t name =
   | M_span s -> s
   | _ -> assert false
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic (Clock): an NTP step mid-[time] must not record a
+   negative or inflated duration. *)
+let now_ns () = Clock.now_ns ()
 
 let record_ns s ns =
   ignore (Atomic.fetch_and_add s.s_count 1);

@@ -41,7 +41,9 @@ type t = {
       (** mirror drops into the registry once {!register_obs} ran *)
 }
 
-let wall_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic, shared with every other duration in the tree: an NTP
+   step must not produce negative span durations (Clock's contract). *)
+let wall_ns () = Clock.now_ns ()
 
 let create ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
@@ -124,8 +126,14 @@ let register_obs t reg =
     Registry.counter reg "trace.dropped"
       ~help:"trace events dropped at the per-domain capacity cap"
   in
-  (* carry over drops recorded before the registry was attached *)
-  Registry.add c (Atomic.get t.t_dropped);
+  (* Carry over drops recorded before the registry was attached — as
+     the *delta* against what the counter already holds, so the call
+     is idempotent: re-attaching the same registry (whose counter
+     already carries earlier drops) adds only the drops it has not
+     mirrored yet, and a fresh registry (counter at zero) receives the
+     full count.  A plain [add (dropped t)] re-added the carried-over
+     count on every call and double-counted. *)
+  Registry.add c (Atomic.get t.t_dropped - Registry.value c);
   Atomic.set t.obs_dropped (Some c);
   Registry.gauge_fn reg "trace.buffered_events"
     ~help:"trace events currently buffered, all domains" (fun () ->
@@ -144,11 +152,27 @@ let counter_tid_base = 0x1000
 
 let merged t =
   let bufs = with_bufs t (fun bs -> bs) in
+  (* Merge-time precondition: every traced domain has quiesced (the
+     caller joined it).  [evs]/[b_name] are plain mutable fields owned
+     by the recording domain, so merging while it still records is a
+     data race.  Best-effort enforcement: snapshot each buffer's
+     atomic length around the merge and fail loudly on movement —
+     this catches a live recorder, it does not license one. *)
+  let lens = List.map (fun b -> Atomic.get b.len) bufs in
   let evs =
     List.concat_map (fun b -> List.rev b.evs) bufs
     |> List.stable_sort (fun a b ->
            compare (a.ts_ns, a.tid) (b.ts_ns, b.tid))
   in
+  List.iter2
+    (fun b len0 ->
+      if Atomic.get b.len <> len0 then
+        invalid_arg
+          (Fmt.str
+             "Trace: merge while domain %d is still recording (join every \
+              traced domain before events/tracks/to_json/write)"
+             b.b_tid))
+    bufs lens;
   let ctids = Hashtbl.create 8 in
   let next = ref counter_tid_base in
   let evs =

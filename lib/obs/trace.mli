@@ -94,10 +94,23 @@ val dropped : t -> int
 (** Surface the tracer in a metrics registry: the [trace.dropped]
     counter (drop accounting in the ordinary stats snapshot — the
     anti-silent-truncation guarantee) plus [trace.buffered_events],
-    [trace.domains] and [trace.capacity_per_domain] gauges. *)
+    [trace.domains] and [trace.capacity_per_domain] gauges.
+
+    Idempotent: drops recorded before the call are carried over as the
+    delta against what the registry's counter already holds, so
+    re-attaching the same registry (or attaching a second one) never
+    double-counts [trace.dropped]. *)
 val register_obs : t -> Registry.t -> unit
 
-(** {1 Merge and export (quiescent tracer only)} *)
+(** {1 Merge and export (quiescent tracer only)}
+
+    Every function below reads the per-domain buffers, whose event
+    lists are plain mutable state owned by their recording domains —
+    so they require every traced domain to have quiesced (been
+    joined).  The precondition is {e asserted} best-effort: each
+    buffer's atomic length is snapshotted around the merge, and a
+    buffer that grew mid-merge raises [Invalid_argument] instead of
+    returning a silently torn timeline. *)
 
 type kind =
   | Span of { dur_ns : int }  (** a duration span *)

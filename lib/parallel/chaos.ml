@@ -1,0 +1,224 @@
+(** Deterministic fault injection; see the interface for the model.
+
+    An instance's operation counters are atomics: each counter is
+    bumped by exactly one domain (the channel side that owns the
+    operation), but [fired] totals are read cross-domain by tests and
+    the CLI, and atomics keep every read untorn. *)
+
+exception Injected of string
+
+type op = Push | Pop | Spawn
+type fault = Stall of int | Delay of int | Drop | Abort | Raise
+type rule = { on : op; at : int; fault : fault; where : string option }
+type plan = rule list
+
+(* -- plan text form ----------------------------------------------------- *)
+
+let op_to_string = function Push -> "push" | Pop -> "pop" | Spawn -> "spawn"
+
+let fault_to_string = function
+  | Stall ns -> Fmt.str "stall:%d" ns
+  | Delay ns -> Fmt.str "delay:%d" ns
+  | Drop -> "drop"
+  | Abort -> "abort"
+  | Raise -> "raise"
+
+let rule_to_string r =
+  Fmt.str "%s%s@%d=%s"
+    (match r.where with None -> "" | Some w -> w ^ "/")
+    (op_to_string r.on) r.at (fault_to_string r.fault)
+
+let plan_to_string p = String.concat ";" (List.map rule_to_string p)
+let pp_plan ppf p = Fmt.string ppf (plan_to_string p)
+
+let fault_of_string s =
+  match String.split_on_char ':' s with
+  | [ "drop" ] -> Ok Drop
+  | [ "abort" ] -> Ok Abort
+  | [ "raise" ] -> Ok Raise
+  | [ (("stall" | "delay") as kind); ns ] -> (
+      match int_of_string_opt ns with
+      | Some n when n >= 0 -> Ok (if kind = "stall" then Stall n else Delay n)
+      | _ -> Error (Fmt.str "bad duration %S (want non-negative ns)" ns))
+  | _ -> Error (Fmt.str "unknown fault %S" s)
+
+let rule_of_string s =
+  let where, rest =
+    match String.index_opt s '/' with
+    | Some i ->
+        ( Some (String.sub s 0 i),
+          String.sub s (i + 1) (String.length s - i - 1) )
+    | None -> (None, s)
+  in
+  match String.index_opt rest '@' with
+  | None -> Error (Fmt.str "rule %S: missing '@'" s)
+  | Some i -> (
+      let op_name = String.sub rest 0 i in
+      let tail = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match String.index_opt tail '=' with
+      | None -> Error (Fmt.str "rule %S: missing '='" s)
+      | Some j -> (
+          let at_s = String.sub tail 0 j in
+          let f_s = String.sub tail (j + 1) (String.length tail - j - 1) in
+          let op =
+            match op_name with
+            | "push" -> Ok Push
+            | "pop" -> Ok Pop
+            | "spawn" -> Ok Spawn
+            | o -> Error (Fmt.str "rule %S: unknown op %S" s o)
+          in
+          match (op, int_of_string_opt at_s, fault_of_string f_s) with
+          | Ok on, Some at, Ok fault when at >= 1 ->
+              Ok { on; at; fault; where }
+          | Ok _, None, _ ->
+              Error (Fmt.str "rule %S: bad occurrence %S" s at_s)
+          | Ok _, Some at, Ok _ ->
+              Error (Fmt.str "rule %S: occurrence %d < 1" s at)
+          | Ok _, Some _, (Error _ as e) -> e
+          | (Error _ as e), _, _ -> e))
+
+let plan_of_string s =
+  let parts =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty fault plan"
+  else
+    List.fold_left
+      (fun acc p ->
+        match (acc, rule_of_string p) with
+        | Error _, _ -> acc
+        | Ok rs, Ok r -> Ok (r :: rs)
+        | Ok _, Error e -> Error e)
+      (Ok []) parts
+    |> Result.map List.rev
+
+(* -- seeded plans ------------------------------------------------------- *)
+
+(* Small occurrence indices and sub-5ms sleeps: plans must bite within
+   a CI-sized run and never slow the sweep meaningfully. *)
+let plan_of_seed ?(rules = 4) seed =
+  let st = Random.State.make [| 0x5eed; seed |] in
+  let rule _ =
+    let on = if Random.State.bool st then Push else Pop in
+    let at = 1 + Random.State.int st 24 in
+    let fault =
+      match Random.State.int st 10 with
+      | 0 | 1 | 2 -> Stall (100_000 + Random.State.int st 2_000_000)
+      | 3 | 4 -> Delay (50_000 + Random.State.int st 1_000_000)
+      | 5 | 6 -> Drop
+      | 7 -> Abort
+      | _ -> Raise
+    in
+    { on; at; fault; where = None }
+  in
+  let base = List.init (max 1 rules) rule in
+  (* one seed in ~6 also rehearses a spawn failure *)
+  if Random.State.int st 6 = 0 then
+    { on = Spawn; at = 1 + Random.State.int st 2; fault = Raise; where = None }
+    :: base
+  else base
+
+(* -- instances ---------------------------------------------------------- *)
+
+type t = {
+  c_plan : plan;
+  c_fired : int Atomic.t;
+  spawns : int Atomic.t;
+}
+
+let create plan = { c_plan = plan; c_fired = Atomic.make 0; spawns = Atomic.make 0 }
+let plan t = t.c_plan
+let fired t = Atomic.get t.c_fired
+
+type inst = {
+  owner : t;
+  ns : string;
+  rules : rule list;  (** pre-filtered for this channel's namespace *)
+  escalate : bool;
+      (** losses on this channel would wedge a higher-level protocol:
+          map [Fail]/[Abort_now] to [Raise_now] so they become a clean
+          crash instead *)
+  pushes : int Atomic.t;
+  pops : int Atomic.t;
+}
+
+let prefix ~pre s =
+  String.length pre <= String.length s
+  && String.sub s 0 (String.length pre) = pre
+
+let instance ?(escalate = false) t ~ns =
+  let rules =
+    List.filter
+      (fun r ->
+        r.on <> Spawn
+        && match r.where with None -> true | Some w -> prefix ~pre:w ns)
+      t.c_plan
+  in
+  { owner = t; ns; rules; escalate; pushes = Atomic.make 0; pops = Atomic.make 0 }
+
+type action = Proceed | Fail | Abort_now | Raise_now of exn
+
+let sleep_ns ns = if ns > 0 then Unix.sleepf (float_of_int ns /. 1e9)
+
+(* Serve the [n]-th occurrence of [op]: sleep out any stall/delay rule
+   that matched, then return the strongest terminal action (Raise >
+   Abort > Drop) so composite plans behave predictably. *)
+let act owner rules op ~what n =
+  let terminal = ref Proceed in
+  List.iter
+    (fun r ->
+      if r.on = op && r.at = n then begin
+        Atomic.incr owner.c_fired;
+        match r.fault with
+        | Stall ns | Delay ns -> sleep_ns ns
+        | Drop -> (
+            match !terminal with
+            | Proceed -> terminal := Fail
+            | Fail | Abort_now | Raise_now _ -> ())
+        | Abort -> (
+            match !terminal with
+            | Proceed | Fail -> terminal := Abort_now
+            | Abort_now | Raise_now _ -> ())
+        | Raise ->
+            terminal :=
+              Raise_now (Injected (Fmt.str "injected crash at %s #%d" what n))
+      end)
+    rules;
+  !terminal
+
+(* On an escalating channel, a counted loss would silently break the
+   protocol riding on it (a peer would wait forever for the lost
+   element) — turn it into a crash of the intercepting side, which the
+   supervisors tear down cleanly. *)
+let escalated i ~what n action =
+  if not i.escalate then action
+  else
+    match action with
+    | Fail | Abort_now ->
+        Raise_now
+          (Injected (Fmt.str "injected loss escalated to crash at %s #%d" what n))
+    | Proceed | Raise_now _ -> action
+
+let on_push i =
+  match i.rules with
+  | [] -> Proceed
+  | rules ->
+      let n = 1 + Atomic.fetch_and_add i.pushes 1 in
+      let what = i.ns ^ "/push" in
+      escalated i ~what n (act i.owner rules Push ~what n)
+
+let on_pop i =
+  match i.rules with
+  | [] -> Proceed
+  | rules ->
+      let n = 1 + Atomic.fetch_and_add i.pops 1 in
+      let what = i.ns ^ "/pop" in
+      escalated i ~what n (act i.owner rules Pop ~what n)
+
+let on_spawn t =
+  match List.filter (fun r -> r.on = Spawn) t.c_plan with
+  | [] -> Proceed
+  | rules ->
+      let n = 1 + Atomic.fetch_and_add t.spawns 1 in
+      act t rules Spawn ~what:"spawn" n

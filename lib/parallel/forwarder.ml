@@ -30,7 +30,17 @@ type 'a t = {
           never pushed *)
   mutable cur : 'a batch;  (** [no_batch] when no batch is open *)
   mutable events : int;
-  mutable batches : int;
+  mutable batches : int;  (** batches actually enqueued on the ring *)
+  mutable dropped_batches : int;
+      (** producer-side losses: post-abort pushes and injected push
+          failures (written only by the producer domain) *)
+  mutable dropped_events : int;
+  mutable discarded_batches : int;
+      (** consumer-side losses: batches popped but not processed
+          (injected pop failures; written only by the consumer) *)
+  mutable discarded_events : int;
+  chaos : Chaos.inst option;
+      (** fault-injection seam; [None] is the direct Spsc path *)
   occupancy : Dift_obs.Registry.histogram option;
       (** elements per pushed batch, when observability is on *)
   trace : Dift_obs.Trace.t option;
@@ -47,7 +57,8 @@ let occupancy_buckets batch_size =
   in
   up [] 1
 
-let create ?obs ?trace ?(ns = "parallel") ~queue_capacity ~batch_size () =
+let create ?obs ?trace ?chaos ?(escalate = false) ?(ns = "parallel")
+    ~queue_capacity ~batch_size () =
   if queue_capacity < 1 then
     invalid_arg
       (Fmt.str "Forwarder.create: queue_capacity = %d < 1" queue_capacity);
@@ -87,6 +98,11 @@ let create ?obs ?trace ?(ns = "parallel") ~queue_capacity ~batch_size () =
       cur = no_batch;
       events = 0;
       batches = 0;
+      dropped_batches = 0;
+      dropped_events = 0;
+      discarded_batches = 0;
+      discarded_events = 0;
+      chaos = Option.map (fun c -> Chaos.instance ~escalate c ~ns) chaos;
       occupancy;
       trace;
     }
@@ -97,7 +113,19 @@ let create ?obs ?trace ?(ns = "parallel") ~queue_capacity ~batch_size () =
       Registry.gauge_fn reg (ns ^ ".forwarder.events")
         ~help:"events forwarded" (fun () -> t.events);
       Registry.gauge_fn reg (ns ^ ".forwarder.batches")
-        ~help:"batches pushed" (fun () -> t.batches)
+        ~help:"batches delivered to the ring" (fun () -> t.batches);
+      Registry.gauge_fn reg (ns ^ ".forwarder.dropped_batches")
+        ~help:"batches lost on the producer side (abort/injected)"
+        (fun () -> t.dropped_batches);
+      Registry.gauge_fn reg (ns ^ ".forwarder.dropped_events")
+        ~help:"events lost on the producer side (abort/injected)"
+        (fun () -> t.dropped_events);
+      Registry.gauge_fn reg (ns ^ ".forwarder.discarded_batches")
+        ~help:"batches popped but not processed (injected pop failure)"
+        (fun () -> t.discarded_batches);
+      Registry.gauge_fn reg (ns ^ ".forwarder.discarded_events")
+        ~help:"events popped but not processed (injected pop failure)"
+        (fun () -> t.discarded_events)
   | None -> ());
   t
 
@@ -105,7 +133,12 @@ let events t = t.events
 let batches t = t.batches
 let producer_stalls t = Spsc.producer_stalls t.ring
 let consumer_waits t = Spsc.consumer_waits t.ring
-let dropped t = Spsc.dropped t.ring
+let dropped t = t.dropped_batches
+let dropped_batches t = t.dropped_batches
+let dropped_events t = t.dropped_events
+let discarded_batches t = t.discarded_batches
+let discarded_events t = t.discarded_events
+let aborted t = Spsc.aborted t.ring
 
 (* Push one batch, recording the producer's side of the timeline: a
    span named [ring.stall] when the push parked on a full ring (a
@@ -128,6 +161,12 @@ let traced_push t batch =
       Trace.counter tr ~cat:"parallel" "ring.occupancy"
         (Spsc.length t.ring)
 
+(* The producer lost this batch: its elements were accepted by {!add}
+   but will never reach the consumer. *)
+let account_drop t b =
+  t.dropped_batches <- t.dropped_batches + 1;
+  t.dropped_events <- t.dropped_events + b.len
+
 let flush t =
   let b = t.cur in
   if b.len > 0 then begin
@@ -137,8 +176,29 @@ let flush t =
     (* the consumer takes ownership of the record (and its length —
        no [Array.sub] for a partial batch); open a fresh one lazily *)
     t.cur <- t.no_batch;
-    t.batches <- t.batches + 1;
-    traced_push t b
+    (* only the producer increments [Spsc.dropped], so the delta
+       around the push tells exactly whether this batch landed on the
+       ring or fell to a post-abort counted drop *)
+    let deliver () =
+      let d0 = Spsc.dropped t.ring in
+      traced_push t b;
+      if Spsc.dropped t.ring > d0 then account_drop t b
+      else t.batches <- t.batches + 1
+    in
+    match t.chaos with
+    | None -> deliver ()
+    | Some c -> (
+        match Chaos.on_push c with
+        | Chaos.Proceed -> deliver ()
+        | Chaos.Fail -> account_drop t b
+        | Chaos.Abort_now ->
+            (* the consumer side dies under us: tear the ring down,
+               then let the push become a counted drop *)
+            Spsc.abort t.ring;
+            deliver ()
+        | Chaos.Raise_now e ->
+            account_drop t b;
+            raise e)
   end
 
 (* An open batch to append to: the current one, a recycled one off the
@@ -193,21 +253,53 @@ let traced_pop t =
         (Spsc.length t.ring);
       batch
 
+(* A batch popped but not processed — the consumer-side loss mirror of
+   [account_drop]. *)
+let account_discard t b =
+  t.discarded_batches <- t.discarded_batches + 1;
+  t.discarded_events <- t.discarded_events + b.len
+
 let drain ?(around_batch = fun k -> k ()) t ~f =
   let run_batch b () =
     for i = 0 to b.len - 1 do
       f (Array.unsafe_get b.data i)
     done
   in
+  (* recycle the record; if the free list is momentarily full the
+     record just falls to the GC *)
+  let recycle b =
+    b.len <- 0;
+    ignore (Spsc.try_push t.free b : bool)
+  in
+  let consume b =
+    match t.chaos with
+    | None -> around_batch (run_batch b)
+    | Some c -> (
+        match Chaos.on_pop c with
+        | Chaos.Proceed -> around_batch (run_batch b)
+        | Chaos.Fail -> account_discard t b
+        | Chaos.Abort_now ->
+            (* consumer gives up: the next pop sees the abort and
+               drain terminates; this batch is a counted discard *)
+            Spsc.abort t.ring;
+            account_discard t b
+        | Chaos.Raise_now e ->
+            account_discard t b;
+            raise e)
+  in
   let rec loop () =
     match traced_pop t with
     | None -> ()
     | Some b ->
-        around_batch (run_batch b);
-        (* recycle the record; if the free list is momentarily full
-           the record just falls to the GC *)
-        b.len <- 0;
-        ignore (Spsc.try_push t.free b : bool);
+        consume b;
+        recycle b;
         loop ()
   in
-  loop ()
+  (* A consumer dying mid-drain must not leave the producer parked
+     against a full ring: tear the channel down first, so the
+     producer's outstanding and subsequent pushes become counted
+     drops instead of a wedge. *)
+  try loop ()
+  with e ->
+    Spsc.abort t.ring;
+    raise e

@@ -56,10 +56,26 @@ type 'a t
     the consumer's track (named [ring.wait] when it parked on an empty
     ring, a helper idle episode), and both sides sample the
     [ring.occupancy] counter track after every transfer.
+
+    With [?chaos], every batch push and batch pop consults the
+    fault-injection plan (see {!Chaos}): the channel derives a
+    {!Chaos.inst} for its namespace, injected push failures become
+    counted {!dropped_batches}, injected pop failures become counted
+    {!discarded_batches}, and injected raises surface from
+    {!flush}/{!drain} after accounting.  Without [?chaos] the channel
+    takes the direct [Spsc] path — no per-operation overhead.
+
+    [escalate] (default [false]) marks a channel whose losses would
+    wedge a protocol riding on it: injected drop/abort faults are then
+    served as raises instead of counted losses (see
+    {!Chaos.instance}).  The sharded engine sets it on the
+    request/reply feed rings.
     @raise Invalid_argument if either size is [< 1]. *)
 val create :
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?chaos:Chaos.t ->
+  ?escalate:bool ->
   ?ns:string ->
   queue_capacity:int ->
   batch_size:int ->
@@ -80,18 +96,33 @@ val flush : 'a t -> unit
 (** Flush and close the ring: no more elements will be forwarded. *)
 val close : 'a t -> unit
 
-(** Elements forwarded so far. *)
+(** Elements accepted by {!add} so far (delivered or not). *)
 val events : 'a t -> int
 
-(** Batches pushed so far (ring messages). *)
+(** Batches actually delivered to the ring (ring messages).  A batch
+    lost to an abort or an injected failure is {e not} counted here —
+    it lands in {!dropped_batches} instead, so with [batch_size = 1]
+    the books reconcile exactly:
+    [events = batches + dropped_events] after {!close}. *)
 val batches : 'a t -> int
 
 (** Times the producer blocked on a full ring (backpressure; the
     wall-clock analogue of the simulator's [stall_cycles]). *)
 val producer_stalls : 'a t -> int
 
-(** Batches dropped after an {!abort}. *)
+(** Batches lost on the producer side — pushed after an {!abort}, or
+    failed by an injected fault.  Alias: {!dropped}. *)
+val dropped_batches : 'a t -> int
+
+(** Elements inside {!dropped_batches}. *)
+val dropped_events : 'a t -> int
+
+(** Same as {!dropped_batches}. *)
 val dropped : 'a t -> int
+
+(** Whether the underlying ring has been {!abort}ed (atomic; readable
+    from any domain). *)
+val aborted : 'a t -> bool
 
 (** {1 Consumer (helper-core) side} *)
 
@@ -101,7 +132,12 @@ val dropped : 'a t -> int
     [around_batch] wraps the processing of each popped batch (the
     thunk it receives runs [f] over the whole batch); the runtime uses
     it to time helper-domain busy periods without a per-event clock
-    read.  It must call the thunk exactly once. *)
+    read.  It must call the thunk exactly once.
+
+    If [f] (or [around_batch]) raises, the channel is aborted before
+    the exception propagates, so a producer parked against a full ring
+    is released — its pushes become counted drops instead of a
+    wedge. *)
 val drain :
   ?around_batch:((unit -> unit) -> unit) -> 'a t -> f:('a -> unit) -> unit
 
@@ -111,3 +147,11 @@ val abort : 'a t -> unit
 (** Times the consumer blocked on an empty ring (helper idle
     episodes). *)
 val consumer_waits : 'a t -> int
+
+(** Batches popped but not processed — an injected pop failure
+    discarded them (consumer-side mirror of {!dropped_batches};
+    always [0] without [?chaos]). *)
+val discarded_batches : 'a t -> int
+
+(** Elements inside {!discarded_batches}. *)
+val discarded_events : 'a t -> int

@@ -23,6 +23,8 @@ type report = {
   queue_capacity : int;
   batch_size : int;
   batches : int;
+  dropped_batches : int;
+  dropped_events : int;
   producer_stalls : int;
   consumer_waits : int;
   main_wall_ns : int;
@@ -34,7 +36,47 @@ type inline_report = {
   i_wall_ns : int;
 }
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* -- supervised outcomes ----------------------------------------------- *)
+
+type leg = [ `App | `Helper | `Shard of int | `Spawn ]
+
+type partial = {
+  p_events : int;
+  p_batches : int;
+  p_dropped_batches : int;
+  p_dropped_events : int;
+  p_wall_ns : int;
+}
+
+type error = {
+  e_leg : leg;
+  e_exn : exn;
+  e_secondary : exn list;
+  e_partial : partial;
+}
+
+let pp_leg ppf = function
+  | `App -> Fmt.string ppf "application"
+  | `Helper -> Fmt.string ppf "helper"
+  | `Shard s -> Fmt.pf ppf "shard %d" s
+  | `Spawn -> Fmt.string ppf "spawn"
+
+let pp_error ppf e =
+  Fmt.pf ppf
+    "%a leg failed: %s%s; partial: %d events fed, %d batches delivered, \
+     %d batches / %d events dropped, %.2f ms"
+    pp_leg e.e_leg
+    (Printexc.to_string e.e_exn)
+    (match e.e_secondary with
+    | [] -> ""
+    | l -> Fmt.str " (+%d secondary)" (List.length l))
+    e.e_partial.p_events e.e_partial.p_batches e.e_partial.p_dropped_batches
+    e.e_partial.p_dropped_events
+    (float_of_int e.e_partial.p_wall_ns /. 1e6)
+
+(* Monotonic (see {!Dift_obs.Clock}): wall intervals must never go
+   negative even if the system clock steps mid-run. *)
+let now_ns = Dift_obs.Clock.now_ns
 
 (* Order-sensitive accumulation: h' = hash (h, observation). *)
 let mix h obs = Hashtbl.hash (h, obs)
@@ -80,10 +122,25 @@ let validate_geometry fn ~queue_capacity ~batch_size =
   if batch_size < 1 then
     invalid_arg (Fmt.str "Parallel.%s: batch_size = %d < 1" fn batch_size)
 
-let run ?config ?obs ?trace ?(queue_capacity = 64) ?(batch_size = 64) ?policy
-    ?on_sink program ~input =
+(* Chaos [Spawn] interception, shared by both runtimes' supervisors:
+   any non-Proceed action models [Domain.spawn] itself failing. *)
+let chaos_spawn chaos body =
+  (match chaos with
+  | None -> ()
+  | Some c -> (
+      match Chaos.on_spawn c with
+      | Chaos.Proceed -> ()
+      | Chaos.Raise_now e -> raise e
+      | Chaos.Fail | Chaos.Abort_now ->
+          raise (Chaos.Injected "injected spawn failure, helper")));
+  Domain.spawn body
+
+let run_result ?config ?obs ?trace ?chaos ?(queue_capacity = 64)
+    ?(batch_size = 64) ?policy ?on_sink program ~input =
   validate_geometry "run" ~queue_capacity ~batch_size;
-  let fwd = Forwarder.create ?obs ?trace ~queue_capacity ~batch_size () in
+  let fwd =
+    Forwarder.create ?obs ?trace ?chaos ~queue_capacity ~batch_size ()
+  in
   let eng, sink_trace = make_engine ?policy ?on_sink program in
   (* Timeline: the engine samples its shadow footprint from whichever
      domain processes events — the helper track, here. *)
@@ -138,71 +195,120 @@ let run ?config ?obs ?trace ?(queue_capacity = 64) ?(batch_size = 64) ?policy
       (fun reg -> Dift_obs.Registry.counter reg "parallel.helper.wall_ns")
       obs
   in
-  let helper =
-    Domain.spawn (fun () ->
-        (match trace with
-        | Some tr -> Dift_obs.Trace.name_track tr "helper"
-        | None -> ());
-        let t0 = now_ns () in
-        Fun.protect
-          ~finally:(fun () ->
-            match helper_wall with
-            | Some wall -> Dift_obs.Registry.add wall (now_ns () - t0)
-            | None -> ())
-        @@ fun () ->
-        let drain () =
-          Forwarder.drain ~around_batch fwd ~f:(Bool_engine.process eng)
-        in
-        try
-          match trace with
-          | Some tr ->
-              Dift_obs.Trace.span tr ~cat:"parallel" "helper.drain" drain
-          | None -> drain ()
-        with ex ->
-          (* never leave the application domain blocked on a full ring *)
-          Forwarder.abort fwd;
-          raise ex)
+  let helper_body () =
+    (match trace with
+    | Some tr -> Dift_obs.Trace.name_track tr "helper"
+    | None -> ());
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        match helper_wall with
+        | Some wall -> Dift_obs.Registry.add wall (now_ns () - t0)
+        | None -> ())
+    @@ fun () ->
+    let drain () =
+      Forwarder.drain ~around_batch fwd ~f:(Bool_engine.process eng)
+    in
+    try
+      match trace with
+      | Some tr ->
+          Dift_obs.Trace.span tr ~cat:"parallel" "helper.drain" drain
+      | None -> drain ()
+    with ex ->
+      (* never leave the application domain blocked on a full ring *)
+      Forwarder.abort fwd;
+      raise ex
   in
-  let m = Machine.create ?config program ~input in
-  (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
-  (match trace with
-  | Some tr -> Dift_obs.Trace.name_track tr "app"
-  | None -> ());
-  Machine.attach m
-    (Tool.make ~dispatch_cost:0 ~on_exec:(Forwarder.add fwd)
-       "parallel-dift-forwarder");
-  let t0 = now_ns () in
-  let run_machine () =
-    match trace with
-    | Some tr ->
-        Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () -> Machine.run m)
-    | None -> Machine.run m
+  let t_start = now_ns () in
+  let partial () =
+    {
+      p_events = Forwarder.events fwd;
+      p_batches = Forwarder.batches fwd;
+      p_dropped_batches = Forwarder.dropped_batches fwd;
+      p_dropped_events = Forwarder.dropped_events fwd;
+      p_wall_ns = now_ns () - t_start;
+    }
   in
-  let outcome =
-    match run_machine () with
-    | outcome ->
-        Forwarder.close fwd;
-        outcome
+  (* Close the channel for good even when the trailing flush takes an
+     injected failure: the raising flush already detached its batch,
+     so the retry is a quiet no-op flush + ring close.  The helper can
+     therefore always terminate. *)
+  let close_fwd () =
+    match Forwarder.close fwd with
+    | () -> None
     | exception ex ->
-        (* shut the channel down before re-raising so the helper exits *)
-        Forwarder.close fwd;
-        (try ignore (Domain.join helper) with _ -> ());
-        raise ex
+        (try Forwarder.close fwd with _ -> Forwarder.abort fwd);
+        Some ex
   in
-  let main_wall_ns = now_ns () - t0 in
-  (* re-raises any helper-side exception *)
-  Domain.join helper;
-  let total_wall_ns = now_ns () - t0 in
-  {
-    result = result_of eng sink_trace outcome;
-    queue_capacity;
-    batch_size;
-    batches = Forwarder.batches fwd;
-    producer_stalls = Forwarder.producer_stalls fwd;
-    consumer_waits = Forwarder.consumer_waits fwd;
-    main_wall_ns;
-    total_wall_ns;
-  }
+  match chaos_spawn chaos helper_body with
+  | exception ex ->
+      Error { e_leg = `Spawn; e_exn = ex; e_secondary = []; e_partial = partial () }
+  | helper -> (
+      let m = Machine.create ?config program ~input in
+      (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
+      (match trace with
+      | Some tr -> Dift_obs.Trace.name_track tr "app"
+      | None -> ());
+      Machine.attach m
+        (Tool.make ~dispatch_cost:0 ~on_exec:(Forwarder.add fwd)
+           "parallel-dift-forwarder");
+      let t0 = now_ns () in
+      let run_machine () =
+        match trace with
+        | Some tr ->
+            Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () ->
+                Machine.run m)
+        | None -> Machine.run m
+      in
+      let join_quiet () =
+        match Domain.join helper with () -> [] | exception hx -> [ hx ]
+      in
+      match run_machine () with
+      | exception ex ->
+          (* shut the channel down before reporting so the helper
+             exits; its own failure, if any, is secondary *)
+          let close_exn = close_fwd () in
+          let secondary = Option.to_list close_exn @ join_quiet () in
+          Error
+            { e_leg = `App; e_exn = ex; e_secondary = secondary;
+              e_partial = partial () }
+      | outcome -> (
+          match close_fwd () with
+          | Some ex ->
+              Error
+                { e_leg = `App; e_exn = ex; e_secondary = join_quiet ();
+                  e_partial = partial () }
+          | None -> (
+              let main_wall_ns = now_ns () - t0 in
+              match Domain.join helper with
+              | exception hx ->
+                  Error
+                    { e_leg = `Helper; e_exn = hx; e_secondary = [];
+                      e_partial = partial () }
+              | () ->
+                  let total_wall_ns = now_ns () - t0 in
+                  Ok
+                    {
+                      result = result_of eng sink_trace outcome;
+                      queue_capacity;
+                      batch_size;
+                      batches = Forwarder.batches fwd;
+                      dropped_batches = Forwarder.dropped_batches fwd;
+                      dropped_events = Forwarder.dropped_events fwd;
+                      producer_stalls = Forwarder.producer_stalls fwd;
+                      consumer_waits = Forwarder.consumer_waits fwd;
+                      main_wall_ns;
+                      total_wall_ns;
+                    })))
+
+let run ?config ?obs ?trace ?chaos ?queue_capacity ?batch_size ?policy
+    ?on_sink program ~input =
+  match
+    run_result ?config ?obs ?trace ?chaos ?queue_capacity ?batch_size
+      ?policy ?on_sink program ~input
+  with
+  | Ok r -> r
+  | Error e -> raise e.e_exn
 
 let run_inline ?config ?obs ?trace ?policy ?on_sink program ~input =
   let eng, sink_trace = make_engine ?policy ?on_sink program in
@@ -247,86 +353,165 @@ type sharded_report = {
   s_total_wall_ns : int;
 }
 
-let run_sharded ?config ?obs ?trace ?route ?(queue_capacity = 64)
-    ?(batch_size = 64) ?xchg_capacity ?block_bits ?policy ?on_sink ~shards
-    program ~input =
+let run_sharded_result ?config ?obs ?trace ?chaos ?route
+    ?(queue_capacity = 64) ?(batch_size = 64) ?xchg_capacity ?block_bits
+    ?policy ?on_sink ~shards program ~input =
   if shards < 1 then
     invalid_arg (Fmt.str "Parallel.run_sharded: shards = %d < 1" shards);
   validate_geometry "run_sharded" ~queue_capacity ~batch_size;
   let c =
-    Bool_shards.cluster ?policy ?route ?block_bits ?obs ?trace
+    Bool_shards.cluster ?policy ?route ?block_bits ?obs ?trace ?chaos
       ~queue_capacity ~batch_size ?xchg_capacity ~shards program
   in
-  Bool_shards.start c;
-  let m = Machine.create ?config program ~input in
-  (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
-  (match trace with
-  | Some tr -> Dift_obs.Trace.name_track tr "app"
-  | None -> ());
-  Machine.attach m
-    (Tool.make ~dispatch_cost:0
-       ~on_exec:(Bool_shards.feed c)
-       "sharded-dift-router");
-  let t0 = now_ns () in
-  let outcome =
-    let run_machine () =
-      match trace with
-      | Some tr ->
-          Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () ->
-              Machine.run m)
-      | None -> Machine.run m
-    in
-    match run_machine () with
-    | outcome -> outcome
-    | exception ex ->
-        (* shut the channels down before re-raising so every helper
-           exits; absorb their (secondary) failures *)
-        (try ignore (Bool_shards.finish c : Bool_shards.merged)
-         with _ -> ());
-        raise ex
-  in
-  let s_main_wall_ns = now_ns () - t0 in
-  (* closes the channels, joins every shard, re-raises helper failures *)
-  let merged = Bool_shards.finish c in
-  let s_total_wall_ns = now_ns () - t0 in
-  (* Deterministic sink delivery: unlike {!run}, whose [on_sink] runs
-     streaming on the helper domain, sharded sink callbacks fire here,
-     after the join, in global step order. *)
-  let sink_trace_hash =
-    List.fold_left
-      (fun h (step, sink, taint, _) ->
-        mix h (Engine.sink_to_string sink, taint, step))
-      0 merged.Bool_shards.m_sinks
-  in
-  (match on_sink with
-  | Some f ->
-      List.iter
-        (fun (_, sink, taint, e) -> f sink taint e)
-        merged.Bool_shards.m_sinks
-  | None -> ());
-  {
-    s_result =
+  let t_start = now_ns () in
+  let partial () =
+    Array.fold_left
+      (fun acc (s : Shard_engine.shard_stat) ->
+        {
+          acc with
+          p_events = acc.p_events + s.Shard_engine.fed;
+          p_batches = acc.p_batches + s.Shard_engine.batches;
+          p_dropped_batches =
+            acc.p_dropped_batches + s.Shard_engine.dropped_batches;
+          p_dropped_events =
+            acc.p_dropped_events + s.Shard_engine.dropped_events;
+        })
       {
-        outcome;
-        events = merged.Bool_shards.m_events;
-        sources = merged.Bool_shards.m_sources;
-        sink_hits = merged.Bool_shards.m_sink_hits;
-        sink_trace_hash;
-        tainted_locations = merged.Bool_shards.m_tainted_locations;
-        shadow_words = merged.Bool_shards.m_shadow_words;
-        taint_fingerprint = merged.Bool_shards.m_fingerprint;
-      };
-    s_shards = shards;
-    s_route =
-      (match route with Some r -> r | None -> `Request_reply);
-    s_queue_capacity = queue_capacity;
-    s_batch_size = batch_size;
-    s_cross_events = Bool_shards.cross_events c;
-    s_exchange_messages = Bool_shards.exchange_messages c;
-    s_per_shard = Bool_shards.shard_stats c;
-    s_main_wall_ns;
-    s_total_wall_ns;
-  }
+        p_events = 0;
+        p_batches = 0;
+        p_dropped_batches = 0;
+        p_dropped_events = 0;
+        p_wall_ns = now_ns () - t_start;
+      }
+      (Bool_shards.shard_stats c)
+  in
+  (* attribute a cluster failure to the first shard that died of its
+     own exception (not of the Shard_dead cascade) *)
+  let error_of_failure (f : Shard_engine.failure) =
+    let primary_shard =
+      match
+        List.find_opt
+          (fun (_, e) -> e <> Shard_engine.Shard_dead)
+          f.Shard_engine.f_shards
+      with
+      | Some (s, _) -> Some s
+      | None -> (
+          match f.Shard_engine.f_shards with
+          | (s, _) :: _ -> Some s
+          | [] -> None)
+    in
+    {
+      e_leg =
+        (match primary_shard with Some s -> `Shard s | None -> `App);
+      e_exn = f.Shard_engine.f_primary;
+      e_secondary =
+        List.filter_map
+          (fun (s, e) ->
+            if Some s = primary_shard then None else Some e)
+          f.Shard_engine.f_shards;
+      e_partial = partial ();
+    }
+  in
+  match Bool_shards.start c with
+  | exception Shard_engine.Spawn_failure ex ->
+      Error
+        { e_leg = `Spawn; e_exn = ex; e_secondary = [];
+          e_partial = partial () }
+  | () -> (
+      let m = Machine.create ?config program ~input in
+      (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
+      (match trace with
+      | Some tr -> Dift_obs.Trace.name_track tr "app"
+      | None -> ());
+      Machine.attach m
+        (Tool.make ~dispatch_cost:0
+           ~on_exec:(Bool_shards.feed c)
+           "sharded-dift-router");
+      let t0 = now_ns () in
+      let run_machine () =
+        match trace with
+        | Some tr ->
+            Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () ->
+                Machine.run m)
+        | None -> Machine.run m
+      in
+      match run_machine () with
+      | exception ex ->
+          (* shut the channels down before reporting so every helper
+             exits; their failures are secondary to the app's.  The
+             crash may have split a cross-shard event across only some
+             participants, so the mesh must go down too — a plain
+             close would leave the home shard waiting on a provide leg
+             that never comes. *)
+          Bool_shards.abort c;
+          let secondary =
+            match Bool_shards.finish_result c with
+            | Ok _ -> []
+            | Error f ->
+                List.map snd f.Shard_engine.f_shards
+          in
+          Error
+            { e_leg = `App; e_exn = ex; e_secondary = secondary;
+              e_partial = partial () }
+      | outcome -> (
+          let s_main_wall_ns = now_ns () - t0 in
+          (* closes the channels, joins every shard *)
+          match Bool_shards.finish_result c with
+          | Error f -> Error (error_of_failure f)
+          | Ok merged ->
+              let s_total_wall_ns = now_ns () - t0 in
+              (* Deterministic sink delivery: unlike {!run}, whose
+                 [on_sink] runs streaming on the helper domain, sharded
+                 sink callbacks fire here, after the join, in global
+                 step order. *)
+              let sink_trace_hash =
+                List.fold_left
+                  (fun h (step, sink, taint, _) ->
+                    mix h (Engine.sink_to_string sink, taint, step))
+                  0 merged.Bool_shards.m_sinks
+              in
+              (match on_sink with
+              | Some f ->
+                  List.iter
+                    (fun (_, sink, taint, e) -> f sink taint e)
+                    merged.Bool_shards.m_sinks
+              | None -> ());
+              Ok
+                {
+                  s_result =
+                    {
+                      outcome;
+                      events = merged.Bool_shards.m_events;
+                      sources = merged.Bool_shards.m_sources;
+                      sink_hits = merged.Bool_shards.m_sink_hits;
+                      sink_trace_hash;
+                      tainted_locations =
+                        merged.Bool_shards.m_tainted_locations;
+                      shadow_words = merged.Bool_shards.m_shadow_words;
+                      taint_fingerprint = merged.Bool_shards.m_fingerprint;
+                    };
+                  s_shards = shards;
+                  s_route =
+                    (match route with Some r -> r | None -> `Request_reply);
+                  s_queue_capacity = queue_capacity;
+                  s_batch_size = batch_size;
+                  s_cross_events = Bool_shards.cross_events c;
+                  s_exchange_messages = Bool_shards.exchange_messages c;
+                  s_per_shard = Bool_shards.shard_stats c;
+                  s_main_wall_ns;
+                  s_total_wall_ns;
+                }))
+
+let run_sharded ?config ?obs ?trace ?chaos ?route ?queue_capacity
+    ?batch_size ?xchg_capacity ?block_bits ?policy ?on_sink ~shards program
+    ~input =
+  match
+    run_sharded_result ?config ?obs ?trace ?chaos ?route ?queue_capacity
+      ?batch_size ?xchg_capacity ?block_bits ?policy ?on_sink ~shards
+      program ~input
+  with
+  | Ok r -> r
+  | Error e -> raise e.e_exn
 
 let pp_sharded_report ppf r =
   Fmt.pf ppf

@@ -49,7 +49,11 @@ type report = {
   result : result;
   queue_capacity : int;  (** ring slots, in batches *)
   batch_size : int;  (** events per batch *)
-  batches : int;  (** ring messages actually sent *)
+  batches : int;  (** ring messages actually delivered *)
+  dropped_batches : int;
+      (** batches lost producer-side (post-abort or injected); always
+          [0] on a clean un-injected run *)
+  dropped_events : int;  (** events inside [dropped_batches] *)
   producer_stalls : int;
       (** times the application domain blocked on a full ring *)
   consumer_waits : int;
@@ -62,6 +66,49 @@ type inline_report = {
   i_result : result;
   i_wall_ns : int;
 }
+
+(** {1 Supervised outcomes}
+
+    The [_result] runtimes ({!run_result}, {!run_sharded_result})
+    never re-raise a failure: every shutdown leg — helper crash
+    mid-drain, application crash mid-run, spawn failure, an injected
+    channel fault — joins every domain it started and comes back as a
+    structured {!error}, so a driver can distinguish {e which} side
+    failed and still read coherent partial statistics.  The classic
+    {!run}/{!val-run_sharded} wrappers re-raise [e_exn] for
+    compatibility. *)
+
+(** Which leg of the protocol failed first. *)
+type leg =
+  [ `App  (** the application domain (including a trailing-flush
+              failure on its side of the channel) *)
+  | `Helper  (** the single helper domain of {!run} *)
+  | `Shard of int  (** the first sharded helper that died of its own
+                       exception (not of the [Shard_dead] cascade) *)
+  | `Spawn  (** [Domain.spawn] itself failed; no run happened *) ]
+
+(** Channel accounting at the moment the error was assembled — enough
+    to reconcile how much work was fed, delivered and lost. *)
+type partial = {
+  p_events : int;  (** events accepted by the channel(s) *)
+  p_batches : int;  (** batches actually delivered *)
+  p_dropped_batches : int;  (** batches lost producer-side *)
+  p_dropped_events : int;  (** events inside those batches *)
+  p_wall_ns : int;  (** wall time since the runtime was entered *)
+}
+
+type error = {
+  e_leg : leg;
+  e_exn : exn;  (** the primary failure *)
+  e_secondary : exn list;
+      (** failures of the {e other} legs, observed while shutting
+          down (e.g. the helper's cascade after an app crash) *)
+  e_partial : partial;
+}
+
+(** One line: failing leg, primary exception, secondary count and the
+    partial channel accounting. *)
+val pp_error : error Fmt.t
 
 (** [run program ~input] executes [program] in the current domain
     while a spawned helper domain performs the taint tracking.
@@ -90,12 +137,17 @@ type inline_report = {
     counter samples; both sides feed the [ring.occupancy] counter
     track.  Export with {!Dift_obs.Trace.write} after the run.
 
+    With [?chaos], every channel operation and the helper spawn
+    consult the fault plan (see {!Chaos}); without it the runtime
+    takes its ordinary direct path.
+
     @raise Invalid_argument if [queue_capacity] or [batch_size] is
     [< 1]. *)
 val run :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?chaos:Chaos.t ->
   ?queue_capacity:int ->
   ?batch_size:int ->
   ?policy:Policy.t ->
@@ -103,6 +155,22 @@ val run :
   Program.t ->
   input:int array ->
   report
+
+(** Supervised {!run}: identical on success; every failure leg joins
+    the helper and returns a structured {!error} instead of raising.
+    {!run} is [run_result] with [Error e] re-raised as [e.e_exn]. *)
+val run_result :
+  ?config:Machine.config ->
+  ?obs:Dift_obs.Registry.t ->
+  ?trace:Dift_obs.Trace.t ->
+  ?chaos:Chaos.t ->
+  ?queue_capacity:int ->
+  ?batch_size:int ->
+  ?policy:Policy.t ->
+  ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
+  Program.t ->
+  input:int array ->
+  (report, error) Stdlib.result
 
 (** The sequential baseline: the same engine attached inline in the
     current domain, reported in the same shape.  [?obs] instruments
@@ -171,12 +239,17 @@ type sharded_report = {
     [?trace], each shard gets its own [shard-<i>] track of batch and
     ring spans next to the [app] track.
 
+    With [?chaos], the fault plan is threaded through every shard's
+    inbound channel, every exchange ring and the domain spawns (see
+    {!Shard_engine.Make.cluster}).
+
     @raise Invalid_argument if [shards], [queue_capacity] or
     [batch_size] is [< 1]. *)
 val run_sharded :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?chaos:Chaos.t ->
   ?route:Shard_engine.route ->
   ?queue_capacity:int ->
   ?batch_size:int ->
@@ -188,6 +261,29 @@ val run_sharded :
   Program.t ->
   input:int array ->
   sharded_report
+
+(** Supervised {!val-run_sharded}: identical on success; every failure
+    (a shard's own crash, the [Shard_dead] cascade, an application
+    crash, a spawn failure) joins all domains and returns a structured
+    {!error} with the failing shard identified in [e_leg].
+    {!val-run_sharded} is [run_sharded_result] with [Error e]
+    re-raised as [e.e_exn]. *)
+val run_sharded_result :
+  ?config:Machine.config ->
+  ?obs:Dift_obs.Registry.t ->
+  ?trace:Dift_obs.Trace.t ->
+  ?chaos:Chaos.t ->
+  ?route:Shard_engine.route ->
+  ?queue_capacity:int ->
+  ?batch_size:int ->
+  ?xchg_capacity:int ->
+  ?block_bits:int ->
+  ?policy:Policy.t ->
+  ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
+  shards:int ->
+  Program.t ->
+  input:int array ->
+  (sharded_report, error) Stdlib.result
 
 (** One-line summary of a sharded run (shard count, route, exchange
     volume, wall times); combine with {!pp_result} for the merged

@@ -16,8 +16,13 @@ let pp_route ppf (r : route) =
 
 type shard_stat = {
   shard : int;
+  fed : int;
   handled : int;
   batches : int;
+  dropped_batches : int;
+  dropped_events : int;
+  discarded_batches : int;
+  discarded_events : int;
   busy_ns : int;
   wall_ns : int;
   producer_stalls : int;
@@ -27,8 +32,30 @@ type shard_stat = {
 }
 
 exception Shard_dead
+exception Spawn_failure of exn
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+type failure = {
+  f_primary : exn;
+  f_shards : (int * exn) list;
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf "primary %s; %d shard%s dead%a"
+    (Printexc.to_string f.f_primary)
+    (List.length f.f_shards)
+    (if List.length f.f_shards = 1 then "" else "s")
+    (fun ppf -> function
+      | [] -> ()
+      | l ->
+          Fmt.pf ppf " (%a)"
+            (Fmt.list ~sep:Fmt.comma (fun ppf (s, e) ->
+                 Fmt.pf ppf "shard %d: %s" s (Printexc.to_string e)))
+            l)
+    f.f_shards
+
+(* Monotonic: shard busy/wall intervals must never go negative even if
+   the system clock steps mid-run. *)
+let now_ns = Dift_obs.Clock.now_ns
 
 module Make (D : Taint.DOMAIN) = struct
   module E = Engine.Make (D)
@@ -43,9 +70,11 @@ module Make (D : Taint.DOMAIN) = struct
     journals : msg list ref array array option;
         (** consumed messages per ring, newest first; written only by
             each ring's consumer domain *)
+    x_chaos : Chaos.inst array array option;
+        (** fault seams per ring, namespaced [xchg.<src>.<dst>] *)
   }
 
-  let create_xchg ?(capacity = 256) ?(journal = false) ~shards () =
+  let create_xchg ?(capacity = 256) ?(journal = false) ?chaos ~shards () =
     if capacity < 1 then
       invalid_arg "Shard_engine.create_xchg: capacity < 1";
     {
@@ -58,6 +87,13 @@ module Make (D : Taint.DOMAIN) = struct
              (Array.init shards (fun _ ->
                   Array.init shards (fun _ -> ref [])))
          else None);
+      x_chaos =
+        Option.map
+          (fun c ->
+            Array.init shards (fun src ->
+                Array.init shards (fun dst ->
+                    Chaos.instance c ~ns:(Fmt.str "xchg.%d.%d" src dst))))
+          chaos;
     }
 
   let abort_xchg x = Array.iter (Array.iter Spsc.abort) x.rings
@@ -120,11 +156,36 @@ module Make (D : Taint.DOMAIN) = struct
   let exchange_sent w = w.sent
   let exchange_received w = w.received
 
+  (* Exchange messages are protocol legs, not payload: silently losing
+     one would wedge the peer waiting for it.  An injected [Fail] on
+     the mesh therefore escalates to a crash of the intercepting
+     shard (which aborts the mesh and cascades cleanly), and
+     [Abort_now] tears the whole mesh down. *)
+  let x_chaos_act w ~src ~dst action =
+    match action with
+    | Chaos.Proceed -> ()
+    | Chaos.Fail ->
+        raise
+          (Chaos.Injected
+             (Fmt.str "injected exchange failure on ring %d->%d" src dst))
+    | Chaos.Abort_now -> Array.iter (Array.iter Spsc.abort) w.x.rings
+    | Chaos.Raise_now e -> raise e
+
   let push_x w ~dst m =
+    (match w.x.x_chaos with
+    | None -> ()
+    | Some insts ->
+        x_chaos_act w ~src:w.w_shard ~dst
+          (Chaos.on_push insts.(w.w_shard).(dst)));
     w.sent <- w.sent + 1;
     Spsc.push w.x.rings.(w.w_shard).(dst) m
 
   let pop_x w ~src =
+    (match w.x.x_chaos with
+    | None -> ()
+    | Some insts ->
+        x_chaos_act w ~src ~dst:w.w_shard
+          (Chaos.on_pop insts.(src).(w.w_shard)));
     match Spsc.pop w.x.rings.(src).(w.w_shard) with
     | None -> raise Shard_dead
     | Some m ->
@@ -311,16 +372,18 @@ module Make (D : Taint.DOMAIN) = struct
     fwds : Event.exec Forwarder.t array;
     clocks : shard_clock array;
     c_trace : Dift_obs.Trace.t option;
+    c_chaos : Chaos.t option;
     mutable domains : unit Domain.t array;
     mutable cross : int;
   }
 
   let cluster ?policy ?(route = `Request_reply) ?block_bits ?obs ?trace
-      ?(queue_capacity = 64) ?(batch_size = 64) ?(xchg_capacity = 256)
+      ?chaos ?(queue_capacity = 64) ?(batch_size = 64) ?(xchg_capacity = 256)
       ?(xchg_journal = false) ~shards program =
     let router = Router.create ?block_bits ~shards () in
     let xchg =
-      create_xchg ~capacity:xchg_capacity ~journal:xchg_journal ~shards ()
+      create_xchg ~capacity:xchg_capacity ~journal:xchg_journal ?chaos
+        ~shards ()
     in
     let workers =
       Array.init shards (fun s ->
@@ -332,8 +395,12 @@ module Make (D : Taint.DOMAIN) = struct
             ~shard:s program)
     in
     let fwds =
+      (* request/reply shards coordinate on every cross-shard event, so
+         a lost inbound batch would strand peers mid-exchange: escalate
+         injected losses on these rings to clean shard crashes *)
+      let escalate = route = `Request_reply in
       Array.init shards (fun s ->
-          Forwarder.create ?obs ?trace
+          Forwarder.create ?obs ?trace ?chaos ~escalate
             ~ns:(Fmt.str "parallel.shard%d" s)
             ~queue_capacity ~batch_size ())
     in
@@ -347,6 +414,7 @@ module Make (D : Taint.DOMAIN) = struct
         fwds;
         clocks;
         c_trace = trace;
+        c_chaos = chaos;
         domains = [||];
         cross = 0;
       }
@@ -397,71 +465,129 @@ module Make (D : Taint.DOMAIN) = struct
           Router.iter_shards mask (fun s -> Forwarder.flush c.fwds.(s))
         end
 
+  let spawn_one c s w =
+    (* chaos [Spawn] interception: any non-Proceed action models
+       [Domain.spawn] itself failing for this shard *)
+    (match c.c_chaos with
+    | None -> ()
+    | Some ch -> (
+        match Chaos.on_spawn ch with
+        | Chaos.Proceed -> ()
+        | Chaos.Raise_now e -> raise e
+        | Chaos.Fail | Chaos.Abort_now ->
+            raise
+              (Chaos.Injected (Fmt.str "injected spawn failure, shard %d" s))));
+    Domain.spawn (fun () ->
+        (match c.c_trace with
+        | Some tr -> Dift_obs.Trace.name_track tr (Fmt.str "shard-%d" s)
+        | None -> ());
+        let k = c.clocks.(s) in
+        let around_batch body =
+          let t0 = now_ns () in
+          (match c.c_trace with
+          | Some tr -> Dift_obs.Trace.span tr ~cat:"core" "engine.batch" body
+          | None -> body ());
+          k.busy_ns <- k.busy_ns + (now_ns () - t0)
+        in
+        let t0 = now_ns () in
+        Fun.protect ~finally:(fun () -> k.wall_ns <- now_ns () - t0)
+        @@ fun () ->
+        try Forwarder.drain ~around_batch c.fwds.(s) ~f:(handle w)
+        with ex ->
+          (* unblock the application and every peer shard before
+             dying, so the failure cascades instead of wedging *)
+          Forwarder.abort c.fwds.(s);
+          abort_xchg c.c_xchg;
+          raise ex)
+
   let start c =
-    c.domains <-
-      Array.mapi
-        (fun s w ->
-          Domain.spawn (fun () ->
-              (match c.c_trace with
-              | Some tr ->
-                  Dift_obs.Trace.name_track tr (Fmt.str "shard-%d" s)
-              | None -> ());
-              let k = c.clocks.(s) in
-              let around_batch body =
-                let t0 = now_ns () in
-                (match c.c_trace with
-                | Some tr ->
-                    Dift_obs.Trace.span tr ~cat:"core" "engine.batch" body
-                | None -> body ());
-                k.busy_ns <- k.busy_ns + (now_ns () - t0)
-              in
-              let t0 = now_ns () in
-              Fun.protect ~finally:(fun () -> k.wall_ns <- now_ns () - t0)
-              @@ fun () ->
-              try Forwarder.drain ~around_batch c.fwds.(s) ~f:(handle w)
-              with ex ->
-                (* unblock the application and every peer shard before
-                   dying, so the failure cascades instead of wedging *)
-                Forwarder.abort c.fwds.(s);
-                abort_xchg c.c_xchg;
-                raise ex))
-        c.workers
+    let n = Array.length c.workers in
+    let doms = Array.make n None in
+    (try
+       for s = 0 to n - 1 do
+         doms.(s) <- Some (spawn_one c s c.workers.(s))
+       done
+     with ex ->
+       (* a later shard failed to spawn: tear the channels down so the
+          shards already running terminate, join them, and surface one
+          structured failure — no leaked domain, no partial cluster *)
+       Array.iter Forwarder.abort c.fwds;
+       abort_xchg c.c_xchg;
+       Array.iter
+         (function
+           | Some d -> ( try Domain.join d with _ -> ())
+           | None -> ())
+         doms;
+       raise (Spawn_failure ex));
+    c.domains <- Array.map Option.get doms
 
   let close_feed c = Array.iter Forwarder.close c.fwds
 
-  let finish c =
-    close_feed c;
+  (* Feeder crash mid-event: a cross-shard event may have reached only
+     some of its participants, leaving the home shard parked against a
+     provide leg that will never come.  Tear down the feed rings *and*
+     the mesh so every shard terminates (normal drain end or a clean
+     [Shard_dead] cascade) and the joins in {!finish_result} return. *)
+  let abort c =
+    Array.iter Forwarder.abort c.fwds;
+    abort_xchg c.c_xchg
+
+  let finish_result c =
+    (* An injected failure during the trailing flush must not leak
+       domains: re-close every channel (idempotent — the raising flush
+       already detached its batch) so the shards still terminate. *)
+    let feed_exn =
+      match close_feed c with
+      | () -> None
+      | exception ex ->
+          Array.iter
+            (fun f ->
+              try Forwarder.close f
+              with _ -> (
+                (* the raising flush detached its batch, so a second
+                   close is a quiet no-op flush + ring close *)
+                try Forwarder.close f with _ -> Forwarder.abort f))
+            c.fwds;
+          Some ex
+    in
     let exns =
-      Array.map
-        (fun d ->
-          match Domain.join d with () -> None | exception ex -> Some ex)
+      Array.mapi
+        (fun s d ->
+          match Domain.join d with
+          | () -> None
+          | exception ex -> Some (s, ex))
         c.domains
     in
     c.domains <- [||];
-    (* prefer the original failure over the Shard_dead cascade it
-       triggered in the other shards *)
-    let first_real =
-      Array.fold_left
-        (fun acc ex ->
-          match (acc, ex) with
-          | Some _, _ -> acc
-          | None, Some e when e <> Shard_dead -> Some e
-          | None, _ -> acc)
-        None exns
-    in
-    (match (first_real, Array.exists Option.is_some exns) with
-    | Some ex, _ -> raise ex
-    | None, true -> raise Shard_dead
-    | None, false -> ());
-    merge c.workers
+    let dead = List.filter_map Fun.id (Array.to_list exns) in
+    match (dead, feed_exn) with
+    | [], None -> Ok (merge c.workers)
+    | _ ->
+        (* prefer the original failure over the Shard_dead cascade it
+           triggered in the other shards *)
+        let primary =
+          match List.find_opt (fun (_, e) -> e <> Shard_dead) dead with
+          | Some (_, e) -> e
+          | None -> (
+              match feed_exn with Some ex -> ex | None -> Shard_dead)
+        in
+        Error { f_primary = primary; f_shards = dead }
+
+  let finish c =
+    match finish_result c with Ok m -> m | Error f -> raise f.f_primary
 
   let shard_stats c =
     Array.mapi
       (fun s w ->
         {
           shard = s;
+          fed = Forwarder.events c.fwds.(s);
           handled = w.w_handled;
           batches = Forwarder.batches c.fwds.(s);
+          dropped_batches = Forwarder.dropped_batches c.fwds.(s);
+          dropped_events = Forwarder.dropped_events c.fwds.(s);
+          discarded_batches = Forwarder.discarded_batches c.fwds.(s);
+          discarded_events = Forwarder.discarded_events c.fwds.(s);
           busy_ns = c.clocks.(s).busy_ns;
           wall_ns = c.clocks.(s).wall_ns;
           producer_stalls = Forwarder.producer_stalls c.fwds.(s);

@@ -60,8 +60,15 @@ val pp_route : route Fmt.t
     a cluster run. *)
 type shard_stat = {
   shard : int;  (** shard index *)
+  fed : int;  (** events the router handed this shard's channel *)
   handled : int;  (** events delivered to this shard (incl. assists) *)
-  batches : int;  (** inbound ring batches *)
+  batches : int;  (** inbound ring batches actually delivered *)
+  dropped_batches : int;
+      (** inbound batches lost producer-side (post-abort or injected) *)
+  dropped_events : int;  (** events inside [dropped_batches] *)
+  discarded_batches : int;
+      (** inbound batches popped but not processed (injected) *)
+  discarded_events : int;  (** events inside [discarded_batches] *)
   busy_ns : int;  (** time spent inside batch processing *)
   wall_ns : int;  (** helper wall time, spawn to drain end *)
   producer_stalls : int;  (** app blocked on this shard's full ring *)
@@ -75,6 +82,24 @@ type shard_stat = {
     mesh.  {!Make.finish} re-raises the original failure in
     preference to this cascade marker. *)
 exception Shard_dead
+
+(** Raised by {!Make.start} when a helper domain could not be spawned
+    (the payload is the underlying spawn exception).  The cluster is
+    already torn down when this escapes: channels aborted, every
+    previously spawned shard joined. *)
+exception Spawn_failure of exn
+
+(** The structured outcome of a failed cluster run, as reported by
+    {!Make.finish_result}: the primary exception (the first
+    non-{!Shard_dead} failure, falling back to a close-time injected
+    failure and then to {!Shard_dead} itself) plus every shard that
+    died with its own exception. *)
+type failure = {
+  f_primary : exn;
+  f_shards : (int * exn) list;  (** (shard index, its exception) *)
+}
+
+val pp_failure : failure Fmt.t
 
 (** The worker layer over one taint domain. *)
 module Make (D : Taint.DOMAIN) : sig
@@ -97,8 +122,18 @@ module Make (D : Taint.DOMAIN) : sig
       consumed message is also recorded, retrievable per ring with
       {!journal} — the benchmark harness uses this to replay a shard's
       inbound exchange against an isolated worker.
+
+      With [?chaos], every ring derives a fault-injection instance
+      under the namespace [xchg.<src>.<dst>].  Exchange messages are
+      protocol legs, so the terminal faults escalate: an injected
+      [Drop] or [Raise] crashes the intercepting shard (which aborts
+      the mesh — the failure cascades as {!Shard_dead} instead of
+      wedging a waiting peer), and [Abort] tears the whole mesh down.
+      [Stall]/[Delay] only sleep, leaving results bit-identical.
       @raise Invalid_argument if [capacity < 1]. *)
-  val create_xchg : ?capacity:int -> ?journal:bool -> shards:int -> unit -> xchg
+  val create_xchg :
+    ?capacity:int -> ?journal:bool -> ?chaos:Chaos.t -> shards:int -> unit ->
+    xchg
 
   (** Abort every ring in the mesh: blocked pops return, blocked
       pushes drop.  Used to cascade a shard failure. *)
@@ -186,6 +221,11 @@ module Make (D : Taint.DOMAIN) : sig
       per-shard [busy_ns]/[wall_ns]/[utilization_pct] gauges and the
       [parallel.router.cross_events] counter).  No domains run yet —
       call {!start}.
+
+      With [?chaos], the same fault plan is threaded through every
+      seam: each shard's inbound channel (namespace
+      [parallel.shard<i>]), every exchange ring ([xchg.<src>.<dst>];
+      see {!create_xchg}), and {!start}'s domain spawns.
       @raise Invalid_argument for [shards < 1] or non-positive channel
       geometry. *)
   val cluster :
@@ -194,6 +234,7 @@ module Make (D : Taint.DOMAIN) : sig
     ?block_bits:int ->
     ?obs:Dift_obs.Registry.t ->
     ?trace:Dift_obs.Trace.t ->
+    ?chaos:Chaos.t ->
     ?queue_capacity:int ->
     ?batch_size:int ->
     ?xchg_capacity:int ->
@@ -213,7 +254,10 @@ module Make (D : Taint.DOMAIN) : sig
 
   (** Spawn one helper domain per shard, each draining its inbound
       channel through {!handle}.  A failing shard aborts its channel
-      and the whole mesh so the failure cascades instead of wedging. *)
+      and the whole mesh so the failure cascades instead of wedging.
+      @raise Spawn_failure if a domain cannot be spawned; the already
+      spawned shards are joined and every channel aborted first, so
+      the cluster never leaks a domain. *)
   val start : cluster -> unit
 
   (** Close every inbound channel (flushing trailing batches): the
@@ -221,10 +265,25 @@ module Make (D : Taint.DOMAIN) : sig
       need to stop feeding early. *)
   val close_feed : cluster -> unit
 
+  (** Emergency teardown after a feeder crash mid-event: aborts every
+      inbound channel and the exchange mesh.  A cross-shard event that
+      reached only some participants would otherwise strand its home
+      shard on a provide leg forever; after [abort], every shard
+      terminates (normal drain end or the [Shard_dead] cascade) and
+      {!finish_result}'s joins return.  Call it before
+      {!finish_result} when the domain feeding {!feed} raised. *)
+  val abort : cluster -> unit
+
   (** Close the channels, join every helper domain and merge.
       Re-raises the first non-{!Shard_dead} helper failure, or
       {!Shard_dead} if only the cascade markers remain. *)
   val finish : cluster -> merged
+
+  (** Supervised variant of {!finish}: always joins every domain
+      (never leaks one), and reports failures as a structured
+      {!failure} value instead of re-raising, so callers can inspect
+      which shards died and still read partial {!shard_stats}. *)
+  val finish_result : cluster -> (merged, failure) result
 
   (** Events that crossed shards (request/reply route only). *)
   val cross_events : cluster -> int

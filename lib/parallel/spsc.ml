@@ -62,6 +62,8 @@ let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
 let producer_stalls t = Atomic.get t.stalls
 let consumer_waits t = Atomic.get t.waits
 let dropped t = Atomic.get t.drops
+let closed t = Atomic.get t.closed
+let aborted t = Atomic.get t.aborted
 
 let signal_locked t cond =
   Mutex.lock t.lock;

@@ -35,6 +35,14 @@ val capacity : 'a t -> int
 (** Elements currently buffered (racy snapshot, exact when quiescent). *)
 val length : 'a t -> int
 
+(** Whether {!close} has run (atomic; readable from any domain). *)
+val closed : 'a t -> bool
+
+(** Whether {!abort} has run (atomic; readable from any domain).  The
+    fault-injection tests use this to assert which side tore the
+    channel down. *)
+val aborted : 'a t -> bool
+
 (** {1 Producer side} *)
 
 (** [push t x] enqueues [x], blocking while the channel is full.

@@ -18,6 +18,7 @@ let () =
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
       ("sharded", Test_sharded.suite);
+      ("faults", Test_faults.suite);
       ("faultloc", Test_faultloc.suite);
       ("attack", Test_attack.suite);
       ("avoidance", Test_avoidance.suite);

@@ -1,0 +1,532 @@
+(* Fault-injection hardening of the parallel runtimes: every shutdown
+   leg — helper crash mid-drain, application crash mid-run, abort
+   racing a parked peer, a stalled or crashed exchange ring, spawn
+   failure — must terminate cleanly (no deadlock, no leaked domain),
+   keep coherent partial statistics, and surface a structured
+   [Parallel.error] instead of a bare re-raise.  A watchdog domain
+   turns any wedged scenario into a hard process abort so a deadlock
+   is a loud test failure, not a hung CI job.
+
+   Also the accounting regression tests: [Forwarder.batches] counts
+   only delivered batches (post-abort pushes land in
+   [dropped_batches]/[dropped_events], so the books reconcile), and
+   the Spsc shutdown edges (final element racing close, abort against
+   a parked peer) under QCheck. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_workloads
+open Dift_parallel
+
+let check = Alcotest.check
+
+(* -- watchdog: a wedged fault scenario must kill the process ---------- *)
+
+let with_watchdog ?(timeout_s = 60.) f =
+  let finished = Atomic.make false in
+  let dog =
+    Domain.spawn (fun () ->
+        let steps = int_of_float (timeout_s /. 0.05) in
+        let rec loop i =
+          if Atomic.get finished then ()
+          else if i >= steps then begin
+            prerr_endline
+              "watchdog: fault-injection scenario deadlocked; aborting";
+            Unix._exit 125
+          end
+          else begin
+            Unix.sleepf 0.05;
+            loop (i + 1)
+          end
+        in
+        loop 0)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set finished true;
+      Domain.join dog)
+    f
+
+(* -- helpers ----------------------------------------------------------- *)
+
+let plan s =
+  match Chaos.plan_of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad test plan %S: %s" s e
+
+let chaos s = Chaos.create (plan s)
+
+let kernel name =
+  match List.find_opt (fun w -> w.Workload.name = name) Spec_like.all with
+  | Some w -> w
+  | None -> Alcotest.failf "kernel %s missing" name
+
+let injected = function Chaos.Injected _ -> true | _ -> false
+
+let same_result name (a : Parallel.result) (b : Parallel.result) =
+  check Alcotest.int (name ^ ": events") a.Parallel.events b.Parallel.events;
+  check Alcotest.int (name ^ ": sink hits") a.Parallel.sink_hits
+    b.Parallel.sink_hits;
+  check Alcotest.int
+    (name ^ ": sink trace hash")
+    a.Parallel.sink_trace_hash b.Parallel.sink_trace_hash;
+  check Alcotest.int
+    (name ^ ": fingerprint")
+    a.Parallel.taint_fingerprint b.Parallel.taint_fingerprint
+
+(* -- plan grammar ------------------------------------------------------ *)
+
+let test_plan_roundtrip () =
+  (* seeded plans round-trip through the string grammar, so any red
+     sweep seed is replayable as a --fault-plan flag *)
+  for seed = 0 to 99 do
+    let p = Chaos.plan_of_seed seed in
+    match Chaos.plan_of_string (Chaos.plan_to_string p) with
+    | Ok p' ->
+        check Alcotest.bool (Fmt.str "seed %d round-trips" seed) true
+          (p = p')
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done;
+  (* same seed, same plan *)
+  check Alcotest.bool "deterministic" true
+    (Chaos.plan_of_seed 42 = Chaos.plan_of_seed 42);
+  (* explicit grammar corners *)
+  (match Chaos.plan_of_string "parallel.shard1/pop@2=raise;push@1=stall:50" with
+  | Ok [ r1; r2 ] ->
+      check Alcotest.bool "where parsed" true
+        (r1.Chaos.where = Some "parallel.shard1");
+      check Alcotest.bool "stall parsed" true
+        (r2.Chaos.fault = Chaos.Stall 50)
+  | _ -> Alcotest.fail "two-rule plan must parse");
+  List.iter
+    (fun bad ->
+      match Chaos.plan_of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must be rejected" bad)
+    [ ""; "push@0=drop"; "push@x=drop"; "push@1=warp"; "frob@1=drop";
+      "push@1=stall:-5"; "push@1" ]
+
+(* -- two-domain runtime: every leg ------------------------------------ *)
+
+let run_crc ?chaos ?(batch_size = 8) () =
+  let w = kernel "crc" in
+  let input = w.Workload.input ~size:12 ~seed:3 in
+  Parallel.run_result ?chaos ~queue_capacity:4 ~batch_size
+    w.Workload.program ~input
+
+let test_helper_crash_mid_drain () =
+  with_watchdog @@ fun () ->
+  match run_crc ~chaos:(chaos "pop@2=raise") () with
+  | Ok _ -> Alcotest.fail "injected helper crash must surface"
+  | Error e ->
+      check Alcotest.bool "helper leg" true (e.Parallel.e_leg = `Helper);
+      check Alcotest.bool "injected exn" true (injected e.Parallel.e_exn);
+      (* partial accounting stays coherent: everything fed was either
+         delivered or counted as dropped *)
+      let p = e.Parallel.e_partial in
+      check Alcotest.bool "events fed" true (p.Parallel.p_events > 0);
+      check Alcotest.bool "batches delivered before the crash" true
+        (p.Parallel.p_batches >= 1)
+
+let test_app_crash_mid_run () =
+  with_watchdog @@ fun () ->
+  (* the injected push failure raises on the application domain, from
+     inside the forwarding tool *)
+  match run_crc ~chaos:(chaos "push@3=raise") () with
+  | Ok _ -> Alcotest.fail "injected app crash must surface"
+  | Error e ->
+      check Alcotest.bool "app leg" true (e.Parallel.e_leg = `App);
+      check Alcotest.bool "injected exn" true (injected e.Parallel.e_exn);
+      check Alcotest.bool "crashing batch accounted as dropped" true
+        (e.Parallel.e_partial.Parallel.p_dropped_batches >= 1)
+
+let test_abort_at_step_n () =
+  with_watchdog @@ fun () ->
+  (* consumer-side teardown at batch 2: the run completes, losses are
+     counted, and the books reconcile (batch_size=1 makes the event
+     arithmetic exact: fed = delivered + dropped) *)
+  match run_crc ~chaos:(chaos "push@2=abort") ~batch_size:1 () with
+  | Error e -> Alcotest.failf "abort must not fail the run: %a"
+                 Parallel.pp_error e
+  | Ok r ->
+      check Alcotest.bool "drops counted" true (r.Parallel.dropped_batches > 0);
+      (* batch_size = 1 and nothing discarded: each delivered batch is one
+         engine event, except that batches already sitting in the ring when
+         abort lands are lost unprocessed — at most queue_capacity of them
+         (see ROADMAP open items on in-flight loss accounting) *)
+      let processed = r.Parallel.result.Parallel.events in
+      check Alcotest.bool "engine events <= delivered batches" true
+        (processed <= r.Parallel.batches);
+      check Alcotest.bool "in-flight loss bounded by ring capacity" true
+        (r.Parallel.batches - processed <= 4);
+      check Alcotest.int "one event per dropped batch"
+        r.Parallel.dropped_batches r.Parallel.dropped_events
+
+let test_consumer_give_up () =
+  with_watchdog @@ fun () ->
+  (* the helper abandons the stream at its second pop; the producer
+     must never wedge against the dead consumer *)
+  match run_crc ~chaos:(chaos "pop@2=abort") ~batch_size:1 () with
+  | Error e ->
+      Alcotest.failf "consumer give-up must not fail the run: %a"
+        Parallel.pp_error e
+  | Ok r ->
+      check Alcotest.bool "subsequent pushes dropped and counted" true
+        (r.Parallel.dropped_batches > 0)
+
+let test_pop_drop_discards () =
+  with_watchdog @@ fun () ->
+  match run_crc ~chaos:(chaos "pop@1=drop") ~batch_size:1 () with
+  | Error e ->
+      Alcotest.failf "a discarded batch must not fail the run: %a"
+        Parallel.pp_error e
+  | Ok r ->
+      (* the discarded event never reached the engine *)
+      check Alcotest.bool "engine saw fewer events than were delivered"
+        true
+        (r.Parallel.result.Parallel.events < r.Parallel.batches)
+
+let test_stall_delay_bit_identical () =
+  with_watchdog @@ fun () ->
+  (* stalls and delayed wakeups perturb timing only: the result must
+     be bit-identical to an uninjected run *)
+  let clean =
+    match run_crc () with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "clean run failed: %a" Parallel.pp_error e
+  in
+  match
+    run_crc ~chaos:(chaos "push@1=stall:2000000;pop@2=delay:1000000") ()
+  with
+  | Error e -> Alcotest.failf "stall plan failed: %a" Parallel.pp_error e
+  | Ok r ->
+      same_result "stall/delay" clean.Parallel.result r.Parallel.result;
+      check Alcotest.int "no drops" 0 r.Parallel.dropped_batches
+
+let test_spawn_failure_two_domain () =
+  with_watchdog @@ fun () ->
+  match run_crc ~chaos:(chaos "spawn@1=raise") () with
+  | Ok _ -> Alcotest.fail "spawn failure must surface"
+  | Error e ->
+      check Alcotest.bool "spawn leg" true (e.Parallel.e_leg = `Spawn);
+      check Alcotest.bool "injected exn" true (injected e.Parallel.e_exn);
+      check Alcotest.int "nothing fed" 0 e.Parallel.e_partial.Parallel.p_events
+
+(* -- sharded runtime: shard crash, spawn failure, both routes --------- *)
+
+let run_sharded_crc ?chaos ?route () =
+  let w = kernel "crc" in
+  let input = w.Workload.input ~size:12 ~seed:3 in
+  Parallel.run_sharded_result ?chaos ?route ~queue_capacity:4 ~batch_size:1
+    ~shards:3 w.Workload.program ~input
+
+let test_shard_crash route name =
+  with_watchdog @@ fun () ->
+  (* shard 1's first pop raises: its failure must be attributed, the
+     other shards must terminate (cascade or clean), nothing wedges *)
+  match run_sharded_crc ~chaos:(chaos "parallel.shard1/pop@1=raise") ~route ()
+  with
+  | Ok _ -> Alcotest.failf "%s: injected shard crash must surface" name
+  | Error e ->
+      check Alcotest.bool (name ^ ": shard 1 blamed") true
+        (e.Parallel.e_leg = `Shard 1);
+      check Alcotest.bool (name ^ ": injected exn") true
+        (injected e.Parallel.e_exn)
+
+let test_shard_crash_request_reply () =
+  test_shard_crash `Request_reply "request-reply"
+
+let test_shard_crash_broadcast () = test_shard_crash `Broadcast "broadcast"
+
+let test_spawn_failure_sharded () =
+  with_watchdog @@ fun () ->
+  (* the second of three spawns fails: the first shard is already
+     running and must be joined, not leaked *)
+  match run_sharded_crc ~chaos:(chaos "spawn@2=raise") () with
+  | Ok _ -> Alcotest.fail "sharded spawn failure must surface"
+  | Error e ->
+      check Alcotest.bool "spawn leg" true (e.Parallel.e_leg = `Spawn);
+      check Alcotest.bool "injected exn" true (injected e.Parallel.e_exn)
+
+(* -- exchange-mesh faults --------------------------------------------- *)
+
+(* A deterministic cross-shard stream over a synthetic program: with
+   the default 64-location blocks and 2 shards, [mem 0] lives on shard
+   0 and [mem 64] on shard 1, so the mov crosses shards every time. *)
+let stream_prog =
+  Program.make [ Func.make ~name:"main" ~arity:0 [| Instr.Halt |] ]
+
+let stream_func = Program.find stream_prog "main"
+
+let ev step ?(reads = []) ?(writes = []) ?(input_index = -1) instr =
+  {
+    Event.step;
+    tid = 0;
+    func = stream_func;
+    pc = 0;
+    instr;
+    reads;
+    writes;
+    addr = -1;
+    next_pc = 0;
+    input_index;
+    value = 0;
+  }
+
+let cross_events n =
+  List.concat
+    (List.init n (fun i ->
+         let base = 3 * i in
+         [
+           ev base ~writes:[ Loc.mem 0 ] ~input_index:i
+             (Instr.Sys (Instr.Read Reg.r0));
+           ev (base + 1) ~reads:[ Loc.mem 0 ] ~writes:[ Loc.mem 64 ]
+             (Instr.Mov (Reg.r0, Operand.Reg Reg.r1));
+           ev (base + 2) ~reads:[ Loc.mem 64 ]
+             (Instr.Sys (Instr.Write (Operand.Reg Reg.r0)));
+         ]))
+
+module SE = Shard_engine.Make (Dift_core.Taint.Bool)
+
+let run_cross ?chaos () =
+  let events = cross_events 8 in
+  let c =
+    SE.cluster ?chaos ~route:`Request_reply ~queue_capacity:4 ~batch_size:1
+      ~xchg_capacity:4 ~shards:2 stream_prog
+  in
+  SE.start c;
+  (match List.iter (SE.feed c) events with
+  | () -> ()
+  | exception _ ->
+      (* a cascade can reach the feeding side; finish_result still
+         joins and reports *)
+      ());
+  (SE.finish_result c, events)
+
+let test_exchange_stall_bit_identical () =
+  with_watchdog @@ fun () ->
+  let reference =
+    match run_cross () with
+    | Ok m, _ -> m
+    | Error f, _ ->
+        Alcotest.failf "clean cross run failed: %a" Shard_engine.pp_failure f
+  in
+  check Alcotest.bool "stream really crosses shards" true
+    (reference.SE.m_sink_hits > 0);
+  (* stall the first exchange push for 2ms: timing noise only *)
+  match run_cross ~chaos:(chaos "xchg/push@1=stall:2000000") () with
+  | Error f, _ ->
+      Alcotest.failf "exchange stall failed the run: %a"
+        Shard_engine.pp_failure f
+  | Ok m, _ ->
+      check Alcotest.int "same events" reference.SE.m_events m.SE.m_events;
+      check Alcotest.int "same sink hits" reference.SE.m_sink_hits
+        m.SE.m_sink_hits;
+      check Alcotest.int "same fingerprint" reference.SE.m_fingerprint
+        m.SE.m_fingerprint
+
+let test_exchange_crash_cascades () =
+  with_watchdog @@ fun () ->
+  (* a crash on an exchange pop: the popping shard dies, the mesh is
+     aborted, every peer terminates via the Shard_dead cascade *)
+  match run_cross ~chaos:(chaos "xchg/pop@1=raise") () with
+  | Ok _, _ -> Alcotest.fail "injected exchange crash must surface"
+  | Error f, _ ->
+      check Alcotest.bool "primary is the injection" true
+        (injected f.Shard_engine.f_primary);
+      check Alcotest.bool "at least one shard reported dead" true
+        (f.Shard_engine.f_shards <> [])
+
+let test_exchange_ring_abort_terminates () =
+  with_watchdog @@ fun () ->
+  (* aborting the whole mesh mid-protocol must cascade to Shard_dead
+     everywhere, never wedge *)
+  match run_cross ~chaos:(chaos "xchg/push@2=abort") () with
+  | Ok _, _ -> Alcotest.fail "mesh abort must surface"
+  | Error f, _ ->
+      check Alcotest.bool "every failure is a cascade or injection" true
+        (List.for_all
+           (fun (_, e) -> e = Shard_engine.Shard_dead || injected e)
+           f.Shard_engine.f_shards)
+
+(* -- forwarder accounting regression ---------------------------------- *)
+
+let test_forwarder_drop_accounting () =
+  with_watchdog @@ fun () ->
+  (* regression: [batches]/[events] used to count batches pushed after
+     an abort even though Spsc dropped them, so the gauges could not
+     reconcile.  With batch_size=1: fed = delivered + dropped. *)
+  let fwd = Forwarder.create ~queue_capacity:4 ~batch_size:1 () in
+  let consumed = Atomic.make 0 in
+  let helper =
+    Domain.spawn (fun () ->
+        Forwarder.drain fwd ~f:(fun _ ->
+            (* abandon the stream after the third element *)
+            if 3 <= 1 + Atomic.fetch_and_add consumed 1 then
+              raise Exit))
+  in
+  (try
+     for i = 1 to 100 do
+       Forwarder.add fwd i
+     done;
+     Forwarder.close fwd
+   with _ -> ());
+  (match Domain.join helper with
+  | () -> Alcotest.fail "helper must die of Exit"
+  | exception Exit -> Forwarder.abort fwd
+  | exception e -> raise e);
+  check Alcotest.int "all events accepted" 100 (Forwarder.events fwd);
+  check Alcotest.bool "drops counted" true (Forwarder.dropped_batches fwd > 0);
+  check Alcotest.int "fed = delivered + dropped" 100
+    (Forwarder.batches fwd + Forwarder.dropped_events fwd);
+  check Alcotest.int "dropped gauge = dropped batches"
+    (Forwarder.dropped_batches fwd)
+    (Forwarder.dropped fwd)
+
+(* -- random-seed sweep: every plan terminates cleanly ------------------ *)
+
+let test_seed_sweep () =
+  with_watchdog ~timeout_s:120. @@ fun () ->
+  let w = kernel "hash" in
+  let input = w.Workload.input ~size:10 ~seed:1 in
+  for seed = 0 to 7 do
+    let c = Chaos.create (Chaos.plan_of_seed seed) in
+    match
+      Parallel.run_result ~chaos:c ~queue_capacity:4 ~batch_size:4
+        w.Workload.program ~input
+    with
+    | Ok _ -> ()
+    | Error e ->
+        check Alcotest.bool
+          (Fmt.str "seed %d: failure is injected (%s)" seed
+             (Printexc.to_string e.Parallel.e_exn))
+          true
+          (injected e.Parallel.e_exn)
+  done;
+  for seed = 100 to 103 do
+    let c = Chaos.create (Chaos.plan_of_seed seed) in
+    match
+      Parallel.run_sharded_result ~chaos:c ~queue_capacity:4 ~batch_size:4
+        ~shards:2 w.Workload.program ~input
+    with
+    | Ok _ -> ()
+    | Error e ->
+        check Alcotest.bool
+          (Fmt.str "sharded seed %d: failure is injected or cascade (%s)"
+             seed
+             (Printexc.to_string e.Parallel.e_exn))
+          true
+          (injected e.Parallel.e_exn
+          || e.Parallel.e_exn = Shard_engine.Shard_dead)
+  done
+
+(* -- QCheck: Spsc shutdown edges --------------------------------------- *)
+
+(* The final element racing close: the producer pushes its last
+   element and closes immediately; whatever the interleaving with a
+   (possibly parked) consumer, every element must arrive. *)
+let prop_final_element_at_close =
+  QCheck2.Test.make ~count:200 ~name:"spsc: final element races close"
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 1 32))
+    (fun (capacity, n) ->
+      let q = Spsc.create ~capacity in
+      let consumer =
+        Domain.spawn (fun () ->
+            let rec loop acc =
+              match Spsc.pop q with None -> acc | Some _ -> loop (acc + 1)
+            in
+            loop 0)
+      in
+      for i = 1 to n do
+        Spsc.push q i
+      done;
+      Spsc.close q;
+      Domain.join consumer = n)
+
+(* Abort racing a parked producer: the producer is parked on a full
+   ring when the consumer aborts; it must unpark, count its drops, and
+   terminate. *)
+let prop_abort_unparks_producer =
+  QCheck2.Test.make ~count:100 ~name:"spsc: abort unparks a full-parked producer"
+    QCheck2.Gen.(int_range 1 3)
+    (fun capacity ->
+      let q = Spsc.create ~capacity in
+      let producer =
+        Domain.spawn (fun () ->
+            for i = 1 to capacity + 4 do
+              Spsc.push q i
+            done)
+      in
+      (* wait until the producer is genuinely parked on the full ring *)
+      let rec wait_full i =
+        if i > 20_000 then ()
+        else if Spsc.length q < capacity then begin
+          Domain.cpu_relax ();
+          wait_full (i + 1)
+        end
+      in
+      wait_full 0;
+      Spsc.abort q;
+      Domain.join producer;
+      (* whatever landed before the abort, the rest was counted *)
+      Spsc.length q + Spsc.dropped q >= 4)
+
+let test_abort_unparks_consumer () =
+  with_watchdog @@ fun () ->
+  (* the consumer is parked on an empty ring; an abort from outside
+     the producer domain must wake it with end-of-stream *)
+  let q : int Spsc.t = Spsc.create ~capacity:2 in
+  let consumer = Domain.spawn (fun () -> Spsc.pop q) in
+  Unix.sleepf 0.02;
+  Spsc.abort q;
+  check Alcotest.bool "parked consumer sees end-of-stream" true
+    (Domain.join consumer = None)
+
+(* -- timing sanity ------------------------------------------------------ *)
+
+let test_wall_times_non_negative () =
+  with_watchdog @@ fun () ->
+  (* regression: gettimeofday-based timing could yield negative spans
+     when the wall clock stepped; the monotonic clock cannot *)
+  match run_crc () with
+  | Error e -> Alcotest.failf "clean run failed: %a" Parallel.pp_error e
+  | Ok r ->
+      check Alcotest.bool "main wall >= 0" true (r.Parallel.main_wall_ns >= 0);
+      check Alcotest.bool "total >= main" true
+        (r.Parallel.total_wall_ns >= r.Parallel.main_wall_ns)
+
+let suite =
+  [
+    Alcotest.test_case "fault plans round-trip" `Quick test_plan_roundtrip;
+    Alcotest.test_case "helper crash mid-drain" `Quick
+      test_helper_crash_mid_drain;
+    Alcotest.test_case "app crash mid-run" `Quick test_app_crash_mid_run;
+    Alcotest.test_case "abort at step N" `Quick test_abort_at_step_n;
+    Alcotest.test_case "consumer give-up" `Quick test_consumer_give_up;
+    Alcotest.test_case "pop drop discards" `Quick test_pop_drop_discards;
+    Alcotest.test_case "stall/delay bit-identical" `Quick
+      test_stall_delay_bit_identical;
+    Alcotest.test_case "spawn failure (two-domain)" `Quick
+      test_spawn_failure_two_domain;
+    Alcotest.test_case "shard crash (request-reply)" `Quick
+      test_shard_crash_request_reply;
+    Alcotest.test_case "shard crash (broadcast)" `Quick
+      test_shard_crash_broadcast;
+    Alcotest.test_case "spawn failure (sharded)" `Quick
+      test_spawn_failure_sharded;
+    Alcotest.test_case "exchange stall bit-identical" `Quick
+      test_exchange_stall_bit_identical;
+    Alcotest.test_case "exchange crash cascades" `Quick
+      test_exchange_crash_cascades;
+    Alcotest.test_case "exchange ring abort terminates" `Quick
+      test_exchange_ring_abort_terminates;
+    Alcotest.test_case "forwarder drop accounting reconciles" `Quick
+      test_forwarder_drop_accounting;
+    Alcotest.test_case "random-seed sweep terminates" `Quick test_seed_sweep;
+    Alcotest.test_case "abort unparks a parked consumer" `Quick
+      test_abort_unparks_consumer;
+    Alcotest.test_case "wall times non-negative" `Quick
+      test_wall_times_non_negative;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_final_element_at_close; prop_abort_unparks_producer ]

@@ -315,6 +315,35 @@ let test_two_domain_stats_snapshot () =
   check Alcotest.int "no drops without abort" 0
     (gauge "parallel.ring.drops" snap)
 
+(* -- the monotonic clock ----------------------------------------------- *)
+
+(* Every duration in the tree is measured on [Clock.now_ns]; the whole
+   point of switching off [Unix.gettimeofday] is that readings never
+   go backwards, within a domain or across domains (one process-wide
+   timebase).  A tight sampling loop plus a cross-domain interleaving
+   would both fail under a stepped wall clock. *)
+let test_clock_monotonic () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 100_000 do
+    let t = Clock.now_ns () in
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %d after %d" t !prev;
+    prev := t
+  done;
+  (* cross-domain: a reading taken after joining a domain must not
+     precede any reading that domain took *)
+  let t0 = Clock.now_ns () in
+  let t_in = Domain.join (Domain.spawn (fun () -> Clock.now_ns ())) in
+  let t1 = Clock.now_ns () in
+  check Alcotest.bool "cross-domain readings ordered" true
+    (t0 <= t_in && t_in <= t1);
+  (* readings resolve actual elapsed time *)
+  let a = Clock.now_ns () in
+  Unix.sleepf 0.01;
+  let b = Clock.now_ns () in
+  check Alcotest.bool "sleep is visible (>= 5ms measured)" true
+    (b - a >= 5_000_000)
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter;
@@ -329,4 +358,5 @@ let suite =
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
     Alcotest.test_case "two-domain stats snapshot" `Quick
       test_two_domain_stats_snapshot;
+    Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
   ]

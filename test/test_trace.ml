@@ -195,6 +195,79 @@ let test_traced_run_matches_inline () =
     (r.Dift_parallel.Parallel.result
     = i.Dift_parallel.Parallel.i_result)
 
+(* -- register_obs idempotence regression ------------------------------- *)
+
+(* Re-attaching a registry used to re-add the carried-over drop count
+   on every call ([add (dropped t)]) and double-count [trace.dropped];
+   the carry-over is now the delta against what the counter already
+   holds, so any number of attachments mirrors the drop count
+   exactly. *)
+let test_register_obs_idempotent () =
+  let cap = 64 in
+  let tr = Trace.create ~capacity:cap () in
+  Domain.join
+    (Domain.spawn (fun () ->
+         for _ = 1 to 2 * cap do
+           Trace.instant tr "burst"
+         done));
+  check Alcotest.int "overflow counted" cap (Trace.dropped tr);
+  let reg = Registry.create () in
+  Trace.register_obs tr reg;
+  Trace.register_obs tr reg;
+  (match Registry.(find (snapshot reg) "trace.dropped") with
+  | Some (Registry.Counter_v v) ->
+      check Alcotest.int "re-attachment does not double-count" cap v
+  | _ -> Alcotest.fail "trace.dropped missing from snapshot");
+  (* a second, fresh registry still receives the full carry-over *)
+  let reg2 = Registry.create () in
+  Trace.register_obs tr reg2;
+  match Registry.(find (snapshot reg2) "trace.dropped") with
+  | Some (Registry.Counter_v v) ->
+      check Alcotest.int "fresh registry gets the full count" cap v
+  | _ -> Alcotest.fail "trace.dropped missing from second snapshot"
+
+(* -- merge-quiescence precondition -------------------------------------- *)
+
+(* [to_json] requires every traced domain to have quiesced; the
+   precondition is asserted best-effort.  Exercise the checked paths:
+   after the recording domain is joined the export succeeds, and a
+   recorder that is live but idle either yields a well-formed export
+   or trips the assertion — never a torn crash. *)
+let test_merge_quiescence () =
+  let tr = Trace.create () in
+  Domain.join
+    (Domain.spawn (fun () ->
+         for i = 1 to 10 do
+           Trace.complete_ns tr ~cat:"t" "tick" ~start_ns:i ~dur_ns:1
+         done));
+  (* quiesced: export is safe and complete *)
+  (match Trace.to_json tr with
+  | Json.List _ -> ()
+  | _ -> Alcotest.fail "to_json must yield a trace-event array");
+  check Alcotest.int "all spans exported" 10
+    (List.length (Trace.events tr));
+  (* a live recorder between bursts: repeated exports must either
+     succeed or fail the stated precondition check, nothing else *)
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Trace.instant tr "live";
+          Domain.cpu_relax ()
+        done)
+  in
+  for _ = 1 to 50 do
+    match Trace.to_json tr with
+    | (_ : Json.t) -> ()
+    | exception Invalid_argument _ -> ()
+    | exception Assert_failure _ -> ()
+  done;
+  Atomic.set stop true;
+  Domain.join d;
+  match Trace.to_json tr with
+  | (_ : Json.t) -> ()
+  | exception _ -> Alcotest.fail "quiesced export must succeed"
+
 let suite =
   [
     Alcotest.test_case "basic events" `Quick test_basic_events;
@@ -205,4 +278,8 @@ let suite =
     Alcotest.test_case "two-domain timeline" `Quick test_two_domain_timeline;
     Alcotest.test_case "traced run matches inline" `Quick
       test_traced_run_matches_inline;
+    Alcotest.test_case "register_obs is idempotent" `Quick
+      test_register_obs_idempotent;
+    Alcotest.test_case "merge requires quiescence" `Quick
+      test_merge_quiescence;
   ]

@@ -288,12 +288,56 @@ let taint_cmd =
              failing seed is a one-flag repro).  Mutually exclusive \
              with --fault-plan.")
   in
+  let flight_record_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 512) (some int) None
+      & info [ "flight-record" ] ~docv:"CAP"
+          ~doc:
+            "Turn on the always-on flight recorder: each domain keeps \
+             its last $(docv) structured events (default 512) in a \
+             bounded ring — channel ops, exchange legs, chaos \
+             injections, engine milestones.  Recording never blocks; \
+             overflow overwrites the oldest events and is counted.  \
+             Implied by --crash-dump.")
+  in
+  let crash_dump_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "crash-bundle.json") (some string) None
+      & info [ "crash-dump" ] ~docv:"FILE"
+          ~doc:
+            "When the run fails, write a post-mortem crash bundle to \
+             $(docv) (default \"crash-bundle.json\"): the structured \
+             error, runtime geometry, fault plan, final metrics, \
+             per-domain flight-recorder tails and trace accounting, in \
+             one atomically-written JSON document ($(b,diftc inspect) \
+             renders it).  Requires --parallel; implies \
+             --flight-record.")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "heartbeat.jsonl") (some string) None
+      & info [ "heartbeat" ] ~docv:"FILE"
+          ~doc:
+            "Sample the metrics registry periodically into $(docv) \
+             (default \"heartbeat.jsonl\"), one compact JSON object per \
+             line — a liveness record that survives a crash.")
+  in
+  let heartbeat_interval_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "heartbeat-interval-ms" ] ~docv:"MS"
+          ~doc:"Milliseconds between heartbeat samples (with --heartbeat).")
+  in
   let on_sink sink taint (e : Event.exec) =
     if taint && sink = Engine.Sink_output then
       Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
   in
   let run pos_name workload size seed parallel helpers route queue_capacity
-      batch_size fault_plan fault_seed stats chrome trace_capacity =
+      batch_size fault_plan fault_seed flight_record crash_dump heartbeat
+      heartbeat_interval stats chrome trace_capacity =
     let named =
       match (pos_name, workload) with
       | Some p, Some w when p <> w ->
@@ -314,6 +358,15 @@ let taint_cmd =
     | Ok _ when (fault_plan <> None || fault_seed <> None) && not parallel ->
         Fmt.epr "--fault-plan/--fault-seed require --parallel@.";
         1
+    | Ok _ when crash_dump <> None && not parallel ->
+        Fmt.epr "--crash-dump requires --parallel@.";
+        1
+    | Ok _ when (match flight_record with Some c -> c < 1 | None -> false) ->
+        Fmt.epr "--flight-record capacity must be at least 1@.";
+        1
+    | Ok _ when heartbeat <> None && heartbeat_interval < 1 ->
+        Fmt.epr "--heartbeat-interval-ms must be at least 1@.";
+        1
     | Ok _ when fault_plan <> None && fault_seed <> None ->
         Fmt.epr "--fault-plan and --fault-seed are mutually exclusive@.";
         1
@@ -329,8 +382,33 @@ let taint_cmd =
         | _ -> assert false)
     | Ok w ->
         let input = w.Workload.input ~size ~seed in
-        let obs = Option.map (fun _ -> Dift_obs.Registry.create ()) stats in
+        (* The registry backs [--stats] directly, and is also what the
+           heartbeat samples and the crash bundle snapshots — any of
+           the three turns it on. *)
+        let obs =
+          if stats <> None || heartbeat <> None || crash_dump <> None then
+            Some (Dift_obs.Registry.create ())
+          else None
+        in
         let tracer = make_tracer chrome trace_capacity obs in
+        (* --crash-dump implies the flight recorder: a bundle without
+           per-domain tails would be an error report, not a flight. *)
+        let flight =
+          match (flight_record, crash_dump) with
+          | Some cap, _ -> Some (Dift_obs.Flight.create ~capacity:cap ())
+          | None, Some _ -> Some (Dift_obs.Flight.create ())
+          | None, None -> None
+        in
+        (match (flight, obs) with
+        | Some fl, Some reg -> Dift_obs.Flight.register_obs fl reg
+        | _ -> ());
+        let hb =
+          Option.map
+            (fun file ->
+              Dift_obs.Heartbeat.start ~interval_ms:heartbeat_interval
+                (Option.get obs) ~file)
+            heartbeat
+        in
         let plan =
           match (fault_plan, fault_seed) with
           | Some p, _ -> (
@@ -344,7 +422,9 @@ let taint_cmd =
         | Some pl ->
             Fmt.epr "fault plan: %a@." Dift_parallel.Chaos.pp_plan pl
         | None -> ());
-        let chaos = Option.map Dift_parallel.Chaos.create plan in
+        let chaos =
+          Option.map (fun pl -> Dift_parallel.Chaos.create ?flight pl) plan
+        in
         (* A fault-injected run is green when it terminated cleanly and
            the primary failure is the injected one (or the Shard_dead
            cascade it caused); anything else is a real failure. *)
@@ -358,15 +438,17 @@ let taint_cmd =
           | _ -> false
         in
         let rc = ref 0 in
+        let failed : Dift_parallel.Parallel.error option ref = ref None in
         if parallel && helpers > 1 then begin
           let open Dift_parallel.Parallel in
           match
-            run_sharded_result ?obs ?trace:tracer ?chaos ~route
+            run_sharded_result ?obs ?trace:tracer ?flight ?chaos ~route
               ~queue_capacity ~batch_size ~on_sink ~shards:helpers
               w.Workload.program ~input
           with
           | Error e ->
               Fmt.epr "sharded run failed: %a@." pp_error e;
+              failed := Some e;
               rc := (if expected_failure e.e_exn then 0 else 1)
           | Ok r ->
               Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
@@ -393,11 +475,12 @@ let taint_cmd =
         else if parallel then begin
           let open Dift_parallel.Parallel in
           match
-            run_result ?obs ?trace:tracer ?chaos ~queue_capacity
+            run_result ?obs ?trace:tracer ?flight ?chaos ~queue_capacity
               ~batch_size ~on_sink w.Workload.program ~input
           with
           | Error e ->
               Fmt.epr "parallel run failed: %a@." pp_error e;
+              failed := Some e;
               rc := (if expected_failure e.e_exn then 0 else 1)
           | Ok r ->
               Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
@@ -432,6 +515,11 @@ let taint_cmd =
               Bool_engine.set_trace eng tr;
               Obs_tool.attach_trace tr m)
             tracer;
+          Option.iter
+            (fun fl ->
+              Dift_obs.Flight.name_domain fl "app";
+              Bool_engine.set_flight eng fl)
+            flight;
           (match tracer with
           | Some tr ->
               Dift_obs.Trace.span tr ~cat:"vm" "app.run" (fun () ->
@@ -447,6 +535,41 @@ let taint_cmd =
         | Some c ->
             Fmt.epr "faults fired: %d@." (Dift_parallel.Chaos.fired c)
         | None -> ());
+        (* Stop the sampler before bundling so the heartbeat file is
+           closed and its final beat reflects the post-mortem state. *)
+        (match (hb, heartbeat) with
+        | Some h, Some file ->
+            let n = Dift_obs.Heartbeat.stop h in
+            Fmt.epr "heartbeat: %d beats -> %s@." n file
+        | _ -> ());
+        (match (!failed, crash_dump) with
+        | Some e, Some file ->
+            let geometry =
+              {
+                Dift_parallel.Postmortem.g_runtime =
+                  (if helpers > 1 then "sharded" else "parallel");
+                g_shards = helpers;
+                g_queue_capacity = queue_capacity;
+                g_batch_size = batch_size;
+                g_xchg_capacity = None;
+              }
+            in
+            let extra =
+              [
+                ("workload", Dift_obs.Json.String w.Workload.name);
+                ("size", Dift_obs.Json.Int size);
+                ("seed", Dift_obs.Json.Int seed);
+              ]
+            in
+            let bundle =
+              Dift_parallel.Postmortem.bundle ?obs ?flight ?chaos
+                ?trace:tracer
+                ?first_heartbeat:(Option.map Dift_obs.Heartbeat.first hb)
+                ~extra ~error:e geometry
+            in
+            Dift_parallel.Postmortem.write ~file bundle;
+            Fmt.epr "crash bundle: %s@." file
+        | _ -> ());
         Option.iter (fun reg -> emit_stats stats reg) obs;
         Option.iter (fun tr -> emit_trace chrome tr) tracer;
         !rc
@@ -460,8 +583,212 @@ let taint_cmd =
     Term.(
       const run $ pos_name_arg $ workload_arg $ size_arg $ seed_arg
       $ parallel_arg $ helpers_arg $ route_arg $ queue_arg $ batch_arg
-      $ fault_plan_arg $ fault_seed_arg $ stats_arg $ chrome_trace_arg
+      $ fault_plan_arg $ fault_seed_arg $ flight_record_arg $ crash_dump_arg
+      $ heartbeat_arg $ heartbeat_interval_arg $ stats_arg $ chrome_trace_arg
       $ trace_capacity_arg)
+
+(* -- inspect ------------------------------------------------------------------ *)
+
+(* Pretty-print (and thereby validate) a crash bundle written by
+   [taint --crash-dump].  Exits 1 on anything malformed — CI uses it
+   as the bundle checker after the fault sweep. *)
+let inspect_cmd =
+  let module J = Dift_obs.Json in
+  let bundle_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE" ~doc:"Crash-bundle JSON file to render.")
+  in
+  let last_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Flight events shown per domain (the most recent N).")
+  in
+  let str j name =
+    match J.member name j with Some (J.String s) -> Some s | _ -> None
+  in
+  let int_f j name =
+    match J.member name j with Some (J.Int n) -> Some n | _ -> None
+  in
+  let num name j = Option.value ~default:0 (int_f j name) in
+  let print_error err =
+    Fmt.pr "error:    leg %s@."
+      (Option.value ~default:"?" (str err "leg"));
+    Fmt.pr "          %s@." (Option.value ~default:"?" (str err "exn"));
+    (match J.member "secondary" err with
+    | Some (J.List (_ :: _ as xs)) ->
+        Fmt.pr "          then, shutting down:@.";
+        List.iter
+          (function
+            | J.String s -> Fmt.pr "            %s@." s | _ -> ())
+          xs
+    | _ -> ());
+    match J.member "partial" err with
+    | Some p ->
+        Fmt.pr
+          "partial:  %d events fed, %d batches delivered, %d batches / \
+           %d events dropped, wall %.2f ms@."
+          (num "events" p) (num "batches" p)
+          (num "dropped_batches" p)
+          (num "dropped_events" p)
+          (float_of_int (num "wall_ns" p) /. 1e6)
+    | None -> ()
+  in
+  let print_geometry g =
+    Fmt.pr "geometry: %s runtime, %d shard(s), ring %d x %d@."
+      (Option.value ~default:"?" (str g "runtime"))
+      (num "shards" g) (num "queue_capacity" g) (num "batch_size" g)
+  in
+  let print_fault_plan fp =
+    Fmt.pr "faults:   plan %s (%d fired)@."
+      (Option.value ~default:"?" (str fp "plan"))
+      (num "fired" fp)
+  in
+  let print_flight last fl =
+    Fmt.pr "flight:   %d events recorded, %d overwritten (ring of %d \
+            per domain)@."
+      (num "recorded" fl) (num "overwritten" fl) (num "capacity" fl);
+    match J.member "domains" fl with
+    | Some (J.List doms) ->
+        List.iter
+          (fun d ->
+            let evs =
+              match J.member "events" d with
+              | Some (J.List evs) -> evs
+              | _ -> []
+            in
+            let n = List.length evs in
+            Fmt.pr "  [%s] domain %d: %d recorded, last %d:@."
+              (Option.value ~default:"?" (str d "name"))
+              (num "tid" d) (num "recorded" d) (min last n);
+            let rec drop k = function
+              | l when k <= 0 -> l
+              | [] -> []
+              | _ :: tl -> drop (k - 1) tl
+            in
+            List.iter
+              (fun e ->
+                Fmt.pr "    +%.3fms %s/%s a=%d b=%d%s@."
+                  (float_of_int (num "ts_ns" e) /. 1e6)
+                  (Option.value ~default:"?" (str e "cat"))
+                  (Option.value ~default:"?" (str e "name"))
+                  (num "a" e) (num "b" e)
+                  (match str e "detail" with
+                  | Some d -> " " ^ d
+                  | None -> ""))
+              (drop (n - last) evs))
+          doms
+    | _ -> ()
+  in
+  (* Counter/gauge movement between the run's first heartbeat and the
+     final post-mortem snapshot: how far the run got after beat 0. *)
+  let print_deltas ~first ~final =
+    let metric_value m =
+      match str m "kind" with
+      | Some ("counter" | "gauge") -> int_f m "value"
+      | _ -> None
+    in
+    let deltas =
+      match final with
+      | J.Obj groups ->
+          List.concat_map
+            (fun (g, members) ->
+              match members with
+              | J.Obj ms ->
+                  List.filter_map
+                    (fun (name, m) ->
+                      match metric_value m with
+                      | None -> None
+                      | Some v ->
+                          let v0 =
+                            match
+                              Option.bind (J.member g first)
+                                (J.member name)
+                            with
+                            | Some m0 -> Option.value ~default:0 (metric_value m0)
+                            | None -> 0
+                          in
+                          if v <> v0 then Some (g ^ "." ^ name, v0, v)
+                          else None)
+                    ms
+              | _ -> [])
+            groups
+      | _ -> []
+    in
+    if deltas <> [] then begin
+      Fmt.pr "metric movement since first heartbeat:@.";
+      List.iter
+        (fun (name, v0, v) ->
+          Fmt.pr "  %-40s %d -> %d (%+d)@." name v0 v (v - v0))
+        deltas
+    end
+  in
+  let run file last =
+    match
+      try Ok (In_channel.with_open_bin file In_channel.input_all)
+      with Sys_error e -> Error e
+    with
+    | Error e ->
+        Fmt.epr "cannot read %s: %s@." file e;
+        1
+    | Ok text -> (
+        match J.of_string text with
+        | Error e ->
+            Fmt.epr "%s: not valid JSON: %s@." file e;
+            1
+        | Ok j -> (
+            match
+              (str j "schema", J.member "error" j, J.member "geometry" j)
+            with
+            | Some s, _, _ when s <> Dift_parallel.Postmortem.schema ->
+                Fmt.epr "%s: unknown schema %s (expected %s)@." file s
+                  Dift_parallel.Postmortem.schema;
+                1
+            | None, _, _ ->
+                Fmt.epr "%s: missing schema tag — not a crash bundle@." file;
+                1
+            | _, None, _ | _, _, None ->
+                Fmt.epr "%s: missing error/geometry — not a crash bundle@."
+                  file;
+                1
+            | Some _, Some err, Some geo when str err "leg" = None ->
+                ignore geo;
+                Fmt.epr "%s: error object has no failing leg@." file;
+                1
+            | Some schema, Some err, Some geo ->
+                Fmt.pr "bundle:   %s (%s)@." file schema;
+                (match (str j "workload", int_f j "size", int_f j "seed") with
+                | Some w, Some sz, Some sd ->
+                    Fmt.pr "run:      %s --size %d --seed %d@." w sz sd
+                | _ -> ());
+                print_error err;
+                print_geometry geo;
+                Option.iter print_fault_plan (J.member "fault_plan" j);
+                Option.iter (print_flight last) (J.member "flight" j);
+                (match (J.member "first_heartbeat" j, J.member "metrics" j)
+                 with
+                | Some first, Some final -> print_deltas ~first ~final
+                | _ -> ());
+                (match J.member "trace" j with
+                | Some tr ->
+                    Fmt.pr
+                      "trace:    %d events buffered, %d dropped (capacity \
+                       %d)@."
+                      (num "buffered" tr) (num "dropped" tr)
+                      (num "capacity" tr)
+                | None -> ());
+                0))
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Pretty-print a crash bundle written by $(b,taint --crash-dump): \
+          the error chain, runtime geometry, fault plan, each domain's \
+          last flight-recorder events and the metric movement since the \
+          run's first heartbeat.  Exits 1 if the bundle is malformed.")
+    Term.(const run $ bundle_arg $ last_arg)
 
 (* -- stats ------------------------------------------------------------------- *)
 
@@ -756,7 +1083,8 @@ let dump_cmd =
 let main =
   let doc = "dynamic information flow tracking playground" in
   Cmd.group (Cmd.info "diftc" ~doc)
-    [ list_cmd; run_cmd; trace_cmd; taint_cmd; stats_cmd; slice_cmd;
-      attack_cmd; lineage_cmd; profile_cmd; reduce_cmd; avoid_cmd; dump_cmd ]
+    [ list_cmd; run_cmd; trace_cmd; taint_cmd; inspect_cmd; stats_cmd;
+      slice_cmd; attack_cmd; lineage_cmd; profile_cmd; reduce_cmd;
+      avoid_cmd; dump_cmd ]
 
 let () = exit (Cmd.eval' main)

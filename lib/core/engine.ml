@@ -105,6 +105,9 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
     mutable tracer : (Dift_obs.Trace.t * int) option;
         (** timeline tracer and its sampling period *)
     mutable trace_left : int;  (** events until the next sample *)
+    mutable flight : (Dift_obs.Flight.t * int) option;
+        (** flight recorder and its milestone period *)
+    mutable flight_left : int;  (** events until the next milestone *)
   }
 
   let create ?(policy = Policy.default) program =
@@ -121,6 +124,8 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
       charge = ignore;
       tracer = None;
       trace_left = 0;
+      flight = None;
+      flight_left = 0;
     }
 
   let on_sink t f = t.sink_handler <- Some f
@@ -273,6 +278,30 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
             (Sh.tainted_locations t.shadow)
         end
 
+  (** Record a bounded [engine.progress] milestone on the flight
+      recorder every [milestone_every] processed events (default
+      [4096]; [a] = events processed, [b] = sink hits so far) — so a
+      crash bundle shows how far the engine's domain got.  The first
+      processed event records immediately, marking engine start on
+      the processing domain's ring.
+      @raise Invalid_argument if [milestone_every < 1]. *)
+  let set_flight ?(milestone_every = 4096) t fl =
+    if milestone_every < 1 then
+      invalid_arg "Engine.set_flight: milestone_every < 1";
+    t.flight <- Some (fl, milestone_every);
+    t.flight_left <- 1
+
+  let flight_milestone t =
+    match t.flight with
+    | None -> ()
+    | Some (fl, every) ->
+        t.flight_left <- t.flight_left - 1;
+        if t.flight_left <= 0 then begin
+          t.flight_left <- every;
+          Dift_obs.Flight.record fl ~cat:"core" "engine.progress"
+            ~a:t.stats.events ~b:t.stats.sink_hits
+        end
+
   (* Argument copies are pure moves: tags propagate unchanged (no
      [at_write]), so PC taint keeps naming the instruction that
      produced the value. *)
@@ -286,6 +315,7 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
   let process t (e : Event.exec) =
     t.stats.events <- t.stats.events + 1;
     trace_sample t;
+    flight_milestone t;
     t.charge Cost.inline_taint_propagate;
     let ctl = control_taint t e in
     match e.Event.instr with

@@ -79,6 +79,15 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) : sig
       @raise Invalid_argument if [sample_every < 1]. *)
   val set_trace : ?sample_every:int -> t -> Dift_obs.Trace.t -> unit
 
+  (** Record bounded [engine.progress] milestones (category [core],
+      [a] = events processed, [b] = sink hits) on the flight recorder
+      every [milestone_every] processed events (default [4096]), on
+      the {e processing} domain's ring — so a crash bundle shows how
+      far the engine got before the run died.  The first processed
+      event records immediately (an engine-start marker).
+      @raise Invalid_argument if [milestone_every < 1]. *)
+  val set_flight : ?milestone_every:int -> t -> Dift_obs.Flight.t -> unit
+
   (** Attach to a machine; overhead is charged to the machine's cycle
       counter unless [charge] overrides it. *)
   val attach : ?charge:(int -> unit) -> t -> Machine.t -> unit

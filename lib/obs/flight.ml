@@ -1,0 +1,180 @@
+(** The per-domain flight recorder; see the interface for the design.
+
+    Hot path: one [Domain.DLS.get], a record allocation, an array
+    store into the calling domain's private ring and two atomic bumps
+    — no locks, no blocking.  The recorder-wide mutex guards only the
+    ring list (taken once per recording domain, at its first event)
+    and read-time iteration. *)
+
+type entry = {
+  ts_ns : int;
+  cat : string;
+  name : string;
+  a : int;
+  b : int;
+  detail : string;
+}
+
+type tail = {
+  t_tid : int;
+  t_domain : string;
+  t_recorded : int;
+  t_entries : entry list;
+}
+
+let dummy = { ts_ns = 0; cat = ""; name = ""; a = 0; b = 0; detail = "" }
+
+(* One per recording domain.  [slots]/[r_name] are written only by the
+   owning domain; [written] is an atomic mirror of the write count so
+   accounting gauges may read it live from any domain.  [epoch] is a
+   seqlock (odd while the owner mutates) so {!tails} can prove it read
+   an untorn ring. *)
+type ring = {
+  r_tid : int;
+  mutable r_name : string;
+  slots : entry array;
+  written : int Atomic.t;
+  epoch : int Atomic.t;
+}
+
+type t = {
+  cap : int;
+  epoch_ns : int;
+  lock : Mutex.t;
+  rings : ring list ref;  (** every domain's ring; guarded by [lock] *)
+  key : ring Domain.DLS.key;
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity < 1";
+  let lock = Mutex.create () in
+  let rings = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let tid = (Domain.self () :> int) in
+        let r =
+          { r_tid = tid; r_name = Fmt.str "domain-%d" tid;
+            slots = Array.make capacity dummy; written = Atomic.make 0;
+            epoch = Atomic.make 0 }
+        in
+        Mutex.lock lock;
+        rings := r :: !rings;
+        Mutex.unlock lock;
+        r)
+  in
+  { cap = capacity; epoch_ns = Clock.now_ns (); lock; rings; key }
+
+let capacity t = t.cap
+let now_ns t = Clock.now_ns () - t.epoch_ns
+
+let name_domain t name =
+  let r = Domain.DLS.get t.key in
+  Atomic.incr r.epoch;
+  r.r_name <- name;
+  Atomic.incr r.epoch
+
+let record t ?(a = 0) ?(b = 0) ?(detail = "") ~cat name =
+  let r = Domain.DLS.get t.key in
+  let e = { ts_ns = now_ns t; cat; name; a; b; detail } in
+  (* Overflow overwrites the oldest slot — bounded memory, never
+     blocking; the loss is visible as [written - capacity]. *)
+  Atomic.incr r.epoch;
+  let w = Atomic.get r.written in
+  r.slots.(w mod t.cap) <- e;
+  Atomic.incr r.written;
+  Atomic.incr r.epoch
+
+(* -- accounting (safe live, from any domain) ---------------------------- *)
+
+let with_rings t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  f !(t.rings)
+
+let recorded t =
+  with_rings t (List.fold_left (fun acc r -> acc + Atomic.get r.written) 0)
+
+let overwritten t =
+  with_rings t
+    (List.fold_left
+       (fun acc r -> acc + max 0 (Atomic.get r.written - t.cap))
+       0)
+
+let domains t = with_rings t List.length
+
+let register_obs t reg =
+  Registry.gauge_fn reg "flight.recorded"
+    ~help:"flight-recorder events recorded, all domains" (fun () ->
+      recorded t);
+  Registry.gauge_fn reg "flight.overwritten"
+    ~help:"flight-recorder events lost to ring overwrite" (fun () ->
+      overwritten t);
+  Registry.gauge_fn reg "flight.domains"
+    ~help:"domains that recorded flight events" (fun () -> domains t);
+  Registry.gauge_fn reg "flight.capacity_per_domain"
+    ~help:"flight-recorder ring capacity per domain" (fun () -> t.cap)
+
+(* -- tail extraction (quiescent recorder only) -------------------------- *)
+
+let torn r =
+  invalid_arg
+    (Fmt.str
+       "Flight: tail read while domain %d is still recording (join every \
+        recording domain before tails/to_json)"
+       r.r_tid)
+
+let tail_of_ring t r =
+  (* Seqlock read side, mirroring [Trace.merged]: an even, unchanged
+     epoch around the snapshot proves no slot was overwritten while we
+     copied it. *)
+  let e0 = Atomic.get r.epoch in
+  if e0 land 1 <> 0 then torn r;
+  let w = Atomic.get r.written in
+  let name = r.r_name in
+  let count = min w t.cap in
+  let entries =
+    List.init count (fun i ->
+        let idx = w - count + i in
+        r.slots.(idx mod t.cap))
+  in
+  if Atomic.get r.epoch <> e0 then torn r;
+  { t_tid = r.r_tid; t_domain = name; t_recorded = w; t_entries = entries }
+
+let tails t =
+  with_rings t (fun rs -> rs)
+  |> List.map (tail_of_ring t)
+  |> List.sort (fun a b -> compare a.t_tid b.t_tid)
+
+(* -- export ------------------------------------------------------------- *)
+
+let entry_json e =
+  Json.obj
+    ([
+       ("ts_ns", Json.Int e.ts_ns);
+       ("cat", Json.String e.cat);
+       ("name", Json.String e.name);
+       ("a", Json.Int e.a);
+       ("b", Json.Int e.b);
+     ]
+    @ if e.detail = "" then [] else [ ("detail", Json.String e.detail) ])
+
+let to_json t =
+  let ts = tails t in
+  Json.obj
+    [
+      ("capacity", Json.Int t.cap);
+      ("recorded", Json.Int (recorded t));
+      ("overwritten", Json.Int (overwritten t));
+      ( "domains",
+        Json.List
+          (List.map
+             (fun tl ->
+               Json.obj
+                 [
+                   ("tid", Json.Int tl.t_tid);
+                   ("name", Json.String tl.t_domain);
+                   ("recorded", Json.Int tl.t_recorded);
+                   ("events", Json.List (List.map entry_json tl.t_entries));
+                 ])
+             ts) );
+    ]

@@ -1,0 +1,39 @@
+(** The heartbeat sampler: periodic registry snapshots appended to a
+    JSONL file, so a wedged or crashed run is diagnosable from
+    outside while it is still running (tail the file) and after the
+    fact (crash bundles embed the first beat as the delta baseline).
+
+    {!start} truncates [file], writes beat 0 immediately, then spawns
+    a sampler domain that appends one line per interval:
+
+    {v {"seq":N,"t_ns":NANOSECONDS_SINCE_START,"metrics":{…}} v}
+
+    where [metrics] is the registry's documented JSON snapshot schema,
+    compacted to one line.  Every line is flushed as written, so a
+    reader always sees complete records.  {!stop} writes one final
+    beat and joins the sampler; it is idempotent.
+
+    Snapshotting from a separate domain is safe by the registry's
+    contract (atomic cells; derived gauges must themselves be
+    cross-domain-safe, which all gauges in this tree are). *)
+
+type t
+
+(** [start ?interval_ms reg ~file] begins sampling [reg] into [file]
+    every [interval_ms] (default [200]) milliseconds.
+
+    @raise Invalid_argument if [interval_ms < 1].
+    @raise Sys_error if [file] cannot be created. *)
+val start : ?interval_ms:int -> Registry.t -> file:string -> t
+
+(** The first beat's metrics (the snapshot taken synchronously inside
+    {!start}), as the registry JSON — the baseline crash bundles embed
+    for metric-delta rendering. *)
+val first : t -> Json.t
+
+(** Beats written so far (including beat 0). *)
+val beats : t -> int
+
+(** Write a final beat, stop the sampler domain and join it.
+    Idempotent; returns the total number of beats written. *)
+val stop : t -> int

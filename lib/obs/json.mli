@@ -24,3 +24,19 @@ val pp : t Fmt.t
 (** [to_string j] is the indented textual rendering of [j], with a
     trailing newline — suitable to write to a file as-is. *)
 val to_string : t -> string
+
+(** [to_compact_string j] is [j] on a single line with no whitespace
+    — the shape one JSONL record wants (heartbeat files append one
+    compact object per line). No trailing newline. *)
+val to_compact_string : t -> string
+
+(** [of_string s] parses a JSON document. Accepts everything this
+    module prints (and standard JSON generally; [\uXXXX] escapes
+    outside the BMP are not supported). Numbers parse as [Int] when
+    they fit, else [Float]. Exists so [diftc inspect] can read crash
+    bundles back without a JSON dependency. *)
+val of_string : string -> (t, string) result
+
+(** [member name j] is the value of field [name] when [j] is an [Obj]
+    that has one, else [None]. *)
+val member : string -> t -> t option

@@ -22,12 +22,16 @@ type event = {
 
 (* One per recording domain.  [evs]/[b_name] are written only by the
    owning domain and read only after it quiesced (merge time); [len]
-   is atomic so accounting gauges may read it live from any domain. *)
+   is atomic so accounting gauges may read it live from any domain.
+   [epoch] is a seqlock: the owner makes it odd before touching
+   [evs]/[b_name] and even again after, so merge can prove the plain
+   fields were stable while it read them. *)
 type buf = {
   b_tid : int;
   mutable b_name : string;
   mutable evs : event list;  (** newest first *)
   len : int Atomic.t;
+  epoch : int Atomic.t;  (** odd while the owner mutates; even at rest *)
 }
 
 type t = {
@@ -54,7 +58,7 @@ let create ?(capacity = 65536) () =
         let tid = (Domain.self () :> int) in
         let b =
           { b_tid = tid; b_name = Fmt.str "domain-%d" tid; evs = [];
-            len = Atomic.make 0 }
+            len = Atomic.make 0; epoch = Atomic.make 0 }
         in
         Mutex.lock lock;
         bufs := b :: !bufs;
@@ -76,7 +80,9 @@ let now_ns t = wall_ns () - t.epoch_ns
 
 let name_track t name =
   let b = Domain.DLS.get t.key in
-  b.b_name <- name
+  Atomic.incr b.epoch;
+  b.b_name <- name;
+  Atomic.incr b.epoch
 
 (* -- recording ---------------------------------------------------------- *)
 
@@ -89,8 +95,14 @@ let record t ~name ~cat ~ts_ns ~kind ~args =
     | None -> ()
   end
   else begin
+    (* Seqlock write side: odd epoch brackets the plain-field update.
+       The atomic bumps double as release fences, so a merger that
+       observes an even, unchanged epoch also observes the list cons
+       it brackets. *)
+    Atomic.incr b.epoch;
     b.evs <- { name; cat; ts_ns; tid = b.b_tid; kind; args } :: b.evs;
-    Atomic.incr b.len
+    Atomic.incr b.len;
+    Atomic.incr b.epoch
   end
 
 let instant t ?(cat = "misc") ?(args = []) name =
@@ -155,24 +167,33 @@ let merged t =
   (* Merge-time precondition: every traced domain has quiesced (the
      caller joined it).  [evs]/[b_name] are plain mutable fields owned
      by the recording domain, so merging while it still records is a
-     data race.  Best-effort enforcement: snapshot each buffer's
-     atomic length around the merge and fail loudly on movement —
-     this catches a live recorder, it does not license one. *)
-  let lens = List.map (fun b -> Atomic.get b.len) bufs in
+     data race.  Enforcement is a per-buffer seqlock: the owner holds
+     an odd epoch for the duration of each mutation, so reading the
+     epoch before and after the snapshot proves the plain fields were
+     stable in between — unlike the previous length-snapshot check, a
+     torn read cannot slip through the window between two length
+     loads.  This catches a live recorder, it does not license one. *)
+  let torn b =
+    invalid_arg
+      (Fmt.str
+         "Trace: merge while domain %d is still recording (join every \
+          traced domain before events/tracks/to_json/write)"
+         b.b_tid)
+  in
+  let snapshot b =
+    let e0 = Atomic.get b.epoch in
+    if e0 land 1 <> 0 then torn b;
+    let evs = b.evs in
+    let name = b.b_name in
+    if Atomic.get b.epoch <> e0 then torn b;
+    (evs, name)
+  in
+  let snaps = List.map (fun b -> (b, snapshot b)) bufs in
   let evs =
-    List.concat_map (fun b -> List.rev b.evs) bufs
+    List.concat_map (fun (_, (evs, _)) -> List.rev evs) snaps
     |> List.stable_sort (fun a b ->
            compare (a.ts_ns, a.tid) (b.ts_ns, b.tid))
   in
-  List.iter2
-    (fun b len0 ->
-      if Atomic.get b.len <> len0 then
-        invalid_arg
-          (Fmt.str
-             "Trace: merge while domain %d is still recording (join every \
-              traced domain before events/tracks/to_json/write)"
-             b.b_tid))
-    bufs lens;
   let ctids = Hashtbl.create 8 in
   let next = ref counter_tid_base in
   let evs =
@@ -194,7 +215,8 @@ let merged t =
       evs
   in
   let domain_tracks =
-    List.map (fun b -> (b.b_tid, b.b_name)) bufs |> List.sort compare
+    List.map (fun (b, (_, name)) -> (b.b_tid, name)) snaps
+    |> List.sort compare
   in
   let counter_tracks =
     Hashtbl.fold (fun name tid acc -> (tid, name) :: acc) ctids []

@@ -107,10 +107,13 @@ val register_obs : t -> Registry.t -> unit
     Every function below reads the per-domain buffers, whose event
     lists are plain mutable state owned by their recording domains —
     so they require every traced domain to have quiesced (been
-    joined).  The precondition is {e asserted} best-effort: each
-    buffer's atomic length is snapshotted around the merge, and a
-    buffer that grew mid-merge raises [Invalid_argument] instead of
-    returning a silently torn timeline. *)
+    joined).  The precondition is {e asserted} with a per-buffer
+    seqlock epoch: each recording bracket holds the buffer's epoch odd
+    for its duration, and the merge re-reads the epoch after taking
+    its snapshot — a buffer mutated mid-merge (or caught mid-mutation)
+    raises [Invalid_argument] instead of returning a silently torn
+    timeline.  A torn read between two length checks, possible under
+    the previous length-snapshot scheme, cannot go undetected. *)
 
 type kind =
   | Span of { dur_ns : int }  (** a duration span *)

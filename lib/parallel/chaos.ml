@@ -125,9 +125,15 @@ type t = {
   c_plan : plan;
   c_fired : int Atomic.t;
   spawns : int Atomic.t;
+  c_flight : Dift_obs.Flight.t option;
+      (** every fired rule records a [chaos.fire] flight event {e on
+          the intercepting domain} — so a crash bundle always carries
+          at least one event from the domain the fault hit *)
 }
 
-let create plan = { c_plan = plan; c_fired = Atomic.make 0; spawns = Atomic.make 0 }
+let create ?flight plan =
+  { c_plan = plan; c_fired = Atomic.make 0; spawns = Atomic.make 0;
+    c_flight = flight }
 let plan t = t.c_plan
 let fired t = Atomic.get t.c_fired
 
@@ -170,6 +176,11 @@ let act owner rules op ~what n =
     (fun r ->
       if r.on = op && r.at = n then begin
         Atomic.incr owner.c_fired;
+        (match owner.c_flight with
+        | Some fl ->
+            Dift_obs.Flight.record fl ~cat:"chaos" "chaos.fire" ~a:n
+              ~detail:(Fmt.str "%s=%s" what (fault_to_string r.fault))
+        | None -> ());
         match r.fault with
         | Stall ns | Delay ns -> sleep_ns ns
         | Drop -> (

@@ -87,7 +87,14 @@ val pp_plan : plan Fmt.t
 
 type t
 
-val create : plan -> t
+(** [create ?flight plan] — with [?flight], every fired rule records a
+    [chaos.fire] flight event (category [chaos], [a] = occurrence
+    index, [detail] = ["<ns>/<op>=<fault>"]) {e on the domain the
+    fault intercepts} — so a crash bundle always carries at least one
+    flight event from the crashing domain, whichever leg the plan
+    hit. *)
+val create : ?flight:Dift_obs.Flight.t -> plan -> t
+
 val plan : t -> plan
 
 (** Faults fired so far, across every instance (atomic — readable

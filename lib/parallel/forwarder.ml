@@ -37,8 +37,13 @@ type 'a t = {
   mutable dropped_events : int;
   mutable discarded_batches : int;
       (** consumer-side losses: batches popped but not processed
-          (injected pop failures; written only by the consumer) *)
+          (injected pop failures and the post-abort sweep; written
+          only by the consumer) *)
   mutable discarded_events : int;
+  mutable consumed_batches : int;
+      (** batches fully processed by {!drain} (written only by the
+          consumer) *)
+  mutable consumed_events : int;
   chaos : Chaos.inst option;
       (** fault-injection seam; [None] is the direct Spsc path *)
   occupancy : Dift_obs.Registry.histogram option;
@@ -46,6 +51,10 @@ type 'a t = {
   trace : Dift_obs.Trace.t option;
       (** execution timeline: enqueue/stall and dequeue/wait spans
           plus the ring-occupancy counter track *)
+  flight : Dift_obs.Flight.t option;
+      (** flight recorder: one bounded event per channel op on the
+          acting domain's ring *)
+  f_ns : string;  (** metric namespace, doubles as the flight category *)
 }
 
 (* Power-of-two occupancy buckets up to the batch size: a full batch
@@ -57,7 +66,7 @@ let occupancy_buckets batch_size =
   in
   up [] 1
 
-let create ?obs ?trace ?chaos ?(escalate = false) ?(ns = "parallel")
+let create ?obs ?trace ?flight ?chaos ?(escalate = false) ?(ns = "parallel")
     ~queue_capacity ~batch_size () =
   if queue_capacity < 1 then
     invalid_arg
@@ -102,9 +111,13 @@ let create ?obs ?trace ?chaos ?(escalate = false) ?(ns = "parallel")
       dropped_events = 0;
       discarded_batches = 0;
       discarded_events = 0;
+      consumed_batches = 0;
+      consumed_events = 0;
       chaos = Option.map (fun c -> Chaos.instance ~escalate c ~ns) chaos;
       occupancy;
       trace;
+      flight;
+      f_ns = ns;
     }
   in
   (match obs with
@@ -125,7 +138,16 @@ let create ?obs ?trace ?chaos ?(escalate = false) ?(ns = "parallel")
         (fun () -> t.discarded_batches);
       Registry.gauge_fn reg (ns ^ ".forwarder.discarded_events")
         ~help:"events popped but not processed (injected pop failure)"
-        (fun () -> t.discarded_events)
+        (fun () -> t.discarded_events);
+      Registry.gauge_fn reg (ns ^ ".forwarder.consumed_batches")
+        ~help:"batches fully processed by the consumer" (fun () ->
+          t.consumed_batches);
+      Registry.gauge_fn reg (ns ^ ".forwarder.consumed_events")
+        ~help:"events fully processed by the consumer" (fun () ->
+          t.consumed_events);
+      Registry.gauge_fn reg (ns ^ ".ring.in_flight_batches")
+        ~help:"batches delivered but not yet popped" (fun () ->
+          Spsc.length t.ring)
   | None -> ());
   t
 
@@ -138,7 +160,17 @@ let dropped_batches t = t.dropped_batches
 let dropped_events t = t.dropped_events
 let discarded_batches t = t.discarded_batches
 let discarded_events t = t.discarded_events
+let consumed_batches t = t.consumed_batches
+let consumed_events t = t.consumed_events
+let in_flight_batches t = Spsc.length t.ring
 let aborted t = Spsc.aborted t.ring
+
+(* One bounded flight event on the acting domain's ring; free when the
+   recorder is off (one branch). *)
+let flight_ev t ?(a = 0) ?(b = 0) name =
+  match t.flight with
+  | None -> ()
+  | Some fl -> Dift_obs.Flight.record fl ~a ~b ~cat:t.f_ns name
 
 (* Push one batch, recording the producer's side of the timeline: a
    span named [ring.stall] when the push parked on a full ring (a
@@ -165,7 +197,8 @@ let traced_push t batch =
    but will never reach the consumer. *)
 let account_drop t b =
   t.dropped_batches <- t.dropped_batches + 1;
-  t.dropped_events <- t.dropped_events + b.len
+  t.dropped_events <- t.dropped_events + b.len;
+  flight_ev t "ring.drop" ~a:b.len ~b:t.dropped_batches
 
 let flush t =
   let b = t.cur in
@@ -183,7 +216,10 @@ let flush t =
       let d0 = Spsc.dropped t.ring in
       traced_push t b;
       if Spsc.dropped t.ring > d0 then account_drop t b
-      else t.batches <- t.batches + 1
+      else begin
+        t.batches <- t.batches + 1;
+        flight_ev t "ring.push" ~a:b.len ~b:(Spsc.length t.ring)
+      end
     in
     match t.chaos with
     | None -> deliver ()
@@ -227,9 +263,12 @@ let add t e =
 
 let close t =
   flush t;
-  Spsc.close t.ring
+  Spsc.close t.ring;
+  flight_ev t "ring.close" ~a:t.events ~b:t.batches
 
-let abort t = Spsc.abort t.ring
+let abort t =
+  Spsc.abort t.ring;
+  flight_ev t "ring.abort"
 
 (* Pop one batch, recording the consumer's side of the timeline: a
    span named [ring.wait] when the pop parked on an empty ring (a
@@ -257,7 +296,8 @@ let traced_pop t =
    [account_drop]. *)
 let account_discard t b =
   t.discarded_batches <- t.discarded_batches + 1;
-  t.discarded_events <- t.discarded_events + b.len
+  t.discarded_events <- t.discarded_events + b.len;
+  flight_ev t "ring.discard" ~a:b.len ~b:t.discarded_batches
 
 let drain ?(around_batch = fun k -> k ()) t ~f =
   let run_batch b () =
@@ -271,35 +311,83 @@ let drain ?(around_batch = fun k -> k ()) t ~f =
     b.len <- 0;
     ignore (Spsc.try_push t.free b : bool)
   in
+  (* Close the in-flight accounting gap: [Spsc.pop] honours the abort
+     flag before buffered elements, so batches already delivered when
+     an abort lands would otherwise vanish from the books ([batches]
+     exceeding processed events by up to the queue capacity).  After
+     any abort the producer can no longer publish, so sweeping the
+     buffer into the discard counters makes
+     [batches = consumed + discarded (+ racing in-flight)] reconcile. *)
+  let sweep () =
+    if Spsc.aborted t.ring then begin
+      let nb = ref 0 and ne = ref 0 in
+      let rec go () =
+        match Spsc.pop_remaining t.ring with
+        | Some b ->
+            account_discard t b;
+            incr nb;
+            ne := !ne + b.len;
+            recycle b;
+            go ()
+        | None -> ()
+      in
+      go ();
+      if !nb > 0 then flight_ev t "ring.sweep" ~a:!nb ~b:!ne
+    end
+  in
+  (* [true] = the batch was fully processed; [false] = it became a
+     counted discard.  An injected raise propagates un-accounted — the
+     caller's handler books the batch. *)
   let consume b =
     match t.chaos with
-    | None -> around_batch (run_batch b)
+    | None ->
+        around_batch (run_batch b);
+        true
     | Some c -> (
         match Chaos.on_pop c with
-        | Chaos.Proceed -> around_batch (run_batch b)
-        | Chaos.Fail -> account_discard t b
-        | Chaos.Abort_now ->
-            (* consumer gives up: the next pop sees the abort and
-               drain terminates; this batch is a counted discard *)
-            Spsc.abort t.ring;
-            account_discard t b
-        | Chaos.Raise_now e ->
+        | Chaos.Proceed ->
+            around_batch (run_batch b);
+            true
+        | Chaos.Fail ->
             account_discard t b;
-            raise e)
+            false
+        | Chaos.Abort_now ->
+            (* consumer gives up: the next pop sees the abort, drain
+               sweeps and terminates; this batch is a counted discard *)
+            Spsc.abort t.ring;
+            account_discard t b;
+            false
+        | Chaos.Raise_now e -> raise e)
   in
   let rec loop () =
     match traced_pop t with
-    | None -> ()
+    | None -> sweep ()
     | Some b ->
-        consume b;
+        let processed =
+          try consume b
+          with e ->
+            (* the batch in hand is neither processed nor yet counted:
+               book it before the exception escapes, or it would leave
+               the accounting open *)
+            account_discard t b;
+            recycle b;
+            raise e
+        in
+        if processed then begin
+          t.consumed_batches <- t.consumed_batches + 1;
+          t.consumed_events <- t.consumed_events + b.len;
+          flight_ev t "ring.pop" ~a:b.len ~b:(Spsc.length t.ring)
+        end;
         recycle b;
         loop ()
   in
   (* A consumer dying mid-drain must not leave the producer parked
      against a full ring: tear the channel down first, so the
      producer's outstanding and subsequent pushes become counted
-     drops instead of a wedge. *)
+     drops instead of a wedge — then sweep what was already delivered
+     so it is counted too. *)
   try loop ()
   with e ->
     Spsc.abort t.ring;
+    sweep ();
     raise e

@@ -57,6 +57,15 @@ type 'a t
     ring, a helper idle episode), and both sides sample the
     [ring.occupancy] counter track after every transfer.
 
+    With [?flight], the channel records one bounded flight-recorder
+    event per channel operation on the acting domain's ring, in the
+    category of the channel's [?ns]: [ring.push]/[ring.pop] (a = batch
+    length, b = ring occupancy after), [ring.drop]/[ring.discard]
+    (a = batch length, b = running loss count), [ring.close]
+    (a = events, b = batches), [ring.abort], and [ring.sweep]
+    (a = batches, b = events recovered by the post-abort sweep).  See
+    the event catalogue in [docs/observability.md].
+
     With [?chaos], every batch push and batch pop consults the
     fault-injection plan (see {!Chaos}): the channel derives a
     {!Chaos.inst} for its namespace, injected push failures become
@@ -74,6 +83,7 @@ type 'a t
 val create :
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
   ?escalate:bool ->
   ?ns:string ->
@@ -137,7 +147,18 @@ val aborted : 'a t -> bool
     If [f] (or [around_batch]) raises, the channel is aborted before
     the exception propagates, so a producer parked against a full ring
     is released — its pushes become counted drops instead of a
-    wedge. *)
+    wedge.
+
+    {b Abort accounting.}  When drain ends by abort (its own, an
+    injected one, or a raise), it {e sweeps} the batches still
+    buffered in the ring into {!discarded_batches} — they were
+    delivered but can never be consumed, and the producer cannot
+    publish after an abort, so without the sweep up to
+    [queue_capacity] batches would vanish from the books.  After both
+    domains quiesce the ledger closes exactly:
+    [batches = consumed_batches + discarded_batches +
+    in_flight_batches], where {!in_flight_batches} is non-zero only
+    for a push that raced the abort flag itself. *)
 val drain :
   ?around_batch:((unit -> unit) -> unit) -> 'a t -> f:('a -> unit) -> unit
 
@@ -149,9 +170,21 @@ val abort : 'a t -> unit
 val consumer_waits : 'a t -> int
 
 (** Batches popped but not processed — an injected pop failure
-    discarded them (consumer-side mirror of {!dropped_batches};
-    always [0] without [?chaos]). *)
+    discarded them, or the post-abort sweep recovered them from the
+    ring (consumer-side mirror of {!dropped_batches}; always [0]
+    without [?chaos] on a clean run). *)
 val discarded_batches : 'a t -> int
 
 (** Elements inside {!discarded_batches}. *)
 val discarded_events : 'a t -> int
+
+(** Batches fully processed by {!drain} (every element saw [f]). *)
+val consumed_batches : 'a t -> int
+
+(** Elements inside {!consumed_batches}. *)
+val consumed_events : 'a t -> int
+
+(** Batches delivered to the ring but not yet popped (racy snapshot,
+    exact when both sides have quiesced).  The residual term of the
+    post-abort ledger — see {!drain}. *)
+val in_flight_batches : 'a t -> int

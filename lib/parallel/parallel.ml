@@ -122,6 +122,24 @@ let validate_geometry fn ~queue_capacity ~batch_size =
   if batch_size < 1 then
     invalid_arg (Fmt.str "Parallel.%s: batch_size = %d < 1" fn batch_size)
 
+(* One bounded flight event (category [run]) on the calling domain's
+   ring; a no-op when the recorder is off. *)
+let flight_ev flight ?a ?b ?detail name =
+  match flight with
+  | None -> ()
+  | Some fl -> Dift_obs.Flight.record fl ?a ?b ?detail ~cat:"run" name
+
+let flight_name flight name =
+  match flight with
+  | None -> ()
+  | Some fl -> Dift_obs.Flight.name_domain fl name
+
+let leg_to_string = function
+  | `App -> "app"
+  | `Helper -> "helper"
+  | `Shard s -> Fmt.str "shard-%d" s
+  | `Spawn -> "spawn"
+
 (* Chaos [Spawn] interception, shared by both runtimes' supervisors:
    any non-Proceed action models [Domain.spawn] itself failing. *)
 let chaos_spawn chaos body =
@@ -135,16 +153,21 @@ let chaos_spawn chaos body =
           raise (Chaos.Injected "injected spawn failure, helper")));
   Domain.spawn body
 
-let run_result ?config ?obs ?trace ?chaos ?(queue_capacity = 64)
+let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
     ?(batch_size = 64) ?policy ?on_sink program ~input =
   validate_geometry "run" ~queue_capacity ~batch_size;
   let fwd =
-    Forwarder.create ?obs ?trace ?chaos ~queue_capacity ~batch_size ()
+    Forwarder.create ?obs ?trace ?flight ?chaos ~queue_capacity ~batch_size
+      ()
   in
   let eng, sink_trace = make_engine ?policy ?on_sink program in
   (* Timeline: the engine samples its shadow footprint from whichever
      domain processes events — the helper track, here. *)
   (match trace with Some tr -> Bool_engine.set_trace eng tr | None -> ());
+  (* Flight recorder: engine milestones land on the helper's ring. *)
+  (match flight with
+  | Some fl -> Bool_engine.set_flight eng fl
+  | None -> ());
   (* Observability: engine gauges plus helper-domain utilization —
      busy time is measured around whole batches (one clock read per
      batch, not per event) and compared to the helper's wall time at
@@ -199,6 +222,8 @@ let run_result ?config ?obs ?trace ?chaos ?(queue_capacity = 64)
     (match trace with
     | Some tr -> Dift_obs.Trace.name_track tr "helper"
     | None -> ());
+    flight_name flight "helper";
+    flight_ev flight "helper.start";
     let t0 = now_ns () in
     Fun.protect
       ~finally:(fun () ->
@@ -240,9 +265,17 @@ let run_result ?config ?obs ?trace ?chaos ?(queue_capacity = 64)
         (try Forwarder.close fwd with _ -> Forwarder.abort fwd);
         Some ex
   in
+  flight_name flight "app";
+  flight_ev flight "run.start" ~a:queue_capacity ~b:batch_size
+    ~detail:"two-domain";
+  let errored e =
+    flight_ev flight "run.error" ~detail:(leg_to_string e.e_leg);
+    Error e
+  in
   match chaos_spawn chaos helper_body with
   | exception ex ->
-      Error { e_leg = `Spawn; e_exn = ex; e_secondary = []; e_partial = partial () }
+      errored
+        { e_leg = `Spawn; e_exn = ex; e_secondary = []; e_partial = partial () }
   | helper -> (
       let m = Machine.create ?config program ~input in
       (match obs with Some reg -> Obs_tool.attach reg m | None -> ());
@@ -269,24 +302,26 @@ let run_result ?config ?obs ?trace ?chaos ?(queue_capacity = 64)
              exits; its own failure, if any, is secondary *)
           let close_exn = close_fwd () in
           let secondary = Option.to_list close_exn @ join_quiet () in
-          Error
+          errored
             { e_leg = `App; e_exn = ex; e_secondary = secondary;
               e_partial = partial () }
       | outcome -> (
           match close_fwd () with
           | Some ex ->
-              Error
+              errored
                 { e_leg = `App; e_exn = ex; e_secondary = join_quiet ();
                   e_partial = partial () }
           | None -> (
               let main_wall_ns = now_ns () - t0 in
               match Domain.join helper with
               | exception hx ->
-                  Error
+                  errored
                     { e_leg = `Helper; e_exn = hx; e_secondary = [];
                       e_partial = partial () }
               | () ->
                   let total_wall_ns = now_ns () - t0 in
+                  flight_ev flight "run.done" ~a:(Forwarder.events fwd)
+                    ~b:(Forwarder.batches fwd);
                   Ok
                     {
                       result = result_of eng sink_trace outcome;
@@ -301,21 +336,26 @@ let run_result ?config ?obs ?trace ?chaos ?(queue_capacity = 64)
                       total_wall_ns;
                     })))
 
-let run ?config ?obs ?trace ?chaos ?queue_capacity ?batch_size ?policy
-    ?on_sink program ~input =
+let run ?config ?obs ?trace ?flight ?chaos ?queue_capacity ?batch_size
+    ?policy ?on_sink program ~input =
   match
-    run_result ?config ?obs ?trace ?chaos ?queue_capacity ?batch_size
-      ?policy ?on_sink program ~input
+    run_result ?config ?obs ?trace ?flight ?chaos ?queue_capacity
+      ?batch_size ?policy ?on_sink program ~input
   with
   | Ok r -> r
   | Error e -> raise e.e_exn
 
-let run_inline ?config ?obs ?trace ?policy ?on_sink program ~input =
+let run_inline ?config ?obs ?trace ?flight ?policy ?on_sink program ~input =
   let eng, sink_trace = make_engine ?policy ?on_sink program in
   (match trace with
   | Some tr ->
       Dift_obs.Trace.name_track tr "app";
       Bool_engine.set_trace eng tr
+  | None -> ());
+  (match flight with
+  | Some fl ->
+      Dift_obs.Flight.name_domain fl "app";
+      Bool_engine.set_flight eng fl
   | None -> ());
   let m = Machine.create ?config program ~input in
   (match obs with
@@ -353,15 +393,15 @@ type sharded_report = {
   s_total_wall_ns : int;
 }
 
-let run_sharded_result ?config ?obs ?trace ?chaos ?route
+let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
     ?(queue_capacity = 64) ?(batch_size = 64) ?xchg_capacity ?block_bits
     ?policy ?on_sink ~shards program ~input =
   if shards < 1 then
     invalid_arg (Fmt.str "Parallel.run_sharded: shards = %d < 1" shards);
   validate_geometry "run_sharded" ~queue_capacity ~batch_size;
   let c =
-    Bool_shards.cluster ?policy ?route ?block_bits ?obs ?trace ?chaos
-      ~queue_capacity ~batch_size ?xchg_capacity ~shards program
+    Bool_shards.cluster ?policy ?route ?block_bits ?obs ?trace ?flight
+      ?chaos ~queue_capacity ~batch_size ?xchg_capacity ~shards program
   in
   let t_start = now_ns () in
   let partial () =
@@ -412,9 +452,16 @@ let run_sharded_result ?config ?obs ?trace ?chaos ?route
       e_partial = partial ();
     }
   in
+  flight_name flight "app";
+  flight_ev flight "run.start" ~a:shards ~b:queue_capacity
+    ~detail:"sharded";
+  let errored e =
+    flight_ev flight "run.error" ~detail:(leg_to_string e.e_leg);
+    Error e
+  in
   match Bool_shards.start c with
   | exception Shard_engine.Spawn_failure ex ->
-      Error
+      errored
         { e_leg = `Spawn; e_exn = ex; e_secondary = [];
           e_partial = partial () }
   | () -> (
@@ -450,16 +497,19 @@ let run_sharded_result ?config ?obs ?trace ?chaos ?route
             | Error f ->
                 List.map snd f.Shard_engine.f_shards
           in
-          Error
+          errored
             { e_leg = `App; e_exn = ex; e_secondary = secondary;
               e_partial = partial () }
       | outcome -> (
           let s_main_wall_ns = now_ns () - t0 in
           (* closes the channels, joins every shard *)
           match Bool_shards.finish_result c with
-          | Error f -> Error (error_of_failure f)
+          | Error f -> errored (error_of_failure f)
           | Ok merged ->
               let s_total_wall_ns = now_ns () - t0 in
+              flight_ev flight "run.done"
+                ~a:merged.Bool_shards.m_events
+                ~b:(Bool_shards.exchange_messages c);
               (* Deterministic sink delivery: unlike {!run}, whose
                  [on_sink] runs streaming on the helper domain, sharded
                  sink callbacks fire here, after the join, in global
@@ -502,13 +552,13 @@ let run_sharded_result ?config ?obs ?trace ?chaos ?route
                   s_total_wall_ns;
                 }))
 
-let run_sharded ?config ?obs ?trace ?chaos ?route ?queue_capacity
+let run_sharded ?config ?obs ?trace ?flight ?chaos ?route ?queue_capacity
     ?batch_size ?xchg_capacity ?block_bits ?policy ?on_sink ~shards program
     ~input =
   match
-    run_sharded_result ?config ?obs ?trace ?chaos ?route ?queue_capacity
-      ?batch_size ?xchg_capacity ?block_bits ?policy ?on_sink ~shards
-      program ~input
+    run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
+      ?queue_capacity ?batch_size ?xchg_capacity ?block_bits ?policy
+      ?on_sink ~shards program ~input
   with
   | Ok r -> r
   | Error e -> raise e.e_exn

@@ -141,12 +141,23 @@ val pp_error : error Fmt.t
     consult the fault plan (see {!Chaos}); without it the runtime
     takes its ordinary direct path.
 
+    With [?flight], both domains record their recent structured
+    events on the always-on flight recorder ({!Dift_obs.Flight}):
+    the application ring is named ["app"] and carries [run.start],
+    the channel's producer-side [ring.*] events and the final
+    [run.done]/[run.error] marker; the helper ring is named
+    ["helper"] and carries [helper.start], the consumer-side
+    [ring.*] events and the engine's [engine.progress] milestones.
+    Recording is bounded and never blocks — see
+    [docs/observability.md].
+
     @raise Invalid_argument if [queue_capacity] or [batch_size] is
     [< 1]. *)
 val run :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
   ?queue_capacity:int ->
   ?batch_size:int ->
@@ -163,6 +174,7 @@ val run_result :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
   ?queue_capacity:int ->
   ?batch_size:int ->
@@ -176,11 +188,14 @@ val run_result :
     current domain, reported in the same shape.  [?obs] instruments
     the VM and engine as in {!run} (no [parallel.*] group — there is
     no channel); [?trace] records a single-track timeline ([app.run]
-    span plus engine counter samples, all on the calling domain). *)
+    span plus engine counter samples, all on the calling domain);
+    [?flight] names the calling domain's recorder ring ["app"] and
+    records the engine's [engine.progress] milestones on it. *)
 val run_inline :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?flight:Dift_obs.Flight.t ->
   ?policy:Policy.t ->
   ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
   Program.t ->
@@ -243,12 +258,21 @@ type sharded_report = {
     inbound channel, every exchange ring and the domain spawns (see
     {!Shard_engine.Make.cluster}).
 
+    With [?flight], the application ring (named ["app"]) records
+    [run.start], producer-side [ring.*] events for every shard
+    channel and the final [run.done]/[run.error] marker, and each
+    shard ring (named ["shard-<i>"]) records [shard.start],
+    consumer-side [ring.*] events, the exchange-mesh [xchg.*] legs,
+    [engine.progress] milestones and — if the shard dies of its own
+    exception — a terminal [shard.crash] event.
+
     @raise Invalid_argument if [shards], [queue_capacity] or
     [batch_size] is [< 1]. *)
 val run_sharded :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
   ?route:Shard_engine.route ->
   ?queue_capacity:int ->
@@ -272,6 +296,7 @@ val run_sharded_result :
   ?config:Machine.config ->
   ?obs:Dift_obs.Registry.t ->
   ?trace:Dift_obs.Trace.t ->
+  ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
   ?route:Shard_engine.route ->
   ?queue_capacity:int ->

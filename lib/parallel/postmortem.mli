@@ -1,0 +1,73 @@
+(** Post-mortem crash bundles for the parallel runtimes.
+
+    When a supervised run ({!Parallel.run_result},
+    {!Parallel.run_sharded_result}) comes back with an
+    {!Parallel.error}, everything a triage needs is still alive in
+    the calling domain: the structured error itself, the final
+    observability {!Dift_obs.Registry} snapshot, each domain's
+    {!Dift_obs.Flight} tail (safe to read — the supervised runtimes
+    join every domain before returning [Error]), the trace-drop
+    accounting and the active fault plan.  This module assembles
+    those into one self-describing JSON document and writes it
+    atomically, so a crashed [diftc] invocation leaves exactly one
+    readable artifact behind — the bundle [diftc inspect] renders.
+
+    The bundle format is documented in [docs/observability.md]
+    ("Flight recorder & crash bundles"). *)
+
+(** The schema tag stamped into every bundle (the [schema] field):
+    [dift-crash-bundle/1]. *)
+val schema : string
+
+(** The runtime geometry at the moment of the crash — enough to
+    reproduce the channel shapes of the failed run. *)
+type geometry = {
+  g_runtime : string;  (** ["parallel"] (two-domain) or ["sharded"] *)
+  g_shards : int;  (** helper domains; [1] for the two-domain runtime *)
+  g_queue_capacity : int;  (** per-channel ring slots, in batches *)
+  g_batch_size : int;  (** events per batch *)
+  g_xchg_capacity : int option;  (** exchange-ring slots (sharded only) *)
+}
+
+val geometry_json : geometry -> Dift_obs.Json.t
+
+(** Structured rendering of a supervised failure: the failing leg
+    (as [pp] prints it: [app], [helper], [shard-N], [spawn]), the
+    primary exception, every secondary shutdown failure, and the
+    channel accounting of {!Parallel.partial}. *)
+val error_json : Parallel.error -> Dift_obs.Json.t
+
+(** [bundle ~error geometry] assembles the crash bundle:
+
+    - ["schema"]: {!schema};
+    - ["error"]: {!error_json};
+    - ["geometry"]: {!geometry_json};
+    - ["fault_plan"] (with [?chaos]): the active plan in
+      {!Chaos.plan_to_string} grammar plus the fired-fault count;
+    - ["metrics"] (with [?obs]): the final registry snapshot
+      ({!Dift_obs.Registry.to_json});
+    - ["first_heartbeat"] (with [?first_heartbeat]): the run's beat 0,
+      so [inspect] can show metric deltas;
+    - ["trace"] (with [?trace]): buffered/dropped/capacity event
+      accounting of the execution tracer;
+    - ["flight"] (with [?flight]): every domain's recorder tail
+      ({!Dift_obs.Flight.to_json}) — call only after the runtime
+      returned, when all recording domains have joined;
+    - every [(key, json)] of [?extra], appended last (workload name,
+      input size, seed…). *)
+val bundle :
+  ?obs:Dift_obs.Registry.t ->
+  ?flight:Dift_obs.Flight.t ->
+  ?chaos:Chaos.t ->
+  ?trace:Dift_obs.Trace.t ->
+  ?first_heartbeat:Dift_obs.Json.t ->
+  ?extra:(string * Dift_obs.Json.t) list ->
+  error:Parallel.error ->
+  geometry ->
+  Dift_obs.Json.t
+
+(** [write ~file j] writes [j] (pretty-printed, trailing newline)
+    atomically: the bytes go to a [.tmp] sibling first and are
+    renamed over [file] only once flushed — a reader never sees a
+    truncated bundle, even if the writer dies mid-dump. *)
+val write : file:string -> Dift_obs.Json.t -> unit

@@ -113,6 +113,8 @@ module Make (D : Taint.DOMAIN) = struct
     x : xchg;
     eng : E.t;
     record_sinks : bool;
+    w_flight : Dift_obs.Flight.t option;
+        (** exchange legs record [xchg.push]/[xchg.pop] flight events *)
     mutable sinks : (int * Engine.sink * D.t * Event.exec) list;
         (** newest first *)
     mutable w_handled : int;
@@ -120,7 +122,8 @@ module Make (D : Taint.DOMAIN) = struct
     mutable received : int;
   }
 
-  let worker ?policy ~router ~route ~xchg ~record_sinks ~shard program =
+  let worker ?policy ?flight ~router ~route ~xchg ~record_sinks ~shard
+      program =
     let policy = Option.value policy ~default:Policy.default in
     (match route with
     | `Request_reply when policy.Policy.propagate_control ->
@@ -132,6 +135,8 @@ module Make (D : Taint.DOMAIN) = struct
     let eng = E.create ~policy program in
     (* wall-clock runtime: modelled-cycle charging is meaningless here *)
     E.set_charge eng ignore;
+    (* engine milestones land on whichever domain drains this shard *)
+    (match flight with Some fl -> E.set_flight eng fl | None -> ());
     let w =
       {
         w_shard = shard;
@@ -140,6 +145,7 @@ module Make (D : Taint.DOMAIN) = struct
         x = xchg;
         eng;
         record_sinks;
+        w_flight = flight;
         sinks = [];
         w_handled = 0;
         sent = 0;
@@ -171,6 +177,13 @@ module Make (D : Taint.DOMAIN) = struct
     | Chaos.Abort_now -> Array.iter (Array.iter Spsc.abort) w.x.rings
     | Chaos.Raise_now e -> raise e
 
+  (* One bounded flight event for an exchange leg on the acting
+     shard's ring ([a] = source shard, [b] = destination shard). *)
+  let flight_x w name ~src ~dst =
+    match w.w_flight with
+    | None -> ()
+    | Some fl -> Dift_obs.Flight.record fl ~cat:"xchg" name ~a:src ~b:dst
+
   let push_x w ~dst m =
     (match w.x.x_chaos with
     | None -> ()
@@ -178,6 +191,7 @@ module Make (D : Taint.DOMAIN) = struct
         x_chaos_act w ~src:w.w_shard ~dst
           (Chaos.on_push insts.(w.w_shard).(dst)));
     w.sent <- w.sent + 1;
+    flight_x w "xchg.push" ~src:w.w_shard ~dst;
     Spsc.push w.x.rings.(w.w_shard).(dst) m
 
   let pop_x w ~src =
@@ -187,8 +201,11 @@ module Make (D : Taint.DOMAIN) = struct
         x_chaos_act w ~src ~dst:w.w_shard
           (Chaos.on_pop insts.(src).(w.w_shard)));
     match Spsc.pop w.x.rings.(src).(w.w_shard) with
-    | None -> raise Shard_dead
+    | None ->
+        flight_x w "xchg.dead" ~src ~dst:w.w_shard;
+        raise Shard_dead
     | Some m ->
+        flight_x w "xchg.pop" ~src ~dst:w.w_shard;
         w.received <- w.received + 1;
         (match w.x.journals with
         | Some j ->
@@ -372,14 +389,15 @@ module Make (D : Taint.DOMAIN) = struct
     fwds : Event.exec Forwarder.t array;
     clocks : shard_clock array;
     c_trace : Dift_obs.Trace.t option;
+    c_flight : Dift_obs.Flight.t option;
     c_chaos : Chaos.t option;
     mutable domains : unit Domain.t array;
     mutable cross : int;
   }
 
   let cluster ?policy ?(route = `Request_reply) ?block_bits ?obs ?trace
-      ?chaos ?(queue_capacity = 64) ?(batch_size = 64) ?(xchg_capacity = 256)
-      ?(xchg_journal = false) ~shards program =
+      ?flight ?chaos ?(queue_capacity = 64) ?(batch_size = 64)
+      ?(xchg_capacity = 256) ?(xchg_journal = false) ~shards program =
     let router = Router.create ?block_bits ~shards () in
     let xchg =
       create_xchg ~capacity:xchg_capacity ~journal:xchg_journal ?chaos
@@ -387,7 +405,7 @@ module Make (D : Taint.DOMAIN) = struct
     in
     let workers =
       Array.init shards (fun s ->
-          worker ?policy ~router ~route ~xchg
+          worker ?policy ?flight ~router ~route ~xchg
             ~record_sinks:
               (match route with
               | `Request_reply -> true
@@ -400,7 +418,7 @@ module Make (D : Taint.DOMAIN) = struct
          injected losses on these rings to clean shard crashes *)
       let escalate = route = `Request_reply in
       Array.init shards (fun s ->
-          Forwarder.create ?obs ?trace ?chaos ~escalate
+          Forwarder.create ?obs ?trace ?flight ?chaos ~escalate
             ~ns:(Fmt.str "parallel.shard%d" s)
             ~queue_capacity ~batch_size ())
     in
@@ -414,6 +432,7 @@ module Make (D : Taint.DOMAIN) = struct
         fwds;
         clocks;
         c_trace = trace;
+        c_flight = flight;
         c_chaos = chaos;
         domains = [||];
         cross = 0;
@@ -481,6 +500,11 @@ module Make (D : Taint.DOMAIN) = struct
         (match c.c_trace with
         | Some tr -> Dift_obs.Trace.name_track tr (Fmt.str "shard-%d" s)
         | None -> ());
+        (match c.c_flight with
+        | Some fl ->
+            Dift_obs.Flight.name_domain fl (Fmt.str "shard-%d" s);
+            Dift_obs.Flight.record fl ~cat:"run" "shard.start" ~a:s
+        | None -> ());
         let k = c.clocks.(s) in
         let around_batch body =
           let t0 = now_ns () in
@@ -498,6 +522,11 @@ module Make (D : Taint.DOMAIN) = struct
              dying, so the failure cascades instead of wedging *)
           Forwarder.abort c.fwds.(s);
           abort_xchg c.c_xchg;
+          (match c.c_flight with
+          | Some fl ->
+              Dift_obs.Flight.record fl ~cat:"run" "shard.crash" ~a:s
+                ~detail:(Printexc.to_string ex)
+          | None -> ());
           raise ex)
 
   let start c =

@@ -159,6 +159,7 @@ module Make (D : Taint.DOMAIN) : sig
       policy enables [propagate_control] (see the module preamble). *)
   val worker :
     ?policy:Policy.t ->
+    ?flight:Dift_obs.Flight.t ->
     router:Router.t ->
     route:route ->
     xchg:xchg ->
@@ -226,6 +227,14 @@ module Make (D : Taint.DOMAIN) : sig
       seam: each shard's inbound channel (namespace
       [parallel.shard<i>]), every exchange ring ([xchg.<src>.<dst>];
       see {!create_xchg}), and {!start}'s domain spawns.
+
+      With [?flight], every seam also records bounded flight-recorder
+      events on the acting domain's ring: the inbound channels'
+      [ring.*] events (see {!Forwarder.create}), exchange legs as
+      [xchg.push]/[xchg.pop]/[xchg.dead] (category [xchg],
+      [a] = source shard, [b] = destination), shard lifecycle
+      [shard.start]/[shard.crash] (category [run]), and the engines'
+      [engine.progress] milestones.
       @raise Invalid_argument for [shards < 1] or non-positive channel
       geometry. *)
   val cluster :
@@ -234,6 +243,7 @@ module Make (D : Taint.DOMAIN) : sig
     ?block_bits:int ->
     ?obs:Dift_obs.Registry.t ->
     ?trace:Dift_obs.Trace.t ->
+    ?flight:Dift_obs.Flight.t ->
     ?chaos:Chaos.t ->
     ?queue_capacity:int ->
     ?batch_size:int ->

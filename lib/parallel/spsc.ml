@@ -197,3 +197,13 @@ let try_pop t =
   if Atomic.get t.aborted then None
   else if Atomic.get t.tail - h > 0 then Some (take t h)
   else None
+
+(* Unlike [pop]/[try_pop], ignores the aborted flag: after an abort
+   the producer never publishes again (pushes turn into counted
+   drops), so the elements still buffered are exactly the ones that
+   were delivered but will never be consumed — the sweep that lets
+   the forwarder books reconcile instead of losing up to [capacity]
+   batches uncounted. *)
+let pop_remaining t =
+  let h = Atomic.get t.head in
+  if Atomic.get t.tail - h > 0 then Some (take t h) else None

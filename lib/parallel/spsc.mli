@@ -90,6 +90,16 @@ val try_pop : 'a t -> 'a option
     without deadlocking the main core.  Idempotent. *)
 val abort : 'a t -> unit
 
+(** [pop_remaining t] dequeues the oldest buffered element {e even
+    after} {!abort} — [pop]/[try_pop] honour the abort flag before the
+    buffer, so elements delivered before the abort would otherwise sit
+    in the ring uncounted.  The consumer calls this in a loop after
+    aborting to sweep those elements into its discard accounting
+    (post-abort pushes are already counted as {!dropped}, so every
+    element ends up in exactly one book).  Never blocks; [None] when
+    the buffer is empty.  Consumer side only. *)
+val pop_remaining : 'a t -> 'a option
+
 (** Times the consumer had to block on an empty channel (helper idle
     episodes; atomic, readable from any domain). *)
 val consumer_waits : 'a t -> int

@@ -19,6 +19,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("sharded", Test_sharded.suite);
       ("faults", Test_faults.suite);
+      ("postmortem", Test_postmortem.suite);
       ("faultloc", Test_faultloc.suite);
       ("attack", Test_attack.suite);
       ("avoidance", Test_avoidance.suite);

@@ -108,10 +108,10 @@ let test_plan_roundtrip () =
 
 (* -- two-domain runtime: every leg ------------------------------------ *)
 
-let run_crc ?chaos ?(batch_size = 8) () =
+let run_crc ?obs ?chaos ?(batch_size = 8) () =
   let w = kernel "crc" in
   let input = w.Workload.input ~size:12 ~seed:3 in
-  Parallel.run_result ?chaos ~queue_capacity:4 ~batch_size
+  Parallel.run_result ?obs ?chaos ~queue_capacity:4 ~batch_size
     w.Workload.program ~input
 
 let test_helper_crash_mid_drain () =
@@ -143,24 +143,36 @@ let test_app_crash_mid_run () =
 let test_abort_at_step_n () =
   with_watchdog @@ fun () ->
   (* consumer-side teardown at batch 2: the run completes, losses are
-     counted, and the books reconcile (batch_size=1 makes the event
-     arithmetic exact: fed = delivered + dropped) *)
-  match run_crc ~chaos:(chaos "push@2=abort") ~batch_size:1 () with
+     counted, and the books reconcile exactly (batch_size=1 makes the
+     event arithmetic exact: fed = delivered + dropped) *)
+  let reg = Dift_obs.Registry.create () in
+  match run_crc ~obs:reg ~chaos:(chaos "push@2=abort") ~batch_size:1 () with
   | Error e -> Alcotest.failf "abort must not fail the run: %a"
                  Parallel.pp_error e
   | Ok r ->
       check Alcotest.bool "drops counted" true (r.Parallel.dropped_batches > 0);
-      (* batch_size = 1 and nothing discarded: each delivered batch is one
-         engine event, except that batches already sitting in the ring when
-         abort lands are lost unprocessed — at most queue_capacity of them
-         (see ROADMAP open items on in-flight loss accounting) *)
-      let processed = r.Parallel.result.Parallel.events in
       check Alcotest.bool "engine events <= delivered batches" true
-        (processed <= r.Parallel.batches);
-      check Alcotest.bool "in-flight loss bounded by ring capacity" true
-        (r.Parallel.batches - processed <= 4);
+        (r.Parallel.result.Parallel.events <= r.Parallel.batches);
       check Alcotest.int "one event per dropped batch"
-        r.Parallel.dropped_batches r.Parallel.dropped_events
+        r.Parallel.dropped_batches r.Parallel.dropped_events;
+      (* regression (in-flight accounting): batches sitting in the ring
+         when the abort landed used to vanish uncounted; the drain now
+         sweeps them into the discarded ledger, so the delivered count
+         reconciles exactly against consumed + discarded with nothing
+         left in flight once the helper has joined *)
+      let gauge name =
+        match Dift_obs.Registry.(find (snapshot reg) name) with
+        | Some (Dift_obs.Registry.Gauge_v v) -> v
+        | _ -> Alcotest.failf "gauge %s missing" name
+      in
+      let consumed = gauge "parallel.forwarder.consumed_batches" in
+      let discarded = gauge "parallel.forwarder.discarded_batches" in
+      let in_flight = gauge "parallel.ring.in_flight_batches" in
+      check Alcotest.int "nothing in flight after the join" 0 in_flight;
+      check Alcotest.int "delivered = consumed + discarded"
+        r.Parallel.batches (consumed + discarded);
+      check Alcotest.int "engine events = consumed batches"
+        r.Parallel.result.Parallel.events consumed
 
 let test_consumer_give_up () =
   with_watchdog @@ fun () ->
@@ -383,6 +395,48 @@ let test_forwarder_drop_accounting () =
     (Forwarder.dropped_batches fwd)
     (Forwarder.dropped fwd)
 
+let test_forwarder_crash_ledger () =
+  with_watchdog @@ fun () ->
+  (* regression (in-flight accounting): after a consumer crash
+     mid-drain, every event fed to the channel must be booked exactly
+     once — consumed, discarded (the batch in hand plus the post-abort
+     sweep of the ring), dropped producer-side, or visibly in flight
+     (a push that raced the abort flag itself).  Nothing vanishes. *)
+  let fwd = Forwarder.create ~queue_capacity:4 ~batch_size:1 () in
+  let consumed = Atomic.make 0 in
+  let helper =
+    Domain.spawn (fun () ->
+        Forwarder.drain fwd ~f:(fun _ ->
+            if 3 <= 1 + Atomic.fetch_and_add consumed 1 then raise Exit))
+  in
+  (try
+     for i = 1 to 100 do
+       Forwarder.add fwd i
+     done;
+     Forwarder.close fwd
+   with _ -> ());
+  (match Domain.join helper with
+  | () -> Alcotest.fail "helper must die of Exit"
+  | exception Exit -> ()
+  | exception e -> raise e);
+  check Alcotest.int "every event is booked exactly once"
+    (Forwarder.events fwd)
+    (Forwarder.consumed_events fwd
+    + Forwarder.discarded_events fwd
+    + Forwarder.dropped_events fwd
+    + Forwarder.in_flight_batches fwd);
+  (* f completed twice; its third call raised, so that batch is booked
+     as discarded, not consumed *)
+  check Alcotest.int "the helper consumed what f completed" 2
+    (Forwarder.consumed_events fwd);
+  check Alcotest.bool "the crashing batch and the swept ring are discarded"
+    true
+    (Forwarder.discarded_batches fwd >= 1);
+  check Alcotest.int "batch ledger closes too" (Forwarder.batches fwd)
+    (Forwarder.consumed_batches fwd
+    + Forwarder.discarded_batches fwd
+    + Forwarder.in_flight_batches fwd)
+
 (* -- random-seed sweep: every plan terminates cleanly ------------------ *)
 
 let test_seed_sweep () =
@@ -522,6 +576,8 @@ let suite =
       test_exchange_ring_abort_terminates;
     Alcotest.test_case "forwarder drop accounting reconciles" `Quick
       test_forwarder_drop_accounting;
+    Alcotest.test_case "forwarder crash ledger closes" `Quick
+      test_forwarder_crash_ledger;
     Alcotest.test_case "random-seed sweep terminates" `Quick test_seed_sweep;
     Alcotest.test_case "abort unparks a parked consumer" `Quick
       test_abort_unparks_consumer;

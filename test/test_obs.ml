@@ -344,6 +344,163 @@ let test_clock_monotonic () =
   check Alcotest.bool "sleep is visible (>= 5ms measured)" true
     (b - a >= 5_000_000)
 
+(* -- JSON parser ----------------------------------------------------------- *)
+
+let test_json_parser_roundtrip () =
+  (* everything the printers emit must read back as the same tree *)
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 1.5;
+      Json.String "plain";
+      Json.String "esc \" \\ \n \t \x01 é";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "x"; Json.Null ];
+      Json.obj [];
+      Json.obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.obj [ ("l", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let pretty = Json.to_string j and compact = Json.to_compact_string j in
+      (match Json.of_string pretty with
+      | Ok j' -> check Alcotest.bool "pretty round-trips" true (j = j')
+      | Error e -> Alcotest.failf "pretty %S: %s" pretty e);
+      match Json.of_string compact with
+      | Ok j' -> check Alcotest.bool "compact round-trips" true (j = j')
+      | Error e -> Alcotest.failf "compact %S: %s" compact e)
+    samples;
+  (* standard JSON the printers never emit *)
+  (match Json.of_string {| {"u":"é","e":1e2} |} with
+  | Ok j ->
+      check Alcotest.bool "unicode escape decodes" true
+        (Json.member "u" j = Some (Json.String "\xc3\xa9"));
+      check Alcotest.bool "exponent parses as float" true
+        (Json.member "e" j = Some (Json.Float 100.))
+  | Error e -> Alcotest.failf "standard JSON rejected: %s" e);
+  (* malformed inputs are errors, not exceptions *)
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must be rejected" bad)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+(* -- flight recorder -------------------------------------------------------- *)
+
+let test_flight_ring_overflow () =
+  let fl = Flight.create ~capacity:4 () in
+  Flight.name_domain fl "solo";
+  for i = 1 to 10 do
+    Flight.record fl ~cat:"t" "tick" ~a:i
+  done;
+  check Alcotest.int "all records counted" 10 (Flight.recorded fl);
+  check Alcotest.int "overflow counted" 6 (Flight.overwritten fl);
+  check Alcotest.int "one recording domain" 1 (Flight.domains fl);
+  match Flight.tails fl with
+  | [ tl ] ->
+      check Alcotest.string "ring label" "solo" tl.Flight.t_domain;
+      check Alcotest.int "per-ring total" 10 tl.Flight.t_recorded;
+      check (Alcotest.list Alcotest.int) "tail is the most recent, oldest first"
+        [ 7; 8; 9; 10 ]
+        (List.map (fun e -> e.Flight.a) tl.Flight.t_entries);
+      check Alcotest.bool "timestamps monotonic" true
+        (let ts = List.map (fun e -> e.Flight.ts_ns) tl.Flight.t_entries in
+         List.sort compare ts = ts)
+  | tls -> Alcotest.failf "expected one tail, got %d" (List.length tls)
+
+let test_flight_multi_domain () =
+  let fl = Flight.create ~capacity:8 () in
+  let worker name n () =
+    Flight.name_domain fl name;
+    for i = 1 to n do
+      Flight.record fl ~cat:"w" "work" ~a:i ~detail:name
+    done
+  in
+  Domain.join (Domain.spawn (worker "left" 3));
+  Domain.join (Domain.spawn (worker "right" 5));
+  check Alcotest.int "both domains recorded" 2 (Flight.domains fl);
+  check Alcotest.int "totals add up" 8 (Flight.recorded fl);
+  check Alcotest.int "no overflow" 0 (Flight.overwritten fl);
+  let tails = Flight.tails fl in
+  let by_name n =
+    match List.find_opt (fun t -> t.Flight.t_domain = n) tails with
+    | Some t -> t
+    | None -> Alcotest.failf "no ring named %s" n
+  in
+  check Alcotest.int "left ring" 3 (by_name "left").Flight.t_recorded;
+  check Alcotest.int "right ring" 5 (by_name "right").Flight.t_recorded;
+  (* the JSON export carries the same structure, and round-trips
+     through the parser *)
+  let j = Flight.to_json fl in
+  match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.failf "flight json does not parse: %s" e
+  | Ok j' -> (
+      check Alcotest.bool "json round-trips" true (j = j');
+      match Json.member "domains" j with
+      | Some (Json.List doms) ->
+          check Alcotest.int "two domain sections" 2 (List.length doms)
+      | _ -> Alcotest.fail "flight json has no domains list")
+
+let test_flight_register_obs () =
+  let fl = Flight.create ~capacity:4 () in
+  let reg = Registry.create () in
+  Flight.register_obs fl reg;
+  Flight.record fl ~cat:"t" "one";
+  let gauge name =
+    match Registry.(find (snapshot reg) name) with
+    | Some (Registry.Gauge_v v) -> v
+    | _ -> Alcotest.failf "gauge %s missing" name
+  in
+  check Alcotest.int "recorded gauge live" 1 (gauge "flight.recorded");
+  check Alcotest.int "capacity gauge" 4 (gauge "flight.capacity_per_domain")
+
+(* -- heartbeat -------------------------------------------------------------- *)
+
+let test_heartbeat () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "hb.ticks" in
+  let file = Filename.temp_file "dift-hb" ".jsonl" in
+  let hb = Heartbeat.start ~interval_ms:20 reg ~file in
+  Registry.add c 5;
+  Unix.sleepf 0.1;
+  let n = Heartbeat.stop hb in
+  check Alcotest.bool "several beats" true (n >= 3);
+  check Alcotest.int "stop is idempotent" n (Heartbeat.stop hb);
+  let lines =
+    In_channel.with_open_bin file In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Sys.remove file;
+  check Alcotest.int "one line per beat" n (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "beat %d does not parse: %s" i e
+      | Ok j -> (
+          check Alcotest.bool "seq increments" true
+            (Json.member "seq" j = Some (Json.Int i));
+          match Json.member "metrics" j with
+          | Some (Json.Obj _) -> ()
+          | _ -> Alcotest.failf "beat %d has no metrics object" i))
+    lines;
+  (* beat 0 was written before any post-start mutation: the embedded
+     first snapshot shows the counter at its pre-run value *)
+  match Json.member "hb" (Heartbeat.first hb) with
+  | Some hb_group ->
+      check Alcotest.bool "first snapshot predates the bump" true
+        (match Json.member "ticks" hb_group with
+        | Some m -> Json.member "value" m = Some (Json.Int 0)
+        | None -> false)
+  | None -> Alcotest.fail "first snapshot has no hb group"
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter;
@@ -359,4 +516,11 @@ let suite =
     Alcotest.test_case "two-domain stats snapshot" `Quick
       test_two_domain_stats_snapshot;
     Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
+    Alcotest.test_case "json parser round-trips" `Quick
+      test_json_parser_roundtrip;
+    Alcotest.test_case "flight ring overflow" `Quick
+      test_flight_ring_overflow;
+    Alcotest.test_case "flight multi-domain" `Quick test_flight_multi_domain;
+    Alcotest.test_case "flight register_obs" `Quick test_flight_register_obs;
+    Alcotest.test_case "heartbeat sampler" `Quick test_heartbeat;
   ]

@@ -268,6 +268,47 @@ let test_merge_quiescence () =
   | (_ : Json.t) -> ()
   | exception _ -> Alcotest.fail "quiesced export must succeed"
 
+(* The seqlock hardening behind the quiescence check: with several
+   domains recording flat out, a concurrent merge must either return a
+   consistent snapshot or raise the stated precondition — the
+   per-buffer epoch detects a torn read deterministically, where the
+   old length-snapshot heuristic could miss one.  After the join, the
+   merge must account for every recorded event. *)
+let test_merge_seqlock_storm () =
+  let tr = Trace.create () in
+  let per_domain = 2_000 in
+  let stop = Atomic.make false in
+  let recorders =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            Trace.name_track tr (Fmt.str "storm-%d" d);
+            for i = 1 to per_domain do
+              Trace.instant tr ~cat:"storm" (Fmt.str "e%d" i)
+            done;
+            (* keep mutating until the reader is done, so merges keep
+               racing live recording, not just the tail of it *)
+            while not (Atomic.get stop) do
+              Trace.instant tr ~cat:"storm" "spin";
+              Domain.cpu_relax ()
+            done))
+  in
+  for _ = 1 to 200 do
+    match Trace.events tr with
+    | (_ : Trace.event list) -> ()
+    | exception Invalid_argument _ -> ()
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join recorders;
+  let events = Trace.events tr in
+  check Alcotest.bool "post-join merge covers every burst" true
+    (List.length events >= 3 * per_domain);
+  check Alcotest.int "all three tracks present (plus the main track's name)"
+    3
+    (List.length
+       (List.filter
+          (fun (_, n) -> String.length n >= 5 && String.sub n 0 5 = "storm")
+          (Trace.tracks tr)))
+
 let suite =
   [
     Alcotest.test_case "basic events" `Quick test_basic_events;
@@ -282,4 +323,5 @@ let suite =
       test_register_obs_idempotent;
     Alcotest.test_case "merge requires quiescence" `Quick
       test_merge_quiescence;
+    Alcotest.test_case "merge seqlock storm" `Quick test_merge_seqlock_storm;
   ]

@@ -17,6 +17,10 @@
    drain rate must stay >= 1.5x the 1-shard rate on at least two
    kernels.
 
+   One check over the sweep of {!Forward_bench}: the coded wire's
+   helper-drain throughput must stay >= 1.3x the boxed wire's on at
+   least two kernels (BENCH_5.json's headline).
+
    Exit status 1 with a per-row report on failure. *)
 
 (* The shared-runner tolerance: a row only fails if paged is >15%
@@ -69,8 +73,26 @@ let () =
     fail
       "sharded drain rate >=1.5x at 4 shards on only %d kernel(s); need >=2"
       scaling;
+  (* The forwarding-plane gate (BENCH_5.json; see forward_bench.ml):
+     the de-boxed wire must keep its helper-drain advantage on at
+     least two kernels.  The long-stream kernels (qsort, feistel) are
+     the ones expected to clear it comfortably; the gate fails only
+     if the coded plane's advantage itself regresses. *)
+  let frows = Forward_bench.run ~size:40 ~reps:5 () in
+  Forward_bench.pp_rows Fmt.stdout frows;
+  let deboxed =
+    List.length
+      (List.filter (fun r -> Forward_bench.drain_ratio r >= 1.3) frows)
+  in
+  if deboxed < 2 then
+    fail
+      "coded drain rate >=1.3x the boxed wire on only %d kernel(s); need >=2"
+      deboxed;
   match !failures with
-  | [] -> Fmt.pr "@.check_regression: paged shadow and sharded runtime hold their speedups@."
+  | [] ->
+      Fmt.pr
+        "@.check_regression: paged shadow, sharded runtime and de-boxed \
+         wire hold their speedups@."
   | fs ->
       Fmt.epr "@.check_regression FAILED:@.";
       List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev fs);

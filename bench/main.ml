@@ -346,6 +346,20 @@ let write_engine_json ?size ?reps file =
     Fmt.pr "wrote %s@." file
   end
 
+(* The forwarding-plane sweep (kernel x wire, feed/drain trip; see
+   forward_bench.ml) serialized to BENCH_5.json. *)
+let write_forward_json ?size ?reps file =
+  let rows = Forward_bench.run ?size ?reps () in
+  Forward_bench.pp_rows Fmt.stdout rows;
+  let json = Dift_obs.Json.to_string (Forward_bench.json rows) in
+  if file = "-" then print_string json
+  else begin
+    let oc = open_out file in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote %s@." file
+  end
+
 (* The shard-scaling sweep (kernel x shard count, two-pass journal
    replay; see shard_bench.ml) serialized to BENCH_4.json. *)
 let write_shard_json ?size ?reps file =
@@ -363,9 +377,10 @@ let write_shard_json ?size ?reps file =
 let () =
   (* `bench --json [FILE]`: only the machine-readable E11 summary;
      `bench --engine-json [FILE]`: only the engine micro-sweep;
-     `bench --shard-json [FILE]`: only the shard-scaling sweep
-     (`--smoke` shrinks either sweep to the CI scale).  Plain `bench`:
-     tables + micro-benchmarks, then all three summaries next to the
+     `bench --shard-json [FILE]`: only the shard-scaling sweep;
+     `bench --forward-json [FILE]`: only the forwarding-plane sweep
+     (`--smoke` shrinks any sweep to the CI scale).  Plain `bench`:
+     tables + micro-benchmarks, then all four summaries next to the
      current directory. *)
   match Array.to_list Sys.argv with
   | _ :: "--json" :: rest ->
@@ -388,9 +403,19 @@ let () =
       in
       if smoke then write_shard_json ~size:40 ~reps:3 file
       else write_shard_json file
+  | _ :: "--forward-json" :: rest ->
+      let smoke = List.mem "--smoke" rest in
+      let file =
+        match List.filter (fun a -> a <> "--smoke") rest with
+        | f :: _ -> f
+        | [] -> "BENCH_5.json"
+      in
+      if smoke then write_forward_json ~size:40 ~reps:3 file
+      else write_forward_json file
   | _ ->
       print_tables ();
       run_benchmarks ();
       write_bench_json "BENCH_2.json";
       write_engine_json "BENCH_3.json";
-      write_shard_json "BENCH_4.json"
+      write_shard_json "BENCH_4.json";
+      write_forward_json "BENCH_5.json"

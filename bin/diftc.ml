@@ -228,6 +228,39 @@ let taint_cmd =
       & info [ "batch-size" ]
           ~doc:"Events per forwarded batch (with --parallel).")
   in
+  let xchg_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "xchg-capacity" ] ~docv:"N"
+          ~doc:
+            "Cross-shard exchange-ring capacity, in batches (with \
+             --helpers > 1; default 256).  Sizes the request and reply \
+             rings of the two-phase exchange independently of the \
+             inbound forwarding rings.")
+  in
+  let wire_arg =
+    let wire = Arg.enum [ ("coded", `Coded); ("boxed", `Boxed) ] in
+    Arg.(
+      value
+      & opt wire `Coded
+      & info [ "wire" ] ~docv:"WIRE"
+          ~doc:
+            "Forwarding wire format (with --parallel): $(b,coded) \
+             (flat struct-of-arrays batches over interned sites, the \
+             default) or $(b,boxed) (one allocated event record per \
+             event, the legacy plane).")
+  in
+  let forward_filter_arg =
+    Arg.(
+      value & flag
+      & info [ "forward-filter" ]
+          ~doc:
+            "Enable the producer-side taint-liveness filter (with \
+             --parallel): events whose locations cannot intersect live \
+             taint and introduce none are dropped before encoding.  \
+             Results are bit-identical; only forwarding traffic \
+             shrinks.")
+  in
   let helpers_arg =
     Arg.(
       value & opt int 1
@@ -336,8 +369,9 @@ let taint_cmd =
       Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
   in
   let run pos_name workload size seed parallel helpers route queue_capacity
-      batch_size fault_plan fault_seed flight_record crash_dump heartbeat
-      heartbeat_interval stats chrome trace_capacity =
+      batch_size xchg_capacity wire forward_filter fault_plan fault_seed
+      flight_record crash_dump heartbeat heartbeat_interval stats chrome
+      trace_capacity =
     let named =
       match (pos_name, workload) with
       | Some p, Some w when p <> w ->
@@ -354,6 +388,15 @@ let taint_cmd =
         1
     | Ok _ when parallel && helpers < 1 ->
         Fmt.epr "--helpers must be at least 1@.";
+        1
+    | Ok _ when (match xchg_capacity with Some c -> c < 1 | None -> false) ->
+        Fmt.epr "--xchg-capacity must be at least 1@.";
+        1
+    | Ok _ when xchg_capacity <> None && not (parallel && helpers > 1) ->
+        Fmt.epr "--xchg-capacity requires --parallel --helpers > 1@.";
+        1
+    | Ok _ when forward_filter && not parallel ->
+        Fmt.epr "--forward-filter requires --parallel@.";
         1
     | Ok _ when (fault_plan <> None || fault_seed <> None) && not parallel ->
         Fmt.epr "--fault-plan/--fault-seed require --parallel@.";
@@ -442,9 +485,9 @@ let taint_cmd =
         if parallel && helpers > 1 then begin
           let open Dift_parallel.Parallel in
           match
-            run_sharded_result ?obs ?trace:tracer ?flight ?chaos ~route
-              ~queue_capacity ~batch_size ~on_sink ~shards:helpers
-              w.Workload.program ~input
+            run_sharded_result ?obs ?trace:tracer ?flight ?chaos
+              ?xchg_capacity ~wire ~forward_filter ~route ~queue_capacity
+              ~batch_size ~on_sink ~shards:helpers w.Workload.program ~input
           with
           | Error e ->
               Fmt.epr "sharded run failed: %a@." pp_error e;
@@ -475,8 +518,9 @@ let taint_cmd =
         else if parallel then begin
           let open Dift_parallel.Parallel in
           match
-            run_result ?obs ?trace:tracer ?flight ?chaos ~queue_capacity
-              ~batch_size ~on_sink w.Workload.program ~input
+            run_result ?obs ?trace:tracer ?flight ?chaos ~wire
+              ~forward_filter ~queue_capacity ~batch_size ~on_sink
+              w.Workload.program ~input
           with
           | Error e ->
               Fmt.epr "parallel run failed: %a@." pp_error e;
@@ -551,7 +595,12 @@ let taint_cmd =
                 g_shards = helpers;
                 g_queue_capacity = queue_capacity;
                 g_batch_size = batch_size;
-                g_xchg_capacity = None;
+                g_xchg_capacity =
+                  (if helpers > 1 then
+                     Some (Option.value xchg_capacity ~default:256)
+                   else None);
+                g_wire = wire;
+                g_forward_filter = forward_filter;
               }
             in
             let extra =
@@ -583,8 +632,9 @@ let taint_cmd =
     Term.(
       const run $ pos_name_arg $ workload_arg $ size_arg $ seed_arg
       $ parallel_arg $ helpers_arg $ route_arg $ queue_arg $ batch_arg
-      $ fault_plan_arg $ fault_seed_arg $ flight_record_arg $ crash_dump_arg
-      $ heartbeat_arg $ heartbeat_interval_arg $ stats_arg $ chrome_trace_arg
+      $ xchg_arg $ wire_arg $ forward_filter_arg $ fault_plan_arg
+      $ fault_seed_arg $ flight_record_arg $ crash_dump_arg $ heartbeat_arg
+      $ heartbeat_interval_arg $ stats_arg $ chrome_trace_arg
       $ trace_capacity_arg)
 
 (* -- inspect ------------------------------------------------------------------ *)
@@ -637,9 +687,18 @@ let inspect_cmd =
     | None -> ()
   in
   let print_geometry g =
-    Fmt.pr "geometry: %s runtime, %d shard(s), ring %d x %d@."
+    Fmt.pr "geometry: %s runtime, %d shard(s), ring %d x %d%s%s%s@."
       (Option.value ~default:"?" (str g "runtime"))
       (num "shards" g) (num "queue_capacity" g) (num "batch_size" g)
+      (match str g "wire" with
+      | Some w -> Fmt.str ", %s wire" w
+      | None -> "")
+      (match J.member "xchg_capacity" g with
+      | Some (J.Int c) -> Fmt.str ", xchg %d" c
+      | _ -> "")
+      (match J.member "forward_filter" g with
+      | Some (J.Bool true) -> ", forward filter"
+      | _ -> "")
   in
   let print_fault_plan fp =
     Fmt.pr "faults:   plan %s (%d fired)@."

@@ -53,32 +53,53 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
   (* For the Bool domain the fold over source locations short-circuits
      at the first tainted one and makes no calls through the functor
      parameter; every other domain pays the generic join loop (still
-     closure-free). *)
-  let joined_locs : Sh.t -> Loc.t list -> D.t =
+     closure-free).  Sources are the [i..n) prefix slice of a view's
+     scratch array. *)
+  let joined_arr : Sh.t -> Loc.t array -> int -> int -> D.t =
     match D.as_bool with
     | Some Taint.Refl ->
-        let rec any sh (locs : Loc.t list) =
-          match locs with
-          | [] -> false
-          | l :: rest -> Sh.get sh l || any sh rest
+        let rec any sh (arr : Loc.t array) i n =
+          i < n && (Sh.get sh arr.(i) || any sh arr (i + 1) n)
         in
         any
     | None ->
-        let rec go sh acc = function
-          | [] -> acc
-          | l :: rest -> go sh (D.join acc (Sh.get sh l)) rest
+        let rec go sh acc (arr : Loc.t array) i n =
+          if i >= n then acc else go sh (D.join acc (Sh.get sh arr.(i))) arr (i + 1) n
         in
-        fun sh locs -> go sh D.bottom locs
+        fun sh arr i n -> go sh D.bottom arr i n
+
+  (* Join restricted to one plane of the slice: [mem = true] keeps
+     memory locations, [mem = false] keeps registers (how a Load's
+     reads split into value vs. address sources). *)
+  let joined_plane : Sh.t -> Loc.t array -> int -> mem:bool -> D.t =
+    match D.as_bool with
+    | Some Taint.Refl ->
+        let rec any sh (arr : Loc.t array) i n mem =
+          i < n
+          && ((Loc.is_mem arr.(i) = mem && Sh.get sh arr.(i))
+             || any sh arr (i + 1) n mem)
+        in
+        fun sh arr n ~mem -> any sh arr 0 n mem
+    | None ->
+        let rec go sh acc (arr : Loc.t array) i n mem =
+          if i >= n then acc
+          else
+            let acc =
+              if Loc.is_mem arr.(i) = mem then D.join acc (Sh.get sh arr.(i))
+              else acc
+            in
+            go sh acc arr (i + 1) n mem
+        in
+        fun sh arr n ~mem -> go sh D.bottom arr 0 n mem
 
   let join2 : D.t -> D.t -> D.t =
     match D.as_bool with Some Taint.Refl -> ( || ) | None -> D.join
 
   (* Write fan-out without a per-event closure. *)
-  let rec set_all sh v = function
-    | [] -> ()
-    | l :: rest ->
-        Sh.set sh l v;
-        set_all sh v rest
+  let set_all sh v (arr : Loc.t array) n =
+    for i = 0 to n - 1 do
+      Sh.set sh arr.(i) v
+    done
 
   type control_frame = {
     mutable regions : (int * D.t) list;  (** (close_at_pc, taint) *)
@@ -93,6 +114,11 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
     shadow : Sh.t;
     stats : stats;
     mutable sink_handler : (sink -> D.t -> Event.exec -> unit) option;
+    mutable sink_handler_view : (sink -> D.t -> Event.view -> unit) option;
+    mutable scratch : Event.view option;
+        (** reused by {!process} to present boxed records to the
+            view-based transfer function without per-event copies of
+            anything but the loc lists *)
     control : (int, thread_control) Hashtbl.t;
     mutable ctl_tid : int;  (** tid of [ctl_tc], or [min_int] *)
     mutable ctl_tc : thread_control;
@@ -117,6 +143,8 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
       shadow = Sh.create ();
       stats = { events = 0; sources = 0; sink_hits = 0 };
       sink_handler = None;
+      sink_handler_view = None;
+      scratch = None;
       control = Hashtbl.create 8;
       ctl_tid = min_int;
       ctl_tc = { cframes = [] };
@@ -130,6 +158,12 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
 
   let on_sink t f = t.sink_handler <- Some f
 
+  (* The allocation-free variant: the handler sees the live view
+     (valid only for the duration of the call — call
+     [Event.view_to_exec] to retain).  Both handlers may be installed;
+     the view handler runs first. *)
+  let on_sink_view t f = t.sink_handler_view <- Some f
+
   (** Redirect overhead charging (e.g. to a helper-core clock, or to
       nothing when timing is modelled externally). *)
   let set_charge t f = t.charge <- f
@@ -142,12 +176,16 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
   let shadow_footprint t =
     (Sh.tainted_locations t.shadow, Sh.footprint_words t.shadow)
 
-  let joined t locs = joined_locs t.shadow locs
+  let joined_reads t (v : Event.view) =
+    joined_arr t.shadow v.Event.v_reads 0 v.Event.v_nreads
 
-  let hit_sink t sink taint e =
+  let hit_sink t sink taint v =
     if not (D.is_bottom taint) then t.stats.sink_hits <- t.stats.sink_hits + 1;
+    (match t.sink_handler_view with
+    | Some f -> f sink taint v
+    | None -> ());
     match t.sink_handler with
-    | Some f -> f sink taint e
+    | Some f -> f sink taint (Event.view_to_exec v)
     | None -> ()
 
   (* -- control-taint bookkeeping (only when policy.propagate_control) - *)
@@ -203,23 +241,24 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
 
   (* Update control regions for this event and return the active
      control taint. *)
-  let control_taint t (e : Event.exec) =
+  let control_taint t (v : Event.view) =
     if not t.policy.Policy.propagate_control then D.bottom
     else begin
-      let tc = thread_control t e.Event.tid in
+      let tc = thread_control t v.Event.v_tid in
       let f = current_cframe tc in
       (match f.regions with
       | [] -> ()
       | regions ->
-          if closes_here e.Event.pc regions then
-            f.regions <- remove_closed e.Event.pc regions);
+          if closes_here v.Event.v_pc regions then
+            f.regions <- remove_closed v.Event.v_pc regions);
       let active = control_taint_of_frame f in
-      (match e.Event.instr with
+      (match v.Event.v_instr with
       | Instr.Br (_, _, _) ->
-          let cond_taint = joined t e.Event.reads in
+          let cond_taint = joined_reads t v in
           if not (D.is_bottom cond_taint) then begin
             let close =
-              Static_info.ipdom t.static e.Event.func.Func.name e.Event.pc
+              Static_info.ipdom t.static v.Event.v_func.Func.name
+                v.Event.v_pc
             in
             f.regions <- (close, cond_taint) :: f.regions
           end
@@ -231,27 +270,12 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
           | [ _ ] | [] -> ())
       | Instr.Sys (Instr.Spawn _) ->
           if not (D.is_bottom active) then
-            Hashtbl.replace t.pending_spawn_taint e.Event.value active
+            Hashtbl.replace t.pending_spawn_taint v.Event.v_value active
       | _ -> ());
       active
     end
 
   (* -- the per-event transfer function --------------------------------- *)
-
-  (* Splits a load/store event's reads into (value sources, address
-     sources) according to the instruction shape. *)
-  let split_sources (e : Event.exec) =
-    match e.Event.instr with
-    | Instr.Load (_, _, _) ->
-        let mems, regs = List.partition Loc.is_mem e.Event.reads in
-        (mems, regs)
-    | Instr.Store (src, _, _) -> (
-        match src, e.Event.reads with
-        | Operand.Reg _, s :: rest -> ([ s ], rest)
-        | (Operand.Imm _ | Operand.Reg _), rest -> ([], rest))
-    | _ -> (e.Event.reads, [])
-
-  let site_of (e : Event.exec) = (e.Event.func.Func.name, e.Event.pc)
 
   (** Sample the shadow footprint onto the timeline every
       [sample_every] processed events (default [256]) — the
@@ -304,116 +328,149 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) = struct
 
   (* Argument copies are pure moves: tags propagate unchanged (no
      [at_write]), so PC taint keeps naming the instruction that
-     produced the value. *)
-  let rec copy_args t ctl writes reads =
-    match writes, reads with
-    | [], _ | _, [] -> ()
-    | w :: ws, r :: rs ->
-        Sh.set t.shadow w (join2 (Sh.get t.shadow r) ctl);
-        copy_args t ctl ws rs
+     produced the value.  The pairwise walk stops at the shorter
+     prefix — reads beyond [nw] are an Icall's target registers. *)
+  let copy_args t ctl (v : Event.view) =
+    let n = min v.Event.v_nwrites v.Event.v_nreads in
+    for i = 0 to n - 1 do
+      Sh.set t.shadow
+        v.Event.v_writes.(i)
+        (join2 (Sh.get t.shadow v.Event.v_reads.(i)) ctl)
+    done
 
-  let process t (e : Event.exec) =
+  let process_view t (v : Event.view) =
     t.stats.events <- t.stats.events + 1;
     trace_sample t;
     flight_milestone t;
     t.charge Cost.inline_taint_propagate;
-    let ctl = control_taint t e in
-    match e.Event.instr with
+    let ctl = control_taint t v in
+    match v.Event.v_instr with
     | Instr.Sys (Instr.Read _) ->
         let taint =
-          if e.Event.input_index >= 0 then begin
+          if v.Event.v_input_index >= 0 then begin
             t.stats.sources <- t.stats.sources + 1;
-            D.source ~input_index:e.Event.input_index ~step:e.Event.step
+            D.source ~input_index:v.Event.v_input_index ~step:v.Event.v_step
           end
           else D.bottom
         in
-        set_all t.shadow (join2 taint ctl) e.Event.writes
+        set_all t.shadow (join2 taint ctl) v.Event.v_writes v.Event.v_nwrites
     | Instr.Call _ | Instr.Icall _ | Instr.Sys (Instr.Spawn _) ->
         (* Pairwise argument copy; for Icall the trailing reads are the
            target operand's registers. *)
-        (match e.Event.instr with
+        (match v.Event.v_instr with
         | Instr.Icall (fop, _) ->
-            let nargs = List.length e.Event.writes in
-            let target_locs =
+            let nargs = v.Event.v_nwrites in
+            let target_taint =
               match fop with
               | Operand.Reg _ ->
-                  List.filteri (fun i _ -> i >= nargs) e.Event.reads
-              | Operand.Imm _ -> []
+                  joined_arr t.shadow v.Event.v_reads nargs v.Event.v_nreads
+              | Operand.Imm _ -> D.bottom
             in
-            hit_sink t Sink_icall (joined t target_locs) e
+            hit_sink t Sink_icall target_taint v
         | _ -> ());
-        (match e.Event.instr with
-        | Instr.Sys (Instr.Spawn _) -> (
+        (match v.Event.v_instr with
+        | Instr.Sys (Instr.Spawn _) ->
             (* writes = [tid destination; callee r0]; the tid itself is
                environment data and stays clean, the argument carries
                its taint when the policy says so. *)
             let arg_taint =
               if t.policy.Policy.taint_spawn_arg then
-                join2 (joined t e.Event.reads) ctl
+                join2 (joined_reads t v) ctl
               else D.bottom
             in
-            match e.Event.writes with
-            | [ tid_dst; callee_arg ] ->
-                Sh.set t.shadow tid_dst D.bottom;
-                Sh.set t.shadow callee_arg arg_taint
-            | _ -> ())
+            if v.Event.v_nwrites = 2 then begin
+              Sh.set t.shadow v.Event.v_writes.(0) D.bottom;
+              Sh.set t.shadow v.Event.v_writes.(1) arg_taint
+            end
         | _ ->
-            (* nargs = length writes; reads beyond that are the Icall
-               target registers, skipped by the pairwise walk. *)
-            copy_args t ctl e.Event.writes e.Event.reads)
-    | Instr.Br (_, _, _) ->
-        hit_sink t Sink_branch (joined t e.Event.reads) e
+            (* nargs = nwrites; reads beyond that are the Icall target
+               registers, skipped by the pairwise walk. *)
+            copy_args t ctl v)
+    | Instr.Br (_, _, _) -> hit_sink t Sink_branch (joined_reads t v) v
     | Instr.Sys (Instr.Write _) ->
-        hit_sink t Sink_output (joined t e.Event.reads) e
+        hit_sink t Sink_output (joined_reads t v) v
     | Instr.Sys (Instr.Check _) ->
-        hit_sink t Sink_check (joined t e.Event.reads) e
+        hit_sink t Sink_check (joined_reads t v) v
     | Instr.Load _ | Instr.Store _ ->
-        let value_srcs, addr_srcs = split_sources e in
+        (* Split the reads into (value sources, address sources) by
+           instruction shape: a Load's value source is its memory cell
+           and its address registers are the rest; a Store's value
+           source is its first read when the source operand is a
+           register, the rest being the address computation. *)
         let is_load =
-          match e.Event.instr with Instr.Load _ -> true | _ -> false
+          match v.Event.v_instr with Instr.Load _ -> true | _ -> false
+        in
+        let addr_taint =
+          match v.Event.v_instr with
+          | Instr.Store (Operand.Reg _, _, _) when v.Event.v_nreads >= 1 ->
+              joined_arr t.shadow v.Event.v_reads 1 v.Event.v_nreads
+          | Instr.Store (_, _, _) -> joined_reads t v
+          | _ ->
+              joined_plane t.shadow v.Event.v_reads v.Event.v_nreads
+                ~mem:false
         in
         hit_sink t
           (if is_load then Sink_load_address else Sink_store_address)
-          (joined t addr_srcs) e;
-        (match e.Event.writes with
-        | [] -> ()
-        | writes ->
-            let taint = joined t value_srcs in
-            let taint =
-              if
-                (if is_load then t.policy.Policy.propagate_load_address
-                 else t.policy.Policy.propagate_store_address)
-              then join2 taint (joined t addr_srcs)
-              else taint
-            in
-            let taint = join2 taint ctl in
-            (* Loads are pure copies; stores stamp the tag with their
-               own site — "the most recent instruction that wrote to
-               the location" (paper §3.3), which is what makes the tag
-               at an attack sink name the unchecked store rather than
-               an innocent load. *)
-            let taint =
-              if is_load then taint
-              else
-                let fname, pc = site_of e in
-                D.at_write ~step:e.Event.step ~fname ~pc taint
-            in
-            set_all t.shadow taint writes)
-    | _ -> (
+          addr_taint v;
+        if v.Event.v_nwrites > 0 then begin
+          let taint =
+            match v.Event.v_instr with
+            | Instr.Store (Operand.Reg _, _, _) when v.Event.v_nreads >= 1
+              ->
+                joined_arr t.shadow v.Event.v_reads 0 1
+            | Instr.Store (_, _, _) -> D.bottom
+            | _ ->
+                joined_plane t.shadow v.Event.v_reads v.Event.v_nreads
+                  ~mem:true
+          in
+          let taint =
+            if
+              (if is_load then t.policy.Policy.propagate_load_address
+               else t.policy.Policy.propagate_store_address)
+            then join2 taint addr_taint
+            else taint
+          in
+          let taint = join2 taint ctl in
+          (* Loads are pure copies; stores stamp the tag with their
+             own site — "the most recent instruction that wrote to
+             the location" (paper §3.3), which is what makes the tag
+             at an attack sink name the unchecked store rather than
+             an innocent load. *)
+          let taint =
+            if is_load then taint
+            else
+              D.at_write ~step:v.Event.v_step
+                ~fname:v.Event.v_func.Func.name ~pc:v.Event.v_pc taint
+          in
+          set_all t.shadow taint v.Event.v_writes v.Event.v_nwrites
+        end
+    | _ ->
         (* every read is a value source; no address sinks *)
-        match e.Event.writes with
-        | [] -> ()
-        | writes ->
-            let taint = join2 (joined t e.Event.reads) ctl in
-            (* register moves and returned values are pure copies *)
-            let taint =
-              match e.Event.instr with
-              | Instr.Mov _ | Instr.Ret _ -> taint
-              | _ ->
-                  let fname, pc = site_of e in
-                  D.at_write ~step:e.Event.step ~fname ~pc taint
-            in
-            set_all t.shadow taint writes)
+        if v.Event.v_nwrites > 0 then begin
+          let taint = join2 (joined_reads t v) ctl in
+          (* register moves and returned values are pure copies *)
+          let taint =
+            match v.Event.v_instr with
+            | Instr.Mov _ | Instr.Ret _ -> taint
+            | _ ->
+                D.at_write ~step:v.Event.v_step
+                  ~fname:v.Event.v_func.Func.name ~pc:v.Event.v_pc taint
+          in
+          set_all t.shadow taint v.Event.v_writes v.Event.v_nwrites
+        end
+
+  let process t (e : Event.exec) =
+    let v =
+      match t.scratch with
+      | Some v ->
+          Event.view_fill v e;
+          v
+      | None ->
+          let v = Event.view_of_exec e in
+          t.scratch <- Some v;
+          v
+    in
+    process_view t v
 
   (** Expose the engine through an observability registry (derived
       gauges over the live stats and the O(1) shadow accounting). *)

@@ -47,6 +47,12 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) : sig
       or not; check [D.is_bottom]). *)
   val on_sink : t -> (sink -> D.t -> Event.exec -> unit) -> unit
 
+  (** The allocation-free sink handler: sees the live {!Event.view},
+      which is valid only for the duration of the call (use
+      {!Event.view_to_exec} to retain it).  May be installed alongside
+      {!on_sink}; the view handler runs first. *)
+  val on_sink_view : t -> (sink -> D.t -> Event.view -> unit) -> unit
+
   (** Redirect overhead charging (e.g. to a helper-core clock, or to
       nothing when timing is modelled externally). *)
   val set_charge : t -> (int -> unit) -> unit
@@ -62,6 +68,11 @@ module Make_over (Shadow_impl : Shadow.IMPL) (D : Taint.DOMAIN) : sig
       drive the engine themselves; {!attach} wires it up as a VM
       tool). *)
   val process : t -> Event.exec -> unit
+
+  (** The transfer function over a decoded {!Event.view} — what the
+      de-boxed forwarding plane calls per event; {!process} is this
+      plus a fill of a per-engine scratch view. *)
+  val process_view : t -> Event.view -> unit
 
   (** Register the engine's statistics in an observability registry as
       derived gauges ([core.engine.*] and [core.shadow.*]; see

@@ -1,0 +1,83 @@
+(** The forwarding-plane switch: one producer/consumer surface over
+    the two wire formats, so each runtime picks its encoding once and
+    the feed/drain/supervision logic downstream is wire-agnostic.
+
+    - [`Boxed] — the original plane: whole {!Dift_vm.Event.exec}
+      records over an [Event.exec] {!Forwarder} (one pointer per
+      event, heap-shaped payload).
+    - [`Coded] — the de-boxed plane: flat {!Codec} batches of interned
+      site ids and integer lanes (zero allocation per event in the
+      steady state).
+
+    Consumers always see {!Dift_vm.Event.view}s: the coded wire
+    decodes into its scratch view, the boxed wire refills one from
+    each record.  Every event-level counter is in logical events on
+    both wires, so reports reconcile identically. *)
+
+open Dift_vm
+
+type wire = [ `Boxed | `Coded ]
+
+val pp_wire : wire Fmt.t
+
+type t =
+  | Boxed of Event.exec Forwarder.t
+  | Coded of Codec.t
+
+(** [create ~wire ~queue_capacity ~batch_size ~table ()] — both wires
+    buffer up to [queue_capacity * batch_size] events; the coded wire
+    uses [batch_size] as its [events_per_batch] and forces [table]
+    (the interned site table is only built when a coded channel
+    actually needs it). *)
+val create :
+  ?obs:Dift_obs.Registry.t ->
+  ?trace:Dift_obs.Trace.t ->
+  ?flight:Dift_obs.Flight.t ->
+  ?chaos:Chaos.t ->
+  ?escalate:bool ->
+  ?ns:string ->
+  wire:wire ->
+  queue_capacity:int ->
+  batch_size:int ->
+  table:Site.table Lazy.t ->
+  unit ->
+  t
+
+val wire : t -> wire
+
+(** {1 Producer side} *)
+
+val add : t -> Event.exec -> unit
+val flush : t -> unit
+val close : t -> unit
+
+(** {1 Consumer side} *)
+
+(** Apply [f] to every forwarded event as a reused view (do not retain
+    it; see {!Codec.drain}).  [after_batch] fires with the last step
+    after each decoded batch on the coded wire, and after {e every}
+    event on the boxed wire (which has no batch hook — a sound
+    refinement for the filter's epoch advance). *)
+val drain :
+  ?around_batch:((unit -> unit) -> unit) ->
+  ?after_batch:(last_step:int -> unit) ->
+  t ->
+  f:(Event.view -> unit) ->
+  unit
+
+val abort : t -> unit
+val aborted : t -> bool
+
+(** {1 Accounting} (identical semantics on both wires) *)
+
+val events : t -> int
+val batches : t -> int
+val dropped_batches : t -> int
+val dropped_events : t -> int
+val discarded_batches : t -> int
+val discarded_events : t -> int
+val consumed_batches : t -> int
+val consumed_events : t -> int
+val producer_stalls : t -> int
+val consumer_waits : t -> int
+val in_flight_batches : t -> int

@@ -153,12 +153,15 @@ let prefix ~pre s =
   String.length pre <= String.length s
   && String.sub s 0 (String.length pre) = pre
 
-let instance ?(escalate = false) t ~ns =
+let instance ?(escalate = false) ?(targeted_only = false) t ~ns =
   let rules =
     List.filter
       (fun r ->
         r.on <> Spawn
-        && match r.where with None -> true | Some w -> prefix ~pre:w ns)
+        &&
+        match r.where with
+        | None -> not targeted_only
+        | Some w -> prefix ~pre:w ns)
       t.c_plan
   in
   { owner = t; ns; rules; escalate; pushes = Atomic.make 0; pops = Atomic.make 0 }

@@ -112,10 +112,17 @@ val fired : t -> int
     and [Abort] faults on such a channel are served as [Raise_now]
     instead — a crash of the intercepting side, which the supervised
     shutdown tears down cleanly.  Same policy the exchange mesh
-    applies to its own rings. *)
+    applies to its own rings.
+
+    [targeted_only] restricts the instance to rules with an explicit
+    [where] prefix: bare rules (no [where]) do not match.  Auxiliary
+    rings whose faults are pure degradations — the forwarder's
+    free-list ring ([ring.free.*]) — use it so that a plan like
+    [pop@1=raise] keeps meaning "the first {e event-carrying} pop",
+    not whichever recycling pop happens to run first. *)
 type inst
 
-val instance : ?escalate:bool -> t -> ns:string -> inst
+val instance : ?escalate:bool -> ?targeted_only:bool -> t -> ns:string -> inst
 
 (** What the intercepted operation should do.  [Stall]/[Delay] faults
     are served {e inside} [on_push]/[on_pop] (the call sleeps, then

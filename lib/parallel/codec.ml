@@ -1,0 +1,420 @@
+(** The de-boxed forwarding wire; see the interface for the format.
+
+    Layout notes.  A {!batch} is a struct-of-arrays of one lane per
+    dynamic field plus a [desc] lane and a shared growable overflow
+    area.  [desc] bit 0 selects the encoding: [1] is the frame-compact
+    form ([desc lsr 1] is the activation-frame serial; the read/write
+    sets reconstruct from the interned {!Site.row} as
+    [frame * Site.frame_stride + off], with a Load's trailing memory
+    read and a Store's memory write rebuilt from the [addr] lane), [0]
+    is the explicit form ([desc lsr 1] indexes the overflow area:
+    [nreads, nwrites, reads.., writes..] verbatim — call boundaries,
+    faulting events, anything whose dynamic shape diverges from the
+    static row).  The encoder verifies the compact shape element-wise
+    per event, so decode is exact by construction, not by trust. *)
+
+open Dift_isa
+open Dift_vm
+
+type batch = {
+  b_site : int array;
+  b_step : int array;
+  b_tid : int array;
+  b_addr : int array;
+  b_value : int array;
+  b_next_pc : int array;
+  b_input : int array;
+  b_desc : int array;
+  mutable b_ovf : int array;
+  mutable b_esc : Event.exec array;
+      (** escape hatch: events {e foreign} to the interned program
+          (hand-built streams whose [(func, pc, instr)] is not a real
+          site) ride boxed here, referenced by a negative [desc].
+          Machine streams never take it, so the steady state stays
+          flat. *)
+  mutable b_n : int;
+  mutable b_ovf_n : int;
+  mutable b_esc_n : int;
+}
+
+let batch_create ~events_per_batch =
+  if events_per_batch < 1 then
+    invalid_arg
+      (Fmt.str "Codec.batch_create: events_per_batch = %d < 1"
+         events_per_batch);
+  let z () = Array.make events_per_batch 0 in
+  {
+    b_site = z ();
+    b_step = z ();
+    b_tid = z ();
+    b_addr = z ();
+    b_value = z ();
+    b_next_pc = z ();
+    b_input = z ();
+    b_desc = z ();
+    b_ovf = Array.make 64 0;
+    b_esc = [||];
+    b_n = 0;
+    b_ovf_n = 0;
+    b_esc_n = 0;
+  }
+
+let batch_capacity b = Array.length b.b_site
+let batch_length b = b.b_n
+
+let batch_clear b =
+  b.b_n <- 0;
+  b.b_ovf_n <- 0;
+  if b.b_esc_n > 0 then begin
+    (* drop the boxed references so a recycled batch does not pin them *)
+    b.b_esc <- [||];
+    b.b_esc_n <- 0
+  end
+
+(* -- encoding ----------------------------------------------------------- *)
+
+type encoder = {
+  e_table : Site.table;
+  mutable e_func : Func.t;  (** last function seen (physical equality) *)
+  mutable e_base : int;  (** its first site id *)
+}
+
+let encoder table =
+  let r0 = Site.row table 0 in
+  {
+    e_table = table;
+    e_func = r0.Site.s_func;
+    e_base = Site.base table r0.Site.s_func.Func.name;
+  }
+
+(* Site id of an event, or [-1] when the event is foreign to the
+   table: unknown function name, pc out of range, or a function /
+   instruction that is not physically the program's own (hand-built
+   test streams).  Machine events carry the program's own [Func.t] and
+   [Instr.t], so physical equality is the exact fidelity check, and in
+   the steady state this is one add (the base lookup is cached on
+   physical function identity; [min_int] caches an unknown name). *)
+let site_of enc (e : Event.exec) =
+  if e.Event.func != enc.e_func then begin
+    enc.e_func <- e.Event.func;
+    enc.e_base <-
+      (match Site.base_opt enc.e_table e.Event.func.Func.name with
+      | Some b -> b
+      | None -> min_int)
+  end;
+  if enc.e_base = min_int || e.Event.pc < 0 then -1
+  else
+    let site = enc.e_base + e.Event.pc in
+    if site >= Site.size enc.e_table then -1
+    else
+      let row = Site.row enc.e_table site in
+      if row.Site.s_func == e.Event.func && row.Site.s_instr == e.Event.instr
+      then site
+      else -1
+
+(* The common activation-frame serial of the event's locations, when
+   its dynamic read/write sets match the row's static shape exactly;
+   [-1] otherwise (then the explicit encoding carries the sets
+   verbatim).  A register location [l] matches static offset [off] iff
+   [l - off] is a non-negative multiple of the frame stride — memory
+   locations (even) can never match a register offset (odd). *)
+let compact_frame (row : Site.row) (e : Event.exec) =
+  let stride = Site.frame_stride in
+  let frame = ref (-1) in
+  let check off l =
+    let d = l - off in
+    d >= 0
+    && d mod stride = 0
+    &&
+    let q = d / stride in
+    if !frame = -1 then begin
+      frame := q;
+      true
+    end
+    else !frame = q
+  in
+  let rec walk offs i rest ~mem_last =
+    if i < Array.length offs then
+      match rest with
+      | l :: tl -> check offs.(i) l && walk offs (i + 1) tl ~mem_last
+      | [] -> false
+    else
+      match (rest, mem_last) with
+      | [], false -> true
+      | [ l ], true -> e.Event.addr >= 0 && l = e.Event.addr lsl 1
+      | _ -> false
+  in
+  if
+    walk row.Site.s_read_offs 0 e.Event.reads ~mem_last:row.Site.s_mem_read
+    && walk row.Site.s_write_offs 0 e.Event.writes
+         ~mem_last:row.Site.s_mem_write
+  then if !frame = -1 then 0 else !frame
+  else -1
+
+let grow_ovf b need =
+  if Array.length b.b_ovf < need then begin
+    let a = Array.make (max need (2 * Array.length b.b_ovf)) 0 in
+    Array.blit b.b_ovf 0 a 0 b.b_ovf_n;
+    b.b_ovf <- a
+  end
+
+(** Append one event ([batch_length] must be under [batch_capacity]). *)
+let encode enc b (e : Event.exec) =
+  let i = b.b_n in
+  let site = site_of enc e in
+  b.b_site.(i) <- site;
+  b.b_step.(i) <- e.Event.step;
+  b.b_tid.(i) <- e.Event.tid;
+  b.b_addr.(i) <- e.Event.addr;
+  b.b_value.(i) <- e.Event.value;
+  b.b_next_pc.(i) <- e.Event.next_pc;
+  b.b_input.(i) <- e.Event.input_index;
+  (if site < 0 then begin
+     (* foreign event: carry it boxed, desc = -(index + 1) *)
+     let n = b.b_esc_n in
+     if Array.length b.b_esc <= n then begin
+       let a = Array.make (max 4 (2 * Array.length b.b_esc)) e in
+       Array.blit b.b_esc 0 a 0 n;
+       b.b_esc <- a
+     end;
+     b.b_esc.(n) <- e;
+     b.b_esc_n <- n + 1;
+     b.b_desc.(i) <- -(n + 1)
+   end
+   else
+     let row = Site.row enc.e_table site in
+     let frame = compact_frame row e in
+     if frame >= 0 then b.b_desc.(i) <- (frame lsl 1) lor 1
+     else begin
+     let nr = List.length e.Event.reads
+     and nw = List.length e.Event.writes in
+     let off = b.b_ovf_n in
+     grow_ovf b (off + 2 + nr + nw);
+     b.b_ovf.(off) <- nr;
+     b.b_ovf.(off + 1) <- nw;
+     let j = ref (off + 2) in
+     List.iter
+       (fun l ->
+         b.b_ovf.(!j) <- l;
+         incr j)
+       e.Event.reads;
+     List.iter
+       (fun l ->
+         b.b_ovf.(!j) <- l;
+         incr j)
+       e.Event.writes;
+     b.b_ovf_n <- !j;
+     b.b_desc.(i) <- off lsl 1
+   end);
+  b.b_n <- i + 1
+
+(* -- decoding ----------------------------------------------------------- *)
+
+let ensure arr n =
+  if Array.length arr >= n then arr
+  else Array.make (max n ((2 * Array.length arr) + 4)) 0
+
+(** Decode event [i] of [b] into the reusable view (no allocation once
+    the view's scratch arrays have grown to the stream's maximum
+    read/write fan). *)
+let decode_into table b i (v : Event.view) =
+  let desc0 = b.b_desc.(i) in
+  if desc0 < 0 then
+    (* foreign event off the escape hatch: exact by construction *)
+    Event.view_fill v b.b_esc.(-desc0 - 1)
+  else begin
+  let row = Site.row table b.b_site.(i) in
+  v.Event.v_func <- row.Site.s_func;
+  v.Event.v_pc <- row.Site.s_pc;
+  v.Event.v_instr <- row.Site.s_instr;
+  v.Event.v_step <- b.b_step.(i);
+  v.Event.v_tid <- b.b_tid.(i);
+  v.Event.v_addr <- b.b_addr.(i);
+  v.Event.v_value <- b.b_value.(i);
+  v.Event.v_next_pc <- b.b_next_pc.(i);
+  v.Event.v_input_index <- b.b_input.(i);
+  v.Event.v_exec <- None;
+  let desc = b.b_desc.(i) in
+  if desc land 1 = 1 then begin
+    let frame = desc lsr 1 in
+    let base = frame * Site.frame_stride in
+    let offs = row.Site.s_read_offs in
+    let nro = Array.length offs in
+    let nr = nro + if row.Site.s_mem_read then 1 else 0 in
+    let ra = ensure v.Event.v_reads nr in
+    for k = 0 to nro - 1 do
+      ra.(k) <- base + offs.(k)
+    done;
+    if row.Site.s_mem_read then ra.(nro) <- b.b_addr.(i) lsl 1;
+    v.Event.v_reads <- ra;
+    v.Event.v_nreads <- nr;
+    let woffs = row.Site.s_write_offs in
+    let nwo = Array.length woffs in
+    let nw = nwo + if row.Site.s_mem_write then 1 else 0 in
+    let wa = ensure v.Event.v_writes nw in
+    for k = 0 to nwo - 1 do
+      wa.(k) <- base + woffs.(k)
+    done;
+    if row.Site.s_mem_write then wa.(nwo) <- b.b_addr.(i) lsl 1;
+    v.Event.v_writes <- wa;
+    v.Event.v_nwrites <- nw
+  end
+  else begin
+    let off = desc lsr 1 in
+    let nr = b.b_ovf.(off) and nw = b.b_ovf.(off + 1) in
+    let ra = ensure v.Event.v_reads nr in
+    Array.blit b.b_ovf (off + 2) ra 0 nr;
+    let wa = ensure v.Event.v_writes nw in
+    Array.blit b.b_ovf (off + 2 + nr) wa 0 nw;
+    v.Event.v_reads <- ra;
+    v.Event.v_nreads <- nr;
+    v.Event.v_writes <- wa;
+    v.Event.v_nwrites <- nw
+  end
+  end
+
+(* -- the coded channel -------------------------------------------------- *)
+
+type t = {
+  table : Site.table;
+  enc : encoder;
+  fwd : batch Forwarder.t;
+      (** [batch_size = 1]: one ring slot per encoded batch, event
+          accounting in {!Forwarder.add_n} weights *)
+  free : batch Spsc.t;
+      (** decoded batches coming back for reuse — the preallocated
+          lanes cycle producer → consumer → producer *)
+  chaos_free : Chaos.inst option;
+  events_per_batch : int;
+  mutable cur : batch option;  (** producer side *)
+  mutable scratch : Event.view option;  (** consumer side *)
+}
+
+let create ?obs ?trace ?flight ?chaos ?escalate ?(ns = "parallel")
+    ~queue_capacity ~events_per_batch ~table () =
+  if events_per_batch < 1 then
+    invalid_arg
+      (Fmt.str "Codec.create: events_per_batch = %d < 1" events_per_batch);
+  let fwd =
+    Forwarder.create ?obs ?trace ?flight ?chaos ?escalate ~ns
+      ~queue_capacity ~batch_size:1 ()
+  in
+  {
+    table;
+    enc = encoder table;
+    fwd;
+    free = Spsc.create ~capacity:(queue_capacity + 2);
+    chaos_free =
+      Option.map
+        (fun c ->
+          Chaos.instance ~targeted_only:true c ~ns:("ring.free." ^ ns))
+        chaos;
+    events_per_batch;
+    cur = None;
+    scratch = None;
+  }
+
+let table t = t.table
+
+let fresh t = batch_create ~events_per_batch:t.events_per_batch
+
+(* The open batch: the current one, a recycled one off the free list
+   (steady state — the lanes cycle, no allocation), or a fresh set of
+   lanes.  Same free-ring chaos semantics as {!Forwarder}: a [Drop]
+   skips recycling once, an [Abort] kills the free ring, a [Raise]
+   crashes the producer. *)
+let open_cur t =
+  match t.cur with
+  | Some b -> b
+  | None ->
+      let pop_free () =
+        match Spsc.try_pop t.free with
+        | Some b ->
+            batch_clear b;
+            b
+        | None -> fresh t
+      in
+      let b =
+        match t.chaos_free with
+        | None -> pop_free ()
+        | Some c -> (
+            match Chaos.on_pop c with
+            | Chaos.Proceed -> pop_free ()
+            | Chaos.Fail -> fresh t
+            | Chaos.Abort_now ->
+                Spsc.abort t.free;
+                fresh t
+            | Chaos.Raise_now e -> raise e)
+      in
+      t.cur <- Some b;
+      b
+
+let flush t =
+  match t.cur with
+  | None -> ()
+  | Some b ->
+      if b.b_n > 0 then begin
+        t.cur <- None;
+        (* batch_size = 1: lands on the ring immediately, weighted by
+           its event count *)
+        Forwarder.add_n t.fwd b b.b_n
+      end
+
+let feed t e =
+  let b = open_cur t in
+  encode t.enc b e;
+  if b.b_n = t.events_per_batch then flush t
+
+let close t =
+  flush t;
+  Forwarder.close t.fwd
+
+let abort t = Forwarder.abort t.fwd
+let aborted t = Forwarder.aborted t.fwd
+
+let scratch_view t =
+  match t.scratch with
+  | Some v -> v
+  | None ->
+      let r0 = Site.row t.table 0 in
+      let v =
+        Event.view_create ~func:r0.Site.s_func ~instr:r0.Site.s_instr
+      in
+      t.scratch <- Some v;
+      v
+
+let drain ?around_batch ?(after_batch = fun ~last_step:_ -> ()) t ~f =
+  let v = scratch_view t in
+  let recycle b =
+    batch_clear b;
+    match t.chaos_free with
+    | None -> ignore (Spsc.try_push t.free b : bool)
+    | Some c -> (
+        match Chaos.on_push c with
+        | Chaos.Proceed -> ignore (Spsc.try_push t.free b : bool)
+        | Chaos.Fail -> ()
+        | Chaos.Abort_now -> Spsc.abort t.free
+        | Chaos.Raise_now e -> raise e)
+  in
+  Forwarder.drain ?around_batch t.fwd ~f:(fun b ->
+      let n = b.b_n in
+      for i = 0 to n - 1 do
+        decode_into t.table b i v;
+        f v
+      done;
+      if n > 0 then after_batch ~last_step:b.b_step.(n - 1);
+      recycle b)
+
+(* -- accounting passthrough (event counts are add_n weights) ----------- *)
+
+let events t = Forwarder.events t.fwd
+let batches t = Forwarder.batches t.fwd
+let dropped_batches t = Forwarder.dropped_batches t.fwd
+let dropped_events t = Forwarder.dropped_events t.fwd
+let discarded_batches t = Forwarder.discarded_batches t.fwd
+let discarded_events t = Forwarder.discarded_events t.fwd
+let consumed_batches t = Forwarder.consumed_batches t.fwd
+let consumed_events t = Forwarder.consumed_events t.fwd
+let producer_stalls t = Forwarder.producer_stalls t.fwd
+let consumer_waits t = Forwarder.consumer_waits t.fwd
+let in_flight_batches t = Forwarder.in_flight_batches t.fwd

@@ -19,6 +19,11 @@
 type 'a batch = {
   mutable data : 'a array;  (** [[||]] until the first element *)
   mutable len : int;
+  mutable weight : int;
+      (** logical events carried: [len] for plain element streams,
+          the sum of {!add_n} weights when each element is itself an
+          encoded multi-event batch (the de-boxed codec) — all event
+          accounting (drops, discards, consumption) is in weights *)
 }
 
 type 'a t = {
@@ -46,6 +51,13 @@ type 'a t = {
   mutable consumed_events : int;
   chaos : Chaos.inst option;
       (** fault-injection seam; [None] is the direct Spsc path *)
+  chaos_free : Chaos.inst option;
+      (** fault-injection seam on the free-list ring (namespace
+          [ring.free.<ns>], targeted rules only): recycling is
+          load-bearing for the codec's preallocated batches, so its
+          degradation legs are schedulable too.  Free-ring faults
+          never lose events — a failed pop allocates fresh, a failed
+          push lets the record fall to the GC. *)
   occupancy : Dift_obs.Registry.histogram option;
       (** elements per pushed batch, when observability is on *)
   trace : Dift_obs.Trace.t option;
@@ -97,7 +109,7 @@ let create ?obs ?trace ?flight ?chaos ?(escalate = false) ?(ns = "parallel")
           ~buckets:(occupancy_buckets batch_size))
       obs
   in
-  let no_batch = { data = [||]; len = 0 } in
+  let no_batch = { data = [||]; len = 0; weight = 0 } in
   let t =
     {
       ring;
@@ -114,6 +126,11 @@ let create ?obs ?trace ?flight ?chaos ?(escalate = false) ?(ns = "parallel")
       consumed_batches = 0;
       consumed_events = 0;
       chaos = Option.map (fun c -> Chaos.instance ~escalate c ~ns) chaos;
+      chaos_free =
+        Option.map
+          (fun c ->
+            Chaos.instance ~targeted_only:true c ~ns:("ring.free." ^ ns))
+          chaos;
       occupancy;
       trace;
       flight;
@@ -197,8 +214,8 @@ let traced_push t batch =
    but will never reach the consumer. *)
 let account_drop t b =
   t.dropped_batches <- t.dropped_batches + 1;
-  t.dropped_events <- t.dropped_events + b.len;
-  flight_ev t "ring.drop" ~a:b.len ~b:t.dropped_batches
+  t.dropped_events <- t.dropped_events + b.weight;
+  flight_ev t "ring.drop" ~a:b.weight ~b:t.dropped_batches
 
 let flush t =
   let b = t.cur in
@@ -218,7 +235,7 @@ let flush t =
       if Spsc.dropped t.ring > d0 then account_drop t b
       else begin
         t.batches <- t.batches + 1;
-        flight_ev t "ring.push" ~a:b.len ~b:(Spsc.length t.ring)
+        flight_ev t "ring.push" ~a:b.weight ~b:(Spsc.length t.ring)
       end
     in
     match t.chaos with
@@ -238,16 +255,33 @@ let flush t =
   end
 
 (* An open batch to append to: the current one, a recycled one off the
-   free list (steady state — no allocation), or a fresh record. *)
+   free list (steady state — no allocation), or a fresh record.  An
+   injected [ring.free.<ns>/pop] fault degrades recycling (a [Drop]
+   skips the free list for this batch, an [Abort] kills the free ring
+   for good, a [Raise] crashes the producer) — it never loses
+   events. *)
 let open_batch t =
   if t.cur != t.no_batch then t.cur
   else begin
-    let b =
+    let pop_free () =
       match Spsc.try_pop t.free with
       | Some b ->
           b.len <- 0;
+          b.weight <- 0;
           b
-      | None -> { data = [||]; len = 0 }
+      | None -> { data = [||]; len = 0; weight = 0 }
+    in
+    let b =
+      match t.chaos_free with
+      | None -> pop_free ()
+      | Some c -> (
+          match Chaos.on_pop c with
+          | Chaos.Proceed -> pop_free ()
+          | Chaos.Fail -> { data = [||]; len = 0; weight = 0 }
+          | Chaos.Abort_now ->
+              Spsc.abort t.free;
+              { data = [||]; len = 0; weight = 0 }
+          | Chaos.Raise_now e -> raise e)
     in
     t.cur <- b;
     b
@@ -258,7 +292,20 @@ let add t e =
   if b.data == [||] then b.data <- Array.make t.batch_size e;
   b.data.(b.len) <- e;
   b.len <- b.len + 1;
+  b.weight <- b.weight + 1;
   t.events <- t.events + 1;
+  if b.len = t.batch_size then flush t
+
+(* Append one element standing for [n] logical events (an encoded
+   multi-event batch): every event counter on this channel moves by
+   [n], while ring occupancy still moves by one slot element. *)
+let add_n t e n =
+  let b = open_batch t in
+  if b.data == [||] then b.data <- Array.make t.batch_size e;
+  b.data.(b.len) <- e;
+  b.len <- b.len + 1;
+  b.weight <- b.weight + n;
+  t.events <- t.events + n;
   if b.len = t.batch_size then flush t
 
 let close t =
@@ -296,8 +343,8 @@ let traced_pop t =
    [account_drop]. *)
 let account_discard t b =
   t.discarded_batches <- t.discarded_batches + 1;
-  t.discarded_events <- t.discarded_events + b.len;
-  flight_ev t "ring.discard" ~a:b.len ~b:t.discarded_batches
+  t.discarded_events <- t.discarded_events + b.weight;
+  flight_ev t "ring.discard" ~a:b.weight ~b:t.discarded_batches
 
 let drain ?(around_batch = fun k -> k ()) t ~f =
   let run_batch b () =
@@ -305,11 +352,20 @@ let drain ?(around_batch = fun k -> k ()) t ~f =
       f (Array.unsafe_get b.data i)
     done
   in
-  (* recycle the record; if the free list is momentarily full the
-     record just falls to the GC *)
+  (* recycle the record; if the free list is momentarily full (or an
+     injected [ring.free.<ns>/push] fault fires) the record just falls
+     to the GC *)
   let recycle b =
     b.len <- 0;
-    ignore (Spsc.try_push t.free b : bool)
+    b.weight <- 0;
+    match t.chaos_free with
+    | None -> ignore (Spsc.try_push t.free b : bool)
+    | Some c -> (
+        match Chaos.on_push c with
+        | Chaos.Proceed -> ignore (Spsc.try_push t.free b : bool)
+        | Chaos.Fail -> ()
+        | Chaos.Abort_now -> Spsc.abort t.free
+        | Chaos.Raise_now e -> raise e)
   in
   (* Close the in-flight accounting gap: [Spsc.pop] honours the abort
      flag before buffered elements, so batches already delivered when
@@ -324,9 +380,9 @@ let drain ?(around_batch = fun k -> k ()) t ~f =
       let rec go () =
         match Spsc.pop_remaining t.ring with
         | Some b ->
-            account_discard t b;
             incr nb;
-            ne := !ne + b.len;
+            ne := !ne + b.weight;
+            account_discard t b;
             recycle b;
             go ()
         | None -> ()
@@ -375,8 +431,8 @@ let drain ?(around_batch = fun k -> k ()) t ~f =
         in
         if processed then begin
           t.consumed_batches <- t.consumed_batches + 1;
-          t.consumed_events <- t.consumed_events + b.len;
-          flight_ev t "ring.pop" ~a:b.len ~b:(Spsc.length t.ring)
+          t.consumed_events <- t.consumed_events + b.weight;
+          flight_ev t "ring.pop" ~a:b.weight ~b:(Spsc.length t.ring)
         end;
         recycle b;
         loop ()

@@ -71,8 +71,14 @@ type 'a t
     {!Chaos.inst} for its namespace, injected push failures become
     counted {!dropped_batches}, injected pop failures become counted
     {!discarded_batches}, and injected raises surface from
-    {!flush}/{!drain} after accounting.  Without [?chaos] the channel
-    takes the direct [Spsc] path — no per-operation overhead.
+    {!flush}/{!drain} after accounting.  The internal free-list ring
+    is a second seam under the namespace [ring.free.<ns>], matched by
+    {e explicitly targeted} rules only (a bare [pop@1=raise] still
+    means the event ring): a [drop] skips recycling once, an [abort]
+    disables the free ring for good (every batch thereafter falls to
+    the GC — pure degradation, no event loss), a [raise] crashes the
+    side it intercepts.  Without [?chaos] the channel takes the
+    direct [Spsc] path — no per-operation overhead.
 
     [escalate] (default [false]) marks a channel whose losses would
     wedge a protocol riding on it: injected drop/abort faults are then
@@ -97,6 +103,13 @@ val create :
 (** Forward one element; pushes the current batch when it reaches
     [batch_size] (blocking while the ring is full). *)
 val add : 'a t -> 'a -> unit
+
+(** [add_n t e n] forwards one element that stands for [n] logical
+    events — an encoded multi-event batch (see {!Codec}).  Every event
+    counter on the channel ({!events}, {!dropped_events},
+    {!discarded_events}, {!consumed_events}) moves by [n]; batch and
+    ring-occupancy accounting still move by one element. *)
+val add_n : 'a t -> 'a -> int -> unit
 
 (** Push the current partial batch, if any.  The sharded router calls
     this after every cross-shard event so no participant's copy can

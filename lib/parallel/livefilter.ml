@@ -1,0 +1,118 @@
+(** Producer-side taint-liveness filter; see the interface for the
+    protocol and the soundness argument. *)
+
+open Dift_vm
+
+type t = {
+  page_bits : int;
+  mask : int;  (** word-index mask; [Array.length words - 1] *)
+  words : int Atomic.t array;
+      (** H — the monotone ever-tainted page-hash bitmap.  Helpers set
+          bits (check-then-CAS-OR); nobody ever clears one. *)
+  stamps : int array;
+      (** producer-only: last step at which the producer forwarded an
+          event that may produce taint in a location hashing to this
+          word ([min_int] = never) *)
+  epochs : int Atomic.t array;
+      (** per-consumer: step of the last event fully processed {e and
+          published} ([-1] = none yet) *)
+  mutable cached_min : int;
+      (** producer cache of [min epochs] — monotone, so staleness only
+          over-forwards *)
+  mutable since_refresh : int;
+  mutable filtered : int;  (** producer-only: events dropped *)
+}
+
+let refresh_interval = 256
+
+let create ?(page_bits = 6) ?(words = 1024) ~slots () =
+  if slots < 1 then
+    invalid_arg (Fmt.str "Livefilter.create: slots = %d < 1" slots);
+  if words < 1 || words land (words - 1) <> 0 then
+    invalid_arg
+      (Fmt.str "Livefilter.create: words = %d not a positive power of two"
+         words);
+  {
+    page_bits;
+    mask = words - 1;
+    words = Array.init words (fun _ -> Atomic.make 0);
+    stamps = Array.make words min_int;
+    epochs = Array.init slots (fun _ -> Atomic.make (-1));
+    cached_min = -1;
+    since_refresh = 0;
+    filtered = 0;
+  }
+
+(* Key of a location: (page of its index, plane).  Registers (odd
+   locs) and memory (even locs) land on disjoint keys so a dense
+   register file cannot shadow the memory pages. *)
+let key_of t loc = (((loc lsr 1) lsr t.page_bits) lsl 1) lor (loc land 1)
+let word_of t loc = key_of t loc lsr 6 land t.mask
+let bit_of t loc = 1 lsl (key_of t loc land 63)
+
+let refresh_min t =
+  let m = ref max_int in
+  for i = 0 to Array.length t.epochs - 1 do
+    let e = Atomic.get t.epochs.(i) in
+    if e < !m then m := e
+  done;
+  t.cached_min <- !m;
+  t.since_refresh <- 0
+
+(* A location is possibly-live iff its page hash has ever been
+   published tainted, or some event that may have produced taint there
+   is not yet covered by every consumer's published epoch. *)
+let live t loc =
+  let w = word_of t loc in
+  Atomic.get t.words.(w) land bit_of t loc <> 0
+  || t.stamps.(w) > t.cached_min
+
+let rec any_live t = function
+  | [] -> false
+  | l :: tl -> live t l || any_live t tl
+
+let admit t (e : Event.exec) =
+  t.since_refresh <- t.since_refresh + 1;
+  if t.since_refresh >= refresh_interval then refresh_min t;
+  let live_in = any_live t e.Event.reads in
+  (* every forwarded event that may introduce taint (a source, or a
+     propagation from live reads) stamps its write words, so nothing
+     downstream of it can be dropped before the helper publishes H *)
+  if live_in || Site.is_input_instr e.Event.instr then
+    List.iter
+      (fun l -> t.stamps.(word_of t l) <- e.Event.step)
+      e.Event.writes;
+  if (not (Site.filterable_instr e.Event.instr)) || live_in then true
+  else if any_live t e.Event.writes then
+    (* untainted writes over possibly-tainted locations clear taint in
+       the helper's shadow — they must go through *)
+    true
+  else begin
+    t.filtered <- t.filtered + 1;
+    false
+  end
+
+let filtered t = t.filtered
+
+(* -- consumer side ------------------------------------------------------ *)
+
+let publish_loc t loc =
+  let w = t.words.(word_of t loc) in
+  let bit = bit_of t loc in
+  (* check-then-CAS: steady state on already-published pages is one
+     atomic load, no write traffic *)
+  let rec set () =
+    let cur = Atomic.get w in
+    if cur land bit = 0 then
+      if not (Atomic.compare_and_set w cur (cur lor bit)) then set ()
+  in
+  set ()
+
+let publish t ~tainted (v : Event.view) =
+  for i = 0 to v.Event.v_nwrites - 1 do
+    let l = v.Event.v_writes.(i) in
+    if tainted l then publish_loc t l
+  done
+
+let advance t ~slot ~step =
+  if step > Atomic.get t.epochs.(slot) then Atomic.set t.epochs.(slot) step

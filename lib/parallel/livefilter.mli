@@ -1,0 +1,79 @@
+(** Producer-side taint-liveness filter (opt-in, [--forward-filter]):
+    the application core drops events whose locations provably cannot
+    intersect live taint and cannot introduce any, shrinking forwarded
+    traffic on taint-sparse workloads without changing any analysis
+    result.
+
+    {b Protocol.}  Three shared arrays, all fixed-size, touched with
+    plain loads/stores on the single-writer side and seq_cst atomics
+    across domains:
+
+    - [H] — a monotone {e ever-tainted} page-hash bitmap.  After
+      processing an event, the consumer publishes a bit for every
+      write location whose shadow is tainted (check-then-CAS-OR; bits
+      are never cleared).
+    - [stamps] — producer-private, per hash word: the step of the last
+      forwarded event that may {e produce} taint hashing there (a
+      source, or any event with live reads).
+    - [epochs] — one slot per consumer: the step of the last event it
+      has fully processed {e and published}, advanced after each
+      decoded batch ({!Codec.drain}'s [after_batch] hook).
+
+    A location is {e possibly-live} iff its [H] bit is set, or its
+    stamp exceeds the producer's cached minimum epoch.  An event is
+    forwarded unless it is filterable (neither source nor sink, see
+    {!Dift_vm.Site.filterable_instr}), has no possibly-live read, {e
+    and} has no possibly-live write (an untainted write over a
+    possibly-tainted location clears taint and must reach the
+    helper).
+
+    {b Soundness.}  Consumers publish [H] before advancing their
+    epoch, and all cross-domain accesses are seq_cst, so when the
+    producer sees [epoch >= s] every taint produced by events up to
+    step [s] is visible in [H].  If a read's [H] bit is clear and its
+    word's stamp is [<= min epoch], then every event that could have
+    tainted it has been processed and produced no taint there — the
+    read is definitely clean.  The cached minimum epoch is only ever
+    {e behind} the true minimum (epochs are monotone), so staleness
+    over-forwards, never over-filters.  Hash collisions likewise only
+    over-forward.  Sources are always forwarded (and stamp their
+    writes); sink-class events are always forwarded because the sink
+    handler observes every one of them, tainted or not.  Control-plane
+    taint escapes the read set, so the runtimes refuse to combine the
+    filter with [propagate_control].
+
+    Filtered-vs-unfiltered runs are bit-identical in every analysis
+    output; only the forwarded event count differs (reports add
+    {!filtered} back so ledgers still reconcile). *)
+
+open Dift_vm
+
+type t
+
+(** [create ~slots ()] — [slots] consumer epoch slots (1 for the
+    two-domain runtime, one per shard for the sharded one).  [words]
+    (power of two, default 1024) sizes the hash map; [page_bits]
+    (default 6) sets the locations-per-page granularity.
+    @raise Invalid_argument if [slots < 1] or [words] is not a
+    positive power of two. *)
+val create : ?page_bits:int -> ?words:int -> slots:int -> unit -> t
+
+(** {1 Producer side} *)
+
+(** [admit t e] decides whether to forward [e], updating stamps and
+    the filtered count (site class from {!Dift_vm.Site.filterable_instr}). *)
+val admit : t -> Event.exec -> bool
+
+(** Events dropped so far (producer-side counter). *)
+val filtered : t -> int
+
+(** {1 Consumer side} *)
+
+(** Publish the ever-tainted bit of each of [v]'s write locations
+    whose shadow is tainted ([tainted] is the consumer engine's shadow
+    lookup).  Call after processing [v]. *)
+val publish : t -> tainted:(Loc.t -> bool) -> Event.view -> unit
+
+(** Advance consumer [slot]'s epoch to [step] (monotone; call after
+    {!publish} for every event of the batch ending at [step]). *)
+val advance : t -> slot:int -> step:int -> unit

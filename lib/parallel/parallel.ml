@@ -22,6 +22,10 @@ type report = {
   result : result;
   queue_capacity : int;
   batch_size : int;
+  wire : Channel.wire;
+  filtered_events : int;
+      (** events the producer-side liveness filter dropped (0 with the
+          filter off); [result.events] already adds them back *)
   batches : int;
   dropped_batches : int;
   dropped_events : int;
@@ -154,11 +158,23 @@ let chaos_spawn chaos body =
   Domain.spawn body
 
 let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
-    ?(batch_size = 64) ?policy ?on_sink program ~input =
+    ?(batch_size = 64) ?(wire = `Coded) ?(forward_filter = false) ?policy
+    ?on_sink program ~input =
   validate_geometry "run" ~queue_capacity ~batch_size;
   let fwd =
-    Forwarder.create ?obs ?trace ?flight ?chaos ~queue_capacity ~batch_size
+    Channel.create ?obs ?trace ?flight ?chaos ~wire ~queue_capacity
+      ~batch_size
+      ~table:(lazy (Site.of_program program))
       ()
+  in
+  (* the filter is sound only when taint flows through the event's
+     read set; control-plane taint escapes it, so the filter silently
+     stands down under propagate_control *)
+  let lf =
+    let p = Option.value policy ~default:Policy.default in
+    if forward_filter && not p.Policy.propagate_control then
+      Some (Livefilter.create ~slots:1 ())
+    else None
   in
   let eng, sink_trace = make_engine ?policy ?on_sink program in
   (* Timeline: the engine samples its shadow footprint from whichever
@@ -231,9 +247,24 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
         | Some wall -> Dift_obs.Registry.add wall (now_ns () - t0)
         | None -> ())
     @@ fun () ->
-    let drain () =
-      Forwarder.drain ~around_batch fwd ~f:(Bool_engine.process eng)
+    let f, after_batch =
+      match lf with
+      | None -> ((fun v -> Bool_engine.process_view eng v), None)
+      | Some l ->
+          (* publish taint per event (after processing), advance the
+             epoch per batch: the exact order the filter's soundness
+             argument relies on *)
+          let sh = Bool_engine.shadow eng in
+          let tainted loc =
+            not (Taint.Bool.is_bottom (Bool_engine.Sh.get sh loc))
+          in
+          ( (fun v ->
+              Bool_engine.process_view eng v;
+              Livefilter.publish l ~tainted v),
+            Some (fun ~last_step -> Livefilter.advance l ~slot:0 ~step:last_step)
+          )
     in
+    let drain () = Channel.drain ~around_batch ?after_batch fwd ~f in
     try
       match trace with
       | Some tr ->
@@ -241,16 +272,16 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
       | None -> drain ()
     with ex ->
       (* never leave the application domain blocked on a full ring *)
-      Forwarder.abort fwd;
+      Channel.abort fwd;
       raise ex
   in
   let t_start = now_ns () in
   let partial () =
     {
-      p_events = Forwarder.events fwd;
-      p_batches = Forwarder.batches fwd;
-      p_dropped_batches = Forwarder.dropped_batches fwd;
-      p_dropped_events = Forwarder.dropped_events fwd;
+      p_events = Channel.events fwd;
+      p_batches = Channel.batches fwd;
+      p_dropped_batches = Channel.dropped_batches fwd;
+      p_dropped_events = Channel.dropped_events fwd;
       p_wall_ns = now_ns () - t_start;
     }
   in
@@ -259,10 +290,10 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
      so the retry is a quiet no-op flush + ring close.  The helper can
      therefore always terminate. *)
   let close_fwd () =
-    match Forwarder.close fwd with
+    match Channel.close fwd with
     | () -> None
     | exception ex ->
-        (try Forwarder.close fwd with _ -> Forwarder.abort fwd);
+        (try Channel.close fwd with _ -> Channel.abort fwd);
         Some ex
   in
   flight_name flight "app";
@@ -282,9 +313,13 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
       (match trace with
       | Some tr -> Dift_obs.Trace.name_track tr "app"
       | None -> ());
+      let on_exec =
+        match lf with
+        | None -> fun e -> Channel.add fwd e
+        | Some l -> fun e -> if Livefilter.admit l e then Channel.add fwd e
+      in
       Machine.attach m
-        (Tool.make ~dispatch_cost:0 ~on_exec:(Forwarder.add fwd)
-           "parallel-dift-forwarder");
+        (Tool.make ~dispatch_cost:0 ~on_exec "parallel-dift-forwarder");
       let t0 = now_ns () in
       let run_machine () =
         match trace with
@@ -320,27 +355,39 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
                       e_partial = partial () }
               | () ->
                   let total_wall_ns = now_ns () - t0 in
-                  flight_ev flight "run.done" ~a:(Forwarder.events fwd)
-                    ~b:(Forwarder.batches fwd);
+                  flight_ev flight "run.done" ~a:(Channel.events fwd)
+                    ~b:(Channel.batches fwd);
+                  let filtered_events =
+                    match lf with Some l -> Livefilter.filtered l | None -> 0
+                  in
+                  (* add the filtered events back so the report counts
+                     whole-program events on every configuration —
+                     filtered and unfiltered runs stay bit-identical *)
+                  let result =
+                    let r = result_of eng sink_trace outcome in
+                    { r with events = r.events + filtered_events }
+                  in
                   Ok
                     {
-                      result = result_of eng sink_trace outcome;
+                      result;
                       queue_capacity;
                       batch_size;
-                      batches = Forwarder.batches fwd;
-                      dropped_batches = Forwarder.dropped_batches fwd;
-                      dropped_events = Forwarder.dropped_events fwd;
-                      producer_stalls = Forwarder.producer_stalls fwd;
-                      consumer_waits = Forwarder.consumer_waits fwd;
+                      wire;
+                      filtered_events;
+                      batches = Channel.batches fwd;
+                      dropped_batches = Channel.dropped_batches fwd;
+                      dropped_events = Channel.dropped_events fwd;
+                      producer_stalls = Channel.producer_stalls fwd;
+                      consumer_waits = Channel.consumer_waits fwd;
                       main_wall_ns;
                       total_wall_ns;
                     })))
 
 let run ?config ?obs ?trace ?flight ?chaos ?queue_capacity ?batch_size
-    ?policy ?on_sink program ~input =
+    ?wire ?forward_filter ?policy ?on_sink program ~input =
   match
     run_result ?config ?obs ?trace ?flight ?chaos ?queue_capacity
-      ?batch_size ?policy ?on_sink program ~input
+      ?batch_size ?wire ?forward_filter ?policy ?on_sink program ~input
   with
   | Ok r -> r
   | Error e -> raise e.e_exn
@@ -386,6 +433,10 @@ type sharded_report = {
   s_route : Shard_engine.route;
   s_queue_capacity : int;
   s_batch_size : int;
+  s_wire : Channel.wire;
+  s_filtered_events : int;
+      (** events the producer-side liveness filter dropped (0 with the
+          filter off); [s_result.events] already adds them back *)
   s_cross_events : int;
   s_exchange_messages : int;
   s_per_shard : Shard_engine.shard_stat array;
@@ -395,13 +446,23 @@ type sharded_report = {
 
 let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
     ?(queue_capacity = 64) ?(batch_size = 64) ?xchg_capacity ?block_bits
-    ?policy ?on_sink ~shards program ~input =
+    ?(wire = `Coded) ?(forward_filter = false) ?policy ?on_sink ~shards
+    program ~input =
   if shards < 1 then
     invalid_arg (Fmt.str "Parallel.run_sharded: shards = %d < 1" shards);
   validate_geometry "run_sharded" ~queue_capacity ~batch_size;
+  (* control-plane taint escapes the read set: stand down silently,
+     exactly as in {!run_result} *)
+  let lf =
+    let p = Option.value policy ~default:Policy.default in
+    if forward_filter && not p.Policy.propagate_control then
+      Some (Livefilter.create ~slots:shards ())
+    else None
+  in
   let c =
     Bool_shards.cluster ?policy ?route ?block_bits ?obs ?trace ?flight
-      ?chaos ~queue_capacity ~batch_size ?xchg_capacity ~shards program
+      ?chaos ~queue_capacity ~batch_size ?xchg_capacity ~wire ?filter:lf
+      ~shards program
   in
   let t_start = now_ns () in
   let partial () =
@@ -507,6 +568,9 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
           | Error f -> errored (error_of_failure f)
           | Ok merged ->
               let s_total_wall_ns = now_ns () - t0 in
+              let s_filtered_events =
+                match lf with Some l -> Livefilter.filtered l | None -> 0
+              in
               flight_ev flight "run.done"
                 ~a:merged.Bool_shards.m_events
                 ~b:(Bool_shards.exchange_messages c);
@@ -531,7 +595,7 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
                   s_result =
                     {
                       outcome;
-                      events = merged.Bool_shards.m_events;
+                      events = merged.Bool_shards.m_events + s_filtered_events;
                       sources = merged.Bool_shards.m_sources;
                       sink_hits = merged.Bool_shards.m_sink_hits;
                       sink_trace_hash;
@@ -545,6 +609,8 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
                     (match route with Some r -> r | None -> `Request_reply);
                   s_queue_capacity = queue_capacity;
                   s_batch_size = batch_size;
+                  s_wire = wire;
+                  s_filtered_events;
                   s_cross_events = Bool_shards.cross_events c;
                   s_exchange_messages = Bool_shards.exchange_messages c;
                   s_per_shard = Bool_shards.shard_stats c;
@@ -553,12 +619,12 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
                 }))
 
 let run_sharded ?config ?obs ?trace ?flight ?chaos ?route ?queue_capacity
-    ?batch_size ?xchg_capacity ?block_bits ?policy ?on_sink ~shards program
-    ~input =
+    ?batch_size ?xchg_capacity ?block_bits ?wire ?forward_filter ?policy
+    ?on_sink ~shards program ~input =
   match
     run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
-      ?queue_capacity ?batch_size ?xchg_capacity ?block_bits ?policy
-      ?on_sink ~shards program ~input
+      ?queue_capacity ?batch_size ?xchg_capacity ?block_bits ?wire
+      ?forward_filter ?policy ?on_sink ~shards program ~input
   with
   | Ok r -> r
   | Error e -> raise e.e_exn
@@ -593,10 +659,13 @@ let pp_result ppf r =
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "queue %d x %d: %a; %d batches, %d stalls, %d waits; main %.2f ms, \
-     total %.2f ms"
-    r.queue_capacity r.batch_size pp_result r.result r.batches
-    r.producer_stalls r.consumer_waits
+    "queue %d x %d (%a wire%t): %a; %d batches, %d stalls, %d waits; main \
+     %.2f ms, total %.2f ms"
+    r.queue_capacity r.batch_size Channel.pp_wire r.wire
+    (fun ppf ->
+      if r.filtered_events > 0 then
+        Fmt.pf ppf ", %d filtered" r.filtered_events)
+    pp_result r.result r.batches r.producer_stalls r.consumer_waits
     (float_of_int r.main_wall_ns /. 1e6)
     (float_of_int r.total_wall_ns /. 1e6)
 

@@ -49,6 +49,12 @@ type report = {
   result : result;
   queue_capacity : int;  (** ring slots, in batches *)
   batch_size : int;  (** events per batch *)
+  wire : Channel.wire;  (** forwarding-plane encoding of the run *)
+  filtered_events : int;
+      (** events dropped producer-side by the taint-liveness filter
+          ([0] with the filter off); [result.events] already adds them
+          back, so it counts whole-program events on every
+          configuration *)
   batches : int;  (** ring messages actually delivered *)
   dropped_batches : int;
       (** batches lost producer-side (post-abort or injected); always
@@ -137,6 +143,16 @@ val pp_error : error Fmt.t
     counter samples; both sides feed the [ring.occupancy] counter
     track.  Export with {!Dift_obs.Trace.write} after the run.
 
+    [wire] picks the forwarding-plane encoding (default [`Coded]:
+    interned sites and flat {!Codec} batches — zero allocation per
+    forwarded event in the steady state; [`Boxed] forwards whole
+    event records as before).  Both wires produce bit-identical
+    reports.  With [~forward_filter:true], the application domain
+    additionally drops events that provably cannot touch live taint
+    (see {!Livefilter}); results stay bit-identical — only
+    [filtered_events] and the forwarded volume change.  The filter
+    stands down silently under [propagate_control].
+
     With [?chaos], every channel operation and the helper spawn
     consult the fault plan (see {!Chaos}); without it the runtime
     takes its ordinary direct path.
@@ -161,6 +177,8 @@ val run :
   ?chaos:Chaos.t ->
   ?queue_capacity:int ->
   ?batch_size:int ->
+  ?wire:Channel.wire ->
+  ?forward_filter:bool ->
   ?policy:Policy.t ->
   ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
   Program.t ->
@@ -178,6 +196,8 @@ val run_result :
   ?chaos:Chaos.t ->
   ?queue_capacity:int ->
   ?batch_size:int ->
+  ?wire:Channel.wire ->
+  ?forward_filter:bool ->
   ?policy:Policy.t ->
   ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
   Program.t ->
@@ -224,6 +244,11 @@ type sharded_report = {
   s_route : Shard_engine.route;
   s_queue_capacity : int;  (** per-shard inbound ring slots *)
   s_batch_size : int;  (** events per inbound batch *)
+  s_wire : Channel.wire;  (** forwarding-plane encoding of the run *)
+  s_filtered_events : int;
+      (** events dropped producer-side by the taint-liveness filter
+          ([0] with the filter off); [s_result.events] already adds
+          them back *)
   s_cross_events : int;  (** events that spanned shards *)
   s_exchange_messages : int;  (** taint vectors through the mesh *)
   s_per_shard : Shard_engine.shard_stat array;
@@ -254,6 +279,10 @@ type sharded_report = {
     [?trace], each shard gets its own [shard-<i>] track of batch and
     ring spans next to the [app] track.
 
+    [wire] and [forward_filter] behave as in {!run} ([`Coded] default;
+    the filter keeps one liveness epoch per shard and stands down
+    under [propagate_control]).
+
     With [?chaos], the fault plan is threaded through every shard's
     inbound channel, every exchange ring and the domain spawns (see
     {!Shard_engine.Make.cluster}).
@@ -279,6 +308,8 @@ val run_sharded :
   ?batch_size:int ->
   ?xchg_capacity:int ->
   ?block_bits:int ->
+  ?wire:Channel.wire ->
+  ?forward_filter:bool ->
   ?policy:Policy.t ->
   ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
   shards:int ->
@@ -303,6 +334,8 @@ val run_sharded_result :
   ?batch_size:int ->
   ?xchg_capacity:int ->
   ?block_bits:int ->
+  ?wire:Channel.wire ->
+  ?forward_filter:bool ->
   ?policy:Policy.t ->
   ?on_sink:(Engine.sink -> bool -> Event.exec -> unit) ->
   shards:int ->

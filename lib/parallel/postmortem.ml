@@ -8,6 +8,8 @@ type geometry = {
   g_queue_capacity : int;
   g_batch_size : int;
   g_xchg_capacity : int option;
+  g_wire : Channel.wire;
+  g_forward_filter : bool;
 }
 
 let geometry_json g =
@@ -17,6 +19,8 @@ let geometry_json g =
        ("shards", Json.Int g.g_shards);
        ("queue_capacity", Json.Int g.g_queue_capacity);
        ("batch_size", Json.Int g.g_batch_size);
+       ("wire", Json.String (Fmt.str "%a" Channel.pp_wire g.g_wire));
+       ("forward_filter", Json.Bool g.g_forward_filter);
      ]
     @
     match g.g_xchg_capacity with

@@ -58,6 +58,26 @@ let mask_of_locs t locs =
 let participants t (e : Event.exec) =
   (1 lsl home_of t e) lor mask_of_locs t e.reads lor mask_of_locs t e.writes
 
+(* View-based variants over the decoded wire: same arithmetic on the
+   view's scratch arrays, so the feeding domain (exec) and a draining
+   shard (view) always reach the same verdict for the same event. *)
+let mask_of_arr t arr n =
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    m := !m lor (1 lsl shard_of_loc t arr.(i))
+  done;
+  !m
+
+let home_of_view t (v : Event.view) =
+  if v.Event.v_nwrites > 0 then shard_of_loc t v.Event.v_writes.(0)
+  else if v.Event.v_nreads > 0 then shard_of_loc t v.Event.v_reads.(0)
+  else v.Event.v_step mod t.shards
+
+let participants_view t (v : Event.view) =
+  (1 lsl home_of_view t v)
+  lor mask_of_arr t v.Event.v_reads v.Event.v_nreads
+  lor mask_of_arr t v.Event.v_writes v.Event.v_nwrites
+
 let is_local mask = mask land (mask - 1) = 0
 
 (* Iterate the set bits of a participant mask in ascending shard

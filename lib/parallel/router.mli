@@ -60,6 +60,13 @@ val home_of : t -> Event.exec -> int
     one-bit mask means the event is purely local to that shard. *)
 val participants : t -> Event.exec -> int
 
+(** {!home_of} over a decoded {!Event.view} — same arithmetic, so
+    feeder and shard agree on the verdict for the same event. *)
+val home_of_view : t -> Event.view -> int
+
+(** {!participants} over a decoded {!Event.view}. *)
+val participants_view : t -> Event.view -> int
+
 (** [is_local mask] — does this participant mask name exactly one
     shard? *)
 val is_local : int -> bool

@@ -115,6 +115,9 @@ module Make (D : Taint.DOMAIN) = struct
     record_sinks : bool;
     w_flight : Dift_obs.Flight.t option;
         (** exchange legs record [xchg.push]/[xchg.pop] flight events *)
+    w_scratch : Event.view;
+        (** refilled per event on the boxed {!handle} path; coded
+            drains hand their own scratch view to {!handle_view} *)
     mutable sinks : (int * Engine.sink * D.t * Event.exec) list;
         (** newest first *)
     mutable w_handled : int;
@@ -137,6 +140,7 @@ module Make (D : Taint.DOMAIN) = struct
     E.set_charge eng ignore;
     (* engine milestones land on whichever domain drains this shard *)
     (match flight with Some fl -> E.set_flight eng fl | None -> ());
+    let f0 = List.hd (Dift_isa.Program.functions program) in
     let w =
       {
         w_shard = shard;
@@ -146,6 +150,8 @@ module Make (D : Taint.DOMAIN) = struct
         eng;
         record_sinks;
         w_flight = flight;
+        w_scratch =
+          Event.view_create ~func:f0 ~instr:f0.Dift_isa.Func.body.(0);
         sinks = [];
         w_handled = 0;
         sent = 0;
@@ -214,82 +220,117 @@ module Make (D : Taint.DOMAIN) = struct
         | None -> ());
         m
 
-  let protocol_error w (e : Event.exec) step =
+  let protocol_error w ~expect ~got =
     failwith
       (Fmt.str
          "Shard_engine: shard %d expected the exchange leg for step %d but \
           popped step %d — routing bug"
-         w.w_shard e.Event.step step)
+         w.w_shard expect got)
 
-  (* Shards (other than this one) owning at least one of [locs]. *)
-  let remote_mask w locs =
-    List.fold_left
-      (fun m l -> m lor (1 lsl Router.shard_of_loc w.router l))
-      0 locs
-    land lnot (1 lsl w.w_shard)
+  (* Shards (other than this one) owning at least one of the first [n]
+     locations of [arr]. *)
+  let remote_mask w arr n =
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      m := !m lor (1 lsl Router.shard_of_loc w.router arr.(i))
+    done;
+    !m land lnot (1 lsl w.w_shard)
+
+  let exists_mine w arr n =
+    let rec go i =
+      i < n && (Router.owns w.router w.w_shard arr.(i) || go (i + 1))
+    in
+    go 0
 
   (* The home shard runs the *unmodified* sequential transfer function
      by windowing remote state through its own shadow: pull each
      provider's read-taint vector and [set] it in place, run
-     {!E.process} (sinks, stats, policy handling and write stamping
-     all behave exactly as in the sequential engine), then read the
-     resulting taints of remote write locations back out of the
-     shadow, ship them to their owners, and clear every remote
+     {!E.process_view} (sinks, stats, policy handling and write
+     stamping all behave exactly as in the sequential engine), then
+     read the resulting taints of remote write locations back out of
+     the shadow, ship them to their owners, and clear every remote
      location again.  The set/clear pairs cancel in the incremental
      footprint accounting, so per-shard footprints stay disjoint. *)
-  let handle_home w (e : Event.exec) =
+  let handle_home w (v : Event.view) =
     let sh = E.shadow w.eng in
     let mine l = Router.owns w.router w.w_shard l in
-    Router.iter_shards (remote_mask w e.reads) (fun s ->
-        let step, v = pop_x w ~src:s in
-        if step <> e.step then protocol_error w e step;
-        List.iteri
-          (fun i l ->
-            if Router.shard_of_loc w.router l = s then E.Sh.set sh l v.(i))
-          e.reads);
-    E.process w.eng e;
-    let rmask = remote_mask w e.writes in
+    let reads = v.Event.v_reads
+    and nr = v.Event.v_nreads
+    and writes = v.Event.v_writes
+    and nw = v.Event.v_nwrites in
+    Router.iter_shards (remote_mask w reads nr) (fun s ->
+        let step, vec = pop_x w ~src:s in
+        if step <> v.Event.v_step then
+          protocol_error w ~expect:v.Event.v_step ~got:step;
+        for i = 0 to nr - 1 do
+          let l = reads.(i) in
+          if Router.shard_of_loc w.router l = s then E.Sh.set sh l vec.(i)
+        done);
+    E.process_view w.eng v;
+    let rmask = remote_mask w writes nw in
     if rmask <> 0 then begin
-      let wv = Array.make (List.length e.writes) D.bottom in
-      List.iteri
-        (fun i l -> if not (mine l) then wv.(i) <- E.Sh.get sh l)
-        e.writes;
-      Router.iter_shards rmask (fun s -> push_x w ~dst:s (e.step, wv))
+      let wv = Array.make nw D.bottom in
+      for i = 0 to nw - 1 do
+        let l = writes.(i) in
+        if not (mine l) then wv.(i) <- E.Sh.get sh l
+      done;
+      Router.iter_shards rmask (fun s -> push_x w ~dst:s (v.Event.v_step, wv))
     end;
-    List.iter (fun l -> if not (mine l) then E.Sh.clear sh l) e.reads;
-    List.iter (fun l -> if not (mine l) then E.Sh.clear sh l) e.writes
+    for i = 0 to nr - 1 do
+      let l = reads.(i) in
+      if not (mine l) then E.Sh.clear sh l
+    done;
+    for i = 0 to nw - 1 do
+      let l = writes.(i) in
+      if not (mine l) then E.Sh.clear sh l
+    done
 
   (* A non-home participant: provide the taints of its owned read
-     locations (positional on [e.reads]), then — if it owns write
-     locations — await the home's write vector and store its share.
-     Provide-before-await is the leg order the deadlock-freedom
-     argument relies on. *)
-  let handle_assist w (e : Event.exec) ~home =
+     locations (positional on the event's read list), then — if it
+     owns write locations — await the home's write vector and store
+     its share.  Provide-before-await is the leg order the
+     deadlock-freedom argument relies on. *)
+  let handle_assist w (v : Event.view) ~home =
     let sh = E.shadow w.eng in
     let mine l = Router.owns w.router w.w_shard l in
-    if List.exists mine e.reads then begin
-      let v = Array.make (List.length e.reads) D.bottom in
-      List.iteri (fun i l -> if mine l then v.(i) <- E.Sh.get sh l) e.reads;
-      push_x w ~dst:home (e.step, v)
+    let reads = v.Event.v_reads
+    and nr = v.Event.v_nreads
+    and writes = v.Event.v_writes
+    and nw = v.Event.v_nwrites in
+    if exists_mine w reads nr then begin
+      let vec = Array.make nr D.bottom in
+      for i = 0 to nr - 1 do
+        let l = reads.(i) in
+        if mine l then vec.(i) <- E.Sh.get sh l
+      done;
+      push_x w ~dst:home (v.Event.v_step, vec)
     end;
-    if List.exists mine e.writes then begin
+    if exists_mine w writes nw then begin
       let step, wv = pop_x w ~src:home in
-      if step <> e.step then protocol_error w e step;
-      List.iteri (fun i l -> if mine l then E.Sh.set sh l wv.(i)) e.writes
+      if step <> v.Event.v_step then
+        protocol_error w ~expect:v.Event.v_step ~got:step;
+      for i = 0 to nw - 1 do
+        let l = writes.(i) in
+        if mine l then E.Sh.set sh l wv.(i)
+      done
     end
 
-  let handle w (e : Event.exec) =
+  let handle_view w (v : Event.view) =
     w.w_handled <- w.w_handled + 1;
     match w.route with
-    | `Broadcast -> E.process w.eng e
+    | `Broadcast -> E.process_view w.eng v
     | `Request_reply ->
-        let mask = Router.participants w.router e in
-        if Router.is_local mask then E.process w.eng e
+        let mask = Router.participants_view w.router v in
+        if Router.is_local mask then E.process_view w.eng v
         else begin
-          let home = Router.home_of w.router e in
-          if home = w.w_shard then handle_home w e
-          else handle_assist w e ~home
+          let home = Router.home_of_view w.router v in
+          if home = w.w_shard then handle_home w v
+          else handle_assist w v ~home
         end
+
+  let handle w (e : Event.exec) =
+    Event.view_fill w.w_scratch e;
+    handle_view w w.w_scratch
 
   (* -- deterministic merge --------------------------------------------- *)
 
@@ -386,7 +427,8 @@ module Make (D : Taint.DOMAIN) = struct
     c_route : route;
     c_xchg : xchg;
     workers : worker array;
-    fwds : Event.exec Forwarder.t array;
+    chans : Channel.t array;
+    c_filter : Livefilter.t option;
     clocks : shard_clock array;
     c_trace : Dift_obs.Trace.t option;
     c_flight : Dift_obs.Flight.t option;
@@ -397,7 +439,8 @@ module Make (D : Taint.DOMAIN) = struct
 
   let cluster ?policy ?(route = `Request_reply) ?block_bits ?obs ?trace
       ?flight ?chaos ?(queue_capacity = 64) ?(batch_size = 64)
-      ?(xchg_capacity = 256) ?(xchg_journal = false) ~shards program =
+      ?(xchg_capacity = 256) ?(xchg_journal = false) ?(wire = `Coded)
+      ?filter ~shards program =
     let router = Router.create ?block_bits ~shards () in
     let xchg =
       create_xchg ~capacity:xchg_capacity ~journal:xchg_journal ?chaos
@@ -412,15 +455,17 @@ module Make (D : Taint.DOMAIN) = struct
               | `Broadcast -> s = 0)
             ~shard:s program)
     in
-    let fwds =
+    (* one interned site table, shared by every coded shard channel *)
+    let table = lazy (Site.of_program program) in
+    let chans =
       (* request/reply shards coordinate on every cross-shard event, so
          a lost inbound batch would strand peers mid-exchange: escalate
          injected losses on these rings to clean shard crashes *)
       let escalate = route = `Request_reply in
       Array.init shards (fun s ->
-          Forwarder.create ?obs ?trace ?flight ?chaos ~escalate
+          Channel.create ?obs ?trace ?flight ?chaos ~escalate
             ~ns:(Fmt.str "parallel.shard%d" s)
-            ~queue_capacity ~batch_size ())
+            ~wire ~queue_capacity ~batch_size ~table ())
     in
     let clocks = Array.init shards (fun _ -> { busy_ns = 0; wall_ns = 0 }) in
     let c =
@@ -429,7 +474,8 @@ module Make (D : Taint.DOMAIN) = struct
         c_route = route;
         c_xchg = xchg;
         workers;
-        fwds;
+        chans;
+        c_filter = filter;
         clocks;
         c_trace = trace;
         c_flight = flight;
@@ -469,20 +515,26 @@ module Make (D : Taint.DOMAIN) = struct
     Array.fold_left (fun acc w -> acc + w.sent) 0 c.workers
 
   let feed c e =
-    match c.c_route with
-    | `Broadcast -> Array.iter (fun f -> Forwarder.add f e) c.fwds
-    | `Request_reply ->
-        let mask = Router.participants c.c_router e in
-        if Router.is_local mask then
-          Router.iter_shards mask (fun s -> Forwarder.add c.fwds.(s) e)
-        else begin
-          c.cross <- c.cross + 1;
-          Router.iter_shards mask (fun s -> Forwarder.add c.fwds.(s) e);
-          (* flush every participant: no copy of a cross-shard event
-             may sit in an open batch while a peer shard blocks
-             awaiting one of its exchange legs *)
-          Router.iter_shards mask (fun s -> Forwarder.flush c.fwds.(s))
-        end
+    let forward =
+      match c.c_filter with
+      | None -> true
+      | Some lf -> Livefilter.admit lf e
+    in
+    if forward then
+      match c.c_route with
+      | `Broadcast -> Array.iter (fun ch -> Channel.add ch e) c.chans
+      | `Request_reply ->
+          let mask = Router.participants c.c_router e in
+          if Router.is_local mask then
+            Router.iter_shards mask (fun s -> Channel.add c.chans.(s) e)
+          else begin
+            c.cross <- c.cross + 1;
+            Router.iter_shards mask (fun s -> Channel.add c.chans.(s) e);
+            (* flush every participant: no copy of a cross-shard event
+               may sit in an open batch while a peer shard blocks
+               awaiting one of its exchange legs *)
+            Router.iter_shards mask (fun s -> Channel.flush c.chans.(s))
+          end
 
   let spawn_one c s w =
     (* chaos [Spawn] interception: any non-Proceed action models
@@ -516,11 +568,27 @@ module Make (D : Taint.DOMAIN) = struct
         let t0 = now_ns () in
         Fun.protect ~finally:(fun () -> k.wall_ns <- now_ns () - t0)
         @@ fun () ->
-        try Forwarder.drain ~around_batch c.fwds.(s) ~f:(handle w)
+        let f, after_batch =
+          match c.c_filter with
+          | None -> ((fun v -> handle_view w v), None)
+          | Some lf ->
+              (* publish per event (after processing), advance the
+                 shard's epoch per decoded batch: the filter's
+                 soundness relies on exactly this order *)
+              let sh = E.shadow w.eng in
+              let tainted l = not (D.is_bottom (E.Sh.get sh l)) in
+              ( (fun v ->
+                  handle_view w v;
+                  Livefilter.publish lf ~tainted v),
+                Some
+                  (fun ~last_step ->
+                    Livefilter.advance lf ~slot:s ~step:last_step) )
+        in
+        try Channel.drain ~around_batch ?after_batch c.chans.(s) ~f
         with ex ->
           (* unblock the application and every peer shard before
              dying, so the failure cascades instead of wedging *)
-          Forwarder.abort c.fwds.(s);
+          Channel.abort c.chans.(s);
           abort_xchg c.c_xchg;
           (match c.c_flight with
           | Some fl ->
@@ -540,7 +608,7 @@ module Make (D : Taint.DOMAIN) = struct
        (* a later shard failed to spawn: tear the channels down so the
           shards already running terminate, join them, and surface one
           structured failure — no leaked domain, no partial cluster *)
-       Array.iter Forwarder.abort c.fwds;
+       Array.iter Channel.abort c.chans;
        abort_xchg c.c_xchg;
        Array.iter
          (function
@@ -550,7 +618,7 @@ module Make (D : Taint.DOMAIN) = struct
        raise (Spawn_failure ex));
     c.domains <- Array.map Option.get doms
 
-  let close_feed c = Array.iter Forwarder.close c.fwds
+  let close_feed c = Array.iter Channel.close c.chans
 
   (* Feeder crash mid-event: a cross-shard event may have reached only
      some of its participants, leaving the home shard parked against a
@@ -558,7 +626,7 @@ module Make (D : Taint.DOMAIN) = struct
      the mesh so every shard terminates (normal drain end or a clean
      [Shard_dead] cascade) and the joins in {!finish_result} return. *)
   let abort c =
-    Array.iter Forwarder.abort c.fwds;
+    Array.iter Channel.abort c.chans;
     abort_xchg c.c_xchg
 
   let finish_result c =
@@ -570,13 +638,13 @@ module Make (D : Taint.DOMAIN) = struct
       | () -> None
       | exception ex ->
           Array.iter
-            (fun f ->
-              try Forwarder.close f
+            (fun ch ->
+              try Channel.close ch
               with _ -> (
                 (* the raising flush detached its batch, so a second
                    close is a quiet no-op flush + ring close *)
-                try Forwarder.close f with _ -> Forwarder.abort f))
-            c.fwds;
+                try Channel.close ch with _ -> Channel.abort ch))
+            c.chans;
           Some ex
     in
     let exns =
@@ -610,27 +678,27 @@ module Make (D : Taint.DOMAIN) = struct
       (fun s w ->
         {
           shard = s;
-          fed = Forwarder.events c.fwds.(s);
+          fed = Channel.events c.chans.(s);
           handled = w.w_handled;
-          batches = Forwarder.batches c.fwds.(s);
-          dropped_batches = Forwarder.dropped_batches c.fwds.(s);
-          dropped_events = Forwarder.dropped_events c.fwds.(s);
-          discarded_batches = Forwarder.discarded_batches c.fwds.(s);
-          discarded_events = Forwarder.discarded_events c.fwds.(s);
+          batches = Channel.batches c.chans.(s);
+          dropped_batches = Channel.dropped_batches c.chans.(s);
+          dropped_events = Channel.dropped_events c.chans.(s);
+          discarded_batches = Channel.discarded_batches c.chans.(s);
+          discarded_events = Channel.discarded_events c.chans.(s);
           busy_ns = c.clocks.(s).busy_ns;
           wall_ns = c.clocks.(s).wall_ns;
-          producer_stalls = Forwarder.producer_stalls c.fwds.(s);
-          consumer_waits = Forwarder.consumer_waits c.fwds.(s);
+          producer_stalls = Channel.producer_stalls c.chans.(s);
+          consumer_waits = Channel.consumer_waits c.chans.(s);
           exchange_sent = w.sent;
           exchange_received = w.received;
         })
       c.workers
 
   let run_stream ?policy ?route ?block_bits ?queue_capacity ?batch_size
-      ?xchg_capacity ~shards program events =
+      ?xchg_capacity ?wire ?filter ~shards program events =
     let c =
       cluster ?policy ?route ?block_bits ?queue_capacity ?batch_size
-        ?xchg_capacity ~shards program
+        ?xchg_capacity ?wire ?filter ~shards program
     in
     start c;
     List.iter (feed c) events;

@@ -173,6 +173,11 @@ module Make (D : Taint.DOMAIN) : sig
       block on the mesh; raises {!Shard_dead} if a peer aborted. *)
   val handle : worker -> Event.exec -> unit
 
+  (** {!handle} over a decoded {!Event.view} — the zero-copy path the
+      coded wire drains through ({!Channel.drain} hands every shard a
+      reused scratch view).  The view is read during the call only. *)
+  val handle_view : worker -> Event.view -> unit
+
   (** The shard's underlying engine (its shadow holds only owned
       locations once all events are handled). *)
   val engine : worker -> E.t
@@ -235,6 +240,14 @@ module Make (D : Taint.DOMAIN) : sig
       [a] = source shard, [b] = destination), shard lifecycle
       [shard.start]/[shard.crash] (category [run]), and the engines'
       [engine.progress] milestones.
+      [?wire] picks the forwarding-plane encoding for every shard's
+      inbound channel (default [`Coded] — the de-boxed {!Codec} plane;
+      [`Boxed] forwards whole event records as before); both wires are
+      result-identical.  With [?filter] (created by the caller with
+      one slot per shard), the feeder consults the producer-side
+      taint-liveness filter before routing each event, and every shard
+      publishes taint and advances its epoch as it drains — see
+      {!Livefilter} for the soundness argument.
       @raise Invalid_argument for [shards < 1] or non-positive channel
       geometry. *)
   val cluster :
@@ -249,6 +262,8 @@ module Make (D : Taint.DOMAIN) : sig
     ?batch_size:int ->
     ?xchg_capacity:int ->
     ?xchg_journal:bool ->
+    ?wire:Channel.wire ->
+    ?filter:Livefilter.t ->
     shards:int ->
     Program.t ->
     cluster
@@ -314,6 +329,8 @@ module Make (D : Taint.DOMAIN) : sig
     ?queue_capacity:int ->
     ?batch_size:int ->
     ?xchg_capacity:int ->
+    ?wire:Channel.wire ->
+    ?filter:Livefilter.t ->
     shards:int ->
     Program.t ->
     Event.exec list ->

@@ -51,6 +51,113 @@ type exec = {
 
 let is_branch e = match e.instr with Instr.Br _ -> true | _ -> false
 
+(* A mutable, array-backed projection of [exec].  The read/write sets
+   live in reusable scratch arrays ([v_nreads]/[v_nwrites] valid
+   prefixes) so a decoder can refill one view per event without
+   allocating; [v_exec] caches the boxed record so that views filled
+   {e from} an exec hand the original back for free. *)
+type view = {
+  mutable v_step : int;
+  mutable v_tid : int;
+  mutable v_func : Func.t;
+  mutable v_pc : int;
+  mutable v_instr : Instr.t;
+  mutable v_reads : Loc.t array;
+  mutable v_nreads : int;
+  mutable v_writes : Loc.t array;
+  mutable v_nwrites : int;
+  mutable v_addr : int;
+  mutable v_next_pc : int;
+  mutable v_input_index : int;
+  mutable v_value : int;
+  mutable v_exec : exec option;
+}
+
+let view_create ~func ~instr =
+  {
+    v_step = 0;
+    v_tid = 0;
+    v_func = func;
+    v_pc = 0;
+    v_instr = instr;
+    v_reads = Array.make 8 0;
+    v_nreads = 0;
+    v_writes = Array.make 8 0;
+    v_nwrites = 0;
+    v_addr = -1;
+    v_next_pc = -1;
+    v_input_index = -1;
+    v_value = 0;
+    v_exec = None;
+  }
+
+(* Blit a loc list into a scratch array, growing it when needed;
+   returns the (possibly fresh) array and the filled length. *)
+let blit_locs arr (locs : Loc.t list) =
+  let n = List.length locs in
+  let arr =
+    if Array.length arr >= n then arr
+    else Array.make (max n ((2 * Array.length arr) + 4)) 0
+  in
+  let rec go i = function
+    | [] -> ()
+    | l :: rest ->
+        arr.(i) <- l;
+        go (i + 1) rest
+  in
+  go 0 locs;
+  (arr, n)
+
+let view_fill v (e : exec) =
+  v.v_step <- e.step;
+  v.v_tid <- e.tid;
+  v.v_func <- e.func;
+  v.v_pc <- e.pc;
+  v.v_instr <- e.instr;
+  let ra, rn = blit_locs v.v_reads e.reads in
+  v.v_reads <- ra;
+  v.v_nreads <- rn;
+  let wa, wn = blit_locs v.v_writes e.writes in
+  v.v_writes <- wa;
+  v.v_nwrites <- wn;
+  v.v_addr <- e.addr;
+  v.v_next_pc <- e.next_pc;
+  v.v_input_index <- e.input_index;
+  v.v_value <- e.value;
+  v.v_exec <- Some e
+
+let view_of_exec e =
+  let v = view_create ~func:e.func ~instr:e.instr in
+  view_fill v e;
+  v
+
+let rec locs_of arr i n = if i >= n then [] else arr.(i) :: locs_of arr (i + 1) n
+
+(* Materialise (and cache) the boxed record.  The loc lists are built
+   fresh from the array prefixes, so the result is safe to retain past
+   the next [view_fill]. *)
+let view_to_exec v =
+  match v.v_exec with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          step = v.v_step;
+          tid = v.v_tid;
+          func = v.v_func;
+          pc = v.v_pc;
+          instr = v.v_instr;
+          reads = locs_of v.v_reads 0 v.v_nreads;
+          writes = locs_of v.v_writes 0 v.v_nwrites;
+          addr = v.v_addr;
+          next_pc = v.v_next_pc;
+          input_index = v.v_input_index;
+          value = v.v_value;
+        }
+      in
+      v.v_exec <- Some e;
+      e
+
 let pp_fault_kind ppf = function
   | Div_by_zero -> Fmt.string ppf "division by zero"
   | Invalid_icall id -> Fmt.pf ppf "invalid indirect call (id %d)" id

@@ -57,6 +57,49 @@ type exec = {
   value : int;  (** primary value produced/written, or [0] *)
 }
 
+(** A mutable, array-backed projection of {!exec}, designed to be
+    refilled in place: the read/write sets live in reusable scratch
+    arrays of which the first [v_nreads]/[v_nwrites] entries are
+    valid.  The de-boxed forwarding plane decodes wire batches into
+    one reused view per helper (zero allocation per event); the
+    engine's transfer function consumes views directly. *)
+type view = {
+  mutable v_step : int;
+  mutable v_tid : int;
+  mutable v_func : Func.t;
+  mutable v_pc : int;
+  mutable v_instr : Instr.t;
+  mutable v_reads : Loc.t array;
+  mutable v_nreads : int;
+  mutable v_writes : Loc.t array;
+  mutable v_nwrites : int;
+  mutable v_addr : int;
+  mutable v_next_pc : int;
+  mutable v_input_index : int;
+  mutable v_value : int;
+  mutable v_exec : exec option;
+      (** cache of the boxed record: the original one when the view
+          was filled from an exec, or the materialisation built by
+          {!view_to_exec}; invalidated by refilling *)
+}
+
+(** A blank reusable view ([func]/[instr] are placeholders until the
+    first fill). *)
+val view_create : func:Func.t -> instr:Instr.t -> view
+
+(** Refill [view] from a boxed record (grows the scratch arrays as
+    needed, never shrinks them) and cache the record itself. *)
+val view_fill : view -> exec -> unit
+
+(** A fresh view carrying [exec]. *)
+val view_of_exec : exec -> view
+
+(** The boxed record for this view: the cached original when there is
+    one, otherwise a freshly materialised (and then cached) record
+    whose loc lists are copied out of the scratch arrays — safe to
+    retain after the view is refilled. *)
+val view_to_exec : view -> exec
+
 val is_branch : exec -> bool
 val pp_fault_kind : fault_kind Fmt.t
 val pp_fault : fault Fmt.t

@@ -1,0 +1,101 @@
+(** Static-site interning: a dense id per [(function, pc)] site.
+
+    See the interface for the contract.  Row construction derives the
+    static shape from {!Instr.uses}/{!Instr.def}, which the machine's
+    event builder mirrors for every straight-line instruction — the
+    codec verifies the match element-wise per event and falls back to
+    an explicit encoding when dynamic shape diverges (call boundaries,
+    faults). *)
+
+open Dift_isa
+
+type row = {
+  s_func : Func.t;
+  s_pc : int;
+  s_instr : Instr.t;
+  s_read_offs : int array;
+  s_write_offs : int array;
+  s_mem_read : bool;
+  s_mem_write : bool;
+  s_input : bool;
+  s_sink : bool;
+  s_filterable : bool;
+}
+
+type table = {
+  rows : row array;
+  bases : (string, int) Hashtbl.t;
+}
+
+(* Register location [r] of frame [f] is
+   [((f * Reg.count + index r) lsl 1) lor 1
+    = f * frame_stride + reg_off r]. *)
+let frame_stride = Reg.count lsl 1
+let reg_off r = (Reg.index r lsl 1) lor 1
+
+let is_input_instr = function
+  | Instr.Sys (Instr.Read _) -> true
+  | _ -> false
+
+let is_sink_instr = function
+  | Instr.Br _ | Instr.Load _ | Instr.Store _ | Instr.Icall _
+  | Instr.Sys (Instr.Write _)
+  | Instr.Sys (Instr.Check _) ->
+      true
+  | _ -> false
+
+(* A site whose events the producer-side liveness filter may drop when
+   their locations cannot intersect live taint: neither a source (the
+   engine counts sources and injects taint there) nor a sink (the sink
+   handler fires for every sink event, tainted or not — the trace hash
+   mixes them all). *)
+let filterable_instr i = not (is_input_instr i || is_sink_instr i)
+
+let row_of func pc instr =
+  {
+    s_func = func;
+    s_pc = pc;
+    s_instr = instr;
+    s_read_offs = Array.of_list (List.map reg_off (Instr.uses instr));
+    s_write_offs =
+      (match Instr.def instr with Some d -> [| reg_off d |] | None -> [||]);
+    s_mem_read = (match instr with Instr.Load _ -> true | _ -> false);
+    s_mem_write = (match instr with Instr.Store _ -> true | _ -> false);
+    s_input = is_input_instr instr;
+    s_sink = is_sink_instr instr;
+    s_filterable = filterable_instr instr;
+  }
+
+let of_program p =
+  let funcs = Program.functions p in
+  let bases = Hashtbl.create 16 in
+  let total =
+    List.fold_left
+      (fun acc (f : Func.t) ->
+        Hashtbl.replace bases f.Func.name acc;
+        acc + Array.length f.Func.body)
+      0 funcs
+  in
+  (* programs have at least one function with at least one instruction
+     (Program.make / Func.make validate that) *)
+  let f0 = List.hd funcs in
+  let rows = Array.make total (row_of f0 0 f0.Func.body.(0)) in
+  List.iter
+    (fun (f : Func.t) ->
+      let base = Hashtbl.find bases f.Func.name in
+      Array.iteri (fun pc instr -> rows.(base + pc) <- row_of f pc instr)
+        f.Func.body)
+    funcs;
+  { rows; bases }
+
+let size t = Array.length t.rows
+
+let base_opt t fname = Hashtbl.find_opt t.bases fname
+
+let base t fname =
+  match base_opt t fname with
+  | Some b -> b
+  | None -> invalid_arg (Fmt.str "Site.base: unknown function %s" fname)
+
+let id t ~fname ~pc = base t fname + pc
+let row t i = t.rows.(i)

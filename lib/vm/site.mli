@@ -1,0 +1,73 @@
+(** Static-site interning: a dense integer id for every [(function,
+    pc)] site of a program, mapping to an immutable side-table row
+    that carries everything {e static} about the site — the
+    instruction, its register read/write shape pre-encoded as
+    location offsets, and its source/sink class.
+
+    The de-boxed forwarding plane ({!Dift_parallel.Codec}) builds one
+    table per run at load time and shares it with every helper once;
+    per-event wire traffic then shrinks to the dynamic-only fields
+    plus a site id.  Ids are assigned in function-id order, [base
+    (func) + pc], so the table is an array and lookup is one load. *)
+
+open Dift_isa
+
+type row = {
+  s_func : Func.t;
+  s_pc : int;
+  s_instr : Instr.t;
+  s_read_offs : int array;
+      (** frame-relative location offsets of the registers
+          {!Instr.uses} reads, in event order: register [r]'s location
+          in frame [f] is [f * frame_stride + reg_off r] *)
+  s_write_offs : int array;
+      (** same, for the register {!Instr.def} writes (0 or 1 entry) *)
+  s_mem_read : bool;  (** a Load: reads end with the memory cell *)
+  s_mem_write : bool;  (** a Store: writes are the memory cell *)
+  s_input : bool;  (** a taint source ([Sys Read]) *)
+  s_sink : bool;
+      (** the transfer function reports a sink for every event of this
+          site (branch, load/store address, icall target, output,
+          check) — tainted or not, so such events can never be
+          filtered *)
+  s_filterable : bool;  (** neither {!s_input} nor {!s_sink} *)
+}
+
+type table
+
+(** Intern every site of the program (one row per static
+    instruction). *)
+val of_program : Program.t -> table
+
+(** Total number of sites (= static instruction count). *)
+val size : table -> int
+
+(** First site id of the named function; its pc [p] site is [base + p].
+    @raise Invalid_argument on unknown names. *)
+val base : table -> string -> int
+
+(** {!base} without the raise ([None] on unknown names) — the codec's
+    fidelity check uses it to detect events foreign to the program. *)
+val base_opt : table -> string -> int option
+
+(** [id t ~fname ~pc] = [base t fname + pc].
+    @raise Invalid_argument on unknown names. *)
+val id : table -> fname:string -> pc:int -> int
+
+val row : table -> int -> row
+
+(** Distance between the same register in consecutive activation
+    frames, in location units ([Reg.count lsl 1]). *)
+val frame_stride : int
+
+(** Frame-relative location offset of a register. *)
+val reg_off : Reg.t -> int
+
+val is_input_instr : Instr.t -> bool
+val is_sink_instr : Instr.t -> bool
+
+(** Whether the producer-side liveness filter is allowed to drop
+    events of this instruction when their locations cannot intersect
+    live taint (see {!Dift_parallel.Livefilter}): true exactly when
+    the instruction is neither a source nor a sink. *)
+val filterable_instr : Instr.t -> bool

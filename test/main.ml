@@ -17,6 +17,7 @@ let () =
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
+      ("codec", Test_codec.suite);
       ("sharded", Test_sharded.suite);
       ("faults", Test_faults.suite);
       ("postmortem", Test_postmortem.suite);

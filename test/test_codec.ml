@@ -1,0 +1,430 @@
+(* The de-boxed forwarding plane: the SoA codec must be a lossless
+   wire — encode ∘ decode is the identity on machine-shaped events
+   (compact and explicit descriptors), on events foreign to the
+   interned program (the escape hatch), and through the full channel
+   framing.  Whole-run equivalence: the coded wire, the boxed wire and
+   the producer-side liveness filter all produce bit-identical reports
+   on every kernel, in both runtimes, on both shard routes — and the
+   filter strictly reduces forwarded volume on taint-sparse streams.
+   Plus the codec free ring's [ring.free.*] chaos seam: recycling
+   faults degrade, they never change the answer. *)
+
+open Dift_isa
+open Dift_vm
+open Dift_core
+open Dift_workloads
+open Dift_parallel
+
+let check = Alcotest.check
+
+(* -- round-trip: encode ∘ decode ≡ identity --------------------------- *)
+
+let prog = Spec_like.crc.Workload.program
+let table = Site.of_program prog
+
+(* Decoding must return the program's own function and instruction
+   (interning preserves identity), and every dynamic field verbatim. *)
+let exec_eq (a : Event.exec) (b : Event.exec) =
+  a.Event.step = b.Event.step
+  && a.Event.tid = b.Event.tid
+  && a.Event.func == b.Event.func
+  && a.Event.pc = b.Event.pc
+  && a.Event.instr == b.Event.instr
+  && a.Event.reads = b.Event.reads
+  && a.Event.writes = b.Event.writes
+  && a.Event.addr = b.Event.addr
+  && a.Event.value = b.Event.value
+  && a.Event.next_pc = b.Event.next_pc
+  && a.Event.input_index = b.Event.input_index
+
+let pp_exec ppf (e : Event.exec) =
+  Fmt.pf ppf "%s:%d step %d r[%a] w[%a] addr %d"
+    e.Event.func.Func.name e.Event.pc e.Event.step
+    Fmt.(list ~sep:comma int)
+    e.Event.reads
+    Fmt.(list ~sep:comma int)
+    e.Event.writes e.Event.addr
+
+let dyn_gen =
+  QCheck2.Gen.(
+    let* step = int_bound 100_000 in
+    let* tid = int_bound 3 in
+    let* value = int_bound 1_000 in
+    let* next_pc = int_bound 50 in
+    let* input_index = int_range (-1) 40 in
+    return (step, tid, value, next_pc, input_index))
+
+(* A machine-shaped event of a real site: the dynamic read/write sets
+   are exactly the row's static offsets in one activation frame (plus
+   the memory cell for loads/stores), so the encoder's element-wise
+   verification succeeds and the compact descriptor is taken. *)
+let compact_event_gen =
+  QCheck2.Gen.(
+    let* site = int_bound (Site.size table - 1) in
+    let* frame = int_bound 5 in
+    let* addr0 = int_bound 400 in
+    let* step, tid, value, next_pc, input_index = dyn_gen in
+    let row = Site.row table site in
+    let mem = row.Site.s_mem_read || row.Site.s_mem_write in
+    let addr = if mem then addr0 else if addr0 mod 3 = 0 then -1 else addr0 in
+    let base = frame * Site.frame_stride in
+    let regs offs = Array.to_list (Array.map (fun o -> base + o) offs) in
+    return
+      {
+        Event.step;
+        tid;
+        func = row.Site.s_func;
+        pc = row.Site.s_pc;
+        instr = row.Site.s_instr;
+        reads =
+          (regs row.Site.s_read_offs
+          @ if row.Site.s_mem_read then [ addr lsl 1 ] else []);
+        writes =
+          (regs row.Site.s_write_offs
+          @ if row.Site.s_mem_write then [ addr lsl 1 ] else []);
+        addr;
+        next_pc;
+        input_index;
+        value;
+      })
+
+let loc_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map Loc.mem (int_bound 300);
+        map2
+          (fun frame r -> Loc.reg ~frame (Reg.make r))
+          (int_bound 5)
+          (int_bound (Reg.count - 1));
+      ])
+
+(* The same sites with arbitrary dynamic location sets: the shape
+   diverges from the row, so the explicit descriptor must carry the
+   sets verbatim through the overflow area. *)
+let explicit_event_gen =
+  QCheck2.Gen.(
+    let* site = int_bound (Site.size table - 1) in
+    let* reads = list_size (int_bound 4) loc_gen in
+    let* writes = list_size (int_bound 3) loc_gen in
+    let* step, tid, value, next_pc, input_index = dyn_gen in
+    let row = Site.row table site in
+    return
+      {
+        Event.step;
+        tid;
+        func = row.Site.s_func;
+        pc = row.Site.s_pc;
+        instr = row.Site.s_instr;
+        reads;
+        writes;
+        addr = -1;
+        next_pc;
+        input_index;
+        value;
+      })
+
+(* Events foreign to the interned program (a hand-built function that
+   is not physically any of its sites, mostly with out-of-range pcs):
+   the escape hatch must carry them exactly. *)
+let alien_prog =
+  Program.make [ Func.make ~name:"main" ~arity:0 [| Instr.Halt |] ]
+
+let alien_func = Program.find alien_prog "main"
+
+let foreign_event_gen =
+  QCheck2.Gen.(
+    let* pc = int_bound 22 in
+    let* reads = list_size (int_bound 3) loc_gen in
+    let* writes = list_size (int_bound 2) loc_gen in
+    let* step, tid, value, next_pc, input_index = dyn_gen in
+    return
+      {
+        Event.step;
+        tid;
+        func = alien_func;
+        pc;
+        instr = Instr.Sys (Instr.Write (Operand.Reg Reg.r0));
+        reads;
+        writes;
+        addr = -1;
+        next_pc;
+        input_index;
+        value;
+      })
+
+let event_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, compact_event_gen); (2, explicit_event_gen);
+        (1, foreign_event_gen);
+      ])
+
+let events_gen = QCheck2.Gen.(list_size (int_range 1 100) event_gen)
+
+(* One shared scratch view, refilled per decode — exactly the
+   consumer-side reuse discipline. *)
+let scratch () =
+  let r0 = Site.row table 0 in
+  Event.view_create ~func:r0.Site.s_func ~instr:r0.Site.s_instr
+
+let roundtrip_batch events =
+  let enc = Codec.encoder table in
+  let b = Codec.batch_create ~events_per_batch:(List.length events) in
+  List.iter (Codec.encode enc b) events;
+  let v = scratch () in
+  List.for_all
+    (fun (i, e) ->
+      Codec.decode_into table b i v;
+      exec_eq e (Event.view_to_exec v))
+    (List.mapi (fun i e -> (i, e)) events)
+
+let roundtrip_prop =
+  QCheck2.Test.make ~count:200 ~name:"codec: encode ∘ decode ≡ identity"
+    ~print:Fmt.(str "%a" (list ~sep:(any "; ") pp_exec))
+    events_gen roundtrip_batch
+
+(* Same property through the channel: feed / flush / close framing
+   with partial final batches, then a synchronous drain. *)
+let roundtrip_channel events =
+  let ch =
+    Codec.create ~queue_capacity:64 ~events_per_batch:8 ~table ()
+  in
+  List.iter (Codec.feed ch) events;
+  Codec.close ch;
+  let out = ref [] in
+  Codec.drain ch ~f:(fun v -> out := Event.view_to_exec v :: !out);
+  let out = List.rev !out in
+  List.length out = List.length events && List.for_all2 exec_eq events out
+
+let roundtrip_channel_prop =
+  QCheck2.Test.make ~count:50
+    ~name:"codec: channel feed/drain preserves the stream"
+    ~print:Fmt.(str "%a" (list ~sep:(any "; ") pp_exec))
+    events_gen roundtrip_channel
+
+(* A recycled batch must not leak state into its next fill. *)
+let test_batch_recycling () =
+  let enc = Codec.encoder table in
+  let b = Codec.batch_create ~events_per_batch:4 in
+  let mk = QCheck2.Gen.generate1 ~rand:(Random.State.make [| 7 |]) in
+  let first = mk QCheck2.Gen.(list_repeat 4 event_gen) in
+  List.iter (Codec.encode enc b) first;
+  Codec.batch_clear b;
+  check Alcotest.int "cleared" 0 (Codec.batch_length b);
+  let second = mk QCheck2.Gen.(list_repeat 4 event_gen) in
+  List.iter (Codec.encode enc b) second;
+  let v = scratch () in
+  List.iteri
+    (fun i e ->
+      Codec.decode_into table b i v;
+      check Alcotest.bool
+        (Fmt.str "event %d survives recycling" i)
+        true
+        (exec_eq e (Event.view_to_exec v)))
+    second
+
+(* -- whole-run equivalence: wires, filter, runtimes, routes ----------- *)
+
+let same_result name (a : Parallel.result) (b : Parallel.result) =
+  check Alcotest.bool
+    (Fmt.str "%s: outcome agrees" name)
+    true (a.Parallel.outcome = b.Parallel.outcome);
+  check Alcotest.int (Fmt.str "%s: events" name) a.Parallel.events
+    b.Parallel.events;
+  check Alcotest.int (Fmt.str "%s: sources" name) a.Parallel.sources
+    b.Parallel.sources;
+  check Alcotest.int (Fmt.str "%s: sink hits" name) a.Parallel.sink_hits
+    b.Parallel.sink_hits;
+  check Alcotest.int
+    (Fmt.str "%s: sink trace hash" name)
+    a.Parallel.sink_trace_hash b.Parallel.sink_trace_hash;
+  check Alcotest.int
+    (Fmt.str "%s: tainted locations" name)
+    a.Parallel.tainted_locations b.Parallel.tainted_locations;
+  check Alcotest.int (Fmt.str "%s: shadow words" name)
+    a.Parallel.shadow_words b.Parallel.shadow_words;
+  check Alcotest.int
+    (Fmt.str "%s: taint fingerprint" name)
+    a.Parallel.taint_fingerprint b.Parallel.taint_fingerprint
+
+(* Every kernel: boxed wire ≡ coded wire ≡ inline, two-domain. *)
+let test_wires_two_domain () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let input = w.Workload.input ~size:14 ~seed:5 in
+      let inline = Parallel.run_inline w.Workload.program ~input in
+      List.iter
+        (fun wire ->
+          let r =
+            Parallel.run ~wire ~queue_capacity:8 ~batch_size:16
+              w.Workload.program ~input
+          in
+          same_result
+            (Fmt.str "%s/%a" w.Workload.name Channel.pp_wire wire)
+            inline.Parallel.i_result r.Parallel.result;
+          check Alcotest.bool
+            (Fmt.str "%s: wire reported" w.Workload.name)
+            true
+            (r.Parallel.wire = wire))
+        [ `Boxed; `Coded ])
+    Spec_like.all
+
+(* Every kernel: both wires, both shard routes, sharded runtime. *)
+let test_wires_sharded () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let input = w.Workload.input ~size:12 ~seed:9 in
+      let inline = Parallel.run_inline w.Workload.program ~input in
+      List.iter
+        (fun (route, wire) ->
+          let rep =
+            Parallel.run_sharded ~route ~wire ~shards:3 ~queue_capacity:8
+              ~batch_size:8 w.Workload.program ~input
+          in
+          same_result
+            (Fmt.str "%s/%s/%a" w.Workload.name
+               (match route with
+               | `Request_reply -> "request-reply"
+               | `Broadcast -> "broadcast")
+               Channel.pp_wire wire)
+            inline.Parallel.i_result rep.Parallel.s_result)
+        [
+          (`Request_reply, `Boxed);
+          (`Request_reply, `Coded);
+          (`Broadcast, `Boxed);
+          (`Broadcast, `Coded);
+        ])
+    Spec_like.all
+
+(* Every kernel: the producer-side liveness filter is invisible in the
+   report — bit-identical to the unfiltered run, both runtimes. *)
+let test_filter_bit_identical () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let input = w.Workload.input ~size:14 ~seed:5 in
+      let inline = Parallel.run_inline w.Workload.program ~input in
+      let filtered =
+        Parallel.run ~forward_filter:true w.Workload.program ~input
+      in
+      same_result
+        (Fmt.str "%s/filtered" w.Workload.name)
+        inline.Parallel.i_result filtered.Parallel.result;
+      let sharded =
+        Parallel.run_sharded ~forward_filter:true ~shards:3
+          w.Workload.program ~input
+      in
+      same_result
+        (Fmt.str "%s/filtered sharded" w.Workload.name)
+        inline.Parallel.i_result sharded.Parallel.s_result)
+    Spec_like.all
+
+(* On a taint-sparse stream the filter must actually drop traffic:
+   the forwarded volume strictly shrinks, while the report stays
+   whole (the dropped events are counted back in). *)
+let test_filter_reduces_forwarding () =
+  let w = Spec_like.search in
+  let input = w.Workload.input ~size:300 ~seed:1 in
+  let r = Parallel.run ~forward_filter:true w.Workload.program ~input in
+  check Alcotest.bool "two-domain: events filtered" true
+    (r.Parallel.filtered_events > 0);
+  let unfiltered = Parallel.run w.Workload.program ~input in
+  check Alcotest.bool "two-domain: forwarded volume shrank" true
+    (r.Parallel.result.Parallel.events - r.Parallel.filtered_events
+    < unfiltered.Parallel.result.Parallel.events);
+  let s =
+    Parallel.run_sharded ~forward_filter:true ~shards:2 w.Workload.program
+      ~input
+  in
+  check Alcotest.bool "sharded: events filtered" true
+    (s.Parallel.s_filtered_events > 0);
+  check Alcotest.int "sharded: report stays whole"
+    r.Parallel.result.Parallel.events s.Parallel.s_result.Parallel.events
+
+(* Under [propagate_control] every event is entangled with per-thread
+   control state, so the filter must silently stand down. *)
+let test_filter_stands_down_under_control () =
+  let w = Spec_like.search in
+  let input = w.Workload.input ~size:10 ~seed:2 in
+  let policy = Policy.full in
+  let inline = Parallel.run_inline ~policy w.Workload.program ~input in
+  let r =
+    Parallel.run ~policy ~forward_filter:true w.Workload.program ~input
+  in
+  same_result "search/full filtered" inline.Parallel.i_result
+    r.Parallel.result;
+  check Alcotest.int "filter stood down" 0 r.Parallel.filtered_events
+
+(* -- the codec free ring's chaos seam --------------------------------- *)
+
+let plan s =
+  match Chaos.plan_of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad test plan %S: %s" s e
+
+(* Recycling faults (drop, abort) only degrade the free ring — the
+   producer falls back to fresh lanes and the answer is unchanged. *)
+let test_free_ring_faults_benign () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:12 ~seed:4 in
+  let inline = Parallel.run_inline w.Workload.program ~input in
+  List.iter
+    (fun p ->
+      let chaos = Chaos.create (plan p) in
+      let r =
+        Parallel.run ~chaos ~queue_capacity:4 ~batch_size:8
+          w.Workload.program ~input
+      in
+      same_result (Fmt.str "crc under %s" p) inline.Parallel.i_result
+        r.Parallel.result;
+      check Alcotest.bool (Fmt.str "%s fired" p) true (Chaos.fired chaos > 0))
+    [
+      "ring.free.parallel/pop@1=drop";
+      "ring.free.parallel/push@1=drop";
+      "ring.free.parallel/pop@2=abort";
+      "ring.free.parallel/push@2=abort";
+    ]
+
+(* A raise on the free ring crashes the producer leg like any other
+   producer-side fault: supervised shutdown, structured error. *)
+let test_free_ring_raise_crashes_producer () =
+  let w = Spec_like.crc in
+  let input = w.Workload.input ~size:12 ~seed:4 in
+  let chaos = Chaos.create (plan "ring.free.parallel/pop@1=raise") in
+  match
+    Parallel.run_result ~chaos ~queue_capacity:4 ~batch_size:8
+      w.Workload.program ~input
+  with
+  | Ok _ -> Alcotest.fail "injected raise did not surface"
+  | Error e -> (
+      check Alcotest.bool "blamed on the application leg" true
+        (e.Parallel.e_leg = `App);
+      match e.Parallel.e_exn with
+      | Chaos.Injected _ -> ()
+      | ex -> Alcotest.failf "unexpected exn %s" (Printexc.to_string ex))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ roundtrip_prop; roundtrip_channel_prop ]
+
+let suite =
+  [
+    Alcotest.test_case "batch recycling is clean" `Quick
+      test_batch_recycling;
+    Alcotest.test_case "boxed ≡ coded ≡ inline (two-domain, all kernels)"
+      `Quick test_wires_two_domain;
+    Alcotest.test_case "boxed ≡ coded ≡ inline (sharded, both routes)"
+      `Quick test_wires_sharded;
+    Alcotest.test_case "forward filter is bit-identical (all kernels)"
+      `Quick test_filter_bit_identical;
+    Alcotest.test_case "forward filter strictly reduces forwarding" `Quick
+      test_filter_reduces_forwarding;
+    Alcotest.test_case "forward filter stands down under control taint"
+      `Quick test_filter_stands_down_under_control;
+    Alcotest.test_case "free-ring faults are benign" `Quick
+      test_free_ring_faults_benign;
+    Alcotest.test_case "free-ring raise crashes the producer" `Quick
+      test_free_ring_raise_crashes_producer;
+  ]
+  @ qcheck_tests

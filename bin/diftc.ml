@@ -364,14 +364,39 @@ let taint_cmd =
       & info [ "heartbeat-interval-ms" ] ~docv:"MS"
           ~doc:"Milliseconds between heartbeat samples (with --heartbeat).")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deadline-ms" ] ~docv:"SPEC"
+          ~doc:
+            "Supervise the parallel run with watchdog deadlines (with \
+             --parallel).  Grammar: DEFAULT_MS[;SEAM_PREFIX=MS...], e.g. \
+             $(b,500) or $(b,500;xchg=200;join.helper=2000).  A seam that \
+             stays blocked past its deadline while the whole run is \
+             frozen triggers the timeout-and-cascade shutdown and a \
+             structured deadline error (rendered by $(b,diftc inspect)).")
+  in
+  let degrade_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("inline", `Inline) ])) None
+      & info [ "degrade" ] ~docv:"MODE"
+          ~doc:
+            "Degraded-mode completion (with --parallel): when a helper \
+             or shard dies or misses its deadline, finish the tracking \
+             with the $(b,inline) sequential engine on the application \
+             domain and report a complete (flagged) result instead of \
+             an error.")
+  in
   let on_sink sink taint (e : Event.exec) =
     if taint && sink = Engine.Sink_output then
       Fmt.pr "tainted output %d at step %d@." e.Event.value e.Event.step
   in
   let run pos_name workload size seed parallel helpers route queue_capacity
       batch_size xchg_capacity wire forward_filter fault_plan fault_seed
-      flight_record crash_dump heartbeat heartbeat_interval stats chrome
-      trace_capacity =
+      flight_record crash_dump heartbeat heartbeat_interval deadline degrade
+      stats chrome trace_capacity =
     let named =
       match (pos_name, workload) with
       | Some p, Some w when p <> w ->
@@ -413,6 +438,22 @@ let taint_cmd =
     | Ok _ when fault_plan <> None && fault_seed <> None ->
         Fmt.epr "--fault-plan and --fault-seed are mutually exclusive@.";
         1
+    | Ok _ when (deadline <> None || degrade <> None) && not parallel ->
+        Fmt.epr "--deadline-ms/--degrade require --parallel@.";
+        1
+    | Ok _
+      when match deadline with
+           | Some d ->
+               Result.is_error
+                 (Dift_parallel.Watchdog.deadlines_of_string d)
+           | None -> false -> (
+        match
+          Option.map Dift_parallel.Watchdog.deadlines_of_string deadline
+        with
+        | Some (Error e) ->
+            Fmt.epr "bad --deadline-ms: %s@." e;
+            1
+        | _ -> assert false)
     | Ok _
       when match fault_plan with
            | Some p ->
@@ -445,12 +486,30 @@ let taint_cmd =
         (match (flight, obs) with
         | Some fl, Some reg -> Dift_obs.Flight.register_obs fl reg
         | _ -> ());
+        (* One sampler domain serves every periodic job of the run:
+           heartbeat beats and watchdog deadline checks share it. *)
+        let sampler =
+          if heartbeat <> None || deadline <> None then
+            Some (Dift_obs.Sampler.create ())
+          else None
+        in
         let hb =
           Option.map
             (fun file ->
               Dift_obs.Heartbeat.start ~interval_ms:heartbeat_interval
-                (Option.get obs) ~file)
+                ?sampler (Option.get obs) ~file)
             heartbeat
+        in
+        let wd =
+          Option.map
+            (fun spec ->
+              let deadlines =
+                match Dift_parallel.Watchdog.deadlines_of_string spec with
+                | Ok d -> d
+                | Error _ -> assert false (* rejected above *)
+              in
+              Dift_parallel.Watchdog.create ?obs ?flight ?sampler deadlines)
+            deadline
         in
         let plan =
           match (fault_plan, fault_seed) with
@@ -472,12 +531,13 @@ let taint_cmd =
            the primary failure is the injected one (or the Shard_dead
            cascade it caused); anything else is a real failure. *)
         let expected_failure ex =
-          chaos <> None
-          &&
           match ex with
           | Dift_parallel.Chaos.Injected _
           | Dift_parallel.Shard_engine.Shard_dead ->
-              true
+              chaos <> None
+          (* a deadline miss under active supervision is the watchdog
+             doing its job, not a runtime defect *)
+          | Dift_parallel.Watchdog.Deadline_exceeded _ -> wd <> None
           | _ -> false
         in
         let rc = ref 0 in
@@ -486,14 +546,18 @@ let taint_cmd =
           let open Dift_parallel.Parallel in
           match
             run_sharded_result ?obs ?trace:tracer ?flight ?chaos
-              ?xchg_capacity ~wire ~forward_filter ~route ~queue_capacity
-              ~batch_size ~on_sink ~shards:helpers w.Workload.program ~input
+              ?watchdog:wd ?degrade ?xchg_capacity ~wire ~forward_filter
+              ~route ~queue_capacity ~batch_size ~on_sink ~shards:helpers
+              w.Workload.program ~input
           with
           | Error e ->
               Fmt.epr "sharded run failed: %a@." pp_error e;
               failed := Some e;
               rc := (if expected_failure e.e_exn then 0 else 1)
           | Ok r ->
+              (match r.s_degraded with
+              | Some d -> Fmt.pr "%a@." pp_degraded d
+              | None -> ());
               Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
                 r.s_result.events r.s_result.sources r.s_result.sink_hits;
               Fmt.pr "shadow: %d locations, %d words@."
@@ -518,15 +582,18 @@ let taint_cmd =
         else if parallel then begin
           let open Dift_parallel.Parallel in
           match
-            run_result ?obs ?trace:tracer ?flight ?chaos ~wire
-              ~forward_filter ~queue_capacity ~batch_size ~on_sink
-              w.Workload.program ~input
+            run_result ?obs ?trace:tracer ?flight ?chaos ?watchdog:wd
+              ?degrade ~wire ~forward_filter ~queue_capacity ~batch_size
+              ~on_sink w.Workload.program ~input
           with
           | Error e ->
               Fmt.epr "parallel run failed: %a@." pp_error e;
               failed := Some e;
               rc := (if expected_failure e.e_exn then 0 else 1)
           | Ok r ->
+              (match r.degraded with
+              | Some d -> Fmt.pr "%a@." pp_degraded d
+              | None -> ());
               Fmt.pr "events: %d, sources: %d, tainted sinks: %d@."
                 r.result.events r.result.sources r.result.sink_hits;
               Fmt.pr "shadow: %d locations, %d words@."
@@ -579,13 +646,17 @@ let taint_cmd =
         | Some c ->
             Fmt.epr "faults fired: %d@." (Dift_parallel.Chaos.fired c)
         | None -> ());
-        (* Stop the sampler before bundling so the heartbeat file is
-           closed and its final beat reflects the post-mortem state. *)
+        (* Stop the periodic jobs before bundling — the heartbeat file
+           is closed with its final beat reflecting the post-mortem
+           state, and no watchdog check is in flight — then park the
+           shared sampler domain. *)
         (match (hb, heartbeat) with
         | Some h, Some file ->
             let n = Dift_obs.Heartbeat.stop h in
             Fmt.epr "heartbeat: %d beats -> %s@." n file
         | _ -> ());
+        Option.iter Dift_parallel.Watchdog.stop wd;
+        Option.iter Dift_obs.Sampler.stop sampler;
         (match (!failed, crash_dump) with
         | Some e, Some file ->
             let geometry =
@@ -601,6 +672,13 @@ let taint_cmd =
                    else None);
                 g_wire = wire;
                 g_forward_filter = forward_filter;
+                g_deadline =
+                  Option.map
+                    (fun w ->
+                      Dift_parallel.Watchdog.(
+                        deadlines_to_string (deadline_spec w)))
+                    wd;
+                g_degrade = degrade <> None;
               }
             in
             let extra =
@@ -634,8 +712,8 @@ let taint_cmd =
       $ parallel_arg $ helpers_arg $ route_arg $ queue_arg $ batch_arg
       $ xchg_arg $ wire_arg $ forward_filter_arg $ fault_plan_arg
       $ fault_seed_arg $ flight_record_arg $ crash_dump_arg $ heartbeat_arg
-      $ heartbeat_interval_arg $ stats_arg $ chrome_trace_arg
-      $ trace_capacity_arg)
+      $ heartbeat_interval_arg $ deadline_arg $ degrade_arg $ stats_arg
+      $ chrome_trace_arg $ trace_capacity_arg)
 
 (* -- inspect ------------------------------------------------------------------ *)
 
@@ -675,6 +753,26 @@ let inspect_cmd =
             | J.String s -> Fmt.pr "            %s@." s | _ -> ())
           xs
     | _ -> ());
+    (match J.member "deadline" err with
+    | Some d ->
+        Fmt.pr
+          "deadline: seam %s blocked %.1f ms (deadline %.1f ms, epoch \
+           %d)@."
+          (Option.value ~default:"?" (str d "seam"))
+          (float_of_int (num "blocked_ns" d) /. 1e6)
+          (float_of_int (num "deadline_ns" d) /. 1e6)
+          (num "epoch" d);
+        (match J.member "armed" d with
+        | Some (J.List (_ :: _ as xs)) ->
+            Fmt.pr "          armed at detection:@.";
+            List.iter
+              (fun a ->
+                Fmt.pr "            %s (epoch %d)@."
+                  (Option.value ~default:"?" (str a "seam"))
+                  (num "epoch" a))
+              xs
+        | _ -> ())
+    | None -> ());
     match J.member "partial" err with
     | Some p ->
         Fmt.pr
@@ -687,7 +785,7 @@ let inspect_cmd =
     | None -> ()
   in
   let print_geometry g =
-    Fmt.pr "geometry: %s runtime, %d shard(s), ring %d x %d%s%s%s@."
+    Fmt.pr "geometry: %s runtime, %d shard(s), ring %d x %d%s%s%s%s%s@."
       (Option.value ~default:"?" (str g "runtime"))
       (num "shards" g) (num "queue_capacity" g) (num "batch_size" g)
       (match str g "wire" with
@@ -698,6 +796,12 @@ let inspect_cmd =
       | _ -> "")
       (match J.member "forward_filter" g with
       | Some (J.Bool true) -> ", forward filter"
+      | _ -> "")
+      (match str g "deadline_ms" with
+      | Some d -> Fmt.str ", deadline %s ms" d
+      | None -> "")
+      (match J.member "degrade" g with
+      | Some (J.Bool true) -> ", degrade inline"
       | _ -> "")
   in
   let print_fault_plan fp =

@@ -1,32 +1,37 @@
 (** The heartbeat sampler; see the interface for the contract.
 
     Single-writer discipline: beat 0 is written by the starting domain
-    before the sampler spawns ([Domain.spawn] publishes the channel),
-    every later beat — including the final one — by the sampler
-    domain, which also closes the channel.  No two writes ever race,
-    so each line in the file is a complete JSON record. *)
+    before the job is scheduled ({!Sampler.add} publishes the
+    channel), every periodic beat by the shared sampler domain, and
+    the final beat again by the stopping domain — {e after}
+    {!Sampler.remove}, whose synchronous-removal guarantee is what
+    rules out a race with a periodic beat.  No two writes ever
+    overlap, so each line in the file is a complete JSON record. *)
 
 type t = {
   interval_ms : int;
   reg : Registry.t;
   start_ns : int;
-  stop_flag : bool Atomic.t;
   beats : int Atomic.t;
   first_json : Json.t;
-  mutable sampler : unit Domain.t option;  (** [None] once joined *)
+  oc : out_channel;
+  sampler : Sampler.t;
+  job : Sampler.job;
+  owned : bool;  (** the sampler is private: stop it on {!stop} *)
+  mutable stopped : bool;
 }
 
 (* One compact line per beat, flushed immediately: an outside reader
    (or a post-crash inspection) always sees complete records, and the
    last line timestamps how far the run got before wedging. *)
-let write_beat oc t =
-  let seq = Atomic.fetch_and_add t.beats 1 in
-  let metrics = Registry.to_json (Registry.snapshot t.reg) in
+let write_beat oc start_ns reg beats =
+  let seq = Atomic.fetch_and_add beats 1 in
+  let metrics = Registry.to_json (Registry.snapshot reg) in
   let line =
     Json.obj
       [
         ("seq", Json.Int seq);
-        ("t_ns", Json.Int (Clock.now_ns () - t.start_ns));
+        ("t_ns", Json.Int (Clock.now_ns () - start_ns));
         ("metrics", metrics);
       ]
   in
@@ -34,53 +39,33 @@ let write_beat oc t =
   output_char oc '\n';
   flush oc
 
-let slice_s = 0.02
-
-let sampler_body oc t () =
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
-  let interval_ns = t.interval_ms * 1_000_000 in
-  let rec run deadline =
-    if Atomic.get t.stop_flag then write_beat oc t
-    else if Clock.now_ns () >= deadline then begin
-      write_beat oc t;
-      run (deadline + interval_ns)
-    end
-    else begin
-      (* Sleep in small slices so [stop] is honoured promptly even at
-         long intervals. *)
-      Unix.sleepf slice_s;
-      run deadline
-    end
-  in
-  run (Clock.now_ns () + interval_ns)
-
-let start ?(interval_ms = 200) reg ~file =
+let start ?(interval_ms = 200) ?sampler reg ~file =
   if interval_ms < 1 then invalid_arg "Heartbeat.start: interval_ms < 1";
   let oc = open_out file in
   let first_json = Registry.to_json (Registry.snapshot reg) in
-  let t =
-    {
-      interval_ms;
-      reg;
-      start_ns = Clock.now_ns ();
-      stop_flag = Atomic.make false;
-      beats = Atomic.make 0;
-      first_json;
-      sampler = None;
-    }
+  let start_ns = Clock.now_ns () in
+  let beats = Atomic.make 0 in
+  write_beat oc start_ns reg beats;
+  let sampler, owned =
+    match sampler with Some s -> (s, false) | None -> (Sampler.create (), true)
   in
-  write_beat oc t;
-  t.sampler <- Some (Domain.spawn (sampler_body oc t));
-  t
+  let job =
+    Sampler.add sampler ~name:("heartbeat:" ^ file) ~interval_ms (fun () ->
+        write_beat oc start_ns reg beats)
+  in
+  { interval_ms; reg; start_ns; beats; first_json; oc; sampler; job; owned;
+    stopped = false }
 
 let first t = t.first_json
 let beats t = Atomic.get t.beats
 
 let stop t =
-  Atomic.set t.stop_flag true;
-  (match t.sampler with
-  | Some d ->
-      t.sampler <- None;
-      Domain.join d
-  | None -> ());
+  if not t.stopped then begin
+    t.stopped <- true;
+    (* synchronous: after this, no periodic beat is in flight *)
+    Sampler.remove t.sampler t.job;
+    write_beat t.oc t.start_ns t.reg t.beats;
+    close_out_noerr t.oc;
+    if t.owned then Sampler.stop t.sampler
+  end;
   Atomic.get t.beats

@@ -11,7 +11,13 @@
     where [metrics] is the registry's documented JSON snapshot schema,
     compacted to one line.  Every line is flushed as written, so a
     reader always sees complete records.  {!stop} writes one final
-    beat and joins the sampler; it is idempotent.
+    beat and detaches from the sampler; it is idempotent.
+
+    Periodic beats are written by a {!Sampler} job, so any number of
+    heartbeats (and other periodic channels, e.g. watchdog checks)
+    can share {e one} sampler domain — pass [?sampler] to share;
+    without it the heartbeat owns a private sampler, preserving the
+    historical one-domain behaviour.
 
     Snapshotting from a separate domain is safe by the registry's
     contract (atomic cells; derived gauges must themselves be
@@ -19,12 +25,15 @@
 
 type t
 
-(** [start ?interval_ms reg ~file] begins sampling [reg] into [file]
-    every [interval_ms] (default [200]) milliseconds.
+(** [start ?interval_ms ?sampler reg ~file] begins sampling [reg] into
+    [file] every [interval_ms] (default [200]) milliseconds.  With
+    [?sampler] the beats ride the given shared sampler (which the
+    caller stops); without it a private sampler is created and stopped
+    by {!stop}.
 
     @raise Invalid_argument if [interval_ms < 1].
     @raise Sys_error if [file] cannot be created. *)
-val start : ?interval_ms:int -> Registry.t -> file:string -> t
+val start : ?interval_ms:int -> ?sampler:Sampler.t -> Registry.t -> file:string -> t
 
 (** The first beat's metrics (the snapshot taken synchronously inside
     {!start}), as the registry JSON — the baseline crash bundles embed

@@ -1,0 +1,63 @@
+(** The shared atomic progress table; see the interface for the
+    contract.
+
+    Each leg is one atomic epoch whose {e parity} encodes the leg's
+    state: even = not blocked, odd = inside a potentially-blocking
+    region.  [enter]/[leave] are single increments (flipping parity),
+    [tick] adds two (parity preserved) — so every operation is one
+    atomic RMW and a watchdog can reconstruct both "is this leg
+    blocked" and "has it moved" from a single load. *)
+
+type leg = {
+  l_id : int;
+  l_name : string;
+  l_epoch : int Atomic.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable legs_rev : leg list;  (** newest first *)
+  next_id : int Atomic.t;
+}
+
+let create () =
+  { lock = Mutex.create (); legs_rev = []; next_id = Atomic.make 0 }
+
+let leg t name =
+  let l =
+    {
+      l_id = Atomic.fetch_and_add t.next_id 1;
+      l_name = name;
+      l_epoch = Atomic.make 0;
+    }
+  in
+  Mutex.lock t.lock;
+  t.legs_rev <- l :: t.legs_rev;
+  Mutex.unlock t.lock;
+  l
+
+let name l = l.l_name
+let id l = l.l_id
+let epoch l = Atomic.get l.l_epoch
+let armed l = Atomic.get l.l_epoch land 1 = 1
+let enter l = Atomic.incr l.l_epoch
+let leave l = Atomic.incr l.l_epoch
+let tick l = ignore (Atomic.fetch_and_add l.l_epoch 2 : int)
+
+let legs t =
+  Mutex.lock t.lock;
+  let ls = t.legs_rev in
+  Mutex.unlock t.lock;
+  List.rev ls
+
+(* The global pulse: any enter/leave/tick anywhere changes the sum.
+   Summing over a snapshot of the registration list is safe — legs are
+   append-only and epochs are atomics. *)
+let total t = List.fold_left (fun acc l -> acc + epoch l) 0 (legs t)
+
+let register_obs t reg =
+  Registry.gauge_fn reg "progress.legs" ~help:"registered progress legs"
+    (fun () -> List.length (legs t));
+  Registry.gauge_fn reg "progress.total_epoch"
+    ~help:"sum of all leg epochs (the global progress pulse)" (fun () ->
+      total t)

@@ -1,0 +1,65 @@
+(** A shared atomic progress table: named {e legs}, one per blocking
+    seam of a concurrent protocol, each publishing a progress epoch
+    that any domain may sample.
+
+    A leg's epoch is a single atomic counter whose {e parity} encodes
+    the leg's state: even means "not blocked", odd means "inside a
+    potentially-blocking region".  {!enter} and {!leave} bracket a
+    blocking region (one increment each, flipping parity); {!tick}
+    records non-blocking progress (adds two, preserving parity).  A
+    watchdog sampling the table can therefore tell, from one load per
+    leg, whether the leg is currently blocked {e and} whether it has
+    moved since the last sample — and {!total} gives a global pulse
+    that changes whenever {e anything} moves.
+
+    Registration is cheap and may happen at any time, from any domain
+    (a mutex guards the append-only list); the per-operation cost on
+    the instrumented seams is one atomic read-modify-write, and seams
+    that never block pay nothing. *)
+
+type t
+(** A progress table. *)
+
+type leg
+(** One registered seam. *)
+
+val create : unit -> t
+
+(** [leg t name] registers a new leg.  Names are not required to be
+    unique (two runs over one table may reuse a seam name); {!id}
+    disambiguates. *)
+val leg : t -> string -> leg
+
+val name : leg -> string
+
+(** A table-unique identity, in registration order. *)
+val id : leg -> int
+
+(** The leg's epoch.  Odd = currently inside a blocking region. *)
+val epoch : leg -> int
+
+(** [epoch l] is odd: the leg is inside an {!enter}/{!leave} pair. *)
+val armed : leg -> bool
+
+(** Entering a potentially-blocking region (epoch becomes odd).  Must
+    be balanced by {!leave}, including on the exception path. *)
+val enter : leg -> unit
+
+(** Left the blocking region (epoch becomes even). *)
+val leave : leg -> unit
+
+(** Non-blocking progress: the epoch advances by two, so parity (and
+    thus {!armed}) is preserved.  Call once per unit of useful work
+    (e.g. per consumed batch) so a sampler can distinguish "busy" from
+    "wedged". *)
+val tick : leg -> unit
+
+(** Every registered leg, in registration order. *)
+val legs : t -> leg list
+
+(** Sum of all epochs — the global progress pulse.  Unchanged between
+    two samples iff no leg moved at all. *)
+val total : t -> int
+
+(** Publish [progress.legs] and [progress.total_epoch] gauges. *)
+val register_obs : t -> Registry.t -> unit

@@ -1,0 +1,94 @@
+(** The shared periodic sampler; see the interface for the contract.
+
+    One domain serves every job.  Jobs run {e while holding the
+    sampler lock}, which is what makes {!remove} synchronous: once
+    [remove] has taken the lock and unlinked the job, the callback is
+    provably not running and never will again.  Callbacks must
+    therefore be quick and must not call back into this module. *)
+
+type job = {
+  j_name : string;
+  j_interval_ns : int;
+  mutable j_due_ns : int;
+  j_fn : unit -> unit;
+  mutable j_runs : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable jobs : job list;  (** registration order *)
+  stop_flag : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    jobs = [];
+    stop_flag = Atomic.make false;
+    dom = None;
+  }
+
+(* Small slices so [stop] and newly added short-interval jobs are
+   honoured promptly even while long-interval jobs sleep. *)
+let slice_s = 0.005
+
+let body t () =
+  while not (Atomic.get t.stop_flag) do
+    let now = Clock.now_ns () in
+    Mutex.lock t.lock;
+    List.iter
+      (fun j ->
+        if now >= j.j_due_ns then begin
+          (* schedule from "now", not from the missed deadline: a slow
+             callback must not cause a burst of catch-up runs *)
+          j.j_due_ns <- now + j.j_interval_ns;
+          j.j_runs <- j.j_runs + 1;
+          j.j_fn ()
+        end)
+      t.jobs;
+    Mutex.unlock t.lock;
+    Unix.sleepf slice_s
+  done
+
+let add t ?(name = "job") ~interval_ms fn =
+  if interval_ms < 1 then invalid_arg "Sampler.add: interval_ms < 1";
+  if Atomic.get t.stop_flag then invalid_arg "Sampler.add: stopped sampler";
+  let j =
+    {
+      j_name = name;
+      j_interval_ns = interval_ms * 1_000_000;
+      j_due_ns = Clock.now_ns () + (interval_ms * 1_000_000);
+      j_fn = fn;
+      j_runs = 0;
+    }
+  in
+  Mutex.lock t.lock;
+  t.jobs <- t.jobs @ [ j ];
+  if t.dom = None then t.dom <- Some (Domain.spawn (body t));
+  Mutex.unlock t.lock;
+  j
+
+let remove t j =
+  Mutex.lock t.lock;
+  t.jobs <- List.filter (fun j' -> j' != j) t.jobs;
+  Mutex.unlock t.lock
+
+let jobs t =
+  Mutex.lock t.lock;
+  let n = List.length t.jobs in
+  Mutex.unlock t.lock;
+  n
+
+let runs j = j.j_runs
+let job_name j = j.j_name
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (* the domain field is only ever set under the lock, so take it
+     under the lock too: [stop] is idempotent and join-once *)
+  Mutex.lock t.lock;
+  let d = t.dom in
+  t.dom <- None;
+  Mutex.unlock t.lock;
+  match d with Some d -> Domain.join d | None -> ()

@@ -1,0 +1,49 @@
+(** A shared periodic sampler: {e one} domain serving any number of
+    periodic jobs (heartbeat writers, watchdog checks, …), so
+    concurrent instrumented runs no longer cost one domain per output
+    channel.
+
+    The sampler domain is spawned lazily by the first {!add} and wakes
+    every few milliseconds to run whichever jobs are due.  Jobs run on
+    the sampler domain, one at a time, while holding the sampler's
+    lock — which is what makes {!remove} synchronous: once it returns,
+    the job's callback is not running and will never run again, so the
+    caller may safely reclaim whatever the callback touched (close a
+    file, write a final record from its own domain, …).
+
+    Contract for callbacks: be quick (they delay every other job), be
+    cross-domain-safe (they run on the sampler domain), and never call
+    back into the same sampler (the lock is held — it would
+    deadlock). *)
+
+type t
+type job
+
+(** A sampler with no jobs and no domain yet. *)
+val create : unit -> t
+
+(** [add t ~interval_ms fn] schedules [fn] every [interval_ms]
+    milliseconds, spawning the sampler domain if this is the first
+    job.  The first run is one interval from now.  A slow callback
+    delays its own next run (no catch-up bursts).
+
+    @raise Invalid_argument if [interval_ms < 1] or [t] is stopped. *)
+val add : t -> ?name:string -> interval_ms:int -> (unit -> unit) -> job
+
+(** Unschedule the job.  Synchronous: on return the callback is not
+    running and will never run again.  Removing an unknown or
+    already-removed job is a no-op. *)
+val remove : t -> job -> unit
+
+(** Jobs currently scheduled. *)
+val jobs : t -> int
+
+(** Times the job's callback has run. *)
+val runs : job -> int
+
+val job_name : job -> string
+
+(** Stop the sampler domain and join it (idempotent).  Remaining jobs
+    are simply never run again; remove them first if their owners need
+    the synchronous-removal guarantee. *)
+val stop : t -> unit

@@ -99,15 +99,15 @@ let in_flight_batches = function
 (** Build a channel of the requested wire with shared geometry.  The
     coded wire's [events_per_batch] is the boxed wire's [batch_size],
     so both buffer [queue_capacity * batch_size] events. *)
-let create ?obs ?trace ?flight ?chaos ?escalate ?ns ~wire ~queue_capacity
-    ~batch_size ~table () =
+let create ?obs ?trace ?flight ?chaos ?progress ?escalate ?ns ~wire
+    ~queue_capacity ~batch_size ~table () =
   match wire with
   | `Boxed ->
       Boxed
-        (Forwarder.create ?obs ?trace ?flight ?chaos ?escalate ?ns
+        (Forwarder.create ?obs ?trace ?flight ?chaos ?progress ?escalate ?ns
            ~queue_capacity ~batch_size ())
   | `Coded ->
       Coded
-        (Codec.create ?obs ?trace ?flight ?chaos ?escalate ?ns
+        (Codec.create ?obs ?trace ?flight ?chaos ?progress ?escalate ?ns
            ~queue_capacity ~events_per_batch:batch_size
            ~table:(Lazy.force table) ())

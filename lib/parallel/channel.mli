@@ -34,6 +34,7 @@ val create :
   ?trace:Dift_obs.Trace.t ->
   ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
+  ?progress:Dift_obs.Progress.t ->
   ?escalate:bool ->
   ?ns:string ->
   wire:wire ->

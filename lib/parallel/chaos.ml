@@ -125,6 +125,9 @@ type t = {
   c_plan : plan;
   c_fired : int Atomic.t;
   spawns : int Atomic.t;
+  c_stalled_ns : int Atomic.t;
+      (** total injected sleep actually served, post-clamp — lets a
+          watchdog or test reconcile elapsed time against the plan *)
   c_flight : Dift_obs.Flight.t option;
       (** every fired rule records a [chaos.fire] flight event {e on
           the intercepting domain} — so a crash bundle always carries
@@ -133,9 +136,17 @@ type t = {
 
 let create ?flight plan =
   { c_plan = plan; c_fired = Atomic.make 0; spawns = Atomic.make 0;
-    c_flight = flight }
+    c_stalled_ns = Atomic.make 0; c_flight = flight }
 let plan t = t.c_plan
 let fired t = Atomic.get t.c_fired
+let stalled_ns t = Atomic.get t.c_stalled_ns
+
+let register_obs t reg =
+  Dift_obs.Registry.gauge_fn reg "chaos.fired"
+    ~help:"faults fired so far, all instances" (fun () -> fired t);
+  Dift_obs.Registry.gauge_fn reg "chaos.stalled_ns"
+    ~help:"injected sleep served so far (ns, post-clamp)" (fun () ->
+      stalled_ns t)
 
 type inst = {
   owner : t;
@@ -168,7 +179,18 @@ let instance ?(escalate = false) ?(targeted_only = false) t ~ns =
 
 type action = Proceed | Fail | Abort_now | Raise_now of exn
 
-let sleep_ns ns = if ns > 0 then Unix.sleepf (float_of_int ns /. 1e9)
+(* A fat-fingered plan ("stall:3600000000000") must degrade a run, not
+   wedge it past any reasonable watchdog deadline: injected sleeps are
+   clamped to 2 s apiece, and every ns actually served is accounted in
+   [stalled_ns] so deadline tests can reconcile elapsed time. *)
+let max_sleep_ns = 2_000_000_000
+
+let sleep_ns owner ns =
+  if ns > 0 then begin
+    let ns = min ns max_sleep_ns in
+    ignore (Atomic.fetch_and_add owner.c_stalled_ns ns);
+    Unix.sleepf (float_of_int ns /. 1e9)
+  end
 
 (* Serve the [n]-th occurrence of [op]: sleep out any stall/delay rule
    that matched, then return the strongest terminal action (Raise >
@@ -185,7 +207,7 @@ let act owner rules op ~what n =
               ~detail:(Fmt.str "%s=%s" what (fault_to_string r.fault))
         | None -> ());
         match r.fault with
-        | Stall ns | Delay ns -> sleep_ns ns
+        | Stall ns | Delay ns -> sleep_ns owner ns
         | Drop -> (
             match !terminal with
             | Proceed -> terminal := Fail

@@ -101,6 +101,17 @@ val plan : t -> plan
     from any domain). *)
 val fired : t -> int
 
+(** Total injected sleep actually served so far, in ns, across every
+    instance (atomic).  Individual [Stall]/[Delay] durations are
+    clamped to 2 s apiece before serving, so a fat-fingered plan
+    degrades a run instead of wedging it past any watchdog deadline;
+    this total is post-clamp, letting tests reconcile elapsed wall
+    time against the plan. *)
+val stalled_ns : t -> int
+
+(** Publish [chaos.fired] and [chaos.stalled_ns] gauges. *)
+val register_obs : t -> Dift_obs.Registry.t -> unit
+
 (** A per-channel view: [ns] selects which rules apply (prefix
     match).  Push operations must come from the channel's single
     producer domain and pops from its single consumer domain, like

@@ -290,20 +290,20 @@ type t = {
   mutable scratch : Event.view option;  (** consumer side *)
 }
 
-let create ?obs ?trace ?flight ?chaos ?escalate ?(ns = "parallel")
+let create ?obs ?trace ?flight ?chaos ?progress ?escalate ?(ns = "parallel")
     ~queue_capacity ~events_per_batch ~table () =
   if events_per_batch < 1 then
     invalid_arg
       (Fmt.str "Codec.create: events_per_batch = %d < 1" events_per_batch);
   let fwd =
-    Forwarder.create ?obs ?trace ?flight ?chaos ?escalate ~ns
+    Forwarder.create ?obs ?trace ?flight ?chaos ?progress ?escalate ~ns
       ~queue_capacity ~batch_size:1 ()
   in
   {
     table;
     enc = encoder table;
     fwd;
-    free = Spsc.create ~capacity:(queue_capacity + 2);
+    free = Spsc.create ~capacity:(queue_capacity + 2) ();
     chaos_free =
       Option.map
         (fun c ->

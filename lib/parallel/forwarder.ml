@@ -67,6 +67,12 @@ type 'a t = {
       (** flight recorder: one bounded event per channel op on the
           acting domain's ring *)
   f_ns : string;  (** metric namespace, doubles as the flight category *)
+  push_prog : Dift_obs.Progress.leg option;
+      (** [<ns>.push]: armed while parked on a full ring, ticked per
+          delivered batch *)
+  pop_prog : Dift_obs.Progress.leg option;
+      (** [<ns>.pop]: armed while parked on an empty ring, ticked per
+          consumed batch *)
 }
 
 (* Power-of-two occupancy buckets up to the batch size: a full batch
@@ -78,17 +84,29 @@ let occupancy_buckets batch_size =
   in
   up [] 1
 
-let create ?obs ?trace ?flight ?chaos ?(escalate = false) ?(ns = "parallel")
-    ~queue_capacity ~batch_size () =
+let create ?obs ?trace ?flight ?chaos ?progress ?(escalate = false)
+    ?(ns = "parallel") ~queue_capacity ~batch_size () =
   if queue_capacity < 1 then
     invalid_arg
       (Fmt.str "Forwarder.create: queue_capacity = %d < 1" queue_capacity);
   if batch_size < 1 then
     invalid_arg (Fmt.str "Forwarder.create: batch_size = %d < 1" batch_size);
-  let ring = Spsc.create ~capacity:queue_capacity in
+  let push_prog, pop_prog =
+    match progress with
+    | None -> (None, None)
+    | Some p ->
+        ( Some (Dift_obs.Progress.leg p (ns ^ ".push")),
+          Some (Dift_obs.Progress.leg p (ns ^ ".pop")) )
+  in
+  let ring =
+    Spsc.create ?push_leg:push_prog ?pop_leg:pop_prog
+      ~capacity:queue_capacity ()
+  in
   (* + 2: room for the in-flight record on each side on top of the
-     ring's worth, so recycling (almost) never falls through to GC *)
-  let free = Spsc.create ~capacity:(queue_capacity + 2) in
+     ring's worth, so recycling (almost) never falls through to GC.
+     No progress legs: the free ring never blocks (try_pop/try_push
+     only), so there is no seam to watch. *)
+  let free = Spsc.create ~capacity:(queue_capacity + 2) () in
   let occupancy =
     Option.map
       (fun reg ->
@@ -135,6 +153,8 @@ let create ?obs ?trace ?flight ?chaos ?(escalate = false) ?(ns = "parallel")
       trace;
       flight;
       f_ns = ns;
+      push_prog;
+      pop_prog;
     }
   in
   (match obs with
@@ -235,6 +255,9 @@ let flush t =
       if Spsc.dropped t.ring > d0 then account_drop t b
       else begin
         t.batches <- t.batches + 1;
+        (match t.push_prog with
+        | Some l -> Dift_obs.Progress.tick l
+        | None -> ());
         flight_ev t "ring.push" ~a:b.weight ~b:(Spsc.length t.ring)
       end
     in
@@ -432,6 +455,9 @@ let drain ?(around_batch = fun k -> k ()) t ~f =
         if processed then begin
           t.consumed_batches <- t.consumed_batches + 1;
           t.consumed_events <- t.consumed_events + b.weight;
+          (match t.pop_prog with
+          | Some l -> Dift_obs.Progress.tick l
+          | None -> ());
           flight_ev t "ring.pop" ~a:b.weight ~b:(Spsc.length t.ring)
         end;
         recycle b;

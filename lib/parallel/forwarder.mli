@@ -80,6 +80,13 @@ type 'a t
     side it intercepts.  Without [?chaos] the channel takes the
     direct [Spsc] path — no per-operation overhead.
 
+    With [?progress], the channel registers two {!Dift_obs.Progress}
+    legs — [<ns>.push] and [<ns>.pop] — armed while the corresponding
+    side is parked (full ring / empty ring) and ticked once per
+    delivered resp. consumed batch, so a watchdog can tell a busy
+    channel from a wedged one.  The free-list ring registers no legs:
+    it never blocks.  Without [?progress] the hot path is untouched.
+
     [escalate] (default [false]) marks a channel whose losses would
     wedge a protocol riding on it: injected drop/abort faults are then
     served as raises instead of counted losses (see
@@ -91,6 +98,7 @@ val create :
   ?trace:Dift_obs.Trace.t ->
   ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
+  ?progress:Dift_obs.Progress.t ->
   ?escalate:bool ->
   ?ns:string ->
   queue_capacity:int ->

@@ -21,13 +21,31 @@ type t = {
           over-forwards *)
   mutable since_refresh : int;
   mutable filtered : int;  (** producer-only: events dropped *)
+  reset_interval : int;  (** admitted events between reset attempts; 0
+                             disables generation resets *)
+  mutable since_reset : int;  (** producer-only *)
+  mutable fed_last : int;
+      (** producer-only: step of the last {e forwarded} event ([-1] =
+          none) — quiescence is every epoch covering it *)
+  mutable standdown : bool;
+      (** producer-only: H was just cleared and is being rebuilt; no
+          filtering until every slot has acked the new generation *)
+  generation : int Atomic.t;  (** bumped by the producer at each reset *)
+  acks : int Atomic.t array;
+      (** per-consumer: last generation whose repopulation this slot
+          completed *)
+  mutable resets : int;  (** producer-only: completed H clears *)
 }
 
 let refresh_interval = 256
 
-let create ?(page_bits = 6) ?(words = 1024) ~slots () =
+let create ?(page_bits = 6) ?(words = 1024) ?(reset_interval = 8192) ~slots ()
+    =
   if slots < 1 then
     invalid_arg (Fmt.str "Livefilter.create: slots = %d < 1" slots);
+  if reset_interval < 0 then
+    invalid_arg
+      (Fmt.str "Livefilter.create: reset_interval = %d < 0" reset_interval);
   if words < 1 || words land (words - 1) <> 0 then
     invalid_arg
       (Fmt.str "Livefilter.create: words = %d not a positive power of two"
@@ -41,6 +59,13 @@ let create ?(page_bits = 6) ?(words = 1024) ~slots () =
     cached_min = -1;
     since_refresh = 0;
     filtered = 0;
+    reset_interval;
+    since_reset = 0;
+    fed_last = -1;
+    standdown = false;
+    generation = Atomic.make 0;
+    acks = Array.init slots (fun _ -> Atomic.make 0);
+    resets = 0;
   }
 
 (* Key of a location: (page of its index, plane).  Registers (odd
@@ -71,28 +96,87 @@ let rec any_live t = function
   | [] -> false
   | l :: tl -> live t l || any_live t tl
 
+(* Generation reset (producer side).  H is monotone, so on taint-dense
+   phases it saturates and the filter stops earning its keep even
+   after the taint dies.  At a {e quiescent} point — every consumer's
+   published epoch covers the last event the producer ever forwarded,
+   hence no publish can be in flight — the producer clears H, bumps
+   the generation, and {e stands down} (forwards everything, stamps
+   every write) until each consumer has republished its live taint
+   from its shadow and acked the generation.  Standdown over-forwards
+   and over-stamps only, so it is sound by the same argument as a
+   stale [cached_min]; what the reset buys is that pages whose taint
+   has since been overwritten come back {e clean}. *)
+let maybe_reset t =
+  if t.standdown then begin
+    let g = Atomic.get t.generation in
+    let all_acked = ref true in
+    for i = 0 to Array.length t.acks - 1 do
+      if Atomic.get t.acks.(i) < g then all_acked := false
+    done;
+    if !all_acked then t.standdown <- false
+  end
+  else if t.reset_interval > 0 then begin
+    t.since_reset <- t.since_reset + 1;
+    if t.since_reset >= t.reset_interval && t.fed_last >= 0 then begin
+      let quiet = ref true in
+      for i = 0 to Array.length t.epochs - 1 do
+        if Atomic.get t.epochs.(i) < t.fed_last then quiet := false
+      done;
+      (* not quiet: re-check on the next admit — two or three atomic
+         loads, not worth a separate cadence *)
+      if !quiet then begin
+        t.since_reset <- 0;
+        (* safe: quiescence means no consumer holds an unprocessed
+           event, and the producer (us) is the only feeder — nobody
+           can be CAS-ing bits while we clear *)
+        Array.iter (fun w -> Atomic.set w 0) t.words;
+        Atomic.incr t.generation;
+        t.resets <- t.resets + 1;
+        t.standdown <- true
+      end
+    end
+  end
+
 let admit t (e : Event.exec) =
   t.since_refresh <- t.since_refresh + 1;
   if t.since_refresh >= refresh_interval then refresh_min t;
-  let live_in = any_live t e.Event.reads in
-  (* every forwarded event that may introduce taint (a source, or a
-     propagation from live reads) stamps its write words, so nothing
-     downstream of it can be dropped before the helper publishes H *)
-  if live_in || Site.is_input_instr e.Event.instr then
+  maybe_reset t;
+  if t.standdown then begin
+    (* H is being rebuilt: no filtering, and stamp {e every} write —
+       an event whose reads are live only in a consumer's
+       not-yet-republished shadow must still protect its writes *)
     List.iter
       (fun l -> t.stamps.(word_of t l) <- e.Event.step)
       e.Event.writes;
-  if (not (Site.filterable_instr e.Event.instr)) || live_in then true
-  else if any_live t e.Event.writes then
-    (* untainted writes over possibly-tainted locations clear taint in
-       the helper's shadow — they must go through *)
+    t.fed_last <- e.Event.step;
     true
+  end
   else begin
-    t.filtered <- t.filtered + 1;
-    false
+    let live_in = any_live t e.Event.reads in
+    (* every forwarded event that may introduce taint (a source, or a
+       propagation from live reads) stamps its write words, so nothing
+       downstream of it can be dropped before the helper publishes H *)
+    if live_in || Site.is_input_instr e.Event.instr then
+      List.iter
+        (fun l -> t.stamps.(word_of t l) <- e.Event.step)
+        e.Event.writes;
+    let forward =
+      (not (Site.filterable_instr e.Event.instr))
+      || live_in
+      (* untainted writes over possibly-tainted locations clear taint
+         in the helper's shadow — they must go through *)
+      || any_live t e.Event.writes
+    in
+    if forward then t.fed_last <- e.Event.step
+    else t.filtered <- t.filtered + 1;
+    forward
   end
 
 let filtered t = t.filtered
+let resets t = t.resets
+let reset_pending t = t.standdown
+let generation t = Atomic.get t.generation
 
 (* -- consumer side ------------------------------------------------------ *)
 
@@ -114,5 +198,18 @@ let publish t ~tainted (v : Event.view) =
     if tainted l then publish_loc t l
   done
 
-let advance t ~slot ~step =
+let advance ?repopulate t ~slot ~step =
+  (match repopulate with
+  | Some f ->
+      (* a new generation: republish this consumer's live taint from
+         its shadow {e before} acking, so the producer resumes
+         filtering only against a complete H.  The generation is
+         stable while any slot is unacked (the producer stands down),
+         so the load/ack pair cannot straddle a bump. *)
+      let g = Atomic.get t.generation in
+      if Atomic.get t.acks.(slot) < g then begin
+        f ();
+        Atomic.set t.acks.(slot) g
+      end
+  | None -> ());
   if step > Atomic.get t.epochs.(slot) then Atomic.set t.epochs.(slot) step

@@ -42,6 +42,23 @@
     taint escapes the read set, so the runtimes refuse to combine the
     filter with [propagate_control].
 
+    {b Generation reset.}  [H] being monotone, a taint-dense phase
+    saturates it for good: long after the taint is overwritten, every
+    event still looks live and the filter earns nothing.  The producer
+    therefore periodically {e resets} [H] at a quiescent point — every
+    consumer's published epoch covers the last forwarded event, so no
+    publish can be in flight and nothing fed is unprocessed.  It
+    clears the bitmap, bumps a generation counter, and {e stands
+    down}: until every consumer has republished the live taint of its
+    shadow (the [?repopulate] callback of {!advance}, run at the next
+    batch boundary) and acked the generation, {!admit} forwards
+    everything and stamps every write.  Standdown only over-forwards
+    and over-stamps, so soundness is untouched; after resume, pages
+    whose taint has been overwritten are clean again.  A consumer that
+    is never given [?repopulate] simply never acks and the filter
+    stands down forever — sound, merely useless, so the runtimes
+    always pass it when filtering is on.
+
     Filtered-vs-unfiltered runs are bit-identical in every analysis
     output; only the forwarded event count differs (reports add
     {!filtered} back so ledgers still reconcile). *)
@@ -54,9 +71,13 @@ type t
     two-domain runtime, one per shard for the sharded one).  [words]
     (power of two, default 1024) sizes the hash map; [page_bits]
     (default 6) sets the locations-per-page granularity.
-    @raise Invalid_argument if [slots < 1] or [words] is not a
-    positive power of two. *)
-val create : ?page_bits:int -> ?words:int -> slots:int -> unit -> t
+    [reset_interval] (default 8192) is the number of {!admit} calls
+    between generation-reset attempts; [0] disables resets (the
+    pre-reset monotone behaviour).
+    @raise Invalid_argument if [slots < 1], [reset_interval < 0], or
+    [words] is not a positive power of two. *)
+val create :
+  ?page_bits:int -> ?words:int -> ?reset_interval:int -> slots:int -> unit -> t
 
 (** {1 Producer side} *)
 
@@ -67,6 +88,17 @@ val admit : t -> Event.exec -> bool
 (** Events dropped so far (producer-side counter). *)
 val filtered : t -> int
 
+(** Completed bitmap clears so far (producer-side counter). *)
+val resets : t -> int
+
+(** Whether the filter is currently standing down (bitmap cleared,
+    waiting for every slot's repopulation ack).  Producer side. *)
+val reset_pending : t -> bool
+
+(** The current generation (atomic; readable from any domain).  Starts
+    at [0]; bumped once per reset. *)
+val generation : t -> int
+
 (** {1 Consumer side} *)
 
 (** Publish the ever-tainted bit of each of [v]'s write locations
@@ -74,6 +106,18 @@ val filtered : t -> int
     lookup).  Call after processing [v]. *)
 val publish : t -> tainted:(Loc.t -> bool) -> Event.view -> unit
 
+(** Publish one location's ever-tainted bit directly — the building
+    block for a generation-reset repopulation dump (fold the shadow,
+    publish every tainted location). *)
+val publish_loc : t -> Loc.t -> unit
+
 (** Advance consumer [slot]'s epoch to [step] (monotone; call after
-    {!publish} for every event of the batch ending at [step]). *)
-val advance : t -> slot:int -> step:int -> unit
+    {!publish} for every event of the batch ending at [step]).
+
+    [?repopulate], when given, serves the generation-reset protocol:
+    if a reset has happened since this slot last acked, the callback
+    must publish ({!publish} or equivalent) {e every} location
+    currently tainted in this consumer's shadow; the slot then acks
+    the generation.  It runs at most once per reset and only at this
+    batch boundary, so the dump sees a consistent shadow. *)
+val advance : ?repopulate:(unit -> unit) -> t -> slot:int -> step:int -> unit

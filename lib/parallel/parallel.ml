@@ -18,31 +18,9 @@ type result = {
   taint_fingerprint : int;
 }
 
-type report = {
-  result : result;
-  queue_capacity : int;
-  batch_size : int;
-  wire : Channel.wire;
-  filtered_events : int;
-      (** events the producer-side liveness filter dropped (0 with the
-          filter off); [result.events] already adds them back *)
-  batches : int;
-  dropped_batches : int;
-  dropped_events : int;
-  producer_stalls : int;
-  consumer_waits : int;
-  main_wall_ns : int;
-  total_wall_ns : int;
-}
-
-type inline_report = {
-  i_result : result;
-  i_wall_ns : int;
-}
-
 (* -- supervised outcomes ----------------------------------------------- *)
 
-type leg = [ `App | `Helper | `Shard of int | `Spawn ]
+type leg = [ `App | `Helper | `Shard of int | `Spawn | `Deadline ]
 
 type partial = {
   p_events : int;
@@ -59,11 +37,42 @@ type error = {
   e_partial : partial;
 }
 
+type degraded = {
+  d_leg : leg;
+  d_exn : exn;
+  d_cutoff_step : int;
+  d_replayed_events : int;
+}
+
+type report = {
+  result : result;
+  queue_capacity : int;
+  batch_size : int;
+  wire : Channel.wire;
+  filtered_events : int;
+      (** events the producer-side liveness filter dropped (0 with the
+          filter off); [result.events] already adds them back *)
+  batches : int;
+  dropped_batches : int;
+  dropped_events : int;
+  producer_stalls : int;
+  consumer_waits : int;
+  main_wall_ns : int;
+  total_wall_ns : int;
+  degraded : degraded option;
+}
+
+type inline_report = {
+  i_result : result;
+  i_wall_ns : int;
+}
+
 let pp_leg ppf = function
   | `App -> Fmt.string ppf "application"
   | `Helper -> Fmt.string ppf "helper"
   | `Shard s -> Fmt.pf ppf "shard %d" s
   | `Spawn -> Fmt.string ppf "spawn"
+  | `Deadline -> Fmt.string ppf "deadline"
 
 let pp_error ppf e =
   Fmt.pf ppf
@@ -143,6 +152,15 @@ let leg_to_string = function
   | `Helper -> "helper"
   | `Shard s -> Fmt.str "shard-%d" s
   | `Spawn -> "spawn"
+  | `Deadline -> "deadline"
+
+let pp_degraded ppf d =
+  Fmt.pf ppf
+    "degraded: %a leg failed (%s); inline completion replayed %d events \
+     after step %d"
+    pp_leg d.d_leg
+    (Printexc.to_string d.d_exn)
+    d.d_replayed_events d.d_cutoff_step
 
 (* Chaos [Spawn] interception, shared by both runtimes' supervisors:
    any non-Proceed action models [Domain.spawn] itself failing. *)
@@ -157,16 +175,51 @@ let chaos_spawn chaos body =
           raise (Chaos.Injected "injected spawn failure, helper")));
   Domain.spawn body
 
-let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
-    ?(batch_size = 64) ?(wire = `Coded) ?(forward_filter = false) ?policy
-    ?on_sink program ~input =
+(* Watchdog progress-leg helpers: [arm_leg]/[disarm_leg] publish the
+   spawn window (armed from just before [Domain.spawn] until the body's
+   first instruction), [with_leg] brackets a join. *)
+let arm_leg = function
+  | Some l -> Dift_obs.Progress.enter l
+  | None -> ()
+
+let disarm_leg = function
+  | Some l -> Dift_obs.Progress.leave l
+  | None -> ()
+
+let with_leg leg f =
+  match leg with
+  | None -> f ()
+  | Some l ->
+      Dift_obs.Progress.enter l;
+      Fun.protect ~finally:(fun () -> Dift_obs.Progress.leave l) f
+
+let run_result ?config ?obs ?trace ?flight ?chaos ?watchdog ?degrade
+    ?(queue_capacity = 64) ?(batch_size = 64) ?(wire = `Coded)
+    ?(forward_filter = false) ?policy ?on_sink program ~input =
   validate_geometry "run" ~queue_capacity ~batch_size;
+  let progress = Option.map Watchdog.progress watchdog in
   let fwd =
-    Channel.create ?obs ?trace ?flight ?chaos ~wire ~queue_capacity
+    Channel.create ?obs ?trace ?flight ?chaos ?progress ~wire ~queue_capacity
       ~batch_size
       ~table:(lazy (Site.of_program program))
       ()
   in
+  (* one idempotent cascade hook: a deadline miss aborts the channel,
+     unparking both domains (the same abort every crash path runs) *)
+  (match watchdog with
+  | Some w -> Watchdog.on_miss w ~name:"parallel" (fun () -> Channel.abort fwd)
+  | None -> ());
+  let spawn_leg =
+    Option.map (fun p -> Dift_obs.Progress.leg p "spawn.helper") progress
+  in
+  let join_leg =
+    Option.map (fun p -> Dift_obs.Progress.leg p "join.helper") progress
+  in
+  (* degraded-mode cutoff: step of the last event of the last batch the
+     helper fully processed.  Written by the helper, read by the
+     application domain strictly after the join (the happens-before
+     edge), so a plain ref suffices. *)
+  let cutoff = ref (-1) in
   (* the filter is sound only when taint flows through the event's
      read set; control-plane taint escapes it, so the filter silently
      stands down under propagate_control *)
@@ -235,6 +288,8 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
       obs
   in
   let helper_body () =
+    (* the spawn-to-first-progress window is over *)
+    disarm_leg spawn_leg;
     (match trace with
     | Some tr -> Dift_obs.Trace.name_track tr "helper"
     | None -> ());
@@ -258,11 +313,34 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
           let tainted loc =
             not (Taint.Bool.is_bottom (Bool_engine.Sh.get sh loc))
           in
+          (* generation reset: republish all live taint from the
+             helper's shadow before acking the new generation *)
+          let repopulate () =
+            Bool_engine.Sh.fold
+              (fun loc d () ->
+                if not (Taint.Bool.is_bottom d) then
+                  Livefilter.publish_loc l loc)
+              sh ()
+          in
           ( (fun v ->
               Bool_engine.process_view eng v;
               Livefilter.publish l ~tainted v),
-            Some (fun ~last_step -> Livefilter.advance l ~slot:0 ~step:last_step)
-          )
+            Some
+              (fun ~last_step ->
+                Livefilter.advance ~repopulate l ~slot:0 ~step:last_step) )
+    in
+    (* degraded mode resumes strictly after the last fully-processed
+       batch, so the cutoff only ever advances at batch boundaries *)
+    let after_batch =
+      match degrade with
+      | None -> after_batch
+      | Some `Inline ->
+          Some
+            (fun ~last_step ->
+              cutoff := last_step;
+              match after_batch with
+              | Some g -> g ~last_step
+              | None -> ())
     in
     let drain () = Channel.drain ~around_batch ?after_batch fwd ~f in
     try
@@ -303,9 +381,103 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
     flight_ev flight "run.error" ~detail:(leg_to_string e.e_leg);
     Error e
   in
+  let wd_fired () =
+    match watchdog with Some w -> Watchdog.fired w | None -> None
+  in
+  (* A post-cascade run can die of a downstream abort exception — or
+     even complete looking ordinary.  The deadline miss is the root
+     cause, so it takes over as the primary error; whatever the legs
+     died of becomes secondary. *)
+  let wd_override e =
+    match wd_fired () with
+    | None -> e
+    | Some m ->
+        {
+          e_leg = `Deadline;
+          e_exn = Watchdog.Deadline_exceeded m;
+          e_secondary = e.e_exn :: e.e_secondary;
+          e_partial = e.e_partial;
+        }
+  in
+  let mk_report ~filtered ~degraded result ~main_wall_ns ~total_wall_ns =
+    {
+      result;
+      queue_capacity;
+      batch_size;
+      wire;
+      filtered_events = filtered;
+      batches = Channel.batches fwd;
+      dropped_batches = Channel.dropped_batches fwd;
+      dropped_events = Channel.dropped_events fwd;
+      producer_stalls = Channel.producer_stalls fwd;
+      consumer_waits = Channel.consumer_waits fwd;
+      main_wall_ns;
+      total_wall_ns;
+      degraded;
+    }
+  in
+  (* Degraded-mode inline completion: when a non-application leg fails
+     (helper crash, spawn failure, deadline miss), re-execute the
+     deterministic machine, counting every event but processing only
+     those strictly past the cutoff through the retained engine — the
+     events at or below it were fully processed by the helper exactly
+     once, so the merged result is bit-identical to a pure inline run.
+     Application-leg failures are excluded: the app's own crash would
+     simply recur in the replay (as does a client [on_sink] exception,
+     which aborts the replay and restores the original error). *)
+  let conclude_err e =
+    match degrade with
+    | Some `Inline when e.e_leg <> `App -> (
+        let cut = !cutoff in
+        flight_ev flight "run.degrade" ~a:cut ~detail:(leg_to_string e.e_leg);
+        let total = ref 0 and replayed = ref 0 in
+        let replay () =
+          let m = Machine.create ?config program ~input in
+          Machine.attach m
+            (Tool.make ~dispatch_cost:0
+               ~on_exec:(fun ev ->
+                 incr total;
+                 if ev.Event.step > cut then begin
+                   incr replayed;
+                   Bool_engine.process eng ev
+                 end)
+               "degraded-inline-dift");
+          Machine.run m
+        in
+        match replay () with
+        | exception rx -> errored { e with e_secondary = e.e_secondary @ [ rx ] }
+        | outcome ->
+            (* the engine processed the admitted events up to the
+               cutoff (helper-side) plus everything past it (replay);
+               the report counts whole-program events, as inline does *)
+            let result =
+              let r = result_of eng sink_trace outcome in
+              { r with events = !total }
+            in
+            flight_ev flight "run.done" ~a:!total ~b:!replayed;
+            let wall = now_ns () - t_start in
+            Ok
+              (mk_report
+                 ~filtered:
+                   (match lf with Some l -> Livefilter.filtered l | None -> 0)
+                 ~degraded:
+                   (Some
+                      {
+                        d_leg = e.e_leg;
+                        d_exn = e.e_exn;
+                        d_cutoff_step = cut;
+                        d_replayed_events = !replayed;
+                      })
+                 result ~main_wall_ns:wall ~total_wall_ns:wall))
+    | _ -> errored e
+  in
+  let finish_err e = conclude_err (wd_override e) in
+  arm_leg spawn_leg;
   match chaos_spawn chaos helper_body with
   | exception ex ->
-      errored
+      (* the body never ran, so it cannot disarm the leg *)
+      disarm_leg spawn_leg;
+      finish_err
         { e_leg = `Spawn; e_exn = ex; e_secondary = []; e_partial = partial () }
   | helper -> (
       let m = Machine.create ?config program ~input in
@@ -328,8 +500,9 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
                 Machine.run m)
         | None -> Machine.run m
       in
+      let join_helper () = with_leg join_leg (fun () -> Domain.join helper) in
       let join_quiet () =
-        match Domain.join helper with () -> [] | exception hx -> [ hx ]
+        match join_helper () with () -> [] | exception hx -> [ hx ]
       in
       match run_machine () with
       | exception ex ->
@@ -337,57 +510,61 @@ let run_result ?config ?obs ?trace ?flight ?chaos ?(queue_capacity = 64)
              exits; its own failure, if any, is secondary *)
           let close_exn = close_fwd () in
           let secondary = Option.to_list close_exn @ join_quiet () in
-          errored
+          finish_err
             { e_leg = `App; e_exn = ex; e_secondary = secondary;
               e_partial = partial () }
       | outcome -> (
           match close_fwd () with
           | Some ex ->
-              errored
+              finish_err
                 { e_leg = `App; e_exn = ex; e_secondary = join_quiet ();
                   e_partial = partial () }
           | None -> (
               let main_wall_ns = now_ns () - t0 in
-              match Domain.join helper with
+              match join_helper () with
               | exception hx ->
-                  errored
+                  finish_err
                     { e_leg = `Helper; e_exn = hx; e_secondary = [];
                       e_partial = partial () }
-              | () ->
+              | () -> (
                   let total_wall_ns = now_ns () - t0 in
-                  flight_ev flight "run.done" ~a:(Channel.events fwd)
-                    ~b:(Channel.batches fwd);
-                  let filtered_events =
-                    match lf with Some l -> Livefilter.filtered l | None -> 0
-                  in
-                  (* add the filtered events back so the report counts
-                     whole-program events on every configuration —
-                     filtered and unfiltered runs stay bit-identical *)
-                  let result =
-                    let r = result_of eng sink_trace outcome in
-                    { r with events = r.events + filtered_events }
-                  in
-                  Ok
-                    {
-                      result;
-                      queue_capacity;
-                      batch_size;
-                      wire;
-                      filtered_events;
-                      batches = Channel.batches fwd;
-                      dropped_batches = Channel.dropped_batches fwd;
-                      dropped_events = Channel.dropped_events fwd;
-                      producer_stalls = Channel.producer_stalls fwd;
-                      consumer_waits = Channel.consumer_waits fwd;
-                      main_wall_ns;
-                      total_wall_ns;
-                    })))
+                  (* a cascade can leave every leg terminating cleanly:
+                     the watchdog verdict outranks the ordinary one *)
+                  match wd_fired () with
+                  | Some m ->
+                      conclude_err
+                        {
+                          e_leg = `Deadline;
+                          e_exn = Watchdog.Deadline_exceeded m;
+                          e_secondary = [];
+                          e_partial = partial ();
+                        }
+                  | None ->
+                      flight_ev flight "run.done" ~a:(Channel.events fwd)
+                        ~b:(Channel.batches fwd);
+                      let filtered_events =
+                        match lf with
+                        | Some l -> Livefilter.filtered l
+                        | None -> 0
+                      in
+                      (* add the filtered events back so the report
+                         counts whole-program events on every
+                         configuration — filtered and unfiltered runs
+                         stay bit-identical *)
+                      let result =
+                        let r = result_of eng sink_trace outcome in
+                        { r with events = r.events + filtered_events }
+                      in
+                      Ok
+                        (mk_report ~filtered:filtered_events ~degraded:None
+                           result ~main_wall_ns ~total_wall_ns)))))
 
-let run ?config ?obs ?trace ?flight ?chaos ?queue_capacity ?batch_size
-    ?wire ?forward_filter ?policy ?on_sink program ~input =
+let run ?config ?obs ?trace ?flight ?chaos ?watchdog ?degrade ?queue_capacity
+    ?batch_size ?wire ?forward_filter ?policy ?on_sink program ~input =
   match
-    run_result ?config ?obs ?trace ?flight ?chaos ?queue_capacity
-      ?batch_size ?wire ?forward_filter ?policy ?on_sink program ~input
+    run_result ?config ?obs ?trace ?flight ?chaos ?watchdog ?degrade
+      ?queue_capacity ?batch_size ?wire ?forward_filter ?policy ?on_sink
+      program ~input
   with
   | Ok r -> r
   | Error e -> raise e.e_exn
@@ -442,12 +619,13 @@ type sharded_report = {
   s_per_shard : Shard_engine.shard_stat array;
   s_main_wall_ns : int;
   s_total_wall_ns : int;
+  s_degraded : degraded option;
 }
 
-let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
-    ?(queue_capacity = 64) ?(batch_size = 64) ?xchg_capacity ?block_bits
-    ?(wire = `Coded) ?(forward_filter = false) ?policy ?on_sink ~shards
-    program ~input =
+let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?watchdog ?degrade
+    ?route ?(queue_capacity = 64) ?(batch_size = 64) ?xchg_capacity
+    ?block_bits ?(wire = `Coded) ?(forward_filter = false) ?policy ?on_sink
+    ~shards program ~input =
   if shards < 1 then
     invalid_arg (Fmt.str "Parallel.run_sharded: shards = %d < 1" shards);
   validate_geometry "run_sharded" ~queue_capacity ~batch_size;
@@ -461,8 +639,8 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
   in
   let c =
     Bool_shards.cluster ?policy ?route ?block_bits ?obs ?trace ?flight
-      ?chaos ~queue_capacity ~batch_size ?xchg_capacity ~wire ?filter:lf
-      ~shards program
+      ?chaos ?watchdog ~queue_capacity ~batch_size ?xchg_capacity ~wire
+      ?filter:lf ~shards program
   in
   let t_start = now_ns () in
   let partial () =
@@ -520,9 +698,80 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
     flight_ev flight "run.error" ~detail:(leg_to_string e.e_leg);
     Error e
   in
+  let wd_fired () =
+    match watchdog with Some w -> Watchdog.fired w | None -> None
+  in
+  (* the deadline miss is the root cause of whatever the legs then
+     died of — it takes over as the primary error (see run_result) *)
+  let wd_override e =
+    match wd_fired () with
+    | None -> e
+    | Some m ->
+        {
+          e_leg = `Deadline;
+          e_exn = Watchdog.Deadline_exceeded m;
+          e_secondary = e.e_exn :: e.e_secondary;
+          e_partial = e.e_partial;
+        }
+  in
+  (* Degraded-mode inline completion, sharded edition.  Unlike the
+     two-domain runtime there is no exact resume point: a cross-shard
+     event may have been half-exchanged when the cluster died, and no
+     single cutoff covers N shards mid-protocol.  The replay is
+     therefore a full inline rerun on a fresh engine — trivially
+     bit-identical to {!run_inline} — while the partial cluster
+     accounting survives in the report ([d_cutoff_step] is [-1]:
+     nothing was resumed). *)
+  let conclude_err e =
+    match degrade with
+    | Some `Inline when e.e_leg <> `App -> (
+        flight_ev flight "run.degrade" ~a:(-1)
+          ~detail:(leg_to_string e.e_leg);
+        let replay () =
+          let eng, sink_trace = make_engine ?policy ?on_sink program in
+          let m = Machine.create ?config program ~input in
+          Machine.attach m
+            (Tool.make ~dispatch_cost:0 ~on_exec:(Bool_engine.process eng)
+               "degraded-inline-dift");
+          let outcome = Machine.run m in
+          result_of eng sink_trace outcome
+        in
+        match replay () with
+        | exception rx -> errored { e with e_secondary = e.e_secondary @ [ rx ] }
+        | result ->
+            flight_ev flight "run.done" ~a:result.events ~b:0;
+            let wall = now_ns () - t_start in
+            Ok
+              {
+                s_result = result;
+                s_shards = shards;
+                s_route =
+                  (match route with Some r -> r | None -> `Request_reply);
+                s_queue_capacity = queue_capacity;
+                s_batch_size = batch_size;
+                s_wire = wire;
+                s_filtered_events =
+                  (match lf with Some l -> Livefilter.filtered l | None -> 0);
+                s_cross_events = Bool_shards.cross_events c;
+                s_exchange_messages = Bool_shards.exchange_messages c;
+                s_per_shard = Bool_shards.shard_stats c;
+                s_main_wall_ns = wall;
+                s_total_wall_ns = wall;
+                s_degraded =
+                  Some
+                    {
+                      d_leg = e.e_leg;
+                      d_exn = e.e_exn;
+                      d_cutoff_step = -1;
+                      d_replayed_events = result.events;
+                    };
+              })
+    | _ -> errored e
+  in
+  let finish_err e = conclude_err (wd_override e) in
   match Bool_shards.start c with
   | exception Shard_engine.Spawn_failure ex ->
-      errored
+      finish_err
         { e_leg = `Spawn; e_exn = ex; e_secondary = [];
           e_partial = partial () }
   | () -> (
@@ -558,14 +807,25 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
             | Error f ->
                 List.map snd f.Shard_engine.f_shards
           in
-          errored
+          finish_err
             { e_leg = `App; e_exn = ex; e_secondary = secondary;
               e_partial = partial () }
       | outcome -> (
           let s_main_wall_ns = now_ns () - t0 in
           (* closes the channels, joins every shard *)
           match Bool_shards.finish_result c with
-          | Error f -> errored (error_of_failure f)
+          | Error f -> finish_err (error_of_failure f)
+          | Ok _ when wd_fired () <> None ->
+              (* a cascade can leave every shard terminating cleanly:
+                 the watchdog verdict outranks the ordinary one *)
+              let m = Option.get (wd_fired ()) in
+              conclude_err
+                {
+                  e_leg = `Deadline;
+                  e_exn = Watchdog.Deadline_exceeded m;
+                  e_secondary = [];
+                  e_partial = partial ();
+                }
           | Ok merged ->
               let s_total_wall_ns = now_ns () - t0 in
               let s_filtered_events =
@@ -616,14 +876,15 @@ let run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
                   s_per_shard = Bool_shards.shard_stats c;
                   s_main_wall_ns;
                   s_total_wall_ns;
+                  s_degraded = None;
                 }))
 
-let run_sharded ?config ?obs ?trace ?flight ?chaos ?route ?queue_capacity
-    ?batch_size ?xchg_capacity ?block_bits ?wire ?forward_filter ?policy
-    ?on_sink ~shards program ~input =
+let run_sharded ?config ?obs ?trace ?flight ?chaos ?watchdog ?degrade ?route
+    ?queue_capacity ?batch_size ?xchg_capacity ?block_bits ?wire
+    ?forward_filter ?policy ?on_sink ~shards program ~input =
   match
-    run_sharded_result ?config ?obs ?trace ?flight ?chaos ?route
-      ?queue_capacity ?batch_size ?xchg_capacity ?block_bits ?wire
+    run_sharded_result ?config ?obs ?trace ?flight ?chaos ?watchdog ?degrade
+      ?route ?queue_capacity ?batch_size ?xchg_capacity ?block_bits ?wire
       ?forward_filter ?policy ?on_sink ~shards program ~input
   with
   | Ok r -> r

@@ -45,44 +45,16 @@ type result = {
           pairs) *)
 }
 
-type report = {
-  result : result;
-  queue_capacity : int;  (** ring slots, in batches *)
-  batch_size : int;  (** events per batch *)
-  wire : Channel.wire;  (** forwarding-plane encoding of the run *)
-  filtered_events : int;
-      (** events dropped producer-side by the taint-liveness filter
-          ([0] with the filter off); [result.events] already adds them
-          back, so it counts whole-program events on every
-          configuration *)
-  batches : int;  (** ring messages actually delivered *)
-  dropped_batches : int;
-      (** batches lost producer-side (post-abort or injected); always
-          [0] on a clean un-injected run *)
-  dropped_events : int;  (** events inside [dropped_batches] *)
-  producer_stalls : int;
-      (** times the application domain blocked on a full ring *)
-  consumer_waits : int;
-      (** times the helper domain blocked on an empty ring *)
-  main_wall_ns : int;  (** application-domain run time *)
-  total_wall_ns : int;  (** until the helper joined *)
-}
-
-type inline_report = {
-  i_result : result;
-  i_wall_ns : int;
-}
-
 (** {1 Supervised outcomes}
 
     The [_result] runtimes ({!run_result}, {!run_sharded_result})
     never re-raise a failure: every shutdown leg — helper crash
     mid-drain, application crash mid-run, spawn failure, an injected
-    channel fault — joins every domain it started and comes back as a
-    structured {!error}, so a driver can distinguish {e which} side
-    failed and still read coherent partial statistics.  The classic
-    {!run}/{!val-run_sharded} wrappers re-raise [e_exn] for
-    compatibility. *)
+    channel fault, a {!Watchdog} deadline miss — joins every domain it
+    started and comes back as a structured {!error}, so a driver can
+    distinguish {e which} side failed and still read coherent partial
+    statistics.  The classic {!run}/{!val-run_sharded} wrappers
+    re-raise [e_exn] for compatibility. *)
 
 (** Which leg of the protocol failed first. *)
 type leg =
@@ -91,7 +63,12 @@ type leg =
   | `Helper  (** the single helper domain of {!run} *)
   | `Shard of int  (** the first sharded helper that died of its own
                        exception (not of the [Shard_dead] cascade) *)
-  | `Spawn  (** [Domain.spawn] itself failed; no run happened *) ]
+  | `Spawn  (** [Domain.spawn] itself failed; no run happened *)
+  | `Deadline
+    (** the {!Watchdog} detected a wedged seam and cascaded the
+        shutdown; [e_exn] is {!Watchdog.Deadline_exceeded} naming the
+        stalled seam, its frozen epoch and how long it was blocked.
+        Whatever the legs then died of is in [e_secondary]. *) ]
 
 (** Channel accounting at the moment the error was assembled — enough
     to reconcile how much work was fed, delivered and lost. *)
@@ -115,6 +92,54 @@ type error = {
 (** One line: failing leg, primary exception, secondary count and the
     partial channel accounting. *)
 val pp_error : error Fmt.t
+
+(** How a run that lost its parallel plane was completed anyway
+    ([~degrade:`Inline]): the failing leg and its exception, plus the
+    resume point — [d_cutoff_step] is the step of the last event the
+    parallel plane had fully processed ([-1] when nothing was: a spawn
+    failure, or any sharded degrade, which always reruns from scratch)
+    and [d_replayed_events] how many events the inline completion
+    processed past it. *)
+type degraded = {
+  d_leg : leg;
+  d_exn : exn;
+  d_cutoff_step : int;
+  d_replayed_events : int;
+}
+
+val pp_degraded : degraded Fmt.t
+
+type report = {
+  result : result;
+  queue_capacity : int;  (** ring slots, in batches *)
+  batch_size : int;  (** events per batch *)
+  wire : Channel.wire;  (** forwarding-plane encoding of the run *)
+  filtered_events : int;
+      (** events dropped producer-side by the taint-liveness filter
+          ([0] with the filter off); [result.events] already adds them
+          back, so it counts whole-program events on every
+          configuration *)
+  batches : int;  (** ring messages actually delivered *)
+  dropped_batches : int;
+      (** batches lost producer-side (post-abort or injected); always
+          [0] on a clean un-injected run *)
+  dropped_events : int;  (** events inside [dropped_batches] *)
+  producer_stalls : int;
+      (** times the application domain blocked on a full ring *)
+  consumer_waits : int;
+      (** times the helper domain blocked on an empty ring *)
+  main_wall_ns : int;  (** application-domain run time *)
+  total_wall_ns : int;  (** until the helper joined *)
+  degraded : degraded option;
+      (** [Some _] iff the parallel plane failed and the run was
+          completed by the degraded-mode inline replay; the [result]
+          is then still bit-identical to {!run_inline}'s *)
+}
+
+type inline_report = {
+  i_result : result;
+  i_wall_ns : int;
+}
 
 (** [run program ~input] executes [program] in the current domain
     while a spawned helper domain performs the taint tracking.
@@ -157,6 +182,26 @@ val pp_error : error Fmt.t
     consult the fault plan (see {!Chaos}); without it the runtime
     takes its ordinary direct path.
 
+    With [?watchdog], every blocking seam publishes progress into the
+    watchdog's table — ring parks as [parallel.push]/[parallel.pop],
+    the spawn window as [spawn.helper], the join as [join.helper] —
+    and the runtime registers its cascade hook (abort the channel), so
+    a wedged peer is torn down after its deadline and surfaced as a
+    [`Deadline] error instead of hanging the run (see {!Watchdog}).
+    The caller creates and {!Watchdog.stop}s the watchdog; one
+    watchdog supervises one run.
+
+    With [~degrade:`Inline], a failure of any non-application leg
+    (helper crash, spawn failure, deadline miss) no longer ends the
+    run: the application domain re-executes the deterministic machine
+    and completes the tracking through the retained engine, processing
+    exactly the events past the last fully-processed batch boundary —
+    the report comes back [Ok], flagged [degraded], with a [result]
+    bit-identical to {!run_inline}'s.  A client [on_sink] callback
+    then fires on the calling domain for the replayed suffix.  If the
+    replay itself fails, the original error returns with the replay
+    exception appended to [e_secondary].
+
     With [?flight], both domains record their recent structured
     events on the always-on flight recorder ({!Dift_obs.Flight}):
     the application ring is named ["app"] and carries [run.start],
@@ -175,6 +220,8 @@ val run :
   ?trace:Dift_obs.Trace.t ->
   ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
+  ?watchdog:Watchdog.t ->
+  ?degrade:[ `Inline ] ->
   ?queue_capacity:int ->
   ?batch_size:int ->
   ?wire:Channel.wire ->
@@ -194,6 +241,8 @@ val run_result :
   ?trace:Dift_obs.Trace.t ->
   ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
+  ?watchdog:Watchdog.t ->
+  ?degrade:[ `Inline ] ->
   ?queue_capacity:int ->
   ?batch_size:int ->
   ?wire:Channel.wire ->
@@ -254,6 +303,11 @@ type sharded_report = {
   s_per_shard : Shard_engine.shard_stat array;
   s_main_wall_ns : int;  (** application-domain run time *)
   s_total_wall_ns : int;  (** until the last shard joined *)
+  s_degraded : degraded option;
+      (** [Some _] iff the cluster failed and the run was completed by
+          the degraded-mode inline replay (always a full rerun — no
+          consistent cross-shard resume point exists mid-protocol);
+          [s_result] is then still bit-identical to {!run_inline}'s *)
 }
 
 (** [run_sharded ~shards program ~input] executes [program] in the
@@ -287,6 +341,19 @@ type sharded_report = {
     inbound channel, every exchange ring and the domain spawns (see
     {!Shard_engine.Make.cluster}).
 
+    With [?watchdog], every blocking seam of the cluster publishes
+    progress — feed rings ([parallel.shard<i>.push]/[.pop]), exchange
+    rings ([xchg.<src>.<dst>.push]/[.pop]), spawn windows
+    ([spawn.shard<i>]), the join fan-in ([join.shard<i>]) and a
+    per-view work pulse ([work.shard<i>]) — and the cluster registers
+    its cascade hooks in dependency order (each feed channel, then the
+    mesh), so a wedged shard or exchange leg is torn down after its
+    deadline and surfaced as a [`Deadline] error.  With
+    [~degrade:`Inline], any non-application failure is completed by a
+    {e full} inline rerun on a fresh engine (no consistent cross-shard
+    resume point exists mid-protocol) — [Ok], flagged [s_degraded],
+    bit-identical to {!run_inline}.
+
     With [?flight], the application ring (named ["app"]) records
     [run.start], producer-side [ring.*] events for every shard
     channel and the final [run.done]/[run.error] marker, and each
@@ -303,6 +370,8 @@ val run_sharded :
   ?trace:Dift_obs.Trace.t ->
   ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
+  ?watchdog:Watchdog.t ->
+  ?degrade:[ `Inline ] ->
   ?route:Shard_engine.route ->
   ?queue_capacity:int ->
   ?batch_size:int ->
@@ -329,6 +398,8 @@ val run_sharded_result :
   ?trace:Dift_obs.Trace.t ->
   ?flight:Dift_obs.Flight.t ->
   ?chaos:Chaos.t ->
+  ?watchdog:Watchdog.t ->
+  ?degrade:[ `Inline ] ->
   ?route:Shard_engine.route ->
   ?queue_capacity:int ->
   ?batch_size:int ->

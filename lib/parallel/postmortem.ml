@@ -10,6 +10,8 @@ type geometry = {
   g_xchg_capacity : int option;
   g_wire : Channel.wire;
   g_forward_filter : bool;
+  g_deadline : string option;
+  g_degrade : bool;
 }
 
 let geometry_json g =
@@ -21,7 +23,11 @@ let geometry_json g =
        ("batch_size", Json.Int g.g_batch_size);
        ("wire", Json.String (Fmt.str "%a" Channel.pp_wire g.g_wire));
        ("forward_filter", Json.Bool g.g_forward_filter);
+       ("degrade", Json.Bool g.g_degrade);
      ]
+    @ (match g.g_deadline with
+      | None -> []
+      | Some d -> [ ("deadline_ms", Json.String d) ])
     @
     match g.g_xchg_capacity with
     | None -> []
@@ -32,27 +38,56 @@ let leg_to_string : Parallel.leg -> string = function
   | `Helper -> "helper"
   | `Shard s -> Printf.sprintf "shard-%d" s
   | `Spawn -> "spawn"
+  | `Deadline -> "deadline"
 
 let error_json (e : Parallel.error) =
   let p = e.e_partial in
   Json.obj
-    [
-      ("leg", Json.String (leg_to_string e.e_leg));
-      ("exn", Json.String (Printexc.to_string e.e_exn));
-      ( "secondary",
-        Json.List
-          (List.map (fun x -> Json.String (Printexc.to_string x)) e.e_secondary)
-      );
-      ( "partial",
-        Json.obj
-          [
-            ("events", Json.Int p.p_events);
-            ("batches", Json.Int p.p_batches);
-            ("dropped_batches", Json.Int p.p_dropped_batches);
-            ("dropped_events", Json.Int p.p_dropped_events);
-            ("wall_ns", Json.Int p.p_wall_ns);
-          ] );
-    ]
+    ([
+       ("leg", Json.String (leg_to_string e.e_leg));
+       ("exn", Json.String (Printexc.to_string e.e_exn));
+       ( "secondary",
+         Json.List
+           (List.map
+              (fun x -> Json.String (Printexc.to_string x))
+              e.e_secondary) );
+       ( "partial",
+         Json.obj
+           [
+             ("events", Json.Int p.p_events);
+             ("batches", Json.Int p.p_batches);
+             ("dropped_batches", Json.Int p.p_dropped_batches);
+             ("dropped_events", Json.Int p.p_dropped_events);
+             ("wall_ns", Json.Int p.p_wall_ns);
+           ] );
+     ]
+    @
+    (* a deadline miss carries the stalled-seam portrait: surface it
+       structurally so [inspect] can render it without re-parsing the
+       exception string *)
+    match e.e_exn with
+    | Watchdog.Deadline_exceeded m ->
+        [
+          ( "deadline",
+            Json.obj
+              [
+                ("seam", Json.String m.Watchdog.m_seam);
+                ("epoch", Json.Int m.Watchdog.m_epoch);
+                ("blocked_ns", Json.Int m.Watchdog.m_blocked_ns);
+                ("deadline_ns", Json.Int m.Watchdog.m_deadline_ns);
+                ( "armed",
+                  Json.List
+                    (List.map
+                       (fun (seam, ep) ->
+                         Json.obj
+                           [
+                             ("seam", Json.String seam);
+                             ("epoch", Json.Int ep);
+                           ])
+                       m.Watchdog.m_armed) );
+              ] );
+        ]
+    | _ -> [])
 
 let bundle ?obs ?flight ?chaos ?trace ?first_heartbeat ?(extra = []) ~error
     geometry =

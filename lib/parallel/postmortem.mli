@@ -29,14 +29,22 @@ type geometry = {
   g_xchg_capacity : int option;  (** exchange-ring slots (sharded only) *)
   g_wire : Channel.wire;  (** forwarding wire ([`Coded] or [`Boxed]) *)
   g_forward_filter : bool;  (** producer-side liveness filter enabled *)
+  g_deadline : string option;
+      (** watchdog deadlines in {!Watchdog.deadlines_to_string}
+          grammar, when supervision was on *)
+  g_degrade : bool;  (** degraded-mode inline completion enabled *)
 }
 
 val geometry_json : geometry -> Dift_obs.Json.t
 
 (** Structured rendering of a supervised failure: the failing leg
-    (as [pp] prints it: [app], [helper], [shard-N], [spawn]), the
-    primary exception, every secondary shutdown failure, and the
-    channel accounting of {!Parallel.partial}. *)
+    (as [pp] prints it: [app], [helper], [shard-N], [spawn],
+    [deadline]), the primary exception, every secondary shutdown
+    failure, and the channel accounting of {!Parallel.partial}.  When
+    the primary exception is {!Watchdog.Deadline_exceeded}, a
+    ["deadline"] object is added carrying the stalled seam, its frozen
+    epoch, the blocked and deadline durations, and the full
+    armed-seam portrait at detection time. *)
 val error_json : Parallel.error -> Dift_obs.Json.t
 
 (** [bundle ~error geometry] assembles the crash bundle:

@@ -74,13 +74,27 @@ module Make (D : Taint.DOMAIN) = struct
         (** fault seams per ring, namespaced [xchg.<src>.<dst>] *)
   }
 
-  let create_xchg ?(capacity = 256) ?(journal = false) ?chaos ~shards () =
+  let create_xchg ?(capacity = 256) ?(journal = false) ?chaos ?progress
+      ~shards () =
     if capacity < 1 then
       invalid_arg "Shard_engine.create_xchg: capacity < 1";
     {
       rings =
-        Array.init shards (fun _ ->
-            Array.init shards (fun _ -> Spsc.create ~capacity));
+        Array.init shards (fun src ->
+            Array.init shards (fun dst ->
+                (* one watchdog leg per blocking side of each mesh
+                   ring, so a stalled exchange names its exact edge *)
+                match progress with
+                | None -> Spsc.create ~capacity ()
+                | Some p ->
+                    Spsc.create
+                      ~push_leg:
+                        (Dift_obs.Progress.leg p
+                           (Fmt.str "xchg.%d.%d.push" src dst))
+                      ~pop_leg:
+                        (Dift_obs.Progress.leg p
+                           (Fmt.str "xchg.%d.%d.pop" src dst))
+                      ~capacity ()));
       journals =
         (if journal then
            Some
@@ -123,6 +137,13 @@ module Make (D : Taint.DOMAIN) = struct
     mutable w_handled : int;
     mutable sent : int;
     mutable received : int;
+    mutable w_prog : Dift_obs.Progress.leg option;
+        (** [work.shard<i>]: ticked per handled view — the progress
+            pulse that keeps legitimately parked peers from tripping
+            the watchdog while this shard computes *)
+    mutable w_last_step : int;
+        (** step of the last view handled ([-1] = none); written by
+            the shard domain, read after the join *)
   }
 
   let worker ?policy ?flight ~router ~route ~xchg ~record_sinks ~shard
@@ -156,6 +177,8 @@ module Make (D : Taint.DOMAIN) = struct
         w_handled = 0;
         sent = 0;
         received = 0;
+        w_prog = None;
+        w_last_step = -1;
       }
     in
     if record_sinks then
@@ -317,6 +340,10 @@ module Make (D : Taint.DOMAIN) = struct
 
   let handle_view w (v : Event.view) =
     w.w_handled <- w.w_handled + 1;
+    w.w_last_step <- v.Event.v_step;
+    (match w.w_prog with
+    | Some l -> Dift_obs.Progress.tick l
+    | None -> ());
     match w.route with
     | `Broadcast -> E.process_view w.eng v
     | `Request_reply ->
@@ -433,18 +460,24 @@ module Make (D : Taint.DOMAIN) = struct
     c_trace : Dift_obs.Trace.t option;
     c_flight : Dift_obs.Flight.t option;
     c_chaos : Chaos.t option;
+    c_spawn_legs : Dift_obs.Progress.leg option array;
+        (** [spawn.shard<i>]: armed from just before [Domain.spawn]
+            until the shard body's first instruction *)
+    c_join_legs : Dift_obs.Progress.leg option array;
+        (** [join.shard<i>]: armed around the join fan-in *)
     mutable domains : unit Domain.t array;
     mutable cross : int;
   }
 
   let cluster ?policy ?(route = `Request_reply) ?block_bits ?obs ?trace
-      ?flight ?chaos ?(queue_capacity = 64) ?(batch_size = 64)
+      ?flight ?chaos ?watchdog ?(queue_capacity = 64) ?(batch_size = 64)
       ?(xchg_capacity = 256) ?(xchg_journal = false) ?(wire = `Coded)
       ?filter ~shards program =
     let router = Router.create ?block_bits ~shards () in
+    let progress = Option.map Watchdog.progress watchdog in
     let xchg =
       create_xchg ~capacity:xchg_capacity ~journal:xchg_journal ?chaos
-        ~shards ()
+        ?progress ~shards ()
     in
     let workers =
       Array.init shards (fun s ->
@@ -463,10 +496,25 @@ module Make (D : Taint.DOMAIN) = struct
          injected losses on these rings to clean shard crashes *)
       let escalate = route = `Request_reply in
       Array.init shards (fun s ->
-          Channel.create ?obs ?trace ?flight ?chaos ~escalate
+          Channel.create ?obs ?trace ?flight ?chaos ?progress ~escalate
             ~ns:(Fmt.str "parallel.shard%d" s)
             ~wire ~queue_capacity ~batch_size ~table ())
     in
+    let leg_array prefix =
+      match progress with
+      | None -> Array.make shards None
+      | Some p ->
+          Array.init shards (fun s ->
+              Some (Dift_obs.Progress.leg p (prefix ^ string_of_int s)))
+    in
+    (match progress with
+    | Some p ->
+        Array.iteri
+          (fun s w ->
+            w.w_prog <-
+              Some (Dift_obs.Progress.leg p (Fmt.str "work.shard%d" s)))
+          workers
+    | None -> ());
     let clocks = Array.init shards (fun _ -> { busy_ns = 0; wall_ns = 0 }) in
     let c =
       {
@@ -480,10 +528,27 @@ module Make (D : Taint.DOMAIN) = struct
         c_trace = trace;
         c_flight = flight;
         c_chaos = chaos;
+        c_spawn_legs = leg_array "spawn.shard";
+        c_join_legs = leg_array "join.shard";
         domains = [||];
         cross = 0;
       }
     in
+    (* cascade hooks, in dependency order: the feed rings first (their
+       consumers unpark and terminate), then the exchange mesh (any
+       shard parked mid-exchange gets [Shard_dead] and cascades) —
+       the same teardown {!abort} runs on a feeder crash, and every
+       piece is idempotent *)
+    (match watchdog with
+    | Some w ->
+        Array.iteri
+          (fun s ch ->
+            Watchdog.on_miss w
+              ~name:(Fmt.str "parallel.shard%d" s)
+              (fun () -> Channel.abort ch))
+          chans;
+        Watchdog.on_miss w ~name:"xchg" (fun () -> abort_xchg xchg)
+    | None -> ());
     (match obs with
     | Some reg ->
         let open Dift_obs in
@@ -549,6 +614,11 @@ module Make (D : Taint.DOMAIN) = struct
             raise
               (Chaos.Injected (Fmt.str "injected spawn failure, shard %d" s))));
     Domain.spawn (fun () ->
+        (* disarm the spawn leg: the shard body is running, so the
+           spawn-to-first-progress window is over *)
+        (match c.c_spawn_legs.(s) with
+        | Some l -> Dift_obs.Progress.leave l
+        | None -> ());
         (match c.c_trace with
         | Some tr -> Dift_obs.Trace.name_track tr (Fmt.str "shard-%d" s)
         | None -> ());
@@ -577,12 +647,23 @@ module Make (D : Taint.DOMAIN) = struct
                  soundness relies on exactly this order *)
               let sh = E.shadow w.eng in
               let tainted l = not (D.is_bottom (E.Sh.get sh l)) in
+              (* generation reset: republish this shard's live taint
+                 (shard shadows are disjoint under request/reply and
+                 identical under broadcast, so the union over slots is
+                 exactly the live taint) *)
+              let repopulate () =
+                E.Sh.fold
+                  (fun loc d () ->
+                    if not (D.is_bottom d) then Livefilter.publish_loc lf loc)
+                  sh ()
+              in
               ( (fun v ->
                   handle_view w v;
                   Livefilter.publish lf ~tainted v),
                 Some
                   (fun ~last_step ->
-                    Livefilter.advance lf ~slot:s ~step:last_step) )
+                    Livefilter.advance ~repopulate lf ~slot:s ~step:last_step)
+              )
         in
         try Channel.drain ~around_batch ?after_batch c.chans.(s) ~f
         with ex ->
@@ -602,7 +683,19 @@ module Make (D : Taint.DOMAIN) = struct
     let doms = Array.make n None in
     (try
        for s = 0 to n - 1 do
-         doms.(s) <- Some (spawn_one c s c.workers.(s))
+         (* armed from here until the shard body's first instruction:
+            a domain that never gets scheduled is a watchable seam *)
+         (match c.c_spawn_legs.(s) with
+         | Some l -> Dift_obs.Progress.enter l
+         | None -> ());
+         match spawn_one c s c.workers.(s) with
+         | d -> doms.(s) <- Some d
+         | exception ex ->
+             (* the body never ran, so it cannot disarm the leg *)
+             (match c.c_spawn_legs.(s) with
+             | Some l -> Dift_obs.Progress.leave l
+             | None -> ());
+             raise ex
        done
      with ex ->
        (* a later shard failed to spawn: tear the channels down so the
@@ -650,7 +743,16 @@ module Make (D : Taint.DOMAIN) = struct
     let exns =
       Array.mapi
         (fun s d ->
-          match Domain.join d with
+          let join () =
+            match c.c_join_legs.(s) with
+            | None -> Domain.join d
+            | Some l ->
+                Dift_obs.Progress.enter l;
+                Fun.protect
+                  ~finally:(fun () -> Dift_obs.Progress.leave l)
+                  (fun () -> Domain.join d)
+          in
+          match join () with
           | () -> None
           | exception ex -> Some (s, ex))
         c.domains

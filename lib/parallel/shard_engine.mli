@@ -130,9 +130,18 @@ module Make (D : Taint.DOMAIN) : sig
       the mesh — the failure cascades as {!Shard_dead} instead of
       wedging a waiting peer), and [Abort] tears the whole mesh down.
       [Stall]/[Delay] only sleep, leaving results bit-identical.
+
+      With [?progress], every ring's blocking push/pop parks publish
+      watchdog progress epochs on legs [xchg.<src>.<dst>.push]/[.pop]
+      (see {!Watchdog}).
       @raise Invalid_argument if [capacity < 1]. *)
   val create_xchg :
-    ?capacity:int -> ?journal:bool -> ?chaos:Chaos.t -> shards:int -> unit ->
+    ?capacity:int ->
+    ?journal:bool ->
+    ?chaos:Chaos.t ->
+    ?progress:Dift_obs.Progress.t ->
+    shards:int ->
+    unit ->
     xchg
 
   (** Abort every ring in the mesh: blocked pops return, blocked
@@ -248,6 +257,18 @@ module Make (D : Taint.DOMAIN) : sig
       taint-liveness filter before routing each event, and every shard
       publishes taint and advances its epoch as it drains — see
       {!Livefilter} for the soundness argument.
+
+      With [?watchdog], every blocking seam registers a progress leg
+      into the watchdog's table — feed rings
+      ([parallel.shard<i>.push]/[.pop]), exchange rings
+      ([xchg.<src>.<dst>.push]/[.pop]), spawn windows
+      ([spawn.shard<i>]), join fan-in ([join.shard<i>]) — plus a
+      per-view work pulse ([work.shard<i>]), and the cluster registers
+      its cascade hooks (abort each feed channel, then the mesh) so a
+      deadline miss tears the run down in dependency order.  The
+      supervisor must consult {!Watchdog.fired} after
+      {!finish_result}: a post-cascade run can complete looking
+      ordinary.
       @raise Invalid_argument for [shards < 1] or non-positive channel
       geometry. *)
   val cluster :
@@ -258,6 +279,7 @@ module Make (D : Taint.DOMAIN) : sig
     ?trace:Dift_obs.Trace.t ->
     ?flight:Dift_obs.Flight.t ->
     ?chaos:Chaos.t ->
+    ?watchdog:Watchdog.t ->
     ?queue_capacity:int ->
     ?batch_size:int ->
     ?xchg_capacity:int ->

@@ -36,9 +36,13 @@ type 'a t = {
   stalls : int Atomic.t;  (** incremented by the producer *)
   drops : int Atomic.t;  (** incremented by the producer *)
   waits : int Atomic.t;  (** incremented by the consumer *)
+  push_leg : Dift_obs.Progress.leg option;
+      (** armed while the producer is parked on a full ring *)
+  pop_leg : Dift_obs.Progress.leg option;
+      (** armed while the consumer is parked on an empty ring *)
 }
 
-let create ~capacity =
+let create ?push_leg ?pop_leg ~capacity () =
   if capacity < 1 then invalid_arg "Spsc.create: capacity < 1";
   {
     buf = Array.make capacity empty_slot;
@@ -55,7 +59,18 @@ let create ~capacity =
     stalls = Atomic.make 0;
     drops = Atomic.make 0;
     waits = Atomic.make 0;
+    push_leg;
+    pop_leg;
   }
+
+(* Arm [leg] for the duration of [f] — parity-balanced even if [f]
+   raises, so a leg can never be left armed by a crashing side. *)
+let armed leg f =
+  match leg with
+  | None -> f ()
+  | Some l ->
+      Dift_obs.Progress.enter l;
+      Fun.protect ~finally:(fun () -> Dift_obs.Progress.leave l) f
 
 let capacity t = t.cap
 let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
@@ -97,8 +112,11 @@ let store_and_publish t tl x =
   Atomic.set t.tail (tl + 1);
   if Atomic.get t.consumer_waiting then signal_locked t t.not_empty
 
-(* Park the producer until the ring has room or the consumer aborted. *)
+(* Park the producer until the ring has room or the consumer aborted.
+   The progress leg is armed only here, on the park path, so the
+   common non-blocking push pays nothing for the watchdog. *)
 let wait_not_full t tl =
+  armed t.push_leg @@ fun () ->
   Mutex.lock t.lock;
   Atomic.incr t.stalls;
   Atomic.set t.producer_waiting true;
@@ -149,8 +167,10 @@ let abort t =
   signal_locked t t.not_full;
   signal_locked t t.not_empty
 
-(* Park the consumer until an element arrives or the channel closes. *)
+(* Park the consumer until an element arrives or the channel closes.
+   Progress leg armed on the park path only, as in [wait_not_full]. *)
 let wait_not_empty t =
+  armed t.pop_leg @@ fun () ->
   Mutex.lock t.lock;
   Atomic.incr t.waits;
   Atomic.set t.consumer_waiting true;

@@ -25,9 +25,19 @@
 
 type 'a t
 
-(** [create ~capacity] is an empty channel holding at most [capacity]
-    elements.  @raise Invalid_argument if [capacity < 1]. *)
-val create : capacity:int -> 'a t
+(** [create ?push_leg ?pop_leg ~capacity] is an empty channel holding
+    at most [capacity] elements.  The optional {!Dift_obs.Progress}
+    legs are armed while the corresponding side is {e parked} (producer
+    on a full ring, consumer on an empty one) — the non-blocking fast
+    path never touches them — letting a watchdog see which seam a
+    wedged run is blocked on.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create :
+  ?push_leg:Dift_obs.Progress.leg ->
+  ?pop_leg:Dift_obs.Progress.leg ->
+  capacity:int ->
+  unit ->
+  'a t
 
 (** The fixed slot count the channel was created with. *)
 val capacity : 'a t -> int

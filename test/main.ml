@@ -20,6 +20,7 @@ let () =
       ("codec", Test_codec.suite);
       ("sharded", Test_sharded.suite);
       ("faults", Test_faults.suite);
+      ("watchdog", Test_watchdog.suite);
       ("postmortem", Test_postmortem.suite);
       ("faultloc", Test_faultloc.suite);
       ("attack", Test_attack.suite);

@@ -483,7 +483,7 @@ let prop_final_element_at_close =
   QCheck2.Test.make ~count:200 ~name:"spsc: final element races close"
     QCheck2.Gen.(pair (int_range 1 4) (int_range 1 32))
     (fun (capacity, n) ->
-      let q = Spsc.create ~capacity in
+      let q = Spsc.create ~capacity () in
       let consumer =
         Domain.spawn (fun () ->
             let rec loop acc =
@@ -504,7 +504,7 @@ let prop_abort_unparks_producer =
   QCheck2.Test.make ~count:100 ~name:"spsc: abort unparks a full-parked producer"
     QCheck2.Gen.(int_range 1 3)
     (fun capacity ->
-      let q = Spsc.create ~capacity in
+      let q = Spsc.create ~capacity () in
       let producer =
         Domain.spawn (fun () ->
             for i = 1 to capacity + 4 do
@@ -529,7 +529,7 @@ let test_abort_unparks_consumer () =
   with_watchdog @@ fun () ->
   (* the consumer is parked on an empty ring; an abort from outside
      the producer domain must wake it with end-of-stream *)
-  let q : int Spsc.t = Spsc.create ~capacity:2 in
+  let q : int Spsc.t = Spsc.create ~capacity:2 () in
   let consumer = Domain.spawn (fun () -> Spsc.pop q) in
   Unix.sleepf 0.02;
   Spsc.abort q;

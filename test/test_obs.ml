@@ -259,7 +259,7 @@ let test_prometheus () =
    them concurrently with a two-domain run must never raise and must
    see each counter monotonically non-decreasing. *)
 let test_two_domain_stats_snapshot () =
-  let ring = Dift_parallel.Spsc.create ~capacity:2 in
+  let ring = Dift_parallel.Spsc.create ~capacity:2 () in
   let reg = Registry.create () in
   Registry.gauge_fn reg "parallel.ring.stalls" (fun () ->
       Dift_parallel.Spsc.producer_stalls ring);

@@ -14,7 +14,7 @@ let check = Alcotest.check
 (* -- the forwarding channel ------------------------------------------- *)
 
 let test_spsc_order () =
-  let q = Spsc.create ~capacity:4 in
+  let q = Spsc.create ~capacity:4 () in
   let n = 10_000 in
   let consumer =
     Domain.spawn (fun () ->
@@ -35,7 +35,7 @@ let test_spsc_order () =
     (List.for_all2 ( = ) received (List.init n (fun i -> i + 1)))
 
 let test_spsc_backpressure () =
-  let q = Spsc.create ~capacity:2 in
+  let q = Spsc.create ~capacity:2 () in
   (* a slow consumer forces the producer to park *)
   let consumer =
     Domain.spawn (fun () ->
@@ -58,7 +58,7 @@ let test_spsc_backpressure () =
     (Spsc.producer_stalls q > 0)
 
 let test_spsc_close_drains () =
-  let q = Spsc.create ~capacity:8 in
+  let q = Spsc.create ~capacity:8 () in
   Spsc.push q 1;
   Spsc.push q 2;
   Spsc.close q;
@@ -71,7 +71,7 @@ let test_spsc_close_drains () =
     | exception Invalid_argument _ -> true)
 
 let test_spsc_abort_unblocks_producer () =
-  let q = Spsc.create ~capacity:1 in
+  let q = Spsc.create ~capacity:1 () in
   Spsc.push q 0;
   (* the ring is now full; a second push would block forever without
      the abort coming from another domain *)

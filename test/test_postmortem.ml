@@ -32,19 +32,22 @@ let geometry ~runtime ~shards =
     g_xchg_capacity = None;
     g_wire = `Coded;
     g_forward_filter = false;
+    g_deadline = None;
+    g_degrade = false;
   }
 
-let leg_name = function
+let leg_name : Parallel.leg -> string = function
   | `App -> "app"
   | `Helper -> "helper"
   | `Shard s -> Fmt.str "shard-%d" s
   | `Spawn -> "spawn"
+  | `Deadline -> "deadline"
 
 (* The ring that must carry evidence: chaos fires on the intercepting
    domain, and a spawn fault is intercepted by the spawning
    application domain. *)
-let crash_domain = function
-  | `App | `Spawn -> "app"
+let crash_domain : Parallel.leg -> string = function
+  | `App | `Spawn | `Deadline -> "app"
   | `Helper -> "helper"
   | `Shard s -> Fmt.str "shard-%d" s
 
